@@ -1,0 +1,131 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! bulk-vs-incremental edge insertion, sorted-merge vs hash-set mutual
+//! friends, and in-process vs real-TCP exchange cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsp_bench::BenchWorld;
+use hsp_crawler::OsnAccess;
+use hsp_graph::{sorted_intersection_len, FriendGraph, UserId};
+use hsp_http::{Client, DirectExchange, Exchange, Request, Server};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn edges(n: usize) -> Vec<(UserId, UserId)> {
+    let mut state = 11u64;
+    let mut rand = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u64
+    };
+    (0..n).map(|_| (UserId(rand() % 2000), UserId(rand() % 2000))).collect()
+}
+
+/// Design choice: bulk edge insertion (append + sort + dedup) vs
+/// per-edge sorted insertion. The generator inserts ~1M edges.
+fn edge_insertion(c: &mut Criterion) {
+    let e = edges(50_000);
+    let mut group = c.benchmark_group("ablation_edges");
+    group.sample_size(10);
+    group.bench_function("bulk_insert_50k", |b| {
+        b.iter(|| {
+            let mut g = FriendGraph::with_capacity(2000);
+            g.bulk_insert(e.iter().copied());
+            black_box(g.edge_count())
+        })
+    });
+    group.bench_function("incremental_insert_50k", |b| {
+        b.iter(|| {
+            let mut g = FriendGraph::with_capacity(2000);
+            for &(a, bb) in &e {
+                g.add_friendship(a, bb);
+            }
+            black_box(g.edge_count())
+        })
+    });
+    group.finish();
+}
+
+/// Design choice: sorted-merge intersection (stranger test, Jaccard)
+/// vs hash-set intersection.
+fn mutual_friends(c: &mut Criterion) {
+    let a: Vec<UserId> = (0..500).map(|i| UserId(i * 2)).collect();
+    let b_list: Vec<UserId> = (0..500).map(|i| UserId(i * 3)).collect();
+    let mut group = c.benchmark_group("ablation_intersection");
+    group.bench_function("sorted_merge_500", |b| {
+        b.iter(|| black_box(sorted_intersection_len(&a, &b_list)))
+    });
+    group.bench_function("hashset_500", |b| {
+        b.iter(|| {
+            let set: HashSet<UserId> = a.iter().copied().collect();
+            black_box(b_list.iter().filter(|u| set.contains(u)).count())
+        })
+    });
+    group.finish();
+}
+
+/// Design choice: in-process exchange vs real loopback TCP for one
+/// profile fetch (quantifies what the `DirectExchange` fast path buys).
+fn transport(c: &mut Criterion) {
+    let world = BenchWorld::tiny();
+    // Sign up one account over the direct path so both transports share
+    // platform state.
+    let mut direct = DirectExchange::new(world.handler.clone());
+    direct
+        .exchange(Request::post_form("/signup", &[("user", "bench"), ("pass", "x")]))
+        .unwrap();
+    direct
+        .exchange(Request::post_form("/login", &[("user", "bench"), ("pass", "x")]))
+        .unwrap();
+    let server = Server::start(world.handler.clone()).expect("bind");
+    let mut tcp = Client::new(server.addr());
+    tcp.exchange(Request::post_form("/login", &[("user", "bench"), ("pass", "x")]))
+        .unwrap();
+    let target = format!("/profile/{}", world.scenario.roster()[0]);
+
+    let mut group = c.benchmark_group("ablation_transport");
+    group.bench_function("direct_profile_fetch", |b| {
+        b.iter(|| black_box(direct.exchange(Request::get(&target)).unwrap().status))
+    });
+    group.bench_function("tcp_profile_fetch", |b| {
+        b.iter(|| black_box(tcp.exchange(Request::get(&target)).unwrap().status))
+    });
+    group.finish();
+    server.shutdown();
+}
+
+/// Design choice: the enhanced pass's extra crawling vs what it buys
+/// (runtime side; the accuracy side is `experiments ablation-epsilon`).
+fn enhanced_cost(c: &mut Criterion) {
+    let world = BenchWorld::tiny();
+    let mut group = c.benchmark_group("ablation_enhanced");
+    group.sample_size(10);
+    group.bench_function("basic_only", |b| {
+        b.iter(|| {
+            let mut crawler = world.crawler(2, "ab");
+            let d = hsp_core::run_basic(&mut crawler, &world.config).unwrap();
+            black_box(crawler.effort().total() + d.ranked.len() as u64)
+        })
+    });
+    group.bench_function("basic_plus_enhanced", |b| {
+        b.iter(|| {
+            let mut crawler = world.crawler(2, "ab2");
+            let d = hsp_core::run_basic(&mut crawler, &world.config).unwrap();
+            let t = world.config.school_size_estimate as usize;
+            let e = hsp_core::run_enhanced(
+                &mut crawler,
+                &d,
+                &hsp_core::EnhanceOptions {
+                    t,
+                    filtering: true,
+                    enhance: true,
+                    school_city: world.scenario.home_city,
+                },
+            )
+            .unwrap();
+            black_box(crawler.effort().total() + e.ranked.len() as u64)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(ablation, edge_insertion, mutual_friends, transport, enhanced_cost);
+criterion_main!(ablation);

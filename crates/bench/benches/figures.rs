@@ -1,0 +1,99 @@
+//! One bench per paper *figure*: the sweep computations behind
+//! Figures 1–4, at tiny scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsp_bench::BenchWorld;
+use hsp_core::{
+    evaluate, partial_estimate, run_basic, run_coppaless_heuristic, run_enhanced,
+    CoppalessOptions, EnhanceOptions, GroundTruth,
+};
+use hsp_policy::FacebookPolicy;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Figure 1: the threshold sweep (evaluation only; crawl pre-warmed).
+fn fig1_sweep(c: &mut Criterion) {
+    let world = BenchWorld::tiny();
+    let (mut crawler, discovery) = world.discovery();
+    let truth = GroundTruth::from_scenario(&world.scenario);
+    let size = world.config.school_size_estimate as usize;
+    let enhanced = run_enhanced(
+        &mut crawler,
+        &discovery,
+        &EnhanceOptions {
+            t: size,
+            filtering: true,
+            enhance: true,
+            school_city: world.scenario.home_city,
+        },
+    )
+    .unwrap();
+    c.bench_function("fig1_threshold_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for t in (size / 2..=size * 2).step_by(size / 4) {
+                let guessed = enhanced.guessed_students(t);
+                let point = evaluate(
+                    t,
+                    &guessed,
+                    |u| enhanced.inferred_year(u, &world.config),
+                    &truth,
+                );
+                acc += point.found;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Figure 2: the §5.5 limited-ground-truth estimators.
+fn fig2_partial(c: &mut Criterion) {
+    c.bench_function("fig2_partial_estimators", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in (500..=2000).step_by(50) {
+                let e = partial_estimate(t, t / 50, 43, 152, 1500);
+                acc += e.est_pct_found + e.est_pct_false_positives;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Figure 3: the §7.1 COPPA-less heuristic end to end.
+fn fig3_coppa(c: &mut Criterion) {
+    let world = BenchWorld::tiny();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("coppaless_heuristic", |b| {
+        b.iter(|| {
+            let mut crawler = world.crawler(2, "f3");
+            let run = run_coppaless_heuristic(
+                &mut crawler,
+                &world.config,
+                &CoppalessOptions { alumni_years_back: 2, min_core_friends: 1 },
+            )
+            .expect("heuristic");
+            black_box(run.guessed.len())
+        })
+    });
+    group.finish();
+}
+
+/// Figure 4: the attack against the reverse-lookup countermeasure.
+fn fig4_countermeasure(c: &mut Criterion) {
+    let world = BenchWorld::with_policy(Arc::new(FacebookPolicy::without_reverse_lookup()));
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("discovery_without_reverse_lookup", |b| {
+        b.iter(|| {
+            let mut crawler = world.crawler(2, "f4");
+            let d = run_basic(&mut crawler, &world.config).expect("discovery");
+            black_box(d.candidate_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(figures, fig1_sweep, fig2_partial, fig3_coppa, fig4_countermeasure);
+criterion_main!(figures);

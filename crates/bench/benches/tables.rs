@@ -1,0 +1,130 @@
+//! One bench per paper *table*: each criterion group regenerates the
+//! table's underlying computation at tiny scale (see DESIGN.md §3 for
+//! the table → module mapping; full-scale numbers come from the
+//! `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsp_bench::BenchWorld;
+use hsp_core::{audit_adult_registered, run_basic, run_enhanced, EnhanceOptions};
+use hsp_crawler::OsnAccess;
+use hsp_policy::{facebook_matrix, googleplus_matrix};
+use std::hint::black_box;
+
+/// Table 1: probe the Facebook visibility matrix from the policy engine.
+fn table1_policy(c: &mut Criterion) {
+    c.bench_function("table1_policy_matrix_facebook", |b| {
+        b.iter(|| black_box(facebook_matrix()))
+    });
+}
+
+/// Table 2: the full seed → core → candidate discovery pipeline.
+fn table2_discovery(c: &mut Criterion) {
+    let world = BenchWorld::tiny();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("discovery_pipeline", |b| {
+        b.iter(|| {
+            let mut crawler = world.crawler(2, "t2");
+            let d = run_basic(&mut crawler, &world.config).expect("discovery");
+            black_box(d.candidate_count())
+        })
+    });
+    group.finish();
+}
+
+/// Table 3: effort accounting across basic + enhanced phases.
+fn table3_effort(c: &mut Criterion) {
+    let world = BenchWorld::tiny();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("effort_basic_plus_enhanced", |b| {
+        b.iter(|| {
+            let mut crawler = world.crawler(2, "t3");
+            let d = run_basic(&mut crawler, &world.config).expect("discovery");
+            let t = world.config.school_size_estimate as usize;
+            let e = run_enhanced(
+                &mut crawler,
+                &d,
+                &EnhanceOptions {
+                    t,
+                    filtering: true,
+                    enhance: true,
+                    school_city: world.scenario.home_city,
+                },
+            )
+            .expect("enhanced");
+            black_box((crawler.effort().total(), e.extended_core.len()))
+        })
+    });
+    group.finish();
+}
+
+/// Table 4: the four method variants on a fixed discovery (re-rank +
+/// filter only; crawling is cached inside the prepared crawler).
+fn table4_variants(c: &mut Criterion) {
+    let world = BenchWorld::tiny();
+    let (mut crawler, discovery) = world.discovery();
+    let t = world.config.school_size_estimate as usize;
+    // Warm the profile cache once so the bench isolates the inference.
+    let _ = run_enhanced(
+        &mut crawler,
+        &discovery,
+        &EnhanceOptions { t, filtering: true, enhance: true, school_city: world.scenario.home_city },
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("table4");
+    for (label, enhance, filter) in [
+        ("basic_filter", false, true),
+        ("enhanced", true, false),
+        ("enhanced_filter", true, true),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let e = run_enhanced(
+                    &mut crawler,
+                    &discovery,
+                    &EnhanceOptions {
+                        t,
+                        filtering: filter,
+                        enhance,
+                        school_city: world.scenario.home_city,
+                    },
+                )
+                .expect("variant");
+                black_box(e.guessed_students(t).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 5: the profile-extension audit over the guessed set.
+fn table5_audit(c: &mut Criterion) {
+    let world = BenchWorld::tiny();
+    let (mut crawler, discovery) = world.discovery();
+    let t = world.config.school_size_estimate as usize;
+    let guessed = discovery.guessed_students(t);
+    // Warm caches.
+    let _ = audit_adult_registered(&mut crawler, &guessed).unwrap();
+    c.bench_function("table5_profile_audit", |b| {
+        b.iter(|| black_box(audit_adult_registered(&mut crawler, &guessed).unwrap()))
+    });
+}
+
+/// Table 6: probe the Google+ matrix.
+fn table6_policy(c: &mut Criterion) {
+    c.bench_function("table6_policy_matrix_gplus", |b| {
+        b.iter(|| black_box(googleplus_matrix()))
+    });
+}
+
+criterion_group!(
+    tables,
+    table1_policy,
+    table2_discovery,
+    table3_effort,
+    table4_variants,
+    table5_audit,
+    table6_policy
+);
+criterion_main!(tables);

@@ -1,0 +1,155 @@
+//! The attack over asymmetric circles (Google+, paper Appendix A).
+//!
+//! On Google+ there is no symmetric friend list; the stranger-visible
+//! analogue is the pair of circle lists. The attack pivots on the same
+//! reverse-lookup idea: the candidate set is everyone the core users
+//! have in their circles ("in your circles" is the outgoing direction),
+//! and `G_i(u)` counts the class-`i` cores whose outgoing circles
+//! contain `u` — a hidden minor still *appears in* classmates' public
+//! circles exactly as they appear in Facebook friend lists.
+
+use crate::methodology::rank_candidates;
+use crate::types::{AttackConfig, CoreUser, Discovery};
+use hsp_crawler::{CrawlError, OsnAccess, ScrapedEduKind};
+use hsp_graph::UserId;
+
+/// Steps 1–2 of §4.1 over circles: seeds → claimers → cores whose
+/// outgoing circles are stranger-visible.
+pub fn collect_core_circles(
+    access: &mut dyn OsnAccess,
+    config: &AttackConfig,
+) -> Result<(Vec<UserId>, Vec<UserId>, Vec<CoreUser>), CrawlError> {
+    let seeds = access.collect_seeds(config.school)?;
+    let mut claiming = Vec::new();
+    let mut core = Vec::new();
+    for &seed in &seeds {
+        let profile = access.profile(seed)?;
+        if !profile.claims_current_student(config.school, config.senior_class_year) {
+            continue;
+        }
+        let grad_year = profile
+            .education
+            .iter()
+            .filter(|e| e.kind == ScrapedEduKind::HighSchool && e.school == config.school)
+            .filter_map(|e| e.grad_year)
+            .find(|&g| g >= config.senior_class_year);
+        let Some(grad_year) = grad_year else { continue };
+        claiming.push(seed);
+        // The outgoing direction plays the friend-list role; when
+        // visible, the incoming list is unioned in for better coverage
+        // of one-way follows.
+        let outgoing = access.circles(seed, false)?;
+        if let Some(mut friends) = outgoing {
+            if let Some(incoming) = access.circles(seed, true)? {
+                friends.extend(incoming);
+                friends.sort_unstable();
+                friends.dedup();
+            }
+            core.push(CoreUser { id: seed, grad_year, friends });
+        }
+    }
+    Ok((seeds, claiming, core))
+}
+
+/// The full basic methodology over circles.
+pub fn run_basic_circles(
+    access: &mut dyn OsnAccess,
+    config: &AttackConfig,
+) -> Result<Discovery, CrawlError> {
+    let (seeds, claiming, core) = collect_core_circles(access, config)?;
+    let ranked = rank_candidates(config, &core);
+    Ok(Discovery { config: config.clone(), seeds, claiming, core, ranked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_crawler::{Effort, ScrapedEducation, ScrapedProfile};
+    use hsp_graph::SchoolId;
+    use std::collections::HashMap;
+
+    struct Stub {
+        seeds: Vec<UserId>,
+        profiles: HashMap<UserId, ScrapedProfile>,
+        outgoing: HashMap<UserId, Option<Vec<UserId>>>,
+        incoming: HashMap<UserId, Option<Vec<UserId>>>,
+    }
+
+    impl OsnAccess for Stub {
+        fn collect_seeds(&mut self, _: SchoolId) -> Result<Vec<UserId>, CrawlError> {
+            Ok(self.seeds.clone())
+        }
+        fn profile(&mut self, uid: UserId) -> Result<ScrapedProfile, CrawlError> {
+            Ok(self.profiles.get(&uid).cloned().unwrap_or_default())
+        }
+        fn friends(&mut self, _: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
+            Ok(None) // no symmetric lists on this platform
+        }
+        fn effort(&self) -> Effort {
+            Effort::default()
+        }
+        fn circles(
+            &mut self,
+            uid: UserId,
+            incoming: bool,
+        ) -> Result<Option<Vec<UserId>>, CrawlError> {
+            let map = if incoming { &self.incoming } else { &self.outgoing };
+            Ok(map.get(&uid).cloned().unwrap_or(None))
+        }
+    }
+
+    fn claiming_profile(year: i32) -> ScrapedProfile {
+        ScrapedProfile {
+            education: vec![ScrapedEducation {
+                school: SchoolId(0),
+                kind: ScrapedEduKind::HighSchool,
+                grad_year: Some(year),
+            }],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn circles_core_unions_both_directions() {
+        let mut stub = Stub {
+            seeds: vec![UserId(1)],
+            profiles: [(UserId(1), claiming_profile(2014))].into(),
+            outgoing: [(UserId(1), Some(vec![UserId(10), UserId(11)]))].into(),
+            incoming: [(UserId(1), Some(vec![UserId(11), UserId(12)]))].into(),
+        };
+        let config = AttackConfig::new(SchoolId(0), 2012, 100);
+        let d = run_basic_circles(&mut stub, &config).unwrap();
+        assert_eq!(d.core.len(), 1);
+        assert_eq!(d.core[0].friends, vec![UserId(10), UserId(11), UserId(12)]);
+        assert_eq!(d.candidate_count(), 3);
+    }
+
+    #[test]
+    fn hidden_circles_keep_claimer_out_of_core() {
+        let mut stub = Stub {
+            seeds: vec![UserId(1)],
+            profiles: [(UserId(1), claiming_profile(2014))].into(),
+            outgoing: [(UserId(1), None)].into(),
+            incoming: HashMap::new(),
+        };
+        let config = AttackConfig::new(SchoolId(0), 2012, 100);
+        let d = run_basic_circles(&mut stub, &config).unwrap();
+        assert_eq!(d.claiming, vec![UserId(1)]);
+        assert!(d.core.is_empty());
+    }
+
+    #[test]
+    fn non_claimers_are_skipped_entirely() {
+        let mut stub = Stub {
+            seeds: vec![UserId(2)],
+            profiles: [(UserId(2), claiming_profile(2009))].into(), // alumnus
+            outgoing: [(UserId(2), Some(vec![UserId(9)]))].into(),
+            incoming: HashMap::new(),
+        };
+        let config = AttackConfig::new(SchoolId(0), 2012, 100);
+        let d = run_basic_circles(&mut stub, &config).unwrap();
+        assert!(d.claiming.is_empty());
+        assert!(d.core.is_empty());
+        assert_eq!(d.candidate_count(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! The COPPA-less counterfactual (§7).
+//!
+//! §7.1's "natural approach" for a world where nobody lies about their
+//! age: no current student is searchable, so the attacker starts from
+//! *recent alumni* (young adults with many slightly-younger friends),
+//! collects their friends, and keeps the candidates that (a) show a
+//! minimal public profile — on Facebook that is the signature of a
+//! registered minor — and (b) have at least `n` core friends.
+//!
+//! §7.2's apples-to-apples comparison scores both worlds by the number
+//! of *minimal-profile ground-truth students* found versus false
+//! positives.
+
+use crate::types::{AttackConfig, CoreUser};
+use hsp_crawler::{CrawlError, OsnAccess, ScrapedEduKind};
+use hsp_graph::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Options for the §7.1 heuristic.
+#[derive(Clone, Copy, Debug)]
+pub struct CoppalessOptions {
+    /// Use alumni who graduated within this many years (the paper uses
+    /// the 2010 and 2011 classes for a March-2012 crawl → 2).
+    pub alumni_years_back: i32,
+    /// Keep candidates with at least this many core friends (swept over
+    /// n = 1, 2, 3 in Figure 3).
+    pub min_core_friends: u32,
+}
+
+impl Default for CoppalessOptions {
+    fn default() -> Self {
+        CoppalessOptions { alumni_years_back: 2, min_core_friends: 1 }
+    }
+}
+
+/// Output of the heuristic for one `n`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoppalessRun {
+    /// Recent-alumni core users (with public friend lists).
+    pub core: Vec<CoreUser>,
+    /// Candidate → number of core friends (before the min-n filter).
+    pub core_friend_counts: Vec<(UserId, u32)>,
+    /// The guess set `H` after both filters, per §7.1 step 4.
+    pub guessed: Vec<UserId>,
+    /// Candidates that had minimal profiles (pre-n-filter), for sweeps.
+    pub minimal_candidates: usize,
+}
+
+/// Run §7.1 steps 1–4.
+///
+/// Step 1's "adults who recently graduated" are found from the search
+/// portal: seeds whose public profile lists the target school with a
+/// grad year in `[senior - years_back, senior - 1]`.
+pub fn run_coppaless_heuristic(
+    access: &mut dyn OsnAccess,
+    config: &AttackConfig,
+    options: &CoppalessOptions,
+) -> Result<CoppalessRun, CrawlError> {
+    let seeds = access.collect_seeds(config.school)?;
+    let senior = config.senior_class_year;
+    let window = (senior - options.alumni_years_back)..senior;
+
+    // Step 1: recent-alumni core with public friend lists.
+    let mut core: Vec<CoreUser> = Vec::new();
+    for &seed in &seeds {
+        let profile = access.profile(seed)?;
+        let recent_grad = profile.education.iter().any(|e| {
+            e.kind == ScrapedEduKind::HighSchool
+                && e.school == config.school
+                && e.grad_year.map_or(false, |g| window.contains(&g))
+        });
+        if !recent_grad {
+            continue;
+        }
+        let grad_year = profile
+            .education
+            .iter()
+            .filter(|e| e.kind == ScrapedEduKind::HighSchool && e.school == config.school)
+            .filter_map(|e| e.grad_year)
+            .find(|g| window.contains(g))
+            .expect("matched above");
+        if let Some(friends) = access.friends(seed)? {
+            core.push(CoreUser { id: seed, grad_year, friends });
+        }
+    }
+
+    // Step 2: candidate set = union of core friends, with counts.
+    let mut counts: HashMap<UserId, u32> = HashMap::new();
+    for c in &core {
+        for &f in &c.friends {
+            *counts.entry(f).or_default() += 1;
+        }
+    }
+    let mut core_friend_counts: Vec<(UserId, u32)> = counts.into_iter().collect();
+    core_friend_counts.sort_unstable();
+
+    // Step 3: keep only minimal public profiles (downloads every
+    // candidate's page — the heuristic's dominant cost).
+    // Step 4: and at least `n` core friends.
+    let mut guessed = Vec::new();
+    let mut minimal_candidates = 0;
+    for &(u, k) in &core_friend_counts {
+        let profile = access.profile(u)?;
+        if !profile.is_minimal() {
+            continue;
+        }
+        minimal_candidates += 1;
+        if k >= options.min_core_friends {
+            guessed.push(u);
+        }
+    }
+    guessed.sort_unstable();
+
+    Ok(CoppalessRun { core, core_friend_counts, guessed, minimal_candidates })
+}
+
+/// One point of Figure 3: minimal-profile students found vs false
+/// positives.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MinimalProfilePoint {
+    /// The sweep parameter (n for without-COPPA, t for with-COPPA).
+    pub param: usize,
+    /// Guessed minimal-profile users.
+    pub guessed: usize,
+    /// Of those, ground-truth students (with minimal profiles).
+    pub found: usize,
+    pub false_positives: usize,
+    /// % of the minimal-profile ground-truth student population found.
+    pub pct_found: f64,
+}
+
+/// Score a guessed minimal-profile set against the ground-truth set of
+/// minimal-profile students.
+pub fn score_minimal_set(
+    param: usize,
+    guessed: &[UserId],
+    minimal_students: &[UserId],
+) -> MinimalProfilePoint {
+    let found = guessed
+        .iter()
+        .filter(|u| minimal_students.binary_search(u).is_ok())
+        .count();
+    MinimalProfilePoint {
+        param,
+        guessed: guessed.len(),
+        found,
+        false_positives: guessed.len() - found,
+        pct_found: if minimal_students.is_empty() {
+            0.0
+        } else {
+            100.0 * found as f64 / minimal_students.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_graph::SchoolId;
+
+    #[test]
+    fn score_minimal_set_counts() {
+        let minimal_students = vec![UserId(1), UserId(2), UserId(3), UserId(4)];
+        let guessed = vec![UserId(2), UserId(4), UserId(9), UserId(10)];
+        let p = score_minimal_set(1, &guessed, &minimal_students);
+        assert_eq!(p.found, 2);
+        assert_eq!(p.false_positives, 2);
+        assert_eq!(p.pct_found, 50.0);
+    }
+
+    #[test]
+    fn options_default_matches_paper() {
+        let o = CoppalessOptions::default();
+        assert_eq!(o.alumni_years_back, 2);
+        assert_eq!(o.min_core_friends, 1);
+    }
+
+    #[test]
+    fn alumni_window_excludes_current_and_old() {
+        // window for senior=2012, back=2 → {2010, 2011}
+        let config = AttackConfig::new(SchoolId(0), 2012, 300);
+        let window = (config.senior_class_year - 2)..config.senior_class_year;
+        assert!(window.contains(&2010));
+        assert!(window.contains(&2011));
+        assert!(!window.contains(&2012));
+        assert!(!window.contains(&2009));
+    }
+}

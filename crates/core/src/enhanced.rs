@@ -1,0 +1,275 @@
+//! The enhanced methodology (§4.3) and the filtering rules (§4.4).
+
+use crate::methodology::{rank_candidates, sort_ranked};
+use crate::types::{AttackConfig, Candidate, CoreUser, Discovery};
+use hsp_crawler::{CrawlError, OsnAccess, ScrapedEduKind, ScrapedProfile};
+use hsp_graph::UserId;
+use std::collections::{HashMap, HashSet};
+
+/// Which §4.4 filter rule eliminated a candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FilterRule {
+    GraduateSchool,
+    DifferentHighSchool,
+    GradYearOutOfRange,
+    DifferentCurrentCity,
+}
+
+/// Apply the §4.4 filter rules to one downloaded profile. Returns the
+/// first matching rule, or `None` if the candidate survives.
+pub fn filter_profile(
+    profile: &ScrapedProfile,
+    config: &AttackConfig,
+    school_city: hsp_graph::CityId,
+) -> Option<FilterRule> {
+    // Rule 1: lists a graduate school.
+    if profile.lists_graduate_school() {
+        return Some(FilterRule::GraduateSchool);
+    }
+    // Rule 2: provides exactly one high school and it differs from the
+    // target.
+    let hs: Vec<_> = profile
+        .education
+        .iter()
+        .filter(|e| e.kind == ScrapedEduKind::HighSchool)
+        .collect();
+    if hs.len() == 1 && hs[0].school != config.school {
+        return Some(FilterRule::DifferentHighSchool);
+    }
+    // Rule 3: a target-school grad year outside [senior, senior+3].
+    let senior = config.senior_class_year;
+    for e in &hs {
+        if e.school == config.school {
+            if let Some(g) = e.grad_year {
+                if !(senior..senior + 4).contains(&g) {
+                    return Some(FilterRule::GradYearOutOfRange);
+                }
+            }
+        }
+    }
+    // Rule 4: current city differs from the school's city.
+    if let Some(city) = profile.current_city {
+        if city != school_city {
+            return Some(FilterRule::DifferentCurrentCity);
+        }
+    }
+    None
+}
+
+/// Options for the enhanced/filtered passes.
+#[derive(Clone, Copy, Debug)]
+pub struct EnhanceOptions {
+    /// Threshold `t` the attacker will use (profiles of the first
+    /// `t(1+ε)` candidates are downloaded).
+    pub t: usize,
+    /// Apply the §4.4 filter rules.
+    pub filtering: bool,
+    /// Promote claiming candidates into the core and re-rank (§4.3).
+    /// When false (but `filtering` true), this is "basic + filtering".
+    pub enhance: bool,
+    /// The school's city, needed by filter rule 4.
+    pub school_city: hsp_graph::CityId,
+}
+
+/// Outcome of an enhanced/filtered pass.
+#[derive(Clone, Debug)]
+pub struct Enhanced {
+    /// The re-ranked (and possibly filtered) candidate list.
+    pub ranked: Vec<Candidate>,
+    /// The extended core (original + promoted claimers) — Table 2's
+    /// "# of extended core users".
+    pub extended_core: Vec<CoreUser>,
+    /// All claimers known after promotion (for `H = T ∪ C'`).
+    pub claiming: Vec<UserId>,
+    /// Candidates removed by each filter rule (diagnostics/ablation).
+    pub filtered_out: Vec<(UserId, FilterRule)>,
+}
+
+impl Enhanced {
+    /// `H = T ∪ C'` for threshold `t`.
+    pub fn guessed_students(&self, t: usize) -> Vec<UserId> {
+        let mut h: Vec<UserId> = self.ranked.iter().take(t).map(|c| c.id).collect();
+        h.extend(&self.claiming);
+        h.sort_unstable();
+        h.dedup();
+        h
+    }
+
+    /// Inferred year for a guessed student (claimers keep their claim).
+    pub fn inferred_year(&self, u: UserId, config: &AttackConfig) -> Option<i32> {
+        if let Some(core) = self.extended_core.iter().find(|c| c.id == u) {
+            return Some(core.grad_year);
+        }
+        self.ranked
+            .iter()
+            .find(|c| c.id == u)
+            .map(|c| c.inferred_grad_year(config))
+    }
+}
+
+/// Run the enhanced methodology (§4.3) and/or filtering (§4.4) on top
+/// of a basic [`Discovery`].
+///
+/// Downloads the public profiles of the first `t(1+ε)` ranked
+/// candidates. With `enhance`, claimers found among them are promoted
+/// into the core (friend lists downloaded when public) and the
+/// reverse-lookup scores are recomputed. With `filtering`, the §4.4
+/// rules remove likely former students.
+pub fn run_enhanced(
+    access: &mut dyn OsnAccess,
+    basic: &Discovery,
+    options: &EnhanceOptions,
+) -> Result<Enhanced, CrawlError> {
+    let config = &basic.config;
+    let fetch_n =
+        ((options.t as f64) * (1.0 + config.epsilon)).round() as usize;
+    let to_fetch: Vec<UserId> = basic
+        .ranked
+        .iter()
+        .take(fetch_n)
+        .map(|c| c.id)
+        .collect();
+
+    let mut profiles: HashMap<UserId, ScrapedProfile> = HashMap::new();
+    for &u in &to_fetch {
+        profiles.insert(u, access.profile(u)?);
+    }
+
+    // --- §4.3 promotion -------------------------------------------------
+    let mut extended_core: Vec<CoreUser> = basic.core.clone();
+    let mut claiming: Vec<UserId> = basic.claiming.clone();
+    if options.enhance {
+        let already: HashSet<UserId> = claiming.iter().copied().collect();
+        for &u in &to_fetch {
+            if already.contains(&u) {
+                continue;
+            }
+            let profile = &profiles[&u];
+            if !profile.claims_current_student(config.school, config.senior_class_year) {
+                continue;
+            }
+            let grad_year = profile
+                .education
+                .iter()
+                .filter(|e| {
+                    e.kind == ScrapedEduKind::HighSchool && e.school == config.school
+                })
+                .filter_map(|e| e.grad_year)
+                .find(|&g| g >= config.senior_class_year);
+            let Some(grad_year) = grad_year else { continue };
+            claiming.push(u);
+            if profile.friend_list_visible {
+                if let Some(friends) = access.friends(u)? {
+                    extended_core.push(CoreUser { id: u, grad_year, friends });
+                }
+            }
+        }
+    }
+
+    // --- re-rank over the (possibly) extended core ------------------------
+    let mut ranked = if options.enhance {
+        rank_candidates(config, &extended_core)
+    } else {
+        let mut r = basic.ranked.clone();
+        sort_ranked(&mut r);
+        r
+    };
+
+    // --- §4.4 filtering ---------------------------------------------------
+    let mut filtered_out = Vec::new();
+    if options.filtering {
+        let mut removed: HashSet<UserId> = HashSet::new();
+        for (&u, profile) in &profiles {
+            if let Some(rule) = filter_profile(profile, config, options.school_city) {
+                removed.insert(u);
+                filtered_out.push((u, rule));
+            }
+        }
+        // Claimers are never filtered (their own profile claims the
+        // school; the rules target *former* students).
+        let claim_set: HashSet<UserId> = claiming.iter().copied().collect();
+        ranked.retain(|c| !removed.contains(&c.id) || claim_set.contains(&c.id));
+        filtered_out.sort_by_key(|(u, _)| *u);
+    }
+
+    Ok(Enhanced { ranked, extended_core, claiming, filtered_out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_graph::{CityId, SchoolId};
+    use hsp_crawler::ScrapedEducation;
+
+    fn cfg() -> AttackConfig {
+        AttackConfig::new(SchoolId(0), 2012, 360)
+    }
+
+    fn profile_with(education: Vec<ScrapedEducation>, city: Option<CityId>) -> ScrapedProfile {
+        ScrapedProfile { education, current_city: city, ..ScrapedProfile::default() }
+    }
+
+    fn hs(school: u32, year: i32) -> ScrapedEducation {
+        ScrapedEducation {
+            school: SchoolId(school),
+            kind: ScrapedEduKind::HighSchool,
+            grad_year: Some(year),
+        }
+    }
+
+    #[test]
+    fn filter_rules_match_section_4_4() {
+        let c = cfg();
+        let home = CityId(0);
+        // Graduate school.
+        let p = profile_with(
+            vec![ScrapedEducation {
+                school: SchoolId(3),
+                kind: ScrapedEduKind::GraduateSchool,
+                grad_year: None,
+            }],
+            None,
+        );
+        assert_eq!(filter_profile(&p, &c, home), Some(FilterRule::GraduateSchool));
+        // One different high school.
+        let p = profile_with(vec![hs(1, 2014)], None);
+        assert_eq!(filter_profile(&p, &c, home), Some(FilterRule::DifferentHighSchool));
+        // Target school but alumnus-era year.
+        let p = profile_with(vec![hs(0, 2009)], None);
+        assert_eq!(filter_profile(&p, &c, home), Some(FilterRule::GradYearOutOfRange));
+        // Wrong current city.
+        let p = profile_with(vec![hs(0, 2014)], Some(CityId(1)));
+        assert_eq!(filter_profile(&p, &c, home), Some(FilterRule::DifferentCurrentCity));
+        // Clean current-student profile survives.
+        let p = profile_with(vec![hs(0, 2014)], Some(home));
+        assert_eq!(filter_profile(&p, &c, home), None);
+        // Profile with no information survives (nothing to filter on).
+        let p = profile_with(vec![], None);
+        assert_eq!(filter_profile(&p, &c, home), None);
+    }
+
+    #[test]
+    fn two_high_schools_including_target_is_not_filtered_by_rule_2() {
+        // A transfer *into* the target school lists both; rule 2 requires
+        // exactly one, different school.
+        let c = cfg();
+        let p = profile_with(vec![hs(1, 2014), hs(0, 2014)], None);
+        assert_eq!(filter_profile(&p, &c, CityId(0)), None);
+    }
+
+    #[test]
+    fn grad_year_at_boundaries() {
+        let c = cfg();
+        let home = CityId(0);
+        assert_eq!(filter_profile(&profile_with(vec![hs(0, 2012)], None), &c, home), None);
+        assert_eq!(filter_profile(&profile_with(vec![hs(0, 2015)], None), &c, home), None);
+        assert_eq!(
+            filter_profile(&profile_with(vec![hs(0, 2016)], None), &c, home),
+            Some(FilterRule::GradYearOutOfRange)
+        );
+        assert_eq!(
+            filter_profile(&profile_with(vec![hs(0, 2011)], None), &c, home),
+            Some(FilterRule::GradYearOutOfRange)
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Evaluating a discovery run: against full ground truth (§5.4, HS1)
+//! and against limited ground truth via the §5.5 estimators (HS2/HS3).
+
+use hsp_graph::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The ground-truth roster — in the paper, the confidential list from
+/// the school; here, read off the generator.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// Sorted ids of actual current students (`M`).
+    students: Vec<UserId>,
+    grad_years: HashMap<UserId, i32>,
+}
+
+impl GroundTruth {
+    pub fn new(mut students: Vec<UserId>, grad_years: HashMap<UserId, i32>) -> Self {
+        students.sort_unstable();
+        students.dedup();
+        GroundTruth { students, grad_years }
+    }
+
+    /// Build from a generated scenario.
+    pub fn from_scenario(scenario: &hsp_synth::Scenario) -> Self {
+        let students = scenario.roster();
+        let grad_years = students
+            .iter()
+            .filter_map(|&u| scenario.student_grad_year(u).map(|g| (u, g)))
+            .collect();
+        Self::new(students, grad_years)
+    }
+
+    pub fn len(&self) -> usize {
+        self.students.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.students.is_empty()
+    }
+
+    pub fn contains(&self, u: UserId) -> bool {
+        self.students.binary_search(&u).is_ok()
+    }
+
+    pub fn grad_year(&self, u: UserId) -> Option<i32> {
+        self.grad_years.get(&u).copied()
+    }
+
+    pub fn students(&self) -> &[UserId] {
+        &self.students
+    }
+}
+
+/// One evaluated operating point (one threshold `t`) — the numbers
+/// behind Table 4 and Figures 1–2.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EvalPoint {
+    pub t: usize,
+    /// |H|.
+    pub guessed: usize,
+    /// |H ∩ M| — Table 4's `x`.
+    pub found: usize,
+    /// Of the found, how many were classified in the right year —
+    /// Table 4's `y`.
+    pub correct_year: usize,
+    /// |H − M|.
+    pub false_positives: usize,
+}
+
+impl EvalPoint {
+    /// Fraction of the roster discovered.
+    pub fn pct_found(&self, roster_size: usize) -> f64 {
+        if roster_size == 0 {
+            0.0
+        } else {
+            100.0 * self.found as f64 / roster_size as f64
+        }
+    }
+
+    /// False positives as a fraction of the guessed set.
+    pub fn pct_false_positives(&self) -> f64 {
+        if self.guessed == 0 {
+            0.0
+        } else {
+            100.0 * self.false_positives as f64 / self.guessed as f64
+        }
+    }
+
+    /// Year accuracy among the found.
+    pub fn pct_correct_year(&self) -> f64 {
+        if self.found == 0 {
+            0.0
+        } else {
+            100.0 * self.correct_year as f64 / self.found as f64
+        }
+    }
+}
+
+/// Score a guessed set `H` against ground truth.
+pub fn evaluate(
+    t: usize,
+    guessed: &[UserId],
+    inferred_year: impl Fn(UserId) -> Option<i32>,
+    truth: &GroundTruth,
+) -> EvalPoint {
+    let mut found = 0;
+    let mut correct_year = 0;
+    let mut false_positives = 0;
+    for &u in guessed {
+        if truth.contains(u) {
+            found += 1;
+            if let (Some(inferred), Some(actual)) = (inferred_year(u), truth.grad_year(u)) {
+                if inferred == actual {
+                    correct_year += 1;
+                }
+            }
+        } else {
+            false_positives += 1;
+        }
+    }
+    EvalPoint { t, guessed: guessed.len(), found, correct_year, false_positives }
+}
+
+/// The §5.5 limited-ground-truth estimators, used when (as for HS2/HS3)
+/// only a held-out set of test users is known to be students.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PartialEstimate {
+    pub t: usize,
+    /// `z_t`: test users ranked in the top `t`.
+    pub test_users_found: usize,
+    pub test_user_count: usize,
+    pub core_count: usize,
+    pub school_size: usize,
+    /// Estimated number of students found.
+    pub est_found: f64,
+    /// Estimated percentage of the school found.
+    pub est_pct_found: f64,
+    /// Estimated number of false positives in the top-`t`.
+    pub est_false_positives: f64,
+    /// Estimated false-positive percentage of the guessed set.
+    pub est_pct_false_positives: f64,
+}
+
+/// Apply §5.5's formulas:
+///
+/// ```text
+/// found(t) ≈ |C| + (z_t / #test) · (HS − |C|)
+/// fp(t)    ≈ t − (z_t / #test) · (HS − |C|)
+/// ```
+pub fn partial_estimate(
+    t: usize,
+    test_users_found: usize,
+    test_user_count: usize,
+    core_count: usize,
+    school_size: usize,
+) -> PartialEstimate {
+    assert!(test_user_count > 0, "need at least one test user");
+    let p = test_users_found as f64 / test_user_count as f64;
+    let non_core = (school_size as f64 - core_count as f64).max(0.0);
+    let est_found = core_count as f64 + p * non_core;
+    let est_fp = (t as f64 - p * non_core).max(0.0);
+    PartialEstimate {
+        t,
+        test_users_found,
+        test_user_count,
+        core_count,
+        school_size,
+        est_found,
+        est_pct_found: 100.0 * est_found / school_size as f64,
+        est_false_positives: est_fp,
+        est_pct_false_positives: 100.0 * est_fp / (core_count + t) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        let students = vec![UserId(1), UserId(2), UserId(3), UserId(4)];
+        let years = students.iter().map(|&u| (u, 2014)).collect();
+        GroundTruth::new(students, years)
+    }
+
+    #[test]
+    fn evaluate_counts_found_year_and_fp() {
+        let t = truth();
+        let guessed = vec![UserId(1), UserId(2), UserId(9)];
+        // u1 classified right, u2 wrong year.
+        let point = evaluate(
+            3,
+            &guessed,
+            |u| Some(if u == UserId(1) { 2014 } else { 2013 }),
+            &t,
+        );
+        assert_eq!(point.found, 2);
+        assert_eq!(point.correct_year, 1);
+        assert_eq!(point.false_positives, 1);
+        assert_eq!(point.pct_found(4), 50.0);
+        assert!((point.pct_false_positives() - 100.0 / 3.0).abs() < 1e-9);
+        assert_eq!(point.pct_correct_year(), 50.0);
+    }
+
+    #[test]
+    fn evaluate_handles_unknown_years() {
+        let t = truth();
+        let point = evaluate(1, &[UserId(1)], |_| None, &t);
+        assert_eq!(point.found, 1);
+        assert_eq!(point.correct_year, 0);
+    }
+
+    #[test]
+    fn partial_estimate_matches_paper_example() {
+        // The paper's HS2 example: t = 1500, 152 extended cores, HS size
+        // 1500; "top 1,652 users ... 85 % of all HS2 students with 22 %
+        // false positives". With 43 test users that corresponds to
+        // z_t ≈ 36.
+        let e = partial_estimate(1500, 36, 43, 152, 1500);
+        assert!((e.est_pct_found - 85.0).abs() < 3.0, "{}", e.est_pct_found);
+        assert!(
+            (e.est_pct_false_positives - 22.0).abs() < 3.0,
+            "{}",
+            e.est_pct_false_positives
+        );
+    }
+
+    #[test]
+    fn partial_estimate_extremes() {
+        // All test users found: found ≈ school size, FPs = t - (HS - C).
+        let e = partial_estimate(1000, 10, 10, 50, 800);
+        assert!((e.est_found - 800.0).abs() < 1e-9);
+        assert!((e.est_false_positives - 250.0).abs() < 1e-9);
+        // No test users found: only the cores count.
+        let e = partial_estimate(1000, 0, 10, 50, 800);
+        assert!((e.est_found - 50.0).abs() < 1e-9);
+        assert!((e.est_false_positives - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "test user")]
+    fn partial_estimate_requires_test_users() {
+        partial_estimate(100, 0, 0, 10, 500);
+    }
+}

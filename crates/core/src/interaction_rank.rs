@@ -1,0 +1,166 @@
+//! Interaction-weighted candidate ranking (§4.3's cited-but-unexplored
+//! optimization, after Wilson et al.'s interaction graphs).
+//!
+//! The plain score treats every core friendship equally. But the
+//! attacker already downloaded each core user's profile page, and when
+//! a core's wall is stranger-visible, the page names its most frequent
+//! posters. A candidate who both *friends* and *posts on the walls of*
+//! class-`i` cores is far likelier to be a class-`i` classmate than a
+//! silent friend-of-record — so wall-post evidence earns a bonus weight.
+
+use crate::methodology::sort_ranked;
+use crate::types::{AttackConfig, Candidate, CoreUser};
+use hsp_crawler::{CrawlError, OsnAccess};
+use hsp_graph::UserId;
+use std::collections::{HashMap, HashSet};
+
+/// Weighting options.
+#[derive(Clone, Copy, Debug)]
+pub struct InteractionWeights {
+    /// Added to a candidate's class weight for each core in that class
+    /// whose visible wall they posted on (on top of the 1.0 for the
+    /// friendship itself).
+    pub wall_post_bonus: f64,
+}
+
+impl Default for InteractionWeights {
+    fn default() -> Self {
+        InteractionWeights { wall_post_bonus: 1.0 }
+    }
+}
+
+/// Rank candidates with interaction weighting.
+///
+/// Fetches each core's profile (cached from the seed pass — no new
+/// requests) to read its visible wall posters; scores are
+/// `x_w(u) = max_i Σ_{v ∈ C_i, u ∈ F(v)} (1 + bonus·[u posted on v's wall]) / |C_i|`.
+pub fn rank_candidates_weighted(
+    access: &mut dyn OsnAccess,
+    config: &AttackConfig,
+    core: &[CoreUser],
+    weights: &InteractionWeights,
+) -> Result<Vec<Candidate>, CrawlError> {
+    let mut core_sizes = [0u32; 4];
+    for c in core {
+        if let Some(i) = config.class_index(c.grad_year) {
+            core_sizes[i] += 1;
+        }
+    }
+    let mut weighted: HashMap<UserId, [f64; 4]> = HashMap::new();
+    let mut raw: HashMap<UserId, [u32; 4]> = HashMap::new();
+    for c in core {
+        let Some(class) = config.class_index(c.grad_year) else {
+            continue;
+        };
+        let posters: HashSet<UserId> =
+            access.profile(c.id)?.wall_posters.into_iter().collect();
+        for &friend in &c.friends {
+            let w = 1.0
+                + if posters.contains(&friend) {
+                    weights.wall_post_bonus
+                } else {
+                    0.0
+                };
+            weighted.entry(friend).or_default()[class] += w;
+            raw.entry(friend).or_default()[class] += 1;
+        }
+    }
+    let mut candidates: Vec<Candidate> = weighted
+        .into_iter()
+        .map(|(id, by_class)| {
+            let mut best = 0usize;
+            let mut best_score = -1.0f64;
+            for i in 0..4 {
+                if core_sizes[i] == 0 {
+                    continue;
+                }
+                let score = by_class[i] / f64::from(core_sizes[i]);
+                if score > best_score {
+                    best_score = score;
+                    best = i;
+                }
+            }
+            Candidate {
+                id,
+                core_friends_by_class: raw[&id],
+                score: best_score.max(0.0),
+                best_class: best,
+            }
+        })
+        .collect();
+    sort_ranked(&mut candidates);
+    Ok(candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_crawler::{Effort, ScrapedProfile};
+    use hsp_graph::SchoolId;
+
+    struct Stub {
+        walls: HashMap<UserId, Vec<UserId>>,
+    }
+
+    impl OsnAccess for Stub {
+        fn collect_seeds(&mut self, _: SchoolId) -> Result<Vec<UserId>, CrawlError> {
+            Ok(vec![])
+        }
+        fn profile(&mut self, uid: UserId) -> Result<ScrapedProfile, CrawlError> {
+            Ok(ScrapedProfile {
+                wall_posters: self.walls.get(&uid).cloned().unwrap_or_default(),
+                ..Default::default()
+            })
+        }
+        fn friends(&mut self, _: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
+            Ok(None)
+        }
+        fn effort(&self) -> Effort {
+            Effort::default()
+        }
+    }
+
+    #[test]
+    fn wall_posters_outrank_silent_friends() {
+        let config = AttackConfig::new(SchoolId(0), 2012, 100);
+        // One core (class of 2014) with two friends; u10 posts on the
+        // core's wall, u11 does not.
+        let core = vec![CoreUser {
+            id: UserId(1),
+            grad_year: 2014,
+            friends: vec![UserId(10), UserId(11)],
+        }];
+        let mut stub = Stub { walls: [(UserId(1), vec![UserId(10)])].into() };
+        let ranked = rank_candidates_weighted(
+            &mut stub,
+            &config,
+            &core,
+            &InteractionWeights::default(),
+        )
+        .unwrap();
+        assert_eq!(ranked[0].id, UserId(10));
+        assert!(ranked[0].score > ranked[1].score);
+        // Raw friendship counts are preserved for diagnostics.
+        assert_eq!(ranked[0].core_friends_by_class, ranked[1].core_friends_by_class);
+    }
+
+    #[test]
+    fn zero_bonus_reduces_to_plain_ranking() {
+        let config = AttackConfig::new(SchoolId(0), 2012, 100);
+        let core = vec![
+            CoreUser { id: UserId(1), grad_year: 2014, friends: vec![UserId(10), UserId(11)] },
+            CoreUser { id: UserId(2), grad_year: 2014, friends: vec![UserId(10)] },
+        ];
+        let mut stub = Stub { walls: [(UserId(1), vec![UserId(11)])].into() };
+        let weighted = rank_candidates_weighted(
+            &mut stub,
+            &config,
+            &core,
+            &InteractionWeights { wall_post_bonus: 0.0 },
+        )
+        .unwrap();
+        let plain = crate::methodology::rank_candidates(&config, &core);
+        let key = |v: &[Candidate]| v.iter().map(|c| (c.id, c.score.to_bits())).collect::<Vec<_>>();
+        assert_eq!(key(&weighted), key(&plain));
+    }
+}

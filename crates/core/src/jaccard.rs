@@ -1,0 +1,157 @@
+//! Hidden-friendship inference between registered minors (§6.1).
+//!
+//! Reverse lookup cannot see a friendship between two users whose lists
+//! are both hidden. The paper proposes inferring such links from the
+//! Jaccard index of the two users' *recovered* friend lists: classmates
+//! who are friends share many mutual (recovered) friends.
+
+use crate::reverse_lookup::RecoveredFriends;
+use hsp_graph::{jaccard_index, UserId};
+use serde::{Deserialize, Serialize};
+
+/// An inferred hidden link with its evidence score.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InferredLink {
+    pub a: UserId,
+    pub b: UserId,
+    pub jaccard: f64,
+}
+
+/// Compute the Jaccard index for every pair of hidden-list users and
+/// return the pairs scoring at least `threshold`, sorted by descending
+/// score.
+pub fn infer_hidden_links(rec: &RecoveredFriends, threshold: f64) -> Vec<InferredLink> {
+    let users: Vec<UserId> = rec.recovered.keys().copied().collect();
+    let mut out = Vec::new();
+    for i in 0..users.len() {
+        for j in (i + 1)..users.len() {
+            let (a, b) = (users[i], users[j]);
+            let score = jaccard_index(&rec.recovered[&a], &rec.recovered[&b]);
+            if score >= threshold {
+                out.push(InferredLink { a, b, jaccard: score });
+            }
+        }
+    }
+    out.sort_by(|x, y| {
+        y.jaccard
+            .partial_cmp(&x.jaccard)
+            .expect("finite")
+            .then((x.a, x.b).cmp(&(y.a, y.b)))
+    });
+    out
+}
+
+/// Precision/recall of inferred links against ground-truth friendship.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkInferenceEval {
+    pub threshold: f64,
+    pub predicted: usize,
+    pub true_positives: usize,
+    /// Ground-truth hidden links among the evaluated users.
+    pub actual_links: usize,
+    pub precision: f64,
+    pub recall: f64,
+}
+
+/// Evaluate inferred links given a ground-truth `are_friends` oracle and
+/// the set of hidden users (for counting actual links).
+pub fn evaluate_links(
+    rec: &RecoveredFriends,
+    threshold: f64,
+    are_friends: impl Fn(UserId, UserId) -> bool,
+) -> LinkInferenceEval {
+    let users: Vec<UserId> = rec.recovered.keys().copied().collect();
+    let mut actual_links = 0;
+    for i in 0..users.len() {
+        for j in (i + 1)..users.len() {
+            if are_friends(users[i], users[j]) {
+                actual_links += 1;
+            }
+        }
+    }
+    let predicted_links = infer_hidden_links(rec, threshold);
+    let true_positives = predicted_links
+        .iter()
+        .filter(|l| are_friends(l.a, l.b))
+        .count();
+    let predicted = predicted_links.len();
+    LinkInferenceEval {
+        threshold,
+        predicted,
+        true_positives,
+        actual_links,
+        precision: if predicted == 0 {
+            0.0
+        } else {
+            true_positives as f64 / predicted as f64
+        },
+        recall: if actual_links == 0 {
+            0.0
+        } else {
+            true_positives as f64 / actual_links as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn rec_with(lists: &[(u64, &[u64])]) -> RecoveredFriends {
+        let recovered: BTreeMap<UserId, Vec<UserId>> = lists
+            .iter()
+            .map(|&(u, fs)| (UserId(u), fs.iter().map(|&f| UserId(f)).collect()))
+            .collect();
+        RecoveredFriends { direct: BTreeMap::new(), recovered }
+    }
+
+    #[test]
+    fn high_overlap_pairs_rank_first() {
+        let rec = rec_with(&[
+            (1, &[10, 11, 12, 13]),
+            (2, &[10, 11, 12, 14]),
+            (3, &[20, 21]),
+        ]);
+        let links = infer_hidden_links(&rec, 0.0);
+        assert_eq!(links[0].a, UserId(1));
+        assert_eq!(links[0].b, UserId(2));
+        assert!((links[0].jaccard - 3.0 / 5.0).abs() < 1e-12);
+        // Disjoint pairs score zero but still appear at threshold 0.
+        assert_eq!(links.len(), 3);
+    }
+
+    #[test]
+    fn threshold_prunes() {
+        let rec = rec_with(&[(1, &[10, 11]), (2, &[10, 11]), (3, &[99])]);
+        let links = infer_hidden_links(&rec, 0.5);
+        assert_eq!(links.len(), 1);
+        assert_eq!((links[0].a, links[0].b), (UserId(1), UserId(2)));
+    }
+
+    #[test]
+    fn precision_recall_against_oracle() {
+        let rec = rec_with(&[
+            (1, &[10, 11, 12]),
+            (2, &[10, 11, 12]), // friends with 1
+            (3, &[50, 51]),     // friends with nobody
+        ]);
+        let eval = evaluate_links(&rec, 0.5, |a, b| {
+            (a, b) == (UserId(1), UserId(2)) || (a, b) == (UserId(2), UserId(1))
+        });
+        assert_eq!(eval.predicted, 1);
+        assert_eq!(eval.true_positives, 1);
+        assert_eq!(eval.actual_links, 1);
+        assert_eq!(eval.precision, 1.0);
+        assert_eq!(eval.recall, 1.0);
+    }
+
+    #[test]
+    fn zero_cases() {
+        let rec = rec_with(&[]);
+        let eval = evaluate_links(&rec, 0.1, |_, _| false);
+        assert_eq!(eval.predicted, 0);
+        assert_eq!(eval.precision, 0.0);
+        assert_eq!(eval.recall, 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # hsp-core — the high-school profiling methodology
+//!
+//! The paper's primary contribution (§4–§8), implemented against the
+//! crawler's [`hsp_crawler::OsnAccess`] interface so it only ever sees
+//! stranger-visible pages:
+//!
+//! - [`methodology`]: the basic attack — seeds from the search portal,
+//!   the core set of lying minors, candidate generation from core
+//!   friend lists, reverse-lookup scoring `x(u) = max_i |G_i(u)|/|C_i|`
+//!   and graduation-year classification (§4.1);
+//! - [`enhanced`]: the §4.3 core-promotion pass (ε = 1) and the §4.4
+//!   filter rules;
+//! - [`evaluation`]: full-ground-truth scoring (§5.4) and the §5.5
+//!   limited-ground-truth estimators;
+//! - [`reverse_lookup`]: reconstructing hidden friend lists (§6.1);
+//! - [`jaccard`]: hidden-link inference between registered minors;
+//! - [`profile_ext`]: the Table 5 audit and constructed profiles (§6);
+//! - [`coppaless`]: the §7 counterfactual heuristic and comparison;
+//! - [`report`]: sweep-series containers for the figures.
+
+pub mod circles_attack;
+pub mod coppaless;
+pub mod enhanced;
+pub mod evaluation;
+pub mod interaction_rank;
+pub mod jaccard;
+pub mod methodology;
+pub mod profile_ext;
+pub mod report;
+pub mod reverse_lookup;
+pub mod types;
+
+pub use circles_attack::{collect_core_circles, run_basic_circles};
+pub use coppaless::{
+    run_coppaless_heuristic, score_minimal_set, CoppalessOptions, CoppalessRun,
+    MinimalProfilePoint,
+};
+pub use enhanced::{filter_profile, run_enhanced, EnhanceOptions, Enhanced, FilterRule};
+pub use evaluation::{evaluate, partial_estimate, EvalPoint, GroundTruth, PartialEstimate};
+pub use methodology::{collect_core, rank_candidates, run_basic, score_candidate};
+pub use interaction_rank::{rank_candidates_weighted, InteractionWeights};
+pub use jaccard::{evaluate_links, infer_hidden_links, InferredLink, LinkInferenceEval};
+pub use profile_ext::{audit_adult_registered, construct_profile, AdultRegisteredStats, ConstructedProfile};
+pub use report::{Series, SweepPoint};
+pub use reverse_lookup::{recover_friend_lists, RecoveredFriends};
+pub use types::{AttackConfig, Candidate, CoreUser, Discovery};

@@ -1,0 +1,223 @@
+//! Quantifying profile extension (§6, Table 5).
+//!
+//! For the discovered students the attacker audits how much beyond the
+//! minimal profile is exposed — separately for registered minors
+//! (everything comes from inference + reverse lookup) and for minors
+//! registered as adults (whose pages can expose photos, relationship
+//! info, a Message button, ...).
+
+use hsp_crawler::{CrawlError, OsnAccess, ScrapedProfile};
+use hsp_graph::UserId;
+use serde::{Deserialize, Serialize};
+
+/// The Table 5 aggregate over a set of (suspected) minors registered as
+/// adults.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdultRegisteredStats {
+    pub n: usize,
+    /// % with entire friend list public.
+    pub pct_friend_list_public: f64,
+    /// Average friend count among those with public lists.
+    pub avg_friends_public: f64,
+    /// % with the Message link available to a stranger.
+    pub pct_message_link: f64,
+    /// % exposing relationship info.
+    pub pct_relationship: f64,
+    /// % exposing "interested in".
+    pub pct_interested_in: f64,
+    /// % exposing a full birthday.
+    pub pct_birthday: f64,
+    /// Average number of stranger-visible shared photos.
+    pub avg_photos: f64,
+}
+
+/// Audit scraped profiles (and friend-list sizes) of a set of users the
+/// attack classified as students and whose pages are non-minimal (hence
+/// registered adults).
+pub fn audit_adult_registered(
+    access: &mut dyn OsnAccess,
+    users: &[UserId],
+) -> Result<AdultRegisteredStats, CrawlError> {
+    let mut stats = AdultRegisteredStats::default();
+    let mut fl_public = 0usize;
+    let mut fl_total_friends = 0usize;
+    let mut message = 0usize;
+    let mut relationship = 0usize;
+    let mut interested = 0usize;
+    let mut birthday = 0usize;
+    let mut photos_total: u64 = 0;
+    for &u in users {
+        let p: ScrapedProfile = access.profile(u)?;
+        stats.n += 1;
+        if p.friend_list_visible {
+            fl_public += 1;
+            if let Some(friends) = access.friends(u)? {
+                fl_total_friends += friends.len();
+            }
+        }
+        if p.message_button {
+            message += 1;
+        }
+        if p.relationship {
+            relationship += 1;
+        }
+        if p.interested_in {
+            interested += 1;
+        }
+        if p.birthday.is_some() {
+            birthday += 1;
+        }
+        photos_total += u64::from(p.photos_shared.unwrap_or(0));
+    }
+    if stats.n > 0 {
+        let n = stats.n as f64;
+        stats.pct_friend_list_public = 100.0 * fl_public as f64 / n;
+        stats.avg_friends_public = if fl_public > 0 {
+            fl_total_friends as f64 / fl_public as f64
+        } else {
+            0.0
+        };
+        stats.pct_message_link = 100.0 * message as f64 / n;
+        stats.pct_relationship = 100.0 * relationship as f64 / n;
+        stats.pct_interested_in = 100.0 * interested as f64 / n;
+        stats.pct_birthday = 100.0 * birthday as f64 / n;
+        stats.avg_photos = photos_total as f64 / n;
+    }
+    Ok(stats)
+}
+
+/// What the attack reconstructs for a single student (§6's narrative
+/// "profile" artifact): the deliverable a data broker would buy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConstructedProfile {
+    pub user: UserId,
+    pub name: String,
+    pub gender: Option<String>,
+    /// Inferred current high school (the target).
+    pub high_school: hsp_graph::SchoolId,
+    /// Inferred graduation year.
+    pub grad_year: i32,
+    /// Birth year estimated from the graduation year (§4.1: "the third
+    /// party can also estimate birth year from the graduation year").
+    pub est_birth_year: i32,
+    /// Current city inferred from the school's city.
+    pub current_city: hsp_graph::CityId,
+    /// School friends known directly or via reverse lookup.
+    pub known_friends: Vec<UserId>,
+    /// Extra stranger-visible fields (non-minimal pages only).
+    pub photos_shared: Option<u32>,
+    pub relationship_visible: bool,
+    pub message_reachable: bool,
+}
+
+/// Assemble the constructed profile for one discovered student.
+pub fn construct_profile(
+    profile: &ScrapedProfile,
+    user: UserId,
+    high_school: hsp_graph::SchoolId,
+    school_city: hsp_graph::CityId,
+    grad_year: i32,
+    known_friends: Vec<UserId>,
+) -> ConstructedProfile {
+    ConstructedProfile {
+        user,
+        name: profile.name.clone(),
+        gender: profile.gender.clone(),
+        high_school,
+        grad_year,
+        est_birth_year: grad_year - 18,
+        current_city: school_city,
+        known_friends,
+        photos_shared: profile.photos_shared,
+        relationship_visible: profile.relationship,
+        message_reachable: profile.message_button,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_crawler::Effort;
+    use std::collections::HashMap;
+
+    struct Stub {
+        profiles: HashMap<UserId, ScrapedProfile>,
+        friends: HashMap<UserId, Option<Vec<UserId>>>,
+    }
+
+    impl OsnAccess for Stub {
+        fn collect_seeds(
+            &mut self,
+            _: hsp_graph::SchoolId,
+        ) -> Result<Vec<UserId>, CrawlError> {
+            Ok(vec![])
+        }
+        fn profile(&mut self, uid: UserId) -> Result<ScrapedProfile, CrawlError> {
+            Ok(self.profiles.get(&uid).cloned().unwrap_or_default())
+        }
+        fn friends(&mut self, uid: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
+            Ok(self.friends.get(&uid).cloned().unwrap_or(None))
+        }
+        fn effort(&self) -> Effort {
+            Effort::default()
+        }
+    }
+
+    #[test]
+    fn audit_aggregates_match_hand_counts() {
+        let mut profiles = HashMap::new();
+        let mut friends = HashMap::new();
+        // u1: public list of 3 friends, message button, 10 photos.
+        profiles.insert(
+            UserId(1),
+            ScrapedProfile {
+                friend_list_visible: true,
+                message_button: true,
+                photos_shared: Some(10),
+                relationship: true,
+                ..Default::default()
+            },
+        );
+        friends.insert(UserId(1), Some(vec![UserId(7), UserId(8), UserId(9)]));
+        // u2: hidden list, no message, 0 photos, birthday visible.
+        profiles.insert(
+            UserId(2),
+            ScrapedProfile {
+                birthday: Some(hsp_graph::Date::ymd(1994, 1, 1)),
+                ..Default::default()
+            },
+        );
+        let mut stub = Stub { profiles, friends };
+        let stats = audit_adult_registered(&mut stub, &[UserId(1), UserId(2)]).unwrap();
+        assert_eq!(stats.n, 2);
+        assert_eq!(stats.pct_friend_list_public, 50.0);
+        assert_eq!(stats.avg_friends_public, 3.0);
+        assert_eq!(stats.pct_message_link, 50.0);
+        assert_eq!(stats.pct_relationship, 50.0);
+        assert_eq!(stats.pct_birthday, 50.0);
+        assert_eq!(stats.avg_photos, 5.0);
+    }
+
+    #[test]
+    fn audit_of_empty_set_is_zeroed() {
+        let mut stub = Stub { profiles: HashMap::new(), friends: HashMap::new() };
+        let stats = audit_adult_registered(&mut stub, &[]).unwrap();
+        assert_eq!(stats, AdultRegisteredStats::default());
+    }
+
+    #[test]
+    fn constructed_profile_estimates_birth_year() {
+        let scraped = ScrapedProfile { name: "Ava K".into(), ..Default::default() };
+        let p = construct_profile(
+            &scraped,
+            UserId(4),
+            hsp_graph::SchoolId(0),
+            hsp_graph::CityId(0),
+            2014,
+            vec![UserId(9)],
+        );
+        assert_eq!(p.est_birth_year, 1996);
+        assert_eq!(p.known_friends, vec![UserId(9)]);
+        assert!(!p.message_reachable);
+    }
+}

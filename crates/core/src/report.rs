@@ -1,0 +1,55 @@
+//! Result-series containers shared by the experiments and bench crates.
+
+use serde::{Deserialize, Serialize};
+
+/// One (t, %found, %FP) point of a Figure 1/2/4-style sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    pub t: usize,
+    pub pct_found: f64,
+    pub pct_false_positives: f64,
+    pub found: usize,
+    pub false_positives: usize,
+    pub correct_year: usize,
+}
+
+/// A labelled series of sweep points.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<SweepPoint>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// The point at or nearest below a given t.
+    pub fn at(&self, t: usize) -> Option<&SweepPoint> {
+        self.points.iter().rev().find(|p| p.t <= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_finds_nearest_below() {
+        let mut s = Series::new("x");
+        for t in [200, 300, 400] {
+            s.points.push(SweepPoint {
+                t,
+                pct_found: t as f64,
+                pct_false_positives: 0.0,
+                found: t,
+                false_positives: 0,
+                correct_year: 0,
+            });
+        }
+        assert_eq!(s.at(300).unwrap().t, 300);
+        assert_eq!(s.at(350).unwrap().t, 300);
+        assert!(s.at(100).is_none());
+    }
+}

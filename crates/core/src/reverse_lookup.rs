@@ -1,0 +1,170 @@
+//! Reverse lookup as a profile-extension tool (§6.1).
+//!
+//! After discovery, the attacker downloads the friend lists of every
+//! guessed student whose list is public. A student whose own list is
+//! hidden (every registered minor) still *appears in* the public lists
+//! of classmates — so a partial friend list can be reconstructed for
+//! them. This is exactly what §8's countermeasure later disables.
+
+use hsp_crawler::{CrawlError, OsnAccess};
+use hsp_graph::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// Reconstructed friendship evidence for the guessed student set.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RecoveredFriends {
+    /// Users whose friend lists were directly downloadable, with their
+    /// full lists.
+    pub direct: BTreeMap<UserId, Vec<UserId>>,
+    /// Users with hidden lists: the friends recovered via reverse
+    /// lookup (sorted). Keys are all guessed students with hidden lists.
+    pub recovered: BTreeMap<UserId, Vec<UserId>>,
+}
+
+impl RecoveredFriends {
+    /// The friend list the attacker ends up with for `u` (direct if
+    /// available, otherwise recovered).
+    pub fn friends_of(&self, u: UserId) -> &[UserId] {
+        self.direct
+            .get(&u)
+            .or_else(|| self.recovered.get(&u))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Average recovered-list length over the hidden-list users (§6.1
+    /// reports 38 / 141 / 129 for HS1–HS3's registered minors).
+    pub fn avg_recovered_len(&self) -> f64 {
+        if self.recovered.is_empty() {
+            return 0.0;
+        }
+        self.recovered.values().map(Vec::len).sum::<usize>() as f64
+            / self.recovered.len() as f64
+    }
+}
+
+/// Download what is downloadable and reverse-look-up the rest.
+///
+/// For every `u ∈ guessed` with a hidden list, the recovered list is
+/// `{v ∈ guessed : F(v) public ∧ u ∈ F(v)}`.
+pub fn recover_friend_lists(
+    access: &mut dyn OsnAccess,
+    guessed: &[UserId],
+) -> Result<RecoveredFriends, CrawlError> {
+    let guessed_set: HashSet<UserId> = guessed.iter().copied().collect();
+    let mut out = RecoveredFriends::default();
+    let mut hidden: Vec<UserId> = Vec::new();
+    for &u in guessed {
+        match access.friends(u)? {
+            Some(list) => {
+                out.direct.insert(u, list);
+            }
+            None => hidden.push(u),
+        }
+    }
+    let hidden_set: HashSet<UserId> = hidden.iter().copied().collect();
+    let mut recovered: BTreeMap<UserId, Vec<UserId>> =
+        hidden.iter().map(|&u| (u, Vec::new())).collect();
+    for (&owner, list) in &out.direct {
+        if !guessed_set.contains(&owner) {
+            continue;
+        }
+        for &friend in list {
+            if hidden_set.contains(&friend) {
+                recovered.get_mut(&friend).expect("initialized").push(owner);
+            }
+        }
+    }
+    for list in recovered.values_mut() {
+        list.sort_unstable();
+        list.dedup();
+    }
+    out.recovered = recovered;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_crawler::{Effort, OsnAccess, ScrapedProfile};
+    use std::collections::HashMap;
+
+    /// A stub OSN: fixed friend lists, some hidden.
+    struct Stub {
+        lists: HashMap<UserId, Option<Vec<UserId>>>,
+    }
+
+    impl OsnAccess for Stub {
+        fn collect_seeds(
+            &mut self,
+            _: hsp_graph::SchoolId,
+        ) -> Result<Vec<UserId>, CrawlError> {
+            Ok(vec![])
+        }
+        fn profile(&mut self, _: UserId) -> Result<ScrapedProfile, CrawlError> {
+            Ok(ScrapedProfile::default())
+        }
+        fn friends(&mut self, uid: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
+            Ok(self.lists.get(&uid).cloned().unwrap_or(None))
+        }
+        fn effort(&self) -> Effort {
+            Effort::default()
+        }
+    }
+
+    #[test]
+    fn hidden_lists_are_reconstructed_from_public_ones() {
+        // u1, u2 public; u3 hidden but friended by both.
+        let mut lists = HashMap::new();
+        lists.insert(UserId(1), Some(vec![UserId(2), UserId(3)]));
+        lists.insert(UserId(2), Some(vec![UserId(1), UserId(3)]));
+        lists.insert(UserId(3), None);
+        let mut stub = Stub { lists };
+        let guessed = vec![UserId(1), UserId(2), UserId(3)];
+        let rec = recover_friend_lists(&mut stub, &guessed).unwrap();
+        assert_eq!(rec.direct.len(), 2);
+        assert_eq!(rec.recovered[&UserId(3)], vec![UserId(1), UserId(2)]);
+        assert_eq!(rec.friends_of(UserId(3)), &[UserId(1), UserId(2)]);
+        assert_eq!(rec.friends_of(UserId(1)), &[UserId(2), UserId(3)]);
+        assert_eq!(rec.avg_recovered_len(), 2.0);
+    }
+
+    #[test]
+    fn recovery_is_limited_to_guessed_set() {
+        // u9 friends u3 but is not in the guessed set: must not appear.
+        let mut lists = HashMap::new();
+        lists.insert(UserId(1), Some(vec![UserId(3)]));
+        lists.insert(UserId(3), None);
+        lists.insert(UserId(9), Some(vec![UserId(3)]));
+        let mut stub = Stub { lists };
+        let rec = recover_friend_lists(&mut stub, &[UserId(1), UserId(3)]).unwrap();
+        assert_eq!(rec.recovered[&UserId(3)], vec![UserId(1)]);
+    }
+
+    #[test]
+    fn two_hidden_users_cannot_see_each_other() {
+        // The §6.1 caveat: a friendship between two hidden-list users is
+        // invisible to reverse lookup.
+        let mut lists = HashMap::new();
+        lists.insert(UserId(1), None);
+        lists.insert(UserId(2), None);
+        lists.insert(UserId(3), Some(vec![UserId(1), UserId(2)]));
+        let mut stub = Stub { lists };
+        let rec =
+            recover_friend_lists(&mut stub, &[UserId(1), UserId(2), UserId(3)]).unwrap();
+        assert_eq!(rec.recovered[&UserId(1)], vec![UserId(3)]);
+        assert_eq!(rec.recovered[&UserId(2)], vec![UserId(3)]);
+        // u1–u2 friendship (if any) is absent — that is the Jaccard
+        // module's job to infer.
+    }
+
+    #[test]
+    fn empty_guessed_set() {
+        let mut stub = Stub { lists: HashMap::new() };
+        let rec = recover_friend_lists(&mut stub, &[]).unwrap();
+        assert!(rec.direct.is_empty());
+        assert!(rec.recovered.is_empty());
+        assert_eq!(rec.avg_recovered_len(), 0.0);
+    }
+}

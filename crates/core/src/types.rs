@@ -1,0 +1,186 @@
+//! Shared types of the profiling methodology.
+
+use hsp_graph::{SchoolId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Attack parameters the third party chooses (paper §4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// The target school's OSN id (found via the education directory).
+    pub school: SchoolId,
+    /// Graduation year of the current senior class — derivable from the
+    /// calendar, no inside knowledge needed.
+    pub senior_class_year: i32,
+    /// Public enrolment estimate ("typically found from Wikipedia",
+    /// §4.1 step 6) used to pick thresholds.
+    pub school_size_estimate: u32,
+    /// The enhanced methodology's ε: profiles of the first `t(1+ε)`
+    /// ranked candidates are downloaded. The paper uses ε = 1.
+    pub epsilon: f64,
+}
+
+impl AttackConfig {
+    pub fn new(school: SchoolId, senior_class_year: i32, school_size_estimate: u32) -> Self {
+        AttackConfig { school, senior_class_year, school_size_estimate, epsilon: 1.0 }
+    }
+
+    /// The four graduating classes currently enrolled, first-years first
+    /// (index 0 ↔ `C_1` in the paper's notation ... index 3 ↔ `C_4`).
+    pub fn class_years(&self) -> [i32; 4] {
+        [
+            self.senior_class_year + 3,
+            self.senior_class_year + 2,
+            self.senior_class_year + 1,
+            self.senior_class_year,
+        ]
+    }
+
+    /// Index (0..4) of a graduation year among the enrolled classes.
+    pub fn class_index(&self, grad_year: i32) -> Option<usize> {
+        self.class_years().iter().position(|&y| y == grad_year)
+    }
+}
+
+/// A core user: a seed who publicly claims current attendance and whose
+/// friend list is stranger-visible (the set `C`, §4.1 step 2).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CoreUser {
+    pub id: UserId,
+    pub grad_year: i32,
+    /// Their (stranger-visible) friend list, as crawled.
+    pub friends: Vec<UserId>,
+}
+
+/// A ranked candidate with its reverse-lookup evidence.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Candidate {
+    pub id: UserId,
+    /// `|G_i(u)|` per class index.
+    pub core_friends_by_class: [u32; 4],
+    /// The paper's score `x(u) = max_i |G_i(u)| / |C_i|` (eq. 2).
+    pub score: f64,
+    /// Class index attaining the maximum (the inferred graduation year).
+    pub best_class: usize,
+}
+
+impl Candidate {
+    /// The inferred graduation year under `config`.
+    pub fn inferred_grad_year(&self, config: &AttackConfig) -> i32 {
+        config.class_years()[self.best_class]
+    }
+}
+
+/// Everything one discovery run produced; the experiments crate reads
+/// these fields to print the paper's tables.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Discovery {
+    pub config: AttackConfig,
+    /// `S`: all users returned by the search portal.
+    pub seeds: Vec<UserId>,
+    /// `C'`: seeds publicly claiming current attendance.
+    pub claiming: Vec<UserId>,
+    /// `C`: claiming seeds with public friend lists, per class.
+    pub core: Vec<CoreUser>,
+    /// Candidates `K`, ranked by descending score (ties broken by id).
+    pub ranked: Vec<Candidate>,
+}
+
+impl Discovery {
+    /// `|C_i|` per class index.
+    pub fn core_sizes(&self) -> [u32; 4] {
+        let mut sizes = [0u32; 4];
+        for c in &self.core {
+            if let Some(i) = self.config.class_index(c.grad_year) {
+                sizes[i] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// The guessed student set `H = T ∪ C'` for threshold `t` (§4.1
+    /// step 6): the top-`t` ranked candidates plus all claiming seeds.
+    pub fn guessed_students(&self, t: usize) -> Vec<UserId> {
+        let mut h: Vec<UserId> = self.ranked.iter().take(t).map(|c| c.id).collect();
+        h.extend(&self.claiming);
+        h.sort_unstable();
+        h.dedup();
+        h
+    }
+
+    /// Inferred graduation year of a user in `H`: claiming users keep
+    /// their own public claim (tracked in core) — otherwise the
+    /// reverse-lookup classification.
+    pub fn inferred_year(&self, u: UserId) -> Option<i32> {
+        if let Some(core) = self.core.iter().find(|c| c.id == u) {
+            return Some(core.grad_year);
+        }
+        self.ranked
+            .iter()
+            .find(|c| c.id == u)
+            .map(|c| c.inferred_grad_year(&self.config))
+    }
+
+    /// Number of candidates (|K|) — Table 2's "# of candidates".
+    pub fn candidate_count(&self) -> usize {
+        self.ranked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_years_ordering_matches_paper_notation() {
+        let cfg = AttackConfig::new(SchoolId(0), 2012, 360);
+        // C_1 = first years = class of 2015 ... C_4 = seniors = 2012.
+        assert_eq!(cfg.class_years(), [2015, 2014, 2013, 2012]);
+        assert_eq!(cfg.class_index(2015), Some(0));
+        assert_eq!(cfg.class_index(2012), Some(3));
+        assert_eq!(cfg.class_index(2011), None);
+    }
+
+    #[test]
+    fn guessed_students_unions_core_claimers() {
+        let cfg = AttackConfig::new(SchoolId(0), 2012, 100);
+        let discovery = Discovery {
+            config: cfg,
+            seeds: vec![UserId(1), UserId(2)],
+            claiming: vec![UserId(2)],
+            core: vec![CoreUser { id: UserId(2), grad_year: 2013, friends: vec![] }],
+            ranked: vec![
+                Candidate {
+                    id: UserId(5),
+                    core_friends_by_class: [0, 0, 1, 0],
+                    score: 1.0,
+                    best_class: 2,
+                },
+                Candidate {
+                    id: UserId(2),
+                    core_friends_by_class: [0, 0, 1, 0],
+                    score: 0.5,
+                    best_class: 2,
+                },
+                Candidate {
+                    id: UserId(9),
+                    core_friends_by_class: [1, 0, 0, 0],
+                    score: 0.2,
+                    best_class: 0,
+                },
+            ],
+        };
+        // t=1: top candidate u5 plus claimer u2.
+        assert_eq!(discovery.guessed_students(1), vec![UserId(2), UserId(5)]);
+        // t=3 dedups the claimer who also ranked.
+        assert_eq!(
+            discovery.guessed_students(3),
+            vec![UserId(2), UserId(5), UserId(9)]
+        );
+        // Claimers keep their own stated year; ranked users get the
+        // reverse-lookup year.
+        assert_eq!(discovery.inferred_year(UserId(2)), Some(2013));
+        assert_eq!(discovery.inferred_year(UserId(9)), Some(2015));
+        assert_eq!(discovery.inferred_year(UserId(77)), None);
+        assert_eq!(discovery.core_sizes(), [0, 0, 1, 0]);
+    }
+}

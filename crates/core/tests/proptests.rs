@@ -1,0 +1,173 @@
+//! Property tests for the inference core.
+
+use hsp_core::{
+    evaluate, partial_estimate, rank_candidates, score_candidate, AttackConfig, CoreUser,
+    GroundTruth,
+};
+use hsp_graph::{SchoolId, UserId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn cfg() -> AttackConfig {
+    AttackConfig::new(SchoolId(0), 2012, 360)
+}
+
+prop_compose! {
+    fn arb_core()(
+        grad_offset in 0i32..4,
+        id in 1000u64..2000,
+        friends in prop::collection::btree_set(0u64..300, 0..40),
+    ) -> CoreUser {
+        CoreUser {
+            id: UserId(id),
+            grad_year: 2012 + grad_offset,
+            friends: friends.into_iter().map(UserId).collect(),
+        }
+    }
+}
+
+proptest! {
+    /// Scores are in [0, 1]; the chosen class attains the maximum ratio.
+    #[test]
+    fn scores_are_bounded_and_argmax(
+        by_class in prop::collection::vec(0u32..10, 4),
+        sizes in prop::collection::vec(1u32..12, 4),
+    ) {
+        let by_class: [u32; 4] = by_class.try_into().unwrap();
+        let mut sizes: [u32; 4] = sizes.try_into().unwrap();
+        // Counts can't exceed the class size (G_i(u) ⊆ C_i).
+        for i in 0..4 {
+            sizes[i] = sizes[i].max(by_class[i]).max(1);
+        }
+        let c = score_candidate(UserId(1), by_class, sizes);
+        prop_assert!((0.0..=1.0).contains(&c.score));
+        for i in 0..4 {
+            let frac = by_class[i] as f64 / sizes[i] as f64;
+            prop_assert!(frac <= c.score + 1e-12, "class {i} beats chosen class");
+        }
+        let chosen = by_class[c.best_class] as f64 / sizes[c.best_class] as f64;
+        prop_assert!((chosen - c.score).abs() < 1e-12);
+    }
+
+    /// Ranking output is invariant under permutation of the core list,
+    /// covers exactly the union of core friends, and every per-class
+    /// count is consistent with the cores' lists.
+    #[test]
+    fn ranking_is_core_order_invariant_and_complete(
+        mut cores in prop::collection::vec(arb_core(), 1..8),
+    ) {
+        let config = cfg();
+        let ranked1 = rank_candidates(&config, &cores);
+        cores.reverse();
+        let ranked2 = rank_candidates(&config, &cores);
+        let key = |r: &[hsp_core::Candidate]| {
+            r.iter().map(|c| (c.id, c.core_friends_by_class)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(key(&ranked1), key(&ranked2));
+
+        // Coverage: candidates == union of friends.
+        let mut expected: Vec<UserId> =
+            cores.iter().flat_map(|c| c.friends.iter().copied()).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let mut got: Vec<UserId> = ranked1.iter().map(|c| c.id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+
+        // Per-class counts match a direct recount.
+        let mut recount: HashMap<UserId, [u32; 4]> = HashMap::new();
+        for core in &cores {
+            let class = config.class_index(core.grad_year).unwrap();
+            for &f in &core.friends {
+                recount.entry(f).or_default()[class] += 1;
+            }
+        }
+        for c in &ranked1 {
+            prop_assert_eq!(&c.core_friends_by_class, &recount[&c.id]);
+        }
+        // Scores descend.
+        prop_assert!(ranked1.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    /// evaluate: found + false positives == |guessed|; correct_year <= found.
+    #[test]
+    fn evaluation_counts_partition(
+        guessed in prop::collection::btree_set(0u64..100, 0..50),
+        students in prop::collection::btree_set(0u64..100, 0..50),
+        year_ok in any::<bool>(),
+    ) {
+        let students: Vec<UserId> = students.into_iter().map(UserId).collect();
+        let years: HashMap<UserId, i32> = students.iter().map(|&u| (u, 2014)).collect();
+        let truth = GroundTruth::new(students, years);
+        let guessed: Vec<UserId> = guessed.into_iter().map(UserId).collect();
+        let point = evaluate(
+            7,
+            &guessed,
+            |_| Some(if year_ok { 2014 } else { 2013 }),
+            &truth,
+        );
+        prop_assert_eq!(point.found + point.false_positives, guessed.len());
+        prop_assert!(point.correct_year <= point.found);
+        if year_ok {
+            prop_assert_eq!(point.correct_year, point.found);
+        } else {
+            prop_assert_eq!(point.correct_year, 0);
+        }
+    }
+
+    /// §5.5 estimator identity: when the false-positive estimate is not
+    /// clamped at zero, est_found + est_fp == core + t.
+    #[test]
+    fn partial_estimator_identity(
+        t in 1usize..3000,
+        z in 0usize..50,
+        n_test in 1usize..50,
+        core in 0usize..200,
+        extra in 1usize..2000,
+    ) {
+        let z = z.min(n_test);
+        let school = core + extra;
+        let e = partial_estimate(t, z, n_test, core, school);
+        prop_assert!(e.est_found >= core as f64 - 1e-9);
+        prop_assert!(e.est_found <= school as f64 + 1e-9);
+        let unclamped_fp = t as f64 - (e.est_found - core as f64);
+        if unclamped_fp >= 0.0 {
+            prop_assert!(
+                (e.est_found + e.est_false_positives - (core + t) as f64).abs() < 1e-6,
+                "identity violated: found {} fp {}",
+                e.est_found,
+                e.est_false_positives
+            );
+        } else {
+            prop_assert_eq!(e.est_false_positives, 0.0);
+        }
+    }
+
+    /// Guessed sets grow monotonically in t and always contain the
+    /// claiming users.
+    #[test]
+    fn guessed_students_monotone_in_t(
+        cores in prop::collection::vec(arb_core(), 1..6),
+        t1 in 0usize..50,
+        dt in 0usize..50,
+    ) {
+        let config = cfg();
+        let ranked = rank_candidates(&config, &cores);
+        let claiming: Vec<UserId> = cores.iter().map(|c| c.id).collect();
+        let d = hsp_core::Discovery {
+            config,
+            seeds: claiming.clone(),
+            claiming: claiming.clone(),
+            core: cores,
+            ranked,
+        };
+        let g1 = d.guessed_students(t1);
+        let g2 = d.guessed_students(t1 + dt);
+        for u in &g1 {
+            prop_assert!(g2.binary_search(u).is_ok(), "shrunk at larger t");
+        }
+        for c in &claiming {
+            prop_assert!(g1.binary_search(c).is_ok(), "claimer missing");
+        }
+    }
+}

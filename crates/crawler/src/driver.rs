@@ -1,0 +1,426 @@
+//! The crawler facade: multiple logged-in fake accounts, request
+//! accounting, politeness pacing, and caching.
+//!
+//! [`Crawler`] is generic over [`hsp_http::Exchange`], so the same
+//! attack code runs over real loopback TCP ([`hsp_http::Client`]) or
+//! in-process ([`hsp_http::DirectExchange`]).
+
+use crate::effort::Effort;
+use crate::scrape::{parse_listing, parse_profile, ScrapedProfile};
+use hsp_graph::{SchoolId, UserId};
+use hsp_http::{Exchange, HttpError, Request, Response, Status};
+use std::collections::HashMap;
+
+/// Data-access interface the profiling methodology (hsp-core) consumes.
+/// The real implementation is [`Crawler`]; tests may substitute stubs.
+pub trait OsnAccess {
+    /// Collect seeds for `school` using every account (paper §4.1 step 1).
+    fn collect_seeds(&mut self, school: SchoolId) -> Result<Vec<UserId>, CrawlError>;
+
+    /// Fetch (or return cached) public profile of `uid`.
+    fn profile(&mut self, uid: UserId) -> Result<ScrapedProfile, CrawlError>;
+
+    /// Fetch the full friend list of `uid`, paging through it; `None`
+    /// when the list is not visible to strangers.
+    fn friends(&mut self, uid: UserId) -> Result<Option<Vec<UserId>>, CrawlError>;
+
+    /// Accumulated measurement effort.
+    fn effort(&self) -> Effort;
+
+    /// Attempt to send a direct message (the §2 spear-phishing channel).
+    /// Returns whether the platform accepted delivery. Default: not
+    /// supported (stub accessors used in unit tests).
+    fn send_message(&mut self, uid: UserId, body: &str) -> Result<bool, CrawlError> {
+        let _ = (uid, body);
+        Ok(false)
+    }
+
+    /// Fetch a circles page-set (Google+, Appendix A): `incoming = false`
+    /// for "in your circles", `true` for "have you in circles". `None`
+    /// when not visible or the platform has no circles. Default: no
+    /// circles.
+    fn circles(&mut self, uid: UserId, incoming: bool) -> Result<Option<Vec<UserId>>, CrawlError> {
+        let _ = (uid, incoming);
+        Ok(None)
+    }
+}
+
+/// Crawl-level failures.
+#[derive(Debug)]
+pub enum CrawlError {
+    Http(HttpError),
+    /// The platform refused the request (suspension, auth loss, ...).
+    Denied(Status),
+    /// A page could not be interpreted.
+    BadPage(&'static str),
+}
+
+impl std::fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrawlError::Http(e) => write!(f, "http: {e}"),
+            CrawlError::Denied(s) => write!(f, "denied: {s}"),
+            CrawlError::BadPage(w) => write!(f, "bad page: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {}
+
+impl From<HttpError> for CrawlError {
+    fn from(e: HttpError) -> Self {
+        CrawlError::Http(e)
+    }
+}
+
+/// Politeness model: the paper's crawlers "implement\[ed\] sleeping
+/// functions" (§3.2). We advance a virtual clock instead of really
+/// sleeping, so experiments report the wall-clock a polite crawl would
+/// take without paying it.
+#[derive(Clone, Copy, Debug)]
+pub struct Politeness {
+    /// Virtual milliseconds between consecutive requests per account.
+    pub sleep_ms_between_requests: u64,
+}
+
+impl Default for Politeness {
+    fn default() -> Self {
+        Politeness { sleep_ms_between_requests: 1_500 }
+    }
+}
+
+/// One logged-in fake account.
+struct AccountSession<E: Exchange> {
+    exchange: E,
+    username: String,
+}
+
+/// The attacker's crawler.
+pub struct Crawler<E: Exchange> {
+    accounts: Vec<AccountSession<E>>,
+    effort: Effort,
+    politeness: Politeness,
+    virtual_elapsed_ms: u64,
+    profile_cache: HashMap<UserId, ScrapedProfile>,
+    friends_cache: HashMap<UserId, Option<Vec<UserId>>>,
+    circles_cache: HashMap<(UserId, bool), Option<Vec<UserId>>>,
+    /// Which account serves the next non-seed request (round-robin).
+    rr: usize,
+}
+
+impl<E: Exchange> Crawler<E> {
+    /// Create the crawler: signs up and logs in one fake account per
+    /// exchange. `label` distinguishes account batches (e.g. the paper's
+    /// second seed crawl for HS2/HS3 evaluation).
+    pub fn new(exchanges: Vec<E>, label: &str) -> Result<Self, CrawlError> {
+        Self::with_politeness(exchanges, label, Politeness::default())
+    }
+
+    pub fn with_politeness(
+        exchanges: Vec<E>,
+        label: &str,
+        politeness: Politeness,
+    ) -> Result<Self, CrawlError> {
+        let mut crawler = Crawler {
+            accounts: Vec::new(),
+            effort: Effort::default(),
+            politeness,
+            virtual_elapsed_ms: 0,
+            profile_cache: HashMap::new(),
+            friends_cache: HashMap::new(),
+            circles_cache: HashMap::new(),
+            rr: 0,
+        };
+        for (i, mut exchange) in exchanges.into_iter().enumerate() {
+            let username = format!("{label}-{i}");
+            let resp = exchange.exchange(Request::post_form(
+                "/signup",
+                &[("user", &username), ("pass", "hunter2")],
+            ))?;
+            crawler.effort.auth_requests += 1;
+            // An already-registered fake account is fine — reuse it by
+            // logging in (the paper's attacker kept accounts across
+            // crawls).
+            if !resp.status.is_success() && resp.status != Status::BAD_REQUEST {
+                return Err(CrawlError::Denied(resp.status));
+            }
+            let resp = exchange.exchange(Request::post_form(
+                "/login",
+                &[("user", &username), ("pass", "hunter2")],
+            ))?;
+            crawler.effort.auth_requests += 1;
+            if !resp.status.is_success() {
+                return Err(CrawlError::Denied(resp.status));
+            }
+            crawler.accounts.push(AccountSession { exchange, username });
+        }
+        if crawler.accounts.is_empty() {
+            return Err(CrawlError::BadPage("no accounts"));
+        }
+        Ok(crawler)
+    }
+
+    /// Number of fake accounts in use.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Account usernames (tests).
+    pub fn usernames(&self) -> Vec<&str> {
+        self.accounts.iter().map(|a| a.username.as_str()).collect()
+    }
+
+    /// Virtual time a polite crawl of this effort would have taken.
+    pub fn virtual_elapsed_ms(&self) -> u64 {
+        self.virtual_elapsed_ms
+    }
+
+    fn get(&mut self, account: usize, path: &str) -> Result<Response, CrawlError> {
+        self.virtual_elapsed_ms += self.politeness.sleep_ms_between_requests;
+        let resp = self.accounts[account].exchange.exchange(Request::get(path))?;
+        match resp.status {
+            s if s.is_success() => Ok(resp),
+            Status::FORBIDDEN => Ok(resp), // callers interpret 403
+            s => Err(CrawlError::Denied(s)),
+        }
+    }
+
+    fn next_account(&mut self) -> usize {
+        let a = self.rr % self.accounts.len();
+        self.rr += 1;
+        a
+    }
+
+    /// Page through one account's search results.
+    fn seeds_for_account(
+        &mut self,
+        account: usize,
+        school: SchoolId,
+    ) -> Result<Vec<UserId>, CrawlError> {
+        let mut out = Vec::new();
+        let mut url = format!("/find-friends?school={school}");
+        loop {
+            let resp = self.get(account, &url)?;
+            self.effort.seed_requests += 1;
+            if resp.status == Status::FORBIDDEN {
+                return Err(CrawlError::Denied(resp.status));
+            }
+            let (ids, next) = parse_listing(&resp.body_string());
+            out.extend(ids);
+            match next {
+                Some(n) => url = n,
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl<E: Exchange> OsnAccess for Crawler<E> {
+    fn collect_seeds(&mut self, school: SchoolId) -> Result<Vec<UserId>, CrawlError> {
+        let mut seen = Vec::new();
+        for account in 0..self.accounts.len() {
+            let ids = self.seeds_for_account(account, school)?;
+            seen.extend(ids);
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        Ok(seen)
+    }
+
+    fn profile(&mut self, uid: UserId) -> Result<ScrapedProfile, CrawlError> {
+        if let Some(p) = self.profile_cache.get(&uid) {
+            return Ok(p.clone());
+        }
+        let account = self.next_account();
+        let resp = self.get(account, &format!("/profile/{uid}"))?;
+        self.effort.profile_requests += 1;
+        if resp.status == Status::FORBIDDEN {
+            return Err(CrawlError::Denied(resp.status));
+        }
+        let profile = parse_profile(&resp.body_string());
+        if profile.uid != Some(uid) {
+            return Err(CrawlError::BadPage("profile uid mismatch"));
+        }
+        self.profile_cache.insert(uid, profile.clone());
+        Ok(profile)
+    }
+
+    fn friends(&mut self, uid: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
+        if let Some(f) = self.friends_cache.get(&uid) {
+            return Ok(f.clone());
+        }
+        let mut out = Vec::new();
+        let mut url = format!("/friends/{uid}");
+        loop {
+            let account = self.next_account();
+            let resp = self.get(account, &url)?;
+            self.effort.friend_list_requests += 1;
+            if resp.status == Status::FORBIDDEN {
+                self.friends_cache.insert(uid, None);
+                return Ok(None);
+            }
+            let (ids, next) = parse_listing(&resp.body_string());
+            out.extend(ids);
+            match next {
+                Some(n) => url = n,
+                None => break,
+            }
+        }
+        self.friends_cache.insert(uid, Some(out.clone()));
+        Ok(Some(out))
+    }
+
+    fn effort(&self) -> Effort {
+        self.effort
+    }
+
+    fn circles(&mut self, uid: UserId, incoming: bool) -> Result<Option<Vec<UserId>>, CrawlError> {
+        if let Some(c) = self.circles_cache.get(&(uid, incoming)) {
+            return Ok(c.clone());
+        }
+        let dir = if incoming { "has" } else { "in" };
+        let mut out = Vec::new();
+        let mut url = format!("/circles/{uid}?dir={dir}");
+        loop {
+            let account = self.next_account();
+            let resp = self.get(account, &url)?;
+            self.effort.friend_list_requests += 1;
+            if resp.status == Status::FORBIDDEN {
+                self.circles_cache.insert((uid, incoming), None);
+                return Ok(None);
+            }
+            let (ids, next) = parse_listing(&resp.body_string());
+            out.extend(ids);
+            match next {
+                Some(n) => url = n,
+                None => break,
+            }
+        }
+        self.circles_cache.insert((uid, incoming), Some(out.clone()));
+        Ok(Some(out))
+    }
+
+    fn send_message(&mut self, uid: UserId, body: &str) -> Result<bool, CrawlError> {
+        let account = self.next_account();
+        self.virtual_elapsed_ms += self.politeness.sleep_ms_between_requests;
+        let resp = self.accounts[account]
+            .exchange
+            .exchange(Request::post_form(&format!("/message/{uid}"), &[("body", body)]))?;
+        self.effort.message_requests += 1;
+        match resp.status {
+            s if s.is_success() => Ok(true),
+            Status::FORBIDDEN => Ok(false),
+            s => Err(CrawlError::Denied(s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_http::DirectExchange;
+    use hsp_platform::{Platform, PlatformConfig};
+    use hsp_policy::FacebookPolicy;
+    use hsp_synth::{generate, ScenarioConfig};
+    use std::sync::Arc;
+
+    fn tiny_crawler(n_accounts: usize) -> (Crawler<DirectExchange>, hsp_synth::Scenario) {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let platform = Platform::new(
+            Arc::new(scenario.network.clone()),
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig::default(),
+        );
+        let handler = platform.into_handler();
+        let exchanges = (0..n_accounts)
+            .map(|_| DirectExchange::new(handler.clone()))
+            .collect();
+        (Crawler::new(exchanges, "spy").unwrap(), scenario)
+    }
+
+    #[test]
+    fn seeds_contain_no_registered_minors_and_effort_is_counted() {
+        let (mut crawler, s) = tiny_crawler(2);
+        let seeds = crawler.collect_seeds(s.school).unwrap();
+        assert!(!seeds.is_empty());
+        for &u in &seeds {
+            assert!(!s.network.user(u).is_registered_minor(s.network.today));
+        }
+        let effort = crawler.effort();
+        assert!(effort.seed_requests >= 2, "at least one page per account");
+        assert_eq!(effort.auth_requests, 4); // signup+login × 2 accounts
+        assert_eq!(effort.profile_requests, 0);
+    }
+
+    #[test]
+    fn profile_fetch_caches() {
+        let (mut crawler, s) = tiny_crawler(1);
+        let u = s.roster()[0];
+        let p1 = crawler.profile(u).unwrap();
+        let p2 = crawler.profile(u).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(crawler.effort().profile_requests, 1, "second hit was cached");
+    }
+
+    #[test]
+    fn friends_pagination_reassembles_full_list() {
+        let (mut crawler, s) = tiny_crawler(2);
+        // Find an open adult with > 20 friends (forces paging).
+        let open = s
+            .network
+            .user_ids()
+            .filter(|&u| {
+                !s.network.user(u).is_registered_minor(s.network.today)
+                    && s.network.user(u).privacy.friend_list
+                        == hsp_graph::Audience::Public
+                    && s.network.friends(u).len() > 25
+            })
+            .next()
+            .expect("an open well-connected user");
+        let got = crawler.friends(open).unwrap().unwrap();
+        let mut expected = s.network.friends(open).to_vec();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+        assert!(crawler.effort().friend_list_requests >= 2);
+    }
+
+    #[test]
+    fn hidden_friend_list_yields_none() {
+        let (mut crawler, s) = tiny_crawler(1);
+        let minor = s.registered_minor_students()[0];
+        assert!(crawler.friends(minor).unwrap().is_none());
+        // Cached too.
+        assert!(crawler.friends(minor).unwrap().is_none());
+        assert_eq!(crawler.effort().friend_list_requests, 1);
+    }
+
+    #[test]
+    fn politeness_advances_virtual_clock() {
+        let (mut crawler, s) = tiny_crawler(1);
+        let before = crawler.virtual_elapsed_ms();
+        let _ = crawler.profile(s.roster()[0]).unwrap();
+        assert!(crawler.virtual_elapsed_ms() > before);
+    }
+
+    #[test]
+    fn more_accounts_more_seeds() {
+        // With a big enough pool, extra accounts surface extra seeds.
+        let scenario = generate(&ScenarioConfig::tiny());
+        let platform = Platform::new(
+            Arc::new(scenario.network.clone()),
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig { search_cap_per_account: 20, ..PlatformConfig::default() },
+        );
+        let handler = platform.into_handler();
+        let mk = |n: usize, label: &str| {
+            let exchanges = (0..n).map(|_| DirectExchange::new(handler.clone())).collect();
+            Crawler::new(exchanges, label).unwrap()
+        };
+        let one = mk(1, "a").collect_seeds(scenario.school).unwrap();
+        let four = mk(4, "b").collect_seeds(scenario.school).unwrap();
+        assert!(four.len() > one.len(), "{} vs {}", four.len(), one.len());
+    }
+}

@@ -1,0 +1,84 @@
+//! Measurement-effort accounting (paper §4.5, Table 3).
+//!
+//! The paper argues the attack is cheap by counting HTTP GETs:
+//! `A·R + |S| + |C|·f/p` for the basic methodology. We count the actual
+//! requests the crawler issues, bucketed the same way Table 3 reports
+//! them.
+
+use serde::{Deserialize, Serialize};
+
+/// Request counts by purpose.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Effort {
+    /// Signup/login requests (not counted in the paper's totals, kept
+    /// separately for completeness).
+    pub auth_requests: u64,
+    /// Search-portal pages fetched while gathering seeds (`A·R`).
+    pub seed_requests: u64,
+    /// Public profile pages fetched.
+    pub profile_requests: u64,
+    /// Friend-list pages fetched (`|C|·f/p`).
+    pub friend_list_requests: u64,
+    /// Direct messages POSTed (the §2 spear-phishing channel; not part
+    /// of the paper's Table 3 totals).
+    pub message_requests: u64,
+}
+
+impl Effort {
+    /// The paper's total: seeds + profiles + friend lists.
+    pub fn total(&self) -> u64 {
+        self.seed_requests + self.profile_requests + self.friend_list_requests
+    }
+
+    /// Difference (e.g. enhanced-phase effort = after - before).
+    pub fn since(&self, earlier: &Effort) -> Effort {
+        Effort {
+            auth_requests: self.auth_requests - earlier.auth_requests,
+            seed_requests: self.seed_requests - earlier.seed_requests,
+            profile_requests: self.profile_requests - earlier.profile_requests,
+            friend_list_requests: self.friend_list_requests - earlier.friend_list_requests,
+            message_requests: self.message_requests - earlier.message_requests,
+        }
+    }
+}
+
+impl std::fmt::Display for Effort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests (seeds {}, profiles {}, friend lists {})",
+            self.total(),
+            self.seed_requests,
+            self.profile_requests,
+            self.friend_list_requests
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_deltas() {
+        let before = Effort {
+            auth_requests: 4,
+            seed_requests: 30,
+            profile_requests: 100,
+            friend_list_requests: 50,
+            message_requests: 0,
+        };
+        assert_eq!(before.total(), 180);
+        let after = Effort {
+            auth_requests: 4,
+            seed_requests: 30,
+            profile_requests: 400,
+            friend_list_requests: 220,
+            message_requests: 7,
+        };
+        let delta = after.since(&before);
+        assert_eq!(delta.profile_requests, 300);
+        assert_eq!(delta.friend_list_requests, 170);
+        assert_eq!(delta.total(), 470);
+    }
+}

@@ -1,0 +1,22 @@
+//! # hsp-crawler — the attacker's crawler
+//!
+//! Implements the measurement side of the paper's methodology: logging
+//! in with fake accounts, paging through the Find-Friends portal for
+//! seeds, downloading public profile pages and friend lists (20 per
+//! AJAX request), parsing the HTML back into structured records
+//! ([`scrape`]), counting every HTTP GET for the Table 3 effort
+//! analysis ([`effort`]), and pacing requests with a (virtual)
+//! politeness clock (§3.2).
+//!
+//! [`Crawler`] is generic over the HTTP transport: identical attack
+//! code runs over loopback TCP or in-process.
+
+pub mod driver;
+pub mod effort;
+pub mod scrape;
+pub mod snapshot;
+
+pub use driver::{CrawlError, Crawler, OsnAccess, Politeness};
+pub use effort::Effort;
+pub use scrape::{parse_listing, parse_profile, ScrapedEduKind, ScrapedEducation, ScrapedProfile};
+pub use snapshot::{CrawlSnapshot, SnapshotAccess};

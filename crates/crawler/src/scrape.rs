@@ -1,0 +1,303 @@
+//! HTML scrapers: turn platform pages back into structured data.
+//!
+//! Mirrors the paper's §3.2 pipeline ("our parser then extracted
+//! relevant data from the HTML source code"). Parsing is defensive: a
+//! page that lacks a field simply yields `None` — the attacker can only
+//! work with what is rendered.
+
+use hsp_graph::{CityId, Date, SchoolId, UserId};
+use hsp_markup::{parse, select, select_first, Element};
+use serde::{Deserialize, Serialize};
+
+/// Education entry as scraped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrapedEducation {
+    pub school: SchoolId,
+    pub kind: ScrapedEduKind,
+    pub grad_year: Option<i32>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScrapedEduKind {
+    HighSchool,
+    College,
+    GraduateSchool,
+}
+
+/// Everything extractable from one public profile page.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScrapedProfile {
+    pub uid: Option<UserId>,
+    pub name: String,
+    pub gender: Option<String>,
+    pub has_photo: bool,
+    pub networks: Vec<SchoolId>,
+    pub education: Vec<ScrapedEducation>,
+    pub current_city: Option<CityId>,
+    pub hometown: Option<CityId>,
+    pub relationship: bool,
+    pub interested_in: bool,
+    pub birthday: Option<Date>,
+    pub photos_shared: Option<u32>,
+    pub wall_posts: Option<u32>,
+    /// Authors of visible wall posts (interaction signal).
+    pub wall_posters: Vec<UserId>,
+    pub has_contact_info: bool,
+    pub friend_list_visible: bool,
+    pub message_button: bool,
+}
+
+impl ScrapedProfile {
+    /// The paper's "minimal information" test applied to a scraped page
+    /// (§3.1): nothing beyond name/photo/gender/networks, and no Message
+    /// button. On Facebook this implies a registered minor or a fully
+    /// locked-down adult.
+    pub fn is_minimal(&self) -> bool {
+        self.education.is_empty()
+            && self.current_city.is_none()
+            && self.hometown.is_none()
+            && !self.relationship
+            && !self.interested_in
+            && self.birthday.is_none()
+            && self.photos_shared.is_none()
+            && self.wall_posts.is_none()
+            && !self.has_contact_info
+            && !self.friend_list_visible
+            && !self.message_button
+    }
+
+    /// The high-school entry, if listed.
+    pub fn listed_high_school(&self) -> Option<ScrapedEducation> {
+        self.education
+            .iter()
+            .copied()
+            .find(|e| e.kind == ScrapedEduKind::HighSchool)
+    }
+
+    /// §4.1 step 2: does this profile claim *current* attendance at
+    /// `school`, given the current senior class year?
+    pub fn claims_current_student(&self, school: SchoolId, senior_class_year: i32) -> bool {
+        self.education.iter().any(|e| {
+            e.kind == ScrapedEduKind::HighSchool
+                && e.school == school
+                && e.grad_year.map_or(false, |g| g >= senior_class_year)
+        })
+    }
+
+    /// Does the profile list a graduate school (filter rule 1, §4.4)?
+    pub fn lists_graduate_school(&self) -> bool {
+        self.education.iter().any(|e| e.kind == ScrapedEduKind::GraduateSchool)
+    }
+}
+
+/// Parse a profile page.
+pub fn parse_profile(html: &str) -> ScrapedProfile {
+    let dom = parse(html);
+    let mut p = ScrapedProfile::default();
+    let Some(root) = select_first(&dom, "#profile") else {
+        return p;
+    };
+    p.uid = root.get_attr("data-uid").and_then(UserId::parse);
+    if let Some(h1) = select_first(root, "h1.name") {
+        p.name = h1.text_content();
+    }
+    p.has_photo = select_first(root, "img.profile-photo").is_some();
+    p.gender = select_first(root, "span.gender").map(Element::text_content);
+    for li in select(root, "ul.networks li.network") {
+        if let Some(s) = li.get_attr("data-school").and_then(SchoolId::parse) {
+            p.networks.push(s);
+        }
+    }
+    for li in select(root, "ul.education li.edu") {
+        let Some(school) = li.get_attr("data-school").and_then(SchoolId::parse) else {
+            continue;
+        };
+        let kind = match li.get_attr("data-kind") {
+            Some("highschool") => ScrapedEduKind::HighSchool,
+            Some("college") => ScrapedEduKind::College,
+            Some("gradschool") => ScrapedEduKind::GraduateSchool,
+            _ => continue,
+        };
+        let grad_year = li.get_attr("data-year").and_then(|y| y.parse().ok());
+        p.education.push(ScrapedEducation { school, kind, grad_year });
+    }
+    p.current_city = select_first(root, "span.current-city")
+        .and_then(|e| e.get_attr("data-city"))
+        .and_then(CityId::parse);
+    p.hometown = select_first(root, "span.hometown")
+        .and_then(|e| e.get_attr("data-city"))
+        .and_then(CityId::parse);
+    p.relationship = select_first(root, "span.relationship").is_some();
+    p.interested_in = select_first(root, "span.interested-in").is_some();
+    p.birthday = select_first(root, "span.birthday")
+        .and_then(|e| e.get_attr("data-date"))
+        .and_then(parse_date);
+    p.photos_shared = select_first(root, "span.photos-count")
+        .and_then(|e| e.get_attr("data-count"))
+        .and_then(|c| c.parse().ok());
+    p.wall_posts = select_first(root, "span.wall-count")
+        .and_then(|e| e.get_attr("data-count"))
+        .and_then(|c| c.parse().ok());
+    for li in select(root, "ul.wall li.wall-post") {
+        if let Some(author) = li.get_attr("data-author").and_then(UserId::parse) {
+            p.wall_posters.push(author);
+        }
+    }
+    p.has_contact_info = select_first(root, "div.contact").is_some();
+    p.friend_list_visible = select_first(root, "a.friends-link").is_some();
+    p.message_button = select_first(root, "a.message-button").is_some();
+    p
+}
+
+/// Parse a listing page (search results or a friend-list page): the
+/// linked user ids plus the next-page URL, if any.
+pub fn parse_listing(html: &str) -> (Vec<UserId>, Option<String>) {
+    let dom = parse(html);
+    let ids = select(&dom, "a.profile-link")
+        .into_iter()
+        .filter_map(|a| {
+            a.get_attr("href")
+                .and_then(|h| h.strip_prefix("/profile/"))
+                .and_then(UserId::parse)
+        })
+        .collect();
+    let next = select_first(&dom, "#next-page")
+        .and_then(|a| a.get_attr("href"))
+        .map(str::to_string);
+    (ids, next)
+}
+
+fn parse_date(s: &str) -> Option<Date> {
+    let mut parts = s.split('-');
+    let y = parts.next()?.parse().ok()?;
+    let m = parts.next()?.parse().ok()?;
+    let d = parts.next()?.parse().ok()?;
+    Date::new(y, m, d).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A representative platform-rendered profile page.
+    const RICH: &str = r#"<!DOCTYPE html><html><head><title>x</title></head><body>
+      <div id="profile" data-uid="u42">
+        <h1 class="name">Ava Keller</h1>
+        <img class="profile-photo" src="/photo/u42">
+        <span class="gender">female</span>
+        <ul class="networks"><li class="network" data-school="s0">HS1</li></ul>
+        <ul class="education">
+          <li class="edu" data-kind="highschool" data-school="s0" data-year="2014">HS1, Class of 2014</li>
+          <li class="edu" data-kind="college" data-school="s2">State College</li>
+        </ul>
+        <span class="current-city" data-city="c0">HS1 City, NY</span>
+        <span class="relationship">Single</span>
+        <span class="birthday" data-date="1992-06-01">1992-06-01</span>
+        <span class="photos-count" data-count="19">19 photos</span>
+        <a class="friends-link" href="/friends/u42">Friends</a>
+        <a class="message-button" href="/message/u42">Message</a>
+      </div></body></html>"#;
+
+    const MINIMAL: &str = r#"<!DOCTYPE html><html><body>
+      <div id="profile" data-uid="u7">
+        <h1 class="name">Bo Nash</h1>
+        <img class="profile-photo" src="/photo/u7">
+        <span class="gender">male</span>
+      </div></body></html>"#;
+
+    #[test]
+    fn parses_rich_profile() {
+        let p = parse_profile(RICH);
+        assert_eq!(p.uid, Some(UserId(42)));
+        assert_eq!(p.name, "Ava Keller");
+        assert_eq!(p.education.len(), 2);
+        assert_eq!(
+            p.listed_high_school(),
+            Some(ScrapedEducation {
+                school: SchoolId(0),
+                kind: ScrapedEduKind::HighSchool,
+                grad_year: Some(2014),
+            })
+        );
+        assert_eq!(p.current_city, Some(CityId(0)));
+        assert_eq!(p.birthday, Some(Date::ymd(1992, 6, 1)));
+        assert_eq!(p.photos_shared, Some(19));
+        assert!(p.friend_list_visible);
+        assert!(p.message_button);
+        assert!(!p.is_minimal());
+        assert!(p.claims_current_student(SchoolId(0), 2012));
+        assert!(!p.claims_current_student(SchoolId(0), 2015));
+        assert!(!p.lists_graduate_school());
+    }
+
+    #[test]
+    fn parses_minimal_profile() {
+        let p = parse_profile(MINIMAL);
+        assert_eq!(p.uid, Some(UserId(7)));
+        assert!(p.is_minimal());
+        assert!(p.listed_high_school().is_none());
+    }
+
+    #[test]
+    fn junk_page_yields_default() {
+        let p = parse_profile("<html><body><p>404</p></body></html>");
+        assert_eq!(p.uid, None);
+        assert!(p.is_minimal());
+    }
+
+    #[test]
+    fn parses_listing_with_next() {
+        let html = r#"<ul id="results">
+          <li class="entry"><a class="profile-link" href="/profile/u3">A</a></li>
+          <li class="entry"><a class="profile-link" href="/profile/u9">B</a></li>
+        </ul><a id="next-page" href="/find-friends?school=s0&amp;page=2">More</a>"#;
+        let (ids, next) = parse_listing(html);
+        assert_eq!(ids, vec![UserId(3), UserId(9)]);
+        assert_eq!(next.as_deref(), Some("/find-friends?school=s0&page=2"));
+    }
+
+    #[test]
+    fn parses_listing_without_next() {
+        let (ids, next) = parse_listing(r#"<ul id="friends"></ul>"#);
+        assert!(ids.is_empty());
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn round_trip_against_platform_renderer() {
+        // Render with the platform's renderer and scrape it back.
+        use hsp_graph::{Date as D, Network};
+        use hsp_policy::PublicView;
+        let mut net = Network::new(D::ymd(2012, 3, 15));
+        let city = net.add_city("Rivertown", "NY");
+        let school = net.add_school(hsp_graph::School {
+            id: SchoolId(0),
+            name: "Rivertown High".into(),
+            city,
+            kind: hsp_graph::SchoolKind::HighSchool,
+            public_enrollment_estimate: 500,
+        });
+        let mut view = PublicView::minimal(
+            UserId(5),
+            "Cy Hale".into(),
+            Some(hsp_graph::Gender::Male),
+            true,
+            vec![school],
+        );
+        view.education
+            .push(hsp_graph::EducationEntry::high_school(school, 2013));
+        view.current_city = Some(city);
+        view.friend_list_visible = true;
+        view.photos_shared = Some(33);
+        let html = hsp_platform::render::profile_page(&net, &view);
+        let p = parse_profile(&html);
+        assert_eq!(p.uid, Some(UserId(5)));
+        assert_eq!(p.name, "Cy Hale");
+        assert_eq!(p.networks, vec![school]);
+        assert_eq!(p.listed_high_school().unwrap().grad_year, Some(2013));
+        assert_eq!(p.current_city, Some(city));
+        assert_eq!(p.photos_shared, Some(33));
+        assert!(p.friend_list_visible);
+        assert!(!p.message_button);
+    }
+}

@@ -1,0 +1,179 @@
+//! Crawl snapshots: persist everything a crawl fetched and replay it
+//! offline.
+//!
+//! The paper's pipeline stored scraped pages in an SQL database and ran
+//! the analysis offline (§3.2). [`CrawlSnapshot`] is the equivalent: a
+//! serializable record of seeds, profiles and friend lists, and
+//! [`SnapshotAccess`] replays it through the same [`OsnAccess`]
+//! interface the live crawler implements — so any methodology run can
+//! be reproduced without the platform (or shipped to the bench harness
+//! without re-crawling).
+
+use crate::driver::{CrawlError, OsnAccess};
+use crate::effort::Effort;
+use crate::scrape::ScrapedProfile;
+use hsp_graph::{SchoolId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything one crawl saw, in stable (BTree) order.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CrawlSnapshot {
+    /// Seeds per school searched.
+    pub seeds: BTreeMap<SchoolId, Vec<UserId>>,
+    /// Scraped public profiles.
+    pub profiles: BTreeMap<UserId, ScrapedProfile>,
+    /// Friend lists (`None` = list hidden from strangers).
+    pub friends: BTreeMap<UserId, Option<Vec<UserId>>>,
+    /// Effort spent producing this snapshot.
+    pub effort: Effort,
+}
+
+impl CrawlSnapshot {
+    /// Record a full crawl for `school`: seeds, their profiles, every
+    /// friend list the given user set needs. `users` is typically the
+    /// union of seeds + candidates the analysis will touch.
+    pub fn capture(
+        access: &mut dyn OsnAccess,
+        school: SchoolId,
+        extra_users: &[UserId],
+    ) -> Result<CrawlSnapshot, CrawlError> {
+        let mut snap = CrawlSnapshot::default();
+        let seeds = access.collect_seeds(school)?;
+        for &u in seeds.iter().chain(extra_users) {
+            snap.profiles.insert(u, access.profile(u)?);
+            snap.friends.insert(u, access.friends(u)?);
+        }
+        snap.seeds.insert(school, seeds);
+        snap.effort = access.effort();
+        Ok(snap)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot is serializable")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<CrawlSnapshot, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load from a file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<CrawlSnapshot> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Replay a snapshot through the `OsnAccess` interface. Requests for
+/// pages the snapshot never captured fail with `BadPage` — offline
+/// analysis can only see what the crawl saw, exactly like the paper's
+/// database.
+pub struct SnapshotAccess {
+    snapshot: CrawlSnapshot,
+    /// Effort of the *replayed* requests (all free — nothing is
+    /// fetched), kept for interface completeness.
+    replay_effort: Effort,
+}
+
+impl SnapshotAccess {
+    pub fn new(snapshot: CrawlSnapshot) -> SnapshotAccess {
+        SnapshotAccess { snapshot, replay_effort: Effort::default() }
+    }
+
+    /// The original crawl's effort.
+    pub fn original_effort(&self) -> Effort {
+        self.snapshot.effort
+    }
+}
+
+impl OsnAccess for SnapshotAccess {
+    fn collect_seeds(&mut self, school: SchoolId) -> Result<Vec<UserId>, CrawlError> {
+        self.snapshot
+            .seeds
+            .get(&school)
+            .cloned()
+            .ok_or(CrawlError::BadPage("school not in snapshot"))
+    }
+
+    fn profile(&mut self, uid: UserId) -> Result<ScrapedProfile, CrawlError> {
+        self.snapshot
+            .profiles
+            .get(&uid)
+            .cloned()
+            .ok_or(CrawlError::BadPage("profile not in snapshot"))
+    }
+
+    fn friends(&mut self, uid: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
+        self.snapshot
+            .friends
+            .get(&uid)
+            .cloned()
+            .ok_or(CrawlError::BadPage("friend list not in snapshot"))
+    }
+
+    fn effort(&self) -> Effort {
+        self.replay_effort
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> CrawlSnapshot {
+        let mut snap = CrawlSnapshot::default();
+        snap.seeds.insert(SchoolId(0), vec![UserId(1), UserId(2)]);
+        snap.profiles.insert(
+            UserId(1),
+            ScrapedProfile { name: "A B".into(), ..Default::default() },
+        );
+        snap.friends.insert(UserId(1), Some(vec![UserId(2)]));
+        snap.friends.insert(UserId(2), None);
+        snap.effort = Effort { seed_requests: 3, ..Default::default() };
+        snap
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let snap = snapshot();
+        let restored = CrawlSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(restored, snap);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let snap = snapshot();
+        let dir = std::env::temp_dir().join("hsp-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        snap.save(&path).unwrap();
+        let restored = CrawlSnapshot::load(&path).unwrap();
+        assert_eq!(restored, snap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_serves_captured_data_only() {
+        let mut access = SnapshotAccess::new(snapshot());
+        assert_eq!(
+            access.collect_seeds(SchoolId(0)).unwrap(),
+            vec![UserId(1), UserId(2)]
+        );
+        assert_eq!(access.profile(UserId(1)).unwrap().name, "A B");
+        assert_eq!(access.friends(UserId(1)).unwrap(), Some(vec![UserId(2)]));
+        assert_eq!(access.friends(UserId(2)).unwrap(), None);
+        // Uncaptured pages are unavailable offline.
+        assert!(access.profile(UserId(9)).is_err());
+        assert!(access.collect_seeds(SchoolId(7)).is_err());
+        assert_eq!(access.original_effort().seed_requests, 3);
+        assert_eq!(access.effort(), Effort::default());
+    }
+}

@@ -1,0 +1,153 @@
+//! Minimal ASCII scatter/line plots for the figure experiments.
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct PlotSeries {
+    pub label: String,
+    pub marker: char,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Plot configuration.
+#[derive(Clone, Debug)]
+pub struct Plot {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub width: usize,
+    pub height: usize,
+    pub log_y: bool,
+    pub series: Vec<PlotSeries>,
+}
+
+impl Plot {
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Plot {
+        Plot {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            width: 64,
+            height: 18,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    pub fn log_y(mut self) -> Plot {
+        self.log_y = true;
+        self
+    }
+
+    pub fn series(mut self, label: &str, marker: char, points: Vec<(f64, f64)>) -> Plot {
+        self.series.push(PlotSeries { label: label.to_string(), marker, points });
+        self
+    }
+
+    fn y_transform(&self, y: f64) -> f64 {
+        if self.log_y {
+            y.max(1e-9).log10()
+        } else {
+            y
+        }
+    }
+
+    /// Render the plot as text.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if pts.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            let ty = self.y_transform(y);
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(ty);
+            y_max = y_max.max(ty);
+        }
+        if (x_max - x_min).abs() < 1e-12 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-12 {
+            y_max = y_min + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let ty = self.y_transform(y);
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let cy = ((ty - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - cy;
+                grid[row][cx] = s.marker;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        let y_hi = if self.log_y { 10f64.powf(y_max) } else { y_max };
+        let y_lo = if self.log_y { 10f64.powf(y_min) } else { y_min };
+        out.push_str(&format!("{} (top={y_hi:.0}, bottom={y_lo:.0}{})\n", self.y_label,
+            if self.log_y { ", log scale" } else { "" }));
+        for row in &grid {
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            " {}: {x_min:.0} .. {x_max:.0}   ",
+            self.x_label
+        ));
+        for s in &self.series {
+            out.push_str(&format!("[{}] {}  ", s.marker, s.label));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markers_for_each_series() {
+        let plot = Plot::new("demo", "t", "%")
+            .series("up", '*', vec![(0.0, 0.0), (10.0, 100.0)])
+            .series("down", 'o', vec![(0.0, 100.0), (10.0, 0.0)]);
+        let text = plot.render();
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+        assert!(text.contains("[*] up"));
+        assert!(text.contains("demo"));
+    }
+
+    #[test]
+    fn log_scale_handles_wide_ranges() {
+        let plot = Plot::new("log", "x", "fp")
+            .log_y()
+            .series("s", '#', vec![(1.0, 10.0), (2.0, 10_000.0)]);
+        let text = plot.render();
+        assert!(text.contains("log scale"));
+    }
+
+    #[test]
+    fn empty_plot_does_not_panic() {
+        let text = Plot::new("empty", "x", "y").render();
+        assert!(text.contains("no data"));
+    }
+
+    #[test]
+    fn single_point_does_not_divide_by_zero() {
+        let text = Plot::new("p", "x", "y").series("s", '*', vec![(5.0, 5.0)]).render();
+        assert!(text.contains('*'));
+    }
+}

@@ -1,0 +1,53 @@
+//! Execution context: caches one full attack per school so `all` runs
+//! each expensive crawl exactly once.
+
+use crate::runner::{full_attack, AttackRun, Lab};
+use hsp_synth::ScenarioConfig;
+use std::collections::HashMap;
+
+/// A school's lab + completed attack.
+pub struct SchoolRun {
+    pub lab: Lab,
+    pub run: AttackRun,
+}
+
+/// Shared experiment context.
+pub struct Ctx {
+    /// Run the crawl over real loopback TCP instead of in-process.
+    pub tcp: bool,
+    runs: HashMap<&'static str, SchoolRun>,
+}
+
+impl Ctx {
+    pub fn new(tcp: bool) -> Ctx {
+        Ctx { tcp, runs: HashMap::new() }
+    }
+
+    /// The scenario config for a school label.
+    pub fn config_for(which: &str) -> ScenarioConfig {
+        match which {
+            "HS1" => ScenarioConfig::hs1(),
+            "HS2" => ScenarioConfig::hs2(),
+            "HS3" => ScenarioConfig::hs3(),
+            "TINY" => ScenarioConfig::tiny(),
+            other => panic!("unknown school {other}"),
+        }
+    }
+
+    /// Get (running if needed) the standard full attack on a school.
+    pub fn school(&mut self, which: &'static str) -> &SchoolRun {
+        let tcp = self.tcp;
+        self.runs.entry(which).or_insert_with(|| {
+            eprintln!("[ctx] generating + attacking {which} ...");
+            let mut lab = Lab::facebook(&Self::config_for(which));
+            let run = full_attack(&mut lab, tcp);
+            SchoolRun { lab, run }
+        })
+    }
+
+    /// Mutable access (some experiments continue crawling).
+    pub fn school_mut(&mut self, which: &'static str) -> &mut SchoolRun {
+        self.school(which);
+        self.runs.get_mut(which).expect("just inserted")
+    }
+}

@@ -1,0 +1,376 @@
+//! Table experiments: regenerate Tables 1–6 of the paper.
+
+use crate::ctx::Ctx;
+use crate::report::ExperimentReport;
+use crate::tablefmt::{f1, Table};
+use hsp_core::{run_enhanced, EnhanceOptions};
+use hsp_policy::{facebook_matrix, googleplus_matrix};
+use serde_json::json;
+
+/// Table 1: Facebook's stranger-visibility matrix, probed from the
+/// policy engine.
+pub fn table1(_ctx: &mut Ctx) -> ExperimentReport {
+    let m = facebook_matrix();
+    ExperimentReport::new(
+        "table1",
+        "Facebook: default and worst-case information available to strangers",
+        m.render(),
+        serde_json::to_value(&m).expect("serializable"),
+    )
+}
+
+/// Table 6: the Google+ matrix (paper Appendix A).
+pub fn table6(_ctx: &mut Ctx) -> ExperimentReport {
+    let m = googleplus_matrix();
+    ExperimentReport::new(
+        "table6",
+        "Google+: default and worst-case information available to strangers",
+        m.render(),
+        serde_json::to_value(&m).expect("serializable"),
+    )
+}
+
+/// Paper reference values for Table 2, for side-by-side display.
+const TABLE2_PAPER: [(&str, &str, &str, &str, &str, &str, &str); 3] = [
+    ("HS1", "362", "325", "352", "18", "6282", "22"),
+    ("HS2", "1500", "N/A", "1559", "70", "14317", "152"),
+    ("HS3", "1500", "N/A", "1532", "46", "11736", "178"),
+];
+
+/// Table 2: seeds, core users, candidates and extended cores per school.
+pub fn table2(ctx: &mut Ctx) -> ExperimentReport {
+    let mut table = Table::new(&[
+        "school",
+        "students",
+        "on OSN",
+        "seeds",
+        "core",
+        "candidates",
+        "ext. core",
+        "(paper: seeds/core/cand/ext)",
+    ]);
+    let mut rows_json = Vec::new();
+    for (i, school) in ["HS1", "HS2", "HS3"].into_iter().enumerate() {
+        let sr = ctx.school(match school {
+            "HS1" => "HS1",
+            "HS2" => "HS2",
+            _ => "HS3",
+        });
+        let roster = sr.lab.scenario.roster().len();
+        let seeds = sr.run.discovery.seeds.len();
+        let core = sr.run.discovery.core.len();
+        let candidates = sr.run.discovery.candidate_count();
+        let ext = sr.run.enhanced.extended_core.len();
+        let p = TABLE2_PAPER[i];
+        table.row(&[
+            school.to_string(),
+            sr.lab.scenario.config.school_size.to_string(),
+            roster.to_string(),
+            seeds.to_string(),
+            core.to_string(),
+            candidates.to_string(),
+            ext.to_string(),
+            format!("{}/{}/{}/{}", p.3, p.4, p.5, p.6),
+        ]);
+        rows_json.push(json!({
+            "school": school,
+            "students": sr.lab.scenario.config.school_size,
+            "on_osn": roster,
+            "seeds": seeds,
+            "core": core,
+            "candidates": candidates,
+            "extended_core": ext,
+        }));
+    }
+    ExperimentReport::new(
+        "table2",
+        "Seeds, core users, and candidates for the three high schools",
+        table.render(),
+        json!({ "rows": rows_json }),
+    )
+}
+
+/// Table 3: measurement effort (HTTP requests by purpose).
+pub fn table3(ctx: &mut Ctx) -> ExperimentReport {
+    let mut table = Table::new(&[
+        "school",
+        "accounts",
+        "seed reqs",
+        "profile pages",
+        "friend-list reqs",
+        "total basic",
+        "total enhanced",
+        "(paper basic/enh)",
+    ]);
+    let paper = [("HS1", 746u64, 1576u64), ("HS2", 3060, 7700), ("HS3", 2542, 8182)];
+    let mut rows_json = Vec::new();
+    for (school, paper_basic, paper_enh) in paper {
+        let sr = ctx.school(match school {
+            "HS1" => "HS1",
+            "HS2" => "HS2",
+            _ => "HS3",
+        });
+        let accounts = sr.lab.paper_account_count();
+        let basic = sr.run.effort_basic;
+        let total = sr.run.effort_total;
+        table.row(&[
+            school.to_string(),
+            accounts.to_string(),
+            basic.seed_requests.to_string(),
+            basic.profile_requests.to_string(),
+            basic.friend_list_requests.to_string(),
+            basic.total().to_string(),
+            total.total().to_string(),
+            format!("{paper_basic}/{paper_enh}"),
+        ]);
+        rows_json.push(json!({
+            "school": school,
+            "accounts": accounts,
+            "basic": basic,
+            "total": total,
+        }));
+    }
+    ExperimentReport::new(
+        "table3",
+        "Measurement effort (HTTP requests actually issued by the crawler)",
+        table.render(),
+        json!({ "rows": rows_json }),
+    )
+}
+
+/// Paper Table 4 reference cells (x/y) per variant and threshold.
+const TABLE4_PAPER: [(&str, [&str; 4]); 4] = [
+    ("basic", ["140/112", "206/162", "271/224", "301/254"]),
+    ("basic+filter", ["148/122", "196/165", "259/227", "299/264"]),
+    ("enhanced", ["169/155", "231/211", "261/239", "304/281"]),
+    ("enhanced+filter", ["175/158", "232/211", "272/250", "299/276"]),
+];
+
+/// Table 4: HS1 found/correct-year for four method variants × four
+/// thresholds.
+pub fn table4(ctx: &mut Ctx) -> ExperimentReport {
+    let thresholds = [200usize, 300, 400, 500];
+    // Variant matrix: (label, enhance, filter).
+    let variants = [
+        ("basic", false, false),
+        ("basic+filter", false, true),
+        ("enhanced", true, false),
+        ("enhanced+filter", true, true),
+    ];
+    let truth = {
+        let sr = ctx.school("HS1");
+        sr.lab.ground_truth()
+    };
+    let mut table = Table::new(&[
+        "method (x=found / y=correct year)",
+        "top 200",
+        "top 300",
+        "top 400",
+        "top 500",
+        "paper @400",
+    ]);
+    let mut rows_json = Vec::new();
+    for (vi, (label, enhance, filter)) in variants.into_iter().enumerate() {
+        let mut cells = vec![label.to_string()];
+        let mut cells_json = Vec::new();
+        for &t in &thresholds {
+            let sr = ctx.school_mut("HS1");
+            let (guessed, inferred): (Vec<hsp_graph::UserId>, Vec<Option<i32>>) =
+                if !enhance && !filter {
+                    let g = sr.run.discovery.guessed_students(t);
+                    let years = g.iter().map(|&u| sr.run.discovery.inferred_year(u)).collect();
+                    (g, years)
+                } else {
+                    let enhanced = run_enhanced(
+                        sr.run.access.as_mut(),
+                        &sr.run.discovery,
+                        &EnhanceOptions {
+                            t,
+                            filtering: filter,
+                            enhance,
+                            school_city: sr.lab.scenario.home_city,
+                        },
+                    )
+                    .expect("variant run");
+                    let g = enhanced.guessed_students(t);
+                    let years = g
+                        .iter()
+                        .map(|&u| enhanced.inferred_year(u, &sr.run.config))
+                        .collect();
+                    (g, years)
+                };
+            let year_of = |u: hsp_graph::UserId| {
+                guessed
+                    .iter()
+                    .position(|&g| g == u)
+                    .and_then(|i| inferred[i])
+            };
+            let point = hsp_core::evaluate(t, &guessed, year_of, &truth);
+            cells.push(format!("{}/{}", point.found, point.correct_year));
+            cells_json.push(json!({
+                "t": t,
+                "found": point.found,
+                "correct_year": point.correct_year,
+                "false_positives": point.false_positives,
+            }));
+        }
+        cells.push(TABLE4_PAPER[vi].1[2].to_string());
+        table.row(&cells);
+        rows_json.push(json!({ "variant": label, "points": cells_json }));
+    }
+    let note = format!(
+        "HS1 roster on OSN: {} students (paper: 325). Cells are x/y = found/correct-year.\n",
+        truth.len()
+    );
+    ExperimentReport::new(
+        "table4",
+        "Results for HS1: four method variants × four thresholds",
+        format!("{note}{}", table.render()),
+        json!({ "roster": truth.len(), "rows": rows_json }),
+    )
+}
+
+/// Table 5 + §6.1: extending the profiles.
+pub fn table5(ctx: &mut Ctx) -> ExperimentReport {
+    let paper = [
+        ("HS1", 112u32, 73.0, 405.0, 89.0, 15.0, 13.0, 9.0, 19.0),
+        ("HS2", 700, 77.0, 960.0, 86.0, 26.0, 20.0, 4.0, 51.0),
+        ("HS3", 795, 87.0, 908.0, 91.0, 34.0, 33.0, 6.0, 57.0),
+    ];
+    let mut table = Table::new(&[
+        "metric",
+        "HS1",
+        "HS1(paper)",
+        "HS2",
+        "HS2(paper)",
+        "HS3",
+        "HS3(paper)",
+    ]);
+    let mut per_school = Vec::new();
+    for (i, school) in ["HS1", "HS2", "HS3"].into_iter().enumerate() {
+        let sr = ctx.school_mut(school);
+        let t = sr.run.config.school_size_estimate as usize;
+        let guessed = sr.run.enhanced.guessed_students(t);
+        // Identified minors registered as adults: guessed students whose
+        // classified year is one of the first three classes and whose
+        // page is non-minimal (§6's method: a non-minimal page implies a
+        // registered adult).
+        let first_three: Vec<i32> = sr.run.config.class_years()[..3].to_vec();
+        let mut adults = Vec::new();
+        let mut minors = Vec::new();
+        for &u in &guessed {
+            let Some(year) = sr.run.enhanced.inferred_year(u, &sr.run.config) else {
+                continue;
+            };
+            if !first_three.contains(&year) {
+                continue;
+            }
+            let profile = sr.run.access.profile(u).expect("profile fetch");
+            if profile.is_minimal() {
+                minors.push(u);
+            } else {
+                adults.push(u);
+            }
+        }
+        let stats = hsp_core::audit_adult_registered(sr.run.access.as_mut(), &adults)
+            .expect("audit");
+        // §6.1: reverse lookup over the guessed set; average recovered
+        // list length for the (registered-minor) minimal-profile users.
+        let rec = hsp_core::recover_friend_lists(sr.run.access.as_mut(), &guessed)
+            .expect("reverse lookup");
+        let minor_recovered: Vec<usize> = minors
+            .iter()
+            .map(|&u| rec.friends_of(u).len())
+            .collect();
+        let avg_recovered = if minor_recovered.is_empty() {
+            0.0
+        } else {
+            minor_recovered.iter().sum::<usize>() as f64 / minor_recovered.len() as f64
+        };
+        per_school.push((school, stats, adults.len(), avg_recovered));
+        let _ = i;
+    }
+    let p = &paper;
+    let row = |label: &str,
+               ours: &dyn Fn(usize) -> String,
+               paper_col: &dyn Fn(usize) -> String,
+               table: &mut Table| {
+        table.row(&[
+            label.to_string(),
+            ours(0),
+            paper_col(0),
+            ours(1),
+            paper_col(1),
+            ours(2),
+            paper_col(2),
+        ]);
+    };
+    row(
+        "# minors registered as adults (identified)",
+        &|i| per_school[i].2.to_string(),
+        &|i| p[i].1.to_string(),
+        &mut table,
+    );
+    row(
+        "% friend list public",
+        &|i| f1(per_school[i].1.pct_friend_list_public),
+        &|i| f1(p[i].2),
+        &mut table,
+    );
+    row(
+        "avg friends (public lists)",
+        &|i| f1(per_school[i].1.avg_friends_public),
+        &|i| f1(p[i].3),
+        &mut table,
+    );
+    row(
+        "% message link",
+        &|i| f1(per_school[i].1.pct_message_link),
+        &|i| f1(p[i].4),
+        &mut table,
+    );
+    row(
+        "% relationship info",
+        &|i| f1(per_school[i].1.pct_relationship),
+        &|i| f1(p[i].5),
+        &mut table,
+    );
+    row(
+        "% interested in",
+        &|i| f1(per_school[i].1.pct_interested_in),
+        &|i| f1(p[i].6),
+        &mut table,
+    );
+    row(
+        "% birthday",
+        &|i| f1(per_school[i].1.pct_birthday),
+        &|i| f1(p[i].7),
+        &mut table,
+    );
+    row(
+        "avg # photos shared",
+        &|i| f1(per_school[i].1.avg_photos),
+        &|i| f1(p[i].8),
+        &mut table,
+    );
+    row(
+        "avg recovered friends per reg. minor (§6.1; paper 38/141/129)",
+        &|i| f1(per_school[i].3),
+        &|i| ["38", "141", "129"][i].to_string(),
+        &mut table,
+    );
+    let json = json!({
+        "schools": per_school.iter().map(|(s, stats, n, rec)| json!({
+            "school": s,
+            "identified_adult_registered": n,
+            "stats": stats,
+            "avg_recovered_friends_registered_minor": rec,
+        })).collect::<Vec<_>>()
+    });
+    ExperimentReport::new(
+        "table5",
+        "Extending the profiles of minors registered as adults (+ §6.1 reverse lookup)",
+        table.render(),
+        json,
+    )
+}

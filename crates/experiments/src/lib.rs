@@ -1,0 +1,59 @@
+//! # hsp-experiments — regenerating every table and figure
+//!
+//! One runner per table/figure of the paper (see DESIGN.md §3 for the
+//! index), plus extension experiments (Jaccard hidden-link inference)
+//! and ablations (lying rate, ε, filter rules, account count). The
+//! `experiments` binary drives them; `hsp-bench` reuses the same
+//! runners under Criterion.
+
+pub mod asciiplot;
+pub mod ctx;
+pub mod exp_extra;
+pub mod exp_figures;
+pub mod exp_tables;
+pub mod exp_threats;
+pub mod report;
+pub mod runner;
+pub mod tablefmt;
+
+pub use ctx::Ctx;
+pub use report::ExperimentReport;
+pub use runner::{full_attack, AttackRun, Lab};
+
+/// All experiment ids in presentation order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "summary", "table1", "table2", "table3", "table4", "table5", "table6",
+    "fig1", "fig2", "fig3", "fig4",
+    "jaccard", "interaction", "birthyear", "threats", "gplus", "countermeasures", "verify-search",
+    "ablation-lying", "ablation-epsilon", "ablation-filters",
+    "ablation-accounts",
+];
+
+/// Run one experiment by id.
+pub fn run_experiment(ctx: &mut Ctx, id: &str) -> Option<ExperimentReport> {
+    Some(match id {
+        "summary" => exp_extra::summary(ctx),
+        "table1" => exp_tables::table1(ctx),
+        "table2" => exp_tables::table2(ctx),
+        "table3" => exp_tables::table3(ctx),
+        "table4" => exp_tables::table4(ctx),
+        "table5" => exp_tables::table5(ctx),
+        "table6" => exp_tables::table6(ctx),
+        "fig1" => exp_figures::fig1(ctx),
+        "fig2" => exp_figures::fig2(ctx),
+        "fig3" => exp_figures::fig3(ctx),
+        "fig4" => exp_figures::fig4(ctx),
+        "jaccard" => exp_extra::jaccard(ctx),
+        "threats" => exp_threats::threats(ctx),
+        "verify-search" => exp_extra::verify_search(ctx),
+        "interaction" => exp_extra::interaction(ctx),
+        "birthyear" => exp_extra::birthyear(ctx),
+        "gplus" => exp_threats::gplus_attack(ctx),
+        "countermeasures" => exp_threats::countermeasures(ctx),
+        "ablation-lying" => exp_extra::ablation_lying(ctx),
+        "ablation-epsilon" => exp_extra::ablation_epsilon(ctx),
+        "ablation-filters" => exp_extra::ablation_filters(ctx),
+        "ablation-accounts" => exp_extra::ablation_accounts(ctx),
+        _ => return None,
+    })
+}

@@ -1,0 +1,53 @@
+//! CLI: `experiments [ids... | all] [--tcp] [--json <dir>]`
+//!
+//! Regenerates the paper's tables and figures against the synthetic
+//! substrate. `--tcp` runs every crawl over real loopback HTTP;
+//! `--json <dir>` additionally writes machine-readable results.
+
+use hsp_experiments::{run_experiment, Ctx, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tcp = args.iter().any(|a| a == "--tcp");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| json_dir.as_deref() != Some(a.as_str()))
+        .cloned()
+        .collect();
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json output dir");
+    }
+    let mut ctx = Ctx::new(tcp);
+    for id in &ids {
+        match run_experiment(&mut ctx, id) {
+            Some(report) => {
+                println!("{}", report.printable());
+                if let Some(dir) = &json_dir {
+                    let path = format!("{dir}/{}.json", report.id);
+                    std::fs::write(
+                        &path,
+                        serde_json::to_string_pretty(&report.json).expect("serialize"),
+                    )
+                    .expect("write json");
+                    eprintln!("[json] wrote {path}");
+                }
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment '{id}'; available: {}",
+                    ALL_EXPERIMENTS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

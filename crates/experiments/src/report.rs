@@ -1,0 +1,31 @@
+//! Experiment output container.
+
+use serde::Serialize;
+
+/// One experiment's rendered output plus a JSON artifact.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentReport {
+    /// Stable id, e.g. "table4" or "fig2".
+    pub id: String,
+    pub title: String,
+    /// Human-readable rendering (tables/plots).
+    pub text: String,
+    /// Machine-readable results.
+    pub json: serde_json::Value,
+}
+
+impl ExperimentReport {
+    pub fn new(id: &str, title: &str, text: String, json: serde_json::Value) -> Self {
+        ExperimentReport { id: id.to_string(), title: title.to_string(), text, json }
+    }
+
+    /// Full printable block.
+    pub fn printable(&self) -> String {
+        format!(
+            "==== {} — {} ====\n{}\n",
+            self.id.to_uppercase(),
+            self.title,
+            self.text
+        )
+    }
+}

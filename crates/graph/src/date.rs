@@ -1,0 +1,338 @@
+//! A minimal proleptic-Gregorian calendar date.
+//!
+//! The simulator needs birth dates, registration dates, school-year
+//! arithmetic and age computation, but nothing about wall-clock time or
+//! time zones, so a ~small self-contained `Date` type is preferable to a
+//! full calendar dependency. The day-count conversion follows Howard
+//! Hinnant's `days_from_civil` algorithm, which is exact over the whole
+//! proleptic Gregorian calendar.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A calendar date (proleptic Gregorian).
+///
+/// Ordering is chronological. The internal representation is the civil
+/// year/month/day triple; [`Date::to_days`] converts to a linear day count
+/// (days since 1970-01-01) for arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Date {
+    year: i32,
+    /// 1..=12
+    month: u8,
+    /// 1..=31, validated against the month length
+    day: u8,
+}
+
+/// Error returned when constructing a [`Date`] from invalid components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidDate {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+}
+
+impl fmt::Display for InvalidDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid date {:04}-{:02}-{:02}",
+            self.year, self.month, self.day
+        )
+    }
+}
+
+impl std::error::Error for InvalidDate {}
+
+impl Date {
+    /// Construct a date, validating month and day ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, InvalidDate> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(InvalidDate { year, month, day });
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Construct a date, panicking on invalid components.
+    ///
+    /// Intended for literals in tests and scenario definitions.
+    pub fn ymd(year: i32, month: u8, day: u8) -> Self {
+        Self::new(year, month, day).expect("valid date literal")
+    }
+
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    pub fn month(&self) -> u8 {
+        self.month
+    }
+
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Days since the epoch 1970-01-01 (negative before it).
+    pub fn to_days(&self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// Inverse of [`Date::to_days`].
+    pub fn from_days(days: i64) -> Self {
+        let (year, month, day) = civil_from_days(days);
+        Date { year, month, day }
+    }
+
+    /// The date `n` days after (`n` may be negative) this one.
+    pub fn add_days(&self, n: i64) -> Self {
+        Self::from_days(self.to_days() + n)
+    }
+
+    /// Signed number of days from `self` to `other` (positive if `other`
+    /// is later).
+    pub fn days_until(&self, other: Date) -> i64 {
+        other.to_days() - self.to_days()
+    }
+
+    /// Completed years between a birth date and a reference date — i.e.
+    /// the person's age on `on`, accounting for whether the birthday has
+    /// passed yet that year.
+    pub fn age_on(birth: Date, on: Date) -> i32 {
+        let mut age = on.year - birth.year;
+        if (on.month, on.day) < (birth.month, birth.day) {
+            age -= 1;
+        }
+        age
+    }
+
+    /// Whether `self` falls strictly before `other`'s month/day within any
+    /// year (used for birthday arithmetic).
+    pub fn month_day(&self) -> (u8, u8) {
+        (self.month, self.day)
+    }
+}
+
+impl PartialOrd for Date {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Date {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.year, self.month, self.day).cmp(&(other.year, other.month, other.day))
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({self})")
+    }
+}
+
+/// True for Gregorian leap years.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in the given month of the given year.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Hinnant's `days_from_civil`: days since 1970-01-01.
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(m);
+    let d = i64::from(d);
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Hinnant's `civil_from_days`: inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (
+        (y + i64::from(m <= 2)) as i32,
+        m as u8,
+        d as u8,
+    )
+}
+
+/// School-year arithmetic for US four-year high schools.
+///
+/// The school year is taken to roll over on July 1: a student who
+/// graduates in June of year `g` is in the class of `g`, and on any date
+/// between July 1 of `g-1` and June 30 of `g` a class-of-`g` senior is in
+/// their fourth year.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchoolCalendar {
+    /// Month on which the school year rolls over (1..=12); default 7.
+    pub rollover_month: u8,
+}
+
+impl Default for SchoolCalendar {
+    fn default() -> Self {
+        SchoolCalendar { rollover_month: 7 }
+    }
+}
+
+impl SchoolCalendar {
+    /// The graduation year of the class currently in its *final* year on
+    /// date `on`. E.g. in March 2012 the seniors are the class of 2012; in
+    /// September 2012 they are the class of 2013.
+    pub fn senior_class_year(&self, on: Date) -> i32 {
+        if on.month() >= self.rollover_month {
+            on.year() + 1
+        } else {
+            on.year()
+        }
+    }
+
+    /// School year index (1 = first year/freshman .. 4 = senior) of the
+    /// class of `grad_year` on date `on`, or `None` if that class is not
+    /// currently enrolled in a four-year school.
+    pub fn year_index(&self, grad_year: i32, on: Date) -> Option<u8> {
+        let senior = self.senior_class_year(on);
+        let offset = grad_year - senior; // 0 for seniors, 3 for freshmen
+        if (0..4).contains(&offset) {
+            Some((4 - offset) as u8)
+        } else {
+            None
+        }
+    }
+
+    /// Graduation years of the four classes currently enrolled on `on`,
+    /// ordered from first-years (index 0) to seniors (index 3).
+    pub fn enrolled_classes(&self, on: Date) -> [i32; 4] {
+        let senior = self.senior_class_year(on);
+        [senior + 3, senior + 2, senior + 1, senior]
+    }
+
+    /// True if the class of `grad_year` is currently enrolled on `on`.
+    pub fn is_current_student_class(&self, grad_year: i32, on: Date) -> bool {
+        self.year_index(grad_year, on).is_some()
+    }
+
+    /// A typical birth year for a student in the class of `grad_year`:
+    /// US students usually turn 18 during their final school year.
+    pub fn typical_birth_year(&self, grad_year: i32) -> i32 {
+        grad_year - 18
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::ymd(1970, 1, 1).to_days(), 0);
+        assert_eq!(Date::from_days(0), Date::ymd(1970, 1, 1));
+    }
+
+    #[test]
+    fn known_day_counts() {
+        assert_eq!(Date::ymd(2012, 3, 1).to_days(), 15400);
+        assert_eq!(Date::ymd(1969, 12, 31).to_days(), -1);
+        assert_eq!(Date::ymd(2000, 2, 29).to_days(), 11016);
+    }
+
+    #[test]
+    fn rejects_invalid_dates() {
+        assert!(Date::new(2012, 2, 30).is_err());
+        assert!(Date::new(2012, 13, 1).is_err());
+        assert!(Date::new(2012, 0, 1).is_err());
+        assert!(Date::new(2012, 6, 0).is_err());
+        assert!(Date::new(2011, 2, 29).is_err());
+        assert!(Date::new(2012, 2, 29).is_ok());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2012));
+        assert!(!is_leap_year(2013));
+    }
+
+    #[test]
+    fn add_days_crosses_month_and_year() {
+        assert_eq!(Date::ymd(2012, 12, 31).add_days(1), Date::ymd(2013, 1, 1));
+        assert_eq!(Date::ymd(2012, 3, 1).add_days(-1), Date::ymd(2012, 2, 29));
+        assert_eq!(Date::ymd(2012, 1, 15).add_days(365), Date::ymd(2013, 1, 14));
+    }
+
+    #[test]
+    fn age_respects_birthday_boundary() {
+        let birth = Date::ymd(1999, 6, 15);
+        assert_eq!(Date::age_on(birth, Date::ymd(2012, 6, 14)), 12);
+        assert_eq!(Date::age_on(birth, Date::ymd(2012, 6, 15)), 13);
+        assert_eq!(Date::age_on(birth, Date::ymd(2012, 6, 16)), 13);
+        assert_eq!(Date::age_on(birth, Date::ymd(2017, 6, 14)), 17);
+        assert_eq!(Date::age_on(birth, Date::ymd(2017, 6, 15)), 18);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(Date::ymd(2011, 12, 31) < Date::ymd(2012, 1, 1));
+        assert!(Date::ymd(2012, 1, 2) > Date::ymd(2012, 1, 1));
+        assert_eq!(Date::ymd(2012, 1, 1), Date::ymd(2012, 1, 1));
+    }
+
+    #[test]
+    fn school_calendar_march_2012() {
+        // The paper collected HS1 data in March 2012: seniors are the
+        // class of 2012, freshmen the class of 2015.
+        let cal = SchoolCalendar::default();
+        let on = Date::ymd(2012, 3, 15);
+        assert_eq!(cal.senior_class_year(on), 2012);
+        assert_eq!(cal.enrolled_classes(on), [2015, 2014, 2013, 2012]);
+        assert_eq!(cal.year_index(2012, on), Some(4));
+        assert_eq!(cal.year_index(2015, on), Some(1));
+        assert_eq!(cal.year_index(2016, on), None);
+        assert_eq!(cal.year_index(2011, on), None);
+    }
+
+    #[test]
+    fn school_calendar_rolls_over_in_july() {
+        let cal = SchoolCalendar::default();
+        assert_eq!(cal.senior_class_year(Date::ymd(2012, 6, 30)), 2012);
+        assert_eq!(cal.senior_class_year(Date::ymd(2012, 7, 1)), 2013);
+    }
+
+    #[test]
+    fn typical_birth_year_is_grad_minus_18() {
+        let cal = SchoolCalendar::default();
+        assert_eq!(cal.typical_birth_year(2012), 1994);
+        assert_eq!(cal.typical_birth_year(2015), 1997);
+    }
+}

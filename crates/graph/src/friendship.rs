@@ -1,0 +1,303 @@
+//! Friendship storage: symmetric adjacency (Facebook-style friendships)
+//! and asymmetric circles (Google+-style, paper Appendix A).
+
+use crate::ids::UserId;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric friendship adjacency, one sorted neighbour list per user.
+///
+/// Sorted lists give `O(log n)` membership queries and cheap sorted-merge
+/// mutual-friend counting, which the stranger test and the Jaccard
+/// inference (paper §6.1) lean on heavily.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FriendGraph {
+    adj: Vec<Vec<UserId>>,
+}
+
+impl FriendGraph {
+    pub fn with_capacity(users: usize) -> Self {
+        FriendGraph { adj: vec![Vec::new(); users] }
+    }
+
+    /// Number of users the graph currently tracks.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Grow the user table to at least `users` entries.
+    pub fn ensure_users(&mut self, users: usize) {
+        if self.adj.len() < users {
+            self.adj.resize(users, Vec::new());
+        }
+    }
+
+    /// Insert a symmetric friendship. Self-links are ignored; duplicate
+    /// insertions are idempotent. Returns `true` if the edge was new.
+    pub fn add_friendship(&mut self, a: UserId, b: UserId) -> bool {
+        if a == b {
+            return false;
+        }
+        let max = a.index().max(b.index()) + 1;
+        self.ensure_users(max);
+        let inserted = Self::insert_sorted(&mut self.adj[a.index()], b);
+        if inserted {
+            Self::insert_sorted(&mut self.adj[b.index()], a);
+        }
+        inserted
+    }
+
+    fn insert_sorted(list: &mut Vec<UserId>, v: UserId) -> bool {
+        match list.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                list.insert(pos, v);
+                true
+            }
+        }
+    }
+
+    /// The sorted friend list of `u` (empty if out of range).
+    pub fn friends(&self, u: UserId) -> &[UserId] {
+        self.adj.get(u.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: UserId) -> usize {
+        self.friends(u).len()
+    }
+
+    /// Whether `a` and `b` are friends.
+    pub fn are_friends(&self, a: UserId, b: UserId) -> bool {
+        self.friends(a).binary_search(&b).is_ok()
+    }
+
+    /// Number of mutual friends of `a` and `b` (sorted-merge intersection).
+    pub fn mutual_friend_count(&self, a: UserId, b: UserId) -> usize {
+        sorted_intersection_len(self.friends(a), self.friends(b))
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Insert many edges at once: appends then sorts/dedups each
+    /// adjacency list, which is `O(E log d)` instead of the `O(E · d)`
+    /// of repeated sorted insertion. Self-loops and duplicates are
+    /// dropped. Intended for the population generator.
+    pub fn bulk_insert(&mut self, edges: impl IntoIterator<Item = (UserId, UserId)>) {
+        let mut touched = Vec::new();
+        for (a, b) in edges {
+            if a == b {
+                continue;
+            }
+            self.ensure_users(a.index().max(b.index()) + 1);
+            self.adj[a.index()].push(b);
+            self.adj[b.index()].push(a);
+            touched.push(a);
+            touched.push(b);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for u in touched {
+            let list = &mut self.adj[u.index()];
+            list.sort_unstable();
+            list.dedup();
+        }
+    }
+}
+
+/// Length of the intersection of two sorted, deduplicated slices.
+pub fn sorted_intersection_len(a: &[UserId], b: &[UserId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard index of two sorted friend lists, per the paper's hidden-link
+/// inference (§6.1): `|A ∩ B| / |A ∪ B|`. Returns 0 for two empty lists.
+pub fn jaccard_index(a: &[UserId], b: &[UserId]) -> f64 {
+    let inter = sorted_intersection_len(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Asymmetric circle membership, Google+-style: `a` may have `b` in her
+/// circles without `b` reciprocating (paper Appendix A).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Circles {
+    /// `out[a]` = users that `a` has in her circles (sorted).
+    out: Vec<Vec<UserId>>,
+    /// `inc[b]` = users that have `b` in their circles (sorted).
+    inc: Vec<Vec<UserId>>,
+}
+
+impl Circles {
+    pub fn with_capacity(users: usize) -> Self {
+        Circles { out: vec![Vec::new(); users], inc: vec![Vec::new(); users] }
+    }
+
+    pub fn ensure_users(&mut self, users: usize) {
+        if self.out.len() < users {
+            self.out.resize(users, Vec::new());
+            self.inc.resize(users, Vec::new());
+        }
+    }
+
+    /// `a` adds `b` to her circles. Idempotent; self-links ignored.
+    pub fn add(&mut self, a: UserId, b: UserId) -> bool {
+        if a == b {
+            return false;
+        }
+        self.ensure_users(a.index().max(b.index()) + 1);
+        let inserted = FriendGraph::insert_sorted(&mut self.out[a.index()], b);
+        if inserted {
+            FriendGraph::insert_sorted(&mut self.inc[b.index()], a);
+        }
+        inserted
+    }
+
+    /// Users in `u`'s circles.
+    pub fn in_circles_of(&self, u: UserId) -> &[UserId] {
+        self.out.get(u.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Users who have `u` in their circles.
+    pub fn have_in_circles(&self, u: UserId) -> &[UserId] {
+        self.inc.get(u.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Derive symmetric-looking circles from a friendship graph: both
+    /// directions are populated, mirroring users who "circled back".
+    pub fn from_friend_graph(g: &FriendGraph) -> Self {
+        let mut c = Circles::with_capacity(g.len());
+        for i in 0..g.len() {
+            let u = UserId::from_index(i);
+            for &v in g.friends(u) {
+                c.add(u, v);
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u64) -> UserId {
+        UserId(i)
+    }
+
+    #[test]
+    fn friendship_is_symmetric_and_idempotent() {
+        let mut g = FriendGraph::default();
+        assert!(g.add_friendship(u(1), u(2)));
+        assert!(!g.add_friendship(u(2), u(1)));
+        assert!(g.are_friends(u(1), u(2)));
+        assert!(g.are_friends(u(2), u(1)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_friendship_rejected() {
+        let mut g = FriendGraph::default();
+        assert!(!g.add_friendship(u(3), u(3)));
+        assert_eq!(g.degree(u(3)), 0);
+    }
+
+    #[test]
+    fn friend_lists_stay_sorted() {
+        let mut g = FriendGraph::default();
+        for i in [5u64, 1, 9, 3, 7] {
+            g.add_friendship(u(0), u(i));
+        }
+        let f = g.friends(u(0));
+        assert!(f.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn mutual_friends_counted() {
+        let mut g = FriendGraph::default();
+        // 1 and 2 share friends 3 and 4; 5 is only 1's friend.
+        g.add_friendship(u(1), u(3));
+        g.add_friendship(u(1), u(4));
+        g.add_friendship(u(1), u(5));
+        g.add_friendship(u(2), u(3));
+        g.add_friendship(u(2), u(4));
+        assert_eq!(g.mutual_friend_count(u(1), u(2)), 2);
+        assert_eq!(g.mutual_friend_count(u(1), u(5)), 0);
+    }
+
+    #[test]
+    fn bulk_insert_matches_incremental() {
+        let edges = [(1u64, 2), (2, 3), (1, 2), (4, 4), (0, 5), (5, 0), (3, 1)];
+        let mut bulk = FriendGraph::default();
+        bulk.bulk_insert(edges.iter().map(|&(a, b)| (u(a), u(b))));
+        let mut inc = FriendGraph::default();
+        for &(a, b) in &edges {
+            inc.add_friendship(u(a), u(b));
+        }
+        for i in 0..6 {
+            assert_eq!(bulk.friends(u(i)), inc.friends(u(i)), "user {i}");
+        }
+        assert_eq!(bulk.edge_count(), inc.edge_count());
+    }
+
+    #[test]
+    fn out_of_range_queries_are_empty() {
+        let g = FriendGraph::default();
+        assert_eq!(g.friends(u(99)), &[] as &[UserId]);
+        assert!(!g.are_friends(u(1), u(2)));
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a: Vec<UserId> = [1u64, 2, 3, 4].iter().map(|&i| u(i)).collect();
+        let b: Vec<UserId> = [3u64, 4, 5, 6].iter().map(|&i| u(i)).collect();
+        let j = jaccard_index(&a, &b);
+        assert!((j - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(jaccard_index(&[], &[]), 0.0);
+        assert_eq!(jaccard_index(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn circles_are_asymmetric() {
+        let mut c = Circles::default();
+        assert!(c.add(u(1), u(2)));
+        assert_eq!(c.in_circles_of(u(1)), &[u(2)]);
+        assert_eq!(c.have_in_circles(u(2)), &[u(1)]);
+        // The reverse direction was NOT created.
+        assert_eq!(c.in_circles_of(u(2)), &[] as &[UserId]);
+        assert_eq!(c.have_in_circles(u(1)), &[] as &[UserId]);
+    }
+
+    #[test]
+    fn circles_from_friend_graph_mirror_both_ways() {
+        let mut g = FriendGraph::default();
+        g.add_friendship(u(0), u(1));
+        let c = Circles::from_friend_graph(&g);
+        assert_eq!(c.in_circles_of(u(0)), &[u(1)]);
+        assert_eq!(c.in_circles_of(u(1)), &[u(0)]);
+        assert_eq!(c.have_in_circles(u(0)), &[u(1)]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Households: the ground-truth street addresses behind the §2
+//! voter-record linking threat.
+//!
+//! The paper's first consequential threat: a data broker buys voter
+//! registration records and links discovered students to parents "using
+//! the last name and city in the high-school profiles ... thereby
+//! determining the street address of many of the students". The
+//! generator assigns each family a household; adults in a household are
+//! what a voter roll would list.
+
+use crate::ids::{CityId, HouseholdId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A residential address shared by a family.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Household {
+    pub id: HouseholdId,
+    /// Street address, e.g. "412 Keller Ave".
+    pub address: String,
+    pub city: CityId,
+    /// All members (children and adults).
+    pub members: Vec<UserId>,
+}
+
+/// Registry of households plus a per-user index.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Households {
+    households: Vec<Household>,
+    /// member -> household, grown on demand.
+    of_user: Vec<Option<HouseholdId>>,
+}
+
+impl Households {
+    pub fn new() -> Self {
+        Households::default()
+    }
+
+    /// Create a household; members are registered to it.
+    pub fn add(&mut self, address: String, city: CityId, members: Vec<UserId>) -> HouseholdId {
+        let id = HouseholdId::from_index(self.households.len());
+        for &m in &members {
+            self.index_user(m, id);
+        }
+        self.households.push(Household { id, address, city, members });
+        id
+    }
+
+    /// Attach another member to an existing household.
+    pub fn join(&mut self, household: HouseholdId, member: UserId) {
+        self.households[household.index()].members.push(member);
+        self.index_user(member, household);
+    }
+
+    fn index_user(&mut self, user: UserId, household: HouseholdId) {
+        if self.of_user.len() <= user.index() {
+            self.of_user.resize(user.index() + 1, None);
+        }
+        self.of_user[user.index()] = Some(household);
+    }
+
+    pub fn of(&self, user: UserId) -> Option<&Household> {
+        self.of_user
+            .get(user.index())
+            .copied()
+            .flatten()
+            .map(|h| &self.households[h.index()])
+    }
+
+    pub fn get(&self, id: HouseholdId) -> &Household {
+        &self.households[id.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.households.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.households.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Household> {
+        self.households.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut hs = Households::new();
+        let h = hs.add("1 Oak St".into(), CityId(0), vec![UserId(3), UserId(5)]);
+        assert_eq!(hs.of(UserId(3)).unwrap().id, h);
+        assert_eq!(hs.of(UserId(5)).unwrap().address, "1 Oak St");
+        assert!(hs.of(UserId(99)).is_none());
+        assert_eq!(hs.len(), 1);
+    }
+
+    #[test]
+    fn join_extends_membership() {
+        let mut hs = Households::new();
+        let h = hs.add("2 Elm St".into(), CityId(1), vec![UserId(1)]);
+        hs.join(h, UserId(2));
+        assert_eq!(hs.get(h).members, vec![UserId(1), UserId(2)]);
+        assert_eq!(hs.of(UserId(2)).unwrap().id, h);
+    }
+
+    #[test]
+    fn later_household_wins_for_reassigned_user() {
+        let mut hs = Households::new();
+        let _a = hs.add("3 Ash St".into(), CityId(0), vec![UserId(7)]);
+        let b = hs.add("4 Birch St".into(), CityId(0), vec![UserId(7)]);
+        assert_eq!(hs.of(UserId(7)).unwrap().id, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Strongly-typed identifiers for the simulated social network.
+//!
+//! All identifiers are dense indices assigned by the generator, so they
+//! double as `Vec` indices in [`crate::network::Network`]. The newtype
+//! wrappers prevent mixing a user id with a school id at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The raw index value.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a raw index.
+            pub fn from_index(i: usize) -> Self {
+                $name(i as $repr)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A registered OSN account. Dense index into the network's user table.
+    UserId,
+    "u",
+    u64
+);
+
+id_type!(
+    /// A high school (or college) known to the OSN's education directory.
+    SchoolId,
+    "s",
+    u32
+);
+
+id_type!(
+    /// A city in the simulated geography.
+    CityId,
+    "c",
+    u32
+);
+
+id_type!(
+    /// A household: a street address shared by a family (ground truth
+    /// for the §2 voter-record linking threat).
+    HouseholdId,
+    "h",
+    u32
+);
+
+impl UserId {
+    /// Parse the canonical textual form produced by `Display` (`u<digits>`),
+    /// as found in scraped profile URLs.
+    pub fn parse(s: &str) -> Option<UserId> {
+        s.strip_prefix('u')?.parse().ok().map(UserId)
+    }
+}
+
+impl SchoolId {
+    /// Parse the canonical textual form (`s<digits>`).
+    pub fn parse(s: &str) -> Option<SchoolId> {
+        s.strip_prefix('s')?.parse().ok().map(SchoolId)
+    }
+}
+
+impl CityId {
+    /// Parse the canonical textual form (`c<digits>`).
+    pub fn parse(s: &str) -> Option<CityId> {
+        s.strip_prefix('c')?.parse().ok().map(CityId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let u = UserId(42);
+        assert_eq!(u.to_string(), "u42");
+        assert_eq!(UserId::parse("u42"), Some(u));
+        assert_eq!(SchoolId::parse(&SchoolId(7).to_string()), Some(SchoolId(7)));
+        assert_eq!(CityId::parse(&CityId(0).to_string()), Some(CityId(0)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_ids() {
+        assert_eq!(UserId::parse("42"), None);
+        assert_eq!(UserId::parse("s42"), None);
+        assert_eq!(UserId::parse("u"), None);
+        assert_eq!(UserId::parse("u4x2"), None);
+        assert_eq!(UserId::parse(""), None);
+    }
+
+    #[test]
+    fn ids_index_round_trip() {
+        assert_eq!(UserId::from_index(9).index(), 9);
+        assert_eq!(SchoolId::from_index(3).index(), 3);
+    }
+}

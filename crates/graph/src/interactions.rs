@@ -1,0 +1,125 @@
+//! Pairwise interaction intensity (wall posts / comments between
+//! friends).
+//!
+//! The paper's §4.3 points at interaction graphs (Wilson et al.) and
+//! activity evolution as unexplored ways to sharpen the attack: real
+//! classmates don't just *friend* each other, they *interact*. The
+//! generator records per-edge interaction counts; the platform exposes
+//! them only through the audience-gated wall (recent posters on a
+//! profile page), which is all a stranger — and hence the attacker —
+//! ever sees.
+
+use crate::ids::UserId;
+use serde::{Deserialize, Serialize};
+
+/// Per-user lists of interaction partners with counts, sorted by
+/// descending count (then id) — the "top posters" order a wall shows.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Interactions {
+    per_user: Vec<Vec<(UserId, u32)>>,
+}
+
+impl Interactions {
+    pub fn new() -> Self {
+        Interactions::default()
+    }
+
+    fn ensure(&mut self, users: usize) {
+        if self.per_user.len() < users {
+            self.per_user.resize(users, Vec::new());
+        }
+    }
+
+    /// Bulk-load symmetric interaction counts; zero counts are dropped,
+    /// duplicate pairs accumulate.
+    pub fn bulk_insert(&mut self, pairs: impl IntoIterator<Item = (UserId, UserId, u32)>) {
+        for (a, b, n) in pairs {
+            if n == 0 || a == b {
+                continue;
+            }
+            self.ensure(a.index().max(b.index()) + 1);
+            self.per_user[a.index()].push((b, n));
+            self.per_user[b.index()].push((a, n));
+        }
+        for list in &mut self.per_user {
+            // Accumulate duplicates, then sort by descending count.
+            list.sort_unstable_by_key(|&(u, _)| u);
+            let mut merged: Vec<(UserId, u32)> = Vec::with_capacity(list.len());
+            for &(u, n) in list.iter() {
+                match merged.last_mut() {
+                    Some(last) if last.0 == u => last.1 += n,
+                    _ => merged.push((u, n)),
+                }
+            }
+            merged.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            *list = merged;
+        }
+    }
+
+    /// Interaction partners of `u`, strongest first.
+    pub fn partners(&self, u: UserId) -> &[(UserId, u32)] {
+        self.per_user.get(u.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Interaction count between two users (0 when none recorded).
+    pub fn count(&self, a: UserId, b: UserId) -> u32 {
+        self.partners(a)
+            .iter()
+            .find(|&&(u, _)| u == b)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    }
+
+    /// The top-`k` posters on `u`'s wall.
+    pub fn top_partners(&self, u: UserId, k: usize) -> Vec<UserId> {
+        self.partners(u).iter().take(k).map(|&(v, _)| v).collect()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.per_user.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u64) -> UserId {
+        UserId(i)
+    }
+
+    #[test]
+    fn bulk_insert_is_symmetric_and_sorted_by_count() {
+        let mut x = Interactions::new();
+        x.bulk_insert([(u(1), u(2), 5), (u(1), u(3), 9), (u(2), u(3), 1)]);
+        assert_eq!(x.partners(u(1)), &[(u(3), 9), (u(2), 5)]);
+        assert_eq!(x.count(u(2), u(1)), 5);
+        assert_eq!(x.count(u(3), u(1)), 9);
+        assert_eq!(x.count(u(1), u(9)), 0);
+        assert_eq!(x.top_partners(u(1), 1), vec![u(3)]);
+    }
+
+    #[test]
+    fn duplicates_accumulate_zeros_and_self_links_dropped() {
+        let mut x = Interactions::new();
+        x.bulk_insert([(u(1), u(2), 2), (u(2), u(1), 3), (u(1), u(1), 7), (u(1), u(4), 0)]);
+        assert_eq!(x.count(u(1), u(2)), 5);
+        assert_eq!(x.count(u(1), u(1)), 0);
+        assert_eq!(x.count(u(1), u(4)), 0);
+    }
+
+    #[test]
+    fn count_ties_break_by_id() {
+        let mut x = Interactions::new();
+        x.bulk_insert([(u(1), u(5), 3), (u(1), u(2), 3)]);
+        assert_eq!(x.partners(u(1)), &[(u(2), 3), (u(5), 3)]);
+    }
+
+    #[test]
+    fn empty_queries() {
+        let x = Interactions::new();
+        assert!(x.is_empty());
+        assert!(x.partners(u(7)).is_empty());
+        assert_eq!(x.top_partners(u(7), 3), Vec::<UserId>::new());
+    }
+}

@@ -1,0 +1,342 @@
+//! The assembled social network: users, friendships, schools, cities and
+//! the simulated "today".
+
+use crate::date::{Date, SchoolCalendar};
+use crate::friendship::{Circles, FriendGraph};
+use crate::household::Households;
+use crate::ids::{CityId, SchoolId, UserId};
+use crate::interactions::Interactions;
+use crate::school::{City, School};
+use crate::user::{Role, User};
+use serde::{Deserialize, Serialize};
+
+/// The complete simulated OSN state plus generator-side ground truth.
+///
+/// The platform crate serves *views* of this structure filtered through
+/// the privacy-policy engine; evaluation code reads the ground-truth
+/// accessors directly (playing the role of the paper's confidential
+/// school rosters).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Network {
+    /// The simulated current date (the paper's crawls: March/June 2012).
+    pub today: Date,
+    pub calendar: SchoolCalendar,
+    users: Vec<User>,
+    friends: FriendGraph,
+    schools: Vec<School>,
+    cities: Vec<City>,
+    households: Households,
+    /// Asymmetric circle membership (Google+ mode; empty under
+    /// Facebook-style symmetric friendship).
+    circles: Circles,
+    /// Pairwise interaction intensity (wall posts between friends).
+    interactions: Interactions,
+}
+
+impl Network {
+    pub fn new(today: Date) -> Self {
+        Network {
+            today,
+            calendar: SchoolCalendar::default(),
+            users: Vec::new(),
+            friends: FriendGraph::default(),
+            schools: Vec::new(),
+            cities: Vec::new(),
+            households: Households::new(),
+            circles: Circles::default(),
+            interactions: Interactions::default(),
+        }
+    }
+
+    // ----- construction ---------------------------------------------------
+
+    /// Register a city, returning its id.
+    pub fn add_city(&mut self, name: impl Into<String>, state: impl Into<String>) -> CityId {
+        let id = CityId::from_index(self.cities.len());
+        self.cities.push(City { id, name: name.into(), state: state.into() });
+        id
+    }
+
+    /// Register a school, returning its id.
+    pub fn add_school(&mut self, school: School) -> SchoolId {
+        let id = SchoolId::from_index(self.schools.len());
+        let mut school = school;
+        school.id = id;
+        self.schools.push(school);
+        id
+    }
+
+    /// Add a user; the `id` field is overwritten with the assigned id.
+    pub fn add_user(&mut self, mut user: User) -> UserId {
+        let id = UserId::from_index(self.users.len());
+        user.id = id;
+        self.users.push(user);
+        self.friends.ensure_users(self.users.len());
+        id
+    }
+
+    /// Add a symmetric friendship.
+    pub fn add_friendship(&mut self, a: UserId, b: UserId) -> bool {
+        debug_assert!(a.index() < self.users.len() && b.index() < self.users.len());
+        self.friends.add_friendship(a, b)
+    }
+
+    /// Bulk-insert friendships (see [`FriendGraph::bulk_insert`]).
+    pub fn add_friendships_bulk(&mut self, edges: impl IntoIterator<Item = (UserId, UserId)>) {
+        self.friends.bulk_insert(edges);
+        self.friends.ensure_users(self.users.len());
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    pub fn user(&self, id: UserId) -> &User {
+        &self.users[id.index()]
+    }
+
+    pub fn try_user(&self, id: UserId) -> Option<&User> {
+        self.users.get(id.index())
+    }
+
+    pub fn user_mut(&mut self, id: UserId) -> &mut User {
+        &mut self.users[id.index()]
+    }
+
+    pub fn users(&self) -> impl Iterator<Item = &User> {
+        self.users.iter()
+    }
+
+    pub fn user_ids(&self) -> impl Iterator<Item = UserId> {
+        (0..self.users.len()).map(UserId::from_index)
+    }
+
+    pub fn school(&self, id: SchoolId) -> &School {
+        &self.schools[id.index()]
+    }
+
+    pub fn schools(&self) -> &[School] {
+        &self.schools
+    }
+
+    pub fn city(&self, id: CityId) -> &City {
+        &self.cities[id.index()]
+    }
+
+    pub fn cities(&self) -> &[City] {
+        &self.cities
+    }
+
+    pub fn friend_graph(&self) -> &FriendGraph {
+        &self.friends
+    }
+
+    /// Asymmetric circles (Google+, paper Appendix A).
+    pub fn circles(&self) -> &Circles {
+        &self.circles
+    }
+
+    pub fn circles_mut(&mut self) -> &mut Circles {
+        &mut self.circles
+    }
+
+    /// Pairwise interactions (wall-post counts between friends).
+    pub fn interactions(&self) -> &Interactions {
+        &self.interactions
+    }
+
+    pub fn interactions_mut(&mut self) -> &mut Interactions {
+        &mut self.interactions
+    }
+
+    /// Ground-truth households (the substrate behind public records).
+    pub fn households(&self) -> &Households {
+        &self.households
+    }
+
+    pub fn households_mut(&mut self) -> &mut Households {
+        &mut self.households
+    }
+
+    /// Sorted friend list of `u` (ground truth; the platform decides who
+    /// may *see* it).
+    pub fn friends(&self, u: UserId) -> &[UserId] {
+        self.friends.friends(u)
+    }
+
+    pub fn are_friends(&self, a: UserId, b: UserId) -> bool {
+        self.friends.are_friends(a, b)
+    }
+
+    // ----- paper definitions ----------------------------------------------
+
+    /// The paper's stranger test (§3): `viewer` is a stranger to `target`
+    /// iff they are not friends, share no mutual friend, and share no
+    /// school/work network.
+    pub fn is_stranger(&self, viewer: UserId, target: UserId) -> bool {
+        if viewer == target || self.are_friends(viewer, target) {
+            return false;
+        }
+        if self.friends.mutual_friend_count(viewer, target) > 0 {
+            return false;
+        }
+        let vn = &self.user(viewer).profile.networks;
+        let tn = &self.user(target).profile.networks;
+        !vn.iter().any(|n| tn.contains(n))
+    }
+
+    /// Whether the OSN currently considers `u` a minor.
+    pub fn is_registered_minor(&self, u: UserId) -> bool {
+        self.user(u).is_registered_minor(self.today)
+    }
+
+    /// Whether `u` is actually a minor today (ground truth).
+    pub fn is_true_minor(&self, u: UserId) -> bool {
+        self.user(u).is_true_minor(self.today)
+    }
+
+    /// The graduation year of the current senior class.
+    pub fn senior_class_year(&self) -> i32 {
+        self.calendar.senior_class_year(self.today)
+    }
+
+    // ----- ground-truth rosters (the "confidential channel") ---------------
+
+    /// Ground-truth set `M`: user ids of all *actual* current students of
+    /// `school` with accounts, sorted by id.
+    pub fn roster(&self, school: SchoolId) -> Vec<UserId> {
+        self.users
+            .iter()
+            .filter(|u| u.role.is_current_student_at(school))
+            .map(|u| u.id)
+            .collect()
+    }
+
+    /// Ground-truth roster restricted to the class of `grad_year`.
+    pub fn roster_for_class(&self, school: SchoolId, grad_year: i32) -> Vec<UserId> {
+        self.users
+            .iter()
+            .filter(|u| {
+                matches!(u.role, Role::CurrentStudent { school: s, grad_year: g }
+                    if s == school && g == grad_year)
+            })
+            .map(|u| u.id)
+            .collect()
+    }
+
+    /// Ground-truth alumni of `school` who graduated in `grad_year`.
+    pub fn alumni_of_class(&self, school: SchoolId, grad_year: i32) -> Vec<UserId> {
+        self.users
+            .iter()
+            .filter(|u| {
+                matches!(u.role, Role::Alumnus { school: s, grad_year: g }
+                    if s == school && g == grad_year)
+            })
+            .map(|u| u.id)
+            .collect()
+    }
+
+    /// The ground-truth graduation year of a current student, if any.
+    pub fn student_grad_year(&self, u: UserId) -> Option<i32> {
+        match self.user(u).role {
+            Role::CurrentStudent { grad_year, .. } => Some(grad_year),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privacy::PrivacySettings;
+    use crate::profile::{Gender, ProfileContent, Registration};
+    use crate::school::SchoolKind;
+
+    fn mk_user(net: &mut Network, role: Role) -> UserId {
+        net.add_user(User {
+            id: UserId(0),
+            true_birth_date: Date::ymd(1996, 5, 1),
+            registration: Registration {
+                registered_birth_date: Date::ymd(1996, 5, 1),
+                registration_date: Date::ymd(2010, 1, 1),
+            },
+            profile: ProfileContent::bare("T", "U", Gender::Female),
+            privacy: PrivacySettings::facebook_adult_default(),
+            role,
+        })
+    }
+
+    fn base_network() -> (Network, SchoolId) {
+        let mut net = Network::new(Date::ymd(2012, 3, 15));
+        let city = net.add_city("Springfield", "NY");
+        let school = net.add_school(School {
+            id: SchoolId(0),
+            name: "HS1".into(),
+            city,
+            kind: SchoolKind::HighSchool,
+            public_enrollment_estimate: 360,
+        });
+        (net, school)
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let (mut net, school) = base_network();
+        let a = mk_user(&mut net, Role::CurrentStudent { school, grad_year: 2014 });
+        let b = mk_user(&mut net, Role::OtherResident);
+        assert_eq!(a, UserId(0));
+        assert_eq!(b, UserId(1));
+        assert_eq!(net.user(a).id, a);
+    }
+
+    #[test]
+    fn roster_matches_roles() {
+        let (mut net, school) = base_network();
+        let s1 = mk_user(&mut net, Role::CurrentStudent { school, grad_year: 2014 });
+        let s2 = mk_user(&mut net, Role::CurrentStudent { school, grad_year: 2012 });
+        let _al = mk_user(&mut net, Role::Alumnus { school, grad_year: 2010 });
+        let _other = mk_user(&mut net, Role::OtherResident);
+        assert_eq!(net.roster(school), vec![s1, s2]);
+        assert_eq!(net.roster_for_class(school, 2014), vec![s1]);
+        assert_eq!(net.roster_for_class(school, 2012), vec![s2]);
+        assert!(net.alumni_of_class(school, 2010).len() == 1);
+        assert_eq!(net.student_grad_year(s1), Some(2014));
+        assert_eq!(net.student_grad_year(_other), None);
+    }
+
+    #[test]
+    fn stranger_test_friend_and_mutual() {
+        let (mut net, _school) = base_network();
+        let a = mk_user(&mut net, Role::OtherResident);
+        let b = mk_user(&mut net, Role::OtherResident);
+        let c = mk_user(&mut net, Role::OtherResident);
+        assert!(net.is_stranger(a, b));
+        // Mutual friend breaks strangerhood.
+        net.add_friendship(a, c);
+        net.add_friendship(b, c);
+        assert!(!net.is_stranger(a, b));
+        // Direct friendship too.
+        net.add_friendship(a, b);
+        assert!(!net.is_stranger(a, b));
+        // Never a stranger to yourself.
+        assert!(!net.is_stranger(a, a));
+    }
+
+    #[test]
+    fn stranger_test_shared_network() {
+        let (mut net, school) = base_network();
+        let a = mk_user(&mut net, Role::OtherResident);
+        let b = mk_user(&mut net, Role::OtherResident);
+        net.user_mut(a).profile.networks.push(school);
+        net.user_mut(b).profile.networks.push(school);
+        assert!(!net.is_stranger(a, b));
+    }
+
+    #[test]
+    fn senior_class_in_march_2012() {
+        let (net, _) = base_network();
+        assert_eq!(net.senior_class_year(), 2012);
+    }
+}

@@ -1,0 +1,226 @@
+//! User-chosen privacy settings.
+//!
+//! These are the audiences a user *selects* in their account settings.
+//! What a stranger actually sees is decided by the policy engine
+//! (`hsp-policy`), which may cap these settings — e.g. Facebook shows at
+//! most minimal information on a registered minor's public profile no
+//! matter what the minor selects (paper §3.1, Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// The audience a profile field is shared with.
+///
+/// Ordered from most to least public: `Public > FriendsOfFriends >
+/// Friends > OnlyMe`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Audience {
+    /// Everyone, including strangers.
+    Public,
+    /// Friends and their friends.
+    FriendsOfFriends,
+    /// Direct friends only.
+    Friends,
+    /// Hidden from everyone but the owner.
+    OnlyMe,
+}
+
+impl Audience {
+    /// Whether a stranger (no friend link, no mutual friends, no shared
+    /// network) can see a field with this audience.
+    pub fn visible_to_stranger(self) -> bool {
+        matches!(self, Audience::Public)
+    }
+
+    /// The more restrictive of two audiences.
+    pub fn min(self, other: Audience) -> Audience {
+        if self.rank() >= other.rank() {
+            self
+        } else {
+            other
+        }
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Audience::Public => 0,
+            Audience::FriendsOfFriends => 1,
+            Audience::Friends => 2,
+            Audience::OnlyMe => 3,
+        }
+    }
+}
+
+/// Per-field audience selections for one account.
+///
+/// Field names mirror the rows of the paper's Table 1.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacySettings {
+    /// Who can see the friend list.
+    pub friend_list: Audience,
+    /// Who can see high-school / college education entries (and grad year).
+    pub education: Audience,
+    /// Who can see relationship status.
+    pub relationship: Audience,
+    /// Who can see "interested in".
+    pub interested_in: Audience,
+    /// Who can see the full birthday.
+    pub birthday: Audience,
+    /// Who can see hometown.
+    pub hometown: Audience,
+    /// Who can see current city.
+    pub current_city: Audience,
+    /// Who can see shared photos.
+    pub photos: Audience,
+    /// Who can see contact information (email / phone / address).
+    pub contact_info: Audience,
+    /// Who can see wall postings.
+    pub wall: Audience,
+    /// Whether the account appears in public search results at all.
+    pub public_search: bool,
+    /// Who can use the "Message" button.
+    pub message_button: Audience,
+}
+
+impl PrivacySettings {
+    /// 2012-era Facebook defaults for a newly registered *adult* account,
+    /// per the "Default for Reg. Adults" column of the paper's Table 1:
+    /// education, relationship, interested-in, hometown, current city,
+    /// friend list, photos and public search are stranger-visible by
+    /// default; birthday and contact info are not.
+    pub fn facebook_adult_default() -> Self {
+        PrivacySettings {
+            friend_list: Audience::Public,
+            education: Audience::Public,
+            relationship: Audience::Public,
+            interested_in: Audience::Public,
+            birthday: Audience::Friends,
+            hometown: Audience::Public,
+            current_city: Audience::Public,
+            photos: Audience::Public,
+            contact_info: Audience::Friends,
+            wall: Audience::FriendsOfFriends,
+            public_search: true,
+            message_button: Audience::Public,
+        }
+    }
+
+    /// 2012-era Facebook defaults for a registered *minor* account, per
+    /// the "Default for Reg. minors" column of Table 1. (Facebook
+    /// additionally hard-caps what strangers see of minors; that cap
+    /// lives in the policy engine, not here.)
+    pub fn facebook_minor_default() -> Self {
+        PrivacySettings {
+            friend_list: Audience::Friends,
+            education: Audience::Friends,
+            relationship: Audience::Friends,
+            interested_in: Audience::Friends,
+            birthday: Audience::Friends,
+            hometown: Audience::Friends,
+            current_city: Audience::Friends,
+            photos: Audience::FriendsOfFriends,
+            contact_info: Audience::Friends,
+            wall: Audience::Friends,
+            public_search: false,
+            message_button: Audience::FriendsOfFriends,
+        }
+    }
+
+    /// Everything shared as widely as the settings UI allows — the
+    /// "worst case" columns of Table 1.
+    pub fn maximum_sharing() -> Self {
+        PrivacySettings {
+            friend_list: Audience::Public,
+            education: Audience::Public,
+            relationship: Audience::Public,
+            interested_in: Audience::Public,
+            birthday: Audience::Public,
+            hometown: Audience::Public,
+            current_city: Audience::Public,
+            photos: Audience::Public,
+            contact_info: Audience::Public,
+            wall: Audience::Public,
+            public_search: true,
+            message_button: Audience::Public,
+        }
+    }
+
+    /// Everything locked down to friends-only and hidden from search.
+    pub fn locked_down() -> Self {
+        PrivacySettings {
+            friend_list: Audience::OnlyMe,
+            education: Audience::Friends,
+            relationship: Audience::Friends,
+            interested_in: Audience::Friends,
+            birthday: Audience::OnlyMe,
+            hometown: Audience::Friends,
+            current_city: Audience::Friends,
+            photos: Audience::Friends,
+            contact_info: Audience::OnlyMe,
+            wall: Audience::Friends,
+            public_search: false,
+            message_button: Audience::Friends,
+        }
+    }
+}
+
+impl Default for PrivacySettings {
+    fn default() -> Self {
+        Self::facebook_adult_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_public_is_stranger_visible() {
+        assert!(Audience::Public.visible_to_stranger());
+        assert!(!Audience::FriendsOfFriends.visible_to_stranger());
+        assert!(!Audience::Friends.visible_to_stranger());
+        assert!(!Audience::OnlyMe.visible_to_stranger());
+    }
+
+    #[test]
+    fn min_picks_more_restrictive() {
+        assert_eq!(Audience::Public.min(Audience::Friends), Audience::Friends);
+        assert_eq!(Audience::OnlyMe.min(Audience::Public), Audience::OnlyMe);
+        assert_eq!(
+            Audience::FriendsOfFriends.min(Audience::FriendsOfFriends),
+            Audience::FriendsOfFriends
+        );
+    }
+
+    #[test]
+    fn adult_default_matches_table1_default_column() {
+        let p = PrivacySettings::facebook_adult_default();
+        // Stranger-visible by default
+        assert!(p.education.visible_to_stranger());
+        assert!(p.relationship.visible_to_stranger());
+        assert!(p.interested_in.visible_to_stranger());
+        assert!(p.hometown.visible_to_stranger());
+        assert!(p.current_city.visible_to_stranger());
+        assert!(p.friend_list.visible_to_stranger());
+        assert!(p.photos.visible_to_stranger());
+        assert!(p.public_search);
+        // Not stranger-visible by default
+        assert!(!p.birthday.visible_to_stranger());
+        assert!(!p.contact_info.visible_to_stranger());
+    }
+
+    #[test]
+    fn minor_default_is_locked() {
+        let p = PrivacySettings::facebook_minor_default();
+        assert!(!p.friend_list.visible_to_stranger());
+        assert!(!p.education.visible_to_stranger());
+        assert!(!p.public_search);
+    }
+
+    #[test]
+    fn maximum_sharing_is_all_public() {
+        let p = PrivacySettings::maximum_sharing();
+        assert!(p.birthday.visible_to_stranger());
+        assert!(p.contact_info.visible_to_stranger());
+        assert!(p.public_search);
+    }
+}

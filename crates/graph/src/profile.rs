@@ -1,0 +1,280 @@
+//! User-entered profile content.
+//!
+//! Everything in this module is what the account owner typed into the OSN
+//! — it may be incomplete (many users list no school) and, for the
+//! registered birth date, may be a lie. Ground truth about the person
+//! behind the account lives in [`crate::user::Role`].
+
+use crate::date::Date;
+use crate::ids::{CityId, SchoolId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Self-reported gender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gender {
+    Female,
+    Male,
+    Unspecified,
+}
+
+impl fmt::Display for Gender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gender::Female => write!(f, "female"),
+            Gender::Male => write!(f, "male"),
+            Gender::Unspecified => write!(f, "unspecified"),
+        }
+    }
+}
+
+/// Relationship status as displayed on the profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelationshipStatus {
+    Single,
+    InARelationship,
+    Engaged,
+    Married,
+    Complicated,
+}
+
+/// The "interested in" field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterestedIn {
+    Men,
+    Women,
+    Both,
+}
+
+/// Kind of education entry listed on a profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EducationKind {
+    HighSchool,
+    College,
+    GraduateSchool,
+}
+
+/// One education entry a user listed: a school plus an optional class
+/// (graduation) year. A current student lists a grad year in the present
+/// or future; an alumnus lists a past year.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EducationEntry {
+    pub school: SchoolId,
+    pub kind: EducationKind,
+    pub grad_year: Option<i32>,
+}
+
+impl EducationEntry {
+    pub fn high_school(school: SchoolId, grad_year: i32) -> Self {
+        EducationEntry {
+            school,
+            kind: EducationKind::HighSchool,
+            grad_year: Some(grad_year),
+        }
+    }
+
+    pub fn college(school: SchoolId, grad_year: Option<i32>) -> Self {
+        EducationEntry {
+            school,
+            kind: EducationKind::College,
+            grad_year,
+        }
+    }
+
+    pub fn graduate_school(school: SchoolId) -> Self {
+        EducationEntry {
+            school,
+            kind: EducationKind::GraduateSchool,
+            grad_year: None,
+        }
+    }
+}
+
+/// Contact information a user may have entered.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContactInfo {
+    pub email: Option<String>,
+    pub phone: Option<String>,
+    pub address: Option<String>,
+}
+
+impl ContactInfo {
+    pub fn is_empty(&self) -> bool {
+        self.email.is_none() && self.phone.is_none() && self.address.is_none()
+    }
+}
+
+/// Everything the account owner entered on their profile.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProfileContent {
+    pub first_name: String,
+    pub last_name: String,
+    pub gender: Gender,
+    /// Whether a profile photo was uploaded (the photo itself is not
+    /// modelled, only its presence).
+    pub has_profile_photo: bool,
+    /// School / work networks the account joined. Fewer than 10 % of
+    /// registered minors specify one (paper §3.1).
+    pub networks: Vec<SchoolId>,
+    /// Education entries (high school, college, graduate school).
+    pub education: Vec<EducationEntry>,
+    pub hometown: Option<CityId>,
+    pub current_city: Option<CityId>,
+    pub relationship: Option<RelationshipStatus>,
+    pub interested_in: Option<InterestedIn>,
+    /// Number of photos shared on the account (Table 5 reports averages).
+    pub photos_shared: u32,
+    /// Number of wall postings on the account.
+    pub wall_posts: u32,
+    pub contact: ContactInfo,
+}
+
+impl ProfileContent {
+    /// A bare profile with just a name and gender, everything else empty.
+    pub fn bare(first_name: impl Into<String>, last_name: impl Into<String>, gender: Gender) -> Self {
+        ProfileContent {
+            first_name: first_name.into(),
+            last_name: last_name.into(),
+            gender,
+            has_profile_photo: true,
+            networks: Vec::new(),
+            education: Vec::new(),
+            hometown: None,
+            current_city: None,
+            relationship: None,
+            interested_in: None,
+            photos_shared: 0,
+            wall_posts: 0,
+            contact: ContactInfo::default(),
+        }
+    }
+
+    /// Full display name.
+    pub fn full_name(&self) -> String {
+        format!("{} {}", self.first_name, self.last_name)
+    }
+
+    /// The high-school education entry, if one is listed.
+    pub fn listed_high_school(&self) -> Option<EducationEntry> {
+        self.education
+            .iter()
+            .copied()
+            .find(|e| e.kind == EducationKind::HighSchool)
+    }
+
+    /// All listed high-school entries (transfers may list several).
+    pub fn listed_high_schools(&self) -> impl Iterator<Item = EducationEntry> + '_ {
+        self.education
+            .iter()
+            .copied()
+            .filter(|e| e.kind == EducationKind::HighSchool)
+    }
+
+    /// Whether a graduate school is listed (used by the paper's filter
+    /// rules, §4.4).
+    pub fn lists_graduate_school(&self) -> bool {
+        self.education
+            .iter()
+            .any(|e| e.kind == EducationKind::GraduateSchool)
+    }
+
+    /// Whether this user explicitly claims to currently attend `school`
+    /// on date `today`: the school is listed as their high school with a
+    /// graduation year in the current school year or later (paper §4.1
+    /// step 2).
+    pub fn claims_current_student(
+        &self,
+        school: SchoolId,
+        senior_class_year: i32,
+    ) -> bool {
+        self.listed_high_schools().any(|e| {
+            e.school == school && e.grad_year.map_or(false, |g| g >= senior_class_year)
+        })
+    }
+}
+
+/// The registered birth date plus derived registered-age helpers.
+///
+/// Kept separate from [`ProfileContent`] because the OSN treats it as
+/// account metadata (it determines minor/adult status) rather than a
+/// profile field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Registration {
+    /// Birth date entered at sign-up — possibly a lie.
+    pub registered_birth_date: Date,
+    /// When the account was created.
+    pub registration_date: Date,
+}
+
+impl Registration {
+    /// Age the OSN believes the user to be on `on`.
+    pub fn registered_age(&self, on: Date) -> i32 {
+        Date::age_on(self.registered_birth_date, on)
+    }
+
+    /// Whether the OSN considers this account a minor (< 18) on `on`.
+    pub fn is_registered_minor(&self, on: Date) -> bool {
+        self.registered_age(on) < 18
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listed_high_school_finds_hs_entry() {
+        let mut p = ProfileContent::bare("Ann", "Lee", Gender::Female);
+        p.education.push(EducationEntry::college(SchoolId(9), None));
+        p.education.push(EducationEntry::high_school(SchoolId(1), 2014));
+        let hs = p.listed_high_school().unwrap();
+        assert_eq!(hs.school, SchoolId(1));
+        assert_eq!(hs.grad_year, Some(2014));
+    }
+
+    #[test]
+    fn claims_current_student_requires_current_or_future_year() {
+        let mut p = ProfileContent::bare("Bo", "Kim", Gender::Male);
+        p.education.push(EducationEntry::high_school(SchoolId(1), 2014));
+        // Senior class of 2012: class of 2014 is a current (2nd-year) student.
+        assert!(p.claims_current_student(SchoolId(1), 2012));
+        // Senior class of 2015: class of 2014 already graduated.
+        assert!(!p.claims_current_student(SchoolId(1), 2015));
+        // Different school never matches.
+        assert!(!p.claims_current_student(SchoolId(2), 2012));
+    }
+
+    #[test]
+    fn alumnus_does_not_claim_current() {
+        let mut p = ProfileContent::bare("Cy", "Row", Gender::Male);
+        p.education.push(EducationEntry::high_school(SchoolId(1), 2010));
+        assert!(!p.claims_current_student(SchoolId(1), 2012));
+    }
+
+    #[test]
+    fn registered_minor_boundary_at_18() {
+        let reg = Registration {
+            registered_birth_date: Date::ymd(1994, 3, 10),
+            registration_date: Date::ymd(2008, 5, 1),
+        };
+        assert!(reg.is_registered_minor(Date::ymd(2012, 3, 9)));
+        assert!(!reg.is_registered_minor(Date::ymd(2012, 3, 10)));
+        assert_eq!(reg.registered_age(Date::ymd(2012, 3, 10)), 18);
+    }
+
+    #[test]
+    fn grad_school_filter_flag() {
+        let mut p = ProfileContent::bare("Di", "Wu", Gender::Female);
+        assert!(!p.lists_graduate_school());
+        p.education.push(EducationEntry::graduate_school(SchoolId(3)));
+        assert!(p.lists_graduate_school());
+    }
+
+    #[test]
+    fn contact_info_emptiness() {
+        let mut c = ContactInfo::default();
+        assert!(c.is_empty());
+        c.phone = Some("555-0100".into());
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Schools and cities of the simulated geography.
+
+use crate::ids::{CityId, SchoolId};
+use serde::{Deserialize, Serialize};
+
+/// A city. Every school belongs to a city and users may list a city as
+/// hometown / current city.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct City {
+    pub id: CityId,
+    pub name: String,
+    pub state: String,
+}
+
+/// Kind of institution in the education directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchoolKind {
+    /// A four-year US high school.
+    HighSchool,
+    /// A college / university (appears in alumni profiles and filter rules).
+    College,
+    /// A graduate school.
+    GraduateSchool,
+}
+
+/// A school known to the OSN's education directory.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct School {
+    pub id: SchoolId,
+    pub name: String,
+    pub city: CityId,
+    pub kind: SchoolKind,
+    /// Approximate enrolment, as a third party would find on Wikipedia
+    /// (the paper's attacker uses this to pick the threshold `t`).
+    pub public_enrollment_estimate: u32,
+}
+
+impl School {
+    pub fn is_high_school(&self) -> bool {
+        self.kind == SchoolKind::HighSchool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_school_flag() {
+        let hs = School {
+            id: SchoolId(0),
+            name: "HS1".into(),
+            city: CityId(0),
+            kind: SchoolKind::HighSchool,
+            public_enrollment_estimate: 362,
+        };
+        assert!(hs.is_high_school());
+        let college = School { kind: SchoolKind::College, ..hs.clone() };
+        assert!(!college.is_high_school());
+    }
+}

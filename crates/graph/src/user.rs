@@ -1,0 +1,157 @@
+//! Accounts and the generator-side ground truth behind them.
+
+use crate::date::Date;
+use crate::ids::{SchoolId, UserId};
+use crate::privacy::PrivacySettings;
+use crate::profile::{ProfileContent, Registration};
+use serde::{Deserialize, Serialize};
+
+/// Ground truth about the person behind an account.
+///
+/// This information is known to the generator (it created the person) and
+/// plays the role of the paper's confidential school rosters: evaluation
+/// code may read it, but the platform never serves it and the attacker
+/// never sees it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Currently enrolled at `school`, graduating in `grad_year`.
+    CurrentStudent { school: SchoolId, grad_year: i32 },
+    /// Attended `school` but transferred out (churn) before graduating.
+    FormerStudent {
+        school: SchoolId,
+        /// The class they would have graduated with.
+        grad_year: i32,
+    },
+    /// Graduated from `school` in `grad_year` (a past year).
+    Alumnus { school: SchoolId, grad_year: i32 },
+    /// A parent of one or more current students.
+    Parent { children: Vec<UserId> },
+    /// An adult resident of the city with no tie to the target school.
+    OtherResident,
+    /// A user living elsewhere (out-of-city friends, relatives, ...).
+    NonResident,
+}
+
+impl Role {
+    /// The school this role is tied to, if any.
+    pub fn school(&self) -> Option<SchoolId> {
+        match self {
+            Role::CurrentStudent { school, .. }
+            | Role::FormerStudent { school, .. }
+            | Role::Alumnus { school, .. } => Some(*school),
+            _ => None,
+        }
+    }
+
+    /// True if this person is *actually* a current student at `school`.
+    pub fn is_current_student_at(&self, school: SchoolId) -> bool {
+        matches!(self, Role::CurrentStudent { school: s, .. } if *s == school)
+    }
+}
+
+/// One registered OSN account, combining what the OSN stores (profile,
+/// privacy settings, registered birth date) with the ground truth only
+/// the generator knows (true birth date, actual role).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct User {
+    pub id: UserId,
+    /// The person's actual birth date (ground truth).
+    pub true_birth_date: Date,
+    /// What the OSN believes (possibly a registration-time lie).
+    pub registration: Registration,
+    pub profile: ProfileContent,
+    pub privacy: PrivacySettings,
+    /// Ground truth role — never served by the platform.
+    pub role: Role,
+}
+
+impl User {
+    /// The person's actual age on `on`.
+    pub fn true_age(&self, on: Date) -> i32 {
+        Date::age_on(self.true_birth_date, on)
+    }
+
+    /// Whether the person is actually a minor (< 18) on `on`.
+    pub fn is_true_minor(&self, on: Date) -> bool {
+        self.true_age(on) < 18
+    }
+
+    /// The age the OSN believes the user to be on `on`.
+    pub fn registered_age(&self, on: Date) -> i32 {
+        self.registration.registered_age(on)
+    }
+
+    /// Whether the OSN treats this account as a minor on `on`.
+    pub fn is_registered_minor(&self, on: Date) -> bool {
+        self.registration.is_registered_minor(on)
+    }
+
+    /// A minor who the OSN believes is an adult — the paper's "lying
+    /// minor", the pivot of the whole attack.
+    pub fn is_minor_registered_as_adult(&self, on: Date) -> bool {
+        self.is_true_minor(on) && !self.is_registered_minor(on)
+    }
+
+    /// Whether the registered birth date differs from the true one.
+    pub fn lied_about_age(&self) -> bool {
+        self.registration.registered_birth_date != self.true_birth_date
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Gender;
+
+    fn student(true_birth: Date, registered_birth: Date) -> User {
+        User {
+            id: UserId(0),
+            true_birth_date: true_birth,
+            registration: Registration {
+                registered_birth_date: registered_birth,
+                registration_date: Date::ymd(2008, 9, 1),
+            },
+            profile: ProfileContent::bare("Pat", "Doe", Gender::Female),
+            privacy: PrivacySettings::facebook_adult_default(),
+            role: Role::CurrentStudent { school: SchoolId(1), grad_year: 2014 },
+        }
+    }
+
+    #[test]
+    fn lying_minor_is_detected() {
+        // Actually born 1997 (15 in 2012), registered as born 1992 (20).
+        let u = student(Date::ymd(1997, 4, 2), Date::ymd(1992, 4, 2));
+        let today = Date::ymd(2012, 3, 15);
+        assert!(u.is_true_minor(today));
+        assert!(!u.is_registered_minor(today));
+        assert!(u.is_minor_registered_as_adult(today));
+        assert!(u.lied_about_age());
+    }
+
+    #[test]
+    fn truthful_minor_is_not_flagged() {
+        let u = student(Date::ymd(1997, 4, 2), Date::ymd(1997, 4, 2));
+        let today = Date::ymd(2012, 3, 15);
+        assert!(u.is_true_minor(today));
+        assert!(u.is_registered_minor(today));
+        assert!(!u.is_minor_registered_as_adult(today));
+        assert!(!u.lied_about_age());
+    }
+
+    #[test]
+    fn adult_is_never_a_lying_minor() {
+        let u = student(Date::ymd(1990, 1, 1), Date::ymd(1990, 1, 1));
+        assert!(!u.is_minor_registered_as_adult(Date::ymd(2012, 3, 15)));
+    }
+
+    #[test]
+    fn role_school_extraction() {
+        let r = Role::Alumnus { school: SchoolId(5), grad_year: 2010 };
+        assert_eq!(r.school(), Some(SchoolId(5)));
+        assert!(!r.is_current_student_at(SchoolId(5)));
+        assert_eq!(Role::OtherResident.school(), None);
+        let c = Role::CurrentStudent { school: SchoolId(5), grad_year: 2014 };
+        assert!(c.is_current_student_at(SchoolId(5)));
+        assert!(!c.is_current_student_at(SchoolId(6)));
+    }
+}

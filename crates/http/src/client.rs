@@ -1,0 +1,213 @@
+//! Exchange abstraction plus the two implementations the crawler uses:
+//! a real TCP client with keep-alive and a cookie jar, and an in-memory
+//! exchange that calls a [`Handler`] directly (same semantics, no
+//! sockets) for fast experiment sweeps.
+
+use crate::cookie::CookieJar;
+use crate::error::{HttpError, Result};
+use crate::message::{Request, Response};
+use crate::router::Handler;
+use crate::wire::{decode_response, encode_request, Decoded};
+use bytes::BytesMut;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Anything that can carry one HTTP exchange. The crawler is generic
+/// over this so identical attack code runs over loopback TCP or
+/// in-process.
+pub trait Exchange {
+    /// Send a request, get a response. Cookie handling is the
+    /// implementation's responsibility.
+    fn exchange(&mut self, req: Request) -> Result<Response>;
+
+    /// Drop any session state (cookies), e.g. when switching to a
+    /// different attacker account.
+    fn clear_session(&mut self);
+}
+
+/// A blocking TCP client bound to one server address.
+///
+/// Maintains a single keep-alive connection (reconnecting on failure)
+/// and a cookie jar, which is how the paper's scripts behaved: one
+/// logged-in fake account per crawler process.
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<TcpStream>,
+    jar: CookieJar,
+    read_timeout: Duration,
+}
+
+impl Client {
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, conn: None, jar: CookieJar::new(), read_timeout: Duration::from_secs(10) }
+    }
+
+    /// The cookie jar (e.g. to inspect the session cookie in tests).
+    pub fn cookies(&self) -> &CookieJar {
+        &self.jar
+    }
+
+    fn connect(&mut self) -> Result<&mut TcpStream> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(stream);
+        }
+        Ok(self.conn.as_mut().expect("just set"))
+    }
+
+    fn try_once(&mut self, req: &Request) -> Result<Response> {
+        let stream = self.connect()?;
+        stream.write_all(&encode_request(req))?;
+        let mut buf = BytesMut::with_capacity(4096);
+        let mut chunk = [0u8; 4096];
+        loop {
+            match decode_response(&mut buf)? {
+                Decoded::Complete(resp) => return Ok(resp),
+                Decoded::Incomplete => {}
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(HttpError::UnexpectedEof);
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// GET `path` (path + optional query, e.g. `/search?school=s1`).
+    pub fn get(&mut self, path: impl Into<String>) -> Result<Response> {
+        self.exchange(Request::get(path))
+    }
+
+    /// POST a form.
+    pub fn post_form(&mut self, path: &str, form: &[(&str, &str)]) -> Result<Response> {
+        self.exchange(Request::post_form(path, form))
+    }
+}
+
+impl Exchange for Client {
+    fn exchange(&mut self, mut req: Request) -> Result<Response> {
+        req.headers.set("Host", self.addr.to_string());
+        self.jar.apply(&mut req);
+        // One retry on a stale keep-alive connection.
+        let resp = match self.try_once(&req) {
+            Ok(resp) => resp,
+            Err(HttpError::Io(_) | HttpError::UnexpectedEof) => {
+                self.conn = None;
+                self.try_once(&req)?
+            }
+            Err(e) => return Err(e),
+        };
+        self.jar.absorb(&resp);
+        if resp.headers.connection_close() {
+            self.conn = None;
+        }
+        Ok(resp)
+    }
+
+    fn clear_session(&mut self) {
+        self.jar.clear();
+        self.conn = None;
+    }
+}
+
+/// In-memory exchange: calls the handler directly, still running the
+/// full request/response + cookie semantics, but skipping sockets and
+/// wire encoding. Used by experiment sweeps where the paper-relevant
+/// behaviour (what pages say, how many requests were made) is identical.
+pub struct DirectExchange {
+    handler: Arc<dyn Handler>,
+    jar: CookieJar,
+}
+
+impl DirectExchange {
+    pub fn new(handler: Arc<dyn Handler>) -> DirectExchange {
+        DirectExchange { handler, jar: CookieJar::new() }
+    }
+
+    pub fn cookies(&self) -> &CookieJar {
+        &self.jar
+    }
+}
+
+impl Exchange for DirectExchange {
+    fn exchange(&mut self, mut req: Request) -> Result<Response> {
+        self.jar.apply(&mut req);
+        let resp = self.handler.handle(&req);
+        self.jar.absorb(&resp);
+        Ok(resp)
+    }
+
+    fn clear_session(&mut self) {
+        self.jar.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cookie::request_cookie;
+    use crate::router::Router;
+    use crate::server::Server;
+    use crate::types::Status;
+
+    fn cookie_router() -> Router {
+        let mut router = Router::new();
+        router.post("/login", |req, _| {
+            let user = req.form_param("user").unwrap_or_default();
+            Response::text("welcome").set_cookie("sid", &format!("sess-{user}"))
+        });
+        router.get("/whoami", |req, _| match request_cookie(req, "sid") {
+            Some(sid) => Response::text(sid.to_string()),
+            None => Response::error(Status::UNAUTHORIZED, "no session"),
+        });
+        router
+    }
+
+    #[test]
+    fn tcp_client_round_trip_with_cookies() {
+        let server = Server::start(Arc::new(cookie_router())).unwrap();
+        let mut client = Client::new(server.addr());
+        assert_eq!(client.get("/whoami").unwrap().status, Status::UNAUTHORIZED);
+        client.post_form("/login", &[("user", "eve")]).unwrap();
+        let resp = client.get("/whoami").unwrap();
+        assert_eq!(resp.body_string(), "sess-eve");
+        client.clear_session();
+        assert_eq!(client.get("/whoami").unwrap().status, Status::UNAUTHORIZED);
+        server.shutdown();
+    }
+
+    #[test]
+    fn direct_exchange_matches_tcp_semantics() {
+        let handler: Arc<dyn Handler> = Arc::new(cookie_router());
+        let mut direct = DirectExchange::new(handler);
+        assert_eq!(
+            direct.exchange(Request::get("/whoami")).unwrap().status,
+            Status::UNAUTHORIZED
+        );
+        direct
+            .exchange(Request::post_form("/login", &[("user", "eve")]))
+            .unwrap();
+        let resp = direct.exchange(Request::get("/whoami")).unwrap();
+        assert_eq!(resp.body_string(), "sess-eve");
+    }
+
+    #[test]
+    fn client_reconnects_after_server_closes_connection() {
+        let mut router = Router::new();
+        router.get("/once", |_, _| {
+            Response::text("bye").header("Connection", "close")
+        });
+        router.get("/again", |_, _| Response::text("hello"));
+        let server = Server::start(Arc::new(router)).unwrap();
+        let mut client = Client::new(server.addr());
+        assert_eq!(client.get("/once").unwrap().body_string(), "bye");
+        // The server closed the connection; the client must transparently
+        // open a new one.
+        assert_eq!(client.get("/again").unwrap().body_string(), "hello");
+        server.shutdown();
+    }
+}

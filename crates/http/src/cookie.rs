@@ -1,0 +1,117 @@
+//! A minimal cookie jar: enough for the platform's session cookie.
+
+use crate::message::{Request, Response};
+
+/// Stores `name=value` cookies and applies them to outgoing requests.
+#[derive(Clone, Debug, Default)]
+pub struct CookieJar {
+    cookies: Vec<(String, String)>,
+}
+
+impl CookieJar {
+    pub fn new() -> Self {
+        CookieJar::default()
+    }
+
+    /// Record cookies from a response's `Set-Cookie` headers.
+    pub fn absorb(&mut self, resp: &Response) {
+        for raw in resp.headers.get_all("set-cookie") {
+            // "name=value; Path=/; ..." — we only keep name=value.
+            let first = raw.split(';').next().unwrap_or("");
+            if let Some((name, value)) = first.split_once('=') {
+                let name = name.trim().to_string();
+                let value = value.trim().to_string();
+                if name.is_empty() {
+                    continue;
+                }
+                if let Some(slot) = self.cookies.iter_mut().find(|(n, _)| *n == name) {
+                    slot.1 = value;
+                } else {
+                    self.cookies.push((name, value));
+                }
+            }
+        }
+    }
+
+    /// Attach a `Cookie` header to an outgoing request.
+    pub fn apply(&self, req: &mut Request) {
+        if self.cookies.is_empty() {
+            return;
+        }
+        let header = self
+            .cookies
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        req.headers.set("Cookie", header);
+    }
+
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.cookies
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn clear(&mut self) {
+        self.cookies.clear();
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cookies.is_empty()
+    }
+}
+
+/// Server-side: read a cookie value from a request's `Cookie` header.
+pub fn request_cookie<'a>(req: &'a Request, name: &str) -> Option<&'a str> {
+    let header = req.headers.get("cookie")?;
+    header.split(';').find_map(|pair| {
+        let (n, v) = pair.split_once('=')?;
+        (n.trim() == name).then_some(v.trim())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jar_absorbs_and_applies() {
+        let resp = Response::html("x").set_cookie("sid", "abc").set_cookie("t", "9");
+        let mut jar = CookieJar::new();
+        jar.absorb(&resp);
+        assert_eq!(jar.get("sid"), Some("abc"));
+        let mut req = Request::get("/next");
+        jar.apply(&mut req);
+        assert_eq!(req.headers.get("cookie"), Some("sid=abc; t=9"));
+    }
+
+    #[test]
+    fn later_cookie_replaces_earlier() {
+        let mut jar = CookieJar::new();
+        jar.absorb(&Response::html("x").set_cookie("sid", "one"));
+        jar.absorb(&Response::html("x").set_cookie("sid", "two"));
+        assert_eq!(jar.get("sid"), Some("two"));
+        let mut req = Request::get("/");
+        jar.apply(&mut req);
+        assert_eq!(req.headers.get("cookie"), Some("sid=two"));
+    }
+
+    #[test]
+    fn server_side_cookie_parse() {
+        let req = Request::get("/").header("Cookie", "a=1; sid=xyz ;b=2");
+        assert_eq!(request_cookie(&req, "sid"), Some("xyz"));
+        assert_eq!(request_cookie(&req, "a"), Some("1"));
+        assert_eq!(request_cookie(&req, "nope"), None);
+        assert_eq!(request_cookie(&Request::get("/"), "sid"), None);
+    }
+
+    #[test]
+    fn empty_jar_adds_no_header() {
+        let jar = CookieJar::new();
+        let mut req = Request::get("/");
+        jar.apply(&mut req);
+        assert!(!req.headers.contains("cookie"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type shared by the HTTP parser, client and server.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by this crate.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket / stream failure.
+    Io(io::Error),
+    /// The peer sent bytes that are not valid HTTP/1.1.
+    Malformed(&'static str),
+    /// A message exceeded a configured size limit (header block or body).
+    TooLarge(&'static str),
+    /// The connection closed before a complete message arrived.
+    UnexpectedEof,
+    /// Client-side: the URL could not be interpreted.
+    BadUrl(String),
+    /// Client-side: gave up after redirect/retry limits.
+    TooManyRedirects,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed http: {what}"),
+            HttpError::TooLarge(what) => write!(f, "message too large: {what}"),
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
+            HttpError::BadUrl(u) => write!(f, "bad url: {u}"),
+            HttpError::TooManyRedirects => write!(f, "too many redirects"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, HttpError>;

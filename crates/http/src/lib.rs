@@ -1,0 +1,38 @@
+//! # hsp-http — minimal blocking HTTP/1.1 substrate
+//!
+//! The paper's attack is carried out by "customized crawlers that visit
+//! public Web pages ... and download the HTML source code of each Web
+//! page" (§3.2). To reproduce that faithfully, the simulated OSN
+//! (`hsp-platform`) is served over real HTTP and the attacker
+//! (`hsp-crawler`) really issues GETs — including the AJAX-style paging
+//! the paper describes for search results and friend lists.
+//!
+//! This crate is the shared substrate: wire types ([`types`],
+//! [`message`]), an incremental `bytes`-based codec ([`wire`]), URL and
+//! query handling ([`uri`]), cookies ([`cookie`]), a path router
+//! ([`router`]), a thread-pool TCP server ([`server`]) and a keep-alive
+//! client plus an in-memory fast path ([`client`]).
+//!
+//! The server is deliberately synchronous (std::net + worker pool, in
+//! the from-scratch spirit of smoltcp) — the workload is a handful of
+//! loopback crawler connections, far below where an async runtime pays
+//! for itself.
+
+pub mod client;
+pub mod cookie;
+pub mod error;
+pub mod message;
+pub mod router;
+pub mod server;
+pub mod types;
+pub mod uri;
+pub mod wire;
+
+pub use client::{Client, DirectExchange, Exchange};
+pub use cookie::{request_cookie, CookieJar};
+pub use error::{HttpError, Result};
+pub use message::{Request, Response};
+pub use router::{Handler, PathParams, Router};
+pub use server::{Server, ServerConfig};
+pub use types::{Headers, Method, Status};
+pub use uri::{build_query, parse_query, percent_decode, percent_encode, url, Target};

@@ -1,0 +1,188 @@
+//! Request and response message types.
+
+use crate::types::{Headers, Method, Status};
+use crate::uri::Target;
+use bytes::Bytes;
+
+/// An HTTP/1.1 request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: Method,
+    /// Raw request-target as it appeared on the request line.
+    pub target: String,
+    pub headers: Headers,
+    pub body: Bytes,
+}
+
+impl Request {
+    /// A bodyless GET for `target`.
+    pub fn get(target: impl Into<String>) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            headers: Headers::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// A POST with a form-encoded body.
+    pub fn post_form(target: impl Into<String>, form: &[(&str, &str)]) -> Request {
+        let pairs: Vec<(String, String)> = form
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let body = crate::uri::build_query(&pairs);
+        let mut req = Request {
+            method: Method::Post,
+            target: target.into(),
+            headers: Headers::new(),
+            body: Bytes::from(body),
+        };
+        req.headers
+            .set("Content-Type", "application/x-www-form-urlencoded");
+        req
+    }
+
+    /// Builder-style header.
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Request {
+        self.headers.set(name, value);
+        self
+    }
+
+    /// Parsed view of the request target.
+    pub fn parsed_target(&self) -> Target {
+        Target::parse(&self.target)
+    }
+
+    /// The decoded path (no query).
+    pub fn path(&self) -> String {
+        self.parsed_target().path().into_owned()
+    }
+
+    /// First query parameter value.
+    pub fn query_param(&self, key: &str) -> Option<String> {
+        self.parsed_target().query_param(key).map(str::to_string)
+    }
+
+    /// Parse a form-encoded body into pairs.
+    pub fn form_params(&self) -> Vec<(String, String)> {
+        match std::str::from_utf8(&self.body) {
+            Ok(s) => crate::uri::parse_query(s),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// First form value for `key`.
+    pub fn form_param(&self, key: &str) -> Option<String> {
+        self.form_params()
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: Status,
+    pub headers: Headers,
+    pub body: Bytes,
+}
+
+impl Response {
+    pub fn new(status: Status) -> Response {
+        Response { status, headers: Headers::new(), body: Bytes::new() }
+    }
+
+    /// 200 with an HTML body.
+    pub fn html(body: impl Into<String>) -> Response {
+        let mut r = Response::new(Status::OK);
+        r.headers.set("Content-Type", "text/html; charset=utf-8");
+        r.body = Bytes::from(body.into());
+        r
+    }
+
+    /// 200 with a plain-text body.
+    pub fn text(body: impl Into<String>) -> Response {
+        let mut r = Response::new(Status::OK);
+        r.headers.set("Content-Type", "text/plain; charset=utf-8");
+        r.body = Bytes::from(body.into());
+        r
+    }
+
+    /// An error status with a short text body.
+    pub fn error(status: Status, message: impl Into<String>) -> Response {
+        let mut r = Response::new(status);
+        r.headers.set("Content-Type", "text/plain; charset=utf-8");
+        r.body = Bytes::from(message.into());
+        r
+    }
+
+    /// 302 redirect.
+    pub fn redirect(location: impl Into<String>) -> Response {
+        let mut r = Response::new(Status::FOUND);
+        r.headers.set("Location", location.into());
+        r
+    }
+
+    /// Builder-style header.
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.set(name, value);
+        self
+    }
+
+    /// Append a `Set-Cookie` header.
+    pub fn set_cookie(mut self, name: &str, value: &str) -> Response {
+        self.headers
+            .append("Set-Cookie", format!("{name}={value}; Path=/"));
+        self
+    }
+
+    /// Body interpreted as UTF-8 (lossy).
+    pub fn body_string(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_builder() {
+        let r = Request::get("/profile?id=u7").header("Host", "osn.local");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path(), "/profile");
+        assert_eq!(r.query_param("id").as_deref(), Some("u7"));
+        assert_eq!(r.headers.get("host"), Some("osn.local"));
+    }
+
+    #[test]
+    fn post_form_encodes_body() {
+        let r = Request::post_form("/login", &[("user", "spy one"), ("pass", "p&q")]);
+        assert_eq!(r.form_param("user").as_deref(), Some("spy one"));
+        assert_eq!(r.form_param("pass").as_deref(), Some("p&q"));
+        assert_eq!(
+            r.headers.get("content-type"),
+            Some("application/x-www-form-urlencoded")
+        );
+    }
+
+    #[test]
+    fn response_builders() {
+        let r = Response::html("<p>x</p>");
+        assert_eq!(r.status, Status::OK);
+        assert_eq!(r.body_string(), "<p>x</p>");
+        let r = Response::redirect("/home");
+        assert_eq!(r.status, Status::FOUND);
+        assert_eq!(r.headers.get("location"), Some("/home"));
+        let r = Response::error(Status::TOO_MANY_REQUESTS, "slow down");
+        assert_eq!(r.status.code(), 429);
+    }
+
+    #[test]
+    fn set_cookie_appends() {
+        let r = Response::html("x").set_cookie("sid", "abc").set_cookie("t", "1");
+        assert_eq!(r.headers.get_all("set-cookie").count(), 2);
+    }
+}

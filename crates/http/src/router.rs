@@ -1,0 +1,223 @@
+//! Path-pattern routing for the simulated platform.
+
+use crate::message::{Request, Response};
+use crate::types::{Method, Status};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Anything that can answer a request. The platform's application
+/// implements this; so do [`Router`] and plain closures.
+pub trait Handler: Send + Sync {
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+impl Handler for Arc<dyn Handler> {
+    fn handle(&self, req: &Request) -> Response {
+        self.as_ref().handle(req)
+    }
+}
+
+/// Path parameters captured from `:name` pattern segments.
+#[derive(Clone, Debug, Default)]
+pub struct PathParams {
+    params: HashMap<String, String>,
+}
+
+impl PathParams {
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(String::as_str)
+    }
+}
+
+type RouteFn = Arc<dyn Fn(&Request, &PathParams) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: RouteFn,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+/// A method + path-pattern router. Patterns are `/`-separated literals
+/// and `:name` captures, e.g. `/profile/:id`.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Register a route.
+    pub fn route(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        let segments = pattern
+            .trim_start_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| match s.strip_prefix(':') {
+                Some(name) => Segment::Param(name.to_string()),
+                None => Segment::Literal(s.to_string()),
+            })
+            .collect();
+        self.routes.push(Route { method, segments, handler: Arc::new(handler) });
+        self
+    }
+
+    /// Shorthand for GET routes.
+    pub fn get(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    /// Shorthand for POST routes.
+    pub fn post(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(Method::Post, pattern, handler)
+    }
+
+    fn match_route(&self, method: Method, path: &str) -> MatchResult<'_> {
+        let parts: Vec<&str> = path
+            .trim_start_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut path_matched = false;
+        for route in &self.routes {
+            if route.segments.len() != parts.len() {
+                continue;
+            }
+            let mut params = PathParams::default();
+            let ok = route.segments.iter().zip(&parts).all(|(seg, part)| match seg {
+                Segment::Literal(lit) => lit == part,
+                Segment::Param(name) => {
+                    params.params.insert(name.clone(), (*part).to_string());
+                    true
+                }
+            });
+            if ok {
+                path_matched = true;
+                if route.method == method {
+                    return MatchResult::Found(&route.handler, params);
+                }
+            }
+        }
+        if path_matched {
+            MatchResult::WrongMethod
+        } else {
+            MatchResult::NotFound
+        }
+    }
+}
+
+enum MatchResult<'a> {
+    Found(&'a RouteFn, PathParams),
+    WrongMethod,
+    NotFound,
+}
+
+impl Handler for Router {
+    fn handle(&self, req: &Request) -> Response {
+        let path = req.path();
+        match self.match_route(req.method, &path) {
+            MatchResult::Found(handler, params) => handler(req, &params),
+            MatchResult::WrongMethod => {
+                Response::error(Status::METHOD_NOT_ALLOWED, "method not allowed")
+            }
+            MatchResult::NotFound => Response::error(Status::NOT_FOUND, "not found"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.get("/", |_, _| Response::text("home"));
+        r.get("/profile/:id", |_, p| {
+            Response::text(format!("profile {}", p.get("id").unwrap()))
+        });
+        r.get("/a/:x/b/:y", |_, p| {
+            Response::text(format!("{}/{}", p.get("x").unwrap(), p.get("y").unwrap()))
+        });
+        r.post("/login", |req, _| {
+            Response::text(format!("hi {}", req.form_param("user").unwrap_or_default()))
+        });
+        r
+    }
+
+    #[test]
+    fn literal_and_param_matching() {
+        let r = router();
+        assert_eq!(r.handle(&Request::get("/")).body_string(), "home");
+        assert_eq!(
+            r.handle(&Request::get("/profile/u42")).body_string(),
+            "profile u42"
+        );
+        assert_eq!(r.handle(&Request::get("/a/1/b/2")).body_string(), "1/2");
+    }
+
+    #[test]
+    fn query_string_does_not_affect_matching() {
+        let r = router();
+        assert_eq!(
+            r.handle(&Request::get("/profile/u1?tab=friends")).body_string(),
+            "profile u1"
+        );
+    }
+
+    #[test]
+    fn not_found_and_wrong_method() {
+        let r = router();
+        assert_eq!(r.handle(&Request::get("/nope")).status, Status::NOT_FOUND);
+        assert_eq!(
+            r.handle(&Request::get("/login")).status,
+            Status::METHOD_NOT_ALLOWED
+        );
+        // Segment-count mismatch is a 404, not a partial match.
+        assert_eq!(
+            r.handle(&Request::get("/profile/u1/extra")).status,
+            Status::NOT_FOUND
+        );
+    }
+
+    #[test]
+    fn post_routes_see_form_body() {
+        let r = router();
+        let resp = r.handle(&Request::post_form("/login", &[("user", "eve")]));
+        assert_eq!(resp.body_string(), "hi eve");
+    }
+
+    #[test]
+    fn trailing_slash_is_tolerated() {
+        let r = router();
+        assert_eq!(r.handle(&Request::get("/profile/u1/")).body_string(), "profile u1");
+    }
+}

@@ -1,0 +1,321 @@
+//! A blocking HTTP/1.1 server over `std::net` with a worker thread pool.
+//!
+//! Each accepted connection is handed to a pool worker, which serves
+//! keep-alive requests on it until the peer closes, an error occurs, or
+//! `Connection: close` is exchanged. The design follows the synchronous
+//! from-scratch style (cf. smoltcp) rather than pulling in an async
+//! runtime: loopback-scale load with a handful of crawler connections
+//! needs nothing more.
+
+use crate::error::HttpError;
+use crate::message::Response;
+use crate::router::Handler;
+use crate::types::Status;
+use crate::wire::{decode_request, encode_response, Decoded};
+use bytes::BytesMut;
+use crossbeam_channel::{bounded, Sender};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Per-read socket timeout; keeps dead connections from pinning
+    /// workers forever.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 8, read_timeout: Duration::from_secs(5) }
+    }
+}
+
+/// A running HTTP server. Shuts down (and joins its threads) on drop.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind to `127.0.0.1:0` (ephemeral port) and start serving `handler`.
+    pub fn start(handler: Arc<dyn Handler>) -> std::io::Result<Server> {
+        Self::start_with(handler, ServerConfig::default())
+    }
+
+    /// Bind with explicit configuration.
+    pub fn start_with(handler: Arc<dyn Handler>, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = bounded::<TcpStream>(config.workers * 2);
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let rx = rx.clone();
+            let handler = Arc::clone(&handler);
+            let timeout = config.read_timeout;
+            workers.push(std::thread::spawn(move || {
+                while let Ok(stream) = rx.recv() {
+                    let _ = serve_connection(stream, handler.as_ref(), timeout);
+                }
+            }));
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, tx, accept_shutdown);
+        });
+
+        Ok(Server { addr, shutdown, accept_thread: Some(accept_thread), workers })
+    }
+
+    /// The bound address (ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Base URL, e.g. `http://127.0.0.1:43817`.
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Request shutdown and join all threads.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.do_shutdown();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return; // tx drops, workers drain and exit
+                }
+                if tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Serve keep-alive requests on one connection until close.
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: &dyn Handler,
+    read_timeout: Duration,
+) -> Result<(), HttpError> {
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut buf = BytesMut::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Decode as many pipelined requests as the buffer holds.
+        loop {
+            match decode_request(&mut buf) {
+                Ok(Decoded::Complete(req)) => {
+                    let close = req.headers.connection_close();
+                    let head_only = req.method == crate::types::Method::Head;
+                    let resp = if head_only {
+                        // RFC 9110: HEAD is GET without the body; the
+                        // Content-Length still describes the GET body.
+                        let mut get = req.clone();
+                        get.method = crate::types::Method::Get;
+                        handler.handle(&get)
+                    } else {
+                        handler.handle(&req)
+                    };
+                    let resp_close = resp.headers.connection_close();
+                    let wire = if head_only {
+                        crate::wire::encode_response_head(&resp)
+                    } else {
+                        encode_response(&resp)
+                    };
+                    stream.write_all(&wire)?;
+                    if close || resp_close {
+                        return Ok(());
+                    }
+                }
+                Ok(Decoded::Incomplete) => break,
+                Err(e) => {
+                    // Tell the peer off and drop the connection.
+                    let resp = Response::error(Status::BAD_REQUEST, "bad request");
+                    let _ = stream.write_all(&encode_response(&resp));
+                    return Err(e);
+                }
+            }
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(()); // peer closed
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Request;
+    use crate::router::Router;
+    use crate::wire::{decode_response, encode_request};
+
+    fn test_server() -> Server {
+        let mut router = Router::new();
+        router.get("/ping", |_, _| Response::text("pong"));
+        router.get("/echo/:word", |_, p| {
+            Response::text(p.get("word").unwrap().to_string())
+        });
+        Server::start(Arc::new(router)).unwrap()
+    }
+
+    fn raw_round_trip(addr: SocketAddr, reqs: &[Request]) -> Vec<Response> {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut out = Vec::new();
+        for req in reqs {
+            stream.write_all(&encode_request(req)).unwrap();
+        }
+        let mut buf = BytesMut::new();
+        let mut chunk = [0u8; 1024];
+        while out.len() < reqs.len() {
+            loop {
+                match decode_response(&mut buf).unwrap() {
+                    Decoded::Complete(r) => {
+                        out.push(r);
+                        if out.len() == reqs.len() {
+                            return out;
+                        }
+                    }
+                    Decoded::Incomplete => break,
+                }
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "server closed early");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        out
+    }
+
+    #[test]
+    fn serves_over_real_tcp() {
+        let server = test_server();
+        let resps = raw_round_trip(server.addr(), &[Request::get("/ping")]);
+        assert_eq!(resps[0].body_string(), "pong");
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests() {
+        let server = test_server();
+        let resps = raw_round_trip(
+            server.addr(),
+            &[Request::get("/ping"), Request::get("/echo/two"), Request::get("/ping")],
+        );
+        assert_eq!(resps.len(), 3);
+        assert_eq!(resps[1].body_string(), "two");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = test_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let word = format!("w{i}");
+                    let resps =
+                        raw_round_trip(addr, &[Request::get(format!("/echo/{word}"))]);
+                    assert_eq!(resps[0].body_string(), word);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn head_returns_headers_with_get_content_length_and_no_body() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut req = Request::get("/ping");
+        req.method = crate::types::Method::Head;
+        // Close so EOF delimits the (bodyless) response.
+        req.headers.set("Connection", "close");
+        stream.write_all(&encode_request(&req)).unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 200"), "got: {text}");
+        // Content-Length matches the GET body ("pong" = 4)...
+        assert!(text.contains("Content-Length: 4"), "got: {text}");
+        // ...but the body itself is absent.
+        assert!(text.ends_with("\r\n\r\n"), "body bytes were sent: {text:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let server = test_server();
+        let addr = server.addr();
+        server.shutdown();
+        // Subsequent connections must fail or be refused quickly.
+        let ok = TcpStream::connect(addr)
+            .map(|mut s| {
+                let _ = s.write_all(&encode_request(&Request::get("/ping")));
+                let mut buf = [0u8; 16];
+                matches!(s.read(&mut buf), Ok(0) | Err(_))
+            })
+            .unwrap_or(true);
+        assert!(ok, "server still serving after shutdown");
+    }
+}

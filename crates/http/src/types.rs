@@ -1,0 +1,220 @@
+//! Core HTTP message types: methods, status codes, headers.
+
+use std::fmt;
+
+/// Request methods the simulator uses. (The paper's crawler only ever
+/// sends GETs; POST exists for the login form.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    Get,
+    Post,
+    Head,
+}
+
+impl Method {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "HEAD" => Some(Method::Head),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Response status codes used by the platform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Status(pub u16);
+
+impl Status {
+    pub const OK: Status = Status(200);
+    pub const FOUND: Status = Status(302);
+    pub const BAD_REQUEST: Status = Status(400);
+    pub const UNAUTHORIZED: Status = Status(401);
+    pub const FORBIDDEN: Status = Status(403);
+    pub const NOT_FOUND: Status = Status(404);
+    pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    pub const TOO_MANY_REQUESTS: Status = Status(429);
+    pub const INTERNAL_SERVER_ERROR: Status = Status(500);
+
+    pub fn code(self) -> u16 {
+        self.0
+    }
+
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    pub fn is_redirect(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            302 => "Found",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// A multimap of headers with case-insensitive names, preserving
+/// insertion order (needed for multiple `Set-Cookie` lines).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Append a header (does not replace existing values).
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Replace all values of `name` with a single value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.entries
+            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.push((name.to_string(), value.into()));
+    }
+
+    /// First value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of `name`.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    /// `Content-Length`, parsed.
+    pub fn content_length(&self) -> Option<usize> {
+        self.get("content-length").and_then(|v| v.trim().parse().ok())
+    }
+
+    /// Whether `Connection: close` was requested.
+    pub fn connection_close(&self) -> bool {
+        self.get("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_round_trip() {
+        for m in [Method::Get, Method::Post, Method::Head] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("PATCH"), None);
+        assert_eq!(Method::parse("get"), None); // methods are case-sensitive
+    }
+
+    #[test]
+    fn status_classification() {
+        assert!(Status::OK.is_success());
+        assert!(Status::FOUND.is_redirect());
+        assert!(!Status::NOT_FOUND.is_success());
+        assert_eq!(Status::TOO_MANY_REQUESTS.reason(), "Too Many Requests");
+        assert_eq!(Status(599).reason(), "Unknown");
+    }
+
+    #[test]
+    fn headers_are_case_insensitive() {
+        let mut h = Headers::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+        assert!(!h.contains("content-length"));
+    }
+
+    #[test]
+    fn set_replaces_all_append_accumulates() {
+        let mut h = Headers::new();
+        h.append("Set-Cookie", "a=1");
+        h.append("Set-Cookie", "b=2");
+        assert_eq!(h.get_all("set-cookie").count(), 2);
+        h.set("Set-Cookie", "c=3");
+        let all: Vec<_> = h.get_all("set-cookie").collect();
+        assert_eq!(all, vec!["c=3"]);
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = Headers::new();
+        assert_eq!(h.content_length(), None);
+        h.set("Content-Length", " 42 ");
+        assert_eq!(h.content_length(), Some(42));
+        h.set("Content-Length", "nope");
+        assert_eq!(h.content_length(), None);
+    }
+
+    #[test]
+    fn connection_close_flag() {
+        let mut h = Headers::new();
+        assert!(!h.connection_close());
+        h.set("Connection", "Close");
+        assert!(h.connection_close());
+        h.set("Connection", "keep-alive");
+        assert!(!h.connection_close());
+    }
+}

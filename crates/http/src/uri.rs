@@ -1,0 +1,207 @@
+//! Request-target handling: paths, query strings and percent-encoding.
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+
+/// Percent-encode a query component (RFC 3986 unreserved characters pass
+/// through; space becomes `%20`).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                let _ = write!(out, "%{b:02X}");
+            }
+        }
+    }
+    out
+}
+
+/// Decode percent-escapes (and `+` as space, form-style). Invalid escapes
+/// are passed through verbatim, as browsers do.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                if let Some(hex) = bytes.get(i + 1..i + 3) {
+                    if let Some(v) = std::str::from_utf8(hex)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    {
+                        out.push(v);
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(b'%');
+                i += 1;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A parsed request target: decoded path segments plus query pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Target {
+    /// The raw path (undecoded, no query string).
+    pub raw_path: String,
+    /// Decoded query key/value pairs in order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Target {
+    /// Parse a request-target like `/friends?id=u1&page=2`.
+    pub fn parse(target: &str) -> Target {
+        let (path, query_str) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        Target {
+            raw_path: path.to_string(),
+            query: parse_query(query_str),
+        }
+    }
+
+    /// The decoded path.
+    pub fn path(&self) -> Cow<'_, str> {
+        if self.raw_path.contains('%') {
+            Cow::Owned(percent_decode(&self.raw_path))
+        } else {
+            Cow::Borrowed(&self.raw_path)
+        }
+    }
+
+    /// First query value for `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Rebuild the target string with encoding.
+    pub fn to_target_string(&self) -> String {
+        if self.query.is_empty() {
+            self.raw_path.clone()
+        } else {
+            format!("{}?{}", self.raw_path, build_query(&self.query))
+        }
+    }
+}
+
+/// Parse a query string into decoded pairs.
+pub fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Build an encoded query string from pairs.
+pub fn build_query(pairs: &[(String, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| {
+            if v.is_empty() {
+                percent_encode(k)
+            } else {
+                format!("{}={}", percent_encode(k), percent_encode(v))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+/// Convenience builder: `url("/search", &[("school", "s1"), ("page", "0")])`.
+pub fn url(path: &str, params: &[(&str, &str)]) -> String {
+    if params.is_empty() {
+        return path.to_string();
+    }
+    let pairs: Vec<(String, String)> = params
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    format!("{}?{}", path, build_query(&pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for s in ["hello world", "a&b=c", "100%", "ümlaut", "plain", ""] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn plus_decodes_to_space() {
+        assert_eq!(percent_decode("a+b"), "a b");
+    }
+
+    #[test]
+    fn invalid_escapes_pass_through() {
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%2"), "%2");
+    }
+
+    #[test]
+    fn target_parsing() {
+        let t = Target::parse("/friends?id=u1&page=2&flag");
+        assert_eq!(t.path(), "/friends");
+        assert_eq!(t.query_param("id"), Some("u1"));
+        assert_eq!(t.query_param("page"), Some("2"));
+        assert_eq!(t.query_param("flag"), Some(""));
+        assert_eq!(t.query_param("missing"), None);
+    }
+
+    #[test]
+    fn target_without_query() {
+        let t = Target::parse("/index");
+        assert_eq!(t.path(), "/index");
+        assert!(t.query.is_empty());
+        assert_eq!(t.to_target_string(), "/index");
+    }
+
+    #[test]
+    fn encoded_values_decoded() {
+        let t = Target::parse("/search?name=Lincoln%20High&x=a%26b");
+        assert_eq!(t.query_param("name"), Some("Lincoln High"));
+        assert_eq!(t.query_param("x"), Some("a&b"));
+    }
+
+    #[test]
+    fn url_builder() {
+        assert_eq!(url("/p", &[]), "/p");
+        assert_eq!(url("/s", &[("q", "a b"), ("n", "2")]), "/s?q=a%20b&n=2");
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let pairs = vec![
+            ("school name".to_string(), "Lincoln High".to_string()),
+            ("page".to_string(), "3".to_string()),
+        ];
+        assert_eq!(parse_query(&build_query(&pairs)), pairs);
+    }
+}

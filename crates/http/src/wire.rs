@@ -1,0 +1,329 @@
+//! Wire-format encoding and incremental decoding of HTTP/1.1 messages.
+//!
+//! The decoder follows the `bytes`-based framing idiom: callers feed
+//! chunks into a [`bytes::BytesMut`] buffer and repeatedly ask whether a
+//! complete message can be cut from the front. Limits on the header
+//! block and body protect the server from unbounded buffering.
+
+use crate::error::{HttpError, Result};
+use crate::message::{Request, Response};
+use crate::types::{Headers, Method, Status};
+use bytes::{Buf, Bytes, BytesMut};
+
+/// Maximum size of the request/status line + header block.
+pub const MAX_HEAD: usize = 32 * 1024;
+/// Maximum body size accepted.
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// Serialize a request to wire bytes.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut out = Vec::with_capacity(128 + req.body.len());
+    out.extend_from_slice(req.method.as_str().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(req.target.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\n");
+    let mut wrote_len = false;
+    for (name, value) in req.headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            wrote_len = true;
+        }
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    if !wrote_len && !req.body.is_empty() {
+        out.extend_from_slice(format!("Content-Length: {}\r\n", req.body.len()).as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&req.body);
+    Bytes::from(out)
+}
+
+/// Serialize a response to wire bytes. A `Content-Length` header is
+/// always emitted so keep-alive framing is unambiguous.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut out = Vec::with_capacity(128 + resp.body.len());
+    out.extend_from_slice(
+        format!("HTTP/1.1 {} {}\r\n", resp.status.code(), resp.status.reason()).as_bytes(),
+    );
+    for (name, value) in resp.headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            continue; // we own framing
+        }
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&resp.body);
+    Bytes::from(out)
+}
+
+/// Serialize only the head of a response (for HEAD requests): identical
+/// status line and headers — including the Content-Length the matching
+/// GET would carry — but no body bytes.
+pub fn encode_response_head(resp: &Response) -> Bytes {
+    let mut out = Vec::with_capacity(128);
+    out.extend_from_slice(
+        format!("HTTP/1.1 {} {}\r\n", resp.status.code(), resp.status.reason()).as_bytes(),
+    );
+    for (name, value) in resp.headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
+    out.extend_from_slice(b"\r\n");
+    Bytes::from(out)
+}
+
+/// Result of a decode attempt over a partially-filled buffer.
+#[derive(Debug)]
+pub enum Decoded<T> {
+    /// A complete message was cut from the buffer.
+    Complete(T),
+    /// More bytes are needed.
+    Incomplete,
+}
+
+/// Try to decode one request from the front of `buf`, consuming it on
+/// success.
+pub fn decode_request(buf: &mut BytesMut) -> Result<Decoded<Request>> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        return Ok(Decoded::Incomplete);
+    };
+    if head_end > MAX_HEAD {
+        return Err(HttpError::TooLarge("request head"));
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or(HttpError::Malformed("bad method"))?;
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing target"))?
+        .to_string();
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(HttpError::Malformed("bad target"));
+    }
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed("bad version"));
+    }
+    let headers = parse_headers(lines)?;
+    let body_len = headers.content_length().unwrap_or(0);
+    if body_len > MAX_BODY {
+        return Err(HttpError::TooLarge("request body"));
+    }
+    let total = head_end + 4 + body_len;
+    if buf.len() < total {
+        return Ok(Decoded::Incomplete);
+    }
+    buf.advance(head_end + 4);
+    let body = buf.split_to(body_len).freeze();
+    Ok(Decoded::Complete(Request { method, target, headers, body }))
+}
+
+/// Try to decode one response from the front of `buf`.
+pub fn decode_response(buf: &mut BytesMut) -> Result<Decoded<Response>> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge("response head"));
+        }
+        return Ok(Decoded::Incomplete);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("non-utf8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("bad version"));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or(HttpError::Malformed("bad status code"))?;
+    let headers = parse_headers(lines)?;
+    let body_len = headers.content_length().unwrap_or(0);
+    if body_len > MAX_BODY {
+        return Err(HttpError::TooLarge("response body"));
+    }
+    let total = head_end + 4 + body_len;
+    if buf.len() < total {
+        return Ok(Decoded::Incomplete);
+    }
+    buf.advance(head_end + 4);
+    let body = buf.split_to(body_len).freeze();
+    Ok(Decoded::Complete(Response { status: Status(code), headers, body }))
+}
+
+/// Index of the `\r\n\r\n` separator, if present.
+fn find_head_end(buf: &BytesMut) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers> {
+    let mut headers = Headers::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("bad header name"));
+        }
+        headers.append(name.trim(), value.trim());
+    }
+    Ok(headers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_req_all(bytes: &[u8]) -> Request {
+        let mut buf = BytesMut::from(bytes);
+        match decode_request(&mut buf).unwrap() {
+            Decoded::Complete(r) => r,
+            Decoded::Incomplete => panic!("expected complete"),
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::post_form("/login?next=%2Fhome", &[("u", "a"), ("p", "b")])
+            .header("Host", "osn.local");
+        let wire = encode_request(&req);
+        let decoded = decode_req_all(&wire);
+        assert_eq!(decoded.method, Method::Post);
+        assert_eq!(decoded.target, req.target);
+        assert_eq!(decoded.headers.get("host"), Some("osn.local"));
+        assert_eq!(decoded.body, req.body);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::html("<p>hello</p>").set_cookie("sid", "xyz");
+        let wire = encode_response(&resp);
+        let mut buf = BytesMut::from(&wire[..]);
+        let decoded = match decode_response(&mut buf).unwrap() {
+            Decoded::Complete(r) => r,
+            Decoded::Incomplete => panic!(),
+        };
+        assert_eq!(decoded.status, Status::OK);
+        assert_eq!(decoded.body_string(), "<p>hello</p>");
+        assert_eq!(decoded.headers.get("set-cookie"), Some("sid=xyz; Path=/"));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn incremental_decoding_waits_for_full_message() {
+        let wire = encode_request(&Request::get("/x").header("Host", "h"));
+        let mut buf = BytesMut::new();
+        for (i, chunk) in wire.chunks(7).enumerate() {
+            buf.extend_from_slice(chunk);
+            let done = (i + 1) * 7 >= wire.len();
+            match decode_request(&mut buf).unwrap() {
+                Decoded::Complete(r) => {
+                    assert!(done, "completed early");
+                    assert_eq!(r.target, "/x");
+                    return;
+                }
+                Decoded::Incomplete => assert!(!done, "failed to complete"),
+            }
+        }
+        panic!("never completed");
+    }
+
+    #[test]
+    fn body_split_across_chunks() {
+        let req = Request::post_form("/f", &[("k", "0123456789")]);
+        let wire = encode_request(&req);
+        let split = wire.len() - 4; // cut inside the body
+        let mut buf = BytesMut::from(&wire[..split]);
+        assert!(matches!(decode_request(&mut buf).unwrap(), Decoded::Incomplete));
+        buf.extend_from_slice(&wire[split..]);
+        let r = match decode_request(&mut buf).unwrap() {
+            Decoded::Complete(r) => r,
+            Decoded::Incomplete => panic!(),
+        };
+        assert_eq!(r.form_param("k").as_deref(), Some("0123456789"));
+    }
+
+    #[test]
+    fn pipelined_requests_decode_sequentially() {
+        let mut wire = encode_request(&Request::get("/a")).to_vec();
+        wire.extend_from_slice(&encode_request(&Request::get("/b")));
+        let mut buf = BytesMut::from(&wire[..]);
+        let a = match decode_request(&mut buf).unwrap() {
+            Decoded::Complete(r) => r,
+            _ => panic!(),
+        };
+        let b = match decode_request(&mut buf).unwrap() {
+            Decoded::Complete(r) => r,
+            _ => panic!(),
+        };
+        assert_eq!(a.target, "/a");
+        assert_eq!(b.target, "/b");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected_not_panicked() {
+        for bad in [
+            "BREW /x HTTP/1.1\r\n\r\n",
+            "GET x HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/2\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad header\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad name: v\r\n\r\n",
+        ] {
+            let mut buf = BytesMut::from(bad.as_bytes());
+            assert!(decode_request(&mut buf).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_head_rejected() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"GET /x HTTP/1.1\r\n");
+        while buf.len() <= MAX_HEAD {
+            buf.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+        }
+        assert!(matches!(
+            decode_request(&mut buf),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn content_length_framing_is_exact() {
+        let mut buf = BytesMut::from(
+            &b"POST /f HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcEXTRA"[..],
+        );
+        let r = match decode_request(&mut buf).unwrap() {
+            Decoded::Complete(r) => r,
+            _ => panic!(),
+        };
+        assert_eq!(&r.body[..], b"abc");
+        assert_eq!(&buf[..], b"EXTRA");
+    }
+}

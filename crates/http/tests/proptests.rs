@@ -1,0 +1,134 @@
+//! Property tests for the HTTP codec: decoding must invert encoding for
+//! any representable message, decoding must be chunking-invariant, and
+//! the decoder must never panic on arbitrary bytes.
+
+use bytes::{Bytes, BytesMut};
+use hsp_http::wire::{
+    decode_request, decode_response, encode_request, encode_response, Decoded,
+};
+use hsp_http::{Headers, Method, Request, Response, Status};
+use proptest::prelude::*;
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop_oneof![Just(Method::Get), Just(Method::Post), Just(Method::Head)]
+}
+
+fn arb_target() -> impl Strategy<Value = String> {
+    // Token-ish paths with optional query; no spaces or control chars.
+    "/[a-zA-Z0-9_/.-]{0,24}(\\?[a-zA-Z0-9=&%_.-]{0,24})?"
+}
+
+fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec(("[A-Za-z][A-Za-z0-9-]{0,12}", "[ -~&&[^\r\n]]{0,24}"), 0..5)
+        .prop_map(|pairs| {
+            pairs
+                .into_iter()
+                // Reserve framing-sensitive names for the codec itself.
+                .filter(|(n, _)| {
+                    !n.eq_ignore_ascii_case("content-length")
+                        && !n.eq_ignore_ascii_case("connection")
+                })
+                .map(|(n, v)| (n, v.trim().to_string()))
+                .collect()
+        })
+}
+
+fn arb_body() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..256)
+}
+
+proptest! {
+    #[test]
+    fn request_encode_decode_round_trip(
+        method in arb_method(),
+        target in arb_target(),
+        headers in arb_headers(),
+        body in arb_body(),
+    ) {
+        let mut req = Request {
+            method,
+            target,
+            headers: Headers::new(),
+            body: Bytes::from(body),
+        };
+        for (n, v) in &headers {
+            req.headers.append(n.clone(), v.clone());
+        }
+        let wire = encode_request(&req);
+        let mut buf = BytesMut::from(&wire[..]);
+        let decoded = match decode_request(&mut buf).unwrap() {
+            Decoded::Complete(r) => r,
+            Decoded::Incomplete => panic!("incomplete"),
+        };
+        prop_assert_eq!(decoded.method, req.method);
+        prop_assert_eq!(&decoded.target, &req.target);
+        prop_assert_eq!(&decoded.body, &req.body);
+        for (n, _) in &headers {
+            let sent: Vec<&str> = req.headers.get_all(n).collect();
+            let got: Vec<&str> = decoded.headers.get_all(n).collect();
+            prop_assert_eq!(got, sent);
+        }
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn response_round_trip_and_chunking_invariance(
+        code in prop_oneof![Just(200u16), Just(302), Just(404), Just(429), Just(500)],
+        headers in arb_headers(),
+        body in arb_body(),
+        chunk_size in 1usize..64,
+    ) {
+        let mut resp = Response::new(Status(code));
+        for (n, v) in &headers {
+            resp.headers.append(n.clone(), v.clone());
+        }
+        resp.body = Bytes::from(body);
+        let wire = encode_response(&resp);
+
+        // Feed in arbitrary chunk sizes; the decoder must produce the
+        // same message and consume exactly the wire bytes.
+        let mut buf = BytesMut::new();
+        let mut decoded = None;
+        for chunk in wire.chunks(chunk_size) {
+            buf.extend_from_slice(chunk);
+            if decoded.is_none() {
+                if let Decoded::Complete(r) = decode_response(&mut buf).unwrap() {
+                    decoded = Some(r);
+                }
+            }
+        }
+        let decoded = decoded.expect("message completed");
+        prop_assert_eq!(decoded.status, resp.status);
+        prop_assert_eq!(&decoded.body, &resp.body);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = BytesMut::from(&bytes[..]);
+        let _ = decode_request(&mut buf);
+        let mut buf = BytesMut::from(&bytes[..]);
+        let _ = decode_response(&mut buf);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_headerish_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("GET ".to_string()),
+                Just("/x HTTP/1.1".to_string()),
+                Just("\r\n".to_string()),
+                Just("\r\n\r\n".to_string()),
+                Just("Content-Length: ".to_string()),
+                Just("999999999999999999999".to_string()),
+                Just(": ".to_string()),
+                "[ -~]{0,12}",
+            ],
+            0..20,
+        )
+    ) {
+        let soup: String = parts.concat();
+        let mut buf = BytesMut::from(soup.as_bytes());
+        let _ = decode_request(&mut buf);
+    }
+}

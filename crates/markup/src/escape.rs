@@ -1,0 +1,112 @@
+//! HTML text/attribute escaping and entity decoding.
+
+/// Escape a string for use as HTML text content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Decode the named and numeric entities the escaper can produce (plus a
+/// few common extras). Unknown entities are passed through verbatim,
+/// which is what tolerant scrapers do.
+pub fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = s[i..].find(';').map(|p| i + p) {
+                let entity = &s[i + 1..semi];
+                if let Some(decoded) = decode_entity(entity) {
+                    out.push(decoded);
+                    i = semi + 1;
+                    continue;
+                }
+            }
+        }
+        let c = s[i..].chars().next().expect("in-bounds char");
+        out.push(c);
+        i += c.len_utf8();
+    }
+    out
+}
+
+fn decode_entity(entity: &str) -> Option<char> {
+    match entity {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        "nbsp" => Some('\u{a0}'),
+        _ => {
+            let num = entity.strip_prefix('#')?;
+            let code = if let Some(hex) = num.strip_prefix(['x', 'X']) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                num.parse().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        assert_eq!(escape_text("plain"), "plain");
+    }
+
+    #[test]
+    fn attr_escaping_covers_quotes() {
+        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &#39;bye&#39;");
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        for s in ["a < b & c > d", r#""quoted" & 'single'"#, "no entities", "tail &"] {
+            assert_eq!(unescape(&escape_attr(s)), s);
+            assert_eq!(unescape(&escape_text(s)), s);
+        }
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;"), "ABc");
+        assert_eq!(unescape("&nbsp;"), "\u{a0}");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(unescape("&bogus; &"), "&bogus; &");
+        assert_eq!(unescape("&#xZZ;"), "&#xZZ;");
+    }
+}

@@ -1,0 +1,377 @@
+//! A small, tolerant HTML parser.
+//!
+//! Handles the subset the simulated OSN emits — nested elements, quoted
+//! and unquoted attributes, void elements, comments, doctype — and is
+//! defensive about the rest: mismatched or stray close tags are recovered
+//! from rather than rejected, and no input can make it panic (verified by
+//! a property test over arbitrary bytes).
+
+use crate::dom::{is_void, Element, Node};
+use crate::escape::unescape;
+
+/// Parse an HTML document (or fragment) into a synthetic root element
+/// whose children are the top-level nodes.
+pub fn parse(input: &str) -> Element {
+    Parser { input, pos: 0 }.parse_document()
+}
+
+/// Parse and return the first top-level element, if any. Convenient for
+/// scraping a full page: `parse_first(html)` yields the `<html>` element.
+pub fn parse_first(input: &str) -> Option<Element> {
+    parse(input).children.into_iter().find_map(|n| match n {
+        Node::Element(e) => Some(e),
+        Node::Text(_) => None,
+    })
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(mut self) -> Element {
+        let mut root = Element::new("#root");
+        self.parse_children(&mut root, None);
+        root
+    }
+
+    /// Parse nodes into `parent` until EOF or a close tag for
+    /// `until_tag` (which is consumed).
+    fn parse_children(&mut self, parent: &mut Element, until_tag: Option<&str>) {
+        loop {
+            if self.at_end() {
+                return;
+            }
+            if self.rest().starts_with("</") {
+                if let Some(expected) = until_tag {
+                    let save = self.pos;
+                    if let Some(name) = self.parse_close_tag() {
+                        if name.eq_ignore_ascii_case(expected) {
+                            return; // consumed our close tag
+                        }
+                        // A close tag for some other element: treat it as
+                        // implicitly closing this one too if it matches an
+                        // ancestor; simplest recovery is to rewind and
+                        // return, letting the ancestor consume it.
+                        self.pos = save;
+                        return;
+                    }
+                    // Malformed close tag; skip the "</" and continue.
+                    self.pos = save + 2;
+                    continue;
+                }
+                // Stray close tag at top level: skip it.
+                if self.parse_close_tag().is_none() {
+                    self.pos += 2;
+                }
+                continue;
+            }
+            if self.rest().starts_with("<!--") {
+                self.skip_comment();
+                continue;
+            }
+            if self.rest().starts_with("<!") {
+                self.skip_until('>');
+                continue;
+            }
+            if self.rest().starts_with('<')
+                && self
+                    .rest()
+                    .chars()
+                    .nth(1)
+                    .map_or(false, |c| c.is_ascii_alphabetic())
+            {
+                if let Some(node) = self.parse_element() {
+                    parent.children.push(Node::Element(node));
+                    continue;
+                }
+            }
+            // Text run (possibly starting with a lone '<').
+            let text = self.take_text();
+            if !text.is_empty() {
+                let decoded = unescape(&text);
+                if !decoded.trim().is_empty() {
+                    parent.children.push(Node::Text(decoded));
+                }
+            }
+        }
+    }
+
+    fn parse_element(&mut self) -> Option<Element> {
+        debug_assert!(self.rest().starts_with('<'));
+        self.pos += 1;
+        let tag = self.take_name();
+        if tag.is_empty() {
+            return None;
+        }
+        let mut element = Element::new(tag.to_ascii_lowercase());
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            if self.at_end() {
+                return Some(element);
+            }
+            if self.rest().starts_with("/>") {
+                self.pos += 2;
+                return Some(element);
+            }
+            if self.rest().starts_with('>') {
+                self.pos += 1;
+                break;
+            }
+            let name = self.take_attr_name();
+            if name.is_empty() {
+                // Garbage in the tag; skip one char to guarantee progress.
+                self.pos += self.rest().chars().next().map_or(1, char::len_utf8);
+                continue;
+            }
+            self.skip_whitespace();
+            let value = if self.rest().starts_with('=') {
+                self.pos += 1;
+                self.skip_whitespace();
+                self.take_attr_value()
+            } else {
+                String::new()
+            };
+            element.set_attr(name.to_ascii_lowercase(), unescape(&value));
+        }
+        if !is_void(&element.tag) {
+            let tag = element.tag.clone();
+            self.parse_children(&mut element, Some(&tag));
+        }
+        Some(element)
+    }
+
+    /// Parse `</name ... >`; returns the tag name, or `None` if malformed.
+    /// Consumes through the closing `>` on success.
+    fn parse_close_tag(&mut self) -> Option<String> {
+        debug_assert!(self.rest().starts_with("</"));
+        let save = self.pos;
+        self.pos += 2;
+        let name = self.take_name();
+        if name.is_empty() {
+            self.pos = save;
+            return None;
+        }
+        self.skip_until('>');
+        Some(name)
+    }
+
+    fn take_text(&mut self) -> String {
+        let start = self.pos;
+        // A '<' only terminates text if it begins a tag, comment or
+        // declaration; otherwise it is literal text.
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() {
+            if bytes[self.pos] == b'<' && self.pos > start {
+                let rest = &self.input[self.pos..];
+                let next = rest.chars().nth(1);
+                if matches!(next, Some(c) if c.is_ascii_alphabetic() || c == '/' || c == '!') {
+                    break;
+                }
+            } else if bytes[self.pos] == b'<' && self.pos == start {
+                // Leading '<' that did not parse as a tag: consume it as text.
+                self.pos += 1;
+                continue;
+            }
+            self.pos += utf8_len(bytes[self.pos]);
+        }
+        self.input[start..self.pos].to_string()
+    }
+
+    fn take_name(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == ':' {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        self.input[start..self.pos].to_string()
+    }
+
+    fn take_attr_name(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_ascii_whitespace() || c == '=' || c == '>' || c == '/' {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+        self.input[start..self.pos].to_string()
+    }
+
+    fn take_attr_value(&mut self) -> String {
+        match self.rest().chars().next() {
+            Some(q @ ('"' | '\'')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.rest().chars().next() {
+                    if c == q {
+                        break;
+                    }
+                    self.pos += c.len_utf8();
+                }
+                let value = self.input[start..self.pos].to_string();
+                if !self.at_end() {
+                    self.pos += 1; // closing quote
+                }
+                value
+            }
+            _ => {
+                let start = self.pos;
+                while let Some(c) = self.rest().chars().next() {
+                    if c.is_ascii_whitespace() || c == '>' {
+                        break;
+                    }
+                    self.pos += c.len_utf8();
+                }
+                self.input[start..self.pos].to_string()
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) {
+        debug_assert!(self.rest().starts_with("<!--"));
+        self.pos += 4;
+        if let Some(end) = self.rest().find("-->") {
+            self.pos += end + 3;
+        } else {
+            self.pos = self.input.len();
+        }
+    }
+
+    fn skip_until(&mut self, stop: char) {
+        while let Some(c) = self.rest().chars().next() {
+            self.pos += c.len_utf8();
+            if c == stop {
+                return;
+            }
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_ascii_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b < 0xe0 => 2,
+        b if b < 0xf0 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::{el, text_el};
+
+    #[test]
+    fn parses_nested_structure() {
+        let root = parse(r#"<div class="a"><span id="x">hi</span><p>bye</p></div>"#);
+        let div = root.children[0].as_element().unwrap();
+        assert_eq!(div.tag, "div");
+        assert_eq!(div.get_attr("class"), Some("a"));
+        assert_eq!(div.children.len(), 2);
+        let span = div.children[0].as_element().unwrap();
+        assert_eq!(span.get_attr("id"), Some("x"));
+        assert_eq!(span.text_content(), "hi");
+    }
+
+    #[test]
+    fn round_trips_builder_output() {
+        let doc = el("html").child(
+            el("body")
+                .child(text_el("h1", "Profile: Ann <Lee>"))
+                .child(el("a").attr("href", "/friends?id=u1&page=2").text("friends"))
+                .child(el("img").attr("src", "x.jpg")),
+        );
+        let parsed = parse_first(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn entities_are_decoded() {
+        let root = parse("<p>a &amp; b &lt;c&gt;</p>");
+        assert_eq!(root.children[0].as_element().unwrap().text_content(), "a & b <c>");
+    }
+
+    #[test]
+    fn comments_and_doctype_skipped() {
+        let root = parse("<!DOCTYPE html><!-- note --><p>x</p>");
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].as_element().unwrap().tag, "p");
+    }
+
+    #[test]
+    fn void_elements_do_not_swallow_siblings() {
+        let root = parse("<div><br><span>after</span></div>");
+        let div = root.children[0].as_element().unwrap();
+        assert_eq!(div.children.len(), 2);
+        assert_eq!(div.children[1].as_element().unwrap().text_content(), "after");
+    }
+
+    #[test]
+    fn unquoted_and_single_quoted_attrs() {
+        let root = parse("<a href=/x class='big link'>y</a>");
+        let a = root.children[0].as_element().unwrap();
+        assert_eq!(a.get_attr("href"), Some("/x"));
+        assert!(a.has_class("big"));
+    }
+
+    #[test]
+    fn self_closing_syntax_accepted() {
+        let root = parse("<div><custom-thing a=1 /><p>x</p></div>");
+        let div = root.children[0].as_element().unwrap();
+        assert_eq!(div.children.len(), 2);
+    }
+
+    #[test]
+    fn recovers_from_mismatched_close_tags() {
+        // </div> implicitly closes the open <span>.
+        let root = parse("<div><span>text</div><p>after</p>");
+        assert_eq!(root.children.len(), 2);
+        let div = root.children[0].as_element().unwrap();
+        assert_eq!(div.tag, "div");
+        assert_eq!(div.text_content(), "text");
+    }
+
+    #[test]
+    fn stray_close_tag_is_skipped() {
+        let root = parse("</div><p>x</p>");
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn lone_angle_bracket_is_text() {
+        let root = parse("<p>3 < 5 and 7 > 2</p>");
+        let p = root.children[0].as_element().unwrap();
+        assert_eq!(p.text_content(), "3 < 5 and 7 > 2");
+    }
+
+    #[test]
+    fn truncated_input_does_not_panic() {
+        for s in ["<div", "<div class=", "<div class=\"x", "<a href='", "<!--", "</", "<"] {
+            let _ = parse(s);
+        }
+    }
+}

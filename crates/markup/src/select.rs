@@ -1,0 +1,272 @@
+//! A tiny CSS-selector subset for scraping.
+//!
+//! Supported grammar (enough for the crawler's needs):
+//!
+//! ```text
+//! selector   := compound ( WS compound )*        // descendant combinator
+//! compound   := [tag] ( '.' class | '#' id | '[' attr '=' value ']' )*
+//! ```
+//!
+//! Examples: `div.friend-entry`, `#profile a`, `li[data-kind=friend] a`.
+
+use crate::dom::Element;
+
+/// One simple (compound) selector step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Compound {
+    tag: Option<String>,
+    classes: Vec<String>,
+    id: Option<String>,
+    attrs: Vec<(String, String)>,
+}
+
+impl Compound {
+    fn matches(&self, e: &Element) -> bool {
+        if let Some(tag) = &self.tag {
+            if e.tag != *tag {
+                return false;
+            }
+        }
+        if let Some(id) = &self.id {
+            if e.get_attr("id") != Some(id.as_str()) {
+                return false;
+            }
+        }
+        if !self.classes.iter().all(|c| e.has_class(c)) {
+            return false;
+        }
+        self.attrs
+            .iter()
+            .all(|(n, v)| e.get_attr(n) == Some(v.as_str()))
+    }
+}
+
+/// A parsed selector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selector {
+    steps: Vec<Compound>,
+}
+
+/// Error for malformed selector strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectorError(pub String);
+
+impl std::fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid selector: {}", self.0)
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+impl Selector {
+    /// Parse a selector string.
+    pub fn parse(s: &str) -> Result<Selector, SelectorError> {
+        let steps: Vec<Compound> = s
+            .split_ascii_whitespace()
+            .map(parse_compound)
+            .collect::<Result<_, _>>()?;
+        if steps.is_empty() {
+            return Err(SelectorError("empty selector".into()));
+        }
+        Ok(Selector { steps })
+    }
+
+    /// All descendant elements of `root` matching this selector
+    /// (document order). `root` itself is not a candidate for the final
+    /// step but may anchor earlier steps' ancestors.
+    pub fn select<'a>(&self, root: &'a Element) -> Vec<&'a Element> {
+        let mut out = Vec::new();
+        // Walk descendants; for each, test the full chain against its
+        // ancestor path. Track paths via explicit DFS with ancestor stack.
+        fn dfs<'a>(
+            e: &'a Element,
+            ancestors: &mut Vec<&'a Element>,
+            sel: &Selector,
+            out: &mut Vec<&'a Element>,
+        ) {
+            for child in &e.children {
+                if let crate::dom::Node::Element(c) = child {
+                    if sel.matches_with_ancestors(c, ancestors) {
+                        out.push(c);
+                    }
+                    ancestors.push(c);
+                    dfs(c, ancestors, sel, out);
+                    ancestors.pop();
+                }
+            }
+        }
+        let mut ancestors = Vec::new();
+        dfs(root, &mut ancestors, self, &mut out);
+        out
+    }
+
+    /// First match, if any.
+    pub fn select_first<'a>(&self, root: &'a Element) -> Option<&'a Element> {
+        // Cheap enough at scraper page sizes; keeps one code path.
+        self.select(root).into_iter().next()
+    }
+
+    fn matches_with_ancestors(&self, e: &Element, ancestors: &[&Element]) -> bool {
+        let last = self.steps.last().expect("non-empty selector");
+        if !last.matches(e) {
+            return false;
+        }
+        // Remaining steps must match some strictly-ascending subsequence
+        // of ancestors (nearest-first greedy works for descendant-only
+        // combinators scanned outward).
+        let mut step_idx = self.steps.len().wrapping_sub(2);
+        if self.steps.len() < 2 {
+            return true;
+        }
+        let mut anc_iter = ancestors.iter().rev();
+        loop {
+            let step = &self.steps[step_idx];
+            let mut found = false;
+            for anc in anc_iter.by_ref() {
+                if step.matches(anc) {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                return false;
+            }
+            if step_idx == 0 {
+                return true;
+            }
+            step_idx -= 1;
+        }
+    }
+}
+
+fn parse_compound(s: &str) -> Result<Compound, SelectorError> {
+    let mut compound = Compound { tag: None, classes: Vec::new(), id: None, attrs: Vec::new() };
+    let mut rest = s;
+    // Optional leading tag name.
+    let tag_end = rest
+        .find(['.', '#', '['])
+        .unwrap_or(rest.len());
+    if tag_end > 0 {
+        compound.tag = Some(rest[..tag_end].to_ascii_lowercase());
+    }
+    rest = &rest[tag_end..];
+    while !rest.is_empty() {
+        if let Some(r) = rest.strip_prefix('.') {
+            let end = r.find(['.', '#', '[']).unwrap_or(r.len());
+            if end == 0 {
+                return Err(SelectorError(s.into()));
+            }
+            compound.classes.push(r[..end].to_string());
+            rest = &r[end..];
+        } else if let Some(r) = rest.strip_prefix('#') {
+            let end = r.find(['.', '#', '[']).unwrap_or(r.len());
+            if end == 0 {
+                return Err(SelectorError(s.into()));
+            }
+            compound.id = Some(r[..end].to_string());
+            rest = &r[end..];
+        } else if let Some(r) = rest.strip_prefix('[') {
+            let end = r.find(']').ok_or_else(|| SelectorError(s.into()))?;
+            let body = &r[..end];
+            let (name, value) = body
+                .split_once('=')
+                .ok_or_else(|| SelectorError(s.into()))?;
+            compound
+                .attrs
+                .push((name.to_ascii_lowercase(), value.trim_matches('"').to_string()));
+            rest = &r[end + 1..];
+        } else {
+            return Err(SelectorError(s.into()));
+        }
+    }
+    Ok(compound)
+}
+
+/// Convenience: parse + select in one call. Panics on malformed selector
+/// (use [`Selector::parse`] when the selector is not a literal).
+pub fn select<'a>(root: &'a Element, selector: &str) -> Vec<&'a Element> {
+    Selector::parse(selector)
+        .expect("literal selector must be valid")
+        .select(root)
+}
+
+/// Convenience: first match or `None`.
+pub fn select_first<'a>(root: &'a Element, selector: &str) -> Option<&'a Element> {
+    Selector::parse(selector)
+        .expect("literal selector must be valid")
+        .select_first(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn doc() -> Element {
+        parse(
+            r#"<div id="page">
+                 <ul class="friends">
+                   <li class="friend entry" data-kind="friend"><a href="/u1">A</a></li>
+                   <li class="friend entry"><a href="/u2">B</a></li>
+                 </ul>
+                 <ul class="other"><li class="friend"><a href="/u3">C</a></li></ul>
+               </div>"#,
+        )
+    }
+
+    #[test]
+    fn tag_selector() {
+        assert_eq!(select(&doc(), "li").len(), 3);
+        assert_eq!(select(&doc(), "a").len(), 3);
+    }
+
+    #[test]
+    fn class_selector() {
+        assert_eq!(select(&doc(), ".friend").len(), 3);
+        assert_eq!(select(&doc(), "li.entry").len(), 2);
+        assert_eq!(select(&doc(), ".friend.entry").len(), 2);
+    }
+
+    #[test]
+    fn id_selector() {
+        assert!(select_first(&doc(), "#page").is_some());
+        assert!(select_first(&doc(), "#nope").is_none());
+    }
+
+    #[test]
+    fn attr_selector() {
+        let d = doc();
+        let hits = select(&d, "li[data-kind=friend]");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].text_content(), "A");
+    }
+
+    #[test]
+    fn descendant_combinator() {
+        let d = doc();
+        let hits = select(&d, "ul.friends a");
+        assert_eq!(hits.len(), 2);
+        let hrefs: Vec<_> = hits.iter().map(|a| a.get_attr("href").unwrap()).collect();
+        assert_eq!(hrefs, vec!["/u1", "/u2"]);
+        assert_eq!(select(&doc(), "ul.other a").len(), 1);
+        assert_eq!(select(&doc(), "#page ul.friends li a").len(), 2);
+    }
+
+    #[test]
+    fn malformed_selectors_error() {
+        assert!(Selector::parse("").is_err());
+        assert!(Selector::parse(".").is_err());
+        assert!(Selector::parse("a[b").is_err());
+        assert!(Selector::parse("a[b]").is_err()); // presence-only not supported
+    }
+
+    #[test]
+    fn results_are_document_order() {
+        let order: Vec<String> = select(&doc(), "a")
+            .iter()
+            .map(|a| a.text_content())
+            .collect();
+        assert_eq!(order, vec!["A", "B", "C"]);
+    }
+}

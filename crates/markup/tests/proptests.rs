@@ -1,0 +1,101 @@
+//! Property tests for the HTML layer: the parser must never panic on
+//! arbitrary input, escaping must round-trip, and parsing must invert
+//! rendering for trees the builder can produce.
+
+use hsp_markup::dom::{Element, Node};
+use hsp_markup::{escape_attr, escape_text, parse, parse_first, unescape};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn parser_never_panics_on_arbitrary_strings(input in ".*") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_taggy_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("</".to_string()),
+                Just("<div".to_string()),
+                Just("<!--".to_string()),
+                Just("-->".to_string()),
+                Just("=\"".to_string()),
+                Just("'".to_string()),
+                "[a-z<>&\"=/ ]{0,8}",
+            ],
+            0..40,
+        )
+    ) {
+        let soup: String = parts.concat();
+        let _ = parse(&soup);
+    }
+
+    #[test]
+    fn escape_text_round_trips(s in ".*") {
+        prop_assert_eq!(unescape(&escape_text(&s)), s);
+    }
+
+    #[test]
+    fn escape_attr_round_trips(s in ".*") {
+        prop_assert_eq!(unescape(&escape_attr(&s)), s);
+    }
+
+    #[test]
+    fn render_parse_round_trip(tree in arb_element(3)) {
+        let html = tree.render();
+        let reparsed = parse_first(&html).expect("one root element");
+        prop_assert_eq!(reparsed, tree);
+    }
+}
+
+/// Generate element trees restricted to what the builder legitimately
+/// produces: lowercase tags, non-void containers, attribute names that
+/// are valid identifiers, and text without entity-sensitive edge cases
+/// being lost (the escaper handles those; whitespace-only text nodes are
+/// excluded because the parser intentionally drops them).
+fn arb_element(depth: u32) -> impl Strategy<Value = Element> {
+    let tag = prop_oneof![
+        Just("div"), Just("span"), Just("p"), Just("a"), Just("ul"), Just("li"),
+        Just("h1"), Just("section"), Just("table"), Just("td")
+    ];
+    let attr_name = prop_oneof![
+        Just("class"), Just("id"), Just("href"), Just("data-kind"), Just("title")
+    ];
+    // Attribute values and text: printable, and text must contain a
+    // non-whitespace char (parser drops whitespace-only runs).
+    let attr_value = "[ -~]{0,12}";
+    let text = "[ -~]{0,12}[!-~]";
+
+    let leaf = (tag.clone(), prop::collection::vec((attr_name, attr_value), 0..3), text)
+        .prop_map(|(tag, attrs, text)| {
+            let mut e = Element::new(tag);
+            for (n, v) in attrs {
+                e.set_attr(n, v);
+            }
+            e.children.push(Node::Text(text));
+            e
+        });
+
+    leaf.prop_recursive(depth, 24, 4, move |inner| {
+        (
+            prop_oneof![
+                Just("div"), Just("span"), Just("ul"), Just("section"), Just("table")
+            ],
+            prop::collection::vec(("(class|id|href|title)", "[ -~]{0,12}"), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, attrs, kids)| {
+                let mut e = Element::new(tag);
+                for (n, v) in attrs {
+                    e.set_attr(n, v);
+                }
+                for kid in kids {
+                    e.children.push(Node::Element(kid));
+                }
+                e
+            })
+    })
+}

@@ -1,0 +1,169 @@
+//! Attacker-visible account management: signup, login, sessions.
+//!
+//! The simulated OSN lets anyone create an account (the paper's attacker
+//! registers a handful of fake adult accounts) and hands out a session
+//! cookie on login. Each account also carries a request counter for the
+//! anti-crawling suspension rule.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One registered (attacker) account.
+#[derive(Clone, Debug)]
+pub struct Account {
+    /// Dense index; used to diversify per-account search samples.
+    pub index: usize,
+    pub username: String,
+    password: String,
+    /// Requests served so far (anti-crawl accounting).
+    pub requests: u64,
+    /// Suspended by the anti-crawling rule.
+    pub suspended: bool,
+}
+
+/// Errors surfaced to HTTP handlers.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AccountError {
+    UsernameTaken,
+    BadCredentials,
+    NoSession,
+    Suspended,
+}
+
+/// Registry of attacker accounts and live sessions.
+#[derive(Default)]
+pub struct Accounts {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    accounts: Vec<Account>,
+    by_name: HashMap<String, usize>,
+    /// session id -> account index
+    sessions: HashMap<String, usize>,
+    session_counter: u64,
+}
+
+impl Accounts {
+    pub fn new() -> Self {
+        Accounts::default()
+    }
+
+    /// Create an account. The platform does not verify anything — which
+    /// is precisely the paper's point about unverified self-asserted
+    /// ages.
+    pub fn signup(&self, username: &str, password: &str) -> Result<usize, AccountError> {
+        let mut inner = self.inner.lock();
+        if inner.by_name.contains_key(username) {
+            return Err(AccountError::UsernameTaken);
+        }
+        let index = inner.accounts.len();
+        inner.accounts.push(Account {
+            index,
+            username: username.to_string(),
+            password: password.to_string(),
+            requests: 0,
+            suspended: false,
+        });
+        inner.by_name.insert(username.to_string(), index);
+        Ok(index)
+    }
+
+    /// Log in, returning a fresh session id.
+    pub fn login(&self, username: &str, password: &str) -> Result<String, AccountError> {
+        let mut inner = self.inner.lock();
+        let &index = inner.by_name.get(username).ok_or(AccountError::BadCredentials)?;
+        if inner.accounts[index].password != password {
+            return Err(AccountError::BadCredentials);
+        }
+        inner.session_counter += 1;
+        let sid = format!("sid-{index}-{:08x}", inner.session_counter.wrapping_mul(0x9e3779b9));
+        inner.sessions.insert(sid.clone(), index);
+        Ok(sid)
+    }
+
+    /// Resolve a session cookie to an account index, bumping the
+    /// account's request counter and enforcing suspension.
+    pub fn authorize(&self, sid: &str, threshold: u64) -> Result<usize, AccountError> {
+        let mut inner = self.inner.lock();
+        let &index = inner.sessions.get(sid).ok_or(AccountError::NoSession)?;
+        let account = &mut inner.accounts[index];
+        if account.suspended {
+            return Err(AccountError::Suspended);
+        }
+        account.requests += 1;
+        if account.requests > threshold {
+            account.suspended = true;
+            return Err(AccountError::Suspended);
+        }
+        Ok(index)
+    }
+
+    /// Request count for an account (tests / effort cross-checks).
+    pub fn request_count(&self, index: usize) -> u64 {
+        self.inner.lock().accounts[index].requests
+    }
+
+    pub fn is_suspended(&self, index: usize) -> bool {
+        self.inner.lock().accounts[index].suspended
+    }
+
+    pub fn account_count(&self) -> usize {
+        self.inner.lock().accounts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signup_login_authorize_flow() {
+        let accounts = Accounts::new();
+        let idx = accounts.signup("spy1", "pw").unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(accounts.signup("spy1", "pw"), Err(AccountError::UsernameTaken));
+        assert_eq!(accounts.login("spy1", "wrong"), Err(AccountError::BadCredentials));
+        assert_eq!(accounts.login("nobody", "pw"), Err(AccountError::BadCredentials));
+        let sid = accounts.login("spy1", "pw").unwrap();
+        assert_eq!(accounts.authorize(&sid, 100), Ok(0));
+        assert_eq!(accounts.authorize("bogus", 100), Err(AccountError::NoSession));
+    }
+
+    #[test]
+    fn two_logins_get_distinct_sessions() {
+        let accounts = Accounts::new();
+        accounts.signup("a", "p").unwrap();
+        let s1 = accounts.login("a", "p").unwrap();
+        let s2 = accounts.login("a", "p").unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(accounts.authorize(&s1, 100), Ok(0));
+        assert_eq!(accounts.authorize(&s2, 100), Ok(0));
+    }
+
+    #[test]
+    fn suspension_after_threshold() {
+        let accounts = Accounts::new();
+        accounts.signup("greedy", "p").unwrap();
+        let sid = accounts.login("greedy", "p").unwrap();
+        for _ in 0..5 {
+            assert!(accounts.authorize(&sid, 5).is_ok());
+        }
+        assert_eq!(accounts.authorize(&sid, 5), Err(AccountError::Suspended));
+        // Stays suspended.
+        assert_eq!(accounts.authorize(&sid, 5), Err(AccountError::Suspended));
+        assert!(accounts.is_suspended(0));
+    }
+
+    #[test]
+    fn request_counting() {
+        let accounts = Accounts::new();
+        accounts.signup("c", "p").unwrap();
+        let sid = accounts.login("c", "p").unwrap();
+        for _ in 0..7 {
+            accounts.authorize(&sid, 100).unwrap();
+        }
+        assert_eq!(accounts.request_count(0), 7);
+    }
+}

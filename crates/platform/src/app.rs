@@ -1,0 +1,497 @@
+//! The assembled OSN application: routes + handlers.
+
+use crate::accounts::{AccountError, Accounts};
+use crate::config::PlatformConfig;
+use crate::render;
+use crate::search::SearchIndex;
+use hsp_graph::{CityId, Network, SchoolId, UserId};
+use hsp_http::{request_cookie, Handler, Request, Response, Router, Status};
+use hsp_policy::Policy;
+use std::sync::Arc;
+
+/// The simulated OSN service. Immutable network + policy, mutable
+/// account/session state, all behind `Arc` so the same platform can be
+/// mounted on the HTTP server and called in-process.
+pub struct Platform {
+    pub network: Arc<Network>,
+    pub policy: Arc<dyn Policy>,
+    pub config: PlatformConfig,
+    pub accounts: Accounts,
+    search: SearchIndex,
+}
+
+impl Platform {
+    pub fn new(network: Arc<Network>, policy: Arc<dyn Policy>, config: PlatformConfig) -> Arc<Self> {
+        Arc::new(Platform {
+            network,
+            policy,
+            config,
+            accounts: Accounts::new(),
+            search: SearchIndex::new(),
+        })
+    }
+
+    /// Build the HTTP router over this platform.
+    pub fn into_handler(self: &Arc<Self>) -> Arc<dyn Handler> {
+        let mut router = Router::new();
+
+        let p = Arc::clone(self);
+        router.post("/signup", move |req, _| p.handle_signup(req));
+        let p = Arc::clone(self);
+        router.post("/login", move |req, _| p.handle_login(req));
+        let p = Arc::clone(self);
+        router.get("/find-friends", move |req, _| p.handle_find_friends(req));
+        let p = Arc::clone(self);
+        router.get("/graph-search", move |req, _| p.handle_graph_search(req));
+        let p = Arc::clone(self);
+        router.get("/profile/:uid", move |req, params| {
+            p.handle_profile(req, params.get("uid"))
+        });
+        let p = Arc::clone(self);
+        router.get("/friends/:uid", move |req, params| {
+            p.handle_friends(req, params.get("uid"))
+        });
+        let p = Arc::clone(self);
+        router.post("/message/:uid", move |req, params| {
+            p.handle_message(req, params.get("uid"))
+        });
+        let p = Arc::clone(self);
+        router.get("/circles/:uid", move |req, params| {
+            p.handle_circles(req, params.get("uid"))
+        });
+
+        Arc::new(router)
+    }
+
+    // ---- session plumbing -------------------------------------------------
+
+    fn session_account(&self, req: &Request) -> Result<usize, Response> {
+        let sid = request_cookie(req, "sid")
+            .ok_or_else(|| Response::error(Status::UNAUTHORIZED, "login required"))?;
+        self.accounts
+            .authorize(sid, self.config.suspension_threshold)
+            .map_err(|e| match e {
+                AccountError::Suspended => Response::error(
+                    Status::TOO_MANY_REQUESTS,
+                    "account suspended for suspicious activity",
+                ),
+                _ => Response::error(Status::UNAUTHORIZED, "login required"),
+            })
+    }
+
+    fn parse_user(&self, raw: Option<&str>) -> Result<UserId, Response> {
+        raw.and_then(UserId::parse)
+            .filter(|u| u.index() < self.network.user_count())
+            .ok_or_else(|| Response::error(Status::NOT_FOUND, "no such user"))
+    }
+
+    // ---- handlers -----------------------------------------------------------
+
+    fn handle_signup(&self, req: &Request) -> Response {
+        let user = req.form_param("user").unwrap_or_default();
+        let pass = req.form_param("pass").unwrap_or_default();
+        if user.is_empty() || pass.is_empty() {
+            return Response::error(Status::BAD_REQUEST, "user and pass required");
+        }
+        match self.accounts.signup(&user, &pass) {
+            Ok(_) => Response::text("account created"),
+            Err(AccountError::UsernameTaken) => {
+                Response::error(Status::BAD_REQUEST, "username taken")
+            }
+            Err(_) => Response::error(Status::INTERNAL_SERVER_ERROR, "signup failed"),
+        }
+    }
+
+    fn handle_login(&self, req: &Request) -> Response {
+        let user = req.form_param("user").unwrap_or_default();
+        let pass = req.form_param("pass").unwrap_or_default();
+        match self.accounts.login(&user, &pass) {
+            Ok(sid) => Response::text("welcome").set_cookie("sid", &sid),
+            Err(_) => Response::error(Status::UNAUTHORIZED, "bad credentials"),
+        }
+    }
+
+    fn handle_find_friends(&self, req: &Request) -> Response {
+        let account = match self.session_account(req) {
+            Ok(a) => a,
+            Err(resp) => return resp,
+        };
+        let Some(school) = req.query_param("school").as_deref().and_then(SchoolId::parse)
+        else {
+            return Response::error(Status::BAD_REQUEST, "school parameter required");
+        };
+        if school.index() >= self.network.schools().len() {
+            return Response::error(Status::NOT_FOUND, "no such school");
+        }
+        let page: usize = req
+            .query_param("page")
+            .and_then(|p| p.parse().ok())
+            .unwrap_or(0);
+        let (ids, has_more) = self.search.page(
+            &self.network,
+            self.policy.as_ref(),
+            &self.config,
+            school,
+            account,
+            page,
+        );
+        let entries: Vec<(UserId, String)> = ids
+            .into_iter()
+            .map(|u| (u, self.network.user(u).profile.full_name()))
+            .collect();
+        let next = has_more
+            .then(|| format!("/find-friends?school={school}&page={}", page + 1));
+        Response::html(render::listing_page("results", &entries, next))
+    }
+
+    fn handle_graph_search(&self, req: &Request) -> Response {
+        let account = match self.session_account(req) {
+            Ok(a) => a,
+            Err(resp) => return resp,
+        };
+        let Some(school) = req.query_param("school").as_deref().and_then(SchoolId::parse)
+        else {
+            return Response::error(Status::BAD_REQUEST, "school parameter required");
+        };
+        if school.index() >= self.network.schools().len() {
+            return Response::error(Status::NOT_FOUND, "no such school");
+        }
+        let current_only = req.query_param("current").as_deref() == Some("1");
+        let city = req.query_param("city").as_deref().and_then(CityId::parse);
+        let ids = self.search.graph_search(
+            &self.network,
+            self.policy.as_ref(),
+            &self.config,
+            school,
+            account,
+            current_only,
+            city,
+        );
+        let entries: Vec<(UserId, String)> = ids
+            .into_iter()
+            .map(|u| (u, self.network.user(u).profile.full_name()))
+            .collect();
+        Response::html(render::listing_page("results", &entries, None))
+    }
+
+    fn handle_profile(&self, req: &Request, uid: Option<&str>) -> Response {
+        if let Err(resp) = self.session_account(req) {
+            return resp;
+        }
+        let uid = match self.parse_user(uid) {
+            Ok(u) => u,
+            Err(resp) => return resp,
+        };
+        let view = self.policy.stranger_view(&self.network, uid);
+        Response::html(render::profile_page(&self.network, &view))
+    }
+
+    fn handle_friends(&self, req: &Request, uid: Option<&str>) -> Response {
+        if let Err(resp) = self.session_account(req) {
+            return resp;
+        }
+        let uid = match self.parse_user(uid) {
+            Ok(u) => u,
+            Err(resp) => return resp,
+        };
+        let Some(friends) = self.policy.visible_friend_list(&self.network, uid) else {
+            return Response::error(Status::FORBIDDEN, "friend list not visible");
+        };
+        let page: usize = req
+            .query_param("page")
+            .and_then(|p| p.parse().ok())
+            .unwrap_or(0);
+        let per = self.config.friends_page_size;
+        let start = page.saturating_mul(per).min(friends.len());
+        let end = (start + per).min(friends.len());
+        let has_more = end < friends.len();
+        let entries: Vec<(UserId, String)> = friends[start..end]
+            .iter()
+            .map(|&u| (u, self.network.user(u).profile.full_name()))
+            .collect();
+        let next = has_more.then(|| format!("/friends/{uid}?page={}", page + 1));
+        Response::html(render::listing_page("friends", &entries, next))
+    }
+
+    /// Google+ circles pages: `?dir=in` ("in your circles", outgoing) or
+    /// `?dir=has` ("have you in circles", incoming). 404 on platforms
+    /// without circles (the Facebook policy).
+    fn handle_circles(&self, req: &Request, uid: Option<&str>) -> Response {
+        if let Err(resp) = self.session_account(req) {
+            return resp;
+        }
+        let uid = match self.parse_user(uid) {
+            Ok(u) => u,
+            Err(resp) => return resp,
+        };
+        let incoming = match req.query_param("dir").as_deref() {
+            Some("has") => true,
+            Some("in") | None => false,
+            Some(_) => return Response::error(Status::BAD_REQUEST, "dir must be in|has"),
+        };
+        let Some(list) = self.policy.visible_circles(&self.network, uid, incoming) else {
+            return Response::error(Status::FORBIDDEN, "circles not visible");
+        };
+        let page: usize = req
+            .query_param("page")
+            .and_then(|p| p.parse().ok())
+            .unwrap_or(0);
+        let per = self.config.friends_page_size;
+        let start = page.saturating_mul(per).min(list.len());
+        let end = (start + per).min(list.len());
+        let has_more = end < list.len();
+        let entries: Vec<(UserId, String)> = list[start..end]
+            .iter()
+            .map(|&u| (u, self.network.user(u).profile.full_name()))
+            .collect();
+        let dir = if incoming { "has" } else { "in" };
+        let next =
+            has_more.then(|| format!("/circles/{uid}?dir={dir}&page={}", page + 1));
+        Response::html(render::listing_page("circles", &entries, next))
+    }
+
+    fn handle_message(&self, req: &Request, uid: Option<&str>) -> Response {
+        if let Err(resp) = self.session_account(req) {
+            return resp;
+        }
+        let uid = match self.parse_user(uid) {
+            Ok(u) => u,
+            Err(resp) => return resp,
+        };
+        let view = self.policy.stranger_view(&self.network, uid);
+        if !view.message_button {
+            return Response::error(Status::FORBIDDEN, "cannot message this user");
+        }
+        Response::text("message delivered")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_graph::Audience;
+    use hsp_markup::{parse, select};
+    use hsp_policy::FacebookPolicy;
+    use hsp_synth::{generate, ScenarioConfig};
+
+    fn tiny_platform() -> (Arc<Platform>, Arc<dyn Handler>, hsp_synth::Scenario) {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let net = Arc::new(scenario.network.clone());
+        let platform = Platform::new(
+            net,
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig::default(),
+        );
+        let handler = platform.into_handler();
+        (platform, handler, scenario)
+    }
+
+    fn login(handler: &Arc<dyn Handler>, name: &str) -> String {
+        let r = handler.handle(&Request::post_form("/signup", &[("user", name), ("pass", "x")]));
+        assert_eq!(r.status, Status::OK);
+        let r = handler.handle(&Request::post_form("/login", &[("user", name), ("pass", "x")]));
+        assert_eq!(r.status, Status::OK);
+        let cookie = r.headers.get("set-cookie").unwrap();
+        cookie.split(';').next().unwrap().to_string()
+    }
+
+    #[test]
+    fn endpoints_require_login() {
+        let (_p, handler, s) = tiny_platform();
+        for path in [
+            format!("/find-friends?school={}", s.school),
+            "/profile/u0".to_string(),
+            "/friends/u0".to_string(),
+        ] {
+            let r = handler.handle(&Request::get(path));
+            assert_eq!(r.status, Status::UNAUTHORIZED);
+        }
+    }
+
+    #[test]
+    fn search_returns_profile_links_and_never_minors() {
+        let (_p, handler, s) = tiny_platform();
+        let cookie = login(&handler, "spy");
+        let mut page = 0;
+        let mut found = 0;
+        loop {
+            let r = handler.handle(
+                &Request::get(format!("/find-friends?school={}&page={page}", s.school))
+                    .header("Cookie", &cookie),
+            );
+            assert_eq!(r.status, Status::OK);
+            let dom = parse(&r.body_string());
+            for a in select(&dom, "#results a.profile-link") {
+                let uid = UserId::parse(
+                    a.get_attr("href").unwrap().strip_prefix("/profile/").unwrap(),
+                )
+                .unwrap();
+                assert!(
+                    !s.network.user(uid).is_registered_minor(s.network.today),
+                    "search returned a registered minor"
+                );
+                found += 1;
+            }
+            if hsp_markup::select_first(&dom, "#next-page").is_none() {
+                break;
+            }
+            page += 1;
+        }
+        assert!(found > 0, "search returned nothing");
+    }
+
+    #[test]
+    fn profile_page_is_minimal_for_registered_minors() {
+        let (_p, handler, s) = tiny_platform();
+        let cookie = login(&handler, "spy");
+        let minor = s.registered_minor_students()[0];
+        let r = handler
+            .handle(&Request::get(format!("/profile/{minor}")).header("Cookie", &cookie));
+        let dom = parse(&r.body_string());
+        assert!(select(&dom, ".edu").is_empty());
+        assert!(select(&dom, ".friends-link").is_empty());
+        assert!(select(&dom, ".message-button").is_empty());
+        assert!(!select(&dom, "h1.name").is_empty());
+    }
+
+    #[test]
+    fn friends_pages_paginate_and_respect_privacy() {
+        let (_p, handler, s) = tiny_platform();
+        let cookie = login(&handler, "spy");
+        // Find a user with a public friend list and lots of friends.
+        let open = s
+            .network
+            .user_ids()
+            .filter(|&u| {
+                !s.network.user(u).is_registered_minor(s.network.today)
+                    && s.network.user(u).privacy.friend_list == Audience::Public
+            })
+            .max_by_key(|&u| s.network.friends(u).len())
+            .unwrap();
+        let total = s.network.friends(open).len();
+        assert!(total > 20, "need a paginating example");
+        let mut seen = Vec::new();
+        let mut page = 0;
+        loop {
+            let r = handler.handle(
+                &Request::get(format!("/friends/{open}?page={page}")).header("Cookie", &cookie),
+            );
+            assert_eq!(r.status, Status::OK);
+            let dom = parse(&r.body_string());
+            let links = select(&dom, "#friends a.profile-link");
+            assert!(links.len() <= 20);
+            seen.extend(links.iter().map(|a| {
+                UserId::parse(a.get_attr("href").unwrap().strip_prefix("/profile/").unwrap())
+                    .unwrap()
+            }));
+            if hsp_markup::select_first(&dom, "#next-page").is_none() {
+                break;
+            }
+            page += 1;
+        }
+        assert_eq!(seen.len(), total);
+        // A hidden-list user is forbidden.
+        let hidden = s
+            .network
+            .user_ids()
+            .find(|&u| s.network.user(u).privacy.friend_list != Audience::Public)
+            .unwrap();
+        let r = handler
+            .handle(&Request::get(format!("/friends/{hidden}")).header("Cookie", &cookie));
+        assert_eq!(r.status, Status::FORBIDDEN);
+    }
+
+    #[test]
+    fn different_accounts_see_different_search_samples() {
+        // Use HS-sized pool so caps bite: tiny() pool may be below cap.
+        let (platform, handler, s) = tiny_platform();
+        let c1 = login(&handler, "spy1");
+        let c2 = login(&handler, "spy2");
+        let get_first_page = |cookie: &str| {
+            let r = handler.handle(
+                &Request::get(format!("/find-friends?school={}", s.school))
+                    .header("Cookie", cookie),
+            );
+            let dom = parse(&r.body_string());
+            select(&dom, "#results a.profile-link")
+                .iter()
+                .map(|a| a.get_attr("href").unwrap().to_string())
+                .collect::<Vec<_>>()
+        };
+        let p1 = get_first_page(&c1);
+        let p2 = get_first_page(&c2);
+        assert_ne!(p1, p2, "accounts should see different orderings");
+        let _ = platform;
+    }
+
+    #[test]
+    fn suspension_kicks_in() {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let net = Arc::new(scenario.network.clone());
+        let platform = Platform::new(
+            net,
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig { suspension_threshold: 3, ..PlatformConfig::default() },
+        );
+        let handler = platform.into_handler();
+        let cookie = login(&handler, "greedy");
+        for _ in 0..3 {
+            let r = handler
+                .handle(&Request::get("/profile/u0").header("Cookie", &cookie));
+            assert_eq!(r.status, Status::OK);
+        }
+        let r = handler.handle(&Request::get("/profile/u0").header("Cookie", &cookie));
+        assert_eq!(r.status, Status::TOO_MANY_REQUESTS);
+    }
+
+    #[test]
+    fn message_endpoint_respects_policy() {
+        let (_p, handler, s) = tiny_platform();
+        let cookie = login(&handler, "spy");
+        let today = s.network.today;
+        let open_adult = s
+            .network
+            .user_ids()
+            .find(|&u| {
+                !s.network.user(u).is_registered_minor(today)
+                    && s.network.user(u).privacy.message_button == Audience::Public
+            })
+            .unwrap();
+        let minor = s.registered_minor_students()[0];
+        let r = handler.handle(
+            &Request::post_form(&format!("/message/{open_adult}"), &[("body", "hi")])
+                .header("Cookie", &cookie),
+        );
+        assert_eq!(r.status, Status::OK);
+        let r = handler.handle(
+            &Request::post_form(&format!("/message/{minor}"), &[("body", "hi")])
+                .header("Cookie", &cookie),
+        );
+        assert_eq!(r.status, Status::FORBIDDEN);
+    }
+
+    #[test]
+    fn graph_search_current_filter() {
+        let (_p, handler, s) = tiny_platform();
+        let cookie = login(&handler, "spy");
+        let r = handler.handle(
+            &Request::get(format!("/graph-search?school={}&current=1", s.school))
+                .header("Cookie", &cookie),
+        );
+        assert_eq!(r.status, Status::OK);
+        let dom = parse(&r.body_string());
+        let senior = s.network.senior_class_year();
+        for a in select(&dom, "#results a.profile-link") {
+            let uid = UserId::parse(
+                a.get_attr("href").unwrap().strip_prefix("/profile/").unwrap(),
+            )
+            .unwrap();
+            // Every hit publicly claims current attendance.
+            let view = hsp_policy::FacebookPolicy::new().stranger_view(&s.network, uid);
+            assert!(view
+                .education
+                .iter()
+                .any(|e| e.school == s.school && e.grad_year.map_or(false, |g| g >= senior)));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Platform service configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the simulated OSN service.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Results per search-page AJAX request. Calibrated so the paper's
+    /// Table 3 seed-request counts come out right (~16/page).
+    pub search_page_size: usize,
+    /// Maximum search results served to one account for one school —
+    /// the reason the paper's attacker registered multiple fake
+    /// accounts.
+    pub search_cap_per_account: usize,
+    /// Friends per friend-list AJAX request (the paper reports
+    /// Facebook's p = 20).
+    pub friends_page_size: usize,
+    /// Anti-crawling: total requests an account may make before being
+    /// suspended ("if a member tries to access many user profiles in a
+    /// short time, the member's account will be ... disabled", §4.5).
+    pub suspension_threshold: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            search_page_size: 16,
+            search_cap_per_account: 400,
+            friends_page_size: 20,
+            suspension_threshold: 50_000,
+        }
+    }
+}

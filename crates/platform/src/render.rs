@@ -1,0 +1,202 @@
+//! HTML rendering of platform pages.
+//!
+//! Class/id names and `data-` attributes are the stable scraping
+//! contract with `hsp-crawler` (which, like the paper's parser, extracts
+//! fields from the HTML source).
+
+use hsp_graph::{EducationKind, Network, UserId};
+use hsp_markup::{el, text_el, Element};
+use hsp_policy::PublicView;
+
+/// Wrap body content in a page skeleton.
+pub fn page(title: &str, body_children: Vec<Element>) -> String {
+    let mut body = el("body");
+    body.children
+        .extend(body_children.into_iter().map(hsp_markup::Node::Element));
+    let doc = el("html")
+        .child(el("head").child(text_el("title", title)))
+        .child(body);
+    format!("<!DOCTYPE html>{}", doc.render())
+}
+
+/// Render a stranger's view of a profile page.
+pub fn profile_page(net: &Network, view: &PublicView) -> String {
+    let mut root = el("div").id("profile").attr("data-uid", view.user.to_string());
+    root = root.child(text_el("h1", view.name.clone()).class("name"));
+    if view.has_profile_photo {
+        root = root.child(
+            el("img")
+                .class("profile-photo")
+                .attr("src", format!("/photo/{}", view.user)),
+        );
+    }
+    if let Some(g) = view.gender {
+        root = root.child(text_el("span", g.to_string()).class("gender"));
+    }
+    if !view.networks.is_empty() {
+        let mut ul = el("ul").class("networks");
+        for n in &view.networks {
+            ul = ul.child(
+                text_el("li", net.school(*n).name.clone())
+                    .class("network")
+                    .attr("data-school", n.to_string()),
+            );
+        }
+        root = root.child(ul);
+    }
+    if !view.education.is_empty() {
+        let mut ul = el("ul").class("education");
+        for e in &view.education {
+            let kind = match e.kind {
+                EducationKind::HighSchool => "highschool",
+                EducationKind::College => "college",
+                EducationKind::GraduateSchool => "gradschool",
+            };
+            let label = match e.grad_year {
+                Some(y) => format!("{}, Class of {}", net.school(e.school).name, y),
+                None => net.school(e.school).name.clone(),
+            };
+            let mut li = text_el("li", label)
+                .class("edu")
+                .attr("data-kind", kind)
+                .attr("data-school", e.school.to_string());
+            if let Some(y) = e.grad_year {
+                li = li.attr("data-year", y.to_string());
+            }
+            ul = ul.child(li);
+        }
+        root = root.child(ul);
+    }
+    if let Some(c) = view.current_city {
+        let city = net.city(c);
+        root = root.child(
+            text_el("span", format!("{}, {}", city.name, city.state))
+                .class("current-city")
+                .attr("data-city", c.to_string()),
+        );
+    }
+    if let Some(c) = view.hometown {
+        let city = net.city(c);
+        root = root.child(
+            text_el("span", format!("{}, {}", city.name, city.state))
+                .class("hometown")
+                .attr("data-city", c.to_string()),
+        );
+    }
+    if let Some(r) = view.relationship {
+        root = root.child(text_el("span", format!("{r:?}")).class("relationship"));
+    }
+    if let Some(i) = view.interested_in {
+        root = root.child(text_el("span", format!("{i:?}")).class("interested-in"));
+    }
+    if let Some(b) = view.birthday {
+        root = root.child(
+            text_el("span", b.to_string())
+                .class("birthday")
+                .attr("data-date", b.to_string()),
+        );
+    }
+    if let Some(n) = view.photos_shared {
+        root = root.child(
+            text_el("span", format!("{n} photos"))
+                .class("photos-count")
+                .attr("data-count", n.to_string()),
+        );
+    }
+    if let Some(n) = view.wall_posts {
+        root = root.child(
+            text_el("span", format!("{n} wall posts"))
+                .class("wall-count")
+                .attr("data-count", n.to_string()),
+        );
+    }
+    if !view.wall_posters.is_empty() {
+        let mut ul = el("ul").class("wall");
+        for &author in &view.wall_posters {
+            ul = ul.child(
+                text_el("li", net.user(author).profile.full_name())
+                    .class("wall-post")
+                    .attr("data-author", author.to_string()),
+            );
+        }
+        root = root.child(ul);
+    }
+    if let Some(contact) = &view.contact {
+        let mut div = el("div").class("contact");
+        if let Some(e) = &contact.email {
+            div = div.child(text_el("span", e.clone()).class("email"));
+        }
+        if let Some(p) = &contact.phone {
+            div = div.child(text_el("span", p.clone()).class("phone"));
+        }
+        if let Some(a) = &contact.address {
+            div = div.child(text_el("span", a.clone()).class("address"));
+        }
+        root = root.child(div);
+    }
+    if view.friend_list_visible {
+        root = root.child(
+            text_el("a", "Friends")
+                .class("friends-link")
+                .attr("href", format!("/friends/{}", view.user)),
+        );
+    }
+    if view.message_button {
+        root = root.child(
+            text_el("a", "Message")
+                .class("message-button")
+                .attr("href", format!("/message/{}", view.user)),
+        );
+    }
+    page(&view.name, vec![root])
+}
+
+/// One page of search results (or friends): a list of profile links
+/// plus an optional next-page link.
+pub fn listing_page(
+    list_id: &str,
+    entries: &[(UserId, String)],
+    next_url: Option<String>,
+) -> String {
+    let mut ul = el("ul").id(list_id);
+    for (uid, name) in entries {
+        ul = ul.child(
+            el("li").class("entry").child(
+                text_el("a", name.clone())
+                    .class("profile-link")
+                    .attr("href", format!("/profile/{uid}")),
+            ),
+        );
+    }
+    let mut children = vec![ul];
+    if let Some(next) = next_url {
+        children.push(text_el("a", "More").id("next-page").attr("href", next));
+    }
+    page(list_id, children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_markup::{parse, select, select_first};
+
+    #[test]
+    fn listing_page_structure() {
+        let html = listing_page(
+            "results",
+            &[(UserId(1), "A B".into()), (UserId(2), "C D".into())],
+            Some("/find-friends?school=s0&page=1".into()),
+        );
+        let dom = parse(&html);
+        assert_eq!(select(&dom, "#results a.profile-link").len(), 2);
+        let next = select_first(&dom, "#next-page").unwrap();
+        assert_eq!(next.get_attr("href"), Some("/find-friends?school=s0&page=1"));
+    }
+
+    #[test]
+    fn listing_page_without_next() {
+        let html = listing_page("results", &[], None);
+        let dom = parse(&html);
+        assert!(select_first(&dom, "#next-page").is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the platform: pagination must partition result
+//! sets exactly, search sampling must be deterministic and respect the
+//! cap, and every page render must be scrapeable back losslessly.
+
+use hsp_graph::{
+    Date, Gender, Network, PrivacySettings, ProfileContent, Registration, Role, School,
+    SchoolId, SchoolKind, User, UserId,
+};
+use hsp_http::{DirectExchange, Exchange, Handler, Request, Status};
+use hsp_platform::{Platform, PlatformConfig};
+use hsp_policy::FacebookPolicy;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build a small adult-only world with the given friendship edges.
+fn world(n_users: u64, edges: &[(u64, u64)]) -> Network {
+    let mut net = Network::new(Date::ymd(2012, 3, 15));
+    let city = net.add_city("X", "NY");
+    let school = net.add_school(School {
+        id: SchoolId(0),
+        name: "HS".into(),
+        city,
+        kind: SchoolKind::HighSchool,
+        public_enrollment_estimate: 100,
+    });
+    for i in 0..n_users {
+        let mut profile = ProfileContent::bare(format!("U{i}"), "Tester", Gender::Male);
+        profile
+            .education
+            .push(hsp_graph::EducationEntry::high_school(school, 2008));
+        net.add_user(User {
+            id: UserId(0),
+            true_birth_date: Date::ymd(1988, 1, 1),
+            registration: Registration {
+                registered_birth_date: Date::ymd(1988, 1, 1),
+                registration_date: Date::ymd(2008, 1, 1),
+            },
+            profile,
+            privacy: PrivacySettings::facebook_adult_default(),
+            role: Role::Alumnus { school, grad_year: 2008 },
+        });
+    }
+    net.add_friendships_bulk(edges.iter().map(|&(a, b)| (UserId(a % n_users), UserId(b % n_users))));
+    net
+}
+
+fn login(handler: &Arc<dyn Handler>) -> DirectExchange {
+    let mut ex = DirectExchange::new(handler.clone());
+    ex.exchange(Request::post_form("/signup", &[("user", "p"), ("pass", "x")]))
+        .unwrap();
+    ex.exchange(Request::post_form("/login", &[("user", "p"), ("pass", "x")]))
+        .unwrap();
+    ex
+}
+
+/// Page through a listing endpoint, returning all ids in order.
+fn page_all(ex: &mut DirectExchange, first_url: &str) -> Vec<UserId> {
+    let mut url = first_url.to_string();
+    let mut out = Vec::new();
+    loop {
+        let resp = ex.exchange(Request::get(&url)).unwrap();
+        assert_eq!(resp.status, Status::OK, "{url}");
+        let (ids, next) = hsp_crawler::parse_listing(&resp.body_string());
+        out.extend(ids);
+        match next {
+            Some(n) => url = n,
+            None => break,
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Friend-list pagination partitions the friend set exactly: no
+    /// duplicates, no losses, regardless of page size.
+    #[test]
+    fn friends_pagination_partitions(
+        n_users in 5u64..40,
+        edges in prop::collection::vec((0u64..40, 0u64..40), 0..200),
+        page_size in 1usize..30,
+    ) {
+        let net = world(n_users, &edges);
+        let platform = Platform::new(
+            Arc::new(net.clone()),
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig { friends_page_size: page_size, ..PlatformConfig::default() },
+        );
+        let handler = platform.into_handler();
+        let mut ex = login(&handler);
+        for i in 0..n_users {
+            let u = UserId(i);
+            let got = page_all(&mut ex, &format!("/friends/{u}"));
+            let expected = net.friends(u).to_vec();
+            prop_assert_eq!(got, expected, "user {}", u);
+        }
+    }
+
+    /// Search results per account: deterministic across requests, capped,
+    /// duplicate-free, and always a subset of the searchable pool.
+    #[test]
+    fn search_results_are_deterministic_capped_subsets(
+        n_users in 10u64..60,
+        cap in 4usize..30,
+        page_size in 1usize..10,
+    ) {
+        let net = world(n_users, &[]);
+        let platform = Platform::new(
+            Arc::new(net.clone()),
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig {
+                search_cap_per_account: cap,
+                search_page_size: page_size,
+                ..PlatformConfig::default()
+            },
+        );
+        let handler = platform.into_handler();
+        let mut ex = login(&handler);
+        let a = page_all(&mut ex, "/find-friends?school=s0");
+        let b = page_all(&mut ex, "/find-friends?school=s0");
+        prop_assert_eq!(&a, &b, "same account must see identical results");
+        prop_assert!(a.len() <= cap.max(n_users as usize));
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), a.len(), "duplicates in search results");
+        for &u in &a {
+            prop_assert!(u.index() < n_users as usize);
+        }
+    }
+
+    /// Every rendered profile page scrapes back to the policy view's
+    /// contents (round-trip through HTML).
+    #[test]
+    fn profile_pages_scrape_losslessly(
+        n_users in 3u64..20,
+        edges in prop::collection::vec((0u64..20, 0u64..20), 0..60),
+    ) {
+        let net = world(n_users, &edges);
+        let policy = FacebookPolicy::new();
+        let platform = Platform::new(
+            Arc::new(net.clone()),
+            Arc::new(policy.clone()),
+            PlatformConfig::default(),
+        );
+        let handler = platform.into_handler();
+        let mut ex = login(&handler);
+        for i in 0..n_users {
+            let u = UserId(i);
+            let resp = ex.exchange(Request::get(format!("/profile/{u}"))).unwrap();
+            let scraped = hsp_crawler::parse_profile(&resp.body_string());
+            let view = hsp_policy::Policy::stranger_view(&policy, &net, u);
+            prop_assert_eq!(scraped.uid, Some(u));
+            prop_assert_eq!(&scraped.name, &view.name);
+            prop_assert_eq!(scraped.friend_list_visible, view.friend_list_visible);
+            prop_assert_eq!(scraped.message_button, view.message_button);
+            prop_assert_eq!(scraped.photos_shared, view.photos_shared);
+            prop_assert_eq!(
+                scraped.education.len(),
+                view.education.len(),
+                "education mismatch for {}", u
+            );
+            prop_assert_eq!(scraped.is_minimal(), view.is_minimal());
+        }
+    }
+}

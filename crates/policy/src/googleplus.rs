@@ -1,0 +1,244 @@
+//! Google+'s privacy policy for strangers, per the paper's Appendix A
+//! (Table 6).
+//!
+//! Google+ differs from Facebook in two ways that matter here:
+//!
+//! - Friendships are **asymmetric circles**; the stranger-visible
+//!   analogues of a friend list are "In Your Circles" and "Have You in
+//!   Circles".
+//! - Minors are protected by **defaults rather than hard caps**: a
+//!   registered minor who maximises sharing exposes nearly everything
+//!   (Table 6's worst-case minor column), unlike Facebook's minimal-
+//!   information cap. The load-bearing protection is the same as
+//!   Facebook's, though: registered minors are not returned in school
+//!   search.
+
+use crate::policy::Policy;
+use crate::view::PublicView;
+use hsp_graph::{Audience, Network, SchoolId, UserId};
+
+/// The Google+ policy engine.
+#[derive(Clone, Debug, Default)]
+pub struct GooglePlusPolicy;
+
+impl GooglePlusPolicy {
+    pub fn new() -> Self {
+        GooglePlusPolicy
+    }
+}
+
+impl Policy for GooglePlusPolicy {
+    fn name(&self) -> &'static str {
+        "googleplus"
+    }
+
+    fn stranger_view(&self, net: &Network, target: UserId) -> PublicView {
+        let user = net.user(target);
+        let p = &user.profile;
+        // Table 6 row 1: name + profile picture always.
+        let mut view = PublicView::minimal(
+            target,
+            p.full_name(),
+            None, // gender is a settable field on G+, not an always-on one
+            p.has_profile_photo,
+            Vec::new(),
+        );
+        // No hard cap: every field follows the user's audience. (The
+        // minor/adult difference on G+ lives in the *defaults* assigned
+        // at registration, see `gplus_minor_default`.)
+        let s = &user.privacy;
+        if s.education.visible_to_stranger() {
+            view.education = p.education.clone();
+            view.gender = Some(p.gender);
+        }
+        if s.hometown.visible_to_stranger() {
+            view.hometown = p.hometown;
+        }
+        if s.current_city.visible_to_stranger() {
+            view.current_city = p.current_city;
+        }
+        if s.relationship.visible_to_stranger() {
+            view.relationship = p.relationship;
+            view.interested_in = p.interested_in;
+        }
+        if s.birthday.visible_to_stranger() {
+            view.birthday = Some(user.registration.registered_birth_date);
+        }
+        // Circles stand in for the friend list.
+        view.friend_list_visible = s.friend_list.visible_to_stranger();
+        if s.photos.visible_to_stranger() {
+            view.photos_shared = Some(p.photos_shared);
+        }
+        if s.contact_info.visible_to_stranger() && !p.contact.is_empty() {
+            view.contact = Some(p.contact.clone());
+        }
+        view.message_button = s.message_button == Audience::Public;
+        view
+    }
+
+    fn searchable_by_school(&self, net: &Network, user: UserId, school: SchoolId) -> bool {
+        let u = net.user(user);
+        // Same load-bearing rule as Facebook: registered minors are not
+        // returned by the school-search portal.
+        if u.is_registered_minor(net.today) {
+            return false;
+        }
+        if !u.privacy.public_search {
+            return false;
+        }
+        u.privacy.education.visible_to_stranger()
+            && u.profile.education.iter().any(|e| e.school == school)
+    }
+
+    fn friend_list_stranger_visible(&self, net: &Network, user: UserId) -> bool {
+        self.stranger_view(net, user).friend_list_visible
+    }
+
+    fn reverse_lookup_enabled(&self) -> bool {
+        true
+    }
+
+    fn visible_circles(
+        &self,
+        net: &Network,
+        owner: UserId,
+        incoming: bool,
+    ) -> Option<Vec<UserId>> {
+        // Both Table 6 circle rows share the friend-list audience.
+        if !self.friend_list_stranger_visible(net, owner) {
+            return None;
+        }
+        let list = if incoming {
+            net.circles().have_in_circles(owner)
+        } else {
+            net.circles().in_circles_of(owner)
+        };
+        Some(list.to_vec())
+    }
+}
+
+/// Google+'s default audiences for a newly registered *minor* account:
+/// only name and profile picture are public (Table 6 column 1).
+pub fn gplus_minor_default() -> hsp_graph::PrivacySettings {
+    hsp_graph::PrivacySettings {
+        friend_list: Audience::Friends,
+        education: Audience::Friends,
+        relationship: Audience::Friends,
+        interested_in: Audience::Friends,
+        birthday: Audience::Friends,
+        hometown: Audience::Friends,
+        current_city: Audience::Friends,
+        photos: Audience::Friends,
+        contact_info: Audience::Friends,
+        wall: Audience::Friends,
+        public_search: false,
+        message_button: Audience::Friends,
+    }
+}
+
+/// Google+'s default audiences for a newly registered *adult* account
+/// (Table 6 column 2): employment/education/hometown/city and circle
+/// visibility public; phone, relationship, birthday, photos not.
+pub fn gplus_adult_default() -> hsp_graph::PrivacySettings {
+    hsp_graph::PrivacySettings {
+        friend_list: Audience::Public, // "in your circles" visible
+        education: Audience::Public,
+        relationship: Audience::Friends,
+        interested_in: Audience::Friends,
+        birthday: Audience::Friends,
+        hometown: Audience::Public,
+        current_city: Audience::Public,
+        photos: Audience::Friends,
+        contact_info: Audience::Friends,
+        wall: Audience::Friends,
+        public_search: true,
+        message_button: Audience::Public,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_graph::{
+        Date, EducationEntry, Gender, PrivacySettings, ProfileContent, Registration, Role,
+        School, SchoolKind, User,
+    };
+
+    fn network_with(privacy: PrivacySettings, registered_birth: Date) -> (Network, UserId) {
+        let mut net = Network::new(Date::ymd(2012, 6, 1));
+        let city = net.add_city("Plainfield", "OH");
+        let school = net.add_school(School {
+            id: SchoolId(0),
+            name: "HS3".into(),
+            city,
+            kind: SchoolKind::HighSchool,
+            public_enrollment_estimate: 1500,
+        });
+        let mut profile = ProfileContent::bare("Sam", "Hill", Gender::Male);
+        profile.education.push(EducationEntry::high_school(school, 2014));
+        profile.contact.phone = Some("555-0101".into());
+        let id = net.add_user(User {
+            id: UserId(0),
+            true_birth_date: Date::ymd(1996, 2, 1),
+            registration: Registration {
+                registered_birth_date: registered_birth,
+                registration_date: Date::ymd(2010, 1, 1),
+            },
+            profile,
+            privacy,
+            role: Role::CurrentStudent { school, grad_year: 2014 },
+        });
+        (net, id)
+    }
+
+    #[test]
+    fn minor_with_defaults_shows_only_name_and_photo() {
+        let (net, id) = network_with(gplus_minor_default(), Date::ymd(1996, 2, 1));
+        let view = GooglePlusPolicy::new().stranger_view(&net, id);
+        assert!(view.is_minimal());
+        assert!(view.gender.is_none());
+    }
+
+    #[test]
+    fn minor_maximising_sharing_leaks_everything_no_hard_cap() {
+        // The crucial difference from Facebook: a G+ registered minor
+        // *can* expose phone, birthday, photos (Table 6 worst-case).
+        let (net, id) =
+            network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 2, 1));
+        let view = GooglePlusPolicy::new().stranger_view(&net, id);
+        assert!(!view.is_minimal());
+        assert!(view.contact.is_some(), "G+ worst case exposes phone");
+        assert!(view.birthday.is_some());
+        assert!(view.friend_list_visible);
+    }
+
+    #[test]
+    fn facebook_hard_caps_where_gplus_does_not() {
+        let (net, id) =
+            network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 2, 1));
+        let fb = crate::FacebookPolicy::new().stranger_view(&net, id);
+        let gp = GooglePlusPolicy::new().stranger_view(&net, id);
+        assert!(fb.is_minimal());
+        assert!(!gp.is_minimal());
+    }
+
+    #[test]
+    fn search_still_excludes_registered_minors() {
+        let policy = GooglePlusPolicy::new();
+        let (net, id) =
+            network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 2, 1));
+        assert!(!policy.searchable_by_school(&net, id, SchoolId(0)));
+        let (net, id) = network_with(gplus_adult_default(), Date::ymd(1992, 2, 1));
+        assert!(policy.searchable_by_school(&net, id, SchoolId(0)));
+    }
+
+    #[test]
+    fn adult_defaults_expose_education_not_phone() {
+        let (net, id) = network_with(gplus_adult_default(), Date::ymd(1992, 2, 1));
+        let view = GooglePlusPolicy::new().stranger_view(&net, id);
+        assert_eq!(view.education.len(), 1);
+        assert!(view.contact.is_none());
+        assert!(view.birthday.is_none());
+        assert!(view.friend_list_visible);
+    }
+}

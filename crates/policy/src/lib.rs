@@ -1,0 +1,26 @@
+//! # hsp-policy — privacy-policy engines
+//!
+//! Encodes the stranger-facing privacy rules the paper measures:
+//! Facebook's registered-minor hard cap and search exclusion (§3.1,
+//! Table 1) and Google+'s defaults-based protection (Appendix A,
+//! Table 6). The platform consults a [`Policy`] for every page it
+//! renders, so the attacker can only ever learn what these rules allow —
+//! the same constraint the paper's third party operated under.
+//!
+//! [`matrix`] regenerates the paper's visibility matrices by *probing*
+//! the engines with default/worst-case minor/adult accounts, so Tables 1
+//! and 6 are outputs of the implementation, not constants.
+
+pub mod countermeasures;
+pub mod facebook;
+pub mod googleplus;
+pub mod matrix;
+pub mod policy;
+pub mod view;
+
+pub use countermeasures::{AgeConsistencySearchPolicy, YoungAdultFriendListPolicy};
+pub use facebook::FacebookPolicy;
+pub use googleplus::{gplus_adult_default, gplus_minor_default, GooglePlusPolicy};
+pub use matrix::{facebook_matrix, googleplus_matrix, probe_matrix, InfoRow, VisibilityMatrix};
+pub use policy::Policy;
+pub use view::PublicView;

@@ -1,0 +1,305 @@
+//! Regenerates the paper's policy matrices (Table 1 for Facebook,
+//! Table 6 for Google+) *by probing the policy engine* with four
+//! synthetic accounts — default/worst-case × registered-minor/adult —
+//! rather than hardcoding the expected checkmarks.
+
+use crate::policy::Policy;
+use crate::view::PublicView;
+use hsp_graph::{
+    Date, EducationEntry, Gender, Network, PrivacySettings, ProfileContent, Registration,
+    Role, School, SchoolId, SchoolKind, User, UserId,
+};
+use serde::{Deserialize, Serialize};
+
+/// The information categories used as rows of Tables 1 and 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InfoRow {
+    NameGenderNetworksPhoto,
+    HighSchool,
+    Relationship,
+    InterestedIn,
+    Birthday,
+    Hometown,
+    CurrentCity,
+    FriendList,
+    Photos,
+    ContactInfo,
+    PublicSearch,
+    MessageButton,
+}
+
+impl InfoRow {
+    pub const ALL: [InfoRow; 12] = [
+        InfoRow::NameGenderNetworksPhoto,
+        InfoRow::HighSchool,
+        InfoRow::Relationship,
+        InfoRow::InterestedIn,
+        InfoRow::Birthday,
+        InfoRow::Hometown,
+        InfoRow::CurrentCity,
+        InfoRow::FriendList,
+        InfoRow::Photos,
+        InfoRow::ContactInfo,
+        InfoRow::PublicSearch,
+        InfoRow::MessageButton,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            InfoRow::NameGenderNetworksPhoto => "Name, Gender, Networks, Profile Photo",
+            InfoRow::HighSchool => "High School",
+            InfoRow::Relationship => "Relationship",
+            InfoRow::InterestedIn => "Interested In",
+            InfoRow::Birthday => "Birthday",
+            InfoRow::Hometown => "Hometown",
+            InfoRow::CurrentCity => "Current City",
+            InfoRow::FriendList => "Friend List",
+            InfoRow::Photos => "Photos",
+            InfoRow::ContactInfo => "Contact Information",
+            InfoRow::PublicSearch => "Public Search",
+            InfoRow::MessageButton => "Message Button",
+        }
+    }
+}
+
+/// One probed cell set: what each category resolves to for a given
+/// (settings, registered-age) probe account.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatrixColumn {
+    pub label: String,
+    pub visible: Vec<bool>, // indexed like InfoRow::ALL
+}
+
+/// The full matrix: four probe columns.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VisibilityMatrix {
+    pub policy: String,
+    pub columns: [MatrixColumn; 4],
+}
+
+impl VisibilityMatrix {
+    /// Look up one cell.
+    pub fn cell(&self, row: InfoRow, column: usize) -> bool {
+        let idx = InfoRow::ALL.iter().position(|r| *r == row).expect("known row");
+        self.columns[column].visible[idx]
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let label_w = InfoRow::ALL.iter().map(|r| r.label().len()).max().unwrap_or(0);
+        out.push_str(&format!("{:<label_w$}", ""));
+        for c in &self.columns {
+            out.push_str(&format!(" | {:^14}", c.label));
+        }
+        out.push('\n');
+        for (i, row) in InfoRow::ALL.iter().enumerate() {
+            out.push_str(&format!("{:<label_w$}", row.label()));
+            for c in &self.columns {
+                out.push_str(&format!(" | {:^14}", if c.visible[i] { "x" } else { "" }));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Build the four probe accounts and evaluate `policy` against them.
+///
+/// `minor_default` / `adult_default` supply the platform's registration
+/// defaults (they differ between Facebook and Google+).
+pub fn probe_matrix(
+    policy: &dyn Policy,
+    minor_default: PrivacySettings,
+    adult_default: PrivacySettings,
+) -> VisibilityMatrix {
+    let mut net = Network::new(Date::ymd(2012, 3, 15));
+    let city = net.add_city("Probetown", "NY");
+    let school = net.add_school(School {
+        id: SchoolId(0),
+        name: "Probe High School".into(),
+        city,
+        kind: SchoolKind::HighSchool,
+        public_enrollment_estimate: 400,
+    });
+
+    let worst = PrivacySettings::maximum_sharing();
+    let probes = [
+        ("Def. minor", minor_default, Date::ymd(1996, 1, 1)),
+        ("Def. adult", adult_default, Date::ymd(1990, 1, 1)),
+        ("Worst minor", worst.clone(), Date::ymd(1996, 1, 1)),
+        ("Worst adult", worst, Date::ymd(1990, 1, 1)),
+    ];
+
+    let columns: Vec<MatrixColumn> = probes
+        .into_iter()
+        .map(|(label, privacy, birth)| {
+            let mut profile = ProfileContent::bare("Probe", "User", Gender::Female);
+            profile.education.push(EducationEntry::high_school(school, 2014));
+            profile.hometown = Some(city);
+            profile.current_city = Some(city);
+            profile.relationship = Some(hsp_graph::RelationshipStatus::Single);
+            profile.interested_in = Some(hsp_graph::InterestedIn::Men);
+            profile.photos_shared = 10;
+            profile.wall_posts = 5;
+            profile.contact.phone = Some("555-0100".into());
+            profile.networks.push(school);
+            let id = net.add_user(User {
+                id: UserId(0),
+                true_birth_date: birth,
+                registration: Registration {
+                    registered_birth_date: birth,
+                    registration_date: Date::ymd(2010, 1, 1),
+                },
+                profile,
+                privacy,
+                role: Role::OtherResident,
+            });
+            let view = policy.stranger_view(&net, id);
+            let searchable = policy.searchable_by_school(&net, id, school);
+            MatrixColumn {
+                label: label.to_string(),
+                visible: row_flags(&view, searchable),
+            }
+        })
+        .collect();
+
+    VisibilityMatrix {
+        policy: policy.name().to_string(),
+        columns: columns.try_into().expect("four probes"),
+    }
+}
+
+fn row_flags(view: &PublicView, searchable: bool) -> Vec<bool> {
+    InfoRow::ALL
+        .iter()
+        .map(|row| match row {
+            InfoRow::NameGenderNetworksPhoto => !view.name.is_empty(),
+            InfoRow::HighSchool => view.listed_high_school().is_some(),
+            InfoRow::Relationship => view.relationship.is_some(),
+            InfoRow::InterestedIn => view.interested_in.is_some(),
+            InfoRow::Birthday => view.birthday.is_some(),
+            InfoRow::Hometown => view.hometown.is_some(),
+            InfoRow::CurrentCity => view.current_city.is_some(),
+            InfoRow::FriendList => view.friend_list_visible,
+            InfoRow::Photos => view.photos_shared.is_some(),
+            InfoRow::ContactInfo => view.contact.is_some(),
+            InfoRow::PublicSearch => searchable,
+            InfoRow::MessageButton => view.message_button,
+        })
+        .collect()
+}
+
+/// Facebook's Table 1, probed from the engine.
+pub fn facebook_matrix() -> VisibilityMatrix {
+    probe_matrix(
+        &crate::FacebookPolicy::new(),
+        PrivacySettings::facebook_minor_default(),
+        PrivacySettings::facebook_adult_default(),
+    )
+}
+
+/// Google+'s Table 6, probed from the engine.
+pub fn googleplus_matrix() -> VisibilityMatrix {
+    probe_matrix(
+        &crate::GooglePlusPolicy::new(),
+        crate::googleplus::gplus_minor_default(),
+        crate::googleplus::gplus_adult_default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEF_MINOR: usize = 0;
+    const DEF_ADULT: usize = 1;
+    const WORST_MINOR: usize = 2;
+    const WORST_ADULT: usize = 3;
+
+    #[test]
+    fn facebook_matrix_matches_table1() {
+        let m = facebook_matrix();
+        // Row 1: available in all four columns.
+        for c in 0..4 {
+            assert!(m.cell(InfoRow::NameGenderNetworksPhoto, c));
+        }
+        // HS / relationship / interested-in: adults only (default + worst).
+        for row in [InfoRow::HighSchool, InfoRow::Relationship, InfoRow::InterestedIn] {
+            assert!(!m.cell(row, DEF_MINOR), "{row:?} leaked for default minor");
+            assert!(m.cell(row, DEF_ADULT));
+            assert!(!m.cell(row, WORST_MINOR), "{row:?} leaked for worst minor");
+            assert!(m.cell(row, WORST_ADULT));
+        }
+        // Birthday and contact info: worst-case adults only.
+        for row in [InfoRow::Birthday, InfoRow::ContactInfo] {
+            assert!(!m.cell(row, DEF_MINOR));
+            assert!(!m.cell(row, DEF_ADULT));
+            assert!(!m.cell(row, WORST_MINOR));
+            assert!(m.cell(row, WORST_ADULT));
+        }
+        // Hometown / current city / friend list / photos / public search:
+        // adults default + worst.
+        for row in [
+            InfoRow::Hometown,
+            InfoRow::CurrentCity,
+            InfoRow::FriendList,
+            InfoRow::Photos,
+            InfoRow::PublicSearch,
+        ] {
+            assert!(!m.cell(row, DEF_MINOR));
+            assert!(m.cell(row, DEF_ADULT));
+            assert!(!m.cell(row, WORST_MINOR), "{row:?} leaked for worst minor");
+            assert!(m.cell(row, WORST_ADULT));
+        }
+        // Message button never for minors.
+        assert!(!m.cell(InfoRow::MessageButton, DEF_MINOR));
+        assert!(!m.cell(InfoRow::MessageButton, WORST_MINOR));
+        assert!(m.cell(InfoRow::MessageButton, WORST_ADULT));
+    }
+
+    #[test]
+    fn gplus_matrix_matches_table6_shape() {
+        let m = googleplus_matrix();
+        // Row 1 for everyone.
+        for c in 0..4 {
+            assert!(m.cell(InfoRow::NameGenderNetworksPhoto, c));
+        }
+        // Default minor: nothing else.
+        for row in [
+            InfoRow::HighSchool,
+            InfoRow::Birthday,
+            InfoRow::ContactInfo,
+            InfoRow::Photos,
+            InfoRow::PublicSearch,
+            InfoRow::FriendList,
+        ] {
+            assert!(!m.cell(row, DEF_MINOR), "{row:?} leaked for default G+ minor");
+        }
+        // Worst-case minor: G+ has NO hard cap — everything can leak.
+        for row in [
+            InfoRow::HighSchool,
+            InfoRow::Birthday,
+            InfoRow::ContactInfo,
+            InfoRow::Photos,
+            InfoRow::FriendList,
+        ] {
+            assert!(m.cell(row, WORST_MINOR), "{row:?} capped for worst G+ minor");
+        }
+        // ...except school search, which still excludes registered minors.
+        assert!(!m.cell(InfoRow::PublicSearch, WORST_MINOR));
+        assert!(m.cell(InfoRow::PublicSearch, DEF_ADULT));
+        // Adult defaults: education/hometown/city yes, phone/birthday no.
+        assert!(m.cell(InfoRow::HighSchool, DEF_ADULT));
+        assert!(m.cell(InfoRow::Hometown, DEF_ADULT));
+        assert!(!m.cell(InfoRow::ContactInfo, DEF_ADULT));
+        assert!(!m.cell(InfoRow::Birthday, DEF_ADULT));
+    }
+
+    #[test]
+    fn render_produces_a_row_per_category() {
+        let text = facebook_matrix().render();
+        assert_eq!(text.lines().count(), 1 + InfoRow::ALL.len());
+        assert!(text.contains("Friend List"));
+    }
+}

@@ -1,0 +1,62 @@
+//! The policy-engine trait the platform consults for every page render.
+
+use crate::view::PublicView;
+use hsp_graph::{Network, SchoolId, UserId};
+
+/// A platform privacy policy: decides what strangers see and who search
+/// returns. Implementations: [`crate::FacebookPolicy`],
+/// [`crate::GooglePlusPolicy`].
+pub trait Policy: Send + Sync {
+    /// Short identifier, e.g. `"facebook"`.
+    fn name(&self) -> &'static str;
+
+    /// What a stranger sees on `target`'s public profile page.
+    fn stranger_view(&self, net: &Network, target: UserId) -> PublicView;
+
+    /// Whether `user` is returned when a stranger searches for people
+    /// associated with `school`.
+    fn searchable_by_school(&self, net: &Network, user: UserId, school: SchoolId) -> bool;
+
+    /// Whether a stranger may fetch `user`'s friend-list pages.
+    fn friend_list_stranger_visible(&self, net: &Network, user: UserId) -> bool;
+
+    /// Whether users with hidden friend lists still appear inside *other*
+    /// users' stranger-visible friend lists. Disabling this is the §8
+    /// countermeasure.
+    fn reverse_lookup_enabled(&self) -> bool;
+
+    /// The stranger-visible circle lists (Google+ Appendix A): Table 6's
+    /// "In Your Circles" (`incoming = false`) and "Have You in Circles"
+    /// (`incoming = true`) rows. `None` = not visible or the platform
+    /// has no circles. Default: platforms without circles return `None`.
+    fn visible_circles(
+        &self,
+        net: &Network,
+        owner: UserId,
+        incoming: bool,
+    ) -> Option<Vec<UserId>> {
+        let _ = (net, owner, incoming);
+        None
+    }
+
+    /// The stranger-visible friend list of `owner`: their friends, minus
+    /// (when reverse lookup is disabled) anyone whose own friend list is
+    /// hidden from strangers. Returns `None` when the list itself is not
+    /// visible.
+    fn visible_friend_list(&self, net: &Network, owner: UserId) -> Option<Vec<UserId>> {
+        if !self.friend_list_stranger_visible(net, owner) {
+            return None;
+        }
+        let friends = net.friends(owner);
+        if self.reverse_lookup_enabled() {
+            return Some(friends.to_vec());
+        }
+        Some(
+            friends
+                .iter()
+                .copied()
+                .filter(|&f| self.friend_list_stranger_visible(net, f))
+                .collect(),
+        )
+    }
+}

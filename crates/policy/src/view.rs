@@ -1,0 +1,132 @@
+//! The stranger-visible view of a profile.
+
+use hsp_graph::{
+    CityId, ContactInfo, Date, EducationEntry, Gender, InterestedIn, RelationshipStatus,
+    SchoolId, UserId,
+};
+use serde::{Deserialize, Serialize};
+
+/// Everything a stranger can see when visiting a user's public profile
+/// page, after the policy engine has applied both the user's settings
+/// and any platform-imposed caps (e.g. Facebook's registered-minor cap).
+///
+/// `None` / `false` / empty means "not shown to strangers".
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PublicView {
+    pub user: UserId,
+    /// Name is always shown.
+    pub name: String,
+    pub gender: Option<Gender>,
+    pub has_profile_photo: bool,
+    /// Networks joined (school/work) — visible per Table 1 row 1.
+    pub networks: Vec<SchoolId>,
+    /// Education entries, empty unless stranger-visible.
+    pub education: Vec<EducationEntry>,
+    pub hometown: Option<CityId>,
+    pub current_city: Option<CityId>,
+    pub relationship: Option<RelationshipStatus>,
+    pub interested_in: Option<InterestedIn>,
+    pub birthday: Option<Date>,
+    /// Whether the friend list page is served to strangers.
+    pub friend_list_visible: bool,
+    /// Number of shared photos a stranger can browse (None = hidden).
+    pub photos_shared: Option<u32>,
+    /// Number of wall posts a stranger can read (None = hidden).
+    pub wall_posts: Option<u32>,
+    /// Authors of recent visible wall posts (empty when the wall is
+    /// hidden) — the interaction signal of §4.3's cited optimization.
+    pub wall_posters: Vec<UserId>,
+    pub contact: Option<ContactInfo>,
+    /// Whether the "Message" button is offered to strangers.
+    pub message_button: bool,
+}
+
+impl PublicView {
+    /// A view containing nothing but the always-public basics.
+    pub fn minimal(
+        user: UserId,
+        name: String,
+        gender: Option<Gender>,
+        has_profile_photo: bool,
+        networks: Vec<SchoolId>,
+    ) -> Self {
+        PublicView {
+            user,
+            name,
+            gender,
+            has_profile_photo,
+            networks,
+            education: Vec::new(),
+            hometown: None,
+            current_city: None,
+            relationship: None,
+            interested_in: None,
+            birthday: None,
+            friend_list_visible: false,
+            photos_shared: None,
+            wall_posts: None,
+            wall_posters: Vec::new(),
+            contact: None,
+            message_button: false,
+        }
+    }
+
+    /// The paper's "minimal information" test (§3.1): at most name,
+    /// profile photo, networks and gender, and no Message button. A
+    /// stranger seeing *more* than this can conclude the profile belongs
+    /// to a registered adult.
+    pub fn is_minimal(&self) -> bool {
+        self.education.is_empty()
+            && self.hometown.is_none()
+            && self.current_city.is_none()
+            && self.relationship.is_none()
+            && self.interested_in.is_none()
+            && self.birthday.is_none()
+            && !self.friend_list_visible
+            && self.photos_shared.is_none()
+            && self.wall_posts.is_none()
+            && self.wall_posters.is_empty()
+            && self.contact.is_none()
+            && !self.message_button
+    }
+
+    /// The high-school entry shown, if any.
+    pub fn listed_high_school(&self) -> Option<EducationEntry> {
+        self.education
+            .iter()
+            .copied()
+            .find(|e| e.kind == hsp_graph::EducationKind::HighSchool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_view_is_minimal() {
+        let v = PublicView::minimal(UserId(1), "A B".into(), Some(Gender::Female), true, vec![]);
+        assert!(v.is_minimal());
+    }
+
+    #[test]
+    fn any_extra_field_breaks_minimality() {
+        let base =
+            PublicView::minimal(UserId(1), "A B".into(), Some(Gender::Female), true, vec![]);
+        let mut with_edu = base.clone();
+        with_edu.education.push(EducationEntry::high_school(SchoolId(0), 2014));
+        assert!(!with_edu.is_minimal());
+
+        let mut with_msg = base.clone();
+        with_msg.message_button = true;
+        assert!(!with_msg.is_minimal());
+
+        let mut with_friends = base.clone();
+        with_friends.friend_list_visible = true;
+        assert!(!with_friends.is_minimal());
+
+        let mut with_city = base;
+        with_city.current_city = Some(CityId(0));
+        assert!(!with_city.is_minimal());
+    }
+}

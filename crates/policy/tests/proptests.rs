@@ -1,0 +1,196 @@
+//! Property tests for the policy engines.
+//!
+//! The central invariant of the whole study: no matter how a registered
+//! minor configures their settings, Facebook's stranger view stays
+//! minimal — and dually, anything beyond minimal implies a registered
+//! adult (the attacker's inference rule in §3.1).
+
+use hsp_graph::{
+    Audience, Date, EducationEntry, Gender, Network, PrivacySettings, ProfileContent,
+    Registration, Role, School, SchoolId, SchoolKind, User, UserId,
+};
+use hsp_policy::{FacebookPolicy, GooglePlusPolicy, Policy};
+use proptest::prelude::*;
+
+fn arb_audience() -> impl Strategy<Value = Audience> {
+    prop_oneof![
+        Just(Audience::Public),
+        Just(Audience::FriendsOfFriends),
+        Just(Audience::Friends),
+        Just(Audience::OnlyMe),
+    ]
+}
+
+prop_compose! {
+    fn arb_privacy()(
+        friend_list in arb_audience(),
+        education in arb_audience(),
+        relationship in arb_audience(),
+        interested_in in arb_audience(),
+        birthday in arb_audience(),
+        hometown in arb_audience(),
+        current_city in arb_audience(),
+        photos in arb_audience(),
+        contact_info in arb_audience(),
+        wall in arb_audience(),
+        public_search in any::<bool>(),
+        message_button in arb_audience(),
+    ) -> PrivacySettings {
+        PrivacySettings {
+            friend_list, education, relationship, interested_in, birthday,
+            hometown, current_city, photos, contact_info, wall,
+            public_search, message_button,
+        }
+    }
+}
+
+/// Build a one-user network; `true_birth_year`/`registered_birth_year`
+/// control minor status on 2012-03-15.
+fn build(
+    privacy: PrivacySettings,
+    registered_birth_year: i32,
+) -> (Network, UserId, SchoolId) {
+    let mut net = Network::new(Date::ymd(2012, 3, 15));
+    let city = net.add_city("X", "NY");
+    let school = net.add_school(School {
+        id: SchoolId(0),
+        name: "HS".into(),
+        city,
+        kind: SchoolKind::HighSchool,
+        public_enrollment_estimate: 400,
+    });
+    let mut profile = ProfileContent::bare("A", "B", Gender::Male);
+    profile.education.push(EducationEntry::high_school(school, 2014));
+    profile.hometown = Some(city);
+    profile.current_city = Some(city);
+    profile.relationship = Some(hsp_graph::RelationshipStatus::Single);
+    profile.interested_in = Some(hsp_graph::InterestedIn::Women);
+    profile.photos_shared = 7;
+    profile.wall_posts = 3;
+    profile.contact.email = Some("a@b.c".into());
+    let id = net.add_user(User {
+        id: UserId(0),
+        true_birth_date: Date::ymd(1996, 6, 1),
+        registration: Registration {
+            registered_birth_date: Date::ymd(registered_birth_year, 6, 1),
+            registration_date: Date::ymd(2009, 1, 1),
+        },
+        profile,
+        privacy,
+        role: Role::CurrentStudent { school, grad_year: 2014 },
+    });
+    (net, id, school)
+}
+
+proptest! {
+    /// Facebook: a registered minor's stranger view is minimal under
+    /// EVERY possible settings combination (the Table 1 hard cap).
+    #[test]
+    fn facebook_minor_view_always_minimal(privacy in arb_privacy()) {
+        let (net, id, school) = build(privacy, 1996); // registered 15
+        let policy = FacebookPolicy::new();
+        let view = policy.stranger_view(&net, id);
+        prop_assert!(view.is_minimal());
+        prop_assert!(!policy.searchable_by_school(&net, id, school));
+        prop_assert!(policy.visible_friend_list(&net, id).is_none());
+    }
+
+    /// Facebook: an adult's view shows a field iff the audience is
+    /// Public — monotonicity in the settings.
+    #[test]
+    fn facebook_adult_view_follows_audiences(privacy in arb_privacy()) {
+        let (net, id, _) = build(privacy.clone(), 1990);
+        let view = FacebookPolicy::new().stranger_view(&net, id);
+        prop_assert_eq!(!view.education.is_empty(), privacy.education == Audience::Public);
+        prop_assert_eq!(view.birthday.is_some(), privacy.birthday == Audience::Public);
+        prop_assert_eq!(view.friend_list_visible, privacy.friend_list == Audience::Public);
+        prop_assert_eq!(view.contact.is_some(), privacy.contact_info == Audience::Public);
+        prop_assert_eq!(view.message_button, privacy.message_button == Audience::Public);
+    }
+
+    /// The attacker's §3.1 inference rule is sound on Facebook: a
+    /// non-minimal stranger view implies a registered adult. (It is
+    /// deliberately NOT asserted for Google+, which has no hard cap —
+    /// a registered minor maximising sharing leaks a non-minimal view,
+    /// exactly the Appendix A observation.)
+    #[test]
+    fn facebook_non_minimal_view_implies_registered_adult(
+        privacy in arb_privacy(),
+        registered_year in 1985i32..2000,
+    ) {
+        let (net, id, _) = build(privacy, registered_year);
+        let view = FacebookPolicy::new().stranger_view(&net, id);
+        if !view.is_minimal() {
+            prop_assert!(!net.user(id).is_registered_minor(net.today));
+        }
+    }
+
+    /// On Google+ the same rule holds only under *default* settings —
+    /// the protection is defaults, not caps.
+    #[test]
+    fn gplus_minor_defaults_keep_view_minimal(registered_year in 1995i32..2002) {
+        let (net, id, _) = build(hsp_policy::gplus_minor_default(), registered_year);
+        let view = GooglePlusPolicy::new().stranger_view(&net, id);
+        prop_assert!(view.is_minimal());
+    }
+
+    /// Search never returns registered minors, in either engine.
+    #[test]
+    fn search_never_returns_registered_minors(
+        privacy in arb_privacy(),
+        registered_year in 1990i32..2002,
+    ) {
+        let (net, id, school) = build(privacy, registered_year);
+        let today = net.today;
+        for policy in [&FacebookPolicy::new() as &dyn Policy, &GooglePlusPolicy::new()] {
+            if policy.searchable_by_school(&net, id, school) {
+                prop_assert!(!net.user(id).is_registered_minor(today));
+            }
+        }
+    }
+}
+
+#[test]
+fn visible_friend_list_is_subset_and_countermeasure_shrinks_it() {
+    // Owner with a public friend list; friends alternate between public
+    // and hidden lists.
+    let mut net = Network::new(Date::ymd(2012, 3, 15));
+    let city = net.add_city("X", "NY");
+    let _school = net.add_school(School {
+        id: SchoolId(0),
+        name: "HS".into(),
+        city,
+        kind: SchoolKind::HighSchool,
+        public_enrollment_estimate: 400,
+    });
+    let mk = |net: &mut Network, public_list: bool| {
+        let mut privacy = PrivacySettings::facebook_adult_default();
+        privacy.friend_list = if public_list { Audience::Public } else { Audience::Friends };
+        net.add_user(User {
+            id: UserId(0),
+            true_birth_date: Date::ymd(1990, 1, 1),
+            registration: Registration {
+                registered_birth_date: Date::ymd(1990, 1, 1),
+                registration_date: Date::ymd(2009, 1, 1),
+            },
+            profile: ProfileContent::bare("F", "G", Gender::Female),
+            privacy,
+            role: Role::OtherResident,
+        })
+    };
+    let owner = mk(&mut net, true);
+    let visible_friend = mk(&mut net, true);
+    let hidden_friend = mk(&mut net, false);
+    net.add_friendship(owner, visible_friend);
+    net.add_friendship(owner, hidden_friend);
+
+    let with = FacebookPolicy::new();
+    let without = FacebookPolicy::without_reverse_lookup();
+
+    let full = with.visible_friend_list(&net, owner).unwrap();
+    assert_eq!(full, vec![visible_friend, hidden_friend]);
+
+    let reduced = without.visible_friend_list(&net, owner).unwrap();
+    assert_eq!(reduced, vec![visible_friend]);
+    assert!(reduced.iter().all(|f| full.contains(f)), "subset violated");
+}

@@ -1,0 +1,590 @@
+//! Builds a complete synthetic world from a [`ScenarioConfig`].
+//!
+//! Population groups (see DESIGN.md §2 "hsp-synth"):
+//!
+//! - **Current students** of the target school, split over four classes,
+//!   with the age-lying model deciding their registered birth dates and
+//!   Table 5-calibrated openness for those registered as adults.
+//! - **Former students** (churn): transferred out but often still
+//!   listing the school with a current/future grad year — the paper's
+//!   main false-positive source.
+//! - **Alumni** of recent cohorts: adults who publicly list the school;
+//!   they dominate the search portal's results, exactly as in §3.1.
+//! - **Parents** friended to their children.
+//! - A **community pool** of unrelated adults providing the bulk of the
+//!   students' non-school friends (and hence of the candidate set).
+
+use crate::config::ScenarioConfig;
+use crate::lying::{add_years, geometric_with_mean, normal, sample_registration};
+use crate::names::{sample_address, sample_first_name, sample_gender, sample_last_name};
+use crate::privacy_assign::{sample_account_calibrated, ProfileExtras};
+use crate::scenario::Scenario;
+use hsp_graph::{
+    Date, EducationEntry, Network, ProfileContent, Registration, Role, School,
+    SchoolId, SchoolKind, User, UserId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate the world for one scenario.
+pub fn generate(cfg: &ScenarioConfig) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut net = Network::new(cfg.today);
+
+    // ---- geography & schools ----------------------------------------
+    let home_city = net.add_city(format!("{} City", cfg.name), "NY");
+    let other_city = net.add_city("Farvale", "PA");
+    let third_city = net.add_city("Westbrook", "OH");
+    let school = net.add_school(School {
+        id: SchoolId(0),
+        name: format!("{} High School", cfg.name),
+        city: home_city,
+        kind: SchoolKind::HighSchool,
+        public_enrollment_estimate: cfg.public_enrollment_estimate,
+    });
+    let other_school = net.add_school(School {
+        id: SchoolId(0),
+        name: "Farvale High School".into(),
+        city: other_city,
+        kind: SchoolKind::HighSchool,
+        public_enrollment_estimate: 900,
+    });
+    let college = net.add_school(School {
+        id: SchoolId(0),
+        name: "State College".into(),
+        city: third_city,
+        kind: SchoolKind::College,
+        public_enrollment_estimate: 20_000,
+    });
+    let grad_school = net.add_school(School {
+        id: SchoolId(0),
+        name: "State Graduate School".into(),
+        city: third_city,
+        kind: SchoolKind::GraduateSchool,
+        public_enrollment_estimate: 4_000,
+    });
+
+    let classes = cfg.enrolled_classes();
+    let grade_size = cfg.school_size / 4;
+
+    let mut students: Vec<UserId> = Vec::new();
+    let mut by_class: [Vec<UserId>; 4] = Default::default();
+
+    // ---- current students --------------------------------------------
+    for (ci, &grad_year) in classes.iter().enumerate() {
+        let extra = if ci == 0 { cfg.school_size % 4 } else { 0 };
+        for _ in 0..(grade_size + extra) {
+            if !rng.gen_bool(cfg.adoption_rate) {
+                continue; // exists in the real school, but not on the OSN
+            }
+            let true_birth = student_birth_date(&mut rng, grad_year);
+            let registration = sample_registration(&mut rng, &cfg.lying, true_birth, cfg.today);
+            let registered_adult = !registration.is_registered_minor(cfg.today);
+            let openness = if registered_adult {
+                &cfg.lying_student_openness
+            } else {
+                &cfg.truthful_student_openness
+            };
+            let (privacy, extras) = sample_account_calibrated(&mut rng, openness);
+            let mut profile = base_profile(&mut rng, &extras);
+            if extras.lists_school {
+                profile
+                    .education
+                    .push(EducationEntry::high_school(school, grad_year));
+            }
+            if extras.lists_city {
+                profile.current_city = Some(home_city);
+            }
+            if extras.lists_hometown {
+                profile.hometown = Some(home_city);
+            }
+            if rng.gen_bool(0.06) {
+                profile.networks.push(school);
+            }
+            let id = net.add_user(User {
+                id: UserId(0),
+                true_birth_date: true_birth,
+                registration,
+                profile,
+                privacy,
+                role: Role::CurrentStudent { school, grad_year },
+            });
+            net.households_mut()
+                .add(sample_address(&mut rng), home_city, vec![id]);
+            students.push(id);
+            by_class[ci].push(id);
+        }
+    }
+
+    // ---- former students (churn) --------------------------------------
+    let mut former: Vec<UserId> = Vec::new();
+    for _ in 0..cfg.former_students {
+        let ci = rng.gen_range(0..4);
+        let grad_year = classes[ci];
+        let true_birth = student_birth_date(&mut rng, grad_year);
+        let registration = sample_registration(&mut rng, &cfg.lying, true_birth, cfg.today);
+        let registered_adult = !registration.is_registered_minor(cfg.today);
+        let openness = if registered_adult {
+            &cfg.lying_student_openness
+        } else {
+            &cfg.truthful_student_openness
+        };
+        let (privacy, extras) = sample_account_calibrated(&mut rng, openness);
+        let mut profile = base_profile(&mut rng, &extras);
+        // The stale-profile trap: some transfers still list the target
+        // school with their (future) grad year and never update it.
+        if rng.gen_bool(0.18) {
+            profile
+                .education
+                .push(EducationEntry::high_school(school, grad_year));
+        }
+        let moved_away = rng.gen_bool(0.6);
+        if rng.gen_bool(0.35) {
+            // Updated profile: lists the new school (filter rule fodder).
+            profile
+                .education
+                .push(EducationEntry::high_school(other_school, grad_year));
+        }
+        if extras.lists_city {
+            profile.current_city = Some(if moved_away { other_city } else { home_city });
+        }
+        let id = net.add_user(User {
+            id: UserId(0),
+            true_birth_date: true_birth,
+            registration,
+            profile,
+            privacy,
+            role: Role::FormerStudent { school, grad_year },
+        });
+        former.push(id);
+    }
+
+    // ---- alumni cohorts ------------------------------------------------
+    let senior_year = classes[3];
+    let mut alumni: Vec<(UserId, i32)> = Vec::new();
+    for back in 1..=cfg.alumni_cohorts as i32 {
+        let grad_year = senior_year - back;
+        let cohort_n = (grade_size as f64 * cfg.alumni_visibility) as u32;
+        for _ in 0..cohort_n {
+            let true_birth = student_birth_date(&mut rng, grad_year);
+            // Alumni are adults; assume truthful (or by now irrelevant)
+            // registration.
+            let join = add_years(true_birth, 14 + rng.gen_range(0..4))
+                .max(Date::ymd(2006, 9, 26)); // the OSN's public opening
+            let registration = Registration {
+                registered_birth_date: true_birth,
+                registration_date: join.min(cfg.today),
+            };
+            let (privacy, extras) = sample_account_calibrated(&mut rng, &cfg.adult_openness);
+            let mut profile = base_profile(&mut rng, &extras);
+            profile
+                .education
+                .push(EducationEntry::high_school(school, grad_year));
+            if rng.gen_bool(0.5) {
+                profile
+                    .education
+                    .push(EducationEntry::college(college, Some(grad_year + 4)));
+            }
+            if back >= 4 && rng.gen_bool(0.15) {
+                profile.education.push(EducationEntry::graduate_school(grad_school));
+            }
+            if extras.lists_city {
+                let city = if rng.gen_bool(0.5) { home_city } else { third_city };
+                profile.current_city = Some(city);
+            }
+            let id = net.add_user(User {
+                id: UserId(0),
+                true_birth_date: true_birth,
+                registration,
+                profile,
+                privacy,
+                role: Role::Alumnus { school, grad_year },
+            });
+            alumni.push((id, grad_year));
+        }
+    }
+
+    // ---- parents ---------------------------------------------------------
+    let mut parent_edges: Vec<(UserId, UserId)> = Vec::new();
+    let mut parents: Vec<UserId> = Vec::new();
+    for &s in &students {
+        if !rng.gen_bool(cfg.parent_prob) {
+            continue;
+        }
+        let child_last = net.user(s).profile.last_name.clone();
+        let gender = sample_gender(&mut rng);
+        let (privacy, extras) = sample_account_calibrated(&mut rng, &cfg.adult_openness);
+        let mut profile = base_profile(&mut rng, &extras);
+        profile.last_name = child_last;
+        profile.first_name = sample_first_name(&mut rng, gender).to_string();
+        profile.gender = gender;
+        profile.current_city = Some(home_city);
+        let birth = Date::ymd(
+            net.user(s).true_birth_date.year() - rng.gen_range(24..38),
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28),
+        );
+        let id = net.add_user(User {
+            id: UserId(0),
+            true_birth_date: birth,
+            registration: Registration {
+                registered_birth_date: birth,
+                registration_date: Date::ymd(2008, 1, 1).add_days(rng.gen_range(0..1200)),
+            },
+            profile,
+            privacy,
+            role: Role::Parent { children: vec![s] },
+        });
+        if let Some(h) = net.households().of(s).map(|h| h.id) {
+            net.households_mut().join(h, id);
+        }
+        parents.push(id);
+        parent_edges.push((id, s));
+    }
+
+    // ---- community pool ---------------------------------------------------
+    let mut pool: Vec<UserId> = Vec::with_capacity(cfg.community_pool_size as usize);
+    for _ in 0..cfg.community_pool_size {
+        let (privacy, extras) = sample_account_calibrated(&mut rng, &cfg.adult_openness);
+        let mut profile = base_profile(&mut rng, &extras);
+        let local = rng.gen_bool(0.55);
+        if extras.lists_city {
+            profile.current_city = Some(if local {
+                home_city
+            } else if rng.gen_bool(0.5) {
+                other_city
+            } else {
+                third_city
+            });
+        }
+        let birth = Date::ymd(
+            cfg.today.year() - rng.gen_range(14..55),
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28),
+        );
+        let id = net.add_user(User {
+            id: UserId(0),
+            true_birth_date: birth,
+            registration: Registration {
+                registered_birth_date: birth,
+                registration_date: Date::ymd(2007, 6, 1).add_days(rng.gen_range(0..1500)),
+            },
+            profile,
+            privacy,
+            role: if local { Role::OtherResident } else { Role::NonResident },
+        });
+        if rng.gen_bool(0.85) {
+            let city = profile_city_or(&net, id, home_city);
+            net.households_mut().add(sample_address(&mut rng), city, vec![id]);
+        }
+        pool.push(id);
+    }
+
+    // ---- friendships -------------------------------------------------------
+    let mut edges: Vec<(UserId, UserId)> = parent_edges;
+
+    // Per-student sociability: real students range from social hubs to
+    // near-loners, which is what makes the paper's coverage keep
+    // climbing between t = 300 and t = 500 (weakly-connected students
+    // accumulate core links slowly and rank below some false positives).
+    // Openness correlates with sociability: the lying/open students who
+    // become the attacker's core users are also the best-connected ones
+    // (which is why 18 cores suffice to cover most of HS1 in the paper).
+    let sociability: std::collections::HashMap<UserId, f64> = students
+        .iter()
+        .map(|&s| {
+            let open = net.user(s).privacy.friend_list.visible_to_stranger();
+            let mu = if open { 0.45 } else { 0.0 };
+            let f = (normal(&mut rng, mu, 0.5)).exp().clamp(0.15, 3.0);
+            (s, f)
+        })
+        .collect();
+
+    // Student <-> student, Chung-Lu-style: edge probability scales with
+    // both endpoints' sociability, with a base rate by grade distance.
+    let f = &cfg.friendship;
+    for ci in 0..4 {
+        for cj in ci..4 {
+            let base = if ci == cj {
+                f.within_grade_p
+            } else {
+                f.cross_grade_p / (1 << (cj - ci - 1)) as f64
+            };
+            if base <= 0.0 {
+                continue;
+            }
+            let (a, b) = (&by_class[ci], &by_class[cj]);
+            for (i, &u) in a.iter().enumerate() {
+                let fu = sociability[&u];
+                let j0 = if ci == cj { i + 1 } else { 0 };
+                for &v in &b[j0..] {
+                    let p = (base * fu * sociability[&v]).min(0.97);
+                    if rng.gen_bool(p) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+        }
+    }
+
+    // Student <-> community pool: the paper's Table 5 shows open
+    // (public-friend-list) users have substantially more friends; the
+    // sociability factor carries over to off-school friendships too.
+    for &s in &students {
+        let open = net.user(s).privacy.friend_list.visible_to_stranger();
+        let boost = if open { f.open_degree_boost } else { 1.0 };
+        let mean = f.nonschool_friends_mean * boost * sociability[&s].sqrt();
+        let k = normal(&mut rng, mean, mean * 0.25).max(0.0) as usize;
+        for _ in 0..k {
+            let p = pool[rng.gen_range(0..pool.len())];
+            edges.push((s, p));
+        }
+    }
+
+    // Former students keep some in-school ties, mostly in their class.
+    for &fs in &former {
+        let grad_year = match net.user(fs).role {
+            Role::FormerStudent { grad_year, .. } => grad_year,
+            _ => unreachable!(),
+        };
+        let ci = classes.iter().position(|&c| c == grad_year).unwrap_or(3);
+        let k = normal(&mut rng, f.former_to_student_mean, f.former_to_student_mean * 0.3)
+            .max(0.0) as usize;
+        for _ in 0..k {
+            let same_class = rng.gen_bool(0.8);
+            let class = if same_class {
+                &by_class[ci]
+            } else {
+                &by_class[rng.gen_range(0..4)]
+            };
+            if class.is_empty() {
+                continue;
+            }
+            edges.push((fs, class[rng.gen_range(0..class.len())]));
+        }
+        // ...and some community friends.
+        for _ in 0..geometric_with_mean(&mut rng, f.nonschool_friends_mean * 0.5) as usize {
+            edges.push((fs, pool[rng.gen_range(0..pool.len())]));
+        }
+    }
+
+    // Alumni <-> current students, decaying with years-since-overlap.
+    for &(a, grad_year) in &alumni {
+        for (ci, &class_year) in classes.iter().enumerate() {
+            let overlap = (grad_year - class_year + 4).max(0) as f64 / 3.0;
+            let mean = if overlap > 0.0 {
+                f.alumni_to_student_mean * overlap
+            } else {
+                // Small residual: siblings, neighbourhood.
+                f.alumni_to_student_mean * f.alumni_decay * 0.1
+            };
+            let k = geometric_with_mean(&mut rng, mean) as usize;
+            let class = &by_class[ci];
+            if class.is_empty() {
+                continue;
+            }
+            for _ in 0..k {
+                edges.push((a, class[rng.gen_range(0..class.len())]));
+            }
+        }
+        // Alumni also have plenty of non-school friends.
+        for _ in 0..geometric_with_mean(&mut rng, f.nonschool_friends_mean * 0.7) as usize {
+            edges.push((a, pool[rng.gen_range(0..pool.len())]));
+        }
+    }
+
+    net.add_friendships_bulk(edges);
+
+    // ---- interactions (wall posts between friends) -----------------------
+    // Classmates interact far more than incidental contacts; the wall a
+    // stranger can sometimes see is the attacker's window onto this.
+    {
+        let student_set: std::collections::HashSet<UserId> =
+            students.iter().copied().collect();
+        let mut pairs: Vec<(UserId, UserId, u32)> = Vec::new();
+        for u in net.user_ids() {
+            for &v in net.friends(u) {
+                if v <= u {
+                    continue; // one direction per pair
+                }
+                let both_students = student_set.contains(&u) && student_set.contains(&v);
+                let mean = if both_students { 5.0 } else { 0.5 };
+                let n = geometric_with_mean(&mut rng, mean);
+                if n > 0 {
+                    pairs.push((u, v, n));
+                }
+            }
+        }
+        net.interactions_mut().bulk_insert(pairs);
+    }
+
+    // ---- Google+-style circles (paper Appendix A) -----------------------
+    // Start from reciprocal circling of every friendship, drop a fraction
+    // of the reciprocal directions (not everyone circles back), and add
+    // one-way follows from students to older users they know of.
+    {
+        let mut circles = hsp_graph::Circles::with_capacity(net.user_count());
+        for u in net.user_ids() {
+            for &v in net.friends(u) {
+                // Keep the u->v direction with high probability.
+                if rng.gen_bool(0.92) {
+                    circles.add(u, v);
+                }
+            }
+        }
+        for &s in &students {
+            let follows = geometric_with_mean(&mut rng, 6.0) as usize;
+            for _ in 0..follows {
+                let target = if rng.gen_bool(0.5) && !alumni.is_empty() {
+                    alumni[rng.gen_range(0..alumni.len())].0
+                } else {
+                    pool[rng.gen_range(0..pool.len())]
+                };
+                circles.add(s, target);
+            }
+        }
+        *net.circles_mut() = circles;
+    }
+
+    Scenario {
+        config: cfg.clone(),
+        school,
+        other_school,
+        home_city,
+        other_city,
+        network: net,
+    }
+}
+
+/// The city a user lists, falling back to `default` (community adults
+/// without a listed city still live somewhere).
+fn profile_city_or(net: &Network, u: UserId, default: hsp_graph::CityId) -> hsp_graph::CityId {
+    net.user(u).profile.current_city.unwrap_or(default)
+}
+
+/// Birth date for the class of `grad_year`: US cutoff, born between
+/// September of `grad_year - 19` and August of `grad_year - 18`.
+fn student_birth_date(rng: &mut impl Rng, grad_year: i32) -> Date {
+    let offset_months = rng.gen_range(0..12); // 0 = September
+    let month0 = 9 + offset_months;
+    let (year, month) = if month0 <= 12 {
+        (grad_year - 19, month0)
+    } else {
+        (grad_year - 18, month0 - 12)
+    };
+    Date::ymd(year, month as u8, rng.gen_range(1..=28))
+}
+
+fn base_profile(rng: &mut impl Rng, extras: &ProfileExtras) -> ProfileContent {
+    let gender = sample_gender(rng);
+    let mut profile = ProfileContent::bare(
+        sample_first_name(rng, gender),
+        sample_last_name(rng),
+        gender,
+    );
+    profile.photos_shared = extras.photos_shared;
+    profile.wall_posts = extras.wall_posts;
+    profile.relationship = extras.relationship;
+    profile.interested_in = extras.interested_in;
+    if extras.has_contact_info {
+        profile.contact.email = Some(format!(
+            "{}.{}@example.net",
+            profile.first_name.to_ascii_lowercase(),
+            profile.last_name.to_ascii_lowercase()
+        ));
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+
+    #[test]
+    fn tiny_scenario_generates_consistently() {
+        let cfg = ScenarioConfig::tiny();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.network.user_count(), b.network.user_count());
+        assert_eq!(a.roster().len(), b.roster().len());
+        // Determinism down to the names.
+        let ua = a.network.user(UserId(0));
+        let ub = b.network.user(UserId(0));
+        assert_eq!(ua.profile.full_name(), ub.profile.full_name());
+    }
+
+    #[test]
+    fn roster_size_tracks_adoption() {
+        let cfg = ScenarioConfig::tiny();
+        let s = generate(&cfg);
+        let roster = s.roster();
+        let expected = cfg.school_size as f64 * cfg.adoption_rate;
+        assert!(
+            (roster.len() as f64 - expected).abs() < expected * 0.3,
+            "roster {} vs expected {expected}",
+            roster.len()
+        );
+        // Four classes all populated.
+        for class in s.config.enrolled_classes() {
+            assert!(!s.network.roster_for_class(s.school, class).is_empty());
+        }
+    }
+
+    #[test]
+    fn students_have_school_friends() {
+        let s = generate(&ScenarioConfig::tiny());
+        let roster = s.roster();
+        let with_friends = roster
+            .iter()
+            .filter(|&&u| {
+                s.network
+                    .friends(u)
+                    .iter()
+                    .any(|f| roster.binary_search(f).is_ok())
+            })
+            .count();
+        assert!(with_friends as f64 > roster.len() as f64 * 0.9);
+    }
+
+    #[test]
+    fn some_students_are_minors_registered_as_adults() {
+        let s = generate(&ScenarioConfig::tiny());
+        let lying = s.lying_minor_students();
+        let roster = s.roster();
+        let frac = lying.len() as f64 / roster.len() as f64;
+        assert!(
+            (0.15..0.70).contains(&frac),
+            "lying fraction {frac} ({} of {})",
+            lying.len(),
+            roster.len()
+        );
+    }
+
+    #[test]
+    fn coppaless_world_has_almost_no_lying_minors() {
+        let s = generate(&ScenarioConfig::tiny().without_coppa());
+        let lying = s.lying_minor_students();
+        let roster = s.roster();
+        assert!(
+            lying.len() as f64 <= roster.len() as f64 * 0.08,
+            "{} lying of {}",
+            lying.len(),
+            roster.len()
+        );
+    }
+
+    #[test]
+    fn alumni_list_past_grad_years() {
+        let s = generate(&ScenarioConfig::tiny());
+        let senior = s.config.enrolled_classes()[3];
+        let mut alumni_seen = 0;
+        for u in s.network.users() {
+            if let Role::Alumnus { grad_year, .. } = u.role {
+                assert!(grad_year < senior);
+                alumni_seen += 1;
+            }
+        }
+        assert!(alumni_seen > 0);
+    }
+}

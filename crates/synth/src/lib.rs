@@ -1,0 +1,30 @@
+//! # hsp-synth — synthetic population generator
+//!
+//! The paper's raw material is live 2012 Facebook data for three real
+//! high schools plus confidential rosters — none of which can exist in a
+//! reproduction (see DESIGN.md §1). This crate generates the synthetic
+//! counterpart: a city-scale population around a target high school,
+//! with the structural properties the attack exploits calibrated to the
+//! paper's published aggregates:
+//!
+//! - an **age-lying model** ([`lying`]) producing minors registered as
+//!   adults at the paper's observed rates;
+//! - **openness distributions** ([`privacy_assign`]) matching Table 5's
+//!   per-school privacy-setting columns;
+//! - a **friendship model** ([`generator`]) with dense within-grade ties,
+//!   decaying cross-grade/alumni ties, churned former students, parents,
+//!   and a community pool sized so candidate-set counts land near
+//!   Table 2's.
+//!
+//! Everything is deterministic in the scenario seed.
+
+pub mod config;
+pub mod generator;
+pub mod lying;
+pub mod names;
+pub mod privacy_assign;
+pub mod scenario;
+
+pub use config::{FriendshipModel, LyingModel, OpennessProfile, ScenarioConfig};
+pub use generator::generate;
+pub use scenario::{Scenario, ScenarioSummary};

@@ -1,0 +1,227 @@
+//! The age-lying model: how a child's registered birth date diverges
+//! from their true one (paper §1, observations 1–2).
+//!
+//! A student joined the OSN at some age. If they were under 13, the
+//! COPPA-driven ban forced a choice: wait, or lie. Liars either claimed
+//! to be just over 13 (possibly padding a year or two) or claimed to be
+//! 18+ outright. Years later, the accumulated shift makes many of them
+//! *registered adults while still minors* — the pivot of the attack.
+
+use crate::config::LyingModel;
+use hsp_graph::{Date, Registration};
+use rand::Rng;
+
+/// Sample a registration for a person with the given true birth date.
+///
+/// Returns the registration (registered birth date + join date). The
+/// join date never precedes the OSN's opening to the public (modelled
+/// as 2006-09-26) and never lands after `today`.
+pub fn sample_registration(
+    rng: &mut impl Rng,
+    model: &LyingModel,
+    true_birth: Date,
+    today: Date,
+) -> Registration {
+    let osn_opening = Date::ymd(2006, 9, 26);
+
+    // Desired join age ~ N(mean, std), clamped to a plausible range.
+    let desired_join_age = normal(rng, model.join_age_mean, model.join_age_std).clamp(8.0, 17.0);
+    let mut join_date = add_years_f(true_birth, desired_join_age);
+    if join_date < osn_opening {
+        join_date = osn_opening.add_days(rng.gen_range(0..120));
+    }
+
+    let mut age_at_join = Date::age_on(true_birth, join_date);
+    let mut registered_birth = true_birth;
+
+    if age_at_join < 13 {
+        if rng.gen_bool(model.p_lie_when_underage) {
+            // Lie. Either claim 18+ or claim just-13 (+ padding).
+            let claimed_age = if rng.gen_bool(model.p_lie_to_adult) {
+                18 + rng.gen_range(0..=2)
+            } else {
+                13 + rng.gen_range(0..=model.extra_years_max)
+            };
+            let shift_years = claimed_age - age_at_join;
+            registered_birth = add_years(true_birth, -shift_years);
+        } else {
+            // Waited until their real 13th birthday (or the OSN's
+            // opening, whichever is later).
+            join_date = add_years(true_birth, 13)
+                .add_days(rng.gen_range(0..180) as i64)
+                .max(osn_opening);
+            age_at_join = 13;
+            let _ = age_at_join;
+        }
+    }
+
+    // Nobody joins in the future.
+    if join_date > today {
+        join_date = today.add_days(-(rng.gen_range(1..400) as i64));
+        // If that would put joining before 13 for a truthful child,
+        // accept it: a small residual of underage truthful accounts is
+        // realistic noise.
+    }
+
+    Registration { registered_birth_date: registered_birth, registration_date: join_date }
+}
+
+/// Shift a date by whole years (clamping Feb 29 to Feb 28).
+pub fn add_years(date: Date, years: i32) -> Date {
+    let y = date.year() + years;
+    let (m, mut d) = (date.month(), date.day());
+    if m == 2 && d == 29 && !hsp_graph::date::is_leap_year(y) {
+        d = 28;
+    }
+    Date::ymd(y, m, d)
+}
+
+fn add_years_f(date: Date, years: f64) -> Date {
+    date.add_days((years * 365.25) as i64)
+}
+
+/// Box–Muller standard normal scaled to (mean, std).
+pub fn normal(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    mean + std * z
+}
+
+/// Sample from a geometric-like distribution with the given mean
+/// (used for photo counts, wall posts, friend-count jitter).
+pub fn geometric_with_mean(rng: &mut impl Rng, mean: f64) -> u32 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // Exponential with the target mean, rounded down.
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-mean * u.ln()) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn today() -> Date {
+        Date::ymd(2012, 3, 15)
+    }
+
+    #[test]
+    fn truthful_model_produces_no_lies() {
+        let model = LyingModel { p_lie_when_underage: 0.0, ..LyingModel::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let birth = Date::ymd(1997, 6, 1);
+            let reg = sample_registration(&mut rng, &model, birth, today());
+            assert_eq!(reg.registered_birth_date, birth);
+            // Never joined under 13 *with a truthful date* before their
+            // 13th birthday unless clamped by today (birth 1997 -> 13 in
+            // 2010, today 2012: fine).
+            assert!(reg.registration_date <= today());
+        }
+    }
+
+    #[test]
+    fn always_lie_model_produces_registered_age_shifts() {
+        let model = LyingModel {
+            join_age_mean: 10.0,
+            join_age_std: 0.5,
+            p_lie_when_underage: 1.0,
+            p_lie_to_adult: 1.0,
+            extra_years_max: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let birth = Date::ymd(1997, 6, 1); // truly 14 in March 2012
+        let mut adults = 0;
+        for _ in 0..100 {
+            let reg = sample_registration(&mut rng, &model, birth, today());
+            if !reg.is_registered_minor(today()) {
+                adults += 1;
+            }
+        }
+        // Everyone claimed 18+ at join, so everyone is a registered adult.
+        assert_eq!(adults, 100);
+    }
+
+    #[test]
+    fn claim_13_liars_age_into_registered_adults() {
+        // Join at 10 claiming 13 => shift 3 years; truly 17 => registered 20.
+        let model = LyingModel {
+            join_age_mean: 10.0,
+            join_age_std: 0.1,
+            p_lie_when_underage: 1.0,
+            p_lie_to_adult: 0.0,
+            extra_years_max: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let birth = Date::ymd(1994, 6, 1); // truly 17 in March 2012
+        let reg = sample_registration(&mut rng, &model, birth, today());
+        assert!(!reg.is_registered_minor(today()));
+        // A younger child gets the same kind of shift: the registered
+        // birth date moves back by exactly (13 - join age) years, i.e.
+        // 2–5 years for joins at ages 8–11.
+        let birth = Date::ymd(1997, 6, 1); // truly 14
+        let reg = sample_registration(&mut rng, &model, birth, today());
+        let shift = birth.year() - reg.registered_birth_date.year();
+        assert!((2..=5).contains(&shift), "shift {shift}");
+        // Registered age is true age + shift; minor status follows.
+        assert_eq!(
+            reg.is_registered_minor(today()),
+            Date::age_on(birth, today()) + shift < 18
+        );
+    }
+
+    #[test]
+    fn registration_never_after_today() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let model = LyingModel::default();
+        for year in [1994, 1996, 1998, 2000] {
+            for _ in 0..50 {
+                let reg =
+                    sample_registration(&mut rng, &model, Date::ymd(year, 7, 4), today());
+                assert!(reg.registration_date <= today());
+            }
+        }
+    }
+
+    #[test]
+    fn default_model_yields_plausible_lying_fraction() {
+        // Across a synthetic class of 14–17-year-olds, the default model
+        // should make roughly 25–55 % of them registered adults —
+        // bracketing the paper's 34 % (HS1) and ~50 % (HS2/HS3).
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = LyingModel::default();
+        let mut lying_adults = 0;
+        let n = 2000;
+        for i in 0..n {
+            let birth = Date::ymd(1994 + (i % 4) as i32, 1 + (i % 12) as u8, 15);
+            let reg = sample_registration(&mut rng, &model, birth, today());
+            let truly_minor = Date::age_on(birth, today()) < 18;
+            if truly_minor && !reg.is_registered_minor(today()) {
+                lying_adults += 1;
+            }
+        }
+        let frac = lying_adults as f64 / n as f64;
+        assert!((0.2..0.6).contains(&frac), "lying-adult fraction {frac}");
+    }
+
+    #[test]
+    fn add_years_handles_leap_day() {
+        assert_eq!(add_years(Date::ymd(1996, 2, 29), 1), Date::ymd(1997, 2, 28));
+        assert_eq!(add_years(Date::ymd(1996, 2, 29), 4), Date::ymd(2000, 2, 29));
+        assert_eq!(add_years(Date::ymd(1996, 2, 29), -1), Date::ymd(1995, 2, 28));
+    }
+
+    #[test]
+    fn geometric_mean_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 5000;
+        let total: u64 = (0..n).map(|_| geometric_with_mean(&mut rng, 20.0) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((15.0..25.0).contains(&mean), "mean {mean}");
+        assert_eq!(geometric_with_mean(&mut rng, 0.0), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Deterministic synthetic name generation.
+//!
+//! Entirely fictional people: names are drawn from fixed pools, so no
+//! real person's data can appear in a generated world.
+
+use hsp_graph::Gender;
+use rand::Rng;
+
+const FEMALE_FIRST: &[&str] = &[
+    "Ava", "Mia", "Zoe", "Lily", "Emma", "Nora", "Ruby", "Ella", "Ivy", "Maya",
+    "Chloe", "Grace", "Hannah", "Sofia", "Layla", "Aria", "Nina", "Tess", "Cora", "Jade",
+    "Paige", "Quinn", "Rosa", "Sara", "Tara", "Uma", "Vera", "Wren", "Luz", "Yara",
+    "Dana", "Erin", "Faye", "Gina", "Hope", "Iris", "June", "Kate", "Lena", "Mona",
+];
+
+const MALE_FIRST: &[&str] = &[
+    "Eli", "Max", "Leo", "Sam", "Ben", "Jack", "Owen", "Luke", "Noah", "Ryan",
+    "Cole", "Evan", "Liam", "Mark", "Nate", "Omar", "Paul", "Reed", "Seth", "Troy",
+    "Wade", "Zane", "Alan", "Blake", "Carl", "Drew", "Emmett", "Felix", "Gus", "Hank",
+    "Ivan", "Joel", "Kyle", "Lars", "Miles", "Neil", "Otto", "Pete", "Quinn", "Ross",
+];
+
+const LAST: &[&str] = &[
+    "Abbott", "Barnes", "Castillo", "Delgado", "Ellison", "Fleming", "Garrett", "Hobbs",
+    "Ibarra", "Jennings", "Keller", "Lowery", "McBride", "Norwood", "Ortega", "Pruitt",
+    "Quintana", "Rollins", "Sandoval", "Tillman", "Underwood", "Vasquez", "Whitfield",
+    "Xiong", "Yates", "Zamora", "Ashford", "Boyle", "Crane", "Dalton", "Emery", "Foss",
+    "Granger", "Hale", "Ingram", "Jarvis", "Kemp", "Landry", "Mercer", "Nash", "Odom",
+    "Pike", "Quigley", "Rhodes", "Slater", "Thorne", "Upton", "Vance", "Walsh", "York",
+];
+
+/// Draw a gender (roughly balanced).
+pub fn sample_gender(rng: &mut impl Rng) -> Gender {
+    if rng.gen_bool(0.5) {
+        Gender::Female
+    } else {
+        Gender::Male
+    }
+}
+
+/// Draw a first name matching `gender`.
+pub fn sample_first_name(rng: &mut impl Rng, gender: Gender) -> &'static str {
+    match gender {
+        Gender::Female => FEMALE_FIRST[rng.gen_range(0..FEMALE_FIRST.len())],
+        Gender::Male => MALE_FIRST[rng.gen_range(0..MALE_FIRST.len())],
+        Gender::Unspecified => {
+            if rng.gen_bool(0.5) {
+                FEMALE_FIRST[rng.gen_range(0..FEMALE_FIRST.len())]
+            } else {
+                MALE_FIRST[rng.gen_range(0..MALE_FIRST.len())]
+            }
+        }
+    }
+}
+
+const LAST_PREFIX: &[&str] = &[
+    "Ash", "Black", "Briar", "Clay", "Cross", "Dun", "East", "Fair", "Fern", "Gold",
+    "Gray", "Green", "Hart", "Haw", "Hazel", "High", "Holt", "Iron", "Kings", "Lake",
+    "Long", "Marsh", "Mill", "Moor", "North", "Oak", "Red", "Ridge", "Rock", "Rose",
+    "Sand", "Shaw", "Silver", "Snow", "Stone", "Strat", "Thorn", "Wald", "West", "Wind",
+];
+
+const LAST_SUFFIX: &[&str] = &[
+    "berg", "born", "bridge", "brook", "bury", "by", "cliff", "combe", "cote", "dale",
+    "den", "field", "ford", "gate", "grove", "ham", "hurst", "land", "ley", "lock",
+    "man", "mere", "more", "mount", "pool", "port", "ridge", "shaw", "stead", "stock",
+    "stone", "ton", "wall", "ward", "water", "well", "wick", "wood", "worth", "yard",
+];
+
+const LAST_MID: &[&str] = &[
+    "inga", "er", "en", "el", "ow", "ar", "ama", "ona", "ey", "is",
+    "or", "an", "ell", "und", "ing", "os", "ede", "ura", "ani", "emi",
+];
+
+/// Draw a surname with a realistic head/tail frequency split:
+///
+/// - 10 % from a short curated list (the "Smiths" — always ambiguous in
+///   a city-scale voter roll);
+/// - 55 % two-syllable composites (~1,600 forms — a handful of
+///   households per city);
+/// - 35 % three-syllable composites (~32,000 forms — usually unique).
+///
+/// This is what makes the §2 record-linking threat behave like reality:
+/// rare-surname students resolve by (surname, city) alone, common-
+/// surname students only resolve through the friend-list confirmation.
+pub fn sample_last_name(rng: &mut impl Rng) -> String {
+    let r: f64 = rng.gen();
+    if r < 0.10 {
+        LAST[rng.gen_range(0..LAST.len())].to_string()
+    } else if r < 0.65 {
+        format!(
+            "{}{}",
+            LAST_PREFIX[rng.gen_range(0..LAST_PREFIX.len())],
+            LAST_SUFFIX[rng.gen_range(0..LAST_SUFFIX.len())]
+        )
+    } else {
+        format!(
+            "{}{}{}",
+            LAST_PREFIX[rng.gen_range(0..LAST_PREFIX.len())],
+            LAST_MID[rng.gen_range(0..LAST_MID.len())],
+            LAST_SUFFIX[rng.gen_range(0..LAST_SUFFIX.len())]
+        )
+    }
+}
+
+const STREETS: &[&str] = &[
+    "Oak St", "Maple Ave", "Cedar Ln", "Birch Rd", "Elm St", "Willow Way", "Aspen Ct",
+    "Chestnut Blvd", "Sycamore Dr", "Juniper Pl", "Magnolia Ave", "Poplar St",
+    "Hickory Ln", "Laurel Rd", "Alder Way", "Hawthorn Ct", "Linden Dr", "Spruce St",
+    "Walnut Ave", "Dogwood Ln",
+];
+
+/// Generate a synthetic street address like "412 Maple Ave".
+pub fn sample_address(rng: &mut impl Rng) -> String {
+    format!(
+        "{} {}",
+        rng.gen_range(1..=999),
+        STREETS[rng.gen_range(0..STREETS.len())]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_are_deterministic_given_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = sample_gender(&mut rng);
+            (g, sample_first_name(&mut rng, g), sample_last_name(&mut rng))
+        };
+        assert_eq!(draw(7), draw(7));
+        // Different seeds give different sequences at least sometimes.
+        assert!((0..20).any(|s| draw(s) != draw(s + 1000)));
+    }
+
+    #[test]
+    fn gendered_names_come_from_matching_pool() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(FEMALE_FIRST.contains(&sample_first_name(&mut rng, Gender::Female)));
+            assert!(MALE_FIRST.contains(&sample_first_name(&mut rng, Gender::Male)));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Sampling privacy settings and profile richness from an
+//! [`OpennessProfile`].
+
+use crate::config::OpennessProfile;
+use crate::lying::geometric_with_mean;
+use hsp_graph::{Audience, InterestedIn, PrivacySettings, RelationshipStatus};
+use rand::Rng;
+
+fn aud(rng: &mut impl Rng, p_public: f64) -> Audience {
+    if rng.gen_bool(p_public.clamp(0.0, 1.0)) {
+        Audience::Public
+    } else if rng.gen_bool(0.5) {
+        Audience::FriendsOfFriends
+    } else {
+        Audience::Friends
+    }
+}
+
+/// Profile richness drawn alongside the settings.
+#[derive(Clone, Debug)]
+pub struct ProfileExtras {
+    pub photos_shared: u32,
+    pub wall_posts: u32,
+    pub relationship: Option<RelationshipStatus>,
+    pub interested_in: Option<InterestedIn>,
+    pub lists_school: bool,
+    pub lists_city: bool,
+    pub lists_hometown: bool,
+    pub has_contact_info: bool,
+}
+
+/// Draw settings + extras for one account.
+pub fn sample_account(rng: &mut impl Rng, o: &OpennessProfile) -> (PrivacySettings, ProfileExtras) {
+    let settings = PrivacySettings {
+        friend_list: aud(rng, o.friend_list_public),
+        education: aud(rng, o.education_public),
+        relationship: aud(rng, o.relationship_public.max(0.3)),
+        interested_in: aud(rng, o.interested_in_public.max(0.3)),
+        birthday: aud(rng, o.birthday_public),
+        hometown: aud(rng, o.hometown_public),
+        current_city: aud(rng, o.lists_city.min(0.95)),
+        photos: aud(rng, (o.photos_mean / (o.photos_mean + 15.0)).clamp(0.05, 0.95)),
+        contact_info: aud(rng, 0.04),
+        wall: aud(rng, 0.25),
+        public_search: rng.gen_bool(o.public_search.clamp(0.0, 1.0)),
+        message_button: if rng.gen_bool(o.message_public.clamp(0.0, 1.0)) {
+            Audience::Public
+        } else {
+            Audience::Friends
+        },
+    };
+    // The Table 5 rows measure *stranger-visible* relationship /
+    // interested-in, i.e. (field filled) AND (audience public). We fold
+    // both coins into whether the field is present and make presence the
+    // probability target when the audience came out public.
+    let relationship = rng
+        .gen_bool(0.55)
+        .then(|| match rng.gen_range(0..4) {
+            0 => RelationshipStatus::Single,
+            1 => RelationshipStatus::InARelationship,
+            2 => RelationshipStatus::Complicated,
+            _ => RelationshipStatus::Married,
+        });
+    let interested_in = rng.gen_bool(0.5).then(|| match rng.gen_range(0..3) {
+        0 => InterestedIn::Men,
+        1 => InterestedIn::Women,
+        _ => InterestedIn::Both,
+    });
+    let extras = ProfileExtras {
+        photos_shared: geometric_with_mean(rng, o.photos_mean),
+        wall_posts: geometric_with_mean(rng, o.photos_mean * 0.6),
+        relationship,
+        interested_in,
+        lists_school: rng.gen_bool(o.lists_school.clamp(0.0, 1.0)),
+        lists_city: rng.gen_bool(o.lists_city.clamp(0.0, 1.0)),
+        lists_hometown: rng.gen_bool(o.hometown_public.clamp(0.0, 1.0)),
+        has_contact_info: rng.gen_bool(0.08),
+    };
+    (settings, extras)
+}
+
+/// Exact-audience variant used when the experiment needs the marginal
+/// probabilities to land precisely on the Table 5 columns: relationship
+/// and interested-in visibility are driven directly by the openness
+/// probabilities rather than split into presence × audience coins.
+pub fn sample_account_calibrated(
+    rng: &mut impl Rng,
+    o: &OpennessProfile,
+) -> (PrivacySettings, ProfileExtras) {
+    let (mut settings, mut extras) = sample_account(rng, o);
+    // Re-draw the two split fields as single coins.
+    let rel_visible = rng.gen_bool(o.relationship_public.clamp(0.0, 1.0));
+    settings.relationship = if rel_visible { Audience::Public } else { Audience::Friends };
+    if rel_visible {
+        extras.relationship = Some(RelationshipStatus::Single);
+    }
+    let int_visible = rng.gen_bool(o.interested_in_public.clamp(0.0, 1.0));
+    settings.interested_in = if int_visible { Audience::Public } else { Audience::Friends };
+    if int_visible {
+        extras.interested_in = Some(InterestedIn::Both);
+    }
+    (settings, extras)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OpennessProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hs3_like() -> OpennessProfile {
+        OpennessProfile {
+            friend_list_public: 0.87,
+            public_search: 0.86,
+            message_public: 0.91,
+            education_public: 0.85,
+            lists_school: 0.14,
+            lists_city: 0.55,
+            relationship_public: 0.34,
+            interested_in_public: 0.33,
+            birthday_public: 0.06,
+            photos_mean: 57.0,
+            hometown_public: 0.40,
+        }
+    }
+
+    #[test]
+    fn marginals_track_the_openness_profile() {
+        let o = hs3_like();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 4000;
+        let mut fl = 0;
+        let mut search = 0;
+        let mut msg = 0;
+        let mut bday = 0;
+        let mut photos_total: u64 = 0;
+        for _ in 0..n {
+            let (s, e) = sample_account(&mut rng, &o);
+            if s.friend_list == Audience::Public {
+                fl += 1;
+            }
+            if s.public_search {
+                search += 1;
+            }
+            if s.message_button == Audience::Public {
+                msg += 1;
+            }
+            if s.birthday == Audience::Public {
+                bday += 1;
+            }
+            photos_total += e.photos_shared as u64;
+        }
+        let frac = |x: i32| x as f64 / n as f64;
+        assert!((frac(fl) - 0.87).abs() < 0.03, "friend list {}", frac(fl));
+        assert!((frac(search) - 0.86).abs() < 0.03);
+        assert!((frac(msg) - 0.91).abs() < 0.03);
+        assert!((frac(bday) - 0.06).abs() < 0.03);
+        let photo_mean = photos_total as f64 / n as f64;
+        assert!((photo_mean - 57.0).abs() < 6.0, "photos mean {photo_mean}");
+    }
+
+    #[test]
+    fn calibrated_variant_pins_relationship_marginals() {
+        let o = hs3_like();
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 4000;
+        let mut rel_visible = 0;
+        for _ in 0..n {
+            let (s, e) = sample_account_calibrated(&mut rng, &o);
+            if s.relationship == Audience::Public && e.relationship.is_some() {
+                rel_visible += 1;
+            }
+        }
+        let frac = rel_visible as f64 / n as f64;
+        assert!((frac - 0.34).abs() < 0.03, "relationship visible {frac}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let o = hs3_like();
+        let a = {
+            let mut rng = StdRng::seed_from_u64(99);
+            sample_account(&mut rng, &o).0
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(99);
+            sample_account(&mut rng, &o).0
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! The generated world plus ground-truth accessors used by evaluation.
+
+use crate::config::ScenarioConfig;
+use hsp_graph::{CityId, Network, Role, SchoolId, UserId};
+
+/// A generated world: the network, the target school, and the config
+/// that produced it. Ground-truth queries on this type play the role of
+/// the paper's confidential rosters.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    pub config: ScenarioConfig,
+    /// The target high school.
+    pub school: SchoolId,
+    /// A different high school (transfer destination; filter-rule cases).
+    pub other_school: SchoolId,
+    pub home_city: CityId,
+    pub other_city: CityId,
+    pub network: Network,
+}
+
+impl Scenario {
+    /// Ground-truth set `M`: current students with accounts (sorted ids).
+    pub fn roster(&self) -> Vec<UserId> {
+        self.network.roster(self.school)
+    }
+
+    /// Roster restricted to one graduating class.
+    pub fn roster_for_class(&self, grad_year: i32) -> Vec<UserId> {
+        self.network.roster_for_class(self.school, grad_year)
+    }
+
+    /// Students who are true minors but registered adults (the paper's
+    /// "lying minors", Table 5 row 1).
+    pub fn lying_minor_students(&self) -> Vec<UserId> {
+        self.roster()
+            .into_iter()
+            .filter(|&u| self.network.user(u).is_minor_registered_as_adult(self.network.today))
+            .collect()
+    }
+
+    /// Students the OSN correctly believes to be minors.
+    pub fn registered_minor_students(&self) -> Vec<UserId> {
+        self.roster()
+            .into_iter()
+            .filter(|&u| self.network.user(u).is_registered_minor(self.network.today))
+            .collect()
+    }
+
+    /// Former (transferred-out) students — the churn population.
+    pub fn former_students(&self) -> Vec<UserId> {
+        self.network
+            .users()
+            .filter(|u| matches!(u.role, Role::FormerStudent { school, .. } if school == self.school))
+            .map(|u| u.id)
+            .collect()
+    }
+
+    /// Alumni of the target school.
+    pub fn alumni(&self) -> Vec<UserId> {
+        self.network
+            .users()
+            .filter(|u| matches!(u.role, Role::Alumnus { school, .. } if school == self.school))
+            .map(|u| u.id)
+            .collect()
+    }
+
+    /// Whether `u` is truly a current student (ground truth).
+    pub fn is_student(&self, u: UserId) -> bool {
+        self.network.user(u).role.is_current_student_at(self.school)
+    }
+
+    /// Ground-truth graduation year if `u` is a current student.
+    pub fn student_grad_year(&self, u: UserId) -> Option<i32> {
+        match self.network.user(u).role {
+            Role::CurrentStudent { school, grad_year } if school == self.school => Some(grad_year),
+            _ => None,
+        }
+    }
+
+    /// Quick aggregate counts for logging / experiment tables.
+    pub fn summary(&self) -> ScenarioSummary {
+        let roster = self.roster();
+        let lying = self.lying_minor_students().len();
+        ScenarioSummary {
+            name: self.config.name.clone(),
+            total_users: self.network.user_count(),
+            students_on_osn: roster.len(),
+            lying_minor_students: lying,
+            registered_minor_students: self.registered_minor_students().len(),
+            former_students: self.former_students().len(),
+            alumni: self.alumni().len(),
+        }
+    }
+}
+
+/// Aggregate counts of one generated world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioSummary {
+    pub name: String,
+    pub total_users: usize,
+    pub students_on_osn: usize,
+    pub lying_minor_students: usize,
+    pub registered_minor_students: usize,
+    pub former_students: usize,
+    pub alumni: usize,
+}
+
+impl std::fmt::Display for ScenarioSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} users total; {} students on OSN ({} registered minors, {} minors registered as adults); {} former; {} alumni",
+            self.name,
+            self.total_users,
+            self.students_on_osn,
+            self.registered_minor_students,
+            self.lying_minor_students,
+            self.former_students,
+            self.alumni,
+        )
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the population generator: structural invariants
+//! that must hold for every generated world, across random small
+//! configurations.
+
+use hsp_graph::Role;
+use hsp_synth::{generate, ScenarioConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        any::<u64>(),
+        40u32..120,
+        0.5f64..1.0,
+        0.0f64..1.0,
+        0.0f64..0.6,
+        0u32..30,
+    )
+        .prop_map(|(seed, size, adoption, p_lie, p_adult, formers)| {
+            let mut cfg = ScenarioConfig::tiny();
+            cfg.seed = seed;
+            cfg.school_size = size;
+            cfg.public_enrollment_estimate = size;
+            cfg.adoption_rate = adoption;
+            cfg.lying.p_lie_when_underage = p_lie;
+            cfg.lying.p_lie_to_adult = p_adult;
+            cfg.former_students = formers;
+            cfg.community_pool_size = 300;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generated worlds satisfy the ground-truth structural invariants
+    /// the attack and its evaluation rely on.
+    #[test]
+    fn generated_world_invariants(cfg in arb_config()) {
+        let s = generate(&cfg);
+        let net = &s.network;
+        let today = net.today;
+        let roster = s.roster();
+
+        // Roster size tracks adoption (generously bounded: binomial tails).
+        let expected = cfg.school_size as f64 * cfg.adoption_rate;
+        prop_assert!(
+            (roster.len() as f64) < expected + 30.0 && (roster.len() as f64) > expected - 30.0,
+            "roster {} vs expected {expected}", roster.len()
+        );
+
+        for u in net.users() {
+            // Nobody registered in the future; nobody registered before
+            // the OSN existed.
+            prop_assert!(u.registration.registration_date <= today);
+            prop_assert!(u.registration.registration_date.year() >= 2006);
+            // Lying only ever inflates age (registered older than true).
+            prop_assert!(
+                u.registration.registered_birth_date <= u.true_birth_date,
+                "registered younger than true for {}", u.id
+            );
+            // Students' true ages are 13..19 and consistent with class.
+            if let Role::CurrentStudent { grad_year, .. } = u.role {
+                let age = u.true_age(today);
+                prop_assert!((13..=19).contains(&age), "student age {age}");
+                prop_assert!((grad_year - 19..=grad_year - 17).contains(&(u.true_birth_date.year())));
+                // Every student has a household in the home city.
+                let hh = net.households().of(u.id).expect("student household");
+                prop_assert_eq!(hh.city, s.home_city);
+            }
+            // Alumni truly graduated (class year before current seniors).
+            if let Role::Alumnus { grad_year, .. } = u.role {
+                prop_assert!(grad_year < net.senior_class_year());
+            }
+        }
+
+        // Friendship symmetry (sampled).
+        for &u in roster.iter().take(20) {
+            for &v in net.friends(u) {
+                prop_assert!(net.are_friends(v, u));
+            }
+        }
+
+        // The lying-minor count is bounded by the lying parameters: zero
+        // lying probability ⇒ (almost) no lying minors.
+        if cfg.lying.p_lie_when_underage == 0.0 {
+            prop_assert_eq!(s.lying_minor_students().len(), 0);
+        }
+    }
+
+    /// Same config ⇒ bit-identical world (the determinism contract the
+    /// experiment tables depend on).
+    #[test]
+    fn generation_is_deterministic(cfg in arb_config()) {
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        prop_assert_eq!(a.network.user_count(), b.network.user_count());
+        prop_assert_eq!(a.roster(), b.roster());
+        for u in a.network.user_ids().take(50) {
+            prop_assert_eq!(a.network.friends(u), b.network.friends(u));
+            prop_assert_eq!(
+                &a.network.user(u).profile.full_name(),
+                &b.network.user(u).profile.full_name()
+            );
+            prop_assert_eq!(
+                a.network.user(u).registration.registered_birth_date,
+                b.network.user(u).registration.registered_birth_date
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # hsp-threats — quantifying the paper's §2 consequential threats
+//!
+//! The paper motivates the attack by three downstream harms; this crate
+//! implements the measurable mechanics of each, strictly against the
+//! simulator:
+//!
+//! - [`voter`]: **data-broker record linking** — building a synthetic
+//!   voter roll from the generated households and resolving discovered
+//!   students to street addresses by (surname, city), with the paper's
+//!   friend-list confirmation step;
+//! - [`phishing`]: **spear-phishing channel measurement** — composing
+//!   the personalized lures the paper describes (school, grad year,
+//!   friend name) and counting deliverability through the Message
+//!   button;
+//! - [`risk`]: **exposure aggregation** — a per-student 0–5 exposure
+//!   index (school+grade, address, photos, messageability, known
+//!   friends), reported only as distributions.
+
+pub mod namegen;
+pub mod phishing;
+pub mod risk;
+pub mod voter;
+
+pub use phishing::{compose_lure, run_campaign, CampaignStats};
+pub use risk::{exposure_of, Exposure, ExposureDistribution};
+pub use voter::{
+    link_address, link_students, AddressLink, LinkConfidence, LinkStats, VoterRecord,
+    VoterRoll,
+};

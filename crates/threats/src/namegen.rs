@@ -1,0 +1,32 @@
+//! First names for synthesised off-platform guardians on the voter roll.
+
+use rand::Rng;
+
+const GUARDIAN_FIRST: &[&str] = &[
+    "Alice", "Brian", "Carol", "David", "Elaine", "Frank", "Gloria", "Harold",
+    "Irene", "James", "Karen", "Louis", "Martha", "Norman", "Olive", "Peter",
+    "Rita", "Steven", "Teresa", "Victor",
+];
+
+/// Draw a guardian first name.
+pub fn guardian_first_name(rng: &mut impl Rng) -> String {
+    GUARDIAN_FIRST[rng.gen_range(0..GUARDIAN_FIRST.len())].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_from_pool_deterministically() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let n = guardian_first_name(&mut a);
+            assert_eq!(n, guardian_first_name(&mut b));
+            assert!(GUARDIAN_FIRST.contains(&n.as_str()));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Spear-phishing measurement (paper §2, third threat).
+//!
+//! "The profiles could also be used to fuel a large-scale and highly
+//! personalized spear-phishing attack against minors. Messages could
+//! automatically be generated which mention the target students' high
+//! schools, graduation years, and friends."
+//!
+//! We measure the *channel*, not the harm: for each constructed profile
+//! we compose the personalized lure the paper describes and attempt
+//! delivery through the platform's Message button, counting who is
+//! directly reachable. No deception technique beyond the paper's own
+//! description is implemented.
+
+use hsp_core::ConstructedProfile;
+use hsp_crawler::{CrawlError, OsnAccess};
+use serde::{Deserialize, Serialize};
+
+/// Compose the personalized message body for one target (the paper's
+/// example: mention school, graduation year, and a friend's name).
+pub fn compose_lure(
+    profile: &ConstructedProfile,
+    school_name: &str,
+    friend_name: Option<&str>,
+) -> String {
+    let mut body = format!(
+        "Hey {}! We're putting together the {} class of {} photo page",
+        profile.name.split_whitespace().next().unwrap_or("there"),
+        school_name,
+        profile.grad_year,
+    );
+    if let Some(friend) = friend_name {
+        body.push_str(&format!(" — {friend} said you'd want in"));
+    }
+    body.push_str(". Check it out here!");
+    body
+}
+
+/// Outcome of a phishing-campaign simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    pub targets: usize,
+    /// Message accepted by the platform (target is a minor registered as
+    /// an adult with a public Message button).
+    pub delivered: usize,
+    /// Lures that could name-drop a friend (recovered friend list
+    /// non-empty).
+    pub personalized_with_friend: usize,
+}
+
+impl CampaignStats {
+    pub fn pct_delivered(&self) -> f64 {
+        if self.targets == 0 {
+            0.0
+        } else {
+            100.0 * self.delivered as f64 / self.targets as f64
+        }
+    }
+}
+
+/// Run the campaign: compose one lure per constructed profile and
+/// attempt delivery. `friend_name_of` resolves a friend id to the
+/// display name the attacker scraped.
+pub fn run_campaign(
+    access: &mut dyn OsnAccess,
+    profiles: &[ConstructedProfile],
+    school_name: &str,
+    mut friend_name_of: impl FnMut(hsp_graph::UserId) -> Option<String>,
+) -> Result<CampaignStats, CrawlError> {
+    let mut stats = CampaignStats { targets: profiles.len(), ..Default::default() };
+    for profile in profiles {
+        let friend_name = profile
+            .known_friends
+            .first()
+            .and_then(|&f| friend_name_of(f));
+        if friend_name.is_some() {
+            stats.personalized_with_friend += 1;
+        }
+        let body = compose_lure(profile, school_name, friend_name.as_deref());
+        if access.send_message(profile.user, &body)? {
+            stats.delivered += 1;
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_crawler::{Effort, ScrapedProfile};
+    use hsp_graph::{CityId, SchoolId, UserId};
+    use std::collections::HashSet;
+
+    fn profile(user: u64, friends: Vec<u64>) -> ConstructedProfile {
+        ConstructedProfile {
+            user: UserId(user),
+            name: "Ava Keller".into(),
+            gender: None,
+            high_school: SchoolId(0),
+            grad_year: 2014,
+            est_birth_year: 1996,
+            current_city: CityId(0),
+            known_friends: friends.into_iter().map(UserId).collect(),
+            photos_shared: None,
+            relationship_visible: false,
+            message_reachable: true,
+        }
+    }
+
+    struct Stub {
+        accepts: HashSet<UserId>,
+        sent: Vec<(UserId, String)>,
+    }
+
+    impl OsnAccess for Stub {
+        fn collect_seeds(&mut self, _: SchoolId) -> Result<Vec<UserId>, CrawlError> {
+            Ok(vec![])
+        }
+        fn profile(&mut self, _: UserId) -> Result<ScrapedProfile, CrawlError> {
+            Ok(ScrapedProfile::default())
+        }
+        fn friends(&mut self, _: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
+            Ok(None)
+        }
+        fn effort(&self) -> Effort {
+            Effort::default()
+        }
+        fn send_message(&mut self, uid: UserId, body: &str) -> Result<bool, CrawlError> {
+            self.sent.push((uid, body.to_string()));
+            Ok(self.accepts.contains(&uid))
+        }
+    }
+
+    #[test]
+    fn lure_mentions_school_year_and_friend() {
+        let p = profile(1, vec![9]);
+        let body = compose_lure(&p, "Lincoln High", Some("Bo Nash"));
+        assert!(body.contains("Ava"));
+        assert!(body.contains("Lincoln High"));
+        assert!(body.contains("2014"));
+        assert!(body.contains("Bo Nash"));
+        let body = compose_lure(&p, "Lincoln High", None);
+        assert!(!body.contains("said you'd want in"));
+    }
+
+    #[test]
+    fn campaign_counts_delivery_and_personalization() {
+        let profiles = vec![profile(1, vec![9]), profile(2, vec![]), profile(3, vec![9])];
+        let mut stub = Stub {
+            accepts: [UserId(1), UserId(3)].into_iter().collect(),
+            sent: Vec::new(),
+        };
+        let stats = run_campaign(&mut stub, &profiles, "Lincoln High", |f| {
+            (f == UserId(9)).then(|| "Bo Nash".to_string())
+        })
+        .unwrap();
+        assert_eq!(stats.targets, 3);
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(stats.personalized_with_friend, 2);
+        assert!((stats.pct_delivered() - 66.7).abs() < 0.1);
+        assert_eq!(stub.sent.len(), 3);
+        assert!(stub.sent[0].1.contains("Bo Nash"));
+        assert!(!stub.sent[1].1.contains("Bo Nash"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Aggregate exposure scoring (paper §2, second threat, kept clinical).
+//!
+//! The paper's physical-safety discussion is about *prospecting*: which
+//! discovered minors expose the combination of identifiers (address,
+//! photos, direct-message channel, schedule anchors like school and
+//! grade) that makes real-world targeting feasible. We aggregate an
+//! exposure index per student — counts only, for policy analysis; the
+//! experiments report distributions, never per-person output.
+
+use crate::voter::{AddressLink, LinkConfidence};
+use hsp_core::ConstructedProfile;
+use serde::{Deserialize, Serialize};
+
+/// Exposure components for one discovered student.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exposure {
+    /// School + graduation year inferred (always true for discovered
+    /// students — the baseline leak).
+    pub school_and_grade: bool,
+    /// A street address was resolved via record linking.
+    pub address_resolved: bool,
+    /// At least one photo is stranger-visible.
+    pub photos_visible: bool,
+    /// Direct message channel open to strangers.
+    pub directly_messageable: bool,
+    /// Friends known (direct or recovered) — social leverage.
+    pub friends_known: bool,
+}
+
+impl Exposure {
+    /// 0–5 component count.
+    pub fn score(&self) -> u8 {
+        u8::from(self.school_and_grade)
+            + u8::from(self.address_resolved)
+            + u8::from(self.photos_visible)
+            + u8::from(self.directly_messageable)
+            + u8::from(self.friends_known)
+    }
+}
+
+/// Build the exposure record for one constructed profile + its address
+/// link outcome.
+pub fn exposure_of(profile: &ConstructedProfile, link: Option<&AddressLink>) -> Exposure {
+    Exposure {
+        school_and_grade: true,
+        address_resolved: link
+            .map(|l| {
+                matches!(
+                    l.confidence,
+                    LinkConfidence::FriendListConfirmed | LinkConfidence::UniqueHousehold
+                )
+            })
+            .unwrap_or(false),
+        photos_visible: profile.photos_shared.unwrap_or(0) > 0,
+        directly_messageable: profile.message_reachable,
+        friends_known: !profile.known_friends.is_empty(),
+    }
+}
+
+/// Distribution of exposure scores over a student set.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExposureDistribution {
+    /// `counts[s]` = number of students with score `s` (0..=5).
+    pub counts: [usize; 6],
+}
+
+impl ExposureDistribution {
+    pub fn add(&mut self, e: &Exposure) {
+        self.counts[e.score() as usize] += 1;
+    }
+
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Students with score ≥ k.
+    pub fn at_least(&self, k: u8) -> usize {
+        self.counts[k as usize..].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_graph::{CityId, SchoolId, UserId};
+
+    fn profile(photos: Option<u32>, messageable: bool, friends: usize) -> ConstructedProfile {
+        ConstructedProfile {
+            user: UserId(1),
+            name: "X Y".into(),
+            gender: None,
+            high_school: SchoolId(0),
+            grad_year: 2014,
+            est_birth_year: 1996,
+            current_city: CityId(0),
+            known_friends: (0..friends as u64).map(UserId).collect(),
+            photos_shared: photos,
+            relationship_visible: false,
+            message_reachable: messageable,
+        }
+    }
+
+    #[test]
+    fn score_counts_components() {
+        let link = AddressLink {
+            student: UserId(1),
+            confidence: LinkConfidence::UniqueHousehold,
+            address: Some("1 Oak St".into()),
+            candidates: 1,
+        };
+        let e = exposure_of(&profile(Some(5), true, 3), Some(&link));
+        assert_eq!(e.score(), 5);
+        let e = exposure_of(&profile(None, false, 0), None);
+        assert_eq!(e.score(), 1); // school+grade only
+    }
+
+    #[test]
+    fn ambiguous_link_does_not_count_as_address() {
+        let link = AddressLink {
+            student: UserId(1),
+            confidence: LinkConfidence::Ambiguous,
+            address: None,
+            candidates: 4,
+        };
+        let e = exposure_of(&profile(None, false, 0), Some(&link));
+        assert!(!e.address_resolved);
+    }
+
+    #[test]
+    fn distribution_accumulates() {
+        let mut d = ExposureDistribution::default();
+        d.add(&Exposure { school_and_grade: true, ..Default::default() });
+        d.add(&Exposure {
+            school_and_grade: true,
+            directly_messageable: true,
+            photos_visible: true,
+            ..Default::default()
+        });
+        assert_eq!(d.total(), 2);
+        assert_eq!(d.counts[1], 1);
+        assert_eq!(d.counts[3], 1);
+        assert_eq!(d.at_least(2), 1);
+        assert_eq!(d.at_least(0), 2);
+    }
+}

@@ -1,0 +1,355 @@
+//! Voter-record linking (paper §2, first threat).
+//!
+//! "By obtaining voter registration records (which most states make
+//! available for a small fee), the data broker can use the last name and
+//! city in the high-school profiles to link the students to parents in
+//! the voter registration records, thereby determining the street
+//! address of many of the students. For those students with friend lists
+//! ... if a parent appears in the friend list, then the street-address
+//! association can be done with greater certainty."
+//!
+//! The [`VoterRoll`] is a *public record*, so unlike OSN ground truth it
+//! is legitimately available to the attacker: it is synthesised from the
+//! generator's household registry (every student's guardians are
+//! registered voters at the family address, whether or not they have an
+//! OSN account), plus all adult community households.
+
+use hsp_graph::{CityId, Network, Role, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One voter-roll entry: a registered adult at an address.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoterRecord {
+    pub first_name: String,
+    pub last_name: String,
+    pub address: String,
+    pub city: CityId,
+    /// The OSN account of this voter, if they have one (used for the
+    /// friend-list confirmation step — matching is done *by name*, the
+    /// id is ground truth for evaluation only).
+    pub osn_user: Option<UserId>,
+}
+
+/// A purchasable city voter roll.
+#[derive(Clone, Debug, Default)]
+pub struct VoterRoll {
+    records: Vec<VoterRecord>,
+    /// (last_name, city) -> record indices.
+    by_name_city: HashMap<(String, CityId), Vec<usize>>,
+}
+
+impl VoterRoll {
+    /// Build the roll from the generated world.
+    ///
+    /// - OSN parents: listed at their household address.
+    /// - Off-platform guardians: every student household additionally
+    ///   has 1–2 adult voters sharing the student's surname (parents
+    ///   exist whether or not they use the OSN).
+    /// - Community adults with households: listed at theirs.
+    pub fn build(net: &Network, seed: u64) -> VoterRoll {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x707e5);
+        let mut roll = VoterRoll::default();
+        for user in net.users() {
+            let Some(household) = net.households().of(user.id) else {
+                continue;
+            };
+            match &user.role {
+                Role::Parent { .. } | Role::OtherResident | Role::NonResident => {
+                    roll.push(VoterRecord {
+                        first_name: user.profile.first_name.clone(),
+                        last_name: user.profile.last_name.clone(),
+                        address: household.address.clone(),
+                        city: household.city,
+                        osn_user: Some(user.id),
+                    });
+                }
+                Role::CurrentStudent { .. } => {
+                    // Off-platform guardians at the family address. (OSN
+                    // parents were generated as separate users and are
+                    // handled above.)
+                    let n_guardians = 1 + usize::from(rng.gen_bool(0.6));
+                    for _ in 0..n_guardians {
+                        let first =
+                            crate::namegen::guardian_first_name(&mut rng);
+                        roll.push(VoterRecord {
+                            first_name: first,
+                            last_name: user.profile.last_name.clone(),
+                            address: household.address.clone(),
+                            city: household.city,
+                            osn_user: None,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        roll
+    }
+
+    /// Build a roll directly from records (tests, imported datasets).
+    pub fn from_records(records: impl IntoIterator<Item = VoterRecord>) -> VoterRoll {
+        let mut roll = VoterRoll::default();
+        for r in records {
+            roll.push(r);
+        }
+        roll
+    }
+
+    fn push(&mut self, record: VoterRecord) {
+        let key = (record.last_name.clone(), record.city);
+        self.by_name_city.entry(key).or_default().push(self.records.len());
+        self.records.push(record);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records matching a surname in a city — the broker's first
+    /// lookup step.
+    pub fn lookup(&self, last_name: &str, city: CityId) -> Vec<&VoterRecord> {
+        self.by_name_city
+            .get(&(last_name.to_string(), city))
+            .map(|idxs| idxs.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// How an address association was made.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkConfidence {
+    /// A same-surname voter appears in the student's (recovered) friend
+    /// list — the paper's "greater certainty" case.
+    FriendListConfirmed,
+    /// Exactly one candidate household for (surname, city).
+    UniqueHousehold,
+    /// Several candidates; the broker picks none.
+    Ambiguous,
+    /// No same-surname voters in the city.
+    NoCandidates,
+}
+
+/// The linking outcome for one student profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AddressLink {
+    pub student: UserId,
+    pub confidence: LinkConfidence,
+    /// The resolved address, when confidence permits one.
+    pub address: Option<String>,
+    /// Candidate count before resolution (diagnostics).
+    pub candidates: usize,
+}
+
+/// Link one discovered student to an address.
+///
+/// `last_name`/`city` come from the constructed profile (attacker
+/// knowledge); `known_friends` is the recovered friend list; the roll's
+/// per-record `osn_user` lets us match friends *by the platform's
+/// rendered names*, which is how a real broker would do it — here we
+/// shortcut via ids, which is equivalent because platform names are
+/// rendered verbatim.
+pub fn link_address(
+    roll: &VoterRoll,
+    student: UserId,
+    last_name: &str,
+    city: CityId,
+    known_friends: &[UserId],
+) -> AddressLink {
+    let candidates = roll.lookup(last_name, city);
+    if candidates.is_empty() {
+        return AddressLink {
+            student,
+            confidence: LinkConfidence::NoCandidates,
+            address: None,
+            candidates: 0,
+        };
+    }
+    // Friend-list confirmation: a candidate voter who is in the
+    // student's recovered friends.
+    if let Some(confirmed) = candidates.iter().find(|r| {
+        r.osn_user
+            .map(|u| known_friends.binary_search(&u).is_ok())
+            .unwrap_or(false)
+    }) {
+        return AddressLink {
+            student,
+            confidence: LinkConfidence::FriendListConfirmed,
+            address: Some(confirmed.address.clone()),
+            candidates: candidates.len(),
+        };
+    }
+    // Unique-household fallback.
+    let mut addresses: Vec<&str> = candidates.iter().map(|r| r.address.as_str()).collect();
+    addresses.sort_unstable();
+    addresses.dedup();
+    if addresses.len() == 1 {
+        return AddressLink {
+            student,
+            confidence: LinkConfidence::UniqueHousehold,
+            address: Some(addresses[0].to_string()),
+            candidates: candidates.len(),
+        };
+    }
+    AddressLink {
+        student,
+        confidence: LinkConfidence::Ambiguous,
+        address: None,
+        candidates: candidates.len(),
+    }
+}
+
+/// Aggregate linking outcomes over a set of students.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkStats {
+    pub students: usize,
+    pub friend_confirmed: usize,
+    pub unique_household: usize,
+    pub ambiguous: usize,
+    pub no_candidates: usize,
+    /// Of the resolved addresses, how many are actually correct
+    /// (evaluation against household ground truth).
+    pub resolved_correct: usize,
+    pub resolved_total: usize,
+}
+
+impl LinkStats {
+    pub fn pct_resolved(&self) -> f64 {
+        if self.students == 0 {
+            0.0
+        } else {
+            100.0 * self.resolved_total as f64 / self.students as f64
+        }
+    }
+
+    pub fn precision(&self) -> f64 {
+        if self.resolved_total == 0 {
+            0.0
+        } else {
+            100.0 * self.resolved_correct as f64 / self.resolved_total as f64
+        }
+    }
+}
+
+/// Run the linking over many students and score against ground truth.
+pub fn link_students(
+    net: &Network,
+    roll: &VoterRoll,
+    students: impl IntoIterator<Item = (UserId, String, CityId, Vec<UserId>)>,
+) -> (Vec<AddressLink>, LinkStats) {
+    let mut links = Vec::new();
+    let mut stats = LinkStats::default();
+    for (student, last_name, city, mut friends) in students {
+        friends.sort_unstable();
+        let link = link_address(roll, student, &last_name, city, &friends);
+        stats.students += 1;
+        match link.confidence {
+            LinkConfidence::FriendListConfirmed => stats.friend_confirmed += 1,
+            LinkConfidence::UniqueHousehold => stats.unique_household += 1,
+            LinkConfidence::Ambiguous => stats.ambiguous += 1,
+            LinkConfidence::NoCandidates => stats.no_candidates += 1,
+        }
+        if let Some(addr) = &link.address {
+            stats.resolved_total += 1;
+            let actual = net.households().of(student).map(|h| h.address.as_str());
+            if actual == Some(addr.as_str()) {
+                stats.resolved_correct += 1;
+            }
+        }
+        links.push(link);
+    }
+    (links, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roll_with(records: Vec<VoterRecord>) -> VoterRoll {
+        let mut roll = VoterRoll::default();
+        for r in records {
+            roll.push(r);
+        }
+        roll
+    }
+
+    fn rec(first: &str, last: &str, addr: &str, city: u32, osn: Option<u64>) -> VoterRecord {
+        VoterRecord {
+            first_name: first.into(),
+            last_name: last.into(),
+            address: addr.into(),
+            city: CityId(city),
+            osn_user: osn.map(UserId),
+        }
+    }
+
+    #[test]
+    fn friend_confirmation_beats_ambiguity() {
+        let roll = roll_with(vec![
+            rec("Ann", "Keller", "1 Oak St", 0, Some(50)),
+            rec("Bob", "Keller", "9 Elm St", 0, Some(60)),
+        ]);
+        // Two Keller households — ambiguous — but voter u50 is in the
+        // recovered friend list.
+        let link = link_address(&roll, UserId(1), "Keller", CityId(0), &[UserId(50)]);
+        assert_eq!(link.confidence, LinkConfidence::FriendListConfirmed);
+        assert_eq!(link.address.as_deref(), Some("1 Oak St"));
+        assert_eq!(link.candidates, 2);
+    }
+
+    #[test]
+    fn unique_household_resolves_without_friends() {
+        let roll = roll_with(vec![
+            rec("Ann", "Keller", "1 Oak St", 0, None),
+            rec("Cal", "Keller", "1 Oak St", 0, None), // same household
+        ]);
+        let link = link_address(&roll, UserId(1), "Keller", CityId(0), &[]);
+        assert_eq!(link.confidence, LinkConfidence::UniqueHousehold);
+        assert_eq!(link.address.as_deref(), Some("1 Oak St"));
+    }
+
+    #[test]
+    fn multiple_households_are_ambiguous() {
+        let roll = roll_with(vec![
+            rec("Ann", "Keller", "1 Oak St", 0, None),
+            rec("Bob", "Keller", "9 Elm St", 0, None),
+        ]);
+        let link = link_address(&roll, UserId(1), "Keller", CityId(0), &[]);
+        assert_eq!(link.confidence, LinkConfidence::Ambiguous);
+        assert!(link.address.is_none());
+    }
+
+    #[test]
+    fn wrong_city_or_name_yields_no_candidates() {
+        let roll = roll_with(vec![rec("Ann", "Keller", "1 Oak St", 0, None)]);
+        assert_eq!(
+            link_address(&roll, UserId(1), "Keller", CityId(1), &[]).confidence,
+            LinkConfidence::NoCandidates
+        );
+        assert_eq!(
+            link_address(&roll, UserId(1), "Nash", CityId(0), &[]).confidence,
+            LinkConfidence::NoCandidates
+        );
+    }
+
+    #[test]
+    fn stats_percentages() {
+        let stats = LinkStats {
+            students: 10,
+            friend_confirmed: 3,
+            unique_household: 2,
+            ambiguous: 4,
+            no_candidates: 1,
+            resolved_correct: 4,
+            resolved_total: 5,
+        };
+        assert!((stats.pct_resolved() - 50.0).abs() < 1e-9);
+        assert!((stats.precision() - 80.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the record linker and exposure aggregation.
+
+use hsp_graph::{CityId, UserId};
+use hsp_threats::{link_address, LinkConfidence, VoterRecord, VoterRoll};
+use proptest::prelude::*;
+
+fn roll_from(records: Vec<VoterRecord>) -> VoterRoll {
+    VoterRoll::from_records(records)
+}
+
+prop_compose! {
+    fn arb_record()(
+        last in prop_oneof![Just("Keller"), Just("Nash"), Just("Ashby")],
+        first in "[A-Z][a-z]{2,6}",
+        addr_n in 1u32..20,
+        city in 0u32..2,
+        osn in prop::option::of(0u64..30),
+    ) -> VoterRecord {
+        VoterRecord {
+            first_name: first,
+            last_name: last.to_string(),
+            address: format!("{addr_n} Oak St"),
+            city: CityId(city),
+            osn_user: osn.map(UserId),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The linker never fabricates an address: whatever it returns is the
+    /// address of some candidate record with the right (surname, city);
+    /// friend confirmation always wins over ambiguity; and a resolved
+    /// unique-household link implies all candidates share that address.
+    #[test]
+    fn linker_soundness(
+        records in prop::collection::vec(arb_record(), 0..12),
+        friends in prop::collection::btree_set(0u64..30, 0..6),
+        city in 0u32..2,
+    ) {
+        let roll = roll_from(records.clone());
+        let friends: Vec<UserId> = friends.into_iter().map(UserId).collect();
+        let link = link_address(&roll, UserId(99), "Keller", CityId(city), &friends);
+        let candidates: Vec<&VoterRecord> = records
+            .iter()
+            .filter(|r| r.last_name == "Keller" && r.city == CityId(city))
+            .collect();
+        prop_assert_eq!(link.candidates, candidates.len());
+        match link.confidence {
+            LinkConfidence::NoCandidates => {
+                prop_assert!(candidates.is_empty());
+                prop_assert!(link.address.is_none());
+            }
+            LinkConfidence::FriendListConfirmed => {
+                let addr = link.address.as_deref().expect("address");
+                let confirmed_exists = candidates.iter().any(|r| {
+                    r.address == addr
+                        && r.osn_user.map_or(false, |u| friends.contains(&u))
+                });
+                prop_assert!(confirmed_exists);
+            }
+            LinkConfidence::UniqueHousehold => {
+                let addr = link.address.as_deref().expect("address");
+                let all_same = candidates.iter().all(|r| r.address == addr);
+                prop_assert!(all_same);
+                // And no friend match existed (else it would have won).
+                let friend_match = candidates.iter().any(|r| {
+                    r.osn_user.map_or(false, |u| friends.contains(&u))
+                });
+                prop_assert!(!friend_match);
+            }
+            LinkConfidence::Ambiguous => {
+                prop_assert!(link.address.is_none());
+                let mut addrs: Vec<&str> =
+                    candidates.iter().map(|r| r.address.as_str()).collect();
+                addrs.sort_unstable();
+                addrs.dedup();
+                prop_assert!(addrs.len() >= 2, "should have resolved");
+            }
+        }
+    }
+}

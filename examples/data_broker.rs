@@ -1,0 +1,104 @@
+//! Data-broker threat chain (paper §2): attack a school, construct the
+//! per-student dossiers, buy the (synthetic) city voter roll, link
+//! students to street addresses — with the paper's friend-list
+//! confirmation — then measure the spear-phishing channel and aggregate
+//! exposure.
+//!
+//! ```sh
+//! cargo run --release --example data_broker [-- --full]
+//! ```
+
+use hs_profiler::core::{construct_profile, recover_friend_lists};
+use hs_profiler::experiments::{full_attack, Lab};
+use hs_profiler::synth::ScenarioConfig;
+use hs_profiler::threats::{
+    exposure_of, link_students, run_campaign, ExposureDistribution, VoterRoll,
+};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let cfg = if full { ScenarioConfig::hs1() } else { ScenarioConfig::tiny() };
+
+    // 1. Run the paper's attack.
+    let mut lab = Lab::facebook(&cfg);
+    let mut run = full_attack(&mut lab, false);
+    let t = run.config.school_size_estimate as usize;
+    let guessed = run.enhanced.guessed_students(t);
+    let rec = recover_friend_lists(run.access.as_mut(), &guessed).expect("reverse lookup");
+    println!(
+        "attack: {} suspected students; {} hidden friend lists reconstructed (avg {:.0} names)",
+        guessed.len(),
+        rec.recovered.len(),
+        rec.avg_recovered_len()
+    );
+
+    // 2. Build the dossiers from scraped pages only.
+    let mut profiles = Vec::new();
+    let mut link_inputs = Vec::new();
+    for &u in &guessed {
+        let Some(year) = run.enhanced.inferred_year(u, &run.config) else { continue };
+        let scraped = run.access.profile(u).expect("profile");
+        let friends = rec.friends_of(u).to_vec();
+        let last = scraped.name.split_whitespace().last().unwrap_or_default().to_string();
+        profiles.push(construct_profile(
+            &scraped,
+            u,
+            lab.scenario.school,
+            lab.scenario.home_city,
+            year,
+            friends.clone(),
+        ));
+        link_inputs.push((u, last, lab.scenario.home_city, friends));
+    }
+
+    // 3. "Buy" the voter roll (public records — synthesised here) and link.
+    let roll = VoterRoll::build(&lab.scenario.network, lab.scenario.config.seed);
+    let (links, stats) = link_students(&lab.scenario.network, &roll, link_inputs);
+    println!("\nvoter roll: {} records", roll.len());
+    println!(
+        "addresses resolved: {} of {} dossiers ({:.0}%), precision {:.0}%",
+        stats.resolved_total,
+        stats.students,
+        stats.pct_resolved(),
+        stats.precision()
+    );
+    println!(
+        "  friend-list confirmed: {}   unique household: {}   ambiguous: {}",
+        stats.friend_confirmed, stats.unique_household, stats.ambiguous
+    );
+
+    // 4. Measure the spear-phishing channel (composition + deliverability
+    //    only; see hsp-threats docs).
+    let school_name = lab.scenario.network.school(lab.scenario.school).name.clone();
+    let names: std::collections::HashMap<_, _> = lab
+        .scenario
+        .network
+        .users()
+        .map(|u| (u.id, u.profile.full_name()))
+        .collect();
+    let campaign = run_campaign(run.access.as_mut(), &profiles, &school_name, |f| {
+        names.get(&f).cloned()
+    })
+    .expect("campaign");
+    println!(
+        "\nphishing channel: {} of {} targets directly messageable ({:.0}%)",
+        campaign.delivered,
+        campaign.targets,
+        campaign.pct_delivered()
+    );
+
+    // 5. Exposure distribution (0–5 components).
+    let mut dist = ExposureDistribution::default();
+    for (p, l) in profiles.iter().zip(&links) {
+        dist.add(&exposure_of(p, Some(l)));
+    }
+    println!("\nexposure (school+grade / address / photos / messageable / friends):");
+    for (score, n) in dist.counts.iter().enumerate() {
+        println!("  {score} of 5 components: {n} students {}", "#".repeat(n / 3));
+    }
+    println!(
+        "high exposure (>=4 components): {} of {}",
+        dist.at_least(4),
+        dist.total()
+    );
+}

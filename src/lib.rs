@@ -1,0 +1,11 @@
+//! Umbrella crate: re-exports the workspace public API.
+pub use hsp_core as core;
+pub use hsp_crawler as crawler;
+pub use hsp_experiments as experiments;
+pub use hsp_graph as graph;
+pub use hsp_http as http;
+pub use hsp_markup as markup;
+pub use hsp_platform as platform;
+pub use hsp_policy as policy;
+pub use hsp_synth as synth;
+pub use hsp_threats as threats;
