@@ -14,7 +14,7 @@ fn edges(n: usize) -> Vec<(UserId, UserId)> {
     let mut state = 11u64;
     let mut rand = move || {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        (state >> 33) as u64
+        state >> 33
     };
     (0..n).map(|_| (UserId(rand() % 2000), UserId(rand() % 2000))).collect()
 }
@@ -69,16 +69,11 @@ fn transport(c: &mut Criterion) {
     // Sign up one account over the direct path so both transports share
     // platform state.
     let mut direct = DirectExchange::new(world.handler.clone());
-    direct
-        .exchange(Request::post_form("/signup", &[("user", "bench"), ("pass", "x")]))
-        .unwrap();
-    direct
-        .exchange(Request::post_form("/login", &[("user", "bench"), ("pass", "x")]))
-        .unwrap();
+    direct.exchange(Request::post_form("/signup", &[("user", "bench"), ("pass", "x")])).unwrap();
+    direct.exchange(Request::post_form("/login", &[("user", "bench"), ("pass", "x")])).unwrap();
     let server = Server::start(world.handler.clone()).expect("bind");
     let mut tcp = Client::new(server.addr());
-    tcp.exchange(Request::post_form("/login", &[("user", "bench"), ("pass", "x")]))
-        .unwrap();
+    tcp.exchange(Request::post_form("/login", &[("user", "bench"), ("pass", "x")])).unwrap();
     let target = format!("/profile/{}", world.scenario.roster()[0]);
 
     let mut group = c.benchmark_group("ablation_transport");

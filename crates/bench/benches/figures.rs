@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hsp_bench::BenchWorld;
 use hsp_core::{
-    evaluate, partial_estimate, run_basic, run_coppaless_heuristic, run_enhanced,
-    CoppalessOptions, EnhanceOptions, GroundTruth,
+    evaluate, partial_estimate, run_basic, run_coppaless_heuristic, run_enhanced, CoppalessOptions,
+    EnhanceOptions, GroundTruth,
 };
 use hsp_policy::FacebookPolicy;
 use std::hint::black_box;
@@ -33,12 +33,8 @@ fn fig1_sweep(c: &mut Criterion) {
             let mut acc = 0usize;
             for t in (size / 2..=size * 2).step_by(size / 4) {
                 let guessed = enhanced.guessed_students(t);
-                let point = evaluate(
-                    t,
-                    &guessed,
-                    |u| enhanced.inferred_year(u, &world.config),
-                    &truth,
-                );
+                let point =
+                    evaluate(t, &guessed, |u| enhanced.inferred_year(u, &world.config), &truth);
                 acc += point.found;
             }
             black_box(acc)

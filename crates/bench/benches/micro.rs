@@ -91,9 +91,7 @@ fn reverse_lookup_scoring(c: &mut Criterion) {
 fn jaccard(c: &mut Criterion) {
     let a: Vec<UserId> = (0..300).map(|i| UserId(i * 2)).collect();
     let b_list: Vec<UserId> = (0..300).map(|i| UserId(i * 3)).collect();
-    c.bench_function("micro_jaccard_300", |b| {
-        b.iter(|| black_box(jaccard_index(&a, &b_list)))
-    });
+    c.bench_function("micro_jaccard_300", |b| b.iter(|| black_box(jaccard_index(&a, &b_list))));
 }
 
 fn calendar(c: &mut Criterion) {

@@ -12,9 +12,7 @@ use std::hint::black_box;
 
 /// Table 1: probe the Facebook visibility matrix from the policy engine.
 fn table1_policy(c: &mut Criterion) {
-    c.bench_function("table1_policy_matrix_facebook", |b| {
-        b.iter(|| black_box(facebook_matrix()))
-    });
+    c.bench_function("table1_policy_matrix_facebook", |b| b.iter(|| black_box(facebook_matrix())));
 }
 
 /// Table 2: the full seed → core → candidate discovery pipeline.
@@ -69,15 +67,18 @@ fn table4_variants(c: &mut Criterion) {
     let _ = run_enhanced(
         &mut crawler,
         &discovery,
-        &EnhanceOptions { t, filtering: true, enhance: true, school_city: world.scenario.home_city },
+        &EnhanceOptions {
+            t,
+            filtering: true,
+            enhance: true,
+            school_city: world.scenario.home_city,
+        },
     )
     .unwrap();
     let mut group = c.benchmark_group("table4");
-    for (label, enhance, filter) in [
-        ("basic_filter", false, true),
-        ("enhanced", true, false),
-        ("enhanced_filter", true, true),
-    ] {
+    for (label, enhance, filter) in
+        [("basic_filter", false, true), ("enhanced", true, false), ("enhanced_filter", true, true)]
+    {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let e = run_enhanced(
@@ -113,9 +114,7 @@ fn table5_audit(c: &mut Criterion) {
 
 /// Table 6: probe the Google+ matrix.
 fn table6_policy(c: &mut Criterion) {
-    c.bench_function("table6_policy_matrix_gplus", |b| {
-        b.iter(|| black_box(googleplus_matrix()))
-    });
+    c.bench_function("table6_policy_matrix_gplus", |b| b.iter(|| black_box(googleplus_matrix())));
 }
 
 criterion_group!(

@@ -9,16 +9,15 @@
 //! circles exactly as they appear in Facebook friend lists.
 
 use crate::methodology::rank_candidates;
-use crate::types::{AttackConfig, CoreUser, Discovery};
+use crate::types::{AttackConfig, CoreCollection, CoreUser, Discovery};
 use hsp_crawler::{CrawlError, OsnAccess, ScrapedEduKind};
-use hsp_graph::UserId;
 
 /// Steps 1–2 of §4.1 over circles: seeds → claimers → cores whose
 /// outgoing circles are stranger-visible.
 pub fn collect_core_circles(
     access: &mut dyn OsnAccess,
     config: &AttackConfig,
-) -> Result<(Vec<UserId>, Vec<UserId>, Vec<CoreUser>), CrawlError> {
+) -> Result<CoreCollection, CrawlError> {
     let seeds = access.collect_seeds(config.school)?;
     let mut claiming = Vec::new();
     let mut core = Vec::new();
@@ -65,7 +64,7 @@ pub fn run_basic_circles(
 mod tests {
     use super::*;
     use hsp_crawler::{Effort, ScrapedEducation, ScrapedProfile};
-    use hsp_graph::SchoolId;
+    use hsp_graph::{SchoolId, UserId};
     use std::collections::HashMap;
 
     struct Stub {

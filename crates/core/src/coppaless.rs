@@ -68,7 +68,7 @@ pub fn run_coppaless_heuristic(
         let recent_grad = profile.education.iter().any(|e| {
             e.kind == ScrapedEduKind::HighSchool
                 && e.school == config.school
-                && e.grad_year.map_or(false, |g| window.contains(&g))
+                && e.grad_year.is_some_and(|g| window.contains(&g))
         });
         if !recent_grad {
             continue;
@@ -137,10 +137,7 @@ pub fn score_minimal_set(
     guessed: &[UserId],
     minimal_students: &[UserId],
 ) -> MinimalProfilePoint {
-    let found = guessed
-        .iter()
-        .filter(|u| minimal_students.binary_search(u).is_ok())
-        .count();
+    let found = guessed.iter().filter(|u| minimal_students.binary_search(u).is_ok()).count();
     MinimalProfilePoint {
         param,
         guessed: guessed.len(),

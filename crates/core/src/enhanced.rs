@@ -28,11 +28,8 @@ pub fn filter_profile(
     }
     // Rule 2: provides exactly one high school and it differs from the
     // target.
-    let hs: Vec<_> = profile
-        .education
-        .iter()
-        .filter(|e| e.kind == ScrapedEduKind::HighSchool)
-        .collect();
+    let hs: Vec<_> =
+        profile.education.iter().filter(|e| e.kind == ScrapedEduKind::HighSchool).collect();
     if hs.len() == 1 && hs[0].school != config.school {
         return Some(FilterRule::DifferentHighSchool);
     }
@@ -100,10 +97,7 @@ impl Enhanced {
         if let Some(core) = self.extended_core.iter().find(|c| c.id == u) {
             return Some(core.grad_year);
         }
-        self.ranked
-            .iter()
-            .find(|c| c.id == u)
-            .map(|c| c.inferred_grad_year(config))
+        self.ranked.iter().find(|c| c.id == u).map(|c| c.inferred_grad_year(config))
     }
 }
 
@@ -121,14 +115,8 @@ pub fn run_enhanced(
     options: &EnhanceOptions,
 ) -> Result<Enhanced, CrawlError> {
     let config = &basic.config;
-    let fetch_n =
-        ((options.t as f64) * (1.0 + config.epsilon)).round() as usize;
-    let to_fetch: Vec<UserId> = basic
-        .ranked
-        .iter()
-        .take(fetch_n)
-        .map(|c| c.id)
-        .collect();
+    let fetch_n = ((options.t as f64) * (1.0 + config.epsilon)).round() as usize;
+    let to_fetch: Vec<UserId> = basic.ranked.iter().take(fetch_n).map(|c| c.id).collect();
 
     let mut profiles: HashMap<UserId, ScrapedProfile> = HashMap::new();
     for &u in &to_fetch {
@@ -151,9 +139,7 @@ pub fn run_enhanced(
             let grad_year = profile
                 .education
                 .iter()
-                .filter(|e| {
-                    e.kind == ScrapedEduKind::HighSchool && e.school == config.school
-                })
+                .filter(|e| e.kind == ScrapedEduKind::HighSchool && e.school == config.school)
                 .filter_map(|e| e.grad_year)
                 .find(|&g| g >= config.senior_class_year);
             let Some(grad_year) = grad_year else { continue };
@@ -198,8 +184,8 @@ pub fn run_enhanced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hsp_graph::{CityId, SchoolId};
     use hsp_crawler::ScrapedEducation;
+    use hsp_graph::{CityId, SchoolId};
 
     fn cfg() -> AttackConfig {
         AttackConfig::new(SchoolId(0), 2012, 360)

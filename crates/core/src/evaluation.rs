@@ -188,12 +188,7 @@ mod tests {
         let t = truth();
         let guessed = vec![UserId(1), UserId(2), UserId(9)];
         // u1 classified right, u2 wrong year.
-        let point = evaluate(
-            3,
-            &guessed,
-            |u| Some(if u == UserId(1) { 2014 } else { 2013 }),
-            &t,
-        );
+        let point = evaluate(3, &guessed, |u| Some(if u == UserId(1) { 2014 } else { 2013 }), &t);
         assert_eq!(point.found, 2);
         assert_eq!(point.correct_year, 1);
         assert_eq!(point.false_positives, 1);
@@ -218,11 +213,7 @@ mod tests {
         // z_t ≈ 36.
         let e = partial_estimate(1500, 36, 43, 152, 1500);
         assert!((e.est_pct_found - 85.0).abs() < 3.0, "{}", e.est_pct_found);
-        assert!(
-            (e.est_pct_false_positives - 22.0).abs() < 3.0,
-            "{}",
-            e.est_pct_false_positives
-        );
+        assert!((e.est_pct_false_positives - 22.0).abs() < 3.0, "{}", e.est_pct_false_positives);
     }
 
     #[test]

@@ -52,15 +52,9 @@ pub fn rank_candidates_weighted(
         let Some(class) = config.class_index(c.grad_year) else {
             continue;
         };
-        let posters: HashSet<UserId> =
-            access.profile(c.id)?.wall_posters.into_iter().collect();
+        let posters: HashSet<UserId> = access.profile(c.id)?.wall_posters.into_iter().collect();
         for &friend in &c.friends {
-            let w = 1.0
-                + if posters.contains(&friend) {
-                    weights.wall_post_bonus
-                } else {
-                    0.0
-                };
+            let w = 1.0 + if posters.contains(&friend) { weights.wall_post_bonus } else { 0.0 };
             weighted.entry(friend).or_default()[class] += w;
             raw.entry(friend).or_default()[class] += 1;
         }
@@ -131,13 +125,9 @@ mod tests {
             friends: vec![UserId(10), UserId(11)],
         }];
         let mut stub = Stub { walls: [(UserId(1), vec![UserId(10)])].into() };
-        let ranked = rank_candidates_weighted(
-            &mut stub,
-            &config,
-            &core,
-            &InteractionWeights::default(),
-        )
-        .unwrap();
+        let ranked =
+            rank_candidates_weighted(&mut stub, &config, &core, &InteractionWeights::default())
+                .unwrap();
         assert_eq!(ranked[0].id, UserId(10));
         assert!(ranked[0].score > ranked[1].score);
         // Raw friendship counts are preserved for diagnostics.

@@ -33,10 +33,7 @@ pub fn infer_hidden_links(rec: &RecoveredFriends, threshold: f64) -> Vec<Inferre
         }
     }
     out.sort_by(|x, y| {
-        y.jaccard
-            .partial_cmp(&x.jaccard)
-            .expect("finite")
-            .then((x.a, x.b).cmp(&(y.a, y.b)))
+        y.jaccard.partial_cmp(&x.jaccard).expect("finite").then((x.a, x.b).cmp(&(y.a, y.b)))
     });
     out
 }
@@ -70,26 +67,15 @@ pub fn evaluate_links(
         }
     }
     let predicted_links = infer_hidden_links(rec, threshold);
-    let true_positives = predicted_links
-        .iter()
-        .filter(|l| are_friends(l.a, l.b))
-        .count();
+    let true_positives = predicted_links.iter().filter(|l| are_friends(l.a, l.b)).count();
     let predicted = predicted_links.len();
     LinkInferenceEval {
         threshold,
         predicted,
         true_positives,
         actual_links,
-        precision: if predicted == 0 {
-            0.0
-        } else {
-            true_positives as f64 / predicted as f64
-        },
-        recall: if actual_links == 0 {
-            0.0
-        } else {
-            true_positives as f64 / actual_links as f64
-        },
+        precision: if predicted == 0 { 0.0 } else { true_positives as f64 / predicted as f64 },
+        recall: if actual_links == 0 { 0.0 } else { true_positives as f64 / actual_links as f64 },
     }
 }
 
@@ -108,11 +94,7 @@ mod tests {
 
     #[test]
     fn high_overlap_pairs_rank_first() {
-        let rec = rec_with(&[
-            (1, &[10, 11, 12, 13]),
-            (2, &[10, 11, 12, 14]),
-            (3, &[20, 21]),
-        ]);
+        let rec = rec_with(&[(1, &[10, 11, 12, 13]), (2, &[10, 11, 12, 14]), (3, &[20, 21])]);
         let links = infer_hidden_links(&rec, 0.0);
         assert_eq!(links[0].a, UserId(1));
         assert_eq!(links[0].b, UserId(2));

@@ -32,15 +32,16 @@ pub mod types;
 
 pub use circles_attack::{collect_core_circles, run_basic_circles};
 pub use coppaless::{
-    run_coppaless_heuristic, score_minimal_set, CoppalessOptions, CoppalessRun,
-    MinimalProfilePoint,
+    run_coppaless_heuristic, score_minimal_set, CoppalessOptions, CoppalessRun, MinimalProfilePoint,
 };
 pub use enhanced::{filter_profile, run_enhanced, EnhanceOptions, Enhanced, FilterRule};
 pub use evaluation::{evaluate, partial_estimate, EvalPoint, GroundTruth, PartialEstimate};
-pub use methodology::{collect_core, rank_candidates, run_basic, score_candidate};
 pub use interaction_rank::{rank_candidates_weighted, InteractionWeights};
 pub use jaccard::{evaluate_links, infer_hidden_links, InferredLink, LinkInferenceEval};
-pub use profile_ext::{audit_adult_registered, construct_profile, AdultRegisteredStats, ConstructedProfile};
+pub use methodology::{collect_core, rank_candidates, run_basic, score_candidate};
+pub use profile_ext::{
+    audit_adult_registered, construct_profile, AdultRegisteredStats, ConstructedProfile,
+};
 pub use report::{Series, SweepPoint};
 pub use reverse_lookup::{recover_friend_lists, RecoveredFriends};
-pub use types::{AttackConfig, Candidate, CoreUser, Discovery};
+pub use types::{AttackConfig, Candidate, CoreCollection, CoreUser, Discovery};

@@ -1,6 +1,6 @@
 //! The basic high-school profiling methodology (paper §4.1, steps 1–6).
 
-use crate::types::{AttackConfig, Candidate, CoreUser, Discovery};
+use crate::types::{AttackConfig, Candidate, CoreCollection, CoreUser, Discovery};
 use hsp_crawler::{CrawlError, OsnAccess};
 use hsp_graph::UserId;
 use std::collections::HashMap;
@@ -11,7 +11,7 @@ use std::collections::HashMap;
 pub fn collect_core(
     access: &mut dyn OsnAccess,
     config: &AttackConfig,
-) -> Result<(Vec<UserId>, Vec<UserId>, Vec<CoreUser>), CrawlError> {
+) -> Result<CoreCollection, CrawlError> {
     let seeds = access.collect_seeds(config.school)?;
     let mut claiming = Vec::new();
     let mut core = Vec::new();
@@ -34,16 +34,11 @@ pub fn collect_core(
 
 /// The grad year a claiming profile states for the target school (the
 /// current-or-future one, in case multiple entries exist).
-fn claimed_grad_year(
-    profile: &hsp_crawler::ScrapedProfile,
-    config: &AttackConfig,
-) -> Option<i32> {
+fn claimed_grad_year(profile: &hsp_crawler::ScrapedProfile, config: &AttackConfig) -> Option<i32> {
     profile
         .education
         .iter()
-        .filter(|e| {
-            e.kind == hsp_crawler::ScrapedEduKind::HighSchool && e.school == config.school
-        })
+        .filter(|e| e.kind == hsp_crawler::ScrapedEduKind::HighSchool && e.school == config.school)
         .filter_map(|e| e.grad_year)
         .find(|&g| g >= config.senior_class_year)
 }
@@ -96,12 +91,7 @@ pub fn score_candidate(id: UserId, by_class: [u32; 4], core_sizes: [u32; 4]) -> 
             best = i;
         }
     }
-    Candidate {
-        id,
-        core_friends_by_class: by_class,
-        score: best_frac.max(0.0),
-        best_class: best,
-    }
+    Candidate { id, core_friends_by_class: by_class, score: best_frac.max(0.0), best_class: best }
 }
 
 /// Deterministic ranking: descending score, ties broken by a hash of
@@ -199,10 +189,7 @@ mod tests {
             core_user(3, 2014, &[10]),
         ];
         let ranked = rank_candidates(&cfg(), &core);
-        assert_eq!(
-            ranked.iter().map(|c| c.id.0).collect::<Vec<_>>(),
-            vec![10, 11, 12]
-        );
+        assert_eq!(ranked.iter().map(|c| c.id.0).collect::<Vec<_>>(), vec![10, 11, 12]);
         assert!(ranked.windows(2).all(|w| w[0].score >= w[1].score));
     }
 
@@ -216,6 +203,13 @@ mod tests {
             b.iter().map(|c| c.id).collect::<Vec<_>>()
         );
         let ids: Vec<u64> = a.iter().map(|c| c.id.0).collect();
-        assert_eq!({ let mut s = ids.clone(); s.sort(); s }, vec![20, 30]);
+        assert_eq!(
+            {
+                let mut s = ids.clone();
+                s.sort();
+                s
+            },
+            vec![20, 30]
+        );
     }
 }

@@ -72,11 +72,8 @@ pub fn audit_adult_registered(
     if stats.n > 0 {
         let n = stats.n as f64;
         stats.pct_friend_list_public = 100.0 * fl_public as f64 / n;
-        stats.avg_friends_public = if fl_public > 0 {
-            fl_total_friends as f64 / fl_public as f64
-        } else {
-            0.0
-        };
+        stats.avg_friends_public =
+            if fl_public > 0 { fl_total_friends as f64 / fl_public as f64 } else { 0.0 };
         stats.pct_message_link = 100.0 * message as f64 / n;
         stats.pct_relationship = 100.0 * relationship as f64 / n;
         stats.pct_interested_in = 100.0 * interested as f64 / n;
@@ -146,10 +143,7 @@ mod tests {
     }
 
     impl OsnAccess for Stub {
-        fn collect_seeds(
-            &mut self,
-            _: hsp_graph::SchoolId,
-        ) -> Result<Vec<UserId>, CrawlError> {
+        fn collect_seeds(&mut self, _: hsp_graph::SchoolId) -> Result<Vec<UserId>, CrawlError> {
             Ok(vec![])
         }
         fn profile(&mut self, uid: UserId) -> Result<ScrapedProfile, CrawlError> {

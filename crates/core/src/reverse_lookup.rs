@@ -26,11 +26,7 @@ impl RecoveredFriends {
     /// The friend list the attacker ends up with for `u` (direct if
     /// available, otherwise recovered).
     pub fn friends_of(&self, u: UserId) -> &[UserId] {
-        self.direct
-            .get(&u)
-            .or_else(|| self.recovered.get(&u))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.direct.get(&u).or_else(|| self.recovered.get(&u)).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Average recovered-list length over the hidden-list users (§6.1
@@ -39,8 +35,7 @@ impl RecoveredFriends {
         if self.recovered.is_empty() {
             return 0.0;
         }
-        self.recovered.values().map(Vec::len).sum::<usize>() as f64
-            / self.recovered.len() as f64
+        self.recovered.values().map(Vec::len).sum::<usize>() as f64 / self.recovered.len() as f64
     }
 }
 
@@ -96,10 +91,7 @@ mod tests {
     }
 
     impl OsnAccess for Stub {
-        fn collect_seeds(
-            &mut self,
-            _: hsp_graph::SchoolId,
-        ) -> Result<Vec<UserId>, CrawlError> {
+        fn collect_seeds(&mut self, _: hsp_graph::SchoolId) -> Result<Vec<UserId>, CrawlError> {
             Ok(vec![])
         }
         fn profile(&mut self, _: UserId) -> Result<ScrapedProfile, CrawlError> {
@@ -151,8 +143,7 @@ mod tests {
         lists.insert(UserId(2), None);
         lists.insert(UserId(3), Some(vec![UserId(1), UserId(2)]));
         let mut stub = Stub { lists };
-        let rec =
-            recover_friend_lists(&mut stub, &[UserId(1), UserId(2), UserId(3)]).unwrap();
+        let rec = recover_friend_lists(&mut stub, &[UserId(1), UserId(2), UserId(3)]).unwrap();
         assert_eq!(rec.recovered[&UserId(1)], vec![UserId(3)]);
         assert_eq!(rec.recovered[&UserId(2)], vec![UserId(3)]);
         // u1–u2 friendship (if any) is absent — that is the Jaccard

@@ -41,6 +41,10 @@ impl AttackConfig {
     }
 }
 
+/// What seed collection yields (§4.1 steps 1–2): the seed set, the
+/// claiming set `C'`, and the core set `C`.
+pub type CoreCollection = (Vec<UserId>, Vec<UserId>, Vec<CoreUser>);
+
 /// A core user: a seed who publicly claims current attendance and whose
 /// friend list is stranger-visible (the set `C`, §4.1 step 2).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -114,10 +118,7 @@ impl Discovery {
         if let Some(core) = self.core.iter().find(|c| c.id == u) {
             return Some(core.grad_year);
         }
-        self.ranked
-            .iter()
-            .find(|c| c.id == u)
-            .map(|c| c.inferred_grad_year(&self.config))
+        self.ranked.iter().find(|c| c.id == u).map(|c| c.inferred_grad_year(&self.config))
     }
 
     /// Number of candidates (|K|) — Table 2's "# of candidates".
@@ -172,10 +173,7 @@ mod tests {
         // t=1: top candidate u5 plus claimer u2.
         assert_eq!(discovery.guessed_students(1), vec![UserId(2), UserId(5)]);
         // t=3 dedups the claimer who also ranked.
-        assert_eq!(
-            discovery.guessed_students(3),
-            vec![UserId(2), UserId(5), UserId(9)]
-        );
+        assert_eq!(discovery.guessed_students(3), vec![UserId(2), UserId(5), UserId(9)]);
         // Claimers keep their own stated year; ranked users get the
         // reverse-lookup year.
         assert_eq!(discovery.inferred_year(UserId(2)), Some(2013));

@@ -16,11 +16,8 @@ use hsp_synth::{generate, Scenario, ScenarioConfig};
 use std::sync::Arc;
 
 fn build(scenario: &Scenario, policy: Arc<dyn Policy>, accounts: usize) -> Crawler<DirectExchange> {
-    let platform = Platform::new(
-        Arc::new(scenario.network.clone()),
-        policy,
-        PlatformConfig::default(),
-    );
+    let platform =
+        Platform::new(Arc::new(scenario.network.clone()), policy, PlatformConfig::default());
     let handler = platform.into_handler();
     let exchanges = (0..accounts).map(|_| DirectExchange::new(handler.clone())).collect();
     Crawler::new(exchanges, "e2e").unwrap()
@@ -62,11 +59,7 @@ fn basic_methodology_discovers_most_students() {
     );
     // Grad-year classification must be strongly better than the 25 %
     // random baseline (paper: ~92 %).
-    assert!(
-        point.pct_correct_year() > 60.0,
-        "correct year only {:.0}%",
-        point.pct_correct_year()
-    );
+    assert!(point.pct_correct_year() > 60.0, "correct year only {:.0}%", point.pct_correct_year());
 }
 
 #[test]
@@ -89,18 +82,10 @@ fn enhanced_methodology_extends_core_and_helps_coverage() {
     );
 
     let truth = GroundTruth::from_scenario(&scenario);
-    let basic_point = evaluate(
-        t,
-        &discovery.guessed_students(t),
-        |u| discovery.inferred_year(u),
-        &truth,
-    );
-    let enh_point = evaluate(
-        t,
-        &enhanced.guessed_students(t),
-        |u| enhanced.inferred_year(u, &config),
-        &truth,
-    );
+    let basic_point =
+        evaluate(t, &discovery.guessed_students(t), |u| discovery.inferred_year(u), &truth);
+    let enh_point =
+        evaluate(t, &enhanced.guessed_students(t), |u| enhanced.inferred_year(u, &config), &truth);
     // Enhanced+filtering should not be materially worse than basic, and
     // usually better (paper Table 4).
     assert!(
@@ -128,10 +113,7 @@ fn reverse_lookup_recovers_friends_of_registered_minors() {
     // Everything recovered is true friendship (no hallucinated edges).
     for (&u, friends) in &rec.recovered {
         for &f in friends {
-            assert!(
-                scenario.network.are_friends(u, f),
-                "recovered non-edge {u}-{f}"
-            );
+            assert!(scenario.network.are_friends(u, f), "recovered non-edge {u}-{f}");
         }
     }
 }
@@ -149,12 +131,8 @@ fn countermeasure_disabling_reverse_lookup_cripples_the_attack() {
 
     let mut without = build(&scenario, Arc::new(FacebookPolicy::without_reverse_lookup()), 2);
     let d_without = run_basic(&mut without, &config).unwrap();
-    let p_without = evaluate(
-        t,
-        &d_without.guessed_students(t),
-        |u| d_without.inferred_year(u),
-        &truth,
-    );
+    let p_without =
+        evaluate(t, &d_without.guessed_students(t), |u| d_without.inferred_year(u), &truth);
 
     // Paper §8: top-500 coverage drops 92 % → 33 %. Require a sharp drop.
     assert!(
@@ -227,8 +205,7 @@ fn coppaless_world_needs_far_more_false_positives() {
     // attacker drowns in false positives (4,480 vs 70 at ~60 %). At tiny
     // scale just require a large multiple.
     assert!(
-        cl_point.false_positives as f64
-            > 2.0 * with_point.false_positives.max(1) as f64,
+        cl_point.false_positives as f64 > 2.0 * with_point.false_positives.max(1) as f64,
         "coppaless FPs {} vs with-COPPA FPs {}",
         cl_point.false_positives,
         with_point.false_positives

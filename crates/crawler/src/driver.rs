@@ -9,7 +9,9 @@ use crate::effort::Effort;
 use crate::scrape::{parse_listing, parse_profile, ScrapedProfile};
 use hsp_graph::{SchoolId, UserId};
 use hsp_http::{Exchange, HttpError, Request, Response, Status};
+use hsp_obs::{Counter, Registry};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Data-access interface the profiling methodology (hsp-core) consumes.
 /// The real implementation is [`Crawler`]; tests may substitute stubs.
@@ -95,6 +97,49 @@ struct AccountSession<E: Exchange> {
     username: String,
 }
 
+/// Pre-resolved crawler metric handles (attacker-side accounting):
+/// per-endpoint fetch counts, cache hit/miss tallies, and the virtual
+/// politeness clock. Recording is atomic adds only.
+struct CrawlerMetrics {
+    fetch_auth: Arc<Counter>,
+    fetch_seeds: Arc<Counter>,
+    fetch_profile: Arc<Counter>,
+    fetch_friends: Arc<Counter>,
+    fetch_circles: Arc<Counter>,
+    fetch_message: Arc<Counter>,
+    cache_profile_hits: Arc<Counter>,
+    cache_profile_misses: Arc<Counter>,
+    cache_friends_hits: Arc<Counter>,
+    cache_friends_misses: Arc<Counter>,
+    cache_circles_hits: Arc<Counter>,
+    cache_circles_misses: Arc<Counter>,
+    politeness_virtual_ms: Arc<Counter>,
+}
+
+impl CrawlerMetrics {
+    fn register(reg: &Registry) -> CrawlerMetrics {
+        let fetch = |e: &str| reg.counter_with("crawler_fetch_total", &[("endpoint", e)]);
+        let cache = |c: &str, r: &str| {
+            reg.counter_with("crawler_cache_total", &[("cache", c), ("result", r)])
+        };
+        CrawlerMetrics {
+            fetch_auth: fetch("auth"),
+            fetch_seeds: fetch("find-friends"),
+            fetch_profile: fetch("profile"),
+            fetch_friends: fetch("friends"),
+            fetch_circles: fetch("circles"),
+            fetch_message: fetch("message"),
+            cache_profile_hits: cache("profile", "hit"),
+            cache_profile_misses: cache("profile", "miss"),
+            cache_friends_hits: cache("friends", "hit"),
+            cache_friends_misses: cache("friends", "miss"),
+            cache_circles_hits: cache("circles", "hit"),
+            cache_circles_misses: cache("circles", "miss"),
+            politeness_virtual_ms: reg.counter("crawler_politeness_virtual_ms"),
+        }
+    }
+}
+
 /// The attacker's crawler.
 pub struct Crawler<E: Exchange> {
     accounts: Vec<AccountSession<E>>,
@@ -106,6 +151,8 @@ pub struct Crawler<E: Exchange> {
     circles_cache: HashMap<(UserId, bool), Option<Vec<UserId>>>,
     /// Which account serves the next non-seed request (round-robin).
     rr: usize,
+    /// Attacker-side telemetry; `None` when no registry was supplied.
+    obs: Option<CrawlerMetrics>,
 }
 
 impl<E: Exchange> Crawler<E> {
@@ -121,6 +168,27 @@ impl<E: Exchange> Crawler<E> {
         label: &str,
         politeness: Politeness,
     ) -> Result<Self, CrawlError> {
+        Self::build(exchanges, label, politeness, None)
+    }
+
+    /// Create the crawler with attacker-side telemetry recorded into
+    /// `registry` (typically the same registry the platform and server
+    /// use, so one scrape shows both sides of the experiment).
+    pub fn with_observability(
+        exchanges: Vec<E>,
+        label: &str,
+        politeness: Politeness,
+        registry: &Registry,
+    ) -> Result<Self, CrawlError> {
+        Self::build(exchanges, label, politeness, Some(CrawlerMetrics::register(registry)))
+    }
+
+    fn build(
+        exchanges: Vec<E>,
+        label: &str,
+        politeness: Politeness,
+        obs: Option<CrawlerMetrics>,
+    ) -> Result<Self, CrawlError> {
         let mut crawler = Crawler {
             accounts: Vec::new(),
             effort: Effort::default(),
@@ -130,6 +198,7 @@ impl<E: Exchange> Crawler<E> {
             friends_cache: HashMap::new(),
             circles_cache: HashMap::new(),
             rr: 0,
+            obs,
         };
         for (i, mut exchange) in exchanges.into_iter().enumerate() {
             let username = format!("{label}-{i}");
@@ -137,7 +206,7 @@ impl<E: Exchange> Crawler<E> {
                 "/signup",
                 &[("user", &username), ("pass", "hunter2")],
             ))?;
-            crawler.effort.auth_requests += 1;
+            crawler.bump_auth();
             // An already-registered fake account is fine — reuse it by
             // logging in (the paper's attacker kept accounts across
             // crawls).
@@ -148,7 +217,7 @@ impl<E: Exchange> Crawler<E> {
                 "/login",
                 &[("user", &username), ("pass", "hunter2")],
             ))?;
-            crawler.effort.auth_requests += 1;
+            crawler.bump_auth();
             if !resp.status.is_success() {
                 return Err(CrawlError::Denied(resp.status));
             }
@@ -158,6 +227,13 @@ impl<E: Exchange> Crawler<E> {
             return Err(CrawlError::BadPage("no accounts"));
         }
         Ok(crawler)
+    }
+
+    fn bump_auth(&mut self) {
+        self.effort.auth_requests += 1;
+        if let Some(m) = &self.obs {
+            m.fetch_auth.inc();
+        }
     }
 
     /// Number of fake accounts in use.
@@ -176,12 +252,19 @@ impl<E: Exchange> Crawler<E> {
     }
 
     fn get(&mut self, account: usize, path: &str) -> Result<Response, CrawlError> {
-        self.virtual_elapsed_ms += self.politeness.sleep_ms_between_requests;
+        self.advance_politeness();
         let resp = self.accounts[account].exchange.exchange(Request::get(path))?;
         match resp.status {
             s if s.is_success() => Ok(resp),
             Status::FORBIDDEN => Ok(resp), // callers interpret 403
             s => Err(CrawlError::Denied(s)),
+        }
+    }
+
+    fn advance_politeness(&mut self) {
+        self.virtual_elapsed_ms += self.politeness.sleep_ms_between_requests;
+        if let Some(m) = &self.obs {
+            m.politeness_virtual_ms.add(self.politeness.sleep_ms_between_requests);
         }
     }
 
@@ -202,6 +285,9 @@ impl<E: Exchange> Crawler<E> {
         loop {
             let resp = self.get(account, &url)?;
             self.effort.seed_requests += 1;
+            if let Some(m) = &self.obs {
+                m.fetch_seeds.inc();
+            }
             if resp.status == Status::FORBIDDEN {
                 return Err(CrawlError::Denied(resp.status));
             }
@@ -230,11 +316,20 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
 
     fn profile(&mut self, uid: UserId) -> Result<ScrapedProfile, CrawlError> {
         if let Some(p) = self.profile_cache.get(&uid) {
+            if let Some(m) = &self.obs {
+                m.cache_profile_hits.inc();
+            }
             return Ok(p.clone());
+        }
+        if let Some(m) = &self.obs {
+            m.cache_profile_misses.inc();
         }
         let account = self.next_account();
         let resp = self.get(account, &format!("/profile/{uid}"))?;
         self.effort.profile_requests += 1;
+        if let Some(m) = &self.obs {
+            m.fetch_profile.inc();
+        }
         if resp.status == Status::FORBIDDEN {
             return Err(CrawlError::Denied(resp.status));
         }
@@ -248,7 +343,13 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
 
     fn friends(&mut self, uid: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
         if let Some(f) = self.friends_cache.get(&uid) {
+            if let Some(m) = &self.obs {
+                m.cache_friends_hits.inc();
+            }
             return Ok(f.clone());
+        }
+        if let Some(m) = &self.obs {
+            m.cache_friends_misses.inc();
         }
         let mut out = Vec::new();
         let mut url = format!("/friends/{uid}");
@@ -256,6 +357,9 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
             let account = self.next_account();
             let resp = self.get(account, &url)?;
             self.effort.friend_list_requests += 1;
+            if let Some(m) = &self.obs {
+                m.fetch_friends.inc();
+            }
             if resp.status == Status::FORBIDDEN {
                 self.friends_cache.insert(uid, None);
                 return Ok(None);
@@ -277,7 +381,13 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
 
     fn circles(&mut self, uid: UserId, incoming: bool) -> Result<Option<Vec<UserId>>, CrawlError> {
         if let Some(c) = self.circles_cache.get(&(uid, incoming)) {
+            if let Some(m) = &self.obs {
+                m.cache_circles_hits.inc();
+            }
             return Ok(c.clone());
+        }
+        if let Some(m) = &self.obs {
+            m.cache_circles_misses.inc();
         }
         let dir = if incoming { "has" } else { "in" };
         let mut out = Vec::new();
@@ -286,6 +396,9 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
             let account = self.next_account();
             let resp = self.get(account, &url)?;
             self.effort.friend_list_requests += 1;
+            if let Some(m) = &self.obs {
+                m.fetch_circles.inc();
+            }
             if resp.status == Status::FORBIDDEN {
                 self.circles_cache.insert((uid, incoming), None);
                 return Ok(None);
@@ -303,11 +416,14 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
 
     fn send_message(&mut self, uid: UserId, body: &str) -> Result<bool, CrawlError> {
         let account = self.next_account();
-        self.virtual_elapsed_ms += self.politeness.sleep_ms_between_requests;
+        self.advance_politeness();
         let resp = self.accounts[account]
             .exchange
-            .exchange(Request::post_form(&format!("/message/{uid}"), &[("body", body)]))?;
+            .exchange(Request::post_form(format!("/message/{uid}"), &[("body", body)]))?;
         self.effort.message_requests += 1;
+        if let Some(m) = &self.obs {
+            m.fetch_message.inc();
+        }
         match resp.status {
             s if s.is_success() => Ok(true),
             Status::FORBIDDEN => Ok(false),
@@ -333,9 +449,7 @@ mod tests {
             PlatformConfig::default(),
         );
         let handler = platform.into_handler();
-        let exchanges = (0..n_accounts)
-            .map(|_| DirectExchange::new(handler.clone()))
-            .collect();
+        let exchanges = (0..n_accounts).map(|_| DirectExchange::new(handler.clone())).collect();
         (Crawler::new(exchanges, "spy").unwrap(), scenario)
     }
 
@@ -370,13 +484,11 @@ mod tests {
         let open = s
             .network
             .user_ids()
-            .filter(|&u| {
+            .find(|&u| {
                 !s.network.user(u).is_registered_minor(s.network.today)
-                    && s.network.user(u).privacy.friend_list
-                        == hsp_graph::Audience::Public
+                    && s.network.user(u).privacy.friend_list == hsp_graph::Audience::Public
                     && s.network.friends(u).len() > 25
             })
-            .next()
             .expect("an open well-connected user");
         let got = crawler.friends(open).unwrap().unwrap();
         let mut expected = s.network.friends(open).to_vec();
@@ -403,6 +515,38 @@ mod tests {
         let before = crawler.virtual_elapsed_ms();
         let _ = crawler.profile(s.roster()[0]).unwrap();
         assert!(crawler.virtual_elapsed_ms() > before);
+    }
+
+    #[test]
+    fn observability_counts_fetches_caches_and_politeness() {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let platform = Platform::new(
+            Arc::new(scenario.network.clone()),
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig::default(),
+        );
+        let handler = platform.into_handler();
+        let exchanges = (0..2).map(|_| DirectExchange::new(handler.clone())).collect();
+        let mut crawler =
+            Crawler::with_observability(exchanges, "spy", Politeness::default(), &platform.obs)
+                .unwrap();
+
+        let u = scenario.roster()[0];
+        let _ = crawler.profile(u).unwrap();
+        let _ = crawler.profile(u).unwrap(); // cache hit
+        let _ = crawler.friends(u);
+
+        let snap = platform.obs.snapshot();
+        assert_eq!(snap.counter("crawler_fetch_total{endpoint=\"auth\"}"), 4);
+        assert_eq!(snap.counter("crawler_fetch_total{endpoint=\"profile\"}"), 1);
+        assert_eq!(snap.counter("crawler_cache_total{cache=\"profile\",result=\"hit\"}"), 1);
+        assert_eq!(snap.counter("crawler_cache_total{cache=\"profile\",result=\"miss\"}"), 1);
+        let virt = snap.counter("crawler_politeness_virtual_ms");
+        assert_eq!(virt, crawler.virtual_elapsed_ms());
+        assert!(virt >= 2 * Politeness::default().sleep_ms_between_requests);
+        // Both sides of the experiment share one registry: the platform's
+        // route counters moved too.
+        assert!(snap.counter("http_route_requests_total{route=\"/profile/:uid\"}") >= 1);
     }
 
     #[test]

@@ -68,10 +68,7 @@ impl ScrapedProfile {
 
     /// The high-school entry, if listed.
     pub fn listed_high_school(&self) -> Option<ScrapedEducation> {
-        self.education
-            .iter()
-            .copied()
-            .find(|e| e.kind == ScrapedEduKind::HighSchool)
+        self.education.iter().copied().find(|e| e.kind == ScrapedEduKind::HighSchool)
     }
 
     /// §4.1 step 2: does this profile claim *current* attendance at
@@ -80,7 +77,7 @@ impl ScrapedProfile {
         self.education.iter().any(|e| {
             e.kind == ScrapedEduKind::HighSchool
                 && e.school == school
-                && e.grad_year.map_or(false, |g| g >= senior_class_year)
+                && e.grad_year.is_some_and(|g| g >= senior_class_year)
         })
     }
 
@@ -156,14 +153,11 @@ pub fn parse_listing(html: &str) -> (Vec<UserId>, Option<String>) {
     let ids = select(&dom, "a.profile-link")
         .into_iter()
         .filter_map(|a| {
-            a.get_attr("href")
-                .and_then(|h| h.strip_prefix("/profile/"))
-                .and_then(UserId::parse)
+            a.get_attr("href").and_then(|h| h.strip_prefix("/profile/")).and_then(UserId::parse)
         })
         .collect();
-    let next = select_first(&dom, "#next-page")
-        .and_then(|a| a.get_attr("href"))
-        .map(str::to_string);
+    let next =
+        select_first(&dom, "#next-page").and_then(|a| a.get_attr("href")).map(str::to_string);
     (ids, next)
 }
 
@@ -284,8 +278,7 @@ mod tests {
             true,
             vec![school],
         );
-        view.education
-            .push(hsp_graph::EducationEntry::high_school(school, 2013));
+        view.education.push(hsp_graph::EducationEntry::high_school(school, 2013));
         view.current_city = Some(city);
         view.friend_list_visible = true;
         view.photos_shared = Some(33);

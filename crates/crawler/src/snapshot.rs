@@ -67,8 +67,7 @@ impl CrawlSnapshot {
     /// Load from a file.
     pub fn load(path: &std::path::Path) -> std::io::Result<CrawlSnapshot> {
         let text = std::fs::read_to_string(path)?;
-        Self::from_json(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_json(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -131,10 +130,8 @@ mod tests {
     fn snapshot() -> CrawlSnapshot {
         let mut snap = CrawlSnapshot::default();
         snap.seeds.insert(SchoolId(0), vec![UserId(1), UserId(2)]);
-        snap.profiles.insert(
-            UserId(1),
-            ScrapedProfile { name: "A B".into(), ..Default::default() },
-        );
+        snap.profiles
+            .insert(UserId(1), ScrapedProfile { name: "A B".into(), ..Default::default() });
         snap.friends.insert(UserId(1), Some(vec![UserId(2)]));
         snap.friends.insert(UserId(2), None);
         snap.effort = Effort { seed_requests: 3, ..Default::default() };
@@ -163,10 +160,7 @@ mod tests {
     #[test]
     fn replay_serves_captured_data_only() {
         let mut access = SnapshotAccess::new(snapshot());
-        assert_eq!(
-            access.collect_seeds(SchoolId(0)).unwrap(),
-            vec![UserId(1), UserId(2)]
-        );
+        assert_eq!(access.collect_seeds(SchoolId(0)).unwrap(), vec![UserId(1), UserId(2)]);
         assert_eq!(access.profile(UserId(1)).unwrap().name, "A B");
         assert_eq!(access.friends(UserId(1)).unwrap(), Some(vec![UserId(2)]));
         assert_eq!(access.friends(UserId(2)).unwrap(), None);

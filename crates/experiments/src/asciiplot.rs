@@ -53,11 +53,8 @@ impl Plot {
 
     /// Render the plot as text.
     pub fn render(&self) -> String {
-        let pts: Vec<(f64, f64)> = self
-            .series
-            .iter()
-            .flat_map(|s| s.points.iter().copied())
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
         if pts.is_empty() {
             return format!("{} (no data)\n", self.title);
         }
@@ -80,10 +77,9 @@ impl Plot {
         for s in &self.series {
             for &(x, y) in &s.points {
                 let ty = self.y_transform(y);
-                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let cy = ((ty - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let cx = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((ty - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - cy;
                 grid[row][cx] = s.marker;
             }
@@ -92,8 +88,11 @@ impl Plot {
         out.push_str(&format!("{}\n", self.title));
         let y_hi = if self.log_y { 10f64.powf(y_max) } else { y_max };
         let y_lo = if self.log_y { 10f64.powf(y_min) } else { y_min };
-        out.push_str(&format!("{} (top={y_hi:.0}, bottom={y_lo:.0}{})\n", self.y_label,
-            if self.log_y { ", log scale" } else { "" }));
+        out.push_str(&format!(
+            "{} (top={y_hi:.0}, bottom={y_lo:.0}{})\n",
+            self.y_label,
+            if self.log_y { ", log scale" } else { "" }
+        ));
         for row in &grid {
             out.push('|');
             out.extend(row.iter());
@@ -102,10 +101,7 @@ impl Plot {
         out.push('+');
         out.push_str(&"-".repeat(self.width));
         out.push('\n');
-        out.push_str(&format!(
-            " {}: {x_min:.0} .. {x_max:.0}   ",
-            self.x_label
-        ));
+        out.push_str(&format!(" {}: {x_min:.0} .. {x_max:.0}   ", self.x_label));
         for s in &self.series {
             out.push_str(&format!("[{}] {}  ", s.marker, s.label));
         }
@@ -132,9 +128,11 @@ mod tests {
 
     #[test]
     fn log_scale_handles_wide_ranges() {
-        let plot = Plot::new("log", "x", "fp")
-            .log_y()
-            .series("s", '#', vec![(1.0, 10.0), (2.0, 10_000.0)]);
+        let plot = Plot::new("log", "x", "fp").log_y().series(
+            "s",
+            '#',
+            vec![(1.0, 10.0), (2.0, 10_000.0)],
+        );
         let text = plot.render();
         assert!(text.contains("log scale"));
     }

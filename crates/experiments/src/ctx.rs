@@ -2,8 +2,10 @@
 //! each expensive crawl exactly once.
 
 use crate::runner::{full_attack, AttackRun, Lab};
+use hsp_obs::Registry;
 use hsp_synth::ScenarioConfig;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A school's lab + completed attack.
 pub struct SchoolRun {
@@ -15,12 +17,15 @@ pub struct SchoolRun {
 pub struct Ctx {
     /// Run the crawl over real loopback TCP instead of in-process.
     pub tcp: bool,
+    /// One registry spanning every cached school run, so a metrics
+    /// snapshot after an experiment covers all work it triggered.
+    pub obs: Arc<Registry>,
     runs: HashMap<&'static str, SchoolRun>,
 }
 
 impl Ctx {
     pub fn new(tcp: bool) -> Ctx {
-        Ctx { tcp, runs: HashMap::new() }
+        Ctx { tcp, obs: Registry::shared(), runs: HashMap::new() }
     }
 
     /// The scenario config for a school label.
@@ -37,9 +42,10 @@ impl Ctx {
     /// Get (running if needed) the standard full attack on a school.
     pub fn school(&mut self, which: &'static str) -> &SchoolRun {
         let tcp = self.tcp;
+        let obs = Arc::clone(&self.obs);
         self.runs.entry(which).or_insert_with(|| {
             eprintln!("[ctx] generating + attacking {which} ...");
-            let mut lab = Lab::facebook(&Self::config_for(which));
+            let mut lab = Lab::facebook_with_registry(&Self::config_for(which), obs);
             let run = full_attack(&mut lab, tcp);
             SchoolRun { lab, run }
         })

@@ -232,9 +232,12 @@ pub fn interaction(ctx: &mut Ctx) -> ExperimentReport {
     let sr = ctx.school_mut("HS1");
     let config = sr.run.config.clone();
     let core = sr.run.enhanced.extended_core.clone();
-    let mut table = Table::new(&["ranking", "% found @ t=300", "% found @ t=size", "% correct year"]);
+    let mut table =
+        Table::new(&["ranking", "% found @ t=300", "% found @ t=size", "% correct year"]);
     let mut rows = Vec::new();
-    for (label, bonus) in [("plain (paper)", 0.0), ("wall-post bonus 1.0", 1.0), ("wall-post bonus 3.0", 3.0)] {
+    for (label, bonus) in
+        [("plain (paper)", 0.0), ("wall-post bonus 1.0", 1.0), ("wall-post bonus 3.0", 3.0)]
+    {
         let ranked = hsp_core::rank_candidates_weighted(
             sr.run.access.as_mut(),
             &config,
@@ -243,20 +246,14 @@ pub fn interaction(ctx: &mut Ctx) -> ExperimentReport {
         )
         .expect("weighted ranking");
         let eval_at = |t: usize| {
-            let mut guessed: Vec<hsp_graph::UserId> =
-                ranked.iter().take(t).map(|c| c.id).collect();
+            let mut guessed: Vec<hsp_graph::UserId> = ranked.iter().take(t).map(|c| c.id).collect();
             guessed.extend(core.iter().map(|c| c.id));
             guessed.sort_unstable();
             guessed.dedup();
             evaluate(
                 t,
                 &guessed,
-                |u| {
-                    ranked
-                        .iter()
-                        .find(|c| c.id == u)
-                        .map(|c| c.inferred_grad_year(&config))
-                },
+                |u| ranked.iter().find(|c| c.id == u).map(|c| c.inferred_grad_year(&config)),
                 &truth,
             )
         };
@@ -364,10 +361,8 @@ pub fn verify_search(ctx: &mut Ctx) -> ExperimentReport {
             use hsp_http::{Exchange, Request};
             let handler = platform.into_handler();
             let mut ex = hsp_http::DirectExchange::new(handler);
-            ex.exchange(Request::post_form("/signup", &[("user", "gsv"), ("pass", "x")]))
-                .unwrap();
-            ex.exchange(Request::post_form("/login", &[("user", "gsv"), ("pass", "x")]))
-                .unwrap();
+            ex.exchange(Request::post_form("/signup", &[("user", "gsv"), ("pass", "x")])).unwrap();
+            ex.exchange(Request::post_form("/login", &[("user", "gsv"), ("pass", "x")])).unwrap();
             let resp = ex
                 .exchange(Request::get(format!(
                     "/graph-search?school={school}&current=1&city={}",
@@ -376,18 +371,28 @@ pub fn verify_search(ctx: &mut Ctx) -> ExperimentReport {
                 .unwrap();
             hsp_crawler::parse_listing(&resp.body_string()).0
         };
-        ids.iter()
-            .filter(|&&u| net.user(u).is_registered_minor(today))
-            .count()
+        ids.iter().filter(|&&u| net.user(u).is_registered_minor(today)).count()
     };
     assert_eq!(gs_minors, 0, "graph search returned a registered minor");
 
     let mut table = Table::new(&["category", "count", "% of results"]);
     let pct_of = |n: usize| f1(100.0 * n as f64 / seeds.len().max(1) as f64);
-    table.row(&["search results (8-account union)".into(), seeds.len().to_string(), "100.0".into()]);
-    table.row(&["registered minors".into(), registered_minors.to_string(), pct_of(registered_minors)]);
+    table.row(&[
+        "search results (8-account union)".into(),
+        seeds.len().to_string(),
+        "100.0".into(),
+    ]);
+    table.row(&[
+        "registered minors".into(),
+        registered_minors.to_string(),
+        pct_of(registered_minors),
+    ]);
     table.row(&["alumni".into(), alumni.to_string(), pct_of(alumni)]);
-    table.row(&["current students (all registered adults)".into(), current_students.to_string(), pct_of(current_students)]);
+    table.row(&[
+        "current students (all registered adults)".into(),
+        current_students.to_string(),
+        pct_of(current_students),
+    ]);
     table.row(&["former students".into(), formers.to_string(), pct_of(formers)]);
     table.row(&["others".into(), others.to_string(), pct_of(others)]);
     assert_eq!(registered_minors, 0, "search returned a registered minor");

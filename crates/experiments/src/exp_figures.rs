@@ -35,12 +35,7 @@ pub fn fig1(ctx: &mut Ctx) -> ExperimentReport {
         )
         .expect("enhanced");
         let guessed = enhanced.guessed_students(t);
-        let point = evaluate(
-            t,
-            &guessed,
-            |u| enhanced.inferred_year(u, &sr.run.config),
-            &truth,
-        );
+        let point = evaluate(t, &guessed, |u| enhanced.inferred_year(u, &sr.run.config), &truth);
         let pf = point.pct_found(truth.len());
         let pfp = point.pct_false_positives();
         found_series.push((t as f64, pf));
@@ -53,13 +48,9 @@ pub fn fig1(ctx: &mut Ctx) -> ExperimentReport {
             "found": point.found, "false_positives": point.false_positives,
         }));
     }
-    let plot = Plot::new(
-        "Figure 1: HS1, enhanced methodology with filtering",
-        "top-t",
-        "percent",
-    )
-    .series("% students found", '*', found_series)
-    .series("% false positives", 'o', fp_series);
+    let plot = Plot::new("Figure 1: HS1, enhanced methodology with filtering", "top-t", "percent")
+        .series("% students found", '*', found_series)
+        .series("% false positives", 'o', fp_series);
     ExperimentReport::new(
         "fig1",
         "Overall performance of enhanced methodology for HS1",
@@ -77,9 +68,7 @@ pub fn fig2(ctx: &mut Ctx) -> ExperimentReport {
         "top-t",
         "percent",
     );
-    for (school, marker_found, marker_fp) in
-        [("HS2", '*', 'o'), ("HS3", '#', 'x')]
-    {
+    for (school, marker_found, marker_fp) in [("HS2", '*', 'o'), ("HS3", '#', 'x')] {
         // Second seed crawl with four *additional* accounts: the
         // held-out test users (claim current attendance, absent from the
         // first seed set).
@@ -96,10 +85,8 @@ pub fn fig2(ctx: &mut Ctx) -> ExperimentReport {
                     continue;
                 }
                 let p = second.profile(u).expect("profile");
-                if p.claims_current_student(
-                    sr.lab.scenario.school,
-                    sr.run.config.senior_class_year,
-                ) {
+                if p.claims_current_student(sr.lab.scenario.school, sr.run.config.senior_class_year)
+                {
                     test_users.push(u);
                 }
             }
@@ -131,10 +118,7 @@ pub fn fig2(ctx: &mut Ctx) -> ExperimentReport {
             )
             .expect("enhanced");
             let guessed = enhanced.guessed_students(t);
-            let z = test_users
-                .iter()
-                .filter(|u| guessed.binary_search(u).is_ok())
-                .count();
+            let z = test_users.iter().filter(|u| guessed.binary_search(u).is_ok()).count();
             let est = partial_estimate(t, z, test_users.len().max(1), ext_core, school_size);
             table.row(&[
                 t.to_string(),
@@ -146,12 +130,16 @@ pub fn fig2(ctx: &mut Ctx) -> ExperimentReport {
             fp_pts.push((t as f64, est.est_pct_false_positives));
             points_json.push(serde_json::to_value(est).expect("serializable"));
         }
-        plot = plot
-            .series(&format!("{school} % found"), marker_found, found_pts)
-            .series(&format!("{school} % FP"), marker_fp, fp_pts);
+        plot = plot.series(&format!("{school} % found"), marker_found, found_pts).series(
+            &format!("{school} % FP"),
+            marker_fp,
+            fp_pts,
+        );
         text.push_str(&table.render());
         text.push('\n');
-        all_json.push(json!({ "school": school, "test_users": test_users.len(), "points": points_json }));
+        all_json.push(
+            json!({ "school": school, "test_users": test_users.len(), "points": points_json }),
+        );
     }
     text.push_str(&plot.render());
     ExperimentReport::new(
@@ -272,18 +260,12 @@ pub fn fig3(ctx: &mut Ctx) -> ExperimentReport {
     .series(
         "with-COPPA",
         '*',
-        with_points
-            .iter()
-            .map(|p| (p.pct_found, p.false_positives.max(1) as f64))
-            .collect(),
+        with_points.iter().map(|p| (p.pct_found, p.false_positives.max(1) as f64)).collect(),
     )
     .series(
         "without-COPPA",
         'o',
-        without_points
-            .iter()
-            .map(|p| (p.pct_found, p.false_positives.max(1) as f64))
-            .collect(),
+        without_points.iter().map(|p| (p.pct_found, p.false_positives.max(1) as f64)).collect(),
     );
     text.push('\n');
     text.push_str(&plot.render());
@@ -312,10 +294,8 @@ pub fn fig4(ctx: &mut Ctx) -> ExperimentReport {
     let mut points_json = Vec::new();
 
     // Countermeasure lab: same world, reverse lookup disabled.
-    let mut lab_without = Lab::from_scenario(
-        scenario,
-        Arc::new(FacebookPolicy::without_reverse_lookup()),
-    );
+    let mut lab_without =
+        Lab::from_scenario(scenario, Arc::new(FacebookPolicy::without_reverse_lookup()));
     let tcp = ctx.tcp;
     let mut access_without = lab_without.crawler_mode(2, "cm", tcp);
     let config = lab_without.attack_config();

@@ -175,35 +175,30 @@ pub fn table4(ctx: &mut Ctx) -> ExperimentReport {
         let mut cells_json = Vec::new();
         for &t in &thresholds {
             let sr = ctx.school_mut("HS1");
-            let (guessed, inferred): (Vec<hsp_graph::UserId>, Vec<Option<i32>>) =
-                if !enhance && !filter {
-                    let g = sr.run.discovery.guessed_students(t);
-                    let years = g.iter().map(|&u| sr.run.discovery.inferred_year(u)).collect();
-                    (g, years)
-                } else {
-                    let enhanced = run_enhanced(
-                        sr.run.access.as_mut(),
-                        &sr.run.discovery,
-                        &EnhanceOptions {
-                            t,
-                            filtering: filter,
-                            enhance,
-                            school_city: sr.lab.scenario.home_city,
-                        },
-                    )
-                    .expect("variant run");
-                    let g = enhanced.guessed_students(t);
-                    let years = g
-                        .iter()
-                        .map(|&u| enhanced.inferred_year(u, &sr.run.config))
-                        .collect();
-                    (g, years)
-                };
+            let (guessed, inferred): (Vec<hsp_graph::UserId>, Vec<Option<i32>>) = if !enhance
+                && !filter
+            {
+                let g = sr.run.discovery.guessed_students(t);
+                let years = g.iter().map(|&u| sr.run.discovery.inferred_year(u)).collect();
+                (g, years)
+            } else {
+                let enhanced = run_enhanced(
+                    sr.run.access.as_mut(),
+                    &sr.run.discovery,
+                    &EnhanceOptions {
+                        t,
+                        filtering: filter,
+                        enhance,
+                        school_city: sr.lab.scenario.home_city,
+                    },
+                )
+                .expect("variant run");
+                let g = enhanced.guessed_students(t);
+                let years = g.iter().map(|&u| enhanced.inferred_year(u, &sr.run.config)).collect();
+                (g, years)
+            };
             let year_of = |u: hsp_graph::UserId| {
-                guessed
-                    .iter()
-                    .position(|&g| g == u)
-                    .and_then(|i| inferred[i])
+                guessed.iter().position(|&g| g == u).and_then(|i| inferred[i])
             };
             let point = hsp_core::evaluate(t, &guessed, year_of, &truth);
             cells.push(format!("{}/{}", point.found, point.correct_year));
@@ -237,15 +232,8 @@ pub fn table5(ctx: &mut Ctx) -> ExperimentReport {
         ("HS2", 700, 77.0, 960.0, 86.0, 26.0, 20.0, 4.0, 51.0),
         ("HS3", 795, 87.0, 908.0, 91.0, 34.0, 33.0, 6.0, 57.0),
     ];
-    let mut table = Table::new(&[
-        "metric",
-        "HS1",
-        "HS1(paper)",
-        "HS2",
-        "HS2(paper)",
-        "HS3",
-        "HS3(paper)",
-    ]);
+    let mut table =
+        Table::new(&["metric", "HS1", "HS1(paper)", "HS2", "HS2(paper)", "HS3", "HS3(paper)"]);
     let mut per_school = Vec::new();
     for (i, school) in ["HS1", "HS2", "HS3"].into_iter().enumerate() {
         let sr = ctx.school_mut(school);
@@ -272,16 +260,13 @@ pub fn table5(ctx: &mut Ctx) -> ExperimentReport {
                 adults.push(u);
             }
         }
-        let stats = hsp_core::audit_adult_registered(sr.run.access.as_mut(), &adults)
-            .expect("audit");
+        let stats =
+            hsp_core::audit_adult_registered(sr.run.access.as_mut(), &adults).expect("audit");
         // §6.1: reverse lookup over the guessed set; average recovered
         // list length for the (registered-minor) minimal-profile users.
         let rec = hsp_core::recover_friend_lists(sr.run.access.as_mut(), &guessed)
             .expect("reverse lookup");
-        let minor_recovered: Vec<usize> = minors
-            .iter()
-            .map(|&u| rec.friends_of(u).len())
-            .collect();
+        let minor_recovered: Vec<usize> = minors.iter().map(|&u| rec.friends_of(u).len()).collect();
         let avg_recovered = if minor_recovered.is_empty() {
             0.0
         } else {
@@ -323,36 +308,16 @@ pub fn table5(ctx: &mut Ctx) -> ExperimentReport {
         &|i| f1(p[i].3),
         &mut table,
     );
-    row(
-        "% message link",
-        &|i| f1(per_school[i].1.pct_message_link),
-        &|i| f1(p[i].4),
-        &mut table,
-    );
+    row("% message link", &|i| f1(per_school[i].1.pct_message_link), &|i| f1(p[i].4), &mut table);
     row(
         "% relationship info",
         &|i| f1(per_school[i].1.pct_relationship),
         &|i| f1(p[i].5),
         &mut table,
     );
-    row(
-        "% interested in",
-        &|i| f1(per_school[i].1.pct_interested_in),
-        &|i| f1(p[i].6),
-        &mut table,
-    );
-    row(
-        "% birthday",
-        &|i| f1(per_school[i].1.pct_birthday),
-        &|i| f1(p[i].7),
-        &mut table,
-    );
-    row(
-        "avg # photos shared",
-        &|i| f1(per_school[i].1.avg_photos),
-        &|i| f1(p[i].8),
-        &mut table,
-    );
+    row("% interested in", &|i| f1(per_school[i].1.pct_interested_in), &|i| f1(p[i].6), &mut table);
+    row("% birthday", &|i| f1(per_school[i].1.pct_birthday), &|i| f1(p[i].7), &mut table);
+    row("avg # photos shared", &|i| f1(per_school[i].1.avg_photos), &|i| f1(p[i].8), &mut table);
     row(
         "avg recovered friends per reg. minor (§6.1; paper 38/141/129)",
         &|i| f1(per_school[i].3),

@@ -34,12 +34,7 @@ pub fn threats(ctx: &mut Ctx) -> ExperimentReport {
         let scraped = sr.run.access.profile(u).expect("profile");
         let friends = rec.friends_of(u).to_vec();
         // The attacker reads the last name off the scraped page.
-        let last_name = scraped
-            .name
-            .split_whitespace()
-            .last()
-            .unwrap_or_default()
-            .to_string();
+        let last_name = scraped.name.split_whitespace().last().unwrap_or_default().to_string();
         if sr.lab.scenario.is_student(u) {
             true_students += 1;
         }
@@ -59,24 +54,12 @@ pub fn threats(ctx: &mut Ctx) -> ExperimentReport {
     let (links, stats) = link_students(&sr.lab.scenario.network, &roll, link_inputs);
 
     // --- phishing channel --------------------------------------------------
-    let school_name = sr
-        .lab
-        .scenario
-        .network
-        .school(sr.lab.scenario.school)
-        .name
-        .clone();
-    let names: std::collections::HashMap<_, _> = sr
-        .lab
-        .scenario
-        .network
-        .users()
-        .map(|u| (u.id, u.profile.full_name()))
-        .collect();
-    let campaign = run_campaign(sr.run.access.as_mut(), &profiles, &school_name, |f| {
-        names.get(&f).cloned()
-    })
-    .expect("campaign");
+    let school_name = sr.lab.scenario.network.school(sr.lab.scenario.school).name.clone();
+    let names: std::collections::HashMap<_, _> =
+        sr.lab.scenario.network.users().map(|u| (u.id, u.profile.full_name())).collect();
+    let campaign =
+        run_campaign(sr.run.access.as_mut(), &profiles, &school_name, |f| names.get(&f).cloned())
+            .expect("campaign");
 
     // --- exposure ---------------------------------------------------------
     let mut dist = ExposureDistribution::default();
@@ -92,21 +75,21 @@ pub fn threats(ctx: &mut Ctx) -> ExperimentReport {
         "addresses resolved".into(),
         format!("{} ({:.0}% of profiled)", stats.resolved_total, stats.pct_resolved()),
     ]);
-    table.row(&[
-        "  via friend-list confirmation".into(),
-        stats.friend_confirmed.to_string(),
-    ]);
+    table.row(&["  via friend-list confirmation".into(), stats.friend_confirmed.to_string()]);
     table.row(&["  via unique household".into(), stats.unique_household.to_string()]);
-    table.row(&["  ambiguous / no candidates".into(),
-        format!("{} / {}", stats.ambiguous, stats.no_candidates)]);
     table.row(&[
-        "address precision".into(),
-        format!("{:.0}%", stats.precision()),
+        "  ambiguous / no candidates".into(),
+        format!("{} / {}", stats.ambiguous, stats.no_candidates),
     ]);
+    table.row(&["address precision".into(), format!("{:.0}%", stats.precision())]);
     table.row(&[
         "phishing lures delivered".into(),
-        format!("{} of {} ({:.0}%)", campaign.delivered, campaign.targets,
-            campaign.pct_delivered()),
+        format!(
+            "{} of {} ({:.0}%)",
+            campaign.delivered,
+            campaign.targets,
+            campaign.pct_delivered()
+        ),
     ]);
     table.row(&[
         "lures personalized with a friend's name".into(),
@@ -116,10 +99,7 @@ pub fn threats(ctx: &mut Ctx) -> ExperimentReport {
         "exposure >= 4 of 5 components".into(),
         format!("{} of {}", dist.at_least(4), dist.total()),
     ]);
-    table.row(&[
-        "exposure distribution 0..5".into(),
-        format!("{:?}", dist.counts),
-    ]);
+    table.row(&["exposure distribution 0..5".into(), format!("{:?}", dist.counts)]);
     ExperimentReport::new(
         "threats",
         "§2 consequential threats quantified (HS1): record linking, phishing, exposure",
@@ -160,8 +140,7 @@ pub fn gplus_attack(ctx: &mut Ctx) -> ExperimentReport {
         let run = full_attack(&mut lab, ctx.tcp);
         let t = run.config.school_size_estimate as usize;
         let guessed = run.enhanced.guessed_students(t);
-        let point =
-            evaluate(t, &guessed, |u| run.enhanced.inferred_year(u, &run.config), &truth);
+        let point = evaluate(t, &guessed, |u| run.enhanced.inferred_year(u, &run.config), &truth);
         table.row(&[
             label.into(),
             run.enhanced.extended_core.len().to_string(),
@@ -182,14 +161,10 @@ pub fn gplus_attack(ctx: &mut Ctx) -> ExperimentReport {
     // The circles-native crawl: cores' outgoing+incoming circle lists
     // instead of symmetric friend lists (Appendix A's asymmetric links).
     {
-        let mut lab = Lab::from_scenario(
-            scenario.clone(),
-            Arc::new(GooglePlusPolicy::new()),
-        );
+        let mut lab = Lab::from_scenario(scenario.clone(), Arc::new(GooglePlusPolicy::new()));
         let mut access = lab.crawler_mode(2, "gpc", ctx.tcp);
         let config = lab.attack_config();
-        let d = hsp_core::run_basic_circles(access.as_mut(), &config)
-            .expect("circles attack");
+        let d = hsp_core::run_basic_circles(access.as_mut(), &config).expect("circles attack");
         let t = config.school_size_estimate as usize;
         let guessed = d.guessed_students(t);
         let point = evaluate(t, &guessed, |u| d.inferred_year(u), &truth);
@@ -245,21 +220,15 @@ pub fn countermeasures(ctx: &mut Ctx) -> ExperimentReport {
             )),
         ),
     ];
-    let mut table = Table::new(&[
-        "countermeasure",
-        "core",
-        "candidates",
-        "% found @ t=size",
-        "% FP",
-    ]);
+    let mut table =
+        Table::new(&["countermeasure", "core", "candidates", "% found @ t=size", "% FP"]);
     let mut rows = Vec::new();
     for (label, policy) in variants {
         let mut lab = Lab::from_scenario(scenario.clone(), policy);
         let run = full_attack(&mut lab, ctx.tcp);
         let t = run.config.school_size_estimate as usize;
         let guessed = run.enhanced.guessed_students(t);
-        let point =
-            evaluate(t, &guessed, |u| run.enhanced.inferred_year(u, &run.config), &truth);
+        let point = evaluate(t, &guessed, |u| run.enhanced.inferred_year(u, &run.config), &truth);
         table.row(&[
             label.into(),
             run.enhanced.extended_core.len().to_string(),

@@ -22,15 +22,35 @@ pub use runner::{full_attack, AttackRun, Lab};
 
 /// All experiment ids in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "summary", "table1", "table2", "table3", "table4", "table5", "table6",
-    "fig1", "fig2", "fig3", "fig4",
-    "jaccard", "interaction", "birthyear", "threats", "gplus", "countermeasures", "verify-search",
-    "ablation-lying", "ablation-epsilon", "ablation-filters",
+    "summary",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "jaccard",
+    "interaction",
+    "birthyear",
+    "threats",
+    "gplus",
+    "countermeasures",
+    "verify-search",
+    "ablation-lying",
+    "ablation-epsilon",
+    "ablation-filters",
     "ablation-accounts",
 ];
 
-/// Run one experiment by id.
+/// Run one experiment by id. The whole run is timed into the context
+/// registry under `experiment_us{experiment="<id>"}`.
 pub fn run_experiment(ctx: &mut Ctx, id: &str) -> Option<ExperimentReport> {
+    let _span =
+        hsp_obs::SpanGuard::new(ctx.obs.histogram_with("experiment_us", &[("experiment", id)]));
     Some(match id {
         "summary" => exp_extra::summary(ctx),
         "table1" => exp_tables::table1(ctx),

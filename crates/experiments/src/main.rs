@@ -3,17 +3,29 @@
 //! Regenerates the paper's tables and figures against the synthetic
 //! substrate. `--tcp` runs every crawl over real loopback HTTP;
 //! `--json <dir>` additionally writes machine-readable results.
+//! After each experiment a full metrics snapshot (counters, gauges,
+//! latency quantiles, phase timings, recent events) is written to
+//! `results/metrics_<experiment>.json`.
 
 use hsp_experiments::{run_experiment, Ctx, ALL_EXPERIMENTS};
+
+/// Dump the context registry as `results/metrics_<id>.json`.
+/// Best-effort: telemetry must never fail an experiment run.
+fn write_metrics_snapshot(ctx: &Ctx, id: &str) {
+    let snap = ctx.obs.snapshot();
+    let Ok(body) = serde_json::to_string_pretty(&snap) else { return };
+    if std::fs::create_dir_all("results").is_ok() {
+        let path = format!("results/metrics_{id}.json");
+        if std::fs::write(&path, body).is_ok() {
+            eprintln!("[metrics] wrote {path}");
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tcp = args.iter().any(|a| a == "--tcp");
-    let json_dir = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let json_dir = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
     let mut ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -40,12 +52,10 @@ fn main() {
                     .expect("write json");
                     eprintln!("[json] wrote {path}");
                 }
+                write_metrics_snapshot(&ctx, &report.id);
             }
             None => {
-                eprintln!(
-                    "unknown experiment '{id}'; available: {}",
-                    ALL_EXPERIMENTS.join(", ")
-                );
+                eprintln!("unknown experiment '{id}'; available: {}", ALL_EXPERIMENTS.join(", "));
                 std::process::exit(2);
             }
         }

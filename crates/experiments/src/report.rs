@@ -21,11 +21,6 @@ impl ExperimentReport {
 
     /// Full printable block.
     pub fn printable(&self) -> String {
-        format!(
-            "==== {} — {} ====\n{}\n",
-            self.id.to_uppercase(),
-            self.title,
-            self.text
-        )
+        format!("==== {} — {} ====\n{}\n", self.id.to_uppercase(), self.title, self.text)
     }
 }

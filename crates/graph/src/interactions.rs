@@ -63,11 +63,7 @@ impl Interactions {
 
     /// Interaction count between two users (0 when none recorded).
     pub fn count(&self, a: UserId, b: UserId) -> u32 {
-        self.partners(a)
-            .iter()
-            .find(|&&(u, _)| u == b)
-            .map(|&(_, n)| n)
-            .unwrap_or(0)
+        self.partners(a).iter().find(|&&(u, _)| u == b).map(|&(_, n)| n).unwrap_or(0)
     }
 
     /// The top-`k` posters on `u`'s wall.

@@ -32,8 +32,8 @@ pub use interactions::Interactions;
 pub use network::Network;
 pub use privacy::{Audience, PrivacySettings};
 pub use profile::{
-    ContactInfo, EducationEntry, EducationKind, Gender, InterestedIn, ProfileContent,
-    Registration, RelationshipStatus,
+    ContactInfo, EducationEntry, EducationKind, Gender, InterestedIn, ProfileContent, Registration,
+    RelationshipStatus,
 };
 pub use school::{City, School, SchoolKind};
 pub use user::{Role, User};

@@ -207,11 +207,7 @@ impl Network {
     /// Ground-truth set `M`: user ids of all *actual* current students of
     /// `school` with accounts, sorted by id.
     pub fn roster(&self, school: SchoolId) -> Vec<UserId> {
-        self.users
-            .iter()
-            .filter(|u| u.role.is_current_student_at(school))
-            .map(|u| u.id)
-            .collect()
+        self.users.iter().filter(|u| u.role.is_current_student_at(school)).map(|u| u.id).collect()
     }
 
     /// Ground-truth roster restricted to the class of `grad_year`.

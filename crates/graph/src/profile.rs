@@ -66,27 +66,15 @@ pub struct EducationEntry {
 
 impl EducationEntry {
     pub fn high_school(school: SchoolId, grad_year: i32) -> Self {
-        EducationEntry {
-            school,
-            kind: EducationKind::HighSchool,
-            grad_year: Some(grad_year),
-        }
+        EducationEntry { school, kind: EducationKind::HighSchool, grad_year: Some(grad_year) }
     }
 
     pub fn college(school: SchoolId, grad_year: Option<i32>) -> Self {
-        EducationEntry {
-            school,
-            kind: EducationKind::College,
-            grad_year,
-        }
+        EducationEntry { school, kind: EducationKind::College, grad_year }
     }
 
     pub fn graduate_school(school: SchoolId) -> Self {
-        EducationEntry {
-            school,
-            kind: EducationKind::GraduateSchool,
-            grad_year: None,
-        }
+        EducationEntry { school, kind: EducationKind::GraduateSchool, grad_year: None }
     }
 }
 
@@ -131,7 +119,11 @@ pub struct ProfileContent {
 
 impl ProfileContent {
     /// A bare profile with just a name and gender, everything else empty.
-    pub fn bare(first_name: impl Into<String>, last_name: impl Into<String>, gender: Gender) -> Self {
+    pub fn bare(
+        first_name: impl Into<String>,
+        last_name: impl Into<String>,
+        gender: Gender,
+    ) -> Self {
         ProfileContent {
             first_name: first_name.into(),
             last_name: last_name.into(),
@@ -156,40 +148,27 @@ impl ProfileContent {
 
     /// The high-school education entry, if one is listed.
     pub fn listed_high_school(&self) -> Option<EducationEntry> {
-        self.education
-            .iter()
-            .copied()
-            .find(|e| e.kind == EducationKind::HighSchool)
+        self.education.iter().copied().find(|e| e.kind == EducationKind::HighSchool)
     }
 
     /// All listed high-school entries (transfers may list several).
     pub fn listed_high_schools(&self) -> impl Iterator<Item = EducationEntry> + '_ {
-        self.education
-            .iter()
-            .copied()
-            .filter(|e| e.kind == EducationKind::HighSchool)
+        self.education.iter().copied().filter(|e| e.kind == EducationKind::HighSchool)
     }
 
     /// Whether a graduate school is listed (used by the paper's filter
     /// rules, §4.4).
     pub fn lists_graduate_school(&self) -> bool {
-        self.education
-            .iter()
-            .any(|e| e.kind == EducationKind::GraduateSchool)
+        self.education.iter().any(|e| e.kind == EducationKind::GraduateSchool)
     }
 
     /// Whether this user explicitly claims to currently attend `school`
     /// on date `today`: the school is listed as their high school with a
     /// graduation year in the current school year or later (paper §4.1
     /// step 2).
-    pub fn claims_current_student(
-        &self,
-        school: SchoolId,
-        senior_class_year: i32,
-    ) -> bool {
-        self.listed_high_schools().any(|e| {
-            e.school == school && e.grad_year.map_or(false, |g| g >= senior_class_year)
-        })
+    pub fn claims_current_student(&self, school: SchoolId, senior_class_year: i32) -> bool {
+        self.listed_high_schools()
+            .any(|e| e.school == school && e.grad_year.is_some_and(|g| g >= senior_class_year))
     }
 }
 

@@ -114,9 +114,9 @@ proptest! {
             kind: hsp_graph::SchoolKind::HighSchool,
             public_enrollment_estimate: 100,
         });
-        for i in 0..12usize {
+        for &in_network in networked.iter().take(12) {
             let mut profile = ProfileContent::bare("A", "B", hsp_graph::Gender::Male);
-            if networked[i] {
+            if in_network {
                 profile.networks.push(school);
             }
             net.add_user(hsp_graph::User {

@@ -184,13 +184,8 @@ mod tests {
     fn direct_exchange_matches_tcp_semantics() {
         let handler: Arc<dyn Handler> = Arc::new(cookie_router());
         let mut direct = DirectExchange::new(handler);
-        assert_eq!(
-            direct.exchange(Request::get("/whoami")).unwrap().status,
-            Status::UNAUTHORIZED
-        );
-        direct
-            .exchange(Request::post_form("/login", &[("user", "eve")]))
-            .unwrap();
+        assert_eq!(direct.exchange(Request::get("/whoami")).unwrap().status, Status::UNAUTHORIZED);
+        direct.exchange(Request::post_form("/login", &[("user", "eve")])).unwrap();
         let resp = direct.exchange(Request::get("/whoami")).unwrap();
         assert_eq!(resp.body_string(), "sess-eve");
     }
@@ -198,9 +193,7 @@ mod tests {
     #[test]
     fn client_reconnects_after_server_closes_connection() {
         let mut router = Router::new();
-        router.get("/once", |_, _| {
-            Response::text("bye").header("Connection", "close")
-        });
+        router.get("/once", |_, _| Response::text("bye").header("Connection", "close"));
         router.get("/again", |_, _| Response::text("hello"));
         let server = Server::start(Arc::new(router)).unwrap();
         let mut client = Client::new(server.addr());

@@ -38,20 +38,13 @@ impl CookieJar {
         if self.cookies.is_empty() {
             return;
         }
-        let header = self
-            .cookies
-            .iter()
-            .map(|(n, v)| format!("{n}={v}"))
-            .collect::<Vec<_>>()
-            .join("; ");
+        let header =
+            self.cookies.iter().map(|(n, v)| format!("{n}={v}")).collect::<Vec<_>>().join("; ");
         req.headers.set("Cookie", header);
     }
 
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.cookies
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        self.cookies.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     pub fn clear(&mut self) {

@@ -33,6 +33,6 @@ pub use cookie::{request_cookie, CookieJar};
 pub use error::{HttpError, Result};
 pub use message::{Request, Response};
 pub use router::{Handler, PathParams, Router};
-pub use server::{Server, ServerConfig};
+pub use server::{AccessLogFn, AccessRecord, Server, ServerConfig};
 pub use types::{Headers, Method, Status};
 pub use uri::{build_query, parse_query, percent_decode, percent_encode, url, Target};

@@ -27,10 +27,8 @@ impl Request {
 
     /// A POST with a form-encoded body.
     pub fn post_form(target: impl Into<String>, form: &[(&str, &str)]) -> Request {
-        let pairs: Vec<(String, String)> = form
-            .iter()
-            .map(|(k, v)| (k.to_string(), v.to_string()))
-            .collect();
+        let pairs: Vec<(String, String)> =
+            form.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
         let body = crate::uri::build_query(&pairs);
         let mut req = Request {
             method: Method::Post,
@@ -38,8 +36,7 @@ impl Request {
             headers: Headers::new(),
             body: Bytes::from(body),
         };
-        req.headers
-            .set("Content-Type", "application/x-www-form-urlencoded");
+        req.headers.set("Content-Type", "application/x-www-form-urlencoded");
         req
     }
 
@@ -74,10 +71,7 @@ impl Request {
 
     /// First form value for `key`.
     pub fn form_param(&self, key: &str) -> Option<String> {
-        self.form_params()
-            .into_iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+        self.form_params().into_iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 }
 
@@ -133,8 +127,7 @@ impl Response {
 
     /// Append a `Set-Cookie` header.
     pub fn set_cookie(mut self, name: &str, value: &str) -> Response {
-        self.headers
-            .append("Set-Cookie", format!("{name}={value}; Path=/"));
+        self.headers.append("Set-Cookie", format!("{name}={value}; Path=/"));
         self
     }
 
@@ -162,10 +155,7 @@ mod tests {
         let r = Request::post_form("/login", &[("user", "spy one"), ("pass", "p&q")]);
         assert_eq!(r.form_param("user").as_deref(), Some("spy one"));
         assert_eq!(r.form_param("pass").as_deref(), Some("p&q"));
-        assert_eq!(
-            r.headers.get("content-type"),
-            Some("application/x-www-form-urlencoded")
-        );
+        assert_eq!(r.headers.get("content-type"), Some("application/x-www-form-urlencoded"));
     }
 
     #[test]

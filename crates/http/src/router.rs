@@ -102,11 +102,8 @@ impl Router {
     }
 
     fn match_route(&self, method: Method, path: &str) -> MatchResult<'_> {
-        let parts: Vec<&str> = path
-            .trim_start_matches('/')
-            .split('/')
-            .filter(|s| !s.is_empty())
-            .collect();
+        let parts: Vec<&str> =
+            path.trim_start_matches('/').split('/').filter(|s| !s.is_empty()).collect();
         let mut path_matched = false;
         for route in &self.routes {
             if route.segments.len() != parts.len() {
@@ -161,9 +158,7 @@ mod tests {
     fn router() -> Router {
         let mut r = Router::new();
         r.get("/", |_, _| Response::text("home"));
-        r.get("/profile/:id", |_, p| {
-            Response::text(format!("profile {}", p.get("id").unwrap()))
-        });
+        r.get("/profile/:id", |_, p| Response::text(format!("profile {}", p.get("id").unwrap())));
         r.get("/a/:x/b/:y", |_, p| {
             Response::text(format!("{}/{}", p.get("x").unwrap(), p.get("y").unwrap()))
         });
@@ -177,35 +172,23 @@ mod tests {
     fn literal_and_param_matching() {
         let r = router();
         assert_eq!(r.handle(&Request::get("/")).body_string(), "home");
-        assert_eq!(
-            r.handle(&Request::get("/profile/u42")).body_string(),
-            "profile u42"
-        );
+        assert_eq!(r.handle(&Request::get("/profile/u42")).body_string(), "profile u42");
         assert_eq!(r.handle(&Request::get("/a/1/b/2")).body_string(), "1/2");
     }
 
     #[test]
     fn query_string_does_not_affect_matching() {
         let r = router();
-        assert_eq!(
-            r.handle(&Request::get("/profile/u1?tab=friends")).body_string(),
-            "profile u1"
-        );
+        assert_eq!(r.handle(&Request::get("/profile/u1?tab=friends")).body_string(), "profile u1");
     }
 
     #[test]
     fn not_found_and_wrong_method() {
         let r = router();
         assert_eq!(r.handle(&Request::get("/nope")).status, Status::NOT_FOUND);
-        assert_eq!(
-            r.handle(&Request::get("/login")).status,
-            Status::METHOD_NOT_ALLOWED
-        );
+        assert_eq!(r.handle(&Request::get("/login")).status, Status::METHOD_NOT_ALLOWED);
         // Segment-count mismatch is a 404, not a partial match.
-        assert_eq!(
-            r.handle(&Request::get("/profile/u1/extra")).status,
-            Status::NOT_FOUND
-        );
+        assert_eq!(r.handle(&Request::get("/profile/u1/extra")).status, Status::NOT_FOUND);
     }
 
     #[test]

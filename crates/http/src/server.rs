@@ -6,35 +6,157 @@
 //! from-scratch style (cf. smoltcp) rather than pulling in an async
 //! runtime: loopback-scale load with a handful of crawler connections
 //! needs nothing more.
+//!
+//! ## Telemetry
+//!
+//! When [`ServerConfig::metrics`] carries a registry, the transport
+//! layer accounts for itself under `http_*` metrics: request and
+//! status-class counters, request/response byte counters, a request
+//! latency histogram, gauges for in-flight connections and the accept
+//! queue, and counters for accept errors, decode errors and
+//! shutdown-time rejects. All per-request recording is pre-resolved
+//! atomic handles — no locks on the hot path. Route-pattern-level
+//! accounting (e.g. `/profile/:uid`) lives a layer up, in
+//! `hsp-platform`, which sees the routing decision; the server only
+//! knows raw paths and deliberately does not use them as label values
+//! (unbounded cardinality).
 
 use crate::error::HttpError;
 use crate::message::Response;
 use crate::router::Handler;
-use crate::types::Status;
+use crate::types::{Method, Status};
 use crate::wire::{decode_request, encode_response, Decoded};
 use bytes::BytesMut;
 use crossbeam_channel::{bounded, Sender};
+use hsp_obs::{Counter, Gauge, Histogram, Registry};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// One served request, as seen by the [`ServerConfig::access_log`] hook.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessRecord<'a> {
+    pub method: Method,
+    /// Raw request target (path + query), before routing.
+    pub target: &'a str,
+    pub status: u16,
+    pub latency_us: u64,
+    pub request_bytes: u64,
+    pub response_bytes: u64,
+}
+
+/// Access-log callback; invoked after each response is written.
+pub type AccessLogFn = Arc<dyn Fn(&AccessRecord<'_>) + Send + Sync>;
 
 /// Server configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Worker threads serving connections.
     pub workers: usize,
     /// Per-read socket timeout; keeps dead connections from pinning
     /// workers forever.
     pub read_timeout: Duration,
+    /// Capacity of the accepted-connection queue between the accept
+    /// loop and the worker pool. Acceptance blocks (backpressure) once
+    /// this many connections await a free worker.
+    pub queue_depth: usize,
+    /// Prefix for server thread names (`{prefix}-accept`,
+    /// `{prefix}-worker3`), visible in debuggers and `/proc`.
+    pub thread_name_prefix: String,
+    /// Metrics registry; `None` disables transport telemetry.
+    pub metrics: Option<Arc<Registry>>,
+    /// Per-request access-log hook.
+    pub access_log: Option<AccessLogFn>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 8, read_timeout: Duration::from_secs(5) }
+        ServerConfig {
+            workers: 8,
+            read_timeout: Duration::from_secs(5),
+            queue_depth: 16,
+            thread_name_prefix: "hsp-http".to_string(),
+            metrics: None,
+            access_log: None,
+        }
     }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("workers", &self.workers)
+            .field("read_timeout", &self.read_timeout)
+            .field("queue_depth", &self.queue_depth)
+            .field("thread_name_prefix", &self.thread_name_prefix)
+            .field("metrics", &self.metrics.is_some())
+            .field("access_log", &self.access_log.is_some())
+            .finish()
+    }
+}
+
+/// Pre-resolved transport metric handles (hot path = atomics only).
+struct ServerMetrics {
+    requests: Arc<Counter>,
+    class_2xx: Arc<Counter>,
+    class_3xx: Arc<Counter>,
+    class_4xx: Arc<Counter>,
+    class_5xx: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    request_bytes: Arc<Counter>,
+    response_bytes: Arc<Counter>,
+    connections: Arc<Counter>,
+    active_connections: Arc<Gauge>,
+    accept_queue: Arc<Gauge>,
+    accept_errors: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    shutdown_rejects: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn register(reg: &Registry) -> ServerMetrics {
+        let class = |c: &str| reg.counter_with("http_server_status_total", &[("class", c)]);
+        ServerMetrics {
+            requests: reg.counter("http_server_requests_total"),
+            class_2xx: class("2xx"),
+            class_3xx: class("3xx"),
+            class_4xx: class("4xx"),
+            class_5xx: class("5xx"),
+            latency_us: reg.histogram("http_server_latency_us"),
+            request_bytes: reg.counter("http_server_request_bytes_total"),
+            response_bytes: reg.counter("http_server_response_bytes_total"),
+            connections: reg.counter("http_server_connections_total"),
+            active_connections: reg.gauge("http_server_active_connections"),
+            accept_queue: reg.gauge("http_server_accept_queue"),
+            accept_errors: reg.counter("http_server_accept_errors_total"),
+            decode_errors: reg.counter("http_server_decode_errors_total"),
+            shutdown_rejects: reg.counter("http_server_shutdown_rejects_total"),
+        }
+    }
+
+    fn observe(&self, status: u16, latency_us: u64, req_bytes: u64, resp_bytes: u64) {
+        self.requests.inc();
+        match status {
+            200..=299 => self.class_2xx.inc(),
+            300..=399 => self.class_3xx.inc(),
+            400..=499 => self.class_4xx.inc(),
+            _ => self.class_5xx.inc(),
+        }
+        self.latency_us.record(latency_us);
+        self.request_bytes.add(req_bytes);
+        self.response_bytes.add(resp_bytes);
+    }
+}
+
+/// Everything a worker needs to serve connections.
+struct ConnContext {
+    handler: Arc<dyn Handler>,
+    read_timeout: Duration,
+    metrics: Option<ServerMetrics>,
+    access_log: Option<AccessLogFn>,
 }
 
 /// A running HTTP server. Shuts down (and joins its threads) on drop.
@@ -56,24 +178,38 @@ impl Server {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = bounded::<TcpStream>(config.workers * 2);
+        let (tx, rx) = bounded::<TcpStream>(config.queue_depth.max(1));
+
+        let ctx = Arc::new(ConnContext {
+            handler,
+            read_timeout: config.read_timeout,
+            metrics: config.metrics.as_deref().map(ServerMetrics::register),
+            access_log: config.access_log.clone(),
+        });
 
         let mut workers = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
+        for i in 0..config.workers {
             let rx = rx.clone();
-            let handler = Arc::clone(&handler);
-            let timeout = config.read_timeout;
-            workers.push(std::thread::spawn(move || {
+            let ctx = Arc::clone(&ctx);
+            let builder = std::thread::Builder::new()
+                .name(format!("{}-worker{i}", config.thread_name_prefix));
+            workers.push(builder.spawn(move || {
                 while let Ok(stream) = rx.recv() {
-                    let _ = serve_connection(stream, handler.as_ref(), timeout);
+                    if let Some(m) = &ctx.metrics {
+                        m.accept_queue.dec();
+                    }
+                    let _ = serve_connection(stream, &ctx);
                 }
-            }));
+            })?);
         }
 
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_thread = std::thread::spawn(move || {
-            accept_loop(listener, tx, accept_shutdown);
-        });
+        let accept_ctx = Arc::clone(&ctx);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("{}-accept", config.thread_name_prefix))
+            .spawn(move || {
+                accept_loop(listener, tx, accept_shutdown, accept_ctx);
+            })?;
 
         Ok(Server { addr, shutdown, accept_thread: Some(accept_thread), workers })
     }
@@ -114,12 +250,29 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: Arc<AtomicBool>) {
+/// Longest pause between accept retries when `accept()` keeps failing.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(500);
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    ctx: Arc<ConnContext>,
+) {
+    let mut backoff = Duration::from_millis(1);
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
+                backoff = Duration::from_millis(1);
                 if shutdown.load(Ordering::SeqCst) {
+                    // Lost the race: this connection was accepted after
+                    // shutdown began. Tell the peer explicitly instead
+                    // of dropping it with a reset.
+                    reject_with_unavailable(stream, &ctx);
                     return; // tx drops, workers drain and exit
+                }
+                if let Some(m) = &ctx.metrics {
+                    m.accept_queue.inc();
                 }
                 if tx.send(stream).is_err() {
                     return;
@@ -129,36 +282,59 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, shutdown: Arc<Atomi
                 if shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                // A persistent accept failure (EMFILE, ENFILE, ...)
+                // must not busy-spin the accept thread: count it and
+                // back off exponentially until accepts succeed again.
+                if let Some(m) = &ctx.metrics {
+                    m.accept_errors.inc();
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
             }
         }
     }
 }
 
+/// Drain a connection that lost the shutdown race: best-effort
+/// `503 Service Unavailable` with `Connection: close`, then drop.
+fn reject_with_unavailable(mut stream: TcpStream, ctx: &ConnContext) {
+    if let Some(m) = &ctx.metrics {
+        m.shutdown_rejects.inc();
+    }
+    let resp = Response::error(Status::SERVICE_UNAVAILABLE, "server shutting down")
+        .header("Connection", "close");
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.write_all(&encode_response(&resp));
+}
+
 /// Serve keep-alive requests on one connection until close.
-fn serve_connection(
-    mut stream: TcpStream,
-    handler: &dyn Handler,
-    read_timeout: Duration,
-) -> Result<(), HttpError> {
-    stream.set_read_timeout(Some(read_timeout))?;
+fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> Result<(), HttpError> {
+    stream.set_read_timeout(Some(ctx.read_timeout))?;
     stream.set_nodelay(true)?;
+    let _active = ctx.metrics.as_ref().map(|m| {
+        m.connections.inc();
+        ActiveGuard::new(Arc::clone(&m.active_connections))
+    });
     let mut buf = BytesMut::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     loop {
         // Decode as many pipelined requests as the buffer holds.
         loop {
+            let buffered = buf.len();
             match decode_request(&mut buf) {
                 Ok(Decoded::Complete(req)) => {
+                    let req_bytes = (buffered - buf.len()) as u64;
+                    let started = Instant::now();
                     let close = req.headers.connection_close();
-                    let head_only = req.method == crate::types::Method::Head;
+                    let head_only = req.method == Method::Head;
                     let resp = if head_only {
                         // RFC 9110: HEAD is GET without the body; the
                         // Content-Length still describes the GET body.
                         let mut get = req.clone();
-                        get.method = crate::types::Method::Get;
-                        handler.handle(&get)
+                        get.method = Method::Get;
+                        ctx.handler.handle(&get)
                     } else {
-                        handler.handle(&req)
+                        ctx.handler.handle(&req)
                     };
                     let resp_close = resp.headers.connection_close();
                     let wire = if head_only {
@@ -167,6 +343,20 @@ fn serve_connection(
                         encode_response(&resp)
                     };
                     stream.write_all(&wire)?;
+                    let latency_us = started.elapsed().as_micros() as u64;
+                    if let Some(m) = &ctx.metrics {
+                        m.observe(resp.status.code(), latency_us, req_bytes, wire.len() as u64);
+                    }
+                    if let Some(log) = &ctx.access_log {
+                        log(&AccessRecord {
+                            method: req.method,
+                            target: &req.target,
+                            status: resp.status.code(),
+                            latency_us,
+                            request_bytes: req_bytes,
+                            response_bytes: wire.len() as u64,
+                        });
+                    }
                     if close || resp_close {
                         return Ok(());
                     }
@@ -174,6 +364,9 @@ fn serve_connection(
                 Ok(Decoded::Incomplete) => break,
                 Err(e) => {
                     // Tell the peer off and drop the connection.
+                    if let Some(m) = &ctx.metrics {
+                        m.decode_errors.inc();
+                    }
                     let resp = Response::error(Status::BAD_REQUEST, "bad request");
                     let _ = stream.write_all(&encode_response(&resp));
                     return Err(e);
@@ -188,6 +381,22 @@ fn serve_connection(
     }
 }
 
+/// RAII increment/decrement of the active-connection gauge.
+struct ActiveGuard(Arc<Gauge>);
+
+impl ActiveGuard {
+    fn new(g: Arc<Gauge>) -> ActiveGuard {
+        g.inc();
+        ActiveGuard(g)
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,13 +404,15 @@ mod tests {
     use crate::router::Router;
     use crate::wire::{decode_response, encode_request};
 
-    fn test_server() -> Server {
+    fn test_router() -> Arc<Router> {
         let mut router = Router::new();
         router.get("/ping", |_, _| Response::text("pong"));
-        router.get("/echo/:word", |_, p| {
-            Response::text(p.get("word").unwrap().to_string())
-        });
-        Server::start(Arc::new(router)).unwrap()
+        router.get("/echo/:word", |_, p| Response::text(p.get("word").unwrap().to_string()));
+        Arc::new(router)
+    }
+
+    fn test_server() -> Server {
+        Server::start(test_router()).unwrap()
     }
 
     fn raw_round_trip(addr: SocketAddr, reqs: &[Request]) -> Vec<Response> {
@@ -213,15 +424,10 @@ mod tests {
         let mut buf = BytesMut::new();
         let mut chunk = [0u8; 1024];
         while out.len() < reqs.len() {
-            loop {
-                match decode_response(&mut buf).unwrap() {
-                    Decoded::Complete(r) => {
-                        out.push(r);
-                        if out.len() == reqs.len() {
-                            return out;
-                        }
-                    }
-                    Decoded::Incomplete => break,
+            while let Decoded::Complete(r) = decode_response(&mut buf).unwrap() {
+                out.push(r);
+                if out.len() == reqs.len() {
+                    return out;
                 }
             }
             let n = stream.read(&mut chunk).unwrap();
@@ -259,8 +465,7 @@ mod tests {
             .map(|i| {
                 std::thread::spawn(move || {
                     let word = format!("w{i}");
-                    let resps =
-                        raw_round_trip(addr, &[Request::get(format!("/echo/{word}"))]);
+                    let resps = raw_round_trip(addr, &[Request::get(format!("/echo/{word}"))]);
                     assert_eq!(resps[0].body_string(), word);
                 })
             })
@@ -276,7 +481,7 @@ mod tests {
         let server = test_server();
         let mut stream = TcpStream::connect(server.addr()).unwrap();
         let mut req = Request::get("/ping");
-        req.method = crate::types::Method::Head;
+        req.method = Method::Head;
         // Close so EOF delimits the (bodyless) response.
         req.headers.set("Connection", "close");
         stream.write_all(&encode_request(&req)).unwrap();
@@ -317,5 +522,49 @@ mod tests {
             })
             .unwrap_or(true);
         assert!(ok, "server still serving after shutdown");
+    }
+
+    #[test]
+    fn transport_metrics_account_for_requests() {
+        let reg = Registry::shared();
+        let config = ServerConfig {
+            metrics: Some(Arc::clone(&reg)),
+            thread_name_prefix: "metrics-test".to_string(),
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(test_router(), config).unwrap();
+        raw_round_trip(server.addr(), &[Request::get("/ping"), Request::get("/nope")]);
+        server.shutdown();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("http_server_requests_total"), 2);
+        assert_eq!(snap.counter("http_server_status_total{class=\"2xx\"}"), 1);
+        assert_eq!(snap.counter("http_server_status_total{class=\"4xx\"}"), 1);
+        assert_eq!(snap.counter("http_server_connections_total"), 1);
+        assert!(snap.counter("http_server_response_bytes_total") > 0);
+        assert!(snap.counter("http_server_request_bytes_total") > 0);
+        let lat = snap.histogram("http_server_latency_us").unwrap();
+        assert_eq!(lat.count, 2);
+        // All connections done: both gauges are back to zero.
+        assert_eq!(snap.gauge("http_server_active_connections"), 0);
+        assert_eq!(snap.gauge("http_server_accept_queue"), 0);
+    }
+
+    #[test]
+    fn access_log_hook_sees_each_request() {
+        use parking_lot::Mutex;
+        let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&lines);
+        let config = ServerConfig {
+            access_log: Some(Arc::new(move |rec: &AccessRecord<'_>| {
+                sink.lock().push(format!("{} {} {}", rec.method, rec.target, rec.status));
+            })),
+            ..ServerConfig::default()
+        };
+        let server = Server::start_with(test_router(), config).unwrap();
+        raw_round_trip(server.addr(), &[Request::get("/echo/hi")]);
+        server.shutdown();
+        let lines = lines.lock();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0], "GET /echo/hi 200");
     }
 }

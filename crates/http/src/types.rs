@@ -50,6 +50,7 @@ impl Status {
     pub const METHOD_NOT_ALLOWED: Status = Status(405);
     pub const TOO_MANY_REQUESTS: Status = Status(429);
     pub const INTERNAL_SERVER_ERROR: Status = Status(500);
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
 
     pub fn code(self) -> u16 {
         self.0
@@ -75,6 +76,7 @@ impl Status {
             405 => "Method Not Allowed",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
@@ -105,17 +107,13 @@ impl Headers {
 
     /// Replace all values of `name` with a single value.
     pub fn set(&mut self, name: &str, value: impl Into<String>) {
-        self.entries
-            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
         self.entries.push((name.to_string(), value.into()));
     }
 
     /// First value of `name`, if present.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.entries.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// All values of `name`.
@@ -149,9 +147,7 @@ impl Headers {
 
     /// Whether `Connection: close` was requested.
     pub fn connection_close(&self) -> bool {
-        self.get("connection")
-            .map(|v| v.eq_ignore_ascii_case("close"))
-            .unwrap_or(false)
+        self.get("connection").map(|v| v.eq_ignore_ascii_case("close")).unwrap_or(false)
     }
 }
 

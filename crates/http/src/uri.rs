@@ -30,9 +30,8 @@ pub fn percent_decode(s: &str) -> String {
         match bytes[i] {
             b'%' => {
                 if let Some(hex) = bytes.get(i + 1..i + 3) {
-                    if let Some(v) = std::str::from_utf8(hex)
-                        .ok()
-                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    if let Some(v) =
+                        std::str::from_utf8(hex).ok().and_then(|h| u8::from_str_radix(h, 16).ok())
                     {
                         out.push(v);
                         i += 3;
@@ -71,10 +70,7 @@ impl Target {
             Some((p, q)) => (p, q),
             None => (target, ""),
         };
-        Target {
-            raw_path: path.to_string(),
-            query: parse_query(query_str),
-        }
+        Target { raw_path: path.to_string(), query: parse_query(query_str) }
     }
 
     /// The decoded path.
@@ -88,10 +84,7 @@ impl Target {
 
     /// First query value for `key`.
     pub fn query_param(&self, key: &str) -> Option<&str> {
-        self.query
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// Rebuild the target string with encoding.
@@ -135,10 +128,8 @@ pub fn url(path: &str, params: &[(&str, &str)]) -> String {
     if params.is_empty() {
         return path.to_string();
     }
-    let pairs: Vec<(String, String)> = params
-        .iter()
-        .map(|(k, v)| (k.to_string(), v.to_string()))
-        .collect();
+    let pairs: Vec<(String, String)> =
+        params.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
     format!("{}?{}", path, build_query(&pairs))
 }
 

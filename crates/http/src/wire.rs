@@ -105,19 +105,13 @@ pub fn decode_request(buf: &mut BytesMut) -> Result<Decoded<Request>> {
     if head_end > MAX_HEAD {
         return Err(HttpError::TooLarge("request head"));
     }
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| HttpError::Malformed("non-utf8 head"))?;
+    let head =
+        std::str::from_utf8(&buf[..head_end]).map_err(|_| HttpError::Malformed("non-utf8 head"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
     let mut parts = request_line.split(' ');
-    let method = parts
-        .next()
-        .and_then(Method::parse)
-        .ok_or(HttpError::Malformed("bad method"))?;
-    let target = parts
-        .next()
-        .ok_or(HttpError::Malformed("missing target"))?
-        .to_string();
+    let method = parts.next().and_then(Method::parse).ok_or(HttpError::Malformed("bad method"))?;
+    let target = parts.next().ok_or(HttpError::Malformed("missing target"))?.to_string();
     if target.is_empty() || !target.starts_with('/') {
         return Err(HttpError::Malformed("bad target"));
     }
@@ -147,8 +141,8 @@ pub fn decode_response(buf: &mut BytesMut) -> Result<Decoded<Response>> {
         }
         return Ok(Decoded::Incomplete);
     };
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| HttpError::Malformed("non-utf8 head"))?;
+    let head =
+        std::str::from_utf8(&buf[..head_end]).map_err(|_| HttpError::Malformed("non-utf8 head"))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
     let mut parts = status_line.splitn(3, ' ');
@@ -156,10 +150,8 @@ pub fn decode_response(buf: &mut BytesMut) -> Result<Decoded<Response>> {
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("bad version"));
     }
-    let code: u16 = parts
-        .next()
-        .and_then(|c| c.parse().ok())
-        .ok_or(HttpError::Malformed("bad status code"))?;
+    let code: u16 =
+        parts.next().and_then(|c| c.parse().ok()).ok_or(HttpError::Malformed("bad status code"))?;
     let headers = parse_headers(lines)?;
     let body_len = headers.content_length().unwrap_or(0);
     if body_len > MAX_BODY {
@@ -185,9 +177,8 @@ fn parse_headers<'a>(lines: impl Iterator<Item = &'a str>) -> Result<Headers> {
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or(HttpError::Malformed("header without colon"))?;
+        let (name, value) =
+            line.split_once(':').ok_or(HttpError::Malformed("header without colon"))?;
         if name.is_empty() || name.contains(' ') {
             return Err(HttpError::Malformed("bad header name"));
         }
@@ -308,17 +299,12 @@ mod tests {
         while buf.len() <= MAX_HEAD {
             buf.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
         }
-        assert!(matches!(
-            decode_request(&mut buf),
-            Err(HttpError::TooLarge(_))
-        ));
+        assert!(matches!(decode_request(&mut buf), Err(HttpError::TooLarge(_))));
     }
 
     #[test]
     fn content_length_framing_is_exact() {
-        let mut buf = BytesMut::from(
-            &b"POST /f HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcEXTRA"[..],
-        );
+        let mut buf = BytesMut::from(&b"POST /f HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcEXTRA"[..]);
         let r = match decode_request(&mut buf).unwrap() {
             Decoded::Complete(r) => r,
             _ => panic!(),

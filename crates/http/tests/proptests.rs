@@ -3,9 +3,7 @@
 //! the decoder must never panic on arbitrary bytes.
 
 use bytes::{Bytes, BytesMut};
-use hsp_http::wire::{
-    decode_request, decode_response, encode_request, encode_response, Decoded,
-};
+use hsp_http::wire::{decode_request, decode_response, encode_request, encode_response, Decoded};
 use hsp_http::{Headers, Method, Request, Response, Status};
 use proptest::prelude::*;
 
@@ -19,8 +17,8 @@ fn arb_target() -> impl Strategy<Value = String> {
 }
 
 fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
-    prop::collection::vec(("[A-Za-z][A-Za-z0-9-]{0,12}", "[ -~&&[^\r\n]]{0,24}"), 0..5)
-        .prop_map(|pairs| {
+    prop::collection::vec(("[A-Za-z][A-Za-z0-9-]{0,12}", "[ -~&&[^\r\n]]{0,24}"), 0..5).prop_map(
+        |pairs| {
             pairs
                 .into_iter()
                 // Reserve framing-sensitive names for the codec itself.
@@ -30,7 +28,8 @@ fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
                 })
                 .map(|(n, v)| (n, v.trim().to_string()))
                 .collect()
-        })
+        },
+    )
 }
 
 fn arb_body() -> impl Strategy<Value = Vec<u8>> {

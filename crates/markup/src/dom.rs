@@ -5,8 +5,8 @@ use std::fmt;
 
 /// Elements that never have children or a closing tag.
 pub const VOID_ELEMENTS: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "source", "track",
+    "wbr",
 ];
 
 /// Whether `tag` is an HTML void element.
@@ -75,8 +75,7 @@ impl Element {
 
     /// Builder-style: append several child elements.
     pub fn children(mut self, kids: impl IntoIterator<Item = Element>) -> Self {
-        self.children
-            .extend(kids.into_iter().map(Node::Element));
+        self.children.extend(kids.into_iter().map(Node::Element));
         self
     }
 
@@ -99,10 +98,7 @@ impl Element {
 
     /// Look up an attribute value.
     pub fn get_attr(&self, name: &str) -> Option<&str> {
-        self.attrs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// Whether the space-separated `class` attribute contains `class_name`.
@@ -134,10 +130,7 @@ impl Element {
     }
 
     /// All descendant elements matching a predicate.
-    pub fn find_all<'a>(
-        &'a self,
-        mut pred: impl FnMut(&Element) -> bool + 'a,
-    ) -> Vec<&'a Element> {
+    pub fn find_all<'a>(&'a self, mut pred: impl FnMut(&Element) -> bool + 'a) -> Vec<&'a Element> {
         self.descendants().filter(move |e| pred(e)).collect()
     }
 
@@ -258,10 +251,7 @@ mod tests {
 
     #[test]
     fn text_content_concatenates_descendants() {
-        let doc = el("p")
-            .text("Hello ")
-            .child(text_el("b", "bold"))
-            .text(" world");
+        let doc = el("p").text("Hello ").child(text_el("b", "bold")).text(" world");
         assert_eq!(doc.text_content(), "Hello bold world");
     }
 

@@ -76,11 +76,7 @@ impl<'a> Parser<'a> {
                 continue;
             }
             if self.rest().starts_with('<')
-                && self
-                    .rest()
-                    .chars()
-                    .nth(1)
-                    .map_or(false, |c| c.is_ascii_alphabetic())
+                && self.rest().chars().nth(1).is_some_and(|c| c.is_ascii_alphabetic())
             {
                 if let Some(node) = self.parse_element() {
                     parent.children.push(Node::Element(node));

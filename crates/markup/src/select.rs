@@ -35,9 +35,7 @@ impl Compound {
         if !self.classes.iter().all(|c| e.has_class(c)) {
             return false;
         }
-        self.attrs
-            .iter()
-            .all(|(n, v)| e.get_attr(n) == Some(v.as_str()))
+        self.attrs.iter().all(|(n, v)| e.get_attr(n) == Some(v.as_str()))
     }
 }
 
@@ -62,10 +60,8 @@ impl std::error::Error for SelectorError {}
 impl Selector {
     /// Parse a selector string.
     pub fn parse(s: &str) -> Result<Selector, SelectorError> {
-        let steps: Vec<Compound> = s
-            .split_ascii_whitespace()
-            .map(parse_compound)
-            .collect::<Result<_, _>>()?;
+        let steps: Vec<Compound> =
+            s.split_ascii_whitespace().map(parse_compound).collect::<Result<_, _>>()?;
         if steps.is_empty() {
             return Err(SelectorError("empty selector".into()));
         }
@@ -144,9 +140,7 @@ fn parse_compound(s: &str) -> Result<Compound, SelectorError> {
     let mut compound = Compound { tag: None, classes: Vec::new(), id: None, attrs: Vec::new() };
     let mut rest = s;
     // Optional leading tag name.
-    let tag_end = rest
-        .find(['.', '#', '['])
-        .unwrap_or(rest.len());
+    let tag_end = rest.find(['.', '#', '[']).unwrap_or(rest.len());
     if tag_end > 0 {
         compound.tag = Some(rest[..tag_end].to_ascii_lowercase());
     }
@@ -169,12 +163,8 @@ fn parse_compound(s: &str) -> Result<Compound, SelectorError> {
         } else if let Some(r) = rest.strip_prefix('[') {
             let end = r.find(']').ok_or_else(|| SelectorError(s.into()))?;
             let body = &r[..end];
-            let (name, value) = body
-                .split_once('=')
-                .ok_or_else(|| SelectorError(s.into()))?;
-            compound
-                .attrs
-                .push((name.to_ascii_lowercase(), value.trim_matches('"').to_string()));
+            let (name, value) = body.split_once('=').ok_or_else(|| SelectorError(s.into()))?;
+            compound.attrs.push((name.to_ascii_lowercase(), value.trim_matches('"').to_string()));
             rest = &r[end + 1..];
         } else {
             return Err(SelectorError(s.into()));
@@ -186,16 +176,12 @@ fn parse_compound(s: &str) -> Result<Compound, SelectorError> {
 /// Convenience: parse + select in one call. Panics on malformed selector
 /// (use [`Selector::parse`] when the selector is not a literal).
 pub fn select<'a>(root: &'a Element, selector: &str) -> Vec<&'a Element> {
-    Selector::parse(selector)
-        .expect("literal selector must be valid")
-        .select(root)
+    Selector::parse(selector).expect("literal selector must be valid").select(root)
 }
 
 /// Convenience: first match or `None`.
 pub fn select_first<'a>(root: &'a Element, selector: &str) -> Option<&'a Element> {
-    Selector::parse(selector)
-        .expect("literal selector must be valid")
-        .select_first(root)
+    Selector::parse(selector).expect("literal selector must be valid").select_first(root)
 }
 
 #[cfg(test)]
@@ -263,10 +249,7 @@ mod tests {
 
     #[test]
     fn results_are_document_order() {
-        let order: Vec<String> = select(&doc(), "a")
-            .iter()
-            .map(|a| a.text_content())
-            .collect();
+        let order: Vec<String> = select(&doc(), "a").iter().map(|a| a.text_content()).collect();
         assert_eq!(order, vec!["A", "B", "C"]);
     }
 }

@@ -58,32 +58,38 @@ proptest! {
 /// excluded because the parser intentionally drops them).
 fn arb_element(depth: u32) -> impl Strategy<Value = Element> {
     let tag = prop_oneof![
-        Just("div"), Just("span"), Just("p"), Just("a"), Just("ul"), Just("li"),
-        Just("h1"), Just("section"), Just("table"), Just("td")
+        Just("div"),
+        Just("span"),
+        Just("p"),
+        Just("a"),
+        Just("ul"),
+        Just("li"),
+        Just("h1"),
+        Just("section"),
+        Just("table"),
+        Just("td")
     ];
-    let attr_name = prop_oneof![
-        Just("class"), Just("id"), Just("href"), Just("data-kind"), Just("title")
-    ];
+    let attr_name =
+        prop_oneof![Just("class"), Just("id"), Just("href"), Just("data-kind"), Just("title")];
     // Attribute values and text: printable, and text must contain a
     // non-whitespace char (parser drops whitespace-only runs).
     let attr_value = "[ -~]{0,12}";
     let text = "[ -~]{0,12}[!-~]";
 
-    let leaf = (tag.clone(), prop::collection::vec((attr_name, attr_value), 0..3), text)
-        .prop_map(|(tag, attrs, text)| {
+    let leaf = (tag.clone(), prop::collection::vec((attr_name, attr_value), 0..3), text).prop_map(
+        |(tag, attrs, text)| {
             let mut e = Element::new(tag);
             for (n, v) in attrs {
                 e.set_attr(n, v);
             }
             e.children.push(Node::Text(text));
             e
-        });
+        },
+    );
 
     leaf.prop_recursive(depth, 24, 4, move |inner| {
         (
-            prop_oneof![
-                Just("div"), Just("span"), Just("ul"), Just("section"), Just("table")
-            ],
+            prop_oneof![Just("div"), Just("span"), Just("ul"), Just("section"), Just("table")],
             prop::collection::vec(("(class|id|href|title)", "[ -~]{0,12}"), 0..3),
             prop::collection::vec(inner, 0..4),
         )

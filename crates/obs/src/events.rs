@@ -1,0 +1,132 @@
+//! Bounded structured event ring buffer.
+//!
+//! A lightweight substitute for a logging framework: producers push
+//! structured events, the ring keeps the most recent `capacity` of
+//! them, and `/__status` (or tests) read the tail. Pushing takes a
+//! short mutex on the ring — events are for milestones (phase starts,
+//! suspensions, accept errors), not per-request records, so this is
+//! deliberately off the request hot path.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Event severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Level {
+    Debug,
+    Info,
+    Warn,
+    Error,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// One structured event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotone sequence number (total pushes, including evicted ones).
+    pub seq: u64,
+    /// Milliseconds since the log was created.
+    pub at_ms: u64,
+    pub level: Level,
+    /// Component that emitted the event, e.g. `http.server`.
+    pub target: String,
+    pub message: String,
+}
+
+/// Fixed-capacity ring of recent events.
+pub struct EventLog {
+    start: Instant,
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl EventLog {
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            start: Instant::now(),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+        }
+    }
+
+    /// Append an event, evicting the oldest once full.
+    pub fn push(&self, level: Level, target: &str, message: impl Into<String>) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at_ms: self.start.elapsed().as_millis() as u64,
+            level,
+            target: target.to_string(),
+            message: message.into(),
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// Total events ever pushed (≥ `recent().len()`).
+    pub fn total(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// The retained tail, oldest first.
+    pub fn recent(&self) -> Vec<Event> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = EventLog::new(3);
+        for i in 0..5 {
+            log.push(Level::Info, "test", format!("e{i}"));
+        }
+        let tail = log.recent();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].message, "e2");
+        assert_eq!(tail[2].message, "e4");
+        assert_eq!(log.total(), 5);
+        assert_eq!(tail[2].seq, 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let log = EventLog::new(0);
+        log.push(Level::Warn, "t", "kept");
+        assert_eq!(log.recent().len(), 1);
+    }
+
+    #[test]
+    fn events_serialize() {
+        let log = EventLog::new(4);
+        log.push(Level::Error, "http.server", "accept failed");
+        let json = serde_json::to_string(&log.recent()).unwrap();
+        let back: Vec<Event> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back[0].target, "http.server");
+        assert_eq!(back[0].level, Level::Error);
+    }
+}

@@ -1,0 +1,276 @@
+//! Log-bucketed latency/value histogram with quantile extraction.
+//!
+//! Values are bucketed HdrHistogram-style: 8 linear sub-buckets per
+//! power-of-two octave, giving ≤ 12.5% relative error on quantiles
+//! across the full `u64` range with a fixed 496-slot atomic array.
+//! Recording is a single `fetch_add` per slot — no locks, no allocation
+//! — and neither [`Histogram::record`] nor [`Histogram::quantile`] can
+//! panic for any input.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of sub-buckets per octave.
+const SUB_BITS: u32 = 3;
+/// Linear sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total slots: values 0..SUB exactly, then 8 slots per octave up to
+/// the top of `u64` (index of `u64::MAX` is 495).
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + SUB;
+
+/// Slot index for a value. Total map is monotone non-decreasing in `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
+    ((msb - SUB_BITS + 1) as usize) << SUB_BITS | sub
+}
+
+/// Largest value mapping to slot `i` (the Prometheus `le` bound).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let octave = (i >> SUB_BITS) as u32; // >= 1
+    let msb = octave + SUB_BITS - 1;
+    let shift = msb - SUB_BITS;
+    let sub = (i & (SUB - 1)) as u64;
+    let lower = (1u64 << msb) | (sub << shift);
+    lower + ((1u64 << shift) - 1)
+}
+
+/// A concurrent histogram. `Default`-constructed empty.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).field("sum", &self.sum()).finish()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        // `AtomicU64` is not Copy; build the boxed array from a Vec.
+        let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> =
+            v.into_boxed_slice().try_into().expect("fixed length");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Lock-free: five relaxed atomic RMWs.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Wrapping on sum overflow is acceptable (and unreachable for
+        // realistic latencies); panicking is not.
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (bucket upper bound). `q` is clamped to
+    /// `[0, 1]`; NaN reads as 0. Returns 0 on an empty histogram.
+    /// Never panics.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        // Rank of the target observation, 1-based.
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b.load(Ordering::Relaxed));
+            if seen >= target {
+                // The bucket bound can overshoot the true max; clamp so
+                // p99 of a constant stream equals that constant.
+                return bucket_upper(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Immutable copy for serialization / reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push(BucketCount { le: bucket_upper(i), count: n });
+            }
+        }
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket: `count` observations with value ≤ `le`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    pub le: u64,
+    pub count: u64,
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn index_and_bound_agree() {
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper(i)), i, "slot {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_stream() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // ≤ 12.5% relative bucket error.
+        assert!((440..=570).contains(&p50), "p50 = {p50}");
+        assert!((900..=1000).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= p99);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn constant_stream_quantiles_are_exact() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1_500);
+        }
+        assert_eq!(h.quantile(0.5), 1_500);
+        assert_eq!(h.quantile(0.99), 1_500);
+    }
+
+    #[test]
+    fn extremes_do_not_panic() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(f64::NAN), 0);
+        assert_eq!(h.quantile(-3.0), 0);
+        assert_eq!(h.quantile(7.0), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let h = Histogram::new();
+        for v in [3u64, 900, 17, 17, 250_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        assert_eq!(back.count, 5);
+    }
+}

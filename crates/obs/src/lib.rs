@@ -1,0 +1,35 @@
+//! # hsp-obs — observability substrate for the profiler workspace
+//!
+//! The paper's core results are *measurement* numbers: requests issued,
+//! pages fetched, crawl wall-clock per school (§3.2, Table 2). This
+//! crate gives every layer of the reproduction — HTTP server, platform
+//! handlers, crawler, experiment runner — a shared, cheap way to
+//! account for what it actually did:
+//!
+//! - [`Counter`] / [`Gauge`]: lock-free atomic scalars;
+//! - [`Histogram`]: log-bucketed value distribution (p50/p95/p99
+//!   extraction, never panics, `u64`-wide);
+//! - [`Registry`]: named metrics with Prometheus-style text exposition
+//!   and `serde`-serializable [`Snapshot`]s;
+//! - [`SpanGuard`]: scoped wall-clock timers feeding histograms;
+//! - [`EventLog`]: a bounded structured event ring buffer.
+//!
+//! The hot-path contract: recording into an already-resolved metric is
+//! atomics only (no locks, no allocation). Resolving a metric by name
+//! takes one registry read-lock; callers on per-request paths should
+//! resolve handles once at setup (see [`RouteMetrics`]) and then only
+//! pay the atomic adds.
+
+pub mod counter;
+pub mod events;
+pub mod hist;
+pub mod registry;
+pub mod route;
+pub mod span;
+
+pub use counter::{Counter, Gauge};
+pub use events::{Event, EventLog, Level};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{Registry, Snapshot};
+pub use route::RouteMetrics;
+pub use span::SpanGuard;

@@ -1,0 +1,358 @@
+//! Named-metric registry with text exposition and serde snapshots.
+
+use crate::counter::{Counter, Gauge};
+use crate::events::{Event, EventLog, Level};
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::span::SpanGuard;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Metric naming scheme (see README "Observability"): snake_case base
+/// name with the unit as a suffix (`_total`, `_us`, `_ms`, `_bytes`),
+/// optional Prometheus-style labels embedded in the key:
+/// `http_route_requests_total{route="/profile/:uid"}`.
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A concurrent registry of named counters, gauges and histograms plus
+/// one bounded event log. Metric resolution takes a read-lock; resolved
+/// handles (`Arc<Counter>` etc.) record with atomics only, so hot paths
+/// resolve once and keep the handle.
+pub struct Registry {
+    metrics: RwLock<HashMap<String, Metric>>,
+    events: EventLog,
+    start: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry {
+            metrics: RwLock::new(HashMap::new()),
+            events: EventLog::new(1024),
+            start: Instant::now(),
+        }
+    }
+
+    /// Shared-ownership constructor (the common case).
+    pub fn shared() -> Arc<Registry> {
+        Arc::new(Registry::new())
+    }
+
+    /// Milliseconds since the registry was created.
+    pub fn uptime_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// The registry's event ring.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Shorthand: push an event onto the ring.
+    pub fn event(&self, level: Level, target: &str, message: impl Into<String>) {
+        self.events.push(level, target, message);
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        extract: impl Fn(&Metric) -> Option<Arc<T>>,
+        make: impl Fn() -> Metric,
+    ) -> Arc<T> {
+        if let Some(metric) = self.metrics.read().get(name) {
+            if let Some(found) = extract(metric) {
+                return found;
+            }
+        }
+        let mut map = self.metrics.write();
+        let metric = map.entry(name.to_string()).or_insert_with(&make);
+        match extract(metric) {
+            Some(found) => found,
+            None => {
+                // Same name registered under a different kind: a caller
+                // bug. Hand back a detached instance (recording goes
+                // nowhere) rather than panicking mid-request.
+                drop(map);
+                self.events.push(
+                    Level::Warn,
+                    "obs.registry",
+                    format!("metric kind mismatch for '{name}'"),
+                );
+                extract(&make()).expect("constructor yields requested kind")
+            }
+        }
+    }
+
+    /// Get or create a counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || Metric::Counter(Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create a gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || Metric::Gauge(Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create a histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || Metric::Histogram(Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Counter with labels, e.g.
+    /// `counter_with("x_total", &[("route", "/p/:uid")])` →
+    /// `x_total{route="/p/:uid"}`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter(&labeled(name, labels))
+    }
+
+    /// Gauge with labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge(&labeled(name, labels))
+    }
+
+    /// Histogram with labels.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram(&labeled(name, labels))
+    }
+
+    /// Start a scoped wall-clock timer; on drop it records elapsed
+    /// microseconds into histogram `name` (suffix it `_us`).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard::new(self.histogram(name))
+    }
+
+    /// Point-in-time copy of every metric (serializable, round-trips
+    /// through `serde_json`).
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.read();
+        let mut snap = Snapshot { uptime_ms: self.uptime_ms(), ..Snapshot::default() };
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap.events = self.events.recent();
+        snap
+    }
+
+    /// Prometheus-style text exposition (`GET /__metrics` body).
+    /// Counters and gauges are single sample lines; histograms render
+    /// as summaries: `{quantile="0.5|0.95|0.99"}`, `_count`, `_sum`.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::with_capacity(4096);
+        let mut typed: BTreeMap<&str, &str> = BTreeMap::new();
+        for name in snap.counters.keys() {
+            typed.insert(base_name(name), "counter");
+        }
+        for name in snap.gauges.keys() {
+            typed.insert(base_name(name), "gauge");
+        }
+        for name in snap.histograms.keys() {
+            typed.insert(base_name(name), "summary");
+        }
+        for (base, kind) in &typed {
+            out.push_str(&format!("# TYPE {base} {kind}\n"));
+            for (name, v) in &snap.counters {
+                if base_name(name) == *base {
+                    out.push_str(&format!("{name} {v}\n"));
+                }
+            }
+            for (name, v) in &snap.gauges {
+                if base_name(name) == *base {
+                    out.push_str(&format!("{name} {v}\n"));
+                }
+            }
+            for (name, h) in &snap.histograms {
+                if base_name(name) == *base {
+                    for (q, v) in [("0.5", h.p50), ("0.95", h.p95), ("0.99", h.p99)] {
+                        out.push_str(&format!("{} {v}\n", with_label(name, "quantile", q)));
+                    }
+                    out.push_str(&format!("{} {}\n", suffixed(name, "_count"), h.count));
+                    out.push_str(&format!("{} {}\n", suffixed(name, "_sum"), h.sum));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `name{k="v",...}` — the embedded-label key format.
+fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let body: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", v.replace('"', "'"))).collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+/// Metric key without the label block.
+fn base_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// Insert an extra label into a (possibly already labeled) key.
+fn with_label(key: &str, k: &str, v: &str) -> String {
+    match key.strip_suffix('}') {
+        Some(head) => format!("{head},{k}=\"{v}\"}}"),
+        None => format!("{key}{{{k}=\"{v}\"}}"),
+    }
+}
+
+/// Append a suffix to the base name, keeping the label block in place.
+fn suffixed(key: &str, suffix: &str) -> String {
+    match key.find('{') {
+        Some(i) => format!("{}{suffix}{}", &key[..i], &key[i..]),
+        None => format!("{key}{suffix}"),
+    }
+}
+
+/// Serializable point-in-time copy of a [`Registry`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub uptime_ms: u64,
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub events: Vec<Event>,
+}
+
+impl Snapshot {
+    /// Counter value by exact key (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by exact key (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot by exact key.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_metric() {
+        let reg = Registry::new();
+        reg.counter("hits_total").inc();
+        reg.counter("hits_total").add(2);
+        assert_eq!(reg.snapshot().counter("hits_total"), 3);
+    }
+
+    #[test]
+    fn labels_embed_into_key() {
+        let reg = Registry::new();
+        reg.counter_with("req_total", &[("route", "/profile/:uid")]).inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("req_total{route=\"/profile/:uid\"}"), 1);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_metric_and_warns() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        let g = reg.gauge("x"); // wrong kind: detached
+        g.set(99);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x"), 1, "original metric untouched");
+        assert!(snap.events.iter().any(|e| e.level == Level::Warn));
+    }
+
+    #[test]
+    fn prometheus_rendering_contains_types_and_quantiles() {
+        let reg = Registry::new();
+        reg.counter("c_total").add(7);
+        reg.gauge("g").set(-2);
+        let h = reg.histogram_with("lat_us", &[("route", "/x")]);
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE c_total counter"));
+        assert!(text.contains("c_total 7"));
+        assert!(text.contains("g -2"));
+        assert!(text.contains("# TYPE lat_us summary"));
+        assert!(text.contains("lat_us{route=\"/x\",quantile=\"0.5\"}"));
+        assert!(text.contains("lat_us_count{route=\"/x\"} 3"));
+        assert!(text.contains("lat_us_sum{route=\"/x\"} 60"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde_json() {
+        let reg = Registry::new();
+        reg.counter("a_total").add(5);
+        reg.gauge("b").set(3);
+        reg.histogram("h_us").record(123);
+        reg.event(Level::Info, "test", "hello");
+        let snap = reg.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counter("a_total"), 5);
+        assert_eq!(back.gauge("b"), 3);
+        assert_eq!(back.histogram("h_us").unwrap().count, 1);
+        assert_eq!(back.events.len(), 1);
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let reg = Registry::new();
+        {
+            let _span = reg.span("phase_test_us");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = reg.snapshot();
+        let h = snap.histogram("phase_test_us").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 1_000, "recorded {} µs", h.sum);
+    }
+}

@@ -1,0 +1,99 @@
+//! Pre-resolved per-route HTTP metric bundle.
+//!
+//! Resolving metrics by name costs a registry read-lock, so per-request
+//! code registers a [`RouteMetrics`] per route *once* (at router build
+//! time) and then [`RouteMetrics::observe`] is pure atomic adds — the
+//! hot-path contract the server instrumentation relies on.
+
+use crate::counter::Counter;
+use crate::hist::Histogram;
+use crate::registry::Registry;
+use std::sync::Arc;
+
+/// Handles for one route pattern (e.g. `/profile/:uid`).
+pub struct RouteMetrics {
+    /// The route pattern these metrics are labeled with.
+    pub route: String,
+    pub requests: Arc<Counter>,
+    class_2xx: Arc<Counter>,
+    class_3xx: Arc<Counter>,
+    class_4xx: Arc<Counter>,
+    class_5xx: Arc<Counter>,
+    pub latency_us: Arc<Histogram>,
+    pub request_bytes: Arc<Counter>,
+    pub response_bytes: Arc<Counter>,
+}
+
+impl RouteMetrics {
+    /// Resolve (creating if needed) all handles for `route`.
+    pub fn register(reg: &Registry, route: &str) -> RouteMetrics {
+        let labels = &[("route", route)][..];
+        let class = |c: &str| {
+            reg.counter_with("http_route_status_total", &[("route", route), ("class", c)])
+        };
+        RouteMetrics {
+            route: route.to_string(),
+            requests: reg.counter_with("http_route_requests_total", labels),
+            class_2xx: class("2xx"),
+            class_3xx: class("3xx"),
+            class_4xx: class("4xx"),
+            class_5xx: class("5xx"),
+            latency_us: reg.histogram_with("http_route_latency_us", labels),
+            request_bytes: reg.counter_with("http_route_request_bytes_total", labels),
+            response_bytes: reg.counter_with("http_route_response_bytes_total", labels),
+        }
+    }
+
+    /// Status-class counts as `[2xx, 3xx, 4xx, 5xx]`.
+    pub fn class_counts(&self) -> [u64; 4] {
+        [self.class_2xx.get(), self.class_3xx.get(), self.class_4xx.get(), self.class_5xx.get()]
+    }
+
+    /// Record one served request. Atomic adds only.
+    pub fn observe(&self, status_code: u16, latency_us: u64, req_bytes: u64, resp_bytes: u64) {
+        self.requests.inc();
+        match status_code {
+            200..=299 => self.class_2xx.inc(),
+            300..=399 => self.class_3xx.inc(),
+            400..=499 => self.class_4xx.inc(),
+            _ => self.class_5xx.inc(),
+        }
+        self.latency_us.record(latency_us);
+        self.request_bytes.add(req_bytes);
+        self.response_bytes.add(resp_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_advances_all_handles() {
+        let reg = Registry::new();
+        let m = RouteMetrics::register(&reg, "/profile/:uid");
+        m.observe(200, 120, 80, 2048);
+        m.observe(404, 15, 80, 64);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("http_route_requests_total{route=\"/profile/:uid\"}"), 2);
+        assert_eq!(
+            snap.counter("http_route_status_total{route=\"/profile/:uid\",class=\"2xx\"}"),
+            1
+        );
+        assert_eq!(
+            snap.counter("http_route_status_total{route=\"/profile/:uid\",class=\"4xx\"}"),
+            1
+        );
+        let lat = snap.histogram("http_route_latency_us{route=\"/profile/:uid\"}").unwrap();
+        assert_eq!(lat.count, 2);
+        assert_eq!(snap.counter("http_route_response_bytes_total{route=\"/profile/:uid\"}"), 2112);
+    }
+
+    #[test]
+    fn re_registering_shares_handles() {
+        let reg = Registry::new();
+        RouteMetrics::register(&reg, "/x").observe(200, 1, 0, 0);
+        RouteMetrics::register(&reg, "/x").observe(200, 1, 0, 0);
+        assert_eq!(reg.snapshot().counter("http_route_requests_total{route=\"/x\"}"), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Scoped wall-clock span timers.
+
+use crate::hist::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Times a scope and records elapsed **microseconds** into a histogram
+/// when dropped (or earlier via [`SpanGuard::finish`]).
+///
+/// ```
+/// let reg = hsp_obs::Registry::new();
+/// {
+///     let _span = reg.span("phase_crawl_us");
+///     // ... work ...
+/// } // records here
+/// assert_eq!(reg.snapshot().histogram("phase_crawl_us").unwrap().count, 1);
+/// ```
+pub struct SpanGuard {
+    hist: Arc<Histogram>,
+    start: Instant,
+    done: bool,
+}
+
+impl SpanGuard {
+    pub fn new(hist: Arc<Histogram>) -> SpanGuard {
+        SpanGuard { hist, start: Instant::now(), done: false }
+    }
+
+    /// Elapsed microseconds so far, without stopping the span.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Stop now and record, returning the elapsed microseconds.
+    pub fn finish(mut self) -> u64 {
+        let us = self.elapsed_us();
+        self.hist.record(us);
+        self.done = true;
+        us
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            self.hist.record(self.start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_records_once() {
+        let h = Arc::new(Histogram::new());
+        let span = SpanGuard::new(Arc::clone(&h));
+        let us = span.finish();
+        assert_eq!(h.count(), 1, "finish consumed the guard; drop must not double-record");
+        assert_eq!(h.sum(), us);
+    }
+
+    #[test]
+    fn drop_records() {
+        let h = Arc::new(Histogram::new());
+        drop(SpanGuard::new(Arc::clone(&h)));
+        assert_eq!(h.count(), 1);
+    }
+}

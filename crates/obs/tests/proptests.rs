@@ -1,0 +1,94 @@
+//! Property tests for the histogram bucketing scheme: bucket bounds are
+//! monotone, the index map is monotone and consistent with the bounds,
+//! and `record`/`quantile` never panic anywhere in `u64 × f64`.
+
+use hsp_obs::hist::{bucket_index, bucket_upper, Histogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bucket upper bounds strictly increase with the slot index.
+    #[test]
+    fn bucket_bounds_are_strictly_monotone(i in 0usize..NUM_BUCKETS - 1) {
+        prop_assert!(bucket_upper(i) < bucket_upper(i + 1));
+    }
+
+    /// Every bound maps back to its own slot, so buckets tile the range.
+    #[test]
+    fn bound_maps_back_to_its_slot(i in 0usize..NUM_BUCKETS) {
+        prop_assert_eq!(bucket_index(bucket_upper(i)), i);
+    }
+
+    /// The index map is monotone non-decreasing in the value.
+    #[test]
+    fn index_is_monotone(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        if v > 0 {
+            prop_assert!(bucket_index(v - 1) <= i);
+        }
+        if v < u64::MAX {
+            prop_assert!(bucket_index(v + 1) >= i);
+        }
+        // The value lies at or below its bucket's bound.
+        prop_assert!(v <= bucket_upper(i));
+    }
+
+    /// record / quantile never panic and stay internally consistent
+    /// across u64 extremes and arbitrary (including NaN/±inf) q.
+    #[test]
+    fn record_and_quantile_never_panic(
+        values in proptest::collection::vec(any::<u64>(), 0..64),
+        qs in proptest::collection::vec(any::<f64>(), 0..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        for q in qs {
+            let x = h.quantile(q);
+            if values.is_empty() {
+                prop_assert_eq!(x, 0);
+            } else {
+                prop_assert!(x <= h.max());
+            }
+        }
+        if !values.is_empty() {
+            let lo = *values.iter().min().unwrap();
+            let hi = *values.iter().max().unwrap();
+            prop_assert_eq!(h.min(), lo);
+            prop_assert_eq!(h.max(), hi);
+            // Full-weight quantile reaches the maximum exactly.
+            prop_assert_eq!(h.quantile(1.0), hi);
+            prop_assert!(h.quantile(0.0) >= lo.min(bucket_upper(bucket_index(lo))));
+        }
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        values in proptest::collection::vec(any::<u64>(), 1..64),
+        a in 0.0f64..=1.0,
+        b in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+    }
+
+    /// Snapshots round-trip through serde_json for arbitrary contents.
+    #[test]
+    fn snapshot_serde_round_trip(values in proptest::collection::vec(any::<u64>(), 0..32)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: hsp_obs::HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(snap, back);
+    }
+}

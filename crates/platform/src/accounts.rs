@@ -112,6 +112,16 @@ impl Accounts {
     pub fn account_count(&self) -> usize {
         self.inner.lock().accounts.len()
     }
+
+    /// Live (logged-in) session count.
+    pub fn session_count(&self) -> usize {
+        self.inner.lock().sessions.len()
+    }
+
+    /// Accounts tripped by the anti-crawling rule.
+    pub fn suspended_count(&self) -> usize {
+        self.inner.lock().accounts.iter().filter(|a| a.suspended).count()
+    }
 }
 
 #[cfg(test)]

@@ -5,9 +5,28 @@ use crate::config::PlatformConfig;
 use crate::render;
 use crate::search::SearchIndex;
 use hsp_graph::{CityId, Network, SchoolId, UserId};
-use hsp_http::{request_cookie, Handler, Request, Response, Router, Status};
+use hsp_http::{request_cookie, Handler, PathParams, Request, Response, Router, Status};
+use hsp_obs::{Registry, RouteMetrics};
 use hsp_policy::Policy;
+use serde_json::json;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Application route patterns, in mount order. The `/__metrics` and
+/// `/__status` admin routes are deliberately absent: they belong to the
+/// operator, not the simulated OSN, and are not instrumented (nor do
+/// they touch session state, so they never count toward attacker
+/// effort or suspension accounting).
+pub const ROUTES: &[&str] = &[
+    "/signup",
+    "/login",
+    "/find-friends",
+    "/graph-search",
+    "/profile/:uid",
+    "/friends/:uid",
+    "/message/:uid",
+    "/circles/:uid",
+];
 
 /// The simulated OSN service. Immutable network + policy, mutable
 /// account/session state, all behind `Arc` so the same platform can be
@@ -17,18 +36,59 @@ pub struct Platform {
     pub policy: Arc<dyn Policy>,
     pub config: PlatformConfig,
     pub accounts: Accounts,
+    /// Metrics registry shared by every route handler; servers and
+    /// crawlers pointed at this platform may share it too.
+    pub obs: Arc<Registry>,
     search: SearchIndex,
 }
 
 impl Platform {
-    pub fn new(network: Arc<Network>, policy: Arc<dyn Policy>, config: PlatformConfig) -> Arc<Self> {
+    pub fn new(
+        network: Arc<Network>,
+        policy: Arc<dyn Policy>,
+        config: PlatformConfig,
+    ) -> Arc<Self> {
+        Self::with_registry(network, policy, config, Registry::shared())
+    }
+
+    /// Build against an externally owned registry (so one registry can
+    /// span platform, server and crawler in an experiment).
+    pub fn with_registry(
+        network: Arc<Network>,
+        policy: Arc<dyn Policy>,
+        config: PlatformConfig,
+        obs: Arc<Registry>,
+    ) -> Arc<Self> {
         Arc::new(Platform {
             network,
             policy,
             config,
             accounts: Accounts::new(),
+            obs,
             search: SearchIndex::new(),
         })
+    }
+
+    /// Wrap a route handler with per-route accounting. Metric handles
+    /// are resolved once here, at router build time; the per-request
+    /// cost is a clock read and a handful of atomic adds.
+    fn instrument(
+        self: &Arc<Self>,
+        route: &'static str,
+        f: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static {
+        let m = RouteMetrics::register(&self.obs, route);
+        move |req, params| {
+            let started = Instant::now();
+            let resp = f(req, params);
+            m.observe(
+                resp.status.code(),
+                started.elapsed().as_micros() as u64,
+                (req.target.len() + req.body.len()) as u64,
+                resp.body.len() as u64,
+            );
+            resp
+        }
     }
 
     /// Build the HTTP router over this platform.
@@ -36,31 +96,100 @@ impl Platform {
         let mut router = Router::new();
 
         let p = Arc::clone(self);
-        router.post("/signup", move |req, _| p.handle_signup(req));
+        router.post("/signup", self.instrument("/signup", move |req, _| p.handle_signup(req)));
         let p = Arc::clone(self);
-        router.post("/login", move |req, _| p.handle_login(req));
+        router.post("/login", self.instrument("/login", move |req, _| p.handle_login(req)));
         let p = Arc::clone(self);
-        router.get("/find-friends", move |req, _| p.handle_find_friends(req));
+        router.get(
+            "/find-friends",
+            self.instrument("/find-friends", move |req, _| p.handle_find_friends(req)),
+        );
         let p = Arc::clone(self);
-        router.get("/graph-search", move |req, _| p.handle_graph_search(req));
+        router.get(
+            "/graph-search",
+            self.instrument("/graph-search", move |req, _| p.handle_graph_search(req)),
+        );
         let p = Arc::clone(self);
-        router.get("/profile/:uid", move |req, params| {
-            p.handle_profile(req, params.get("uid"))
-        });
+        router.get(
+            "/profile/:uid",
+            self.instrument("/profile/:uid", move |req, params| {
+                p.handle_profile(req, params.get("uid"))
+            }),
+        );
         let p = Arc::clone(self);
-        router.get("/friends/:uid", move |req, params| {
-            p.handle_friends(req, params.get("uid"))
-        });
+        router.get(
+            "/friends/:uid",
+            self.instrument("/friends/:uid", move |req, params| {
+                p.handle_friends(req, params.get("uid"))
+            }),
+        );
         let p = Arc::clone(self);
-        router.post("/message/:uid", move |req, params| {
-            p.handle_message(req, params.get("uid"))
-        });
+        router.post(
+            "/message/:uid",
+            self.instrument("/message/:uid", move |req, params| {
+                p.handle_message(req, params.get("uid"))
+            }),
+        );
         let p = Arc::clone(self);
-        router.get("/circles/:uid", move |req, params| {
-            p.handle_circles(req, params.get("uid"))
-        });
+        router.get(
+            "/circles/:uid",
+            self.instrument("/circles/:uid", move |req, params| {
+                p.handle_circles(req, params.get("uid"))
+            }),
+        );
+
+        // Operator-facing admin routes: uninstrumented, session-free.
+        let p = Arc::clone(self);
+        router.get("/__metrics", move |_, _| p.handle_metrics());
+        let p = Arc::clone(self);
+        router.get("/__status", move |_, _| p.handle_status());
 
         Arc::new(router)
+    }
+
+    // ---- admin (operator) endpoints ---------------------------------------
+
+    /// `GET /__metrics`: the whole registry in Prometheus text format.
+    fn handle_metrics(&self) -> Response {
+        Response::text(self.obs.render_prometheus())
+            .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+    }
+
+    /// `GET /__status`: operator dashboard JSON — uptime, per-route
+    /// request/status/latency table, account and session tallies.
+    fn handle_status(&self) -> Response {
+        let routes: Vec<serde_json::Value> = ROUTES
+            .iter()
+            .map(|&route| {
+                // register() re-resolves the shared handles; cheap, and
+                // only paid on this cold admin path.
+                let m = RouteMetrics::register(&self.obs, route);
+                let [c2, c3, c4, c5] = m.class_counts();
+                json!({
+                    "route": route,
+                    "requests": m.requests.get(),
+                    "status": json!({ "2xx": c2, "3xx": c3, "4xx": c4, "5xx": c5 }),
+                    "latency_us": json!({
+                        "p50": m.latency_us.quantile(0.50),
+                        "p95": m.latency_us.quantile(0.95),
+                        "p99": m.latency_us.quantile(0.99),
+                    }),
+                    "request_bytes": m.request_bytes.get(),
+                    "response_bytes": m.response_bytes.get(),
+                })
+            })
+            .collect();
+        let body = json!({
+            "uptime_ms": self.obs.uptime_ms(),
+            "routes": routes,
+            "accounts": json!({
+                "registered": self.accounts.account_count(),
+                "sessions": self.accounts.session_count(),
+                "suspended": self.accounts.suspended_count(),
+            }),
+        });
+        Response::text(serde_json::to_string_pretty(&body).unwrap_or_default())
+            .header("Content-Type", "application/json")
     }
 
     // ---- session plumbing -------------------------------------------------
@@ -68,15 +197,13 @@ impl Platform {
     fn session_account(&self, req: &Request) -> Result<usize, Response> {
         let sid = request_cookie(req, "sid")
             .ok_or_else(|| Response::error(Status::UNAUTHORIZED, "login required"))?;
-        self.accounts
-            .authorize(sid, self.config.suspension_threshold)
-            .map_err(|e| match e {
-                AccountError::Suspended => Response::error(
-                    Status::TOO_MANY_REQUESTS,
-                    "account suspended for suspicious activity",
-                ),
-                _ => Response::error(Status::UNAUTHORIZED, "login required"),
-            })
+        self.accounts.authorize(sid, self.config.suspension_threshold).map_err(|e| match e {
+            AccountError::Suspended => Response::error(
+                Status::TOO_MANY_REQUESTS,
+                "account suspended for suspicious activity",
+            ),
+            _ => Response::error(Status::UNAUTHORIZED, "login required"),
+        })
     }
 
     fn parse_user(&self, raw: Option<&str>) -> Result<UserId, Response> {
@@ -116,17 +243,13 @@ impl Platform {
             Ok(a) => a,
             Err(resp) => return resp,
         };
-        let Some(school) = req.query_param("school").as_deref().and_then(SchoolId::parse)
-        else {
+        let Some(school) = req.query_param("school").as_deref().and_then(SchoolId::parse) else {
             return Response::error(Status::BAD_REQUEST, "school parameter required");
         };
         if school.index() >= self.network.schools().len() {
             return Response::error(Status::NOT_FOUND, "no such school");
         }
-        let page: usize = req
-            .query_param("page")
-            .and_then(|p| p.parse().ok())
-            .unwrap_or(0);
+        let page: usize = req.query_param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
         let (ids, has_more) = self.search.page(
             &self.network,
             self.policy.as_ref(),
@@ -135,12 +258,9 @@ impl Platform {
             account,
             page,
         );
-        let entries: Vec<(UserId, String)> = ids
-            .into_iter()
-            .map(|u| (u, self.network.user(u).profile.full_name()))
-            .collect();
-        let next = has_more
-            .then(|| format!("/find-friends?school={school}&page={}", page + 1));
+        let entries: Vec<(UserId, String)> =
+            ids.into_iter().map(|u| (u, self.network.user(u).profile.full_name())).collect();
+        let next = has_more.then(|| format!("/find-friends?school={school}&page={}", page + 1));
         Response::html(render::listing_page("results", &entries, next))
     }
 
@@ -149,8 +269,7 @@ impl Platform {
             Ok(a) => a,
             Err(resp) => return resp,
         };
-        let Some(school) = req.query_param("school").as_deref().and_then(SchoolId::parse)
-        else {
+        let Some(school) = req.query_param("school").as_deref().and_then(SchoolId::parse) else {
             return Response::error(Status::BAD_REQUEST, "school parameter required");
         };
         if school.index() >= self.network.schools().len() {
@@ -167,10 +286,8 @@ impl Platform {
             current_only,
             city,
         );
-        let entries: Vec<(UserId, String)> = ids
-            .into_iter()
-            .map(|u| (u, self.network.user(u).profile.full_name()))
-            .collect();
+        let entries: Vec<(UserId, String)> =
+            ids.into_iter().map(|u| (u, self.network.user(u).profile.full_name())).collect();
         Response::html(render::listing_page("results", &entries, None))
     }
 
@@ -197,10 +314,7 @@ impl Platform {
         let Some(friends) = self.policy.visible_friend_list(&self.network, uid) else {
             return Response::error(Status::FORBIDDEN, "friend list not visible");
         };
-        let page: usize = req
-            .query_param("page")
-            .and_then(|p| p.parse().ok())
-            .unwrap_or(0);
+        let page: usize = req.query_param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
         let per = self.config.friends_page_size;
         let start = page.saturating_mul(per).min(friends.len());
         let end = (start + per).min(friends.len());
@@ -232,10 +346,7 @@ impl Platform {
         let Some(list) = self.policy.visible_circles(&self.network, uid, incoming) else {
             return Response::error(Status::FORBIDDEN, "circles not visible");
         };
-        let page: usize = req
-            .query_param("page")
-            .and_then(|p| p.parse().ok())
-            .unwrap_or(0);
+        let page: usize = req.query_param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
         let per = self.config.friends_page_size;
         let start = page.saturating_mul(per).min(list.len());
         let end = (start + per).min(list.len());
@@ -245,8 +356,7 @@ impl Platform {
             .map(|&u| (u, self.network.user(u).profile.full_name()))
             .collect();
         let dir = if incoming { "has" } else { "in" };
-        let next =
-            has_more.then(|| format!("/circles/{uid}?dir={dir}&page={}", page + 1));
+        let next = has_more.then(|| format!("/circles/{uid}?dir={dir}&page={}", page + 1));
         Response::html(render::listing_page("circles", &entries, next))
     }
 
@@ -277,11 +387,8 @@ mod tests {
     fn tiny_platform() -> (Arc<Platform>, Arc<dyn Handler>, hsp_synth::Scenario) {
         let scenario = generate(&ScenarioConfig::tiny());
         let net = Arc::new(scenario.network.clone());
-        let platform = Platform::new(
-            net,
-            Arc::new(FacebookPolicy::new()),
-            PlatformConfig::default(),
-        );
+        let platform =
+            Platform::new(net, Arc::new(FacebookPolicy::new()), PlatformConfig::default());
         let handler = platform.into_handler();
         (platform, handler, scenario)
     }
@@ -322,10 +429,9 @@ mod tests {
             assert_eq!(r.status, Status::OK);
             let dom = parse(&r.body_string());
             for a in select(&dom, "#results a.profile-link") {
-                let uid = UserId::parse(
-                    a.get_attr("href").unwrap().strip_prefix("/profile/").unwrap(),
-                )
-                .unwrap();
+                let uid =
+                    UserId::parse(a.get_attr("href").unwrap().strip_prefix("/profile/").unwrap())
+                        .unwrap();
                 assert!(
                     !s.network.user(uid).is_registered_minor(s.network.today),
                     "search returned a registered minor"
@@ -345,8 +451,8 @@ mod tests {
         let (_p, handler, s) = tiny_platform();
         let cookie = login(&handler, "spy");
         let minor = s.registered_minor_students()[0];
-        let r = handler
-            .handle(&Request::get(format!("/profile/{minor}")).header("Cookie", &cookie));
+        let r =
+            handler.handle(&Request::get(format!("/profile/{minor}")).header("Cookie", &cookie));
         let dom = parse(&r.body_string());
         assert!(select(&dom, ".edu").is_empty());
         assert!(select(&dom, ".friends-link").is_empty());
@@ -396,8 +502,8 @@ mod tests {
             .user_ids()
             .find(|&u| s.network.user(u).privacy.friend_list != Audience::Public)
             .unwrap();
-        let r = handler
-            .handle(&Request::get(format!("/friends/{hidden}")).header("Cookie", &cookie));
+        let r =
+            handler.handle(&Request::get(format!("/friends/{hidden}")).header("Cookie", &cookie));
         assert_eq!(r.status, Status::FORBIDDEN);
     }
 
@@ -436,12 +542,45 @@ mod tests {
         let handler = platform.into_handler();
         let cookie = login(&handler, "greedy");
         for _ in 0..3 {
-            let r = handler
-                .handle(&Request::get("/profile/u0").header("Cookie", &cookie));
+            let r = handler.handle(&Request::get("/profile/u0").header("Cookie", &cookie));
             assert_eq!(r.status, Status::OK);
         }
         let r = handler.handle(&Request::get("/profile/u0").header("Cookie", &cookie));
         assert_eq!(r.status, Status::TOO_MANY_REQUESTS);
+    }
+
+    #[test]
+    fn admin_endpoints_report_without_touching_effort() {
+        let (platform, handler, _s) = tiny_platform();
+        let cookie = login(&handler, "spy");
+        let r = handler.handle(&Request::get("/profile/u0").header("Cookie", &cookie));
+        assert_eq!(r.status, Status::OK);
+        let served = platform.accounts.request_count(0);
+
+        let m = handler.handle(&Request::get("/__metrics"));
+        assert_eq!(m.status, Status::OK);
+        let text = m.body_string();
+        assert!(
+            text.contains("http_route_requests_total{route=\"/profile/:uid\"} 1"),
+            "missing profile counter in:\n{text}"
+        );
+
+        let st = handler.handle(&Request::get("/__status"));
+        assert_eq!(st.status, Status::OK);
+        let v: serde_json::Value = serde_json::from_str(&st.body_string()).unwrap();
+        assert!(v.get("uptime_ms").is_some());
+        let routes = v.get("routes").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(routes.len(), ROUTES.len());
+        assert_eq!(
+            v.get("accounts").and_then(|a| a.get("registered")).and_then(|n| n.as_u64()),
+            Some(1)
+        );
+
+        // Admin traffic is free: no request-counter (suspension/effort)
+        // movement, and no per-route metric for the admin paths.
+        assert_eq!(platform.accounts.request_count(0), served);
+        let text = handler.handle(&Request::get("/__metrics")).body_string();
+        assert!(!text.contains("route=\"/__metrics\""), "admin route was instrumented");
     }
 
     #[test]
@@ -459,12 +598,12 @@ mod tests {
             .unwrap();
         let minor = s.registered_minor_students()[0];
         let r = handler.handle(
-            &Request::post_form(&format!("/message/{open_adult}"), &[("body", "hi")])
+            &Request::post_form(format!("/message/{open_adult}"), &[("body", "hi")])
                 .header("Cookie", &cookie),
         );
         assert_eq!(r.status, Status::OK);
         let r = handler.handle(
-            &Request::post_form(&format!("/message/{minor}"), &[("body", "hi")])
+            &Request::post_form(format!("/message/{minor}"), &[("body", "hi")])
                 .header("Cookie", &cookie),
         );
         assert_eq!(r.status, Status::FORBIDDEN);
@@ -482,16 +621,14 @@ mod tests {
         let dom = parse(&r.body_string());
         let senior = s.network.senior_class_year();
         for a in select(&dom, "#results a.profile-link") {
-            let uid = UserId::parse(
-                a.get_attr("href").unwrap().strip_prefix("/profile/").unwrap(),
-            )
-            .unwrap();
+            let uid = UserId::parse(a.get_attr("href").unwrap().strip_prefix("/profile/").unwrap())
+                .unwrap();
             // Every hit publicly claims current attendance.
             let view = hsp_policy::FacebookPolicy::new().stranger_view(&s.network, uid);
             assert!(view
                 .education
                 .iter()
-                .any(|e| e.school == s.school && e.grad_year.map_or(false, |g| g >= senior)));
+                .any(|e| e.school == s.school && e.grad_year.is_some_and(|g| g >= senior)));
         }
     }
 }

@@ -25,5 +25,5 @@ pub mod render;
 pub mod search;
 
 pub use accounts::{AccountError, Accounts};
-pub use app::Platform;
+pub use app::{Platform, ROUTES};
 pub use config::PlatformConfig;

@@ -11,11 +11,8 @@ use hsp_policy::PublicView;
 /// Wrap body content in a page skeleton.
 pub fn page(title: &str, body_children: Vec<Element>) -> String {
     let mut body = el("body");
-    body.children
-        .extend(body_children.into_iter().map(hsp_markup::Node::Element));
-    let doc = el("html")
-        .child(el("head").child(text_el("title", title)))
-        .child(body);
+    body.children.extend(body_children.into_iter().map(hsp_markup::Node::Element));
+    let doc = el("html").child(el("head").child(text_el("title", title))).child(body);
     format!("<!DOCTYPE html>{}", doc.render())
 }
 
@@ -24,11 +21,8 @@ pub fn profile_page(net: &Network, view: &PublicView) -> String {
     let mut root = el("div").id("profile").attr("data-uid", view.user.to_string());
     root = root.child(text_el("h1", view.name.clone()).class("name"));
     if view.has_profile_photo {
-        root = root.child(
-            el("img")
-                .class("profile-photo")
-                .attr("src", format!("/photo/{}", view.user)),
-        );
+        root = root
+            .child(el("img").class("profile-photo").attr("src", format!("/photo/{}", view.user)));
     }
     if let Some(g) = view.gender {
         root = root.child(text_el("span", g.to_string()).class("gender"));
@@ -91,9 +85,7 @@ pub fn profile_page(net: &Network, view: &PublicView) -> String {
     }
     if let Some(b) = view.birthday {
         root = root.child(
-            text_el("span", b.to_string())
-                .class("birthday")
-                .attr("data-date", b.to_string()),
+            text_el("span", b.to_string()).class("birthday").attr("data-date", b.to_string()),
         );
     }
     if let Some(n) = view.photos_shared {

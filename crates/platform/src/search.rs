@@ -31,9 +31,7 @@ impl SearchIndex {
         pools
             .entry(school)
             .or_insert_with(|| {
-                net.user_ids()
-                    .filter(|&u| policy.searchable_by_school(net, u, school))
-                    .collect()
+                net.user_ids().filter(|&u| policy.searchable_by_school(net, u, school)).collect()
             })
             .clone()
     }
@@ -92,6 +90,7 @@ impl SearchIndex {
     /// Graph-search refinement ("current students at HS1 who live in
     /// city1", §3.1): the same pool filtered by extra predicates, still
     /// excluding registered minors by construction.
+    #[allow(clippy::too_many_arguments)]
     pub fn graph_search(
         &self,
         net: &Network,
@@ -107,9 +106,12 @@ impl SearchIndex {
             .into_iter()
             .filter(|&u| {
                 let view = policy.stranger_view(net, u);
-                if current_only && !view.education.iter().any(|e| {
-                    e.school == school && e.grad_year.map_or(false, |g| g >= senior)
-                }) {
+                if current_only
+                    && !view
+                        .education
+                        .iter()
+                        .any(|e| e.school == school && e.grad_year.is_some_and(|g| g >= senior))
+                {
                     return false;
                 }
                 if let Some(city) = city {

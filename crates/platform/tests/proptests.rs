@@ -3,8 +3,8 @@
 //! cap, and every page render must be scrapeable back losslessly.
 
 use hsp_graph::{
-    Date, Gender, Network, PrivacySettings, ProfileContent, Registration, Role, School,
-    SchoolId, SchoolKind, User, UserId,
+    Date, Gender, Network, PrivacySettings, ProfileContent, Registration, Role, School, SchoolId,
+    SchoolKind, User, UserId,
 };
 use hsp_http::{DirectExchange, Exchange, Handler, Request, Status};
 use hsp_platform::{Platform, PlatformConfig};
@@ -25,9 +25,7 @@ fn world(n_users: u64, edges: &[(u64, u64)]) -> Network {
     });
     for i in 0..n_users {
         let mut profile = ProfileContent::bare(format!("U{i}"), "Tester", Gender::Male);
-        profile
-            .education
-            .push(hsp_graph::EducationEntry::high_school(school, 2008));
+        profile.education.push(hsp_graph::EducationEntry::high_school(school, 2008));
         net.add_user(User {
             id: UserId(0),
             true_birth_date: Date::ymd(1988, 1, 1),
@@ -40,16 +38,16 @@ fn world(n_users: u64, edges: &[(u64, u64)]) -> Network {
             role: Role::Alumnus { school, grad_year: 2008 },
         });
     }
-    net.add_friendships_bulk(edges.iter().map(|&(a, b)| (UserId(a % n_users), UserId(b % n_users))));
+    net.add_friendships_bulk(
+        edges.iter().map(|&(a, b)| (UserId(a % n_users), UserId(b % n_users))),
+    );
     net
 }
 
 fn login(handler: &Arc<dyn Handler>) -> DirectExchange {
     let mut ex = DirectExchange::new(handler.clone());
-    ex.exchange(Request::post_form("/signup", &[("user", "p"), ("pass", "x")]))
-        .unwrap();
-    ex.exchange(Request::post_form("/login", &[("user", "p"), ("pass", "x")]))
-        .unwrap();
+    ex.exchange(Request::post_form("/signup", &[("user", "p"), ("pass", "x")])).unwrap();
+    ex.exchange(Request::post_form("/login", &[("user", "p"), ("pass", "x")])).unwrap();
     ex
 }
 

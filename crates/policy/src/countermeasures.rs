@@ -54,7 +54,7 @@ impl Policy for AgeConsistencySearchPolicy {
         // self-identified minor => screened from search.
         let claims_current = view.education.iter().any(|e| {
             e.kind == hsp_graph::EducationKind::HighSchool
-                && e.grad_year.map_or(false, |g| g >= senior)
+                && e.grad_year.is_some_and(|g| g >= senior)
         });
         !claims_current
     }
@@ -120,8 +120,8 @@ mod tests {
     use super::*;
     use crate::FacebookPolicy;
     use hsp_graph::{
-        Audience, Date, EducationEntry, Gender, PrivacySettings, ProfileContent,
-        Registration, Role, School, SchoolKind, User,
+        Audience, Date, EducationEntry, Gender, PrivacySettings, ProfileContent, Registration,
+        Role, School, SchoolKind, User,
     };
 
     fn world() -> (Network, SchoolId, UserId, UserId) {
@@ -188,8 +188,7 @@ mod tests {
     fn young_adult_cap_respects_existing_privacy() {
         let (mut net, _school, _lying, alumnus) = world();
         net.user_mut(alumnus).privacy.friend_list = Audience::Friends;
-        let capped =
-            YoungAdultFriendListPolicy::new(Arc::new(FacebookPolicy::new()), 21);
+        let capped = YoungAdultFriendListPolicy::new(Arc::new(FacebookPolicy::new()), 21);
         assert!(!capped.friend_list_stranger_visible(&net, alumnus));
     }
 }

@@ -130,8 +130,8 @@ impl Policy for FacebookPolicy {
 mod tests {
     use super::*;
     use hsp_graph::{
-        Date, EducationEntry, Gender, PrivacySettings, ProfileContent, Registration, Role,
-        School, SchoolKind, User,
+        Date, EducationEntry, Gender, PrivacySettings, ProfileContent, Registration, Role, School,
+        SchoolKind, User,
     };
 
     fn network_with(privacy: PrivacySettings, registered_birth: Date) -> (Network, UserId) {
@@ -164,8 +164,7 @@ mod tests {
 
     #[test]
     fn registered_minor_is_hard_capped_even_at_max_sharing() {
-        let (net, id) =
-            network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 5, 1));
+        let (net, id) = network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 5, 1));
         let view = FacebookPolicy::new().stranger_view(&net, id);
         assert!(view.is_minimal(), "minor view leaked: {view:?}");
         assert!(!view.message_button);
@@ -190,8 +189,7 @@ mod tests {
 
     #[test]
     fn registered_adult_locked_down_is_minimal() {
-        let (net, id) =
-            network_with(PrivacySettings::locked_down(), Date::ymd(1992, 5, 1));
+        let (net, id) = network_with(PrivacySettings::locked_down(), Date::ymd(1992, 5, 1));
         let view = FacebookPolicy::new().stranger_view(&net, id);
         assert!(view.is_minimal());
     }
@@ -201,14 +199,11 @@ mod tests {
         let policy = FacebookPolicy::new();
         // Truthful minor: listed school is public by settings, but the
         // account is a registered minor -> never searchable.
-        let (net, id) =
-            network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 5, 1));
+        let (net, id) = network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 5, 1));
         assert!(!policy.searchable_by_school(&net, id, SchoolId(0)));
         // Lying minor (registered adult): searchable.
-        let (net, id) = network_with(
-            PrivacySettings::facebook_adult_default(),
-            Date::ymd(1992, 5, 1),
-        );
+        let (net, id) =
+            network_with(PrivacySettings::facebook_adult_default(), Date::ymd(1992, 5, 1));
         assert!(policy.searchable_by_school(&net, id, SchoolId(0)));
         // Registered adult who opted out of public search: not searchable.
         let mut settings = PrivacySettings::facebook_adult_default();
@@ -224,10 +219,8 @@ mod tests {
 
     #[test]
     fn search_requires_matching_school() {
-        let (mut net, id) = network_with(
-            PrivacySettings::facebook_adult_default(),
-            Date::ymd(1992, 5, 1),
-        );
+        let (mut net, id) =
+            network_with(PrivacySettings::facebook_adult_default(), Date::ymd(1992, 5, 1));
         let other = net.add_school(School {
             id: SchoolId(0),
             name: "HS2".into(),

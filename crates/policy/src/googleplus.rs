@@ -98,12 +98,7 @@ impl Policy for GooglePlusPolicy {
         true
     }
 
-    fn visible_circles(
-        &self,
-        net: &Network,
-        owner: UserId,
-        incoming: bool,
-    ) -> Option<Vec<UserId>> {
+    fn visible_circles(&self, net: &Network, owner: UserId, incoming: bool) -> Option<Vec<UserId>> {
         // Both Table 6 circle rows share the friend-list audience.
         if !self.friend_list_stranger_visible(net, owner) {
             return None;
@@ -160,8 +155,8 @@ pub fn gplus_adult_default() -> hsp_graph::PrivacySettings {
 mod tests {
     use super::*;
     use hsp_graph::{
-        Date, EducationEntry, Gender, PrivacySettings, ProfileContent, Registration, Role,
-        School, SchoolKind, User,
+        Date, EducationEntry, Gender, PrivacySettings, ProfileContent, Registration, Role, School,
+        SchoolKind, User,
     };
 
     fn network_with(privacy: PrivacySettings, registered_birth: Date) -> (Network, UserId) {
@@ -203,8 +198,7 @@ mod tests {
     fn minor_maximising_sharing_leaks_everything_no_hard_cap() {
         // The crucial difference from Facebook: a G+ registered minor
         // *can* expose phone, birthday, photos (Table 6 worst-case).
-        let (net, id) =
-            network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 2, 1));
+        let (net, id) = network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 2, 1));
         let view = GooglePlusPolicy::new().stranger_view(&net, id);
         assert!(!view.is_minimal());
         assert!(view.contact.is_some(), "G+ worst case exposes phone");
@@ -214,8 +208,7 @@ mod tests {
 
     #[test]
     fn facebook_hard_caps_where_gplus_does_not() {
-        let (net, id) =
-            network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 2, 1));
+        let (net, id) = network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 2, 1));
         let fb = crate::FacebookPolicy::new().stranger_view(&net, id);
         let gp = GooglePlusPolicy::new().stranger_view(&net, id);
         assert!(fb.is_minimal());
@@ -225,8 +218,7 @@ mod tests {
     #[test]
     fn search_still_excludes_registered_minors() {
         let policy = GooglePlusPolicy::new();
-        let (net, id) =
-            network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 2, 1));
+        let (net, id) = network_with(PrivacySettings::maximum_sharing(), Date::ymd(1996, 2, 1));
         assert!(!policy.searchable_by_school(&net, id, SchoolId(0)));
         let (net, id) = network_with(gplus_adult_default(), Date::ymd(1992, 2, 1));
         assert!(policy.searchable_by_school(&net, id, SchoolId(0)));

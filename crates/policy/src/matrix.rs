@@ -6,8 +6,8 @@
 use crate::policy::Policy;
 use crate::view::PublicView;
 use hsp_graph::{
-    Date, EducationEntry, Gender, Network, PrivacySettings, ProfileContent, Registration,
-    Role, School, SchoolId, SchoolKind, User, UserId,
+    Date, EducationEntry, Gender, Network, PrivacySettings, ProfileContent, Registration, Role,
+    School, SchoolId, SchoolKind, User, UserId,
 };
 use serde::{Deserialize, Serialize};
 
@@ -157,10 +157,7 @@ pub fn probe_matrix(
             });
             let view = policy.stranger_view(&net, id);
             let searchable = policy.searchable_by_school(&net, id, school);
-            MatrixColumn {
-                label: label.to_string(),
-                visible: row_flags(&view, searchable),
-            }
+            MatrixColumn { label: label.to_string(), visible: row_flags(&view, searchable) }
         })
         .collect();
 

@@ -29,12 +29,7 @@ pub trait Policy: Send + Sync {
     /// "In Your Circles" (`incoming = false`) and "Have You in Circles"
     /// (`incoming = true`) rows. `None` = not visible or the platform
     /// has no circles. Default: platforms without circles return `None`.
-    fn visible_circles(
-        &self,
-        net: &Network,
-        owner: UserId,
-        incoming: bool,
-    ) -> Option<Vec<UserId>> {
+    fn visible_circles(&self, net: &Network, owner: UserId, incoming: bool) -> Option<Vec<UserId>> {
         let _ = (net, owner, incoming);
         None
     }

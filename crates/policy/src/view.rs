@@ -1,8 +1,8 @@
 //! The stranger-visible view of a profile.
 
 use hsp_graph::{
-    CityId, ContactInfo, Date, EducationEntry, Gender, InterestedIn, RelationshipStatus,
-    SchoolId, UserId,
+    CityId, ContactInfo, Date, EducationEntry, Gender, InterestedIn, RelationshipStatus, SchoolId,
+    UserId,
 };
 use serde::{Deserialize, Serialize};
 
@@ -92,10 +92,7 @@ impl PublicView {
 
     /// The high-school entry shown, if any.
     pub fn listed_high_school(&self) -> Option<EducationEntry> {
-        self.education
-            .iter()
-            .copied()
-            .find(|e| e.kind == hsp_graph::EducationKind::HighSchool)
+        self.education.iter().copied().find(|e| e.kind == hsp_graph::EducationKind::HighSchool)
     }
 }
 
@@ -111,8 +108,7 @@ mod tests {
 
     #[test]
     fn any_extra_field_breaks_minimality() {
-        let base =
-            PublicView::minimal(UserId(1), "A B".into(), Some(Gender::Female), true, vec![]);
+        let base = PublicView::minimal(UserId(1), "A B".into(), Some(Gender::Female), true, vec![]);
         let mut with_edu = base.clone();
         with_edu.education.push(EducationEntry::high_school(SchoolId(0), 2014));
         assert!(!with_edu.is_minimal());

@@ -6,8 +6,8 @@
 //! adult (the attacker's inference rule in §3.1).
 
 use hsp_graph::{
-    Audience, Date, EducationEntry, Gender, Network, PrivacySettings, ProfileContent,
-    Registration, Role, School, SchoolId, SchoolKind, User, UserId,
+    Audience, Date, EducationEntry, Gender, Network, PrivacySettings, ProfileContent, Registration,
+    Role, School, SchoolId, SchoolKind, User, UserId,
 };
 use hsp_policy::{FacebookPolicy, GooglePlusPolicy, Policy};
 use proptest::prelude::*;
@@ -46,10 +46,7 @@ prop_compose! {
 
 /// Build a one-user network; `true_birth_year`/`registered_birth_year`
 /// control minor status on 2012-03-15.
-fn build(
-    privacy: PrivacySettings,
-    registered_birth_year: i32,
-) -> (Network, UserId, SchoolId) {
+fn build(privacy: PrivacySettings, registered_birth_year: i32) -> (Network, UserId, SchoolId) {
     let mut net = Network::new(Date::ymd(2012, 3, 15));
     let city = net.add_city("X", "NY");
     let school = net.add_school(School {

@@ -9,6 +9,9 @@
 //! [`hs2`](ScenarioConfig::hs2) and [`hs3`](ScenarioConfig::hs3) encode
 //! the per-school calibration targets listed in DESIGN.md §4.
 
+// Seeds group as 0x<school>_<year>_<month> on purpose (crawl identity).
+#![allow(clippy::unusual_byte_groupings)]
+
 use hsp_graph::Date;
 use serde::{Deserialize, Serialize};
 
@@ -99,11 +102,7 @@ impl Default for LyingModel {
 /// residual remains, per §7's discussion).
 impl LyingModel {
     pub fn coppaless() -> Self {
-        LyingModel {
-            p_lie_when_underage: 0.02,
-            p_lie_to_adult: 0.5,
-            ..Self::default()
-        }
+        LyingModel { p_lie_when_underage: 0.02, p_lie_to_adult: 0.5, ..Self::default() }
     }
 }
 

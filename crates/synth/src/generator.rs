@@ -20,8 +20,8 @@ use crate::names::{sample_address, sample_first_name, sample_gender, sample_last
 use crate::privacy_assign::{sample_account_calibrated, ProfileExtras};
 use crate::scenario::Scenario;
 use hsp_graph::{
-    Date, EducationEntry, Network, ProfileContent, Registration, Role, School,
-    SchoolId, SchoolKind, User, UserId,
+    Date, EducationEntry, Network, ProfileContent, Registration, Role, School, SchoolId,
+    SchoolKind, User, UserId,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,9 +88,7 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
             let (privacy, extras) = sample_account_calibrated(&mut rng, openness);
             let mut profile = base_profile(&mut rng, &extras);
             if extras.lists_school {
-                profile
-                    .education
-                    .push(EducationEntry::high_school(school, grad_year));
+                profile.education.push(EducationEntry::high_school(school, grad_year));
             }
             if extras.lists_city {
                 profile.current_city = Some(home_city);
@@ -109,8 +107,7 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
                 privacy,
                 role: Role::CurrentStudent { school, grad_year },
             });
-            net.households_mut()
-                .add(sample_address(&mut rng), home_city, vec![id]);
+            net.households_mut().add(sample_address(&mut rng), home_city, vec![id]);
             students.push(id);
             by_class[ci].push(id);
         }
@@ -119,7 +116,7 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
     // ---- former students (churn) --------------------------------------
     let mut former: Vec<UserId> = Vec::new();
     for _ in 0..cfg.former_students {
-        let ci = rng.gen_range(0..4);
+        let ci = rng.gen_range(0..4usize);
         let grad_year = classes[ci];
         let true_birth = student_birth_date(&mut rng, grad_year);
         let registration = sample_registration(&mut rng, &cfg.lying, true_birth, cfg.today);
@@ -134,16 +131,12 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
         // The stale-profile trap: some transfers still list the target
         // school with their (future) grad year and never update it.
         if rng.gen_bool(0.18) {
-            profile
-                .education
-                .push(EducationEntry::high_school(school, grad_year));
+            profile.education.push(EducationEntry::high_school(school, grad_year));
         }
         let moved_away = rng.gen_bool(0.6);
         if rng.gen_bool(0.35) {
             // Updated profile: lists the new school (filter rule fodder).
-            profile
-                .education
-                .push(EducationEntry::high_school(other_school, grad_year));
+            profile.education.push(EducationEntry::high_school(other_school, grad_year));
         }
         if extras.lists_city {
             profile.current_city = Some(if moved_away { other_city } else { home_city });
@@ -169,21 +162,16 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
             let true_birth = student_birth_date(&mut rng, grad_year);
             // Alumni are adults; assume truthful (or by now irrelevant)
             // registration.
-            let join = add_years(true_birth, 14 + rng.gen_range(0..4))
-                .max(Date::ymd(2006, 9, 26)); // the OSN's public opening
+            let join = add_years(true_birth, 14 + rng.gen_range(0..4)).max(Date::ymd(2006, 9, 26)); // the OSN's public opening
             let registration = Registration {
                 registered_birth_date: true_birth,
                 registration_date: join.min(cfg.today),
             };
             let (privacy, extras) = sample_account_calibrated(&mut rng, &cfg.adult_openness);
             let mut profile = base_profile(&mut rng, &extras);
-            profile
-                .education
-                .push(EducationEntry::high_school(school, grad_year));
+            profile.education.push(EducationEntry::high_school(school, grad_year));
             if rng.gen_bool(0.5) {
-                profile
-                    .education
-                    .push(EducationEntry::college(college, Some(grad_year + 4)));
+                profile.education.push(EducationEntry::college(college, Some(grad_year + 4)));
             }
             if back >= 4 && rng.gen_bool(0.15) {
                 profile.education.push(EducationEntry::graduate_school(grad_school));
@@ -348,15 +336,12 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
             _ => unreachable!(),
         };
         let ci = classes.iter().position(|&c| c == grad_year).unwrap_or(3);
-        let k = normal(&mut rng, f.former_to_student_mean, f.former_to_student_mean * 0.3)
-            .max(0.0) as usize;
+        let k = normal(&mut rng, f.former_to_student_mean, f.former_to_student_mean * 0.3).max(0.0)
+            as usize;
         for _ in 0..k {
             let same_class = rng.gen_bool(0.8);
-            let class = if same_class {
-                &by_class[ci]
-            } else {
-                &by_class[rng.gen_range(0..4)]
-            };
+            let class =
+                if same_class { &by_class[ci] } else { &by_class[rng.gen_range(0..4usize)] };
             if class.is_empty() {
                 continue;
             }
@@ -399,8 +384,7 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
     // Classmates interact far more than incidental contacts; the wall a
     // stranger can sometimes see is the attacker's window onto this.
     {
-        let student_set: std::collections::HashSet<UserId> =
-            students.iter().copied().collect();
+        let student_set: std::collections::HashSet<UserId> = students.iter().copied().collect();
         let mut pairs: Vec<(UserId, UserId, u32)> = Vec::new();
         for u in net.user_ids() {
             for &v in net.friends(u) {
@@ -446,14 +430,7 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
         *net.circles_mut() = circles;
     }
 
-    Scenario {
-        config: cfg.clone(),
-        school,
-        other_school,
-        home_city,
-        other_city,
-        network: net,
-    }
+    Scenario { config: cfg.clone(), school, other_school, home_city, other_city, network: net }
 }
 
 /// The city a user lists, falling back to `default` (community adults
@@ -467,21 +444,15 @@ fn profile_city_or(net: &Network, u: UserId, default: hsp_graph::CityId) -> hsp_
 fn student_birth_date(rng: &mut impl Rng, grad_year: i32) -> Date {
     let offset_months = rng.gen_range(0..12); // 0 = September
     let month0 = 9 + offset_months;
-    let (year, month) = if month0 <= 12 {
-        (grad_year - 19, month0)
-    } else {
-        (grad_year - 18, month0 - 12)
-    };
+    let (year, month) =
+        if month0 <= 12 { (grad_year - 19, month0) } else { (grad_year - 18, month0 - 12) };
     Date::ymd(year, month as u8, rng.gen_range(1..=28))
 }
 
 fn base_profile(rng: &mut impl Rng, extras: &ProfileExtras) -> ProfileContent {
     let gender = sample_gender(rng);
-    let mut profile = ProfileContent::bare(
-        sample_first_name(rng, gender),
-        sample_last_name(rng),
-        gender,
-    );
+    let mut profile =
+        ProfileContent::bare(sample_first_name(rng, gender), sample_last_name(rng), gender);
     profile.photos_shared = extras.photos_shared;
     profile.wall_posts = extras.wall_posts;
     profile.relationship = extras.relationship;
@@ -537,12 +508,7 @@ mod tests {
         let roster = s.roster();
         let with_friends = roster
             .iter()
-            .filter(|&&u| {
-                s.network
-                    .friends(u)
-                    .iter()
-                    .any(|f| roster.binary_search(f).is_ok())
-            })
+            .filter(|&&u| s.network.friends(u).iter().any(|f| roster.binary_search(f).is_ok()))
             .count();
         assert!(with_friends as f64 > roster.len() as f64 * 0.9);
     }

@@ -47,9 +47,8 @@ pub fn sample_registration(
         } else {
             // Waited until their real 13th birthday (or the OSN's
             // opening, whichever is later).
-            join_date = add_years(true_birth, 13)
-                .add_days(rng.gen_range(0..180) as i64)
-                .max(osn_opening);
+            join_date =
+                add_years(true_birth, 13).add_days(rng.gen_range(0..180) as i64).max(osn_opening);
             age_at_join = 13;
             let _ = age_at_join;
         }
@@ -168,10 +167,7 @@ mod tests {
         let shift = birth.year() - reg.registered_birth_date.year();
         assert!((2..=5).contains(&shift), "shift {shift}");
         // Registered age is true age + shift; minor status follows.
-        assert_eq!(
-            reg.is_registered_minor(today()),
-            Date::age_on(birth, today()) + shift < 18
-        );
+        assert_eq!(reg.is_registered_minor(today()), Date::age_on(birth, today()) + shift < 18);
     }
 
     #[test]
@@ -180,8 +176,7 @@ mod tests {
         let model = LyingModel::default();
         for year in [1994, 1996, 1998, 2000] {
             for _ in 0..50 {
-                let reg =
-                    sample_registration(&mut rng, &model, Date::ymd(year, 7, 4), today());
+                let reg = sample_registration(&mut rng, &model, Date::ymd(year, 7, 4), today());
                 assert!(reg.registration_date <= today());
             }
         }
@@ -197,7 +192,7 @@ mod tests {
         let mut lying_adults = 0;
         let n = 2000;
         for i in 0..n {
-            let birth = Date::ymd(1994 + (i % 4) as i32, 1 + (i % 12) as u8, 15);
+            let birth = Date::ymd(1994 + (i % 4), 1 + (i % 12) as u8, 15);
             let reg = sample_registration(&mut rng, &model, birth, today());
             let truly_minor = Date::age_on(birth, today()) < 18;
             if truly_minor && !reg.is_registered_minor(today()) {

@@ -7,26 +7,70 @@ use hsp_graph::Gender;
 use rand::Rng;
 
 const FEMALE_FIRST: &[&str] = &[
-    "Ava", "Mia", "Zoe", "Lily", "Emma", "Nora", "Ruby", "Ella", "Ivy", "Maya",
-    "Chloe", "Grace", "Hannah", "Sofia", "Layla", "Aria", "Nina", "Tess", "Cora", "Jade",
-    "Paige", "Quinn", "Rosa", "Sara", "Tara", "Uma", "Vera", "Wren", "Luz", "Yara",
-    "Dana", "Erin", "Faye", "Gina", "Hope", "Iris", "June", "Kate", "Lena", "Mona",
+    "Ava", "Mia", "Zoe", "Lily", "Emma", "Nora", "Ruby", "Ella", "Ivy", "Maya", "Chloe", "Grace",
+    "Hannah", "Sofia", "Layla", "Aria", "Nina", "Tess", "Cora", "Jade", "Paige", "Quinn", "Rosa",
+    "Sara", "Tara", "Uma", "Vera", "Wren", "Luz", "Yara", "Dana", "Erin", "Faye", "Gina", "Hope",
+    "Iris", "June", "Kate", "Lena", "Mona",
 ];
 
 const MALE_FIRST: &[&str] = &[
-    "Eli", "Max", "Leo", "Sam", "Ben", "Jack", "Owen", "Luke", "Noah", "Ryan",
-    "Cole", "Evan", "Liam", "Mark", "Nate", "Omar", "Paul", "Reed", "Seth", "Troy",
-    "Wade", "Zane", "Alan", "Blake", "Carl", "Drew", "Emmett", "Felix", "Gus", "Hank",
-    "Ivan", "Joel", "Kyle", "Lars", "Miles", "Neil", "Otto", "Pete", "Quinn", "Ross",
+    "Eli", "Max", "Leo", "Sam", "Ben", "Jack", "Owen", "Luke", "Noah", "Ryan", "Cole", "Evan",
+    "Liam", "Mark", "Nate", "Omar", "Paul", "Reed", "Seth", "Troy", "Wade", "Zane", "Alan",
+    "Blake", "Carl", "Drew", "Emmett", "Felix", "Gus", "Hank", "Ivan", "Joel", "Kyle", "Lars",
+    "Miles", "Neil", "Otto", "Pete", "Quinn", "Ross",
 ];
 
 const LAST: &[&str] = &[
-    "Abbott", "Barnes", "Castillo", "Delgado", "Ellison", "Fleming", "Garrett", "Hobbs",
-    "Ibarra", "Jennings", "Keller", "Lowery", "McBride", "Norwood", "Ortega", "Pruitt",
-    "Quintana", "Rollins", "Sandoval", "Tillman", "Underwood", "Vasquez", "Whitfield",
-    "Xiong", "Yates", "Zamora", "Ashford", "Boyle", "Crane", "Dalton", "Emery", "Foss",
-    "Granger", "Hale", "Ingram", "Jarvis", "Kemp", "Landry", "Mercer", "Nash", "Odom",
-    "Pike", "Quigley", "Rhodes", "Slater", "Thorne", "Upton", "Vance", "Walsh", "York",
+    "Abbott",
+    "Barnes",
+    "Castillo",
+    "Delgado",
+    "Ellison",
+    "Fleming",
+    "Garrett",
+    "Hobbs",
+    "Ibarra",
+    "Jennings",
+    "Keller",
+    "Lowery",
+    "McBride",
+    "Norwood",
+    "Ortega",
+    "Pruitt",
+    "Quintana",
+    "Rollins",
+    "Sandoval",
+    "Tillman",
+    "Underwood",
+    "Vasquez",
+    "Whitfield",
+    "Xiong",
+    "Yates",
+    "Zamora",
+    "Ashford",
+    "Boyle",
+    "Crane",
+    "Dalton",
+    "Emery",
+    "Foss",
+    "Granger",
+    "Hale",
+    "Ingram",
+    "Jarvis",
+    "Kemp",
+    "Landry",
+    "Mercer",
+    "Nash",
+    "Odom",
+    "Pike",
+    "Quigley",
+    "Rhodes",
+    "Slater",
+    "Thorne",
+    "Upton",
+    "Vance",
+    "Walsh",
+    "York",
 ];
 
 /// Draw a gender (roughly balanced).
@@ -54,22 +98,22 @@ pub fn sample_first_name(rng: &mut impl Rng, gender: Gender) -> &'static str {
 }
 
 const LAST_PREFIX: &[&str] = &[
-    "Ash", "Black", "Briar", "Clay", "Cross", "Dun", "East", "Fair", "Fern", "Gold",
-    "Gray", "Green", "Hart", "Haw", "Hazel", "High", "Holt", "Iron", "Kings", "Lake",
-    "Long", "Marsh", "Mill", "Moor", "North", "Oak", "Red", "Ridge", "Rock", "Rose",
-    "Sand", "Shaw", "Silver", "Snow", "Stone", "Strat", "Thorn", "Wald", "West", "Wind",
+    "Ash", "Black", "Briar", "Clay", "Cross", "Dun", "East", "Fair", "Fern", "Gold", "Gray",
+    "Green", "Hart", "Haw", "Hazel", "High", "Holt", "Iron", "Kings", "Lake", "Long", "Marsh",
+    "Mill", "Moor", "North", "Oak", "Red", "Ridge", "Rock", "Rose", "Sand", "Shaw", "Silver",
+    "Snow", "Stone", "Strat", "Thorn", "Wald", "West", "Wind",
 ];
 
 const LAST_SUFFIX: &[&str] = &[
-    "berg", "born", "bridge", "brook", "bury", "by", "cliff", "combe", "cote", "dale",
-    "den", "field", "ford", "gate", "grove", "ham", "hurst", "land", "ley", "lock",
-    "man", "mere", "more", "mount", "pool", "port", "ridge", "shaw", "stead", "stock",
-    "stone", "ton", "wall", "ward", "water", "well", "wick", "wood", "worth", "yard",
+    "berg", "born", "bridge", "brook", "bury", "by", "cliff", "combe", "cote", "dale", "den",
+    "field", "ford", "gate", "grove", "ham", "hurst", "land", "ley", "lock", "man", "mere", "more",
+    "mount", "pool", "port", "ridge", "shaw", "stead", "stock", "stone", "ton", "wall", "ward",
+    "water", "well", "wick", "wood", "worth", "yard",
 ];
 
 const LAST_MID: &[&str] = &[
-    "inga", "er", "en", "el", "ow", "ar", "ama", "ona", "ey", "is",
-    "or", "an", "ell", "und", "ing", "os", "ede", "ura", "ani", "emi",
+    "inga", "er", "en", "el", "ow", "ar", "ama", "ona", "ey", "is", "or", "an", "ell", "und",
+    "ing", "os", "ede", "ura", "ani", "emi",
 ];
 
 /// Draw a surname with a realistic head/tail frequency split:
@@ -104,19 +148,31 @@ pub fn sample_last_name(rng: &mut impl Rng) -> String {
 }
 
 const STREETS: &[&str] = &[
-    "Oak St", "Maple Ave", "Cedar Ln", "Birch Rd", "Elm St", "Willow Way", "Aspen Ct",
-    "Chestnut Blvd", "Sycamore Dr", "Juniper Pl", "Magnolia Ave", "Poplar St",
-    "Hickory Ln", "Laurel Rd", "Alder Way", "Hawthorn Ct", "Linden Dr", "Spruce St",
-    "Walnut Ave", "Dogwood Ln",
+    "Oak St",
+    "Maple Ave",
+    "Cedar Ln",
+    "Birch Rd",
+    "Elm St",
+    "Willow Way",
+    "Aspen Ct",
+    "Chestnut Blvd",
+    "Sycamore Dr",
+    "Juniper Pl",
+    "Magnolia Ave",
+    "Poplar St",
+    "Hickory Ln",
+    "Laurel Rd",
+    "Alder Way",
+    "Hawthorn Ct",
+    "Linden Dr",
+    "Spruce St",
+    "Walnut Ave",
+    "Dogwood Ln",
 ];
 
 /// Generate a synthetic street address like "412 Maple Ave".
 pub fn sample_address(rng: &mut impl Rng) -> String {
-    format!(
-        "{} {}",
-        rng.gen_range(1..=999),
-        STREETS[rng.gen_range(0..STREETS.len())]
-    )
+    format!("{} {}", rng.gen_range(1..=999), STREETS[rng.gen_range(0..STREETS.len())])
 }
 
 #[cfg(test)]

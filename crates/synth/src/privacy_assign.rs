@@ -53,14 +53,12 @@ pub fn sample_account(rng: &mut impl Rng, o: &OpennessProfile) -> (PrivacySettin
     // interested-in, i.e. (field filled) AND (audience public). We fold
     // both coins into whether the field is present and make presence the
     // probability target when the audience came out public.
-    let relationship = rng
-        .gen_bool(0.55)
-        .then(|| match rng.gen_range(0..4) {
-            0 => RelationshipStatus::Single,
-            1 => RelationshipStatus::InARelationship,
-            2 => RelationshipStatus::Complicated,
-            _ => RelationshipStatus::Married,
-        });
+    let relationship = rng.gen_bool(0.55).then(|| match rng.gen_range(0..4) {
+        0 => RelationshipStatus::Single,
+        1 => RelationshipStatus::InARelationship,
+        2 => RelationshipStatus::Complicated,
+        _ => RelationshipStatus::Married,
+    });
     let interested_in = rng.gen_bool(0.5).then(|| match rng.gen_range(0..3) {
         0 => InterestedIn::Men,
         1 => InterestedIn::Women,

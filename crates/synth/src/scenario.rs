@@ -50,7 +50,9 @@ impl Scenario {
     pub fn former_students(&self) -> Vec<UserId> {
         self.network
             .users()
-            .filter(|u| matches!(u.role, Role::FormerStudent { school, .. } if school == self.school))
+            .filter(
+                |u| matches!(u.role, Role::FormerStudent { school, .. } if school == self.school),
+            )
             .map(|u| u.id)
             .collect()
     }

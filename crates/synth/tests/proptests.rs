@@ -7,15 +7,8 @@ use hsp_synth::{generate, ScenarioConfig};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
-    (
-        any::<u64>(),
-        40u32..120,
-        0.5f64..1.0,
-        0.0f64..1.0,
-        0.0f64..0.6,
-        0u32..30,
-    )
-        .prop_map(|(seed, size, adoption, p_lie, p_adult, formers)| {
+    (any::<u64>(), 40u32..120, 0.5f64..1.0, 0.0f64..1.0, 0.0f64..0.6, 0u32..30).prop_map(
+        |(seed, size, adoption, p_lie, p_adult, formers)| {
             let mut cfg = ScenarioConfig::tiny();
             cfg.seed = seed;
             cfg.school_size = size;
@@ -26,7 +19,8 @@ fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
             cfg.former_students = formers;
             cfg.community_pool_size = 300;
             cfg
-        })
+        },
+    )
 }
 
 proptest! {

@@ -24,6 +24,5 @@ pub mod voter;
 pub use phishing::{compose_lure, run_campaign, CampaignStats};
 pub use risk::{exposure_of, Exposure, ExposureDistribution};
 pub use voter::{
-    link_address, link_students, AddressLink, LinkConfidence, LinkStats, VoterRecord,
-    VoterRoll,
+    link_address, link_students, AddressLink, LinkConfidence, LinkStats, VoterRecord, VoterRoll,
 };

@@ -3,9 +3,8 @@
 use rand::Rng;
 
 const GUARDIAN_FIRST: &[&str] = &[
-    "Alice", "Brian", "Carol", "David", "Elaine", "Frank", "Gloria", "Harold",
-    "Irene", "James", "Karen", "Louis", "Martha", "Norman", "Olive", "Peter",
-    "Rita", "Steven", "Teresa", "Victor",
+    "Alice", "Brian", "Carol", "David", "Elaine", "Frank", "Gloria", "Harold", "Irene", "James",
+    "Karen", "Louis", "Martha", "Norman", "Olive", "Peter", "Rita", "Steven", "Teresa", "Victor",
 ];
 
 /// Draw a guardian first name.

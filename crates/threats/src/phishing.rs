@@ -68,10 +68,7 @@ pub fn run_campaign(
 ) -> Result<CampaignStats, CrawlError> {
     let mut stats = CampaignStats { targets: profiles.len(), ..Default::default() };
     for profile in profiles {
-        let friend_name = profile
-            .known_friends
-            .first()
-            .and_then(|&f| friend_name_of(f));
+        let friend_name = profile.known_friends.first().and_then(|&f| friend_name_of(f));
         if friend_name.is_some() {
             stats.personalized_with_friend += 1;
         }
@@ -145,10 +142,8 @@ mod tests {
     #[test]
     fn campaign_counts_delivery_and_personalization() {
         let profiles = vec![profile(1, vec![9]), profile(2, vec![]), profile(3, vec![9])];
-        let mut stub = Stub {
-            accepts: [UserId(1), UserId(3)].into_iter().collect(),
-            sent: Vec::new(),
-        };
+        let mut stub =
+            Stub { accepts: [UserId(1), UserId(3)].into_iter().collect(), sent: Vec::new() };
         let stats = run_campaign(&mut stub, &profiles, "Lincoln High", |f| {
             (f == UserId(9)).then(|| "Bo Nash".to_string())
         })

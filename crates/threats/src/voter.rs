@@ -72,8 +72,7 @@ impl VoterRoll {
                     // handled above.)
                     let n_guardians = 1 + usize::from(rng.gen_bool(0.6));
                     for _ in 0..n_guardians {
-                        let first =
-                            crate::namegen::guardian_first_name(&mut rng);
+                        let first = crate::namegen::guardian_first_name(&mut rng);
                         roll.push(VoterRecord {
                             first_name: first,
                             last_name: user.profile.last_name.clone(),
@@ -173,11 +172,10 @@ pub fn link_address(
     }
     // Friend-list confirmation: a candidate voter who is in the
     // student's recovered friends.
-    if let Some(confirmed) = candidates.iter().find(|r| {
-        r.osn_user
-            .map(|u| known_friends.binary_search(&u).is_ok())
-            .unwrap_or(false)
-    }) {
+    if let Some(confirmed) = candidates
+        .iter()
+        .find(|r| r.osn_user.map(|u| known_friends.binary_search(&u).is_ok()).unwrap_or(false))
+    {
         return AddressLink {
             student,
             confidence: LinkConfidence::FriendListConfirmed,

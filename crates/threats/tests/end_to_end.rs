@@ -9,8 +9,7 @@ use hsp_platform::{Platform, PlatformConfig};
 use hsp_policy::FacebookPolicy;
 use hsp_synth::{generate, Scenario, ScenarioConfig};
 use hsp_threats::{
-    exposure_of, link_students, run_campaign, ExposureDistribution, LinkConfidence,
-    VoterRoll,
+    exposure_of, link_students, run_campaign, ExposureDistribution, LinkConfidence, VoterRoll,
 };
 use std::sync::Arc;
 
@@ -77,11 +76,7 @@ fn threat_chain_resolves_addresses_and_measures_phishing() {
         "only {:.0}% of students resolved to an address",
         stats.pct_resolved()
     );
-    assert!(
-        stats.precision() > 90.0,
-        "address precision {:.0}%",
-        stats.precision()
-    );
+    assert!(stats.precision() > 90.0, "address precision {:.0}%", stats.precision());
     // Friend-list confirmation happens for students with OSN parents in
     // their recovered lists.
     assert!(stats.friend_confirmed > 0, "no friend-confirmed links");

@@ -56,7 +56,7 @@ proptest! {
                 let addr = link.address.as_deref().expect("address");
                 let confirmed_exists = candidates.iter().any(|r| {
                     r.address == addr
-                        && r.osn_user.map_or(false, |u| friends.contains(&u))
+                        && r.osn_user.is_some_and(|u| friends.contains(&u))
                 });
                 prop_assert!(confirmed_exists);
             }
@@ -66,7 +66,7 @@ proptest! {
                 prop_assert!(all_same);
                 // And no friend match existed (else it would have won).
                 let friend_match = candidates.iter().any(|r| {
-                    r.osn_user.map_or(false, |u| friends.contains(&u))
+                    r.osn_user.is_some_and(|u| friends.contains(&u))
                 });
                 prop_assert!(!friend_match);
             }

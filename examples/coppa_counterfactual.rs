@@ -12,9 +12,7 @@
 //! cargo run --release --example coppa_counterfactual [-- --full]
 //! ```
 
-use hs_profiler::core::{
-    run_coppaless_heuristic, score_minimal_set, CoppalessOptions,
-};
+use hs_profiler::core::{run_coppaless_heuristic, score_minimal_set, CoppalessOptions};
 use hs_profiler::experiments::{full_attack, Lab};
 use hs_profiler::policy::{FacebookPolicy, Policy};
 use hs_profiler::synth::ScenarioConfig;

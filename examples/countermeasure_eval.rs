@@ -32,8 +32,7 @@ fn main() {
         let run = full_attack(&mut lab, false);
         let t = run.config.school_size_estimate as usize;
         let guessed = run.enhanced.guessed_students(t);
-        let point =
-            evaluate(t, &guessed, |u| run.enhanced.inferred_year(u, &run.config), &truth);
+        let point = evaluate(t, &guessed, |u| run.enhanced.inferred_year(u, &run.config), &truth);
         println!(
             "{label}:\n  core {} users, candidates {}, found {}/{} ({:.0}%), {} false positives",
             run.enhanced.extended_core.len(),

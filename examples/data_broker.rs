@@ -70,16 +70,11 @@ fn main() {
     // 4. Measure the spear-phishing channel (composition + deliverability
     //    only; see hsp-threats docs).
     let school_name = lab.scenario.network.school(lab.scenario.school).name.clone();
-    let names: std::collections::HashMap<_, _> = lab
-        .scenario
-        .network
-        .users()
-        .map(|u| (u.id, u.profile.full_name()))
-        .collect();
-    let campaign = run_campaign(run.access.as_mut(), &profiles, &school_name, |f| {
-        names.get(&f).cloned()
-    })
-    .expect("campaign");
+    let names: std::collections::HashMap<_, _> =
+        lab.scenario.network.users().map(|u| (u.id, u.profile.full_name())).collect();
+    let campaign =
+        run_campaign(run.access.as_mut(), &profiles, &school_name, |f| names.get(&f).cloned())
+            .expect("campaign");
     println!(
         "\nphishing channel: {} of {} targets directly messageable ({:.0}%)",
         campaign.delivered,
@@ -96,9 +91,5 @@ fn main() {
     for (score, n) in dist.counts.iter().enumerate() {
         println!("  {score} of 5 components: {n} students {}", "#".repeat(n / 3));
     }
-    println!(
-        "high exposure (>=4 components): {} of {}",
-        dist.at_least(4),
-        dist.total()
-    );
+    println!("high exposure (>=4 components): {} of {}", dist.at_least(4), dist.total());
 }

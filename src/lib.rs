@@ -5,6 +5,7 @@ pub use hsp_experiments as experiments;
 pub use hsp_graph as graph;
 pub use hsp_http as http;
 pub use hsp_markup as markup;
+pub use hsp_obs as obs;
 pub use hsp_platform as platform;
 pub use hsp_policy as policy;
 pub use hsp_synth as synth;

@@ -24,14 +24,10 @@ fn unknown_experiment_is_rejected() {
 #[test]
 fn experiment_registry_is_complete_and_unique() {
     // Every table (1–6) and figure (1–4) of the paper has a runner.
-    for required in [
-        "table1", "table2", "table3", "table4", "table5", "table6",
-        "fig1", "fig2", "fig3", "fig4",
-    ] {
-        assert!(
-            ALL_EXPERIMENTS.contains(&required),
-            "missing experiment {required}"
-        );
+    for required in
+        ["table1", "table2", "table3", "table4", "table5", "table6", "fig1", "fig2", "fig3", "fig4"]
+    {
+        assert!(ALL_EXPERIMENTS.contains(&required), "missing experiment {required}");
     }
     let mut ids: Vec<&str> = ALL_EXPERIMENTS.to_vec();
     ids.sort_unstable();

@@ -1,0 +1,95 @@
+//! Cross-crate integration: run the paper's attack over real loopback
+//! TCP and verify the shared registry observed it — route counters
+//! advanced, latency quantiles exist, the snapshot survives a JSON
+//! round trip — while the admin endpoints stay off the attacker's
+//! books (no Effort movement, no per-account request accounting).
+
+use hs_profiler::experiments::runner::{full_attack, Lab};
+use hs_profiler::http::Client;
+use hs_profiler::synth::ScenarioConfig;
+
+/// Pull the sample value for an exact metric key out of Prometheus text.
+fn sample(text: &str, key: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(key) && l[key.len()..].starts_with(' '))
+        .and_then(|l| l[key.len() + 1..].trim().parse().ok())
+}
+
+#[test]
+fn tcp_attack_is_visible_in_metrics_and_admin_routes_are_free() {
+    let mut lab = Lab::facebook(&ScenarioConfig::tiny());
+    let addr = lab.serve().expect("bind loopback server");
+    let run = full_attack(&mut lab, true);
+    let effort_after_attack = run.access.effort();
+    assert!(effort_after_attack.total() > 0, "attack issued no requests");
+
+    let mut admin = Client::new(addr);
+    let metrics = admin.get("/__metrics").expect("GET /__metrics");
+    let text = metrics.body_string();
+
+    // The crawl must have left non-zero counters on the routes the
+    // paper's methodology hits, with latency summaries alongside.
+    for route in ["/profile/:uid", "/friends/:uid", "/find-friends"] {
+        let key = format!("http_route_requests_total{{route=\"{route}\"}}");
+        let hits = sample(&text, &key).unwrap_or_else(|| panic!("missing {key} in:\n{text}"));
+        assert!(hits > 0.0, "{key} is zero");
+        let count_key = format!("http_route_latency_us_count{{route=\"{route}\"}}");
+        assert_eq!(sample(&text, &count_key), Some(hits), "latency count != hits for {route}");
+        for q in ["0.5", "0.95", "0.99"] {
+            let qkey = format!("http_route_latency_us{{route=\"{route}\",quantile=\"{q}\"}}");
+            assert!(sample(&text, &qkey).is_some(), "missing {qkey}");
+        }
+    }
+    // Transport-level accounting saw the same traffic.
+    assert!(sample(&text, "http_server_requests_total").unwrap_or(0.0) > 0.0);
+    // Attacker-side accounting agrees with the crawler's own Effort.
+    let fetched_profiles =
+        sample(&text, "crawler_fetch_total{endpoint=\"profile\"}").unwrap_or(0.0);
+    assert_eq!(fetched_profiles as u64, effort_after_attack.profile_requests);
+
+    let status = admin.get("/__status").expect("GET /__status");
+    let v: serde_json::Value = serde_json::from_str(&status.body_string()).expect("status JSON");
+    assert!(v.get("uptime_ms").and_then(|u| u.as_u64()).is_some());
+    let routes = v.get("routes").and_then(|r| r.as_array()).expect("routes table");
+    assert!(!routes.is_empty());
+    let registered = v
+        .get("accounts")
+        .and_then(|a| a.get("registered"))
+        .and_then(|n| n.as_u64())
+        .expect("accounts.registered");
+    assert!(registered >= run.effort_total.auth_requests / 2, "fake accounts not counted");
+
+    // Admin traffic is free: hammering the endpoints moves neither the
+    // crawler's Effort nor the platform's per-account request counters.
+    let served_before: Vec<u64> = (0..lab.platform.accounts.account_count())
+        .map(|i| lab.platform.accounts.request_count(i))
+        .collect();
+    for _ in 0..5 {
+        admin.get("/__metrics").expect("GET /__metrics");
+        admin.get("/__status").expect("GET /__status");
+    }
+    assert_eq!(run.access.effort(), effort_after_attack);
+    let served_after: Vec<u64> = (0..lab.platform.accounts.account_count())
+        .map(|i| lab.platform.accounts.request_count(i))
+        .collect();
+    assert_eq!(served_before, served_after, "admin hits billed to accounts");
+    let text = admin.get("/__metrics").unwrap().body_string();
+    assert!(!text.contains("route=\"/__metrics\""), "admin route was instrumented");
+    assert!(!text.contains("route=\"/__status\""), "admin route was instrumented");
+}
+
+#[test]
+fn metrics_snapshot_round_trips_through_serde_json() {
+    let mut lab = Lab::facebook(&ScenarioConfig::tiny());
+    let _run = full_attack(&mut lab, false);
+    let snap = lab.obs.snapshot();
+    assert!(!snap.counters.is_empty() && !snap.histograms.is_empty());
+    let json = serde_json::to_string_pretty(&snap).expect("serialize snapshot");
+    let back: hs_profiler::obs::Snapshot = serde_json::from_str(&json).expect("parse snapshot");
+    assert_eq!(back.counters, snap.counters);
+    assert_eq!(back.gauges, snap.gauges);
+    assert_eq!(
+        back.histograms.get("experiment_phase_us{phase=\"crawl\"}").map(|h| h.count),
+        snap.histograms.get("experiment_phase_us{phase=\"crawl\"}").map(|h| h.count),
+    );
+}

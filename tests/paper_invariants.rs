@@ -5,9 +5,7 @@ use hs_profiler::core::{run_basic, AttackConfig, GroundTruth};
 use hs_profiler::crawler::{Crawler, OsnAccess};
 use hs_profiler::http::DirectExchange;
 use hs_profiler::platform::{Platform, PlatformConfig};
-use hs_profiler::policy::{
-    facebook_matrix, googleplus_matrix, FacebookPolicy, InfoRow, Policy,
-};
+use hs_profiler::policy::{facebook_matrix, googleplus_matrix, FacebookPolicy, InfoRow};
 use hs_profiler::synth::{generate, Scenario, ScenarioConfig};
 use std::sync::Arc;
 
@@ -87,11 +85,7 @@ fn core_is_mostly_lying_minors() {
     let d = run_basic(&mut crawler, &config).unwrap();
     assert!(!d.core.is_empty());
     let today = scenario.network.today;
-    let student_cores = d
-        .core
-        .iter()
-        .filter(|c| scenario.is_student(c.id))
-        .count();
+    let student_cores = d.core.iter().filter(|c| scenario.is_student(c.id)).count();
     let lying_cores = d
         .core
         .iter()
@@ -118,11 +112,8 @@ fn reverse_lookup_counts_are_consistent_with_ground_truth() {
     let d = run_basic(&mut crawler, &config).unwrap();
     for cand in d.ranked.iter().take(200) {
         let total: u32 = cand.core_friends_by_class.iter().sum();
-        let actual = d
-            .core
-            .iter()
-            .filter(|c| scenario.network.are_friends(c.id, cand.id))
-            .count() as u32;
+        let actual =
+            d.core.iter().filter(|c| scenario.network.are_friends(c.id, cand.id)).count() as u32;
         assert_eq!(total, actual, "candidate {}", cand.id);
     }
 }

@@ -42,8 +42,7 @@ fn offline_replay_reproduces_live_discovery() {
     let exchanges: Vec<DirectExchange> =
         (0..2).map(|_| DirectExchange::new(handler2.clone())).collect();
     let mut capture_crawler = Crawler::new(exchanges, "snap").unwrap();
-    let snapshot =
-        CrawlSnapshot::capture(&mut capture_crawler, scenario.school, &[]).unwrap();
+    let snapshot = CrawlSnapshot::capture(&mut capture_crawler, scenario.school, &[]).unwrap();
     assert!(snapshot.effort.total() > 0);
 
     // JSON round trip, then replay the methodology offline.

@@ -1,0 +1,127 @@
+//! Offline stand-in for `criterion`: same macro/API surface, minimal
+//! engine. Each benchmark runs a short warmup plus a fixed number of
+//! timed iterations and prints mean wall-clock per iteration — no
+//! statistics, outlier analysis, or HTML reports. Honors
+//! `CRITERION_STUB_ITERS` for the iteration count (default 10; set 1
+//! for a smoke run). See `vendor/stubs/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn stub_iters() -> u64 {
+    std::env::var("CRITERION_STUB_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(10)
+}
+
+/// Per-iteration timer handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup round, untimed.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// Throughput annotation (accepted, reported alongside the mean).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let iters = stub_iters();
+    let mut b = Bencher { iters, total: Duration::ZERO };
+    f(&mut b);
+    let mean = b.total.checked_div(iters as u32).unwrap_or_default();
+    println!("bench {id:<40} {mean:>12.3?}/iter ({iters} iters)");
+}
+
+/// Group of related benchmarks (`c.benchmark_group(...)`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self.configure()
+    }
+
+    fn configure(self) -> Self {
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,97 @@
+//! Offline stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//!
+//! Covers the subset this workspace uses: `bounded`/`unbounded`
+//! constructors, cloneable `Sender`/`Receiver`, blocking `send`/`recv`
+//! and `try_recv`. Cloneable receivers are emulated by sharing one mpsc
+//! receiver behind a mutex, which preserves the work-queue semantics
+//! (each message is delivered to exactly one receiver).
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+pub struct Sender<T>(mpsc::SyncSender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocks while the channel is full, like crossbeam's bounded send.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.0.send(msg)
+    }
+
+    pub fn try_send(&self, msg: T) -> Result<(), T> {
+        self.0.try_send(msg).map_err(|e| match e {
+            mpsc::TrySendError::Full(v) | mpsc::TrySendError::Disconnected(v) => v,
+        })
+    }
+}
+
+pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        Receiver(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let guard = match self.0.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.recv()
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let guard = match self.0.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.try_recv()
+    }
+}
+
+/// Channel with a bounded buffer: sends block once `cap` messages are
+/// queued (cap 0 degrades to a rendezvous channel, as in crossbeam).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+}
+
+/// Unbounded channel (a large sync buffer; practically unbounded for
+/// this workspace's test-scale workloads).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    bounded(1 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_to_cloned_receivers() {
+        let (tx, rx) = bounded::<u32>(8);
+        let rx2 = rx.clone();
+        let h = std::thread::spawn(move || rx2.recv().unwrap());
+        tx.send(7).unwrap();
+        assert_eq!(h.join().unwrap(), 7);
+        drop(tx);
+        assert!(rx.recv().is_err(), "disconnects when senders are gone");
+    }
+
+    #[test]
+    fn bounded_backpressure() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        assert!(tx.try_send(2).is_err());
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

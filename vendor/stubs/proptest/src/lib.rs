@@ -1,0 +1,719 @@
+//! Offline stand-in for `proptest`: randomized property testing over
+//! the same surface syntax (`proptest!`, `prop_compose!`,
+//! `prop_oneof!`, regex string strategies, `prop::collection`,
+//! `prop_recursive`, …) but with a much simpler engine — plain random
+//! sampling with a deterministic per-test seed, and **no shrinking**.
+//! A failing case reports its case number and seed so it can be
+//! re-run. See `vendor/stubs/README.md`.
+
+pub mod regex;
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+// ---- deterministic RNG ---------------------------------------------
+
+/// SplitMix64: tiny, deterministic, good-enough mixing for test-case
+/// generation.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; n must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform in `[0, 1)` with 53 mantissa bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from its name.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// ---- config --------------------------------------------------------
+
+/// Subset of proptest's config: only `cases` matters here. The
+/// `PROPTEST_CASES` environment variable overrides it, as upstream.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; the stand-in trades volume for
+        // wall-clock in offline CI. Override with PROPTEST_CASES.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+// ---- the Strategy trait --------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Iterated recursion: applies `recurse` `depth` times over the
+    /// leaf strategy. Each level decides how much of the inner level
+    /// to embed (e.g. via `prop::collection::vec(inner, 0..k)`), so
+    /// generated structures are bounded by `depth`. The `_desired_size`
+    /// and `_expected_branch_size` tuning knobs are accepted for
+    /// signature compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = recurse(strat).boxed();
+        }
+        strat
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// Type-erased strategy (cheap to clone; shares the underlying recipe).
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// Uniform choice between heterogeneous strategies with one value type
+/// (built by `prop_oneof!`).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf(self.0.clone())
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.below(self.0.len());
+        self.0[idx].sample(rng)
+    }
+}
+
+/// Regex string strategies: `"[a-z]{1,8}"` is a `Strategy<Value = String>`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        regex::Pattern::compile(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+            .sample(rng)
+    }
+}
+
+// ---- numeric range strategies --------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $ty
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $ty) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + (rng.unit_f64() as $ty) * (hi - lo)
+                }
+            }
+        )*
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+impl Strategy for Range<char> {
+    type Value = char;
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "empty range strategy");
+        char::from_u32(lo + rng.below((hi - lo) as usize) as u32).unwrap_or(self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<char> {
+    type Value = char;
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (*self.start() as u32, *self.end() as u32);
+        assert!(lo <= hi, "empty range strategy");
+        char::from_u32(lo + rng.below((hi - lo + 1) as usize) as u32).unwrap_or(*self.start())
+    }
+}
+
+// ---- tuple strategies ----------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+    (A, B, C, D, E, F, G, H, I, J, K)
+    (A, B, C, D, E, F, G, H, I, J, K, L)
+}
+
+// ---- any::<T>() ----------------------------------------------------
+
+/// Types with a canonical whole-domain strategy. Integer and float
+/// strategies are biased toward boundary values (zero, one, MAX, NaN,
+/// infinities), which is where the interesting bugs live.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A> Clone for Any<A> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The strategy for any supported type's full domain.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {
+        $(impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // 1-in-4: boundary values.
+                if rng.below(4) == 0 {
+                    match rng.below(4) {
+                        0 => 0 as $ty,
+                        1 => 1 as $ty,
+                        2 => <$ty>::MAX,
+                        _ => <$ty>::MIN,
+                    }
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        })*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('\u{fffd}')
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        if rng.below(4) == 0 {
+            const SPECIAL: [f64; 8] = [
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                0.0,
+                -0.0,
+                1.0,
+                f64::MAX,
+                f64::MIN_POSITIVE,
+            ];
+            SPECIAL[rng.below(SPECIAL.len())]
+        } else {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> String {
+        let len = rng.below(33);
+        (0..len).map(|_| char::arbitrary(rng)).collect()
+    }
+}
+
+// ---- collection / option modules -----------------------------------
+
+/// Element-count specification for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below(self.hi_inclusive - self.lo + 1)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = std::collections::BTreeSet::new();
+            // Duplicates shrink the set; bounded retries to approach
+            // the target size.
+            for _ in 0..target * 3 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+
+    /// `BTreeSet` with about `size` elements drawn from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // 3-in-4 Some, mirroring upstream's Some-heavy default.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+
+    /// `Option` wrapper strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+// Longhand module paths, mirroring upstream's layout.
+pub mod strategy {
+    pub use super::{BoxedStrategy, Just, Map, OneOf, Strategy};
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// ---- macros --------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(vec![ $($crate::Strategy::boxed($strat)),+ ])
+    };
+}
+
+/// `prop_compose! { fn name(args)(field in strat, ...) -> Ret { body } }`
+/// expands to `fn name(args) -> impl Strategy<Value = Ret>`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident $params:tt
+        ($($field:ident in $strat:expr),+ $(,)?)
+        -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name $params -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($field,)+)| $body,
+            )
+        }
+    };
+}
+
+/// The test harness macro. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs. No shrinking: a
+/// failure reports the case number and seed for reproduction.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: no test functions left.
+    (@funcs ($cfg:expr)) => {};
+    // Internal: one test function, then recurse on the rest.
+    (@funcs ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| $crate::fnv1a(concat!(module_path!(), "::", stringify!($name))));
+            for case in 0..cases {
+                let mut rng = $crate::TestRng::new(seed ^ (case as u64).wrapping_mul(0x9e3779b97f4a7c15));
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = run {
+                    eprintln!(
+                        "proptest {}: case {case}/{cases} failed (seed {seed}; re-run with PROPTEST_SEED={seed})",
+                        stringify!($name),
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    // Entry with a config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    // Entry without a config header.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+// ---- self-tests ----------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..10, b in 10u32..20) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0usize..100, (a, b) in (0i32..5, 5i32..10)) {
+            prop_assert!(x < 100);
+            prop_assert!(a < b, "a={a} b={b}");
+        }
+
+        #[test]
+        fn composed_pairs_ordered(pair in arb_pair()) {
+            prop_assert!(pair.0 < pair.1);
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            words in prop::collection::vec(
+                prop_oneof![Just("x".to_string()), "[a-c]{2,4}"],
+                1..8,
+            ),
+            set in prop::collection::btree_set(any::<u8>(), 0..6),
+            opt in prop::option::of(0u8..4),
+        ) {
+            prop_assert!(!words.is_empty() && words.len() < 8);
+            for w in &words {
+                prop_assert!(w == "x" || (2..=4).contains(&w.len()));
+            }
+            prop_assert!(set.len() <= 6);
+            if let Some(v) = opt {
+                prop_assert!(v < 4);
+            }
+        }
+
+        #[test]
+        fn any_hits_extremes_eventually(v in any::<u64>(), f in any::<f64>()) {
+            let _ = (v, f); // just exercising generation
+        }
+    }
+
+    #[test]
+    fn recursion_is_bounded() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::new(42);
+        for _ in 0..200 {
+            assert!(depth(&strat.sample(&mut rng)) <= 4);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Regex-subset sampler backing string strategies (`"[a-z]{1,8}"`).
+//!
+//! Supported syntax: literals, `\`-escapes (`\n` `\r` `\t` `\d` `\w`
+//! `\s` and escaped metacharacters), `.`, classes `[...]` with ranges,
+//! negation (`[^...]`) and Java-style intersection (`[a-z&&[^cd]]`),
+//! groups with alternation `(a|b)`, and the quantifiers `?` `*` `+`
+//! `{m}` `{m,}` `{m,n}`. Unbounded quantifiers are capped at 8
+//! repetitions (plus the minimum). The alphabet is printable ASCII plus
+//! tab/newline/CR — a deliberate narrowing of real proptest's full
+//! Unicode string generation.
+
+use super::TestRng;
+
+/// Character alphabet for `.` (which excludes `\n`) and for negated
+/// classes (which don't).
+fn universe() -> Vec<char> {
+    let mut v: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+    v.push('\t');
+    v.push('\n');
+    v.push('\r');
+    v
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<char>),
+    Group(Vec<Vec<Node>>), // alternation branches, each a sequence
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// A compiled pattern: one top-level alternation.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    branches: Vec<Vec<Node>>,
+}
+
+impl Pattern {
+    pub fn compile(pattern: &str) -> Result<Pattern, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let branches = p.alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(format!("unexpected '{}' at {}", p.chars[p.pos], p.pos));
+        }
+        Ok(Pattern { branches })
+    }
+
+    pub fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let branch = &self.branches[rng.below(self.branches.len())];
+        for node in branch {
+            sample_node(node, rng, &mut out);
+        }
+        out
+    }
+}
+
+fn sample_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(set) => {
+            // An unsatisfiable class (e.g. [^\x00-\x7f] over an ASCII
+            // alphabet) contributes nothing.
+            if !set.is_empty() {
+                out.push(set[rng.below(set.len())]);
+            }
+        }
+        Node::Group(branches) => {
+            let branch = &branches[rng.below(branches.len())];
+            for n in branch {
+                sample_node(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                sample_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Cap for `*`, `+` and `{m,}`.
+const UNBOUNDED_CAP: usize = 8;
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn alternation(&mut self) -> Result<Vec<Vec<Node>>, String> {
+        let mut branches = vec![self.sequence()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.sequence()?);
+        }
+        Ok(branches)
+    }
+
+    fn sequence(&mut self) -> Result<Vec<Node>, String> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom()?;
+            seq.push(self.quantified(atom)?);
+        }
+        Ok(seq)
+    }
+
+    fn atom(&mut self) -> Result<Node, String> {
+        match self.next() {
+            Some('(') => {
+                // Non-capturing marker is irrelevant here; skip it.
+                if self.peek() == Some('?') {
+                    self.pos += 1;
+                    if self.peek() == Some(':') {
+                        self.pos += 1;
+                    }
+                }
+                let branches = self.alternation()?;
+                match self.next() {
+                    Some(')') => Ok(Node::Group(branches)),
+                    _ => Err("unclosed group".to_string()),
+                }
+            }
+            Some('[') => self.class(),
+            Some('.') => {
+                let set = universe().into_iter().filter(|&c| c != '\n').collect();
+                Ok(Node::Class(set))
+            }
+            Some('\\') => self.escape().map(|set| {
+                if set.len() == 1 {
+                    Node::Literal(set[0])
+                } else {
+                    Node::Class(set)
+                }
+            }),
+            Some(c) if !"*+?{".contains(c) => Ok(Node::Literal(c)),
+            Some(c) => Err(format!("unexpected '{c}'")),
+            None => Err("unexpected end of pattern".to_string()),
+        }
+    }
+
+    /// One escape, as the set of characters it denotes.
+    fn escape(&mut self) -> Result<Vec<char>, String> {
+        match self.next() {
+            Some('n') => Ok(vec!['\n']),
+            Some('r') => Ok(vec!['\r']),
+            Some('t') => Ok(vec!['\t']),
+            Some('d') => Ok(('0'..='9').collect()),
+            Some('w') => {
+                let mut set: Vec<char> = ('a'..='z').collect();
+                set.extend('A'..='Z');
+                set.extend('0'..='9');
+                set.push('_');
+                Ok(set)
+            }
+            Some('s') => Ok(vec![' ', '\t', '\n', '\r']),
+            Some(c) => Ok(vec![c]), // escaped metacharacter → literal
+            None => Err("dangling escape".to_string()),
+        }
+    }
+
+    /// A `[...]` class body (the opening `[` is already consumed).
+    fn class(&mut self) -> Result<Node, String> {
+        let mut set = self.class_items()?;
+        // Java-style intersection: [a-z&&[^cd]].
+        while self.peek() == Some('&') && self.chars.get(self.pos + 1) == Some(&'&') {
+            self.pos += 2;
+            let rhs = match self.next() {
+                Some('[') => match self.class()? {
+                    Node::Class(rhs) => rhs,
+                    _ => unreachable!("class() yields Class"),
+                },
+                _ => return Err("expected '[' after '&&'".to_string()),
+            };
+            set.retain(|c| rhs.contains(c));
+        }
+        match self.next() {
+            Some(']') => Ok(Node::Class(set)),
+            _ => Err("unclosed character class".to_string()),
+        }
+    }
+
+    /// Class members up to (not including) `]` or `&&`.
+    fn class_items(&mut self) -> Result<Vec<char>, String> {
+        let negated = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut set: Vec<char> = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err("unclosed character class".to_string()),
+                Some(']') => break,
+                Some('&') if self.chars.get(self.pos + 1) == Some(&'&') => break,
+                _ => {}
+            }
+            let lo = match self.next().unwrap() {
+                '\\' => {
+                    let esc = self.escape()?;
+                    if esc.len() > 1 {
+                        set.extend(esc);
+                        continue;
+                    }
+                    esc[0]
+                }
+                c => c,
+            };
+            // Range, unless '-' is trailing (then it's a literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']') {
+                self.pos += 1;
+                let hi = match self.next().unwrap() {
+                    '\\' => self.escape()?[0],
+                    c => c,
+                };
+                if lo > hi {
+                    return Err(format!("invalid range {lo}-{hi}"));
+                }
+                set.extend(lo..=hi);
+            } else {
+                set.push(lo);
+            }
+        }
+        if negated {
+            Ok(universe().into_iter().filter(|c| !set.contains(c)).collect())
+        } else {
+            set.dedup();
+            Ok(set)
+        }
+    }
+
+    fn quantified(&mut self, atom: Node) -> Result<Node, String> {
+        let (lo, hi) = match self.peek() {
+            Some('?') => (0, 1),
+            Some('*') => (0, UNBOUNDED_CAP),
+            Some('+') => (1, UNBOUNDED_CAP + 1),
+            Some('{') => {
+                self.pos += 1;
+                let lo = self.integer()?;
+                let hi = match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                        if self.peek() == Some('}') {
+                            lo + UNBOUNDED_CAP // {m,}
+                        } else {
+                            self.integer()? // {m,n}
+                        }
+                    }
+                    _ => lo, // {m}
+                };
+                if self.next() != Some('}') {
+                    return Err("unclosed quantifier".to_string());
+                }
+                if hi < lo {
+                    return Err(format!("bad quantifier {{{lo},{hi}}}"));
+                }
+                return Ok(Node::Repeat(Box::new(atom), lo, hi));
+            }
+            _ => return Ok(atom),
+        };
+        self.pos += 1;
+        Ok(Node::Repeat(Box::new(atom), lo, hi))
+    }
+
+    fn integer(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err("expected number in quantifier".to_string());
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|e| format!("bad quantifier number: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let p = Pattern::compile(pattern).unwrap();
+        let mut rng = TestRng::new(0xBEEF);
+        (0..n).map(|_| p.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn literals_and_counts() {
+        for s in samples("[A-Z][a-z]{2,6}", 100) {
+            assert!(s.len() >= 3 && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_uppercase());
+            assert!(s.chars().skip(1).all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn intersection_excludes() {
+        for s in samples("[ -~&&[^\r\n]]{0,24}", 100) {
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_group_with_alternation() {
+        for s in samples("/[a-z/.-]{0,8}(\\?[a-z=&%_.-]{0,8})?", 200) {
+            assert!(s.starts_with('/'));
+            if let Some(q) = s.find('?') {
+                assert!(s[..q]
+                    .chars()
+                    .all(|c| c == '/' || "abcdefghijklmnopqrstuvwxyz.-".contains(c)));
+            }
+        }
+        let picks = samples("(class|id|href|title)", 50);
+        for s in &picks {
+            assert!(["class", "id", "href", "title"].contains(&s.as_str()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_star_and_escapes() {
+        for s in samples(".*", 100) {
+            assert!(s.len() <= UNBOUNDED_CAP);
+            assert!(!s.contains('\n'));
+        }
+        assert_eq!(samples("a\\.b\\?", 3)[0], "a.b?");
+        for s in samples("\\d{3}", 20) {
+            assert!(s.len() == 3 && s.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        for s in samples("[a-]{4}", 50) {
+            assert!(s.chars().all(|c| c == 'a' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn bad_patterns_error() {
+        assert!(Pattern::compile("[a-").is_err());
+        assert!(Pattern::compile("(x").is_err());
+        assert!(Pattern::compile("x{3").is_err());
+        assert!(Pattern::compile("x{4,2}").is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! Offline stand-in for `rand` 0.8, covering the subset this workspace
+//! uses: `Rng::{gen, gen_bool, gen_range}`, `SeedableRng`,
+//! `rngs::{StdRng, SmallRng}`, `seq::SliceRandom`, and `thread_rng`.
+//! Both named generators are the same xoshiro256**-style PRNG, seeded
+//! deterministically via SplitMix64 — statistically strong enough for
+//! the synthetic-population generation this workspace does, but NOT a
+//! drop-in reproduction of real rand's stream (worlds generated under
+//! the stub differ from worlds generated under real rand for the same
+//! seed). See `vendor/stubs/README.md`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing generator interface.
+pub trait Rng: RngCore {
+    /// Sample a value uniformly: `f64`/`f32` in `[0, 1)`, integers and
+    /// `bool` over their whole range.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p={p} out of range");
+        self.gen::<f64>() < p
+    }
+
+    /// Uniform sample from a `start..end` or `start..=end` range.
+    /// Panics on empty ranges, like real rand.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Distribution of `Rng::gen` for each supported output type.
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($ty:ty),*) => {
+        $(impl Standard for $ty {
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        })*
+    };
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges `gen_range` accepts.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $ty
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (start as i128 + offset as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! sample_range_float {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit = <$ty as Standard>::sample_standard(rng);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let unit = <$ty as Standard>::sample_standard(rng);
+                    start + unit * (end - start)
+                }
+            }
+        )*
+    };
+}
+
+sample_range_float!(f32, f64);
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    fn from_entropy() -> Self {
+        // No OS entropy in the offline sandbox: derive from the clock,
+        // which is all `thread_rng` freshness needs here.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**-style generator used for both `StdRng` and `SmallRng`.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256 {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256 {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Xoshiro256 {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        if s.iter().all(|&x| x == 0) {
+            s = [0x9e3779b97f4a7c15, 1, 2, 3]; // the all-zero state is a fixed point
+        }
+        Xoshiro256 { s }
+    }
+}
+
+pub mod rngs {
+    pub type StdRng = super::Xoshiro256;
+    pub type SmallRng = super::Xoshiro256;
+
+    /// Thread-local generator handle.
+    #[derive(Clone, Debug)]
+    pub struct ThreadRng(pub(crate) super::Xoshiro256);
+
+    impl super::RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Fresh, time-seeded generator (no thread-local caching; callers in
+/// this workspace hold on to the returned value).
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng(SeedableRng::from_entropy())
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng, ThreadRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline stand-in for `serde`, functional for JSON.
+//!
+//! Unlike the real serde's visitor architecture, this stand-in pins the
+//! data model to a JSON [`value::Value`] tree: `Serialize` means "can
+//! render to a Value", `Deserialize` means "can be rebuilt from one".
+//! The `serde_derive` stand-in emits real field-aware impls, and the
+//! `serde_json` stand-in supplies text parsing/rendering over the same
+//! tree — enough for every serde use in this workspace to round-trip
+//! offline. See `vendor/stubs/README.md`.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+/// Paths the derive expansion uses; not a public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use crate::value::{Map, Number, Value};
+}
+
+use value::{Map, Number, Value};
+
+/// Types that can render themselves into a JSON [`Value`].
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`]. The lifetime
+/// parameter only mirrors the real serde signature; this stand-in
+/// always deserializes from an owned tree.
+pub trait Deserialize<'de>: Sized {
+    fn from_json_value(v: &Value) -> Result<Self, String>;
+}
+
+/// Owned-deserialization alias, mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+fn type_err<T>(v: &Value) -> Result<T, String> {
+    Err(format!("expected {}, got {}", std::any::type_name::<T>(), v.kind_name()))
+}
+
+// ---- scalar impls --------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($ty:ty),*) => {
+        $(
+            impl Serialize for $ty {
+                fn to_json_value(&self) -> Value {
+                    Value::Number(Number::PosInt(*self as u64))
+                }
+            }
+            impl<'de> Deserialize<'de> for $ty {
+                fn from_json_value(v: &Value) -> Result<Self, String> {
+                    match v.as_u64() {
+                        Some(n) => Ok(n as $ty),
+                        None => type_err::<$ty>(v),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+macro_rules! ser_de_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Serialize for $ty {
+                fn to_json_value(&self) -> Value {
+                    let n = *self as i64;
+                    if n >= 0 {
+                        Value::Number(Number::PosInt(n as u64))
+                    } else {
+                        Value::Number(Number::NegInt(n))
+                    }
+                }
+            }
+            impl<'de> Deserialize<'de> for $ty {
+                fn from_json_value(v: &Value) -> Result<Self, String> {
+                    match v.as_i64() {
+                        Some(n) => Ok(n as $ty),
+                        None => type_err::<$ty>(v),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+ser_de_uint!(u8, u16, u32, u64, usize);
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($ty:ty),*) => {
+        $(
+            impl Serialize for $ty {
+                fn to_json_value(&self) -> Value {
+                    Value::Number(Number::Float(*self as f64))
+                }
+            }
+            impl<'de> Deserialize<'de> for $ty {
+                fn from_json_value(v: &Value) -> Result<Self, String> {
+                    match v.as_f64() {
+                        Some(n) => Ok(n as $ty),
+                        // Real serde_json writes non-finite floats as
+                        // null; accept them back as NaN.
+                        None if v.is_null() => Ok(<$ty>::NAN),
+                        None => type_err::<$ty>(v),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => type_err::<bool>(v),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v.as_str().and_then(|s| {
+            let mut it = s.chars();
+            match (it.next(), it.next()) {
+                (Some(c), None) => Some(c),
+                _ => None,
+            }
+        }) {
+            Some(c) => Ok(c),
+            None => type_err::<char>(v),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v.as_str() {
+            Some(s) => Ok(s.to_string()),
+            None => type_err::<String>(v),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_json_value(_: &Value) -> Result<Self, String> {
+        Ok(())
+    }
+}
+
+// ---- container impls -----------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v.as_array() {
+            Some(items) => items.iter().map(T::from_json_value).collect(),
+            None => type_err::<Vec<T>>(v),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        let items: Vec<T> = Deserialize::from_json_value(v)?;
+        let got = items.len();
+        items.try_into().map_err(|_| format!("expected array of length {N}, got {got}"))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn to_json_value(&self) -> Value {
+                    Value::Array(vec![$(self.$idx.to_json_value()),+])
+                }
+            }
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn from_json_value(v: &Value) -> Result<Self, String> {
+                    let items = match v.as_array() {
+                        Some(items) => items,
+                        None => return Err(format!("expected tuple array, got {}", v.kind_name())),
+                    };
+                    Ok(($(
+                        $name::from_json_value(
+                            items.get($idx).unwrap_or(&Value::Null)
+                        )?,
+                    )+))
+                }
+            }
+        )*
+    };
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// JSON object keys must be strings; integers (and integer newtypes)
+/// are stringified, matching serde_json's map-key behaviour.
+fn key_to_string(key: &Value) -> String {
+    match key {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => n.render(),
+        Value::Bool(b) => b.to_string(),
+        other => other.render_compact(),
+    }
+}
+
+/// Inverse of [`key_to_string`]: try the key as a string first, then
+/// re-parse it as a number for integer-keyed maps.
+fn key_from_string<'de, K: Deserialize<'de>>(key: &str) -> Result<K, String> {
+    if let Ok(k) = K::from_json_value(&Value::String(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        return K::from_json_value(&Value::Number(Number::PosInt(n)));
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        return K::from_json_value(&Value::Number(Number::NegInt(n)));
+    }
+    if let Ok(n) = key.parse::<f64>() {
+        return K::from_json_value(&Value::Number(Number::Float(n)));
+    }
+    Err(format!("cannot deserialize map key from '{key}'"))
+}
+
+macro_rules! ser_de_map {
+    ($($map:ident requiring $($bound:path),+;)*) => {
+        $(
+            impl<K: Serialize, V: Serialize> Serialize for std::collections::$map<K, V> {
+                fn to_json_value(&self) -> Value {
+                    let mut out = Map::new();
+                    for (k, v) in self {
+                        out.insert(key_to_string(&k.to_json_value()), v.to_json_value());
+                    }
+                    Value::Object(out)
+                }
+            }
+            impl<'de, K, V> Deserialize<'de> for std::collections::$map<K, V>
+            where
+                K: Deserialize<'de> $(+ $bound)+,
+                V: Deserialize<'de>,
+            {
+                fn from_json_value(v: &Value) -> Result<Self, String> {
+                    let obj = match v.as_object() {
+                        Some(obj) => obj,
+                        None => return Err(format!("expected object, got {}", v.kind_name())),
+                    };
+                    obj.iter()
+                        .map(|(k, v)| Ok((key_from_string::<K>(k)?, V::from_json_value(v)?)))
+                        .collect()
+                }
+            }
+        )*
+    };
+}
+
+ser_de_map! {
+    BTreeMap requiring Ord;
+    HashMap requiring Eq, std::hash::Hash;
+}
+
+macro_rules! ser_de_set {
+    ($($set:ident requiring $($bound:path),+;)*) => {
+        $(
+            impl<T: Serialize> Serialize for std::collections::$set<T> {
+                fn to_json_value(&self) -> Value {
+                    Value::Array(self.iter().map(Serialize::to_json_value).collect())
+                }
+            }
+            impl<'de, T> Deserialize<'de> for std::collections::$set<T>
+            where
+                T: Deserialize<'de> $(+ $bound)+,
+            {
+                fn from_json_value(v: &Value) -> Result<Self, String> {
+                    match v.as_array() {
+                        Some(items) => items.iter().map(T::from_json_value).collect(),
+                        None => Err(format!("expected array, got {}", v.kind_name())),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+ser_de_set! {
+    BTreeSet requiring Ord;
+    HashSet requiring Eq, std::hash::Hash;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,373 @@
+//! Offline stand-in for `serde_derive` with real field-aware codegen.
+//!
+//! Instead of serde's visitor machinery, the stand-in serde pins its
+//! data model to a JSON value tree, so the derives only need to emit
+//! `to_json_value` / `from_json_value` bodies. The input is parsed by a
+//! hand-rolled token scan (no `syn`), which covers the shapes this
+//! workspace uses: named-field structs, tuple structs, unit structs,
+//! and enums with unit or struct variants (externally tagged, matching
+//! serde's default representation). `#[serde(...)]` attributes are
+//! accepted but ignored. Unsupported shapes (generics, tuple enum
+//! variants) produce a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>, // None = unit, Some = struct variant
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Skip `#[...]` attribute pairs starting at `i`; returns the new index.
+fn skip_attrs(tts: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tts.len() {
+        match (&tts[i], &tts[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub` / `pub(...)` visibility starting at `i`.
+fn skip_vis(tts: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tts.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tts.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type (or other run of tokens) until a comma at
+/// angle-bracket depth zero. Parens/brackets/braces arrive as single
+/// groups, so only `<`/`>` need explicit depth tracking.
+fn skip_until_comma(tts: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tts.len() {
+        if let TokenTree::Punct(p) = &tts[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `name: Type, ...` named-field lists.
+fn parse_named_fields(body: &TokenStream) -> Result<Vec<Field>, String> {
+    let tts: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tts.len() {
+        i = skip_vis(&tts, skip_attrs(&tts, i));
+        if i >= tts.len() {
+            break;
+        }
+        let name = match &tts[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found '{other}'")),
+        };
+        i += 1;
+        match tts.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected ':' after field '{name}'")),
+        }
+        i = skip_until_comma(&tts, i);
+        i += 1; // past the comma (or off the end)
+        fields.push(Field { name });
+    }
+    Ok(fields)
+}
+
+/// Count tuple-struct fields: top-level commas + 1.
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let tts: Vec<TokenTree> = body.clone().into_iter().collect();
+    if tts.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut i = 0;
+    while i < tts.len() {
+        i = skip_until_comma(&tts, i);
+        if i < tts.len() {
+            count += 1;
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(body: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tts: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tts.len() {
+        i = skip_attrs(&tts, i);
+        if i >= tts.len() {
+            break;
+        }
+        let name = match &tts[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found '{other}'")),
+        };
+        i += 1;
+        let fields = match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "stub serde_derive does not support tuple enum variant '{name}'"
+                ));
+            }
+            _ => None,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        i = skip_until_comma(&tts, i);
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: &TokenStream) -> Result<Input, String> {
+    let tts: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = 0;
+    loop {
+        i = skip_vis(&tts, skip_attrs(&tts, i));
+        match tts.get(i) {
+            None => return Err("no struct/enum found".to_string()),
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    i += 1;
+                    let name = match tts.get(i) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => return Err("expected type name".to_string()),
+                    };
+                    i += 1;
+                    if let Some(TokenTree::Punct(p)) = tts.get(i) {
+                        if p.as_char() == '<' {
+                            return Err(format!(
+                                "stub serde_derive does not support generic type '{name}'"
+                            ));
+                        }
+                    }
+                    let shape = match tts.get(i) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            if kw == "struct" {
+                                Shape::NamedStruct(parse_named_fields(&g.stream())?)
+                            } else {
+                                Shape::Enum(parse_variants(&g.stream())?)
+                            }
+                        }
+                        Some(TokenTree::Group(g))
+                            if g.delimiter() == Delimiter::Parenthesis && kw == "struct" =>
+                        {
+                            Shape::TupleStruct(count_tuple_fields(&g.stream()))
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kw == "struct" => {
+                            Shape::UnitStruct
+                        }
+                        _ => return Err(format!("unsupported body for '{name}'")),
+                    };
+                    return Ok(Input { name, shape });
+                }
+                i += 1; // some other ident (e.g. doc text never appears, but be tolerant)
+            }
+            Some(_) => i += 1,
+        }
+    }
+}
+
+const VALUE: &str = "::serde::__private::Value";
+const MAP: &str = "::serde::__private::Map";
+
+fn serialize_body(input: &Input) -> String {
+    let name = &input.name;
+    match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut body = format!("let mut m = {MAP}::new();\n");
+            for f in fields {
+                let fname = &f.name;
+                body.push_str(&format!(
+                    "m.insert({fname:?}.to_string(), ::serde::Serialize::to_json_value(&self.{fname}));\n"
+                ));
+            }
+            body.push_str(&format!("{VALUE}::Object(m)"));
+            body
+        }
+        Shape::TupleStruct(1) => {
+            // Newtype: transparent over the inner value, like serde.
+            "::serde::Serialize::to_json_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_json_value(&self.{i})")).collect();
+            format!("{VALUE}::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => format!("{VALUE}::Null"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{vname} => {VALUE}::String({vname:?}.to_string()),\n"
+                    )),
+                    Some(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = format!("let mut m = {MAP}::new();\n");
+                        for f in fields {
+                            let fname = &f.name;
+                            inner.push_str(&format!(
+                                "m.insert({fname:?}.to_string(), ::serde::Serialize::to_json_value({fname}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {inner} let mut outer = {MAP}::new(); \
+                             outer.insert({vname:?}.to_string(), {VALUE}::Object(m)); \
+                             {VALUE}::Object(outer) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+fn named_fields_ctor(prefix: &str, fields: &[Field], source: &str) -> String {
+    let mut ctor = format!("{prefix} {{\n");
+    for f in fields {
+        let fname = &f.name;
+        ctor.push_str(&format!(
+            "{fname}: ::serde::Deserialize::from_json_value({source}.get({fname:?}).unwrap_or(&{VALUE}::Null)).map_err(|e| format!(\"{prefix}.{fname}: {{e}}\"))?,\n"
+        ));
+    }
+    ctor.push('}');
+    ctor
+}
+
+fn deserialize_body(input: &Input) -> String {
+    let name = &input.name;
+    match &input.shape {
+        Shape::NamedStruct(fields) => {
+            format!(
+                "let obj = v.as_object().ok_or_else(|| format!(\"expected object for {name}, got {{}}\", v))?;\nOk({})",
+                named_fields_ctor(name, fields, "obj")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_json_value(arr.get({i}).unwrap_or(&{VALUE}::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| format!(\"expected array for {name}\"))?;\nOk({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    None => {
+                        unit_arms.push_str(&format!("{vname:?} => return Ok({name}::{vname}),\n"))
+                    }
+                    Some(fields) => {
+                        let ctor = named_fields_ctor(&format!("{name}::{vname}"), fields, "inner");
+                        tagged_arms.push_str(&format!(
+                            "if let Some(inner) = obj.get({vname:?}) {{ return Ok({ctor}); }}\n"
+                        ));
+                    }
+                }
+            }
+            let mut body = String::new();
+            if !unit_arms.is_empty() {
+                body.push_str(&format!(
+                    "if let Some(s) = v.as_str() {{ match s {{\n{unit_arms}_ => {{}} }} }}\n"
+                ));
+            }
+            if !tagged_arms.is_empty() {
+                body.push_str(&format!("if let Some(obj) = v.as_object() {{\n{tagged_arms}}}\n"));
+            }
+            body.push_str(&format!("Err(format!(\"no variant of {name} matches {{}}\", v))"));
+            body
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(&input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = serialize_body(&parsed);
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> {VALUE} {{\n{body}\n}}\n}}"
+    );
+    out.parse().unwrap_or_else(|_| compile_error("stub serde_derive generated invalid code"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(&input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = deserialize_body(&parsed);
+    let out = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn from_json_value(v: &{VALUE}) -> Result<Self, String> {{\n{body}\n}}\n}}"
+    );
+    out.parse().unwrap_or_else(|_| compile_error("stub serde_derive generated invalid code"))
+}

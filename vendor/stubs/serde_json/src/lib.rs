@@ -1,0 +1,124 @@
+//! Offline stand-in for `serde_json`, functional over the stub serde's
+//! JSON value tree: `to_string`/`to_string_pretty`/`to_value` render
+//! any `Serialize` type, `from_str`/`from_value` rebuild any
+//! `Deserialize` type, and `json!` builds [`Value`] literals. See
+//! `vendor/stubs/README.md`.
+
+pub use serde::value::{Map, Number, Value};
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<String> for Error {
+    fn from(msg: String) -> Error {
+        Error(msg)
+    }
+}
+
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Render `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().render_compact())
+}
+
+/// Render `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().render_pretty())
+}
+
+/// Render `value` as a compact JSON byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let tree = serde::value::parse(s).map_err(Error)?;
+    T::from_json_value(&tree).map_err(Error)
+}
+
+/// Parse a JSON byte slice into any deserializable type.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
+/// Rebuild a deserializable type from a [`Value`] tree.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    T::from_json_value(&value).map_err(Error)
+}
+
+#[doc(hidden)]
+pub mod __private {
+    /// `json!` support: lift any `Serialize` expression into a `Value`.
+    pub fn to_value<T: serde::Serialize>(value: &T) -> crate::Value {
+        value.to_json_value()
+    }
+}
+
+/// Build a [`Value`] from a JSON-ish literal. Object values and array
+/// elements are arbitrary `Serialize` expressions (including nested
+/// `json!` calls); keys are string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert(($key).to_string(), $crate::__private::to_value(&$val)); )*
+        $crate::Value::Object(m)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::__private::to_value(&$elem)),* ])
+    };
+    ($other:expr) => { $crate::__private::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let rows = vec![json!({ "a": 1u32 }), json!({ "a": 2u32 })];
+        let v = json!({
+            "name": "x",
+            "pi": 3.5,
+            "nested": json!({ "k": "v" }),
+            "rows": rows,
+            "none": json!(null),
+        });
+        assert!(v.is_object());
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("nested").and_then(|n| n.get("k")).and_then(Value::as_str), Some("v"));
+        assert_eq!(v.get("rows").and_then(Value::as_array).map(Vec::len), Some(2));
+        let back: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn value_round_trips_collections() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        m.insert(7, vec!["a".into(), "b".into()]);
+        let text = to_string(&m).unwrap();
+        assert_eq!(text, r#"{"7":["a","b"]}"#);
+        let back: BTreeMap<u32, Vec<String>> = from_str(&text).unwrap();
+        assert_eq!(m, back);
+    }
+}
