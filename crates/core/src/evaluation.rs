@@ -1,6 +1,7 @@
 //! Evaluating a discovery run: against full ground truth (§5.4, HS1)
 //! and against limited ground truth via the §5.5 estimators (HS2/HS3).
 
+use hsp_crawler::OsnAccess;
 use hsp_graph::UserId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -93,6 +94,56 @@ impl EvalPoint {
             0.0
         } else {
             100.0 * self.correct_year as f64 / self.found as f64
+        }
+    }
+}
+
+/// Data-quality disclosure for a crawl that degraded gracefully under
+/// platform faults: which friend lists came back *partial* (the crawler
+/// kept the pages it had instead of failing), and how many transport
+/// retries the crawl burned. A result built on partial lists can
+/// under-count candidates, so Table 4 numbers must carry this caveat.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Completeness {
+    /// Users whose friend lists are known to be incomplete.
+    pub incomplete_friend_lists: Vec<UserId>,
+    /// Transport-layer retries the crawl needed (0 ⇒ fault-free run).
+    pub retry_requests: u64,
+}
+
+impl Completeness {
+    /// Read the crawl's degradation state off the access layer.
+    pub fn from_access(access: &dyn OsnAccess) -> Completeness {
+        let mut incomplete = access.incomplete_friends();
+        incomplete.sort_unstable();
+        Completeness {
+            incomplete_friend_lists: incomplete,
+            retry_requests: access.effort().retry_requests,
+        }
+    }
+
+    /// Whether every friend list used by the methodology was complete.
+    pub fn is_complete(&self) -> bool {
+        self.incomplete_friend_lists.is_empty()
+    }
+
+    /// Whether `u`'s friend list is flagged partial.
+    pub fn is_incomplete(&self, u: UserId) -> bool {
+        self.incomplete_friend_lists.binary_search(&u).is_ok()
+    }
+}
+
+impl std::fmt::Display for Completeness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_complete() {
+            write!(f, "complete ({} retries)", self.retry_requests)
+        } else {
+            write!(
+                f,
+                "{} partial friend list(s), {} retries",
+                self.incomplete_friend_lists.len(),
+                self.retry_requests
+            )
         }
     }
 }
@@ -232,5 +283,40 @@ mod tests {
     #[should_panic(expected = "test user")]
     fn partial_estimate_requires_test_users() {
         partial_estimate(100, 0, 0, 10, 500);
+    }
+
+    #[test]
+    fn completeness_reads_degradation_off_the_access_layer() {
+        use hsp_crawler::{CrawlError, Effort, ScrapedProfile};
+
+        struct Degraded;
+        impl OsnAccess for Degraded {
+            fn collect_seeds(&mut self, _: hsp_graph::SchoolId) -> Result<Vec<UserId>, CrawlError> {
+                Ok(Vec::new())
+            }
+            fn profile(&mut self, _: UserId) -> Result<ScrapedProfile, CrawlError> {
+                Err(CrawlError::BadPage("stub"))
+            }
+            fn friends(&mut self, _: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
+                Ok(None)
+            }
+            fn effort(&self) -> Effort {
+                Effort { retry_requests: 17, ..Effort::default() }
+            }
+            fn incomplete_friends(&self) -> Vec<UserId> {
+                vec![UserId(9), UserId(3)]
+            }
+        }
+
+        let c = Completeness::from_access(&Degraded);
+        assert!(!c.is_complete());
+        assert!(c.is_incomplete(UserId(3)));
+        assert!(c.is_incomplete(UserId(9)));
+        assert!(!c.is_incomplete(UserId(4)));
+        assert_eq!(c.retry_requests, 17);
+        assert_eq!(c.to_string(), "2 partial friend list(s), 17 retries");
+
+        // The default OsnAccess contract reports nothing incomplete.
+        assert!(Completeness::default().is_complete());
     }
 }

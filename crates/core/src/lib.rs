@@ -35,7 +35,9 @@ pub use coppaless::{
     run_coppaless_heuristic, score_minimal_set, CoppalessOptions, CoppalessRun, MinimalProfilePoint,
 };
 pub use enhanced::{filter_profile, run_enhanced, EnhanceOptions, Enhanced, FilterRule};
-pub use evaluation::{evaluate, partial_estimate, EvalPoint, GroundTruth, PartialEstimate};
+pub use evaluation::{
+    evaluate, partial_estimate, Completeness, EvalPoint, GroundTruth, PartialEstimate,
+};
 pub use interaction_rank::{rank_candidates_weighted, InteractionWeights};
 pub use jaccard::{evaluate_links, infer_hidden_links, InferredLink, LinkInferenceEval};
 pub use methodology::{collect_core, rank_candidates, run_basic, score_candidate};

@@ -1,16 +1,26 @@
 //! The crawler facade: multiple logged-in fake accounts, request
-//! accounting, politeness pacing, and caching.
+//! accounting, politeness pacing, caching — and the survival machinery
+//! that made the paper's crawl feasible against a hostile platform:
+//! truncation re-fetches, re-login on session loss, per-endpoint
+//! circuit breakers, multi-account failover on suspension (the paper's
+//! 2→4→8 escalation), and checkpoint/resume.
 //!
 //! [`Crawler`] is generic over [`hsp_http::Exchange`], so the same
 //! attack code runs over real loopback TCP ([`hsp_http::Client`]) or
-//! in-process ([`hsp_http::DirectExchange`]).
+//! in-process ([`hsp_http::DirectExchange`]) — and, wrapped in
+//! [`hsp_http::ResilientExchange`], survives injected 429s, 5xxs and
+//! connection resets transparently. Everything the resilient layer
+//! can't fix (suspension, session expiry, truncated HTML) is handled
+//! here.
 
 use crate::effort::Effort;
 use crate::scrape::{parse_listing, parse_profile, ScrapedProfile};
+use crate::snapshot::CrawlSnapshot;
 use hsp_graph::{SchoolId, UserId};
+use hsp_http::resilient::{RetryStats, H_ACCOUNT_SUSPENDED};
 use hsp_http::{Exchange, HttpError, Request, Response, Status};
-use hsp_obs::{Counter, Registry};
-use std::collections::HashMap;
+use hsp_obs::{Counter, Registry, VirtualClock};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Data-access interface the profiling methodology (hsp-core) consumes.
@@ -28,6 +38,12 @@ pub trait OsnAccess {
 
     /// Accumulated measurement effort.
     fn effort(&self) -> Effort;
+
+    /// Users whose friend list came back *partial* (the crawl degraded
+    /// gracefully instead of failing). Default: none.
+    fn incomplete_friends(&self) -> Vec<UserId> {
+        Vec::new()
+    }
 
     /// Attempt to send a direct message (the §2 spear-phishing channel).
     /// Returns whether the platform accepted delivery. Default: not
@@ -91,22 +107,55 @@ impl Default for Politeness {
     }
 }
 
+/// Per-endpoint circuit breaker shape.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive endpoint failures that open the breaker.
+    pub failure_threshold: u32,
+    /// Virtual cooldown before the half-open probe once opened.
+    pub cooldown_ms: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 4, cooldown_ms: 30_000 }
+    }
+}
+
+/// Consecutive-failure tracker for one endpoint. Sequential crawler ⇒
+/// an "open" breaker simply pays the cooldown in virtual time and goes
+/// half-open; the next request is the probe.
+#[derive(Default)]
+struct Breaker {
+    consecutive: u32,
+    open: bool,
+}
+
 /// One logged-in fake account.
 struct AccountSession<E: Exchange> {
     exchange: E,
     username: String,
+    password: String,
+    /// Kicked out by the platform's anti-crawling rule; out of rotation.
+    suspended: bool,
 }
 
+/// Endpoint labels used for metrics, effort buckets and breakers.
+const EP_AUTH: &str = "auth";
+const EP_SEEDS: &str = "find-friends";
+const EP_PROFILE: &str = "profile";
+const EP_FRIENDS: &str = "friends";
+const EP_CIRCLES: &str = "circles";
+const EP_MESSAGE: &str = "message";
+const ENDPOINTS: [&str; 6] = [EP_AUTH, EP_SEEDS, EP_PROFILE, EP_FRIENDS, EP_CIRCLES, EP_MESSAGE];
+
 /// Pre-resolved crawler metric handles (attacker-side accounting):
-/// per-endpoint fetch counts, cache hit/miss tallies, and the virtual
-/// politeness clock. Recording is atomic adds only.
+/// per-endpoint fetch counts, cache hit/miss tallies, retry/breaker/
+/// failover telemetry, and the virtual politeness clock. Recording is
+/// atomic adds only.
 struct CrawlerMetrics {
-    fetch_auth: Arc<Counter>,
-    fetch_seeds: Arc<Counter>,
-    fetch_profile: Arc<Counter>,
-    fetch_friends: Arc<Counter>,
-    fetch_circles: Arc<Counter>,
-    fetch_message: Arc<Counter>,
+    fetch: HashMap<&'static str, Arc<Counter>>,
+    fetch_retry: Arc<Counter>,
     cache_profile_hits: Arc<Counter>,
     cache_profile_misses: Arc<Counter>,
     cache_friends_hits: Arc<Counter>,
@@ -114,6 +163,11 @@ struct CrawlerMetrics {
     cache_circles_hits: Arc<Counter>,
     cache_circles_misses: Arc<Counter>,
     politeness_virtual_ms: Arc<Counter>,
+    breaker_open: HashMap<&'static str, Arc<Counter>>,
+    breaker_closed: HashMap<&'static str, Arc<Counter>>,
+    account_suspensions: Arc<Counter>,
+    accounts_recruited: Arc<Counter>,
+    partial_friend_lists: Arc<Counter>,
 }
 
 impl CrawlerMetrics {
@@ -122,13 +176,12 @@ impl CrawlerMetrics {
         let cache = |c: &str, r: &str| {
             reg.counter_with("crawler_cache_total", &[("cache", c), ("result", r)])
         };
+        let breaker = |e: &str, to: &str| {
+            reg.counter_with("crawler_breaker_transitions_total", &[("endpoint", e), ("to", to)])
+        };
         CrawlerMetrics {
-            fetch_auth: fetch("auth"),
-            fetch_seeds: fetch("find-friends"),
-            fetch_profile: fetch("profile"),
-            fetch_friends: fetch("friends"),
-            fetch_circles: fetch("circles"),
-            fetch_message: fetch("message"),
+            fetch: ENDPOINTS.iter().map(|&e| (e, fetch(e))).collect(),
+            fetch_retry: fetch("retry"),
             cache_profile_hits: cache("profile", "hit"),
             cache_profile_misses: cache("profile", "miss"),
             cache_friends_hits: cache("friends", "hit"),
@@ -136,23 +189,119 @@ impl CrawlerMetrics {
             cache_circles_hits: cache("circles", "hit"),
             cache_circles_misses: cache("circles", "miss"),
             politeness_virtual_ms: reg.counter("crawler_politeness_virtual_ms"),
+            breaker_open: ENDPOINTS.iter().map(|&e| (e, breaker(e, "open"))).collect(),
+            breaker_closed: ENDPOINTS.iter().map(|&e| (e, breaker(e, "closed"))).collect(),
+            account_suspensions: reg.counter("crawler_account_suspensions_total"),
+            accounts_recruited: reg.counter("crawler_accounts_recruited_total"),
+            partial_friend_lists: reg.counter("crawler_partial_friend_lists_total"),
         }
+    }
+}
+
+/// Staged construction for a [`Crawler`] with the resilience knobs the
+/// plain constructors don't expose (shared virtual clock, retry-stat
+/// folding, account recruitment, breaker tuning).
+pub struct CrawlerBuilder<E: Exchange> {
+    label: String,
+    politeness: Politeness,
+    obs: Option<CrawlerMetrics>,
+    clock: Option<Arc<VirtualClock>>,
+    retry_stats: Option<Arc<RetryStats>>,
+    factory: Option<Box<dyn FnMut() -> E>>,
+    max_accounts: usize,
+    breaker: BreakerConfig,
+}
+
+impl<E: Exchange> CrawlerBuilder<E> {
+    pub fn new(label: &str) -> CrawlerBuilder<E> {
+        CrawlerBuilder {
+            label: label.to_string(),
+            politeness: Politeness::default(),
+            obs: None,
+            clock: None,
+            retry_stats: None,
+            factory: None,
+            max_accounts: 8,
+            breaker: BreakerConfig::default(),
+        }
+    }
+
+    pub fn politeness(mut self, politeness: Politeness) -> Self {
+        self.politeness = politeness;
+        self
+    }
+
+    /// Record attacker-side telemetry into `registry`.
+    pub fn observability(mut self, registry: &Registry) -> Self {
+        self.obs = Some(CrawlerMetrics::register(registry));
+        self
+    }
+
+    /// Advance this shared clock on politeness sleeps (the platform's
+    /// windowed suspension rule reads the same timeline).
+    pub fn clock(mut self, clock: Arc<VirtualClock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Fold transport-layer retries (from `ResilientExchange`s sharing
+    /// this stats handle) into `Effort` and `crawler_fetch_total`.
+    pub fn retry_stats(mut self, stats: Arc<RetryStats>) -> Self {
+        self.retry_stats = Some(stats);
+        self
+    }
+
+    /// Enable account failover: when an account is suspended, recruit
+    /// replacements from `factory`, doubling the fleet (the paper's
+    /// 2→4→8 escalation) up to `max_accounts` total.
+    pub fn recruit_with(
+        mut self,
+        factory: impl FnMut() -> E + 'static,
+        max_accounts: usize,
+    ) -> Self {
+        self.factory = Some(Box::new(factory));
+        self.max_accounts = max_accounts;
+        self
+    }
+
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Sign up + log in one fake account per exchange and return the
+    /// ready crawler.
+    pub fn build(self, exchanges: Vec<E>) -> Result<Crawler<E>, CrawlError> {
+        Crawler::assemble(exchanges, self)
     }
 }
 
 /// The attacker's crawler.
 pub struct Crawler<E: Exchange> {
     accounts: Vec<AccountSession<E>>,
+    label: String,
     effort: Effort,
     politeness: Politeness,
     virtual_elapsed_ms: u64,
+    clock: Option<Arc<VirtualClock>>,
+    seeds_cache: HashMap<SchoolId, Vec<UserId>>,
     profile_cache: HashMap<UserId, ScrapedProfile>,
     friends_cache: HashMap<UserId, Option<Vec<UserId>>>,
     circles_cache: HashMap<(UserId, bool), Option<Vec<UserId>>>,
+    /// Friend lists carried forward partially (degraded, not failed).
+    incomplete: BTreeSet<UserId>,
     /// Which account serves the next non-seed request (round-robin).
     rr: usize,
     /// Attacker-side telemetry; `None` when no registry was supplied.
     obs: Option<CrawlerMetrics>,
+    /// Transport-retry counters shared with the `ResilientExchange`s.
+    retry_stats: Option<Arc<RetryStats>>,
+    retries_synced: u64,
+    factory: Option<Box<dyn FnMut() -> E>>,
+    recruited: usize,
+    max_accounts: usize,
+    breaker_cfg: BreakerConfig,
+    breakers: HashMap<&'static str, Breaker>,
 }
 
 impl<E: Exchange> Crawler<E> {
@@ -168,7 +317,7 @@ impl<E: Exchange> Crawler<E> {
         label: &str,
         politeness: Politeness,
     ) -> Result<Self, CrawlError> {
-        Self::build(exchanges, label, politeness, None)
+        CrawlerBuilder::new(label).politeness(politeness).build(exchanges)
     }
 
     /// Create the crawler with attacker-side telemetry recorded into
@@ -180,48 +329,40 @@ impl<E: Exchange> Crawler<E> {
         politeness: Politeness,
         registry: &Registry,
     ) -> Result<Self, CrawlError> {
-        Self::build(exchanges, label, politeness, Some(CrawlerMetrics::register(registry)))
+        CrawlerBuilder::new(label).politeness(politeness).observability(registry).build(exchanges)
     }
 
-    fn build(
-        exchanges: Vec<E>,
-        label: &str,
-        politeness: Politeness,
-        obs: Option<CrawlerMetrics>,
-    ) -> Result<Self, CrawlError> {
+    /// Staged construction with the resilience knobs.
+    pub fn builder(label: &str) -> CrawlerBuilder<E> {
+        CrawlerBuilder::new(label)
+    }
+
+    fn assemble(exchanges: Vec<E>, builder: CrawlerBuilder<E>) -> Result<Self, CrawlError> {
         let mut crawler = Crawler {
             accounts: Vec::new(),
+            label: builder.label,
             effort: Effort::default(),
-            politeness,
+            politeness: builder.politeness,
             virtual_elapsed_ms: 0,
+            clock: builder.clock,
+            seeds_cache: HashMap::new(),
             profile_cache: HashMap::new(),
             friends_cache: HashMap::new(),
             circles_cache: HashMap::new(),
+            incomplete: BTreeSet::new(),
             rr: 0,
-            obs,
+            obs: builder.obs,
+            retry_stats: builder.retry_stats,
+            retries_synced: 0,
+            factory: builder.factory,
+            recruited: 0,
+            max_accounts: builder.max_accounts,
+            breaker_cfg: builder.breaker,
+            breakers: HashMap::new(),
         };
-        for (i, mut exchange) in exchanges.into_iter().enumerate() {
-            let username = format!("{label}-{i}");
-            let resp = exchange.exchange(Request::post_form(
-                "/signup",
-                &[("user", &username), ("pass", "hunter2")],
-            ))?;
-            crawler.bump_auth();
-            // An already-registered fake account is fine — reuse it by
-            // logging in (the paper's attacker kept accounts across
-            // crawls).
-            if !resp.status.is_success() && resp.status != Status::BAD_REQUEST {
-                return Err(CrawlError::Denied(resp.status));
-            }
-            let resp = exchange.exchange(Request::post_form(
-                "/login",
-                &[("user", &username), ("pass", "hunter2")],
-            ))?;
-            crawler.bump_auth();
-            if !resp.status.is_success() {
-                return Err(CrawlError::Denied(resp.status));
-            }
-            crawler.accounts.push(AccountSession { exchange, username });
+        for (i, exchange) in exchanges.into_iter().enumerate() {
+            let username = format!("{}-{i}", crawler.label);
+            crawler.enroll(exchange, username)?;
         }
         if crawler.accounts.is_empty() {
             return Err(CrawlError::BadPage("no accounts"));
@@ -229,16 +370,43 @@ impl<E: Exchange> Crawler<E> {
         Ok(crawler)
     }
 
-    fn bump_auth(&mut self) {
-        self.effort.auth_requests += 1;
-        if let Some(m) = &self.obs {
-            m.fetch_auth.inc();
+    /// Sign up (tolerating "already registered") and log in one fake
+    /// account, adding it to the rotation.
+    fn enroll(&mut self, mut exchange: E, username: String) -> Result<(), CrawlError> {
+        let password = "hunter2";
+        let resp = exchange
+            .exchange(Request::post_form("/signup", &[("user", &username), ("pass", password)]))?;
+        self.count_request(EP_AUTH);
+        self.sync_retries();
+        // An already-registered fake account is fine — reuse it by
+        // logging in (the paper's attacker kept accounts across crawls).
+        if !resp.status.is_success() && resp.status != Status::BAD_REQUEST {
+            return Err(CrawlError::Denied(resp.status));
         }
+        let resp = exchange
+            .exchange(Request::post_form("/login", &[("user", &username), ("pass", password)]))?;
+        self.count_request(EP_AUTH);
+        self.sync_retries();
+        if !resp.status.is_success() {
+            return Err(CrawlError::Denied(resp.status));
+        }
+        self.accounts.push(AccountSession {
+            exchange,
+            username,
+            password: password.to_string(),
+            suspended: false,
+        });
+        Ok(())
     }
 
-    /// Number of fake accounts in use.
+    /// Number of fake accounts in use (live + suspended).
     pub fn account_count(&self) -> usize {
         self.accounts.len()
+    }
+
+    /// Accounts still in rotation.
+    pub fn live_account_count(&self) -> usize {
+        self.accounts.iter().filter(|a| !a.suspended).count()
     }
 
     /// Account usernames (tests).
@@ -247,31 +415,307 @@ impl<E: Exchange> Crawler<E> {
     }
 
     /// Virtual time a polite crawl of this effort would have taken.
+    /// With a shared clock this includes backoff and breaker cooldowns;
+    /// without one, just the politeness sleeps.
     pub fn virtual_elapsed_ms(&self) -> u64 {
-        self.virtual_elapsed_ms
+        match &self.clock {
+            Some(clock) => clock.now_ms(),
+            None => self.virtual_elapsed_ms,
+        }
     }
 
-    fn get(&mut self, account: usize, path: &str) -> Result<Response, CrawlError> {
-        self.advance_politeness();
-        let resp = self.accounts[account].exchange.exchange(Request::get(path))?;
-        match resp.status {
-            s if s.is_success() => Ok(resp),
-            Status::FORBIDDEN => Ok(resp), // callers interpret 403
-            s => Err(CrawlError::Denied(s)),
+    /// Users whose friend lists are partial (degraded fetches).
+    pub fn incomplete_friend_lists(&self) -> Vec<UserId> {
+        self.incomplete.iter().copied().collect()
+    }
+
+    // ---- checkpoint / resume ----------------------------------------------
+
+    /// Export everything fetched so far into a [`CrawlSnapshot`]: seeds,
+    /// profiles, and *complete* friend lists (partial lists are dropped
+    /// so a resumed crawl re-fetches them properly). `effort` records
+    /// what this crawl paid up to the checkpoint.
+    pub fn checkpoint(&self) -> CrawlSnapshot {
+        let mut snap = CrawlSnapshot::default();
+        for (&school, seeds) in &self.seeds_cache {
+            snap.seeds.insert(school, seeds.clone());
+        }
+        for (&uid, profile) in &self.profile_cache {
+            snap.profiles.insert(uid, profile.clone());
+        }
+        for (&uid, friends) in &self.friends_cache {
+            if !self.incomplete.contains(&uid) {
+                snap.friends.insert(uid, friends.clone());
+            }
+        }
+        snap.effort = self.effort();
+        snap
+    }
+
+    /// Warm the caches from a checkpoint: anything captured there is
+    /// never re-fetched. The resumed crawler's own `Effort` starts from
+    /// its live total — the snapshot's `effort` is what the killed
+    /// crawl had already paid, so total cost = `snap.effort + effort()`.
+    pub fn restore(&mut self, snap: &CrawlSnapshot) {
+        for (&school, seeds) in &snap.seeds {
+            self.seeds_cache.insert(school, seeds.clone());
+        }
+        for (&uid, profile) in &snap.profiles {
+            self.profile_cache.insert(uid, profile.clone());
+        }
+        for (&uid, friends) in &snap.friends {
+            self.friends_cache.insert(uid, friends.clone());
+            self.incomplete.remove(&uid);
+        }
+    }
+
+    // ---- accounting helpers -----------------------------------------------
+
+    /// Count one issued request against the endpoint's effort bucket
+    /// and metric. Re-fetches (truncation, failover) count again —
+    /// that's the point: Table 3 stays honest under faults.
+    fn count_request(&mut self, endpoint: &'static str) {
+        match endpoint {
+            EP_AUTH => self.effort.auth_requests += 1,
+            EP_SEEDS => self.effort.seed_requests += 1,
+            EP_PROFILE => self.effort.profile_requests += 1,
+            EP_FRIENDS | EP_CIRCLES => self.effort.friend_list_requests += 1,
+            EP_MESSAGE => self.effort.message_requests += 1,
+            _ => {}
+        }
+        if let Some(m) = &self.obs {
+            if let Some(c) = m.fetch.get(endpoint) {
+                c.inc();
+            }
+        }
+    }
+
+    /// Fold transport-layer retries accumulated since the last sync
+    /// into `Effort` and `crawler_fetch_total{endpoint="retry"}`.
+    fn sync_retries(&mut self) {
+        let Some(stats) = &self.retry_stats else { return };
+        let now = stats.retries();
+        let delta = now.saturating_sub(self.retries_synced);
+        if delta > 0 {
+            self.retries_synced = now;
+            self.effort.retry_requests += delta;
+            if let Some(m) = &self.obs {
+                m.fetch_retry.add(delta);
+            }
         }
     }
 
     fn advance_politeness(&mut self) {
-        self.virtual_elapsed_ms += self.politeness.sleep_ms_between_requests;
+        let ms = self.politeness.sleep_ms_between_requests;
+        self.virtual_elapsed_ms += ms;
+        if let Some(clock) = &self.clock {
+            clock.advance_ms(ms);
+        }
         if let Some(m) = &self.obs {
-            m.politeness_virtual_ms.add(self.politeness.sleep_ms_between_requests);
+            m.politeness_virtual_ms.add(ms);
         }
     }
 
-    fn next_account(&mut self) -> usize {
-        let a = self.rr % self.accounts.len();
-        self.rr += 1;
-        a
+    // ---- circuit breakers -------------------------------------------------
+
+    fn breaker_failure(&mut self, endpoint: &'static str) {
+        let threshold = self.breaker_cfg.failure_threshold;
+        let cooldown = self.breaker_cfg.cooldown_ms;
+        let breaker = self.breakers.entry(endpoint).or_default();
+        breaker.consecutive += 1;
+        if breaker.consecutive >= threshold {
+            // Open: pay the cooldown in virtual time, then half-open —
+            // the next request through is the probe.
+            breaker.consecutive = 0;
+            breaker.open = true;
+            if let Some(m) = &self.obs {
+                if let Some(c) = m.breaker_open.get(endpoint) {
+                    c.inc();
+                }
+            }
+            self.virtual_elapsed_ms += cooldown;
+            if let Some(clock) = &self.clock {
+                clock.advance_ms(cooldown);
+            }
+        }
+    }
+
+    fn breaker_success(&mut self, endpoint: &'static str) {
+        let breaker = self.breakers.entry(endpoint).or_default();
+        breaker.consecutive = 0;
+        if breaker.open {
+            breaker.open = false;
+            if let Some(m) = &self.obs {
+                if let Some(c) = m.breaker_closed.get(endpoint) {
+                    c.inc();
+                }
+            }
+        }
+    }
+
+    // ---- account rotation / failover --------------------------------------
+
+    fn next_live_account(&mut self) -> Result<usize, CrawlError> {
+        let n = self.accounts.len();
+        for _ in 0..n {
+            let a = self.rr % n;
+            self.rr += 1;
+            if !self.accounts[a].suspended {
+                return Ok(a);
+            }
+        }
+        // Everyone is suspended; a recruiting crawler can still recover.
+        self.recruit()?;
+        match self.accounts.iter().position(|a| !a.suspended) {
+            Some(a) => Ok(a),
+            None => Err(CrawlError::Denied(Status::TOO_MANY_REQUESTS)),
+        }
+    }
+
+    fn mark_suspended(&mut self, account: usize) {
+        if !self.accounts[account].suspended {
+            self.accounts[account].suspended = true;
+            if let Some(m) = &self.obs {
+                m.account_suspensions.inc();
+            }
+        }
+    }
+
+    /// Escalate the fleet after a suspension, the way the paper did
+    /// (2 → 4 → 8 accounts): recruit until the total doubles, capped
+    /// at `max_accounts`. No-op without a factory.
+    fn recruit(&mut self) -> Result<(), CrawlError> {
+        let Some(mut factory) = self.factory.take() else { return Ok(()) };
+        let target = (self.accounts.len() * 2).min(self.max_accounts);
+        let mut result = Ok(());
+        while self.accounts.len() < target {
+            let exchange = factory();
+            let username = format!("{}-r{}", self.label, self.recruited);
+            self.recruited += 1;
+            match self.enroll(exchange, username) {
+                Ok(()) => {
+                    if let Some(m) = &self.obs {
+                        m.accounts_recruited.inc();
+                    }
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.factory = Some(factory);
+        result
+    }
+
+    /// Re-login an account whose session the platform dropped.
+    fn relogin(&mut self, account: usize) -> Result<(), CrawlError> {
+        let (username, password) =
+            (self.accounts[account].username.clone(), self.accounts[account].password.clone());
+        let resp = self.accounts[account]
+            .exchange
+            .exchange(Request::post_form("/login", &[("user", &username), ("pass", &password)]))?;
+        self.count_request(EP_AUTH);
+        self.sync_retries();
+        if !resp.status.is_success() {
+            return Err(CrawlError::Denied(resp.status));
+        }
+        Ok(())
+    }
+
+    // ---- the resilient fetch loop -----------------------------------------
+
+    /// An HTML page is complete iff the renderer's closing tag made it
+    /// through — the crawler's defense against silent truncation.
+    fn html_complete(resp: &Response) -> bool {
+        let is_html = resp.headers.get("content-type").is_some_and(|ct| ct.contains("text/html"));
+        !is_html || resp.body_string().trim_end().ends_with("</html>")
+    }
+
+    /// GET `path`, surviving what the transport-level retry layer
+    /// couldn't fix: truncated pages (re-fetch), lost sessions
+    /// (re-login), suspended accounts (failover + recruitment), and
+    /// persistent endpoint failure (circuit breaker cooldowns).
+    /// Every *issued* request is counted against `endpoint`.
+    ///
+    /// `pinned`: seed collection must stay on one account (samples are
+    /// per-account); everything else rotates.
+    fn fetch(
+        &mut self,
+        endpoint: &'static str,
+        pinned: Option<usize>,
+        path: &str,
+    ) -> Result<Response, CrawlError> {
+        let budget = 8 + 2 * self.max_accounts.max(self.accounts.len());
+        let mut relogins = 0u32;
+        let mut truncations = 0u32;
+        let mut last_denied = Status::SERVICE_UNAVAILABLE;
+        for _ in 0..budget {
+            let account = match pinned {
+                Some(a) if self.accounts[a].suspended => {
+                    return Err(CrawlError::Denied(Status::TOO_MANY_REQUESTS))
+                }
+                Some(a) => a,
+                None => self.next_live_account()?,
+            };
+            self.advance_politeness();
+            let result = self.accounts[account].exchange.exchange(Request::get(path));
+            self.count_request(endpoint);
+            self.sync_retries();
+            let resp = match result {
+                Ok(resp) => resp,
+                Err(HttpError::DeadlineExceeded) => {
+                    self.breaker_failure(endpoint);
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            if resp.status.is_success() {
+                if !Self::html_complete(&resp) {
+                    truncations += 1;
+                    self.breaker_failure(endpoint);
+                    if truncations > 3 {
+                        return Err(CrawlError::BadPage("persistently truncated page"));
+                    }
+                    continue;
+                }
+                self.breaker_success(endpoint);
+                return Ok(resp);
+            }
+            match resp.status {
+                // Policy denial, not a fault: callers interpret 403.
+                Status::FORBIDDEN => {
+                    self.breaker_success(endpoint);
+                    return Ok(resp);
+                }
+                // Session lost (fault-injected expiry or eviction):
+                // log back in on the same account and re-issue.
+                Status::UNAUTHORIZED => {
+                    relogins += 1;
+                    if relogins > 2 {
+                        return Err(CrawlError::Denied(resp.status));
+                    }
+                    self.relogin(account)?;
+                }
+                // Account suspended: out of rotation, escalate the
+                // fleet, carry on with the survivors.
+                Status::TOO_MANY_REQUESTS if resp.headers.contains(H_ACCOUNT_SUSPENDED) => {
+                    self.mark_suspended(account);
+                    self.recruit()?;
+                    if pinned.is_some() {
+                        return Err(CrawlError::Denied(resp.status));
+                    }
+                }
+                // A retryable status that outlived the transport-layer
+                // retry budget (sustained 429/5xx): breaker accounting,
+                // then try again (possibly from another account).
+                s => {
+                    last_denied = s;
+                    self.breaker_failure(endpoint);
+                }
+            }
+        }
+        Err(CrawlError::Denied(last_denied))
     }
 
     /// Page through one account's search results.
@@ -283,11 +727,7 @@ impl<E: Exchange> Crawler<E> {
         let mut out = Vec::new();
         let mut url = format!("/find-friends?school={school}");
         loop {
-            let resp = self.get(account, &url)?;
-            self.effort.seed_requests += 1;
-            if let Some(m) = &self.obs {
-                m.fetch_seeds.inc();
-            }
+            let resp = self.fetch(EP_SEEDS, Some(account), &url)?;
             if resp.status == Status::FORBIDDEN {
                 return Err(CrawlError::Denied(resp.status));
             }
@@ -304,6 +744,9 @@ impl<E: Exchange> Crawler<E> {
 
 impl<E: Exchange> OsnAccess for Crawler<E> {
     fn collect_seeds(&mut self, school: SchoolId) -> Result<Vec<UserId>, CrawlError> {
+        if let Some(seeds) = self.seeds_cache.get(&school) {
+            return Ok(seeds.clone());
+        }
         let mut seen = Vec::new();
         for account in 0..self.accounts.len() {
             let ids = self.seeds_for_account(account, school)?;
@@ -311,6 +754,7 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
         }
         seen.sort_unstable();
         seen.dedup();
+        self.seeds_cache.insert(school, seen.clone());
         Ok(seen)
     }
 
@@ -324,12 +768,7 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
         if let Some(m) = &self.obs {
             m.cache_profile_misses.inc();
         }
-        let account = self.next_account();
-        let resp = self.get(account, &format!("/profile/{uid}"))?;
-        self.effort.profile_requests += 1;
-        if let Some(m) = &self.obs {
-            m.fetch_profile.inc();
-        }
+        let resp = self.fetch(EP_PROFILE, None, &format!("/profile/{uid}"))?;
         if resp.status == Status::FORBIDDEN {
             return Err(CrawlError::Denied(resp.status));
         }
@@ -354,12 +793,24 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
         let mut out = Vec::new();
         let mut url = format!("/friends/{uid}");
         loop {
-            let account = self.next_account();
-            let resp = self.get(account, &url)?;
-            self.effort.friend_list_requests += 1;
-            if let Some(m) = &self.obs {
-                m.fetch_friends.inc();
-            }
+            let resp = match self.fetch(EP_FRIENDS, None, &url) {
+                Ok(resp) => resp,
+                // Graceful degradation: a mid-list failure keeps the
+                // pages already fetched, flagged incomplete, instead of
+                // sinking the whole crawl. (First-page failures still
+                // propagate — there is nothing to carry forward.)
+                Err(e) => {
+                    if out.is_empty() {
+                        return Err(e);
+                    }
+                    self.incomplete.insert(uid);
+                    if let Some(m) = &self.obs {
+                        m.partial_friend_lists.inc();
+                    }
+                    self.friends_cache.insert(uid, Some(out.clone()));
+                    return Ok(Some(out));
+                }
+            };
             if resp.status == Status::FORBIDDEN {
                 self.friends_cache.insert(uid, None);
                 return Ok(None);
@@ -379,6 +830,10 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
         self.effort
     }
 
+    fn incomplete_friends(&self) -> Vec<UserId> {
+        self.incomplete_friend_lists()
+    }
+
     fn circles(&mut self, uid: UserId, incoming: bool) -> Result<Option<Vec<UserId>>, CrawlError> {
         if let Some(c) = self.circles_cache.get(&(uid, incoming)) {
             if let Some(m) = &self.obs {
@@ -393,12 +848,7 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
         let mut out = Vec::new();
         let mut url = format!("/circles/{uid}?dir={dir}");
         loop {
-            let account = self.next_account();
-            let resp = self.get(account, &url)?;
-            self.effort.friend_list_requests += 1;
-            if let Some(m) = &self.obs {
-                m.fetch_circles.inc();
-            }
+            let resp = self.fetch(EP_CIRCLES, None, &url)?;
             if resp.status == Status::FORBIDDEN {
                 self.circles_cache.insert((uid, incoming), None);
                 return Ok(None);
@@ -415,18 +865,21 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
     }
 
     fn send_message(&mut self, uid: UserId, body: &str) -> Result<bool, CrawlError> {
-        let account = self.next_account();
+        let account = self.next_live_account()?;
         self.advance_politeness();
         let resp = self.accounts[account]
             .exchange
             .exchange(Request::post_form(format!("/message/{uid}"), &[("body", body)]))?;
-        self.effort.message_requests += 1;
-        if let Some(m) = &self.obs {
-            m.fetch_message.inc();
-        }
+        self.count_request(EP_MESSAGE);
+        self.sync_retries();
         match resp.status {
             s if s.is_success() => Ok(true),
             Status::FORBIDDEN => Ok(false),
+            Status::TOO_MANY_REQUESTS if resp.headers.contains(H_ACCOUNT_SUSPENDED) => {
+                self.mark_suspended(account);
+                self.recruit()?;
+                Err(CrawlError::Denied(Status::TOO_MANY_REQUESTS))
+            }
             s => Err(CrawlError::Denied(s)),
         }
     }
@@ -436,7 +889,7 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
 mod tests {
     use super::*;
     use hsp_http::DirectExchange;
-    use hsp_platform::{Platform, PlatformConfig};
+    use hsp_platform::{FaultPlan, Platform, PlatformConfig};
     use hsp_policy::FacebookPolicy;
     use hsp_synth::{generate, ScenarioConfig};
     use std::sync::Arc;
@@ -497,6 +950,7 @@ mod tests {
         expected.sort_unstable();
         assert_eq!(sorted, expected);
         assert!(crawler.effort().friend_list_requests >= 2);
+        assert!(crawler.incomplete_friend_lists().is_empty());
     }
 
     #[test]
@@ -566,5 +1020,94 @@ mod tests {
         let one = mk(1, "a").collect_seeds(scenario.school).unwrap();
         let four = mk(4, "b").collect_seeds(scenario.school).unwrap();
         assert!(four.len() > one.len(), "{} vs {}", four.len(), one.len());
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_fetched_pages() {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let platform = Platform::new(
+            Arc::new(scenario.network.clone()),
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig::default(),
+        );
+        let handler = platform.into_handler();
+        let mk = |label: &str| {
+            let exchanges = (0..2).map(|_| DirectExchange::new(handler.clone())).collect();
+            Crawler::new(exchanges, label).unwrap()
+        };
+
+        // First crawl: seeds + a few profiles, then "the process dies".
+        let mut first = mk("spy");
+        let seeds = first.collect_seeds(scenario.school).unwrap();
+        for &u in seeds.iter().take(5) {
+            first.profile(u).unwrap();
+            first.friends(u).unwrap();
+        }
+        let checkpoint = first.checkpoint();
+        assert_eq!(checkpoint.profiles.len(), 5);
+        assert!(checkpoint.effort.total() > 0);
+
+        // Round-trip through JSON, like an on-disk checkpoint file.
+        let checkpoint = CrawlSnapshot::from_json(&checkpoint.to_json()).unwrap();
+
+        // Resumed crawl: restore, then redo the same work.
+        let mut resumed = mk("spy2");
+        resumed.restore(&checkpoint);
+        let auth_only = resumed.effort();
+        let seeds2 = resumed.collect_seeds(scenario.school).unwrap();
+        assert_eq!(seeds2, seeds, "seeds come from the checkpoint");
+        for &u in seeds.iter().take(5) {
+            resumed.profile(u).unwrap();
+            resumed.friends(u).unwrap();
+        }
+        let effort = resumed.effort();
+        assert_eq!(effort.seed_requests, auth_only.seed_requests, "no seed re-fetch");
+        assert_eq!(effort.profile_requests, 0, "no profile re-fetch");
+        assert_eq!(effort.friend_list_requests, 0, "no friend-list re-fetch");
+
+        // New work is still fetched (and paid for).
+        if let Some(&fresh) = seeds.get(5) {
+            resumed.profile(fresh).unwrap();
+            assert_eq!(resumed.effort().profile_requests, 1);
+        }
+    }
+
+    #[test]
+    fn suspension_fails_over_and_recruits() {
+        // Scripted suspension of account 0 after 10 served requests;
+        // a recruiting crawler must fail over mid-crawl and finish.
+        let scenario = generate(&ScenarioConfig::tiny());
+        let platform = Platform::new(
+            Arc::new(scenario.network.clone()),
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig {
+                faults: FaultPlan {
+                    enabled: true,
+                    suspend_account_after: vec![10],
+                    ..FaultPlan::default()
+                },
+                ..PlatformConfig::default()
+            },
+        );
+        let handler = platform.into_handler();
+        let factory_handler = handler.clone();
+        let exchanges = (0..2).map(|_| DirectExchange::new(handler.clone())).collect();
+        let mut crawler = Crawler::builder("spy")
+            .observability(&platform.obs)
+            .recruit_with(move || DirectExchange::new(factory_handler.clone()), 8)
+            .build(exchanges)
+            .unwrap();
+
+        let seeds = crawler.collect_seeds(scenario.school).unwrap();
+        for &u in &seeds {
+            crawler.profile(u).unwrap();
+            crawler.friends(u).unwrap();
+        }
+        assert_eq!(platform.accounts.suspended_count(), 1, "account 0 was suspended");
+        assert_eq!(crawler.live_account_count() + 1, crawler.account_count());
+        assert!(crawler.account_count() > 2, "fleet escalated past the initial 2");
+        let snap = platform.obs.snapshot();
+        assert_eq!(snap.counter("crawler_account_suspensions_total"), 1);
+        assert!(snap.counter("crawler_accounts_recruited_total") >= 1);
     }
 }

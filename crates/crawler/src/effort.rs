@@ -22,12 +22,17 @@ pub struct Effort {
     /// Direct messages POSTed (the §2 spear-phishing channel; not part
     /// of the paper's Table 3 totals).
     pub message_requests: u64,
+    /// Transport-layer retries (429/5xx/reset re-issues by the
+    /// resilient HTTP layer). Real GETs the platform had to absorb, so
+    /// a chaotic crawl's true cost is `total()` — which includes them.
+    pub retry_requests: u64,
 }
 
 impl Effort {
-    /// The paper's total: seeds + profiles + friend lists.
+    /// The paper's total: seeds + profiles + friend lists — plus the
+    /// retries it took to land them (zero in a fault-free run).
     pub fn total(&self) -> u64 {
-        self.seed_requests + self.profile_requests + self.friend_list_requests
+        self.seed_requests + self.profile_requests + self.friend_list_requests + self.retry_requests
     }
 
     /// Difference (e.g. enhanced-phase effort = after - before).
@@ -38,6 +43,7 @@ impl Effort {
             profile_requests: self.profile_requests - earlier.profile_requests,
             friend_list_requests: self.friend_list_requests - earlier.friend_list_requests,
             message_requests: self.message_requests - earlier.message_requests,
+            retry_requests: self.retry_requests - earlier.retry_requests,
         }
     }
 }
@@ -46,11 +52,12 @@ impl std::fmt::Display for Effort {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests (seeds {}, profiles {}, friend lists {})",
+            "{} requests (seeds {}, profiles {}, friend lists {}, retries {})",
             self.total(),
             self.seed_requests,
             self.profile_requests,
-            self.friend_list_requests
+            self.friend_list_requests,
+            self.retry_requests
         )
     }
 }
@@ -67,18 +74,21 @@ mod tests {
             profile_requests: 100,
             friend_list_requests: 50,
             message_requests: 0,
+            retry_requests: 2,
         };
-        assert_eq!(before.total(), 180);
+        assert_eq!(before.total(), 182);
         let after = Effort {
             auth_requests: 4,
             seed_requests: 30,
             profile_requests: 400,
             friend_list_requests: 220,
             message_requests: 7,
+            retry_requests: 12,
         };
         let delta = after.since(&before);
         assert_eq!(delta.profile_requests, 300);
         assert_eq!(delta.friend_list_requests, 170);
-        assert_eq!(delta.total(), 470);
+        assert_eq!(delta.retry_requests, 10);
+        assert_eq!(delta.total(), 480);
     }
 }

@@ -16,7 +16,7 @@ pub mod effort;
 pub mod scrape;
 pub mod snapshot;
 
-pub use driver::{CrawlError, Crawler, OsnAccess, Politeness};
+pub use driver::{BreakerConfig, CrawlError, Crawler, CrawlerBuilder, OsnAccess, Politeness};
 pub use effort::Effort;
 pub use scrape::{parse_listing, parse_profile, ScrapedEduKind, ScrapedEducation, ScrapedProfile};
 pub use snapshot::{CrawlSnapshot, SnapshotAccess};

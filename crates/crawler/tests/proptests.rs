@@ -1,0 +1,131 @@
+//! Property tests for the scrape layer: `parse_profile` and
+//! `parse_listing` must never panic, whatever the platform (or the
+//! fault injector) throws at them — arbitrary strings, tag soup, and
+//! real rendered pages truncated at every possible byte boundary, which
+//! is exactly the malformed HTML `FaultPlan` truncation produces.
+
+use hsp_crawler::{parse_listing, parse_profile};
+use hsp_http::{DirectExchange, Exchange, Request};
+use hsp_platform::{FaultPlan, Platform, PlatformConfig};
+use hsp_policy::FacebookPolicy;
+use hsp_synth::{generate, ScenarioConfig};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Real rendered pages (one profile, one friend-list page, one search
+/// page), fetched once from a fault-free platform.
+fn real_pages() -> &'static Vec<String> {
+    static PAGES: OnceLock<Vec<String>> = OnceLock::new();
+    PAGES.get_or_init(|| {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let platform = Platform::new(
+            Arc::new(scenario.network.clone()),
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig::default(),
+        );
+        let handler = platform.into_handler();
+        let mut x = DirectExchange::new(handler);
+        x.exchange(Request::post_form("/signup", &[("user", "probe"), ("pass", "pw")])).unwrap();
+        x.exchange(Request::post_form("/login", &[("user", "probe"), ("pass", "pw")])).unwrap();
+        let adult = scenario
+            .network
+            .user_ids()
+            .find(|&u| !scenario.network.user(u).is_registered_minor(scenario.network.today))
+            .unwrap();
+        let school = scenario.school;
+        [
+            format!("/profile/{adult}"),
+            format!("/friends/{adult}"),
+            format!("/find-friends?school={school}"),
+        ]
+        .iter()
+        .map(|path| x.exchange(Request::get(path)).unwrap().body_string())
+        .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn parse_profile_never_panics_on_arbitrary_strings(input in ".*") {
+        let _ = parse_profile(&input);
+    }
+
+    #[test]
+    fn parse_listing_never_panics_on_arbitrary_strings(input in ".*") {
+        let _ = parse_listing(&input);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_taggy_soup(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<ul class=\"friend-list\">".to_string()),
+                Just("<li data-uid=\"".to_string()),
+                Just("<a href=\"/profile/".to_string()),
+                Just("<dl class=\"profile\">".to_string()),
+                Just("<dt>".to_string()),
+                Just("</".to_string()),
+                Just("&amp;".to_string()),
+                Just("&#".to_string()),
+                "[0-9]{0,6}",
+                "[a-z<>&\"=/ ]{0,8}",
+            ],
+            0..40,
+        )
+    ) {
+        let soup: String = parts.concat();
+        let _ = parse_profile(&soup);
+        let _ = parse_listing(&soup);
+    }
+
+    /// The fault engine truncates page bodies at arbitrary byte offsets
+    /// (possibly mid-UTF-8-sequence; the client decodes lossily, like
+    /// `Response::body_string`). The parsers must survive every prefix
+    /// of every real page.
+    #[test]
+    fn parsers_never_panic_on_byte_truncated_real_pages(
+        page in 0usize..3,
+        cut_pct in 0u32..=100,
+    ) {
+        let html = &real_pages()[page];
+        let cut = html.len() * cut_pct as usize / 100;
+        let truncated = String::from_utf8_lossy(&html.as_bytes()[..cut]);
+        let _ = parse_profile(&truncated);
+        let _ = parse_listing(&truncated);
+    }
+}
+
+/// End-to-end variant: pages truncated by the *actual* fault engine
+/// (`truncate_per_mille = 1000` ⇒ every HTML response is cut) parse
+/// without panicking, and the damage is detectable — no truncated page
+/// ends with the renderer's closing tag.
+#[test]
+fn fault_engine_truncated_pages_parse_without_panic() {
+    let scenario = generate(&ScenarioConfig::tiny());
+    let platform = Platform::new(
+        Arc::new(scenario.network.clone()),
+        Arc::new(FacebookPolicy::new()),
+        PlatformConfig {
+            faults: FaultPlan { enabled: true, truncate_per_mille: 1000, ..FaultPlan::default() },
+            ..PlatformConfig::default()
+        },
+    );
+    let handler = platform.into_handler();
+    let mut x = DirectExchange::new(handler);
+    x.exchange(Request::post_form("/signup", &[("user", "probe"), ("pass", "pw")])).unwrap();
+    x.exchange(Request::post_form("/login", &[("user", "probe"), ("pass", "pw")])).unwrap();
+
+    let mut truncated_seen = 0;
+    for u in scenario.network.user_ids().take(30) {
+        for path in [format!("/profile/{u}"), format!("/friends/{u}")] {
+            let resp = x.exchange(Request::get(&path)).unwrap();
+            let body = resp.body_string();
+            if resp.status.is_success() && !body.trim_end().ends_with("</html>") {
+                truncated_seen += 1;
+            }
+            let _ = parse_profile(&body);
+            let _ = parse_listing(&body);
+        }
+    }
+    assert!(truncated_seen > 0, "the chaos plan should have mangled some pages");
+}

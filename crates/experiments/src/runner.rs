@@ -10,9 +10,12 @@ use hsp_core::{
     EvalPoint, GroundTruth,
 };
 use hsp_crawler::{Crawler, OsnAccess, Politeness};
-use hsp_http::{Client, DirectExchange, Handler, Server, ServerConfig};
+use hsp_http::{
+    Client, DirectExchange, Handler, ResilientExchange, RetryPolicy, RetryStats, Server,
+    ServerConfig,
+};
 use hsp_obs::{Registry, SpanGuard};
-use hsp_platform::{Platform, PlatformConfig};
+use hsp_platform::{FaultPlan, Platform, PlatformConfig};
 use hsp_policy::{FacebookPolicy, Policy};
 use hsp_synth::{generate, Scenario, ScenarioConfig};
 use std::sync::Arc;
@@ -42,6 +45,22 @@ impl Lab {
     /// [`Lab::facebook`] recording into an existing registry.
     pub fn facebook_with_registry(cfg: &ScenarioConfig, obs: Arc<Registry>) -> Lab {
         Self::with_policy_and_registry(cfg, Arc::new(FacebookPolicy::new()), obs)
+    }
+
+    /// [`Lab::facebook`] with a hostile platform: the given fault plan
+    /// is armed on an otherwise-default configuration. Pair it with
+    /// [`Lab::resilient_crawler`] — a plain crawler will not survive.
+    pub fn facebook_chaotic(cfg: &ScenarioConfig, plan: FaultPlan) -> Lab {
+        let scenario = generate(cfg);
+        let obs = Registry::shared();
+        let platform = Platform::with_registry(
+            Arc::new(scenario.network.clone()),
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig { faults: plan, ..PlatformConfig::default() },
+            Arc::clone(&obs),
+        );
+        let handler = platform.into_handler();
+        Lab { scenario, platform, obs, handler, server: None }
     }
 
     /// Build with an explicit policy engine.
@@ -106,6 +125,48 @@ impl Lab {
         )
     }
 
+    /// An in-process crawler hardened for a chaotic platform: every
+    /// account's exchange is wrapped in a [`ResilientExchange`]
+    /// (deadlines, classification, jittered backoff) sharing the
+    /// platform's virtual clock and one retry-stats block, and the
+    /// crawler recruits replacement accounts on suspension (the paper's
+    /// 2→4→8 escalation). Fully deterministic for a fixed `seed`.
+    pub fn resilient_crawler(&self, accounts: usize, label: &str, seed: u64) -> Box<dyn OsnAccess> {
+        let clock = Arc::clone(&self.platform.clock);
+        let stats = Arc::new(RetryStats::default());
+        let wrap = {
+            let handler = self.handler.clone();
+            let clock = Arc::clone(&clock);
+            let stats = Arc::clone(&stats);
+            move |i: u64| {
+                ResilientExchange::with_stats(
+                    DirectExchange::new(handler.clone()),
+                    RetryPolicy::seeded(seed ^ i),
+                    Arc::clone(&clock),
+                    Arc::clone(&stats),
+                )
+            }
+        };
+        let exchanges: Vec<_> = (0..accounts as u64).map(&wrap).collect();
+        let mut next = accounts as u64;
+        let factory = {
+            let wrap = wrap;
+            move || {
+                next += 1;
+                wrap(next)
+            }
+        };
+        Box::new(
+            Crawler::builder(label)
+                .observability(&self.obs)
+                .clock(clock)
+                .retry_stats(stats)
+                .recruit_with(factory, 8)
+                .build(exchanges)
+                .expect("resilient crawler setup"),
+        )
+    }
+
     /// A crawler over real loopback TCP (requires [`Lab::serve`]).
     pub fn tcp_crawler(&self, accounts: usize, label: &str) -> Box<dyn OsnAccess> {
         let addr = self.server.as_ref().expect("call serve() before tcp_crawler()").addr();
@@ -166,7 +227,13 @@ pub struct AttackRun {
 /// Run basic then enhanced(+filtering) with the paper's parameters.
 pub fn full_attack(lab: &mut Lab, tcp: bool) -> AttackRun {
     let accounts = lab.paper_account_count();
-    let mut access = lab.crawler_mode(accounts, "atk", tcp);
+    let access = lab.crawler_mode(accounts, "atk", tcp);
+    full_attack_with(lab, access)
+}
+
+/// [`full_attack`] over a caller-supplied access layer (e.g. a
+/// [`Lab::resilient_crawler`] for chaos runs).
+pub fn full_attack_with(lab: &Lab, mut access: Box<dyn OsnAccess>) -> AttackRun {
     let config = lab.attack_config();
     let discovery = {
         let _span = phase_span(&lab.obs, "crawl");

@@ -7,6 +7,7 @@ use crate::cookie::CookieJar;
 use crate::error::{HttpError, Result};
 use crate::message::{Request, Response};
 use crate::router::Handler;
+use crate::types::Method;
 use crate::wire::{decode_response, encode_request, Decoded};
 use bytes::BytesMut;
 use std::io::{Read, Write};
@@ -92,14 +93,22 @@ impl Exchange for Client {
     fn exchange(&mut self, mut req: Request) -> Result<Response> {
         req.headers.set("Host", self.addr.to_string());
         self.jar.apply(&mut req);
-        // One retry on a stale keep-alive connection.
+        // One retry on a stale keep-alive connection — but only for
+        // idempotent methods. A POST (signup, login, direct message)
+        // may already have been processed before the connection died;
+        // replaying it here would silently double-send.
         let resp = match self.try_once(&req) {
             Ok(resp) => resp,
-            Err(HttpError::Io(_) | HttpError::UnexpectedEof) => {
+            Err(HttpError::Io(_) | HttpError::UnexpectedEof)
+                if matches!(req.method, Method::Get | Method::Head) =>
+            {
                 self.conn = None;
                 self.try_once(&req)?
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                self.conn = None;
+                return Err(e);
+            }
         };
         self.jar.absorb(&resp);
         if resp.headers.connection_close() {
@@ -188,6 +197,65 @@ mod tests {
         direct.exchange(Request::post_form("/login", &[("user", "eve")])).unwrap();
         let resp = direct.exchange(Request::get("/whoami")).unwrap();
         assert_eq!(resp.body_string(), "sess-eve");
+    }
+
+    #[test]
+    fn stale_keep_alive_post_is_not_replayed() {
+        use std::net::TcpListener;
+        use std::sync::mpsc;
+
+        // Raw one-shot server: serve one request on the first connection,
+        // then close it *without* `Connection: close`, leaving the client
+        // holding a stale keep-alive socket.
+        fn read_request_line(stream: &mut TcpStream) -> String {
+            let mut buf = Vec::new();
+            let mut chunk = [0u8; 1024];
+            loop {
+                let n = stream.read(&mut chunk).unwrap();
+                assert!(n > 0, "peer closed before a full request arrived");
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                    let text = String::from_utf8_lossy(&buf);
+                    return text.lines().next().unwrap_or_default().to_string();
+                }
+            }
+        }
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (closed_tx, closed_rx) = mpsc::channel();
+        let server = std::thread::spawn(move || {
+            {
+                let (mut s, _) = listener.accept().unwrap();
+                assert!(read_request_line(&mut s).starts_with("GET /warm"));
+                s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok").unwrap();
+            } // dropped: stale keep-alive from the client's point of view
+            closed_tx.send(()).unwrap();
+            // Only the client's reconnect (a fresh GET) may land here; a
+            // replayed POST would show up as a POST request line.
+            let (mut s, _) = listener.accept().unwrap();
+            let line = read_request_line(&mut s);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok").unwrap();
+            line
+        });
+
+        let mut client = Client::new(addr);
+        assert_eq!(client.get("/warm").unwrap().body_string(), "ok");
+        closed_rx.recv().unwrap();
+        // The POST hits the dead socket: it must error out, not be
+        // transparently resent on a fresh connection.
+        let err = client.post_form("/message/u9", &[("text", "hi")]).unwrap_err();
+        assert!(
+            matches!(err, HttpError::Io(_) | HttpError::UnexpectedEof),
+            "expected a transport error, got {err}"
+        );
+        // A later idempotent request recovers by reconnecting.
+        assert_eq!(client.get("/after").unwrap().body_string(), "ok");
+        let second_conn_line = server.join().unwrap();
+        assert!(
+            second_conn_line.starts_with("GET /after"),
+            "second connection saw '{second_conn_line}' — the POST was replayed"
+        );
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub enum HttpError {
     BadUrl(String),
     /// Client-side: gave up after redirect/retry limits.
     TooManyRedirects,
+    /// Client-side: the per-request virtual deadline elapsed before a
+    /// usable response arrived (see [`crate::resilient`]).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for HttpError {
@@ -29,6 +32,7 @@ impl fmt::Display for HttpError {
             HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
             HttpError::BadUrl(u) => write!(f, "bad url: {u}"),
             HttpError::TooManyRedirects => write!(f, "too many redirects"),
+            HttpError::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }

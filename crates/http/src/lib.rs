@@ -22,6 +22,7 @@ pub mod client;
 pub mod cookie;
 pub mod error;
 pub mod message;
+pub mod resilient;
 pub mod router;
 pub mod server;
 pub mod types;
@@ -32,6 +33,9 @@ pub use client::{Client, DirectExchange, Exchange};
 pub use cookie::{request_cookie, CookieJar};
 pub use error::{HttpError, Result};
 pub use message::{Request, Response};
+pub use resilient::{
+    classify, retryable_transport_error, ErrorClass, ResilientExchange, RetryPolicy, RetryStats,
+};
 pub use router::{Handler, PathParams, Router};
 pub use server::{AccessLogFn, AccessRecord, Server, ServerConfig};
 pub use types::{Headers, Method, Status};

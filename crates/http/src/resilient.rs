@@ -1,0 +1,442 @@
+//! Retry/backoff layer over any [`Exchange`].
+//!
+//! The paper's crawlers ran for days against a platform that rate-limited,
+//! erred and reset connections; what made the attack feasible was cheap
+//! client-side persistence. [`ResilientExchange`] wraps any transport with:
+//!
+//! - **error classification** ([`classify`], [`retryable_transport_error`]):
+//!   retryable (429, 500, 503, connection reset) vs fatal (account
+//!   suspension, session expiry — these need account-level recovery, not a
+//!   blind resend, and are surfaced to the caller);
+//! - **capped exponential backoff with full jitter**, honoring the
+//!   server's `Retry-After` header;
+//! - **per-request deadlines** in virtual time ([`HttpError::DeadlineExceeded`]);
+//! - POST is never replayed on a transport error (it may have been
+//!   processed before the connection died).
+//!
+//! All waiting advances a shared [`VirtualClock`] instead of sleeping, and
+//! jitter comes from a seeded splitmix64 stream, so a chaos run's retry
+//! schedule is a pure function of (seed, request sequence) — bit-identical
+//! across runs and across TCP vs in-process transports.
+//!
+//! Fault signalling is header-based so both transports behave identically;
+//! the header names are shared constants ([`H_RETRY_AFTER`] etc.) used by
+//! the platform fault engine on the way out and this layer on the way in.
+
+use crate::client::Exchange;
+use crate::error::{HttpError, Result};
+use crate::message::{Request, Response};
+use crate::types::Method;
+use hsp_obs::VirtualClock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Standard rate-limit header: seconds to wait before retrying.
+pub const H_RETRY_AFTER: &str = "Retry-After";
+/// Simulated server-side latency in virtual milliseconds; the client
+/// "experiences" it by advancing the virtual clock.
+pub const H_VIRTUAL_LATENCY_MS: &str = "x-virtual-latency-ms";
+/// Marks a 429 as an account suspension (fatal: needs failover).
+pub const H_ACCOUNT_SUSPENDED: &str = "x-account-suspended";
+/// Marks a 401 as a fault-injected session expiry (fatal: needs re-login).
+pub const H_SESSION_EXPIRED: &str = "x-session-expired";
+/// Names the injected fault, e.g. `reset` for a mid-body connection
+/// reset (the body is truncated and the connection closed).
+pub const H_SIMULATED_FAULT: &str = "x-simulated-fault";
+
+/// How a response (or transport error) should be handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Usable response — hand it to the caller.
+    Terminal,
+    /// Transient failure — worth retrying after a backoff, optionally
+    /// with a server-mandated minimum wait.
+    Retryable { retry_after_ms: Option<u64> },
+    /// Account- or session-level failure (suspension, expired session):
+    /// resending the same request cannot help. Returned to the caller,
+    /// which must fail over or re-authenticate.
+    Fatal,
+}
+
+/// Classify a response for retry purposes.
+pub fn classify(resp: &Response) -> ErrorClass {
+    if resp.headers.get(H_SIMULATED_FAULT) == Some("reset") {
+        // Mid-body connection reset: the body is truncated garbage.
+        return ErrorClass::Retryable { retry_after_ms: None };
+    }
+    match resp.status.code() {
+        429 if resp.headers.contains(H_ACCOUNT_SUSPENDED) => ErrorClass::Fatal,
+        429 => {
+            let retry_after_ms = resp
+                .headers
+                .get(H_RETRY_AFTER)
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(|secs| secs * 1_000);
+            ErrorClass::Retryable { retry_after_ms }
+        }
+        500 | 503 => ErrorClass::Retryable { retry_after_ms: None },
+        401 if resp.headers.contains(H_SESSION_EXPIRED) => ErrorClass::Fatal,
+        _ => ErrorClass::Terminal,
+    }
+}
+
+/// Whether a transport-level error is worth retrying at all. (Even then,
+/// only idempotent requests are actually resent.)
+pub fn retryable_transport_error(e: &HttpError) -> bool {
+    matches!(e, HttpError::Io(_) | HttpError::UnexpectedEof | HttpError::Malformed(_))
+}
+
+/// Retry budget and backoff shape for one [`ResilientExchange`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff ceiling in virtual ms; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling cap.
+    pub max_backoff_ms: u64,
+    /// Per-request deadline in virtual ms (0 = none). Counted from the
+    /// first attempt; a retry that would wait past it fails with
+    /// [`HttpError::DeadlineExceeded`] instead.
+    pub deadline_ms: u64,
+    /// Seed for the jitter stream (deterministic per-exchange).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_ms: 250,
+            max_backoff_ms: 8_000,
+            deadline_ms: 120_000,
+            jitter_seed: 0x9d5f_2013,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Default shape with an explicit jitter seed.
+    pub fn seeded(seed: u64) -> RetryPolicy {
+        RetryPolicy { jitter_seed: seed, ..RetryPolicy::default() }
+    }
+}
+
+/// Counters shared between a [`ResilientExchange`] and whoever accounts
+/// for effort (the crawler folds these into its request totals).
+#[derive(Debug, Default)]
+pub struct RetryStats {
+    /// Requests resent after a retryable failure.
+    pub retries: AtomicU64,
+    /// 429 responses seen (excluding suspensions).
+    pub rate_limited: AtomicU64,
+    /// 500/503 responses seen.
+    pub server_errors: AtomicU64,
+    /// Mid-body connection resets (marker or transport-level).
+    pub resets: AtomicU64,
+    /// Requests abandoned at their virtual deadline.
+    pub deadlines_exceeded: AtomicU64,
+    /// Virtual milliseconds spent waiting in backoff.
+    pub backoff_virtual_ms: AtomicU64,
+}
+
+impl RetryStats {
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    pub fn rate_limited(&self) -> u64 {
+        self.rate_limited.load(Ordering::Relaxed)
+    }
+
+    pub fn server_errors(&self) -> u64 {
+        self.server_errors.load(Ordering::Relaxed)
+    }
+
+    pub fn resets(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
+    }
+
+    pub fn deadlines_exceeded(&self) -> u64 {
+        self.deadlines_exceeded.load(Ordering::Relaxed)
+    }
+
+    pub fn backoff_virtual_ms(&self) -> u64 {
+        self.backoff_virtual_ms.load(Ordering::Relaxed)
+    }
+}
+
+/// An [`Exchange`] wrapper adding deadlines, classification-driven
+/// retries and jittered backoff in virtual time.
+pub struct ResilientExchange<E> {
+    inner: E,
+    policy: RetryPolicy,
+    clock: Arc<VirtualClock>,
+    stats: Arc<RetryStats>,
+    jitter_state: u64,
+}
+
+impl<E: Exchange> ResilientExchange<E> {
+    pub fn new(inner: E, policy: RetryPolicy, clock: Arc<VirtualClock>) -> ResilientExchange<E> {
+        Self::with_stats(inner, policy, clock, Arc::new(RetryStats::default()))
+    }
+
+    /// Like [`new`](Self::new) but folding retries into a shared stats
+    /// block — one handle for a whole fleet of account exchanges.
+    pub fn with_stats(
+        inner: E,
+        policy: RetryPolicy,
+        clock: Arc<VirtualClock>,
+        stats: Arc<RetryStats>,
+    ) -> ResilientExchange<E> {
+        let jitter_state = policy.jitter_seed;
+        ResilientExchange { inner, policy, clock, stats, jitter_state }
+    }
+
+    /// Shared retry counters (clone the Arc to account elsewhere).
+    pub fn stats(&self) -> Arc<RetryStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The virtual clock this exchange waits against.
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    fn next_jitter(&mut self, ceiling: u64) -> u64 {
+        // splitmix64: cheap, seedable, good enough for jitter.
+        self.jitter_state = self.jitter_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.jitter_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Full jitter in [1, ceiling]: always advances the clock so a
+        // retry storm cannot happen "instantaneously".
+        1 + z % ceiling.max(1)
+    }
+
+    /// Backoff for the n-th retry (1-based): full jitter under an
+    /// exponentially growing ceiling, floored by any `Retry-After`.
+    fn backoff_ms(&mut self, retry: u32, retry_after_ms: Option<u64>) -> u64 {
+        let shift = (retry - 1).min(20);
+        let ceiling =
+            self.policy.base_backoff_ms.saturating_mul(1 << shift).min(self.policy.max_backoff_ms);
+        let jittered = self.next_jitter(ceiling);
+        jittered.max(retry_after_ms.unwrap_or(0))
+    }
+
+    /// Absorb the response's simulated latency into the virtual timeline.
+    fn observe_latency(&self, resp: &Response) {
+        if let Some(ms) = resp.headers.get(H_VIRTUAL_LATENCY_MS).and_then(|v| v.parse().ok()) {
+            self.clock.advance_ms(ms);
+        }
+    }
+}
+
+impl<E: Exchange> Exchange for ResilientExchange<E> {
+    fn exchange(&mut self, req: Request) -> Result<Response> {
+        let start_ms = self.clock.now_ms();
+        let idempotent = matches!(req.method, Method::Get | Method::Head);
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let retry_after_ms = match self.inner.exchange(req.clone()) {
+                Ok(resp) => {
+                    self.observe_latency(&resp);
+                    match classify(&resp) {
+                        ErrorClass::Terminal | ErrorClass::Fatal => return Ok(resp),
+                        ErrorClass::Retryable { retry_after_ms } => {
+                            match resp.status.code() {
+                                429 => self.stats.rate_limited.fetch_add(1, Ordering::Relaxed),
+                                500 | 503 => {
+                                    self.stats.server_errors.fetch_add(1, Ordering::Relaxed)
+                                }
+                                _ => self.stats.resets.fetch_add(1, Ordering::Relaxed),
+                            };
+                            if attempt >= self.policy.max_attempts {
+                                // Out of budget: surface the last
+                                // response so the caller sees *why*.
+                                return Ok(resp);
+                            }
+                            retry_after_ms
+                        }
+                    }
+                }
+                Err(e) if retryable_transport_error(&e) && idempotent => {
+                    self.stats.resets.fetch_add(1, Ordering::Relaxed);
+                    if attempt >= self.policy.max_attempts {
+                        return Err(e);
+                    }
+                    None
+                }
+                Err(e) => return Err(e),
+            };
+            let wait_ms = self.backoff_ms(attempt, retry_after_ms);
+            if self.policy.deadline_ms > 0 {
+                let elapsed = self.clock.now_ms().saturating_sub(start_ms);
+                if elapsed + wait_ms > self.policy.deadline_ms {
+                    self.stats.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+                    return Err(HttpError::DeadlineExceeded);
+                }
+            }
+            self.clock.advance_ms(wait_ms);
+            self.stats.backoff_virtual_ms.fetch_add(wait_ms, Ordering::Relaxed);
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn clear_session(&mut self) {
+        self.inner.clear_session();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Status;
+    use std::collections::VecDeque;
+
+    /// Scripted exchange: pops pre-baked outcomes, records requests.
+    struct Script {
+        outcomes: VecDeque<Result<Response>>,
+        seen: Vec<Request>,
+    }
+
+    impl Script {
+        fn new(outcomes: Vec<Result<Response>>) -> Script {
+            Script { outcomes: outcomes.into(), seen: Vec::new() }
+        }
+    }
+
+    impl Exchange for Script {
+        fn exchange(&mut self, req: Request) -> Result<Response> {
+            self.seen.push(req);
+            self.outcomes.pop_front().unwrap_or_else(|| Ok(Response::text("default")))
+        }
+
+        fn clear_session(&mut self) {}
+    }
+
+    fn resilient(script: Script) -> ResilientExchange<Script> {
+        ResilientExchange::new(script, RetryPolicy::seeded(7), VirtualClock::shared())
+    }
+
+    #[test]
+    fn retries_transient_5xx_until_success() {
+        let script = Script::new(vec![
+            Ok(Response::error(Status::SERVICE_UNAVAILABLE, "warming up")),
+            Ok(Response::error(Status::INTERNAL_SERVER_ERROR, "oops")),
+            Ok(Response::text("fine")),
+        ]);
+        let mut ex = resilient(script);
+        let resp = ex.exchange(Request::get("/profile/u1")).unwrap();
+        assert_eq!(resp.body_string(), "fine");
+        assert_eq!(ex.stats().retries(), 2);
+        assert_eq!(ex.stats().server_errors(), 2);
+        assert!(ex.clock().now_ms() > 0, "backoff must advance virtual time");
+    }
+
+    #[test]
+    fn honors_retry_after_floor() {
+        let rate_limited =
+            Response::error(Status::TOO_MANY_REQUESTS, "slow down").header(H_RETRY_AFTER, "30");
+        let script = Script::new(vec![Ok(rate_limited), Ok(Response::text("ok"))]);
+        let mut ex = resilient(script);
+        ex.exchange(Request::get("/x")).unwrap();
+        assert!(ex.clock().now_ms() >= 30_000, "waited {} ms", ex.clock().now_ms());
+        assert_eq!(ex.stats().rate_limited(), 1);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_last_response() {
+        let outcomes = (0..9)
+            .map(|_| Ok(Response::error(Status::SERVICE_UNAVAILABLE, "down")))
+            .collect::<Vec<_>>();
+        let mut ex = resilient(Script::new(outcomes));
+        let resp = ex.exchange(Request::get("/x")).unwrap();
+        assert_eq!(resp.status, Status::SERVICE_UNAVAILABLE);
+        assert_eq!(ex.stats().retries(), RetryPolicy::default().max_attempts as u64 - 1);
+    }
+
+    #[test]
+    fn suspension_is_fatal_not_retried() {
+        let suspended = Response::error(Status::TOO_MANY_REQUESTS, "account suspended")
+            .header(H_ACCOUNT_SUSPENDED, "1");
+        let mut ex = resilient(Script::new(vec![Ok(suspended)]));
+        let resp = ex.exchange(Request::get("/x")).unwrap();
+        assert_eq!(resp.status, Status::TOO_MANY_REQUESTS);
+        assert_eq!(ex.stats().retries(), 0, "suspension must bubble up for failover");
+    }
+
+    #[test]
+    fn post_never_replayed_on_transport_error() {
+        let script = Script::new(vec![Err(HttpError::UnexpectedEof), Ok(Response::text("late"))]);
+        let mut ex = resilient(script);
+        let err = ex.exchange(Request::post_form("/message/u9", &[("text", "hi")])).unwrap_err();
+        assert!(matches!(err, HttpError::UnexpectedEof));
+        assert_eq!(ex.inner.seen.len(), 1, "the POST must have been sent exactly once");
+    }
+
+    #[test]
+    fn get_is_replayed_on_transport_error() {
+        let script = Script::new(vec![Err(HttpError::UnexpectedEof), Ok(Response::text("ok"))]);
+        let mut ex = resilient(script);
+        assert_eq!(ex.exchange(Request::get("/x")).unwrap().body_string(), "ok");
+        assert_eq!(ex.stats().resets(), 1);
+    }
+
+    #[test]
+    fn reset_marker_is_retried_like_a_transport_reset() {
+        let torn = Response::html("<html><p>torn of")
+            .header(H_SIMULATED_FAULT, "reset")
+            .header("Connection", "close");
+        let script = Script::new(vec![Ok(torn), Ok(Response::html("<html>whole</html>"))]);
+        let mut ex = resilient(script);
+        let resp = ex.exchange(Request::get("/x")).unwrap();
+        assert!(resp.body_string().contains("whole"));
+        assert_eq!(ex.stats().resets(), 1);
+    }
+
+    #[test]
+    fn deadline_bounds_total_virtual_wait() {
+        let outcomes = (0..50)
+            .map(|_| {
+                Ok(Response::error(Status::TOO_MANY_REQUESTS, "x").header(H_RETRY_AFTER, "120"))
+            })
+            .collect::<Vec<_>>();
+        let policy =
+            RetryPolicy { deadline_ms: 100_000, max_attempts: 50, ..RetryPolicy::seeded(3) };
+        let mut ex = ResilientExchange::new(Script::new(outcomes), policy, VirtualClock::shared());
+        let err = ex.exchange(Request::get("/x")).unwrap_err();
+        assert!(matches!(err, HttpError::DeadlineExceeded));
+        assert_eq!(ex.stats().deadlines_exceeded(), 1);
+        assert!(ex.clock().now_ms() <= 100_000);
+    }
+
+    #[test]
+    fn virtual_latency_header_advances_clock() {
+        let slow = Response::html("<html>slow</html>").header(H_VIRTUAL_LATENCY_MS, "750");
+        let mut ex = resilient(Script::new(vec![Ok(slow)]));
+        ex.exchange(Request::get("/x")).unwrap();
+        assert_eq!(ex.clock().now_ms(), 750);
+    }
+
+    #[test]
+    fn same_seed_same_virtual_schedule() {
+        let run = |seed: u64| {
+            let outcomes = (0..4)
+                .map(|_| Ok(Response::error(Status::SERVICE_UNAVAILABLE, "down")))
+                .chain(std::iter::once(Ok(Response::text("ok"))))
+                .collect::<Vec<_>>();
+            let mut ex = ResilientExchange::new(
+                Script::new(outcomes),
+                RetryPolicy::seeded(seed),
+                VirtualClock::shared(),
+            );
+            ex.exchange(Request::get("/x")).unwrap();
+            ex.clock().now_ms()
+        };
+        assert_eq!(run(42), run(42), "same seed must give a bit-identical schedule");
+        assert_ne!(run(42), run(43), "different seeds should jitter differently");
+    }
+}

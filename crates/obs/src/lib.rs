@@ -12,7 +12,9 @@
 //! - [`Registry`]: named metrics with Prometheus-style text exposition
 //!   and `serde`-serializable [`Snapshot`]s;
 //! - [`SpanGuard`]: scoped wall-clock timers feeding histograms;
-//! - [`EventLog`]: a bounded structured event ring buffer.
+//! - [`EventLog`]: a bounded structured event ring buffer;
+//! - [`VirtualClock`]: shared virtual-millisecond timeline for
+//!   deterministic rate-limit windows and fault schedules.
 //!
 //! The hot-path contract: recording into an already-resolved metric is
 //! atomics only (no locks, no allocation). Resolving a metric by name
@@ -20,6 +22,7 @@
 //! resolve handles once at setup (see [`RouteMetrics`]) and then only
 //! pay the atomic adds.
 
+pub mod clock;
 pub mod counter;
 pub mod events;
 pub mod hist;
@@ -27,6 +30,7 @@ pub mod registry;
 pub mod route;
 pub mod span;
 
+pub use clock::VirtualClock;
 pub use counter::{Counter, Gauge};
 pub use events::{Event, EventLog, Level};
 pub use hist::{Histogram, HistogramSnapshot};

@@ -6,7 +6,7 @@
 //! anti-crawling suspension rule.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// One registered (attacker) account.
 #[derive(Clone, Debug)]
@@ -19,6 +19,9 @@ pub struct Account {
     pub requests: u64,
     /// Suspended by the anti-crawling rule.
     pub suspended: bool,
+    /// Virtual-time stamps of requests inside the sliding suspension
+    /// window (only maintained while the windowed rule is enabled).
+    recent: VecDeque<u64>,
 }
 
 /// Errors surfaced to HTTP handlers.
@@ -65,6 +68,7 @@ impl Accounts {
             password: password.to_string(),
             requests: 0,
             suspended: false,
+            recent: VecDeque::new(),
         });
         inner.by_name.insert(username.to_string(), index);
         Ok(index)
@@ -84,8 +88,25 @@ impl Accounts {
     }
 
     /// Resolve a session cookie to an account index, bumping the
-    /// account's request counter and enforcing suspension.
+    /// account's request counter and enforcing the lifetime-total
+    /// suspension rule only (no windowed rule).
     pub fn authorize(&self, sid: &str, threshold: u64) -> Result<usize, AccountError> {
+        self.authorize_at(sid, threshold, 0, 0, 0)
+    }
+
+    /// Like [`Accounts::authorize`], but additionally enforcing the
+    /// virtual-time sliding-window rule: more than `max_in_window`
+    /// requests within the last `window_ms` virtual milliseconds
+    /// (as of `now_ms`) suspends the account. `max_in_window == 0`
+    /// disables the windowed rule.
+    pub fn authorize_at(
+        &self,
+        sid: &str,
+        threshold: u64,
+        max_in_window: u64,
+        window_ms: u64,
+        now_ms: u64,
+    ) -> Result<usize, AccountError> {
         let mut inner = self.inner.lock();
         let &index = inner.sessions.get(sid).ok_or(AccountError::NoSession)?;
         let account = &mut inner.accounts[index];
@@ -97,7 +118,29 @@ impl Accounts {
             account.suspended = true;
             return Err(AccountError::Suspended);
         }
+        if max_in_window > 0 {
+            account.recent.push_back(now_ms);
+            let horizon = now_ms.saturating_sub(window_ms);
+            while account.recent.front().is_some_and(|&t| t < horizon) {
+                account.recent.pop_front();
+            }
+            if account.recent.len() as u64 > max_in_window {
+                account.suspended = true;
+                return Err(AccountError::Suspended);
+            }
+        }
         Ok(index)
+    }
+
+    /// Suspend an account outright (scripted fault-plan escalation).
+    pub fn force_suspend(&self, index: usize) {
+        self.inner.lock().accounts[index].suspended = true;
+    }
+
+    /// Evict a live session (fault-plan session expiry). Returns
+    /// whether the session existed.
+    pub fn expire_session(&self, sid: &str) -> bool {
+        self.inner.lock().sessions.remove(sid).is_some()
     }
 
     /// Request count for an account (tests / effort cross-checks).
@@ -164,6 +207,66 @@ mod tests {
         // Stays suspended.
         assert_eq!(accounts.authorize(&sid, 5), Err(AccountError::Suspended));
         assert!(accounts.is_suspended(0));
+    }
+
+    #[test]
+    fn windowed_rule_politeness_buys_headroom() {
+        // Two identical budgets of 100 requests under a "max 10 per
+        // virtual minute" rule. The impolite crawler fires them all at
+        // the same virtual instant and is suspended on request 11; the
+        // polite one spaces them 10s apart (advancing virtual time) and
+        // finishes the full budget untouched.
+        let accounts = Accounts::new();
+        accounts.signup("impolite", "p").unwrap();
+        accounts.signup("polite", "p").unwrap();
+        let rude = accounts.login("impolite", "p").unwrap();
+        let nice = accounts.login("polite", "p").unwrap();
+
+        let mut rude_served = 0;
+        for _ in 0..100 {
+            match accounts.authorize_at(&rude, 1_000_000, 10, 60_000, 0) {
+                Ok(_) => rude_served += 1,
+                Err(AccountError::Suspended) => break,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(rude_served, 10, "11th same-instant request must suspend");
+        assert!(accounts.is_suspended(0));
+
+        for i in 0..100u64 {
+            let now = i * 10_000; // 10 virtual seconds of sleep per request
+            accounts
+                .authorize_at(&nice, 1_000_000, 10, 60_000, now)
+                .expect("polite crawler must never be suspended");
+        }
+        assert!(!accounts.is_suspended(1));
+        assert_eq!(accounts.request_count(1), 100);
+    }
+
+    #[test]
+    fn windowed_rule_disabled_when_zero() {
+        let accounts = Accounts::new();
+        accounts.signup("a", "p").unwrap();
+        let sid = accounts.login("a", "p").unwrap();
+        for _ in 0..1_000 {
+            accounts.authorize_at(&sid, 1_000_000, 0, 60_000, 0).unwrap();
+        }
+        assert!(!accounts.is_suspended(0));
+    }
+
+    #[test]
+    fn force_suspend_and_session_expiry() {
+        let accounts = Accounts::new();
+        accounts.signup("a", "p").unwrap();
+        let sid = accounts.login("a", "p").unwrap();
+        assert!(accounts.expire_session(&sid));
+        assert!(!accounts.expire_session(&sid), "already evicted");
+        assert_eq!(accounts.authorize(&sid, 100), Err(AccountError::NoSession));
+        // A fresh login works until the account itself is suspended.
+        let sid = accounts.login("a", "p").unwrap();
+        accounts.force_suspend(0);
+        assert_eq!(accounts.authorize(&sid, 100), Err(AccountError::Suspended));
+        assert_eq!(accounts.suspended_count(), 1);
     }
 
     #[test]

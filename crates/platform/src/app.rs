@@ -2,11 +2,13 @@
 
 use crate::accounts::{AccountError, Accounts};
 use crate::config::PlatformConfig;
+use crate::faults::FaultEngine;
 use crate::render;
 use crate::search::SearchIndex;
 use hsp_graph::{CityId, Network, SchoolId, UserId};
+use hsp_http::resilient::{H_ACCOUNT_SUSPENDED, H_SESSION_EXPIRED};
 use hsp_http::{request_cookie, Handler, PathParams, Request, Response, Router, Status};
-use hsp_obs::{Registry, RouteMetrics};
+use hsp_obs::{Registry, RouteMetrics, VirtualClock};
 use hsp_policy::Policy;
 use serde_json::json;
 use std::sync::Arc;
@@ -39,6 +41,13 @@ pub struct Platform {
     /// Metrics registry shared by every route handler; servers and
     /// crawlers pointed at this platform may share it too.
     pub obs: Arc<Registry>,
+    /// Virtual timeline for the windowed suspension rule. The platform
+    /// only *reads* it; the attacker side advances it (politeness
+    /// sleeps, backoff waits), so time is a pure function of the
+    /// request sequence.
+    pub clock: Arc<VirtualClock>,
+    /// Fault-injection engine (a no-op under the default plan).
+    pub faults: Arc<FaultEngine>,
     search: SearchIndex,
 }
 
@@ -59,12 +68,28 @@ impl Platform {
         config: PlatformConfig,
         obs: Arc<Registry>,
     ) -> Arc<Self> {
+        Self::with_registry_and_clock(network, policy, config, obs, VirtualClock::shared())
+    }
+
+    /// Build against an external registry *and* virtual clock — the
+    /// chaos setup, where the crawler's politeness/backoff waits drive
+    /// the same timeline the platform's windowed suspension rule reads.
+    pub fn with_registry_and_clock(
+        network: Arc<Network>,
+        policy: Arc<dyn Policy>,
+        config: PlatformConfig,
+        obs: Arc<Registry>,
+        clock: Arc<VirtualClock>,
+    ) -> Arc<Self> {
+        let faults = FaultEngine::new(config.faults.clone(), Arc::clone(&obs));
         Arc::new(Platform {
             network,
             policy,
             config,
             accounts: Accounts::new(),
             obs,
+            clock,
+            faults,
             search: SearchIndex::new(),
         })
     }
@@ -78,9 +103,17 @@ impl Platform {
         f: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
     ) -> impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static {
         let m = RouteMetrics::register(&self.obs, route);
+        let faults = Arc::clone(&self.faults);
         move |req, params| {
             let started = Instant::now();
-            let resp = f(req, params);
+            // Fault layer wraps the application: pre-faults answer the
+            // request without running the handler (the account did
+            // nothing, so its budget is untouched); post-faults mangle
+            // the handler's response on the way out.
+            let resp = match faults.pre(req) {
+                Some(injected) => injected,
+                None => faults.post(f(req, params)),
+            };
             m.observe(
                 resp.status.code(),
                 started.elapsed().as_micros() as u64,
@@ -181,6 +214,7 @@ impl Platform {
             .collect();
         let body = json!({
             "uptime_ms": self.obs.uptime_ms(),
+            "virtual_ms": self.clock.now_ms(),
             "routes": routes,
             "accounts": json!({
                 "registered": self.accounts.account_count(),
@@ -197,13 +231,33 @@ impl Platform {
     fn session_account(&self, req: &Request) -> Result<usize, Response> {
         let sid = request_cookie(req, "sid")
             .ok_or_else(|| Response::error(Status::UNAUTHORIZED, "login required"))?;
-        self.accounts.authorize(sid, self.config.suspension_threshold).map_err(|e| match e {
-            AccountError::Suspended => Response::error(
-                Status::TOO_MANY_REQUESTS,
-                "account suspended for suspicious activity",
-            ),
-            _ => Response::error(Status::UNAUTHORIZED, "login required"),
-        })
+        if self.faults.expire_session_now() {
+            self.accounts.expire_session(sid);
+            return Err(Response::error(Status::UNAUTHORIZED, "session expired")
+                .header(H_SESSION_EXPIRED, "1"));
+        }
+        let suspended = || {
+            Response::error(Status::TOO_MANY_REQUESTS, "account suspended for suspicious activity")
+                .header(H_ACCOUNT_SUSPENDED, "1")
+        };
+        let index = self
+            .accounts
+            .authorize_at(
+                sid,
+                self.config.suspension_threshold,
+                self.config.rate_max_in_window,
+                self.config.rate_window_ms,
+                self.clock.now_ms(),
+            )
+            .map_err(|e| match e {
+                AccountError::Suspended => suspended(),
+                _ => Response::error(Status::UNAUTHORIZED, "login required"),
+            })?;
+        if self.faults.should_force_suspend(index, self.accounts.request_count(index)) {
+            self.accounts.force_suspend(index);
+            return Err(suspended());
+        }
+        Ok(index)
     }
 
     fn parse_user(&self, raw: Option<&str>) -> Result<UserId, Response> {
@@ -547,6 +601,50 @@ mod tests {
         }
         let r = handler.handle(&Request::get("/profile/u0").header("Cookie", &cookie));
         assert_eq!(r.status, Status::TOO_MANY_REQUESTS);
+    }
+
+    #[test]
+    fn virtual_time_rate_limit_spares_polite_crawlers() {
+        let make = || {
+            let scenario = generate(&ScenarioConfig::tiny());
+            let net = Arc::new(scenario.network.clone());
+            let platform = Platform::new(
+                net,
+                Arc::new(FacebookPolicy::new()),
+                PlatformConfig {
+                    rate_max_in_window: 5,
+                    rate_window_ms: 60_000,
+                    ..PlatformConfig::default()
+                },
+            );
+            let handler = platform.into_handler();
+            (platform, handler)
+        };
+
+        // Impolite: hammers without ever advancing virtual time.
+        let (_p, handler) = make();
+        let cookie = login(&handler, "rude");
+        let mut served = 0;
+        for _ in 0..20 {
+            let r = handler.handle(&Request::get("/profile/u0").header("Cookie", &cookie));
+            if r.status == Status::TOO_MANY_REQUESTS {
+                assert_eq!(r.headers.get("x-account-suspended"), Some("1"));
+                break;
+            }
+            served += 1;
+        }
+        assert_eq!(served, 5, "6th same-instant request must suspend");
+
+        // Polite: same budget, but sleeps 30 virtual seconds between
+        // requests — never comes close to 5-per-minute.
+        let (platform, handler) = make();
+        let cookie = login(&handler, "sleepy");
+        for _ in 0..20 {
+            let r = handler.handle(&Request::get("/profile/u0").header("Cookie", &cookie));
+            assert_eq!(r.status, Status::OK);
+            platform.clock.advance_ms(30_000);
+        }
+        assert_eq!(platform.accounts.suspended_count(), 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Platform service configuration.
 
+use crate::faults::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the simulated OSN service.
@@ -19,6 +20,17 @@ pub struct PlatformConfig {
     /// suspended ("if a member tries to access many user profiles in a
     /// short time, the member's account will be ... disabled", §4.5).
     pub suspension_threshold: u64,
+    /// Anti-crawling in *virtual time*: more than this many requests
+    /// inside one `rate_window_ms` window suspends the account. This is
+    /// the "many ... in a short time" half of §4.5 — a polite crawler
+    /// that sleeps (advancing the virtual clock) stays under it, an
+    /// impolite one trips it long before `suspension_threshold`.
+    /// 0 disables the windowed rule.
+    pub rate_max_in_window: u64,
+    /// Width of the sliding suspension window, in virtual milliseconds.
+    pub rate_window_ms: u64,
+    /// Fault-injection schedule (disabled by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for PlatformConfig {
@@ -28,6 +40,9 @@ impl Default for PlatformConfig {
             search_cap_per_account: 400,
             friends_page_size: 20,
             suspension_threshold: 50_000,
+            rate_max_in_window: 0,
+            rate_window_ms: 60_000,
+            faults: FaultPlan::default(),
         }
     }
 }

@@ -1,0 +1,362 @@
+//! Seeded, deterministic fault injection for the simulated OSN.
+//!
+//! The paper's crawl ran against a *hostile* Facebook: accounts were
+//! rate-limited and suspended, pages arrived slowly or truncated,
+//! connections dropped mid-body (§3.2, §4.5). This module recreates
+//! that hostility on demand. A [`FaultPlan`] declares per-mille
+//! probabilities for each fault class; a [`FaultEngine`] rolls them
+//! from one seeded `StdRng` in strict request order, so an experiment's
+//! entire fault schedule is a pure function of (seed, request
+//! sequence) — bit-identical across runs and across the TCP and
+//! in-process transports.
+//!
+//! Faults are signalled in-band through response status codes and the
+//! shared header constants in `hsp_http::resilient`, never through
+//! transport-specific behaviour, which is what keeps the two transports
+//! equivalent. Mid-body resets, for instance, are a truncated body plus
+//! `x-simulated-fault: reset` + `Connection: close`, which the client
+//! layer converts back into a retryable transport-style failure.
+//!
+//! Every injection lands in the shared registry as
+//! `platform_fault_injected_total{kind="..."}`.
+
+use hsp_http::resilient::{H_RETRY_AFTER, H_SIMULATED_FAULT, H_VIRTUAL_LATENCY_MS};
+use hsp_http::{Request, Response, Status};
+use hsp_obs::Registry;
+use parking_lot::Mutex;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Declarative chaos schedule. Probabilities are per-mille (0–1000)
+/// per eligible request; `0` disables that fault class. The all-zero
+/// [`Default`] plan injects nothing, so ordinary experiments are
+/// untouched; [`FaultPlan::chaos`] is the canonical hostile profile
+/// used by the chaos tests and sweeps.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master switch; `false` short-circuits every roll.
+    pub enabled: bool,
+    /// Seed of the fault RNG stream.
+    pub seed: u64,
+    /// 429 + `Retry-After` before the handler runs.
+    pub rate_limit_per_mille: u32,
+    /// `Retry-After` value handed out with injected 429s, in seconds.
+    pub retry_after_secs: u64,
+    /// Transient 500/503 before the handler runs.
+    pub server_error_per_mille: u32,
+    /// Virtual-latency tag on a response (client advances its clock).
+    pub latency_per_mille: u32,
+    pub latency_min_ms: u64,
+    pub latency_max_ms: u64,
+    /// Mid-body connection reset: truncated body + reset marker +
+    /// `Connection: close`.
+    pub reset_per_mille: u32,
+    /// Silently truncated HTML (no marker — the crawler must notice the
+    /// missing `</html>` itself).
+    pub truncate_per_mille: u32,
+    /// Session evicted server-side; request answered 401 + expiry marker.
+    pub session_expiry_per_mille: u32,
+    /// Scripted escalation: account `i` is force-suspended once it has
+    /// served `suspend_account_after[i]` requests (0 = never). This is
+    /// the "one mid-crawl suspension" that exercises the paper's
+    /// 2→4→8 account failover.
+    pub suspend_account_after: Vec<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            enabled: false,
+            seed: 0xFA_2013,
+            rate_limit_per_mille: 0,
+            retry_after_secs: 15,
+            server_error_per_mille: 0,
+            latency_per_mille: 0,
+            latency_min_ms: 50,
+            latency_max_ms: 500,
+            reset_per_mille: 0,
+            truncate_per_mille: 0,
+            session_expiry_per_mille: 0,
+            suspend_account_after: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The canonical hostile profile: sporadic 429s and 5xxs, simulated
+    /// latency, occasional resets/truncations/session expiries, and one
+    /// scripted mid-crawl suspension of the first account.
+    pub fn chaos() -> FaultPlan {
+        FaultPlan {
+            enabled: true,
+            rate_limit_per_mille: 30,
+            server_error_per_mille: 20,
+            latency_per_mille: 100,
+            reset_per_mille: 10,
+            truncate_per_mille: 15,
+            session_expiry_per_mille: 5,
+            // Fires well after the seed phase (~20 requests) but in the
+            // middle of an HS1-scale profile/friends crawl (~750 served
+            // requests per account), forcing a real mid-crawl failover.
+            suspend_account_after: vec![500],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Scale every probabilistic fault class by `factor` (1.0 = as-is),
+    /// clamped to valid per-mille. Used by the chaos intensity sweep.
+    pub fn scaled(&self, factor: f64) -> FaultPlan {
+        let scale = |pm: u32| ((pm as f64 * factor).round() as u32).min(1_000);
+        FaultPlan {
+            rate_limit_per_mille: scale(self.rate_limit_per_mille),
+            server_error_per_mille: scale(self.server_error_per_mille),
+            latency_per_mille: scale(self.latency_per_mille),
+            reset_per_mille: scale(self.reset_per_mille),
+            truncate_per_mille: scale(self.truncate_per_mille),
+            session_expiry_per_mille: scale(self.session_expiry_per_mille),
+            ..self.clone()
+        }
+    }
+}
+
+/// Rolls a [`FaultPlan`] against live traffic. One seeded RNG stream,
+/// locked per decision; the crawler is sequential, so the stream order
+/// is the request order on both transports.
+pub struct FaultEngine {
+    plan: FaultPlan,
+    rng: Mutex<StdRng>,
+    obs: Arc<Registry>,
+}
+
+impl FaultEngine {
+    pub fn new(plan: FaultPlan, obs: Arc<Registry>) -> Arc<FaultEngine> {
+        let rng = Mutex::new(StdRng::seed_from_u64(plan.seed));
+        Arc::new(FaultEngine { plan, rng, obs })
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn record(&self, kind: &str) {
+        self.obs.counter_with("platform_fault_injected_total", &[("kind", kind)]).inc();
+    }
+
+    fn roll(&self, per_mille: u32) -> bool {
+        per_mille > 0 && self.rng.lock().gen_range(0..1_000u32) < per_mille
+    }
+
+    /// Pre-handler faults: the request is answered by the fault layer
+    /// and never reaches the application (so it does not count against
+    /// the account's request budget — the "server" failed, the account
+    /// did nothing suspicious).
+    pub fn pre(&self, _req: &Request) -> Option<Response> {
+        if !self.plan.enabled {
+            return None;
+        }
+        if self.roll(self.plan.rate_limit_per_mille) {
+            self.record("rate_limit");
+            return Some(
+                Response::error(Status::TOO_MANY_REQUESTS, "rate limit exceeded")
+                    .header(H_RETRY_AFTER, self.plan.retry_after_secs.to_string()),
+            );
+        }
+        if self.roll(self.plan.server_error_per_mille) {
+            self.record("server_error");
+            let status = if self.rng.lock().gen_bool(0.5) {
+                Status::INTERNAL_SERVER_ERROR
+            } else {
+                Status::SERVICE_UNAVAILABLE
+            };
+            return Some(Response::error(status, "internal error"));
+        }
+        None
+    }
+
+    /// Whether to expire the session carried by the current request.
+    /// Called once per authenticated request, in request order.
+    pub fn expire_session_now(&self) -> bool {
+        if !self.plan.enabled || !self.roll(self.plan.session_expiry_per_mille) {
+            return false;
+        }
+        self.record("session_expiry");
+        true
+    }
+
+    /// Scripted escalation check, given the account's served-request
+    /// count. The caller force-suspends on `true`.
+    pub fn should_force_suspend(&self, account_index: usize, requests_served: u64) -> bool {
+        if !self.plan.enabled {
+            return false;
+        }
+        let hit = self
+            .plan
+            .suspend_account_after
+            .get(account_index)
+            .is_some_and(|&after| after > 0 && requests_served >= after);
+        if hit {
+            self.record("forced_suspension");
+        }
+        hit
+    }
+
+    /// Post-handler faults: mutate a successful response on its way out
+    /// (latency tag, silent truncation, mid-body reset).
+    pub fn post(&self, resp: Response) -> Response {
+        if !self.plan.enabled {
+            return resp;
+        }
+        let mut resp = resp;
+        if self.roll(self.plan.latency_per_mille) {
+            self.record("latency");
+            let ms = self.rng.lock().gen_range(self.plan.latency_min_ms..=self.plan.latency_max_ms);
+            resp = resp.header(H_VIRTUAL_LATENCY_MS, ms.to_string());
+        }
+        let is_html = resp.status == Status::OK
+            && resp.headers.get("content-type").is_some_and(|ct| ct.contains("text/html"));
+        if is_html && resp.body.len() > 64 {
+            if self.roll(self.plan.reset_per_mille) {
+                self.record("reset");
+                return self
+                    .truncated(resp)
+                    .header(H_SIMULATED_FAULT, "reset")
+                    .header("Connection", "close");
+            }
+            if self.roll(self.plan.truncate_per_mille) {
+                self.record("truncate");
+                return self.truncated(resp);
+            }
+        }
+        resp
+    }
+
+    /// Cut the body at a random interior point (always before the
+    /// closing `</html>`, so truncation is detectable).
+    fn truncated(&self, mut resp: Response) -> Response {
+        let len = resp.body.len();
+        let cut = self.rng.lock().gen_range(len / 10..len * 9 / 10);
+        resp.body = bytes::Bytes::copy_from_slice(&resp.body[..cut]);
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_http::resilient::{classify, ErrorClass};
+
+    fn engine(plan: FaultPlan) -> Arc<FaultEngine> {
+        FaultEngine::new(plan, Registry::shared())
+    }
+
+    fn page() -> Response {
+        Response::html(format!("<!DOCTYPE html><html><body>{}</body></html>", "x".repeat(400)))
+    }
+
+    #[test]
+    fn disabled_plan_is_a_no_op() {
+        let eng = engine(FaultPlan::default());
+        assert!(eng.pre(&Request::get("/profile/u1")).is_none());
+        assert!(!eng.expire_session_now());
+        assert!(!eng.should_force_suspend(0, u64::MAX));
+        let body = page().body;
+        assert_eq!(eng.post(page()).body, body);
+    }
+
+    #[test]
+    fn chaos_plan_injects_each_class_deterministically() {
+        let run = |seed: u64| {
+            let obs = Registry::shared();
+            let eng = FaultEngine::new(FaultPlan { seed, ..FaultPlan::chaos() }, Arc::clone(&obs));
+            let mut outcomes = Vec::new();
+            for i in 0..2_000 {
+                match eng.pre(&Request::get(format!("/profile/u{i}"))) {
+                    Some(resp) => outcomes.push(resp.status.code()),
+                    None => {
+                        let resp = eng.post(page());
+                        outcomes.push(resp.status.code());
+                        outcomes.push(resp.body.len() as u16);
+                    }
+                }
+            }
+            let snap = obs.snapshot();
+            (outcomes, snap.counters)
+        };
+        let (a_out, a_counts) = run(1);
+        let (b_out, b_counts) = run(1);
+        assert_eq!(a_out, b_out, "same seed must replay the same fault schedule");
+        assert_eq!(a_counts, b_counts);
+        for kind in ["rate_limit", "server_error", "latency", "truncate"] {
+            let key = format!("platform_fault_injected_total{{kind=\"{kind}\"}}");
+            assert!(a_counts.get(&key).copied().unwrap_or(0) > 0, "no {kind} in 2000 requests");
+        }
+        let (c_out, _) = run(2);
+        assert_ne!(a_out, c_out, "different seeds should differ");
+    }
+
+    #[test]
+    fn injected_rate_limit_is_retryable_with_floor() {
+        let plan = FaultPlan { rate_limit_per_mille: 1_000, ..FaultPlan::chaos() };
+        let eng = engine(plan);
+        let resp = eng.pre(&Request::get("/x")).expect("certain fault");
+        assert_eq!(resp.status, Status::TOO_MANY_REQUESTS);
+        match classify(&resp) {
+            ErrorClass::Retryable { retry_after_ms } => {
+                assert_eq!(retry_after_ms, Some(15_000));
+            }
+            other => panic!("expected retryable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_cuts_before_closing_tag() {
+        let plan = FaultPlan {
+            truncate_per_mille: 1_000,
+            reset_per_mille: 0,
+            latency_per_mille: 0,
+            ..FaultPlan::chaos()
+        };
+        let eng = engine(plan);
+        for _ in 0..50 {
+            let resp = eng.post(page());
+            assert_eq!(resp.status, Status::OK);
+            assert!(
+                !resp.body_string().trim_end().ends_with("</html>"),
+                "truncated body still looks complete"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_marker_is_classified_retryable() {
+        let plan = FaultPlan { reset_per_mille: 1_000, latency_per_mille: 0, ..FaultPlan::chaos() };
+        let eng = engine(plan);
+        let resp = eng.post(page());
+        assert_eq!(resp.headers.get(H_SIMULATED_FAULT), Some("reset"));
+        assert!(resp.headers.connection_close());
+        assert!(matches!(classify(&resp), ErrorClass::Retryable { .. }));
+    }
+
+    #[test]
+    fn scripted_suspension_fires_at_threshold() {
+        let plan = FaultPlan { suspend_account_after: vec![100, 0], ..FaultPlan::chaos() };
+        let eng = engine(plan);
+        assert!(!eng.should_force_suspend(0, 99));
+        assert!(eng.should_force_suspend(0, 100));
+        assert!(!eng.should_force_suspend(1, u64::MAX), "0 means never");
+        assert!(!eng.should_force_suspend(7, u64::MAX), "unlisted accounts never");
+    }
+
+    #[test]
+    fn scaled_plan_clamps_and_scales() {
+        let base = FaultPlan::chaos();
+        let double = base.scaled(2.0);
+        assert_eq!(double.rate_limit_per_mille, 60);
+        let extreme = base.scaled(1_000.0);
+        assert_eq!(extreme.rate_limit_per_mille, 1_000);
+        let off = base.scaled(0.0);
+        assert_eq!(off.rate_limit_per_mille, 0);
+        assert_eq!(off.suspend_account_after, base.suspend_account_after);
+    }
+}

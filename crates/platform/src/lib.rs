@@ -21,9 +21,11 @@
 pub mod accounts;
 pub mod app;
 pub mod config;
+pub mod faults;
 pub mod render;
 pub mod search;
 
 pub use accounts::{AccountError, Accounts};
 pub use app::{Platform, ROUTES};
 pub use config::PlatformConfig;
+pub use faults::{FaultEngine, FaultPlan};

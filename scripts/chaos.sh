@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Chaos sweep: run the full HS1 attack with the resilient crawler
+# against increasing multiples of the canonical FaultPlan::chaos()
+# profile, and append the headline survival numbers (completed?, Table 4
+# found/correct-year, retries, suspensions, recruited accounts, virtual
+# wall-clock) to BENCH_chaos.json at the workspace root.
+#
+# Offline-safe: all dependencies resolve to the vendored path stubs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> chaos determinism gate (full HS1 attack under FaultPlan::chaos, twice)"
+cargo test --release -q --test chaos_attack
+
+echo "==> fault-intensity sweep -> BENCH_chaos.json"
+cargo run --release --example chaos_sweep
+
+echo "Chaos sweep complete."

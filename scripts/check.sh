@@ -16,4 +16,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> chaos integration test (HS1 attack under FaultPlan::chaos)"
+cargo test -q --test chaos_attack
+
 echo "All checks passed."
