@@ -16,9 +16,13 @@ fn http_codec(c: &mut Criterion) {
         .header("Host", "127.0.0.1:8080")
         .header("Cookie", "sid=sid-3-1a2b3c4d");
     let wire = encode_request(&req);
+    let resp = hsp_http::Response::html("x".repeat(2048)).set_cookie("sid", "sid-3-1a2b3c4d");
     let mut group = c.benchmark_group("micro_http");
     group.throughput(Throughput::Bytes(wire.len() as u64));
     group.bench_function("encode_request", |b| b.iter(|| black_box(encode_request(&req))));
+    group.bench_function("encode_response_2k", |b| {
+        b.iter(|| black_box(hsp_http::wire::encode_response(&resp)))
+    });
     group.bench_function("decode_request", |b| {
         b.iter(|| {
             let mut buf = BytesMut::from(&wire[..]);
@@ -33,32 +37,33 @@ fn http_codec(c: &mut Criterion) {
 
 fn html_scrape(c: &mut Criterion) {
     // A realistic profile page (as rendered by the platform).
-    let html = {
-        let mut net = hsp_graph::Network::new(Date::ymd(2012, 3, 15));
-        let city = net.add_city("Rivertown", "NY");
-        let school = net.add_school(hsp_graph::School {
-            id: SchoolId(0),
-            name: "Rivertown High".into(),
-            city,
-            kind: hsp_graph::SchoolKind::HighSchool,
-            public_enrollment_estimate: 500,
-        });
-        let mut view = hsp_policy::PublicView::minimal(
-            UserId(5),
-            "Cy Hale".into(),
-            Some(hsp_graph::Gender::Male),
-            true,
-            vec![school],
-        );
-        view.education.push(hsp_graph::EducationEntry::high_school(school, 2013));
-        view.current_city = Some(city);
-        view.friend_list_visible = true;
-        view.photos_shared = Some(33);
-        view.message_button = true;
-        hsp_platform::render::profile_page(&net, &view)
-    };
+    let mut net = hsp_graph::Network::new(Date::ymd(2012, 3, 15));
+    let city = net.add_city("Rivertown", "NY");
+    let school = net.add_school(hsp_graph::School {
+        id: SchoolId(0),
+        name: "Rivertown High".into(),
+        city,
+        kind: hsp_graph::SchoolKind::HighSchool,
+        public_enrollment_estimate: 500,
+    });
+    let mut view = hsp_policy::PublicView::minimal(
+        UserId(5),
+        "Cy Hale".into(),
+        Some(hsp_graph::Gender::Male),
+        true,
+        vec![school],
+    );
+    view.education.push(hsp_graph::EducationEntry::high_school(school, 2013));
+    view.current_city = Some(city);
+    view.friend_list_visible = true;
+    view.photos_shared = Some(33);
+    view.message_button = true;
+    let html = hsp_platform::render::profile_page(&net, &view);
     let mut group = c.benchmark_group("micro_html");
     group.throughput(Throughput::Bytes(html.len() as u64));
+    group.bench_function("render_profile_page", |b| {
+        b.iter(|| black_box(hsp_platform::render::profile_page(&net, &view).len()))
+    });
     group.bench_function("parse_profile_page", |b| {
         b.iter(|| black_box(hsp_crawler::parse_profile(&html)))
     });

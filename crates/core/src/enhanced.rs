@@ -118,6 +118,7 @@ pub fn run_enhanced(
     let fetch_n = ((options.t as f64) * (1.0 + config.epsilon)).round() as usize;
     let to_fetch: Vec<UserId> = basic.ranked.iter().take(fetch_n).map(|c| c.id).collect();
 
+    access.prefetch_profiles(&to_fetch)?;
     let mut profiles: HashMap<UserId, ScrapedProfile> = HashMap::new();
     for &u in &to_fetch {
         profiles.insert(u, access.profile(u)?);
@@ -128,6 +129,10 @@ pub fn run_enhanced(
     let mut claiming: Vec<UserId> = basic.claiming.clone();
     if options.enhance {
         let already: HashSet<UserId> = claiming.iter().copied().collect();
+        // Pass 1 decides promotions from the profiles alone, so the
+        // friend lists the promoted claimers need can be prefetched as
+        // one batch; pass 2 then replays the original commit order.
+        let mut promoted: Vec<(UserId, i32)> = Vec::new();
         for &u in &to_fetch {
             if already.contains(&u) {
                 continue;
@@ -143,8 +148,17 @@ pub fn run_enhanced(
                 .filter_map(|e| e.grad_year)
                 .find(|&g| g >= config.senior_class_year);
             let Some(grad_year) = grad_year else { continue };
+            promoted.push((u, grad_year));
+        }
+        let visible: Vec<UserId> = promoted
+            .iter()
+            .filter(|&&(u, _)| profiles[&u].friend_list_visible)
+            .map(|&(u, _)| u)
+            .collect();
+        access.prefetch_friends(&visible)?;
+        for &(u, grad_year) in &promoted {
             claiming.push(u);
-            if profile.friend_list_visible {
+            if profiles[&u].friend_list_visible {
                 if let Some(friends) = access.friends(u)? {
                     extended_core.push(CoreUser { id: u, grad_year, friends });
                 }

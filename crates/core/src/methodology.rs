@@ -13,8 +13,13 @@ pub fn collect_core(
     config: &AttackConfig,
 ) -> Result<CoreCollection, CrawlError> {
     let seeds = access.collect_seeds(config.school)?;
+    // Two passes, each preceded by a batch hint: parallel accessors
+    // fetch the whole batch concurrently, sequential ones no-op and
+    // fetch lazily below — either way the per-user decisions (and thus
+    // the results) are identical.
+    access.prefetch_profiles(&seeds)?;
     let mut claiming = Vec::new();
-    let mut core = Vec::new();
+    let mut with_year = Vec::new();
     for &seed in &seeds {
         let profile = access.profile(seed)?;
         if !profile.claims_current_student(config.school, config.senior_class_year) {
@@ -24,6 +29,11 @@ pub fn collect_core(
             continue;
         };
         claiming.push(seed);
+        with_year.push((seed, grad_year));
+    }
+    access.prefetch_friends(&claiming)?;
+    let mut core = Vec::new();
+    for &(seed, grad_year) in &with_year {
         // Only claimers with public friend lists enter C (§4.1 step 2).
         if let Some(friends) = access.friends(seed)? {
             core.push(CoreUser { id: seed, grad_year, friends });

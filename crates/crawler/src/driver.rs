@@ -61,6 +61,34 @@ pub trait OsnAccess {
         let _ = (uid, incoming);
         Ok(None)
     }
+
+    /// Hint that these users' profiles are about to be requested.
+    /// Parallel implementations fetch the batch concurrently and commit
+    /// it to the cache in canonical (UserId-sorted) order; the default
+    /// (sequential accessors, test stubs) is a no-op — callers always
+    /// follow up with per-user [`OsnAccess::profile`] calls.
+    fn prefetch_profiles(&mut self, uids: &[UserId]) -> Result<(), CrawlError> {
+        let _ = uids;
+        Ok(())
+    }
+
+    /// Like [`OsnAccess::prefetch_profiles`], for friend lists.
+    fn prefetch_friends(&mut self, uids: &[UserId]) -> Result<(), CrawlError> {
+        let _ = uids;
+        Ok(())
+    }
+
+    /// Export everything fetched so far as a [`CrawlSnapshot`].
+    /// Default: empty snapshot (stub accessors don't checkpoint).
+    fn checkpoint(&self) -> CrawlSnapshot {
+        CrawlSnapshot::default()
+    }
+
+    /// Virtual wall-clock the crawl has consumed so far, in ms.
+    /// Default: untracked.
+    fn virtual_elapsed_ms(&self) -> u64 {
+        0
+    }
 }
 
 /// Crawl-level failures.
@@ -122,13 +150,46 @@ impl Default for BreakerConfig {
     }
 }
 
-/// Consecutive-failure tracker for one endpoint. Sequential crawler ⇒
-/// an "open" breaker simply pays the cooldown in virtual time and goes
-/// half-open; the next request is the probe.
+/// Consecutive-failure tracker for one endpoint. An "open" breaker
+/// simply pays the cooldown in virtual time and goes half-open; the
+/// next request is the probe.
+///
+/// Sharing semantics under concurrency: breakers are **per account**
+/// (each [`crate::scheduler::ParallelCrawler`] account owns one breaker
+/// per endpoint), and work is stolen at account granularity, so a
+/// breaker's state is only ever *advanced* by the single thread
+/// currently driving its account. The fields are atomics anyway —
+/// `Sync` by construction — so the sequential [`Crawler`] and the
+/// parallel scheduler share one implementation, and state can be
+/// observed (tests, metrics) while an account is being driven without
+/// torn reads.
 #[derive(Default)]
-struct Breaker {
-    consecutive: u32,
-    open: bool,
+pub(crate) struct Breaker {
+    consecutive: std::sync::atomic::AtomicU32,
+    open: std::sync::atomic::AtomicBool,
+}
+
+impl Breaker {
+    /// Record one failure; `true` when this failure *opened* the
+    /// breaker (the caller pays the cooldown and counts the transition).
+    pub(crate) fn record_failure(&self, threshold: u32) -> bool {
+        use std::sync::atomic::Ordering;
+        let consecutive = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        if consecutive >= threshold {
+            self.consecutive.store(0, Ordering::Relaxed);
+            self.open.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record one success; `true` when it closed an open breaker.
+    pub(crate) fn record_success(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        self.consecutive.store(0, Ordering::Relaxed);
+        self.open.swap(false, Ordering::Relaxed)
+    }
 }
 
 /// One logged-in fake account.
@@ -141,37 +202,39 @@ struct AccountSession<E: Exchange> {
 }
 
 /// Endpoint labels used for metrics, effort buckets and breakers.
-const EP_AUTH: &str = "auth";
-const EP_SEEDS: &str = "find-friends";
-const EP_PROFILE: &str = "profile";
-const EP_FRIENDS: &str = "friends";
-const EP_CIRCLES: &str = "circles";
-const EP_MESSAGE: &str = "message";
-const ENDPOINTS: [&str; 6] = [EP_AUTH, EP_SEEDS, EP_PROFILE, EP_FRIENDS, EP_CIRCLES, EP_MESSAGE];
+pub(crate) const EP_AUTH: &str = "auth";
+pub(crate) const EP_SEEDS: &str = "find-friends";
+pub(crate) const EP_PROFILE: &str = "profile";
+pub(crate) const EP_FRIENDS: &str = "friends";
+pub(crate) const EP_CIRCLES: &str = "circles";
+pub(crate) const EP_MESSAGE: &str = "message";
+pub(crate) const ENDPOINTS: [&str; 6] =
+    [EP_AUTH, EP_SEEDS, EP_PROFILE, EP_FRIENDS, EP_CIRCLES, EP_MESSAGE];
 
 /// Pre-resolved crawler metric handles (attacker-side accounting):
 /// per-endpoint fetch counts, cache hit/miss tallies, retry/breaker/
 /// failover telemetry, and the virtual politeness clock. Recording is
-/// atomic adds only.
-struct CrawlerMetrics {
-    fetch: HashMap<&'static str, Arc<Counter>>,
-    fetch_retry: Arc<Counter>,
-    cache_profile_hits: Arc<Counter>,
-    cache_profile_misses: Arc<Counter>,
-    cache_friends_hits: Arc<Counter>,
-    cache_friends_misses: Arc<Counter>,
-    cache_circles_hits: Arc<Counter>,
-    cache_circles_misses: Arc<Counter>,
-    politeness_virtual_ms: Arc<Counter>,
-    breaker_open: HashMap<&'static str, Arc<Counter>>,
-    breaker_closed: HashMap<&'static str, Arc<Counter>>,
-    account_suspensions: Arc<Counter>,
-    accounts_recruited: Arc<Counter>,
-    partial_friend_lists: Arc<Counter>,
+/// atomic adds only, so one instance is safely shared across the
+/// parallel scheduler's worker threads.
+pub(crate) struct CrawlerMetrics {
+    pub(crate) fetch: HashMap<&'static str, Arc<Counter>>,
+    pub(crate) fetch_retry: Arc<Counter>,
+    pub(crate) cache_profile_hits: Arc<Counter>,
+    pub(crate) cache_profile_misses: Arc<Counter>,
+    pub(crate) cache_friends_hits: Arc<Counter>,
+    pub(crate) cache_friends_misses: Arc<Counter>,
+    pub(crate) cache_circles_hits: Arc<Counter>,
+    pub(crate) cache_circles_misses: Arc<Counter>,
+    pub(crate) politeness_virtual_ms: Arc<Counter>,
+    pub(crate) breaker_open: HashMap<&'static str, Arc<Counter>>,
+    pub(crate) breaker_closed: HashMap<&'static str, Arc<Counter>>,
+    pub(crate) account_suspensions: Arc<Counter>,
+    pub(crate) accounts_recruited: Arc<Counter>,
+    pub(crate) partial_friend_lists: Arc<Counter>,
 }
 
 impl CrawlerMetrics {
-    fn register(reg: &Registry) -> CrawlerMetrics {
+    pub(crate) fn register(reg: &Registry) -> CrawlerMetrics {
         let fetch = |e: &str| reg.counter_with("crawler_fetch_total", &[("endpoint", e)]);
         let cache = |c: &str, r: &str| {
             reg.counter_with("crawler_cache_total", &[("cache", c), ("result", r)])
@@ -522,12 +585,9 @@ impl<E: Exchange> Crawler<E> {
         let threshold = self.breaker_cfg.failure_threshold;
         let cooldown = self.breaker_cfg.cooldown_ms;
         let breaker = self.breakers.entry(endpoint).or_default();
-        breaker.consecutive += 1;
-        if breaker.consecutive >= threshold {
+        if breaker.record_failure(threshold) {
             // Open: pay the cooldown in virtual time, then half-open —
             // the next request through is the probe.
-            breaker.consecutive = 0;
-            breaker.open = true;
             if let Some(m) = &self.obs {
                 if let Some(c) = m.breaker_open.get(endpoint) {
                     c.inc();
@@ -542,9 +602,7 @@ impl<E: Exchange> Crawler<E> {
 
     fn breaker_success(&mut self, endpoint: &'static str) {
         let breaker = self.breakers.entry(endpoint).or_default();
-        breaker.consecutive = 0;
-        if breaker.open {
-            breaker.open = false;
+        if breaker.record_success() {
             if let Some(m) = &self.obs {
                 if let Some(c) = m.breaker_closed.get(endpoint) {
                     c.inc();
@@ -625,13 +683,6 @@ impl<E: Exchange> Crawler<E> {
 
     // ---- the resilient fetch loop -----------------------------------------
 
-    /// An HTML page is complete iff the renderer's closing tag made it
-    /// through — the crawler's defense against silent truncation.
-    fn html_complete(resp: &Response) -> bool {
-        let is_html = resp.headers.get("content-type").is_some_and(|ct| ct.contains("text/html"));
-        !is_html || resp.body_string().trim_end().ends_with("</html>")
-    }
-
     /// GET `path`, surviving what the transport-level retry layer
     /// couldn't fix: truncated pages (re-fetch), lost sessions
     /// (re-login), suspended accounts (failover + recruitment), and
@@ -671,7 +722,7 @@ impl<E: Exchange> Crawler<E> {
                 Err(e) => return Err(e.into()),
             };
             if resp.status.is_success() {
-                if !Self::html_complete(&resp) {
+                if !html_complete(&resp) {
                     truncations += 1;
                     self.breaker_failure(endpoint);
                     if truncations > 3 {
@@ -740,6 +791,13 @@ impl<E: Exchange> Crawler<E> {
         }
         Ok(out)
     }
+}
+
+/// An HTML page is complete iff the renderer's closing tag made it
+/// through — the crawler's defense against silent truncation.
+pub(crate) fn html_complete(resp: &Response) -> bool {
+    let is_html = resp.headers.get("content-type").is_some_and(|ct| ct.contains("text/html"));
+    !is_html || resp.body_string().trim_end().ends_with("</html>")
 }
 
 impl<E: Exchange> OsnAccess for Crawler<E> {
@@ -832,6 +890,14 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
 
     fn incomplete_friends(&self) -> Vec<UserId> {
         self.incomplete_friend_lists()
+    }
+
+    fn checkpoint(&self) -> CrawlSnapshot {
+        Crawler::checkpoint(self)
+    }
+
+    fn virtual_elapsed_ms(&self) -> u64 {
+        Crawler::virtual_elapsed_ms(self)
     }
 
     fn circles(&mut self, uid: UserId, incoming: bool) -> Result<Option<Vec<UserId>>, CrawlError> {

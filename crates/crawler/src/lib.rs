@@ -10,13 +10,20 @@
 //!
 //! [`Crawler`] is generic over the HTTP transport: identical attack
 //! code runs over loopback TCP or in-process.
+//!
+//! [`scheduler::ParallelCrawler`] runs the same attack with the
+//! sock-puppet fleet actually concurrent — one worker lane per
+//! account, deterministic by construction (results are bit-identical
+//! at any worker count).
 
 pub mod driver;
 pub mod effort;
+pub mod scheduler;
 pub mod scrape;
 pub mod snapshot;
 
 pub use driver::{BreakerConfig, CrawlError, Crawler, CrawlerBuilder, OsnAccess, Politeness};
 pub use effort::Effort;
+pub use scheduler::{AccountSeat, ParallelCrawler, ParallelCrawlerBuilder};
 pub use scrape::{parse_listing, parse_profile, ScrapedEduKind, ScrapedEducation, ScrapedProfile};
 pub use snapshot::{CrawlSnapshot, SnapshotAccess};

@@ -1,0 +1,1181 @@
+//! Deterministic parallel crawl scheduler: the paper's sock-puppet
+//! fleet, actually running concurrently.
+//!
+//! Each fake account owns a worker seat with its own keep-alive
+//! exchange (typically a [`hsp_http::ResilientExchange`]), its own
+//! politeness/rate budget on its own virtual clock, and its own
+//! per-endpoint circuit breakers. Work arrives in batches (profile
+//! prefetches, friend-list prefetches, per-account seed sweeps); the
+//! scheduler shards every batch over the *live accounts* — item `i` in
+//! canonical order goes to live account `i mod L` — and OS threads
+//! steal whole account-queues from an atomic cursor. Worker count
+//! therefore only decides which thread happens to drive an account; it
+//! never changes any account's ordered request sequence, which is the
+//! unit the platform's fault engine keys its streams on. Results are
+//! committed to the caches in canonical (UserId-sorted) order after
+//! the batch joins, so Table 3/Table 4 outputs and [`CrawlSnapshot`]
+//! checkpoints are **bit-identical at any worker count** — including
+//! under `FaultPlan::chaos()`.
+//!
+//! Failover matches the sequential [`crate::Crawler`]: a suspension
+//! drops the account's unfinished queue items into a leftover pool,
+//! the fleet doubles via (strictly serial) recruitment after the batch
+//! joins — account indices on the platform are assigned by arrival
+//! order — and the leftovers are redistributed over the survivors.
+//!
+//! Because politeness is virtual time, "how long would this crawl
+//! take" is modeled rather than slept: each batch contributes the
+//! makespan of a greedy least-loaded assignment of its per-account
+//! queue durations onto `workers` lanes. That number is deterministic,
+//! hardware-independent, and what `BENCH_crawl.json` reports as the
+//! attack's virtual wall-clock.
+
+use crate::driver::{
+    html_complete, Breaker, BreakerConfig, CrawlError, CrawlerMetrics, OsnAccess, Politeness,
+    EP_AUTH, EP_CIRCLES, EP_FRIENDS, EP_MESSAGE, EP_PROFILE, EP_SEEDS,
+};
+use crate::effort::Effort;
+use crate::scrape::{parse_listing, parse_profile, ScrapedProfile};
+use crate::snapshot::CrawlSnapshot;
+use hsp_graph::{SchoolId, UserId};
+use hsp_http::resilient::{RetryStats, H_ACCOUNT_SUSPENDED};
+use hsp_http::{Exchange, HttpError, Request, Status};
+use hsp_obs::{Gauge, Histogram, Registry, VirtualClock};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One account's transport plus its private timeline. The clock must
+/// be **per account** (not shared with other accounts): the resilient
+/// layer charges backoff and absorbed latency to it, and sharing one
+/// clock across concurrent accounts would make each account's apparent
+/// elapsed time depend on thread interleaving.
+pub struct AccountSeat<E: Exchange> {
+    pub exchange: E,
+    pub clock: Option<Arc<VirtualClock>>,
+}
+
+/// A unit of crawl work, shardable across accounts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Job {
+    /// Page through this account's own search sample (seeds are
+    /// per-account by design — each account sees its own sample).
+    Seeds(SchoolId),
+    Profile(UserId),
+    Friends(UserId),
+    Circles(UserId, bool),
+}
+
+/// What a completed job produced.
+enum JobOut {
+    Seeds(Vec<UserId>),
+    Profile(ScrapedProfile),
+    /// (list, partial): `None` = hidden; `partial` = degraded mid-list.
+    Friends(Option<Vec<UserId>>, bool),
+    Circles(Option<Vec<UserId>>),
+}
+
+enum JobOutcome {
+    Done(JobOut),
+    /// The account was suspended mid-job; the job (and the rest of the
+    /// account's queue) must fail over to a survivor.
+    Suspended,
+    Fatal(CrawlError),
+}
+
+enum FetchOut {
+    Page(hsp_http::Response),
+    Suspended,
+    Fatal(CrawlError),
+}
+
+/// Read-only knobs shared by every worker thread.
+struct Shared {
+    politeness: Politeness,
+    breaker: BreakerConfig,
+    /// Per-job attempt budget (mirrors the sequential fetch loop).
+    budget: usize,
+    metrics: Option<Arc<CrawlerMetrics>>,
+}
+
+/// Scheduler-level telemetry (on top of the shared [`CrawlerMetrics`]).
+struct SchedMetrics {
+    prefetch_batch_us: Arc<Histogram>,
+    pages_per_sec: Arc<Gauge>,
+    virtual_pages_per_sec: Arc<Gauge>,
+    workers: Arc<Gauge>,
+}
+
+impl SchedMetrics {
+    fn register(reg: &Registry) -> SchedMetrics {
+        SchedMetrics {
+            prefetch_batch_us: reg.histogram("crawler_prefetch_batch_us"),
+            pages_per_sec: reg.gauge("crawler_pages_per_sec"),
+            virtual_pages_per_sec: reg.gauge("crawler_virtual_pages_per_sec"),
+            workers: reg.gauge("crawler_workers"),
+        }
+    }
+}
+
+/// One sock-puppet account: exchange, session, effort ledger, private
+/// virtual timeline, and per-endpoint breakers. Only one thread drives
+/// an account at a time (queues are stolen whole), so the interior is
+/// plain data behind the scheduler's `Mutex`.
+struct AccountWorker<E: Exchange> {
+    exchange: E,
+    username: String,
+    password: String,
+    suspended: bool,
+    effort: Effort,
+    /// Fallback timeline when no clock was supplied.
+    local_ms: u64,
+    clock: Option<Arc<VirtualClock>>,
+    breakers: HashMap<&'static str, Breaker>,
+}
+
+impl<E: Exchange> AccountWorker<E> {
+    fn now_ms(&self) -> u64 {
+        match &self.clock {
+            Some(clock) => clock.now_ms(),
+            None => self.local_ms,
+        }
+    }
+
+    fn advance_ms(&mut self, ms: u64) {
+        self.local_ms += ms;
+        if let Some(clock) = &self.clock {
+            clock.advance_ms(ms);
+        }
+    }
+
+    fn count_request(&mut self, endpoint: &'static str, shared: &Shared) {
+        match endpoint {
+            EP_AUTH => self.effort.auth_requests += 1,
+            EP_SEEDS => self.effort.seed_requests += 1,
+            EP_PROFILE => self.effort.profile_requests += 1,
+            EP_FRIENDS | EP_CIRCLES => self.effort.friend_list_requests += 1,
+            EP_MESSAGE => self.effort.message_requests += 1,
+            _ => {}
+        }
+        if let Some(m) = &shared.metrics {
+            if let Some(c) = m.fetch.get(endpoint) {
+                c.inc();
+            }
+        }
+    }
+
+    fn advance_politeness(&mut self, shared: &Shared) {
+        let ms = shared.politeness.sleep_ms_between_requests;
+        self.advance_ms(ms);
+        if let Some(m) = &shared.metrics {
+            m.politeness_virtual_ms.add(ms);
+        }
+    }
+
+    fn breaker_failure(&mut self, endpoint: &'static str, shared: &Shared) {
+        let opened = self
+            .breakers
+            .entry(endpoint)
+            .or_default()
+            .record_failure(shared.breaker.failure_threshold);
+        if opened {
+            if let Some(m) = &shared.metrics {
+                if let Some(c) = m.breaker_open.get(endpoint) {
+                    c.inc();
+                }
+            }
+            self.advance_ms(shared.breaker.cooldown_ms);
+        }
+    }
+
+    fn breaker_success(&mut self, endpoint: &'static str, shared: &Shared) {
+        if self.breakers.entry(endpoint).or_default().record_success() {
+            if let Some(m) = &shared.metrics {
+                if let Some(c) = m.breaker_closed.get(endpoint) {
+                    c.inc();
+                }
+            }
+        }
+    }
+
+    fn mark_suspended(&mut self, shared: &Shared) {
+        if !self.suspended {
+            self.suspended = true;
+            if let Some(m) = &shared.metrics {
+                m.account_suspensions.inc();
+            }
+        }
+    }
+
+    fn relogin(&mut self, shared: &Shared) -> Result<(), CrawlError> {
+        let (username, password) = (self.username.clone(), self.password.clone());
+        let resp = self
+            .exchange
+            .exchange(Request::post_form("/login", &[("user", &username), ("pass", &password)]))?;
+        self.count_request(EP_AUTH, shared);
+        if !resp.status.is_success() {
+            return Err(CrawlError::Denied(resp.status));
+        }
+        Ok(())
+    }
+
+    /// The per-account resilient fetch loop — same survival rules as
+    /// the sequential crawler's, minus rotation (failover is the
+    /// scheduler's job, at queue granularity).
+    fn fetch(&mut self, endpoint: &'static str, path: &str, shared: &Shared) -> FetchOut {
+        let mut relogins = 0u32;
+        let mut truncations = 0u32;
+        let mut last_denied = Status::SERVICE_UNAVAILABLE;
+        for _ in 0..shared.budget {
+            if self.suspended {
+                return FetchOut::Suspended;
+            }
+            self.advance_politeness(shared);
+            let result = self.exchange.exchange(Request::get(path));
+            self.count_request(endpoint, shared);
+            let resp = match result {
+                Ok(resp) => resp,
+                Err(HttpError::DeadlineExceeded) => {
+                    self.breaker_failure(endpoint, shared);
+                    continue;
+                }
+                Err(e) => return FetchOut::Fatal(e.into()),
+            };
+            if resp.status.is_success() {
+                if !html_complete(&resp) {
+                    truncations += 1;
+                    self.breaker_failure(endpoint, shared);
+                    if truncations > 3 {
+                        return FetchOut::Fatal(CrawlError::BadPage("persistently truncated page"));
+                    }
+                    continue;
+                }
+                self.breaker_success(endpoint, shared);
+                return FetchOut::Page(resp);
+            }
+            match resp.status {
+                Status::FORBIDDEN => {
+                    self.breaker_success(endpoint, shared);
+                    return FetchOut::Page(resp);
+                }
+                Status::UNAUTHORIZED => {
+                    relogins += 1;
+                    if relogins > 2 {
+                        return FetchOut::Fatal(CrawlError::Denied(resp.status));
+                    }
+                    if let Err(e) = self.relogin(shared) {
+                        return FetchOut::Fatal(e);
+                    }
+                }
+                Status::TOO_MANY_REQUESTS if resp.headers.contains(H_ACCOUNT_SUSPENDED) => {
+                    self.mark_suspended(shared);
+                    return FetchOut::Suspended;
+                }
+                s => {
+                    last_denied = s;
+                    self.breaker_failure(endpoint, shared);
+                }
+            }
+        }
+        FetchOut::Fatal(CrawlError::Denied(last_denied))
+    }
+
+    fn run(&mut self, job: Job, shared: &Shared) -> JobOutcome {
+        match job {
+            Job::Seeds(school) => self.run_seeds(school, shared),
+            Job::Profile(uid) => self.run_profile(uid, shared),
+            Job::Friends(uid) => self.run_friends(uid, shared),
+            Job::Circles(uid, incoming) => self.run_circles(uid, incoming, shared),
+        }
+    }
+
+    fn run_seeds(&mut self, school: SchoolId, shared: &Shared) -> JobOutcome {
+        let mut out = Vec::new();
+        let mut url = format!("/find-friends?school={school}");
+        loop {
+            let resp = match self.fetch(EP_SEEDS, &url, shared) {
+                FetchOut::Page(resp) => resp,
+                // Seeds are pinned to this account's own sample; like
+                // the sequential crawler, losing the account mid-sweep
+                // sinks the seed phase.
+                FetchOut::Suspended => {
+                    return JobOutcome::Fatal(CrawlError::Denied(Status::TOO_MANY_REQUESTS))
+                }
+                FetchOut::Fatal(e) => return JobOutcome::Fatal(e),
+            };
+            if resp.status == Status::FORBIDDEN {
+                return JobOutcome::Fatal(CrawlError::Denied(resp.status));
+            }
+            let (ids, next) = parse_listing(&resp.body_string());
+            out.extend(ids);
+            match next {
+                Some(n) => url = n,
+                None => return JobOutcome::Done(JobOut::Seeds(out)),
+            }
+        }
+    }
+
+    fn run_profile(&mut self, uid: UserId, shared: &Shared) -> JobOutcome {
+        let resp = match self.fetch(EP_PROFILE, &format!("/profile/{uid}"), shared) {
+            FetchOut::Page(resp) => resp,
+            FetchOut::Suspended => return JobOutcome::Suspended,
+            FetchOut::Fatal(e) => return JobOutcome::Fatal(e),
+        };
+        if resp.status == Status::FORBIDDEN {
+            return JobOutcome::Fatal(CrawlError::Denied(resp.status));
+        }
+        let profile = parse_profile(&resp.body_string());
+        if profile.uid != Some(uid) {
+            return JobOutcome::Fatal(CrawlError::BadPage("profile uid mismatch"));
+        }
+        JobOutcome::Done(JobOut::Profile(profile))
+    }
+
+    fn run_friends(&mut self, uid: UserId, shared: &Shared) -> JobOutcome {
+        let mut out = Vec::new();
+        let mut url = format!("/friends/{uid}");
+        loop {
+            let resp = match self.fetch(EP_FRIENDS, &url, shared) {
+                FetchOut::Page(resp) => resp,
+                // Mid-list suspension: discard the partial pages and
+                // hand the whole job to a survivor (deterministic —
+                // the account's own request order decided it).
+                FetchOut::Suspended => return JobOutcome::Suspended,
+                // Graceful degradation: keep what we got, flagged
+                // partial; first-page failures still propagate.
+                FetchOut::Fatal(e) => {
+                    if out.is_empty() {
+                        return JobOutcome::Fatal(e);
+                    }
+                    return JobOutcome::Done(JobOut::Friends(Some(out), true));
+                }
+            };
+            if resp.status == Status::FORBIDDEN {
+                return JobOutcome::Done(JobOut::Friends(None, false));
+            }
+            let (ids, next) = parse_listing(&resp.body_string());
+            out.extend(ids);
+            match next {
+                Some(n) => url = n,
+                None => return JobOutcome::Done(JobOut::Friends(Some(out), false)),
+            }
+        }
+    }
+
+    fn run_circles(&mut self, uid: UserId, incoming: bool, shared: &Shared) -> JobOutcome {
+        let dir = if incoming { "has" } else { "in" };
+        let mut out = Vec::new();
+        let mut url = format!("/circles/{uid}?dir={dir}");
+        loop {
+            let resp = match self.fetch(EP_CIRCLES, &url, shared) {
+                FetchOut::Page(resp) => resp,
+                FetchOut::Suspended => return JobOutcome::Suspended,
+                FetchOut::Fatal(e) => return JobOutcome::Fatal(e),
+            };
+            if resp.status == Status::FORBIDDEN {
+                return JobOutcome::Done(JobOut::Circles(None));
+            }
+            let (ids, next) = parse_listing(&resp.body_string());
+            out.extend(ids);
+            match next {
+                Some(n) => url = n,
+                None => return JobOutcome::Done(JobOut::Circles(Some(out))),
+            }
+        }
+    }
+}
+
+/// One batch's merged output: completed `(job, produced)` pairs plus
+/// jobs left unfinished by suspended accounts (re-sharded next round).
+type BatchOut = (Vec<(Job, JobOut)>, Vec<Job>);
+
+/// What one account-queue produced, merged after the batch joins.
+struct QueueOut {
+    done: Vec<(Job, JobOut)>,
+    leftover: Vec<Job>,
+    fatal: Option<CrawlError>,
+    /// Virtual time this queue consumed on its account's timeline.
+    virtual_ms: u64,
+    /// Requests this queue issued (all effort buckets).
+    requests: u64,
+}
+
+/// Deterministic modeled makespan: greedy least-loaded assignment of
+/// the per-queue virtual durations onto `workers` lanes, in queue
+/// order (ties break to the lowest lane index).
+fn makespan(durations: &[u64], workers: usize) -> u64 {
+    if durations.is_empty() {
+        return 0;
+    }
+    let lanes = workers.clamp(1, durations.len());
+    let mut load = vec![0u64; lanes];
+    for &d in durations {
+        let lightest = (0..lanes).min_by_key(|&i| (load[i], i)).expect("non-empty lanes");
+        load[lightest] += d;
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+fn effort_requests(e: &Effort) -> u64 {
+    e.auth_requests
+        + e.seed_requests
+        + e.profile_requests
+        + e.friend_list_requests
+        + e.message_requests
+}
+
+/// Staged construction for a [`ParallelCrawler`].
+pub struct ParallelCrawlerBuilder<E: Exchange + Send> {
+    label: String,
+    politeness: Politeness,
+    breaker: BreakerConfig,
+    workers: usize,
+    max_accounts: usize,
+    obs: Option<(Arc<CrawlerMetrics>, SchedMetrics)>,
+    retry_stats: Option<Arc<RetryStats>>,
+    factory: Option<Box<dyn FnMut() -> AccountSeat<E>>>,
+}
+
+impl<E: Exchange + Send> ParallelCrawlerBuilder<E> {
+    pub fn new(label: &str) -> ParallelCrawlerBuilder<E> {
+        ParallelCrawlerBuilder {
+            label: label.to_string(),
+            politeness: Politeness::default(),
+            breaker: BreakerConfig::default(),
+            workers: 1,
+            max_accounts: 8,
+            obs: None,
+            retry_stats: None,
+            factory: None,
+        }
+    }
+
+    /// OS threads driving account-queues. Affects wall-clock only —
+    /// never results (that's the point).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    pub fn politeness(mut self, politeness: Politeness) -> Self {
+        self.politeness = politeness;
+        self
+    }
+
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Record attacker-side telemetry (the same `crawler_*` metrics the
+    /// sequential crawler emits, plus scheduler batch/throughput ones).
+    pub fn observability(mut self, registry: &Registry) -> Self {
+        self.obs =
+            Some((Arc::new(CrawlerMetrics::register(registry)), SchedMetrics::register(registry)));
+        self
+    }
+
+    /// Fold transport-layer retries (from `ResilientExchange`s sharing
+    /// this stats handle) into `Effort` and `crawler_fetch_total`.
+    pub fn retry_stats(mut self, stats: Arc<RetryStats>) -> Self {
+        self.retry_stats = Some(stats);
+        self
+    }
+
+    /// Enable failover recruitment (the paper's 2→4→8 escalation),
+    /// capped at `max_accounts` total. Recruitment is strictly serial
+    /// and happens between batches, so platform-side account indices
+    /// are deterministic.
+    pub fn recruit_with(
+        mut self,
+        factory: impl FnMut() -> AccountSeat<E> + 'static,
+        max_accounts: usize,
+    ) -> Self {
+        self.factory = Some(Box::new(factory));
+        self.max_accounts = max_accounts;
+        self
+    }
+
+    /// Sign up + log in one fake account per seat (serially — the
+    /// platform assigns account indices by arrival order) and return
+    /// the ready scheduler.
+    pub fn build(self, seats: Vec<AccountSeat<E>>) -> Result<ParallelCrawler<E>, CrawlError> {
+        ParallelCrawler::assemble(seats, self)
+    }
+}
+
+/// The parallel attack crawler. Implements [`OsnAccess`]; the
+/// methodology code (hsp-core) stays sequential-looking and opts into
+/// concurrency through the `prefetch_*` batch hints.
+pub struct ParallelCrawler<E: Exchange + Send> {
+    accounts: Vec<Mutex<AccountWorker<E>>>,
+    label: String,
+    workers: usize,
+    shared: Shared,
+    factory: Option<Box<dyn FnMut() -> AccountSeat<E>>>,
+    recruited: usize,
+    max_accounts: usize,
+    retry_stats: Option<Arc<RetryStats>>,
+    retries_synced: AtomicU64,
+    sched_metrics: Option<SchedMetrics>,
+    seeds_cache: HashMap<SchoolId, Vec<UserId>>,
+    profile_cache: HashMap<UserId, ScrapedProfile>,
+    friends_cache: HashMap<UserId, Option<Vec<UserId>>>,
+    circles_cache: HashMap<(UserId, bool), Option<Vec<UserId>>>,
+    incomplete: BTreeSet<UserId>,
+    /// Round-robin cursor for the few non-batched requests (messages).
+    rr: usize,
+    /// Modeled virtual wall-clock of the whole crawl at `workers` lanes.
+    modeled_wall_ms: u64,
+}
+
+impl<E: Exchange + Send> ParallelCrawler<E> {
+    pub fn builder(label: &str) -> ParallelCrawlerBuilder<E> {
+        ParallelCrawlerBuilder::new(label)
+    }
+
+    fn assemble(
+        seats: Vec<AccountSeat<E>>,
+        builder: ParallelCrawlerBuilder<E>,
+    ) -> Result<ParallelCrawler<E>, CrawlError> {
+        let budget = 8 + 2 * builder.max_accounts.max(seats.len());
+        let (metrics, sched_metrics) = match builder.obs {
+            Some((m, s)) => (Some(m), Some(s)),
+            None => (None, None),
+        };
+        let mut crawler = ParallelCrawler {
+            accounts: Vec::new(),
+            label: builder.label,
+            workers: builder.workers,
+            shared: Shared {
+                politeness: builder.politeness,
+                breaker: builder.breaker,
+                budget,
+                metrics,
+            },
+            factory: builder.factory,
+            recruited: 0,
+            max_accounts: builder.max_accounts,
+            retry_stats: builder.retry_stats,
+            retries_synced: AtomicU64::new(0),
+            sched_metrics,
+            seeds_cache: HashMap::new(),
+            profile_cache: HashMap::new(),
+            friends_cache: HashMap::new(),
+            circles_cache: HashMap::new(),
+            incomplete: BTreeSet::new(),
+            rr: 0,
+            modeled_wall_ms: 0,
+        };
+        if let Some(m) = &crawler.sched_metrics {
+            m.workers.set(crawler.workers as i64);
+        }
+        for (i, seat) in seats.into_iter().enumerate() {
+            let username = format!("{}-{i}", crawler.label);
+            crawler.enroll(seat, username)?;
+        }
+        if crawler.accounts.is_empty() {
+            return Err(CrawlError::BadPage("no accounts"));
+        }
+        crawler.sync_retry_metric();
+        Ok(crawler)
+    }
+
+    /// Sign up (tolerating "already registered") and log in one seat.
+    fn enroll(&mut self, seat: AccountSeat<E>, username: String) -> Result<(), CrawlError> {
+        let password = "hunter2";
+        let mut worker = AccountWorker {
+            exchange: seat.exchange,
+            username,
+            password: password.to_string(),
+            suspended: false,
+            effort: Effort::default(),
+            local_ms: 0,
+            clock: seat.clock,
+            breakers: HashMap::new(),
+        };
+        let resp = worker.exchange.exchange(Request::post_form(
+            "/signup",
+            &[("user", &worker.username), ("pass", password)],
+        ))?;
+        worker.count_request(EP_AUTH, &self.shared);
+        if !resp.status.is_success() && resp.status != Status::BAD_REQUEST {
+            return Err(CrawlError::Denied(resp.status));
+        }
+        let resp = worker.exchange.exchange(Request::post_form(
+            "/login",
+            &[("user", &worker.username), ("pass", password)],
+        ))?;
+        worker.count_request(EP_AUTH, &self.shared);
+        if !resp.status.is_success() {
+            return Err(CrawlError::Denied(resp.status));
+        }
+        self.accounts.push(Mutex::new(worker));
+        Ok(())
+    }
+
+    /// Number of fake accounts in use (live + suspended).
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Accounts still in rotation.
+    pub fn live_account_count(&self) -> usize {
+        self.live_indices().len()
+    }
+
+    /// Worker threads this scheduler runs batches with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Modeled virtual wall-clock of the crawl so far at `workers`
+    /// concurrent lanes (per-batch greedy makespans, accumulated).
+    pub fn modeled_wall_ms(&self) -> u64 {
+        self.modeled_wall_ms
+    }
+
+    /// Users whose friend lists are partial (degraded fetches).
+    pub fn incomplete_friend_lists(&self) -> Vec<UserId> {
+        self.incomplete.iter().copied().collect()
+    }
+
+    /// Warm the caches from a checkpoint (see [`crate::Crawler::restore`]).
+    pub fn restore(&mut self, snap: &CrawlSnapshot) {
+        for (&school, seeds) in &snap.seeds {
+            self.seeds_cache.insert(school, seeds.clone());
+        }
+        for (&uid, profile) in &snap.profiles {
+            self.profile_cache.insert(uid, profile.clone());
+        }
+        for (&uid, friends) in &snap.friends {
+            self.friends_cache.insert(uid, friends.clone());
+            self.incomplete.remove(&uid);
+        }
+    }
+
+    fn live_indices(&self) -> Vec<usize> {
+        self.accounts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.lock().expect("account lock").suspended)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Fold transport retries accumulated since the last sync into
+    /// `crawler_fetch_total{endpoint="retry"}`.
+    fn sync_retry_metric(&self) {
+        let Some(stats) = &self.retry_stats else { return };
+        let now = stats.retries();
+        let prev = self.retries_synced.swap(now, Ordering::SeqCst);
+        let delta = now.saturating_sub(prev);
+        if delta > 0 {
+            if let Some(m) = &self.shared.metrics {
+                m.fetch_retry.add(delta);
+            }
+        }
+    }
+
+    /// Double the fleet (serially) after a suspension, capped at
+    /// `max_accounts`. No-op without a factory.
+    fn recruit(&mut self) -> Result<(), CrawlError> {
+        let Some(mut factory) = self.factory.take() else { return Ok(()) };
+        let target = (self.accounts.len() * 2).min(self.max_accounts);
+        let mut result = Ok(());
+        while self.accounts.len() < target {
+            let seat = factory();
+            let username = format!("{}-r{}", self.label, self.recruited);
+            self.recruited += 1;
+            match self.enroll(seat, username) {
+                Ok(()) => {
+                    if let Some(m) = &self.shared.metrics {
+                        m.accounts_recruited.inc();
+                    }
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.factory = Some(factory);
+        result
+    }
+
+    /// Run one sharded batch: each `(account, queue)` is executed by
+    /// whichever thread steals it, whole; results merge in queue order.
+    fn run_queues(&mut self, queues: Vec<(usize, Vec<Job>)>) -> Result<BatchOut, CrawlError> {
+        let lanes = queues.len();
+        if lanes == 0 {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let started = Instant::now();
+        let threads = self.workers.clamp(1, lanes);
+        let accounts = &self.accounts;
+        let shared = &self.shared;
+        let run_queue = |(account, jobs): &(usize, Vec<Job>)| -> QueueOut {
+            let mut worker = accounts[*account].lock().expect("account lock");
+            let t0 = worker.now_ms();
+            let e0 = worker.effort;
+            let mut out = QueueOut {
+                done: Vec::with_capacity(jobs.len()),
+                leftover: Vec::new(),
+                fatal: None,
+                virtual_ms: 0,
+                requests: 0,
+            };
+            for (pos, &job) in jobs.iter().enumerate() {
+                match worker.run(job, shared) {
+                    JobOutcome::Done(produced) => out.done.push((job, produced)),
+                    JobOutcome::Suspended => {
+                        out.leftover.extend_from_slice(&jobs[pos..]);
+                        break;
+                    }
+                    JobOutcome::Fatal(e) => {
+                        out.fatal = Some(e);
+                        break;
+                    }
+                }
+            }
+            out.virtual_ms = worker.now_ms() - t0;
+            out.requests = effort_requests(&worker.effort) - effort_requests(&e0);
+            out
+        };
+        let outs: Vec<QueueOut> = if threads == 1 {
+            // No point spawning for one lane — run inline in queue order.
+            queues.iter().map(run_queue).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<QueueOut>>> =
+                (0..lanes).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| loop {
+                        let q = next.fetch_add(1, Ordering::SeqCst);
+                        if q >= lanes {
+                            break;
+                        }
+                        let out = run_queue(&queues[q]);
+                        *slots[q].lock().expect("slot lock") = Some(out);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("slot lock").expect("queue ran"))
+                .collect()
+        };
+        // Deterministic merge, in queue order.
+        let mut done = Vec::new();
+        let mut leftover = Vec::new();
+        let mut durations = Vec::with_capacity(lanes);
+        let mut requests = 0u64;
+        for out in outs {
+            durations.push(out.virtual_ms);
+            requests += out.requests;
+            if let Some(e) = out.fatal {
+                return Err(e);
+            }
+            done.extend(out.done);
+            leftover.extend(out.leftover);
+        }
+        let batch_makespan = makespan(&durations, self.workers);
+        self.modeled_wall_ms += batch_makespan;
+        self.sync_retry_metric();
+        if let Some(m) = &self.sched_metrics {
+            let elapsed = started.elapsed();
+            m.prefetch_batch_us.record(elapsed.as_micros() as u64);
+            let secs = elapsed.as_secs_f64();
+            if secs > 0.0 {
+                m.pages_per_sec.set((requests as f64 / secs) as i64);
+            }
+            if let Some(rate) = requests.saturating_mul(1_000).checked_div(batch_makespan) {
+                m.virtual_pages_per_sec.set(rate as i64);
+            }
+        }
+        Ok((done, leftover))
+    }
+
+    /// Shard `jobs` over the live accounts (item `i` → live account
+    /// `i mod L`), run until every job completed, recruiting and
+    /// redistributing when accounts die mid-batch.
+    fn run_sharded(&mut self, jobs: Vec<Job>) -> Result<Vec<(Job, JobOut)>, CrawlError> {
+        let mut pending = jobs;
+        let mut done = Vec::new();
+        while !pending.is_empty() {
+            let mut live = self.live_indices();
+            if live.is_empty() {
+                self.recruit()?;
+                live = self.live_indices();
+                if live.is_empty() {
+                    return Err(CrawlError::Denied(Status::TOO_MANY_REQUESTS));
+                }
+            }
+            let lanes = live.len();
+            let mut queues: Vec<(usize, Vec<Job>)> =
+                live.into_iter().map(|a| (a, Vec::new())).collect();
+            for (i, &job) in pending.iter().enumerate() {
+                queues[i % lanes].1.push(job);
+            }
+            let (batch_done, leftover) = self.run_queues(queues)?;
+            done.extend(batch_done);
+            if !leftover.is_empty() {
+                // An account died mid-batch: escalate the fleet like
+                // the sequential crawler before redistributing.
+                self.recruit()?;
+            }
+            pending = leftover;
+        }
+        Ok(done)
+    }
+
+    fn total_effort(&self) -> Effort {
+        let mut total = Effort::default();
+        for account in &self.accounts {
+            let e = account.lock().expect("account lock").effort;
+            total.auth_requests += e.auth_requests;
+            total.seed_requests += e.seed_requests;
+            total.profile_requests += e.profile_requests;
+            total.friend_list_requests += e.friend_list_requests;
+            total.message_requests += e.message_requests;
+        }
+        if let Some(stats) = &self.retry_stats {
+            total.retry_requests = stats.retries();
+        }
+        total
+    }
+}
+
+impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
+    fn collect_seeds(&mut self, school: SchoolId) -> Result<Vec<UserId>, CrawlError> {
+        if let Some(seeds) = self.seeds_cache.get(&school) {
+            return Ok(seeds.clone());
+        }
+        // One seed sweep per live account, concurrently: each account
+        // pages its own search sample, exactly like the sequential
+        // crawl — the per-account page sequences are identical.
+        let queues: Vec<(usize, Vec<Job>)> =
+            self.live_indices().into_iter().map(|a| (a, vec![Job::Seeds(school)])).collect();
+        let (done, leftover) = self.run_queues(queues)?;
+        if !leftover.is_empty() {
+            return Err(CrawlError::Denied(Status::TOO_MANY_REQUESTS));
+        }
+        let mut seen: Vec<UserId> = done
+            .into_iter()
+            .flat_map(|(_, out)| match out {
+                JobOut::Seeds(ids) => ids,
+                _ => unreachable!("seed queue produced non-seed output"),
+            })
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        self.seeds_cache.insert(school, seen.clone());
+        Ok(seen)
+    }
+
+    fn prefetch_profiles(&mut self, uids: &[UserId]) -> Result<(), CrawlError> {
+        let mut todo: Vec<UserId> =
+            uids.iter().copied().filter(|u| !self.profile_cache.contains_key(u)).collect();
+        todo.sort_unstable();
+        todo.dedup();
+        if todo.is_empty() {
+            return Ok(());
+        }
+        if let Some(m) = &self.shared.metrics {
+            m.cache_profile_misses.add(todo.len() as u64);
+        }
+        let done = self.run_sharded(todo.into_iter().map(Job::Profile).collect())?;
+        // Canonical commit order: UserId-sorted, regardless of which
+        // account/thread fetched what.
+        let mut results: Vec<(UserId, ScrapedProfile)> = done
+            .into_iter()
+            .map(|(job, out)| match (job, out) {
+                (Job::Profile(uid), JobOut::Profile(p)) => (uid, p),
+                _ => unreachable!("profile batch produced non-profile output"),
+            })
+            .collect();
+        results.sort_by_key(|&(uid, _)| uid);
+        for (uid, profile) in results {
+            self.profile_cache.insert(uid, profile);
+        }
+        Ok(())
+    }
+
+    fn prefetch_friends(&mut self, uids: &[UserId]) -> Result<(), CrawlError> {
+        let mut todo: Vec<UserId> =
+            uids.iter().copied().filter(|u| !self.friends_cache.contains_key(u)).collect();
+        todo.sort_unstable();
+        todo.dedup();
+        if todo.is_empty() {
+            return Ok(());
+        }
+        if let Some(m) = &self.shared.metrics {
+            m.cache_friends_misses.add(todo.len() as u64);
+        }
+        let done = self.run_sharded(todo.into_iter().map(Job::Friends).collect())?;
+        let mut results: Vec<(UserId, Option<Vec<UserId>>, bool)> = done
+            .into_iter()
+            .map(|(job, out)| match (job, out) {
+                (Job::Friends(uid), JobOut::Friends(list, partial)) => (uid, list, partial),
+                _ => unreachable!("friends batch produced non-friends output"),
+            })
+            .collect();
+        results.sort_by_key(|&(uid, _, _)| uid);
+        for (uid, list, partial) in results {
+            if partial {
+                self.incomplete.insert(uid);
+                if let Some(m) = &self.shared.metrics {
+                    m.partial_friend_lists.inc();
+                }
+            }
+            self.friends_cache.insert(uid, list);
+        }
+        Ok(())
+    }
+
+    fn profile(&mut self, uid: UserId) -> Result<ScrapedProfile, CrawlError> {
+        if let Some(p) = self.profile_cache.get(&uid) {
+            if let Some(m) = &self.shared.metrics {
+                m.cache_profile_hits.inc();
+            }
+            return Ok(p.clone());
+        }
+        // Not prefetched: run a one-item batch through the same
+        // machinery (failover and recruitment included).
+        self.prefetch_profiles(&[uid])?;
+        self.profile_cache.get(&uid).cloned().ok_or(CrawlError::BadPage("profile not fetched"))
+    }
+
+    fn friends(&mut self, uid: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
+        if let Some(f) = self.friends_cache.get(&uid) {
+            if let Some(m) = &self.shared.metrics {
+                m.cache_friends_hits.inc();
+            }
+            return Ok(f.clone());
+        }
+        self.prefetch_friends(&[uid])?;
+        self.friends_cache.get(&uid).cloned().ok_or(CrawlError::BadPage("friends not fetched"))
+    }
+
+    fn circles(&mut self, uid: UserId, incoming: bool) -> Result<Option<Vec<UserId>>, CrawlError> {
+        if let Some(c) = self.circles_cache.get(&(uid, incoming)) {
+            if let Some(m) = &self.shared.metrics {
+                m.cache_circles_hits.inc();
+            }
+            return Ok(c.clone());
+        }
+        if let Some(m) = &self.shared.metrics {
+            m.cache_circles_misses.inc();
+        }
+        let done = self.run_sharded(vec![Job::Circles(uid, incoming)])?;
+        for (job, out) in done {
+            match (job, out) {
+                (Job::Circles(u, inc), JobOut::Circles(list)) => {
+                    self.circles_cache.insert((u, inc), list);
+                }
+                _ => unreachable!("circles batch produced non-circles output"),
+            }
+        }
+        self.circles_cache
+            .get(&(uid, incoming))
+            .cloned()
+            .ok_or(CrawlError::BadPage("circles not fetched"))
+    }
+
+    fn send_message(&mut self, uid: UserId, body: &str) -> Result<bool, CrawlError> {
+        // Messages are rare one-offs; rotate over live accounts.
+        let live = self.live_indices();
+        if live.is_empty() {
+            self.recruit()?;
+        }
+        let live = self.live_indices();
+        let Some(&account) = live.get(self.rr % live.len().max(1)) else {
+            return Err(CrawlError::Denied(Status::TOO_MANY_REQUESTS));
+        };
+        self.rr += 1;
+        let mut worker = self.accounts[account].lock().expect("account lock");
+        let t0 = worker.now_ms();
+        worker.advance_politeness(&self.shared);
+        let resp = worker
+            .exchange
+            .exchange(Request::post_form(format!("/message/{uid}"), &[("body", body)]))?;
+        worker.count_request(EP_MESSAGE, &self.shared);
+        let outcome = match resp.status {
+            s if s.is_success() => Ok(true),
+            Status::FORBIDDEN => Ok(false),
+            Status::TOO_MANY_REQUESTS if resp.headers.contains(H_ACCOUNT_SUSPENDED) => {
+                worker.mark_suspended(&self.shared);
+                Err(CrawlError::Denied(Status::TOO_MANY_REQUESTS))
+            }
+            s => Err(CrawlError::Denied(s)),
+        };
+        let elapsed = worker.now_ms() - t0;
+        drop(worker);
+        self.modeled_wall_ms += elapsed;
+        self.sync_retry_metric();
+        if matches!(outcome, Err(CrawlError::Denied(Status::TOO_MANY_REQUESTS))) {
+            self.recruit()?;
+        }
+        outcome
+    }
+
+    fn effort(&self) -> Effort {
+        self.sync_retry_metric();
+        self.total_effort()
+    }
+
+    fn incomplete_friends(&self) -> Vec<UserId> {
+        self.incomplete_friend_lists()
+    }
+
+    fn checkpoint(&self) -> CrawlSnapshot {
+        let mut snap = CrawlSnapshot::default();
+        for (&school, seeds) in &self.seeds_cache {
+            snap.seeds.insert(school, seeds.clone());
+        }
+        for (&uid, profile) in &self.profile_cache {
+            snap.profiles.insert(uid, profile.clone());
+        }
+        for (&uid, friends) in &self.friends_cache {
+            if !self.incomplete.contains(&uid) {
+                snap.friends.insert(uid, friends.clone());
+            }
+        }
+        snap.effort = self.effort();
+        snap
+    }
+
+    fn virtual_elapsed_ms(&self) -> u64 {
+        self.modeled_wall_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsp_http::DirectExchange;
+    use hsp_platform::{FaultPlan, Platform, PlatformConfig};
+    use hsp_policy::FacebookPolicy;
+    use hsp_synth::{generate, ScenarioConfig};
+
+    fn tiny_platform(faults: FaultPlan) -> (Arc<Platform>, hsp_synth::Scenario) {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let platform = Platform::new(
+            Arc::new(scenario.network.clone()),
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig { faults, ..PlatformConfig::default() },
+        );
+        (platform, scenario)
+    }
+
+    fn parallel(
+        platform: &Arc<Platform>,
+        accounts: usize,
+        workers: usize,
+    ) -> ParallelCrawler<DirectExchange> {
+        let handler = platform.into_handler();
+        let seats = (0..accounts)
+            .map(|_| AccountSeat { exchange: DirectExchange::new(handler.clone()), clock: None })
+            .collect();
+        let factory_handler = handler.clone();
+        ParallelCrawler::builder("spy")
+            .workers(workers)
+            .observability(&platform.obs)
+            .recruit_with(
+                move || AccountSeat {
+                    exchange: DirectExchange::new(factory_handler.clone()),
+                    clock: None,
+                },
+                8,
+            )
+            .build(seats)
+            .expect("enrolled")
+    }
+
+    /// The core determinism claim, in miniature: sharded prefetches at
+    /// 1 and 4 workers produce identical caches, effort, and virtual
+    /// wall-clock model inputs.
+    #[test]
+    fn worker_count_never_changes_results() {
+        let run = |workers: usize| {
+            let (platform, s) = tiny_platform(FaultPlan::default());
+            let mut crawler = parallel(&platform, 3, workers);
+            let seeds = crawler.collect_seeds(s.school).unwrap();
+            crawler.prefetch_profiles(&seeds).unwrap();
+            crawler.prefetch_friends(&seeds).unwrap();
+            let snap = crawler.checkpoint();
+            (seeds, snap.to_json(), crawler.effort())
+        };
+        let (seeds_1, snap_1, effort_1) = run(1);
+        let (seeds_4, snap_4, effort_4) = run(4);
+        assert_eq!(seeds_1, seeds_4);
+        assert_eq!(snap_1, snap_4, "checkpoints must be bit-identical across worker counts");
+        assert_eq!(effort_1, effort_4);
+    }
+
+    #[test]
+    fn matches_sequential_crawler_bit_for_bit() {
+        let (platform, s) = tiny_platform(FaultPlan::default());
+        let handler = platform.into_handler();
+        let exchanges = (0..2).map(|_| DirectExchange::new(handler.clone())).collect();
+        let mut sequential = crate::Crawler::new(exchanges, "spy").unwrap();
+
+        let (platform_p, _) = tiny_platform(FaultPlan::default());
+        let mut par = parallel(&platform_p, 2, 4);
+
+        let seeds_seq = sequential.collect_seeds(s.school).unwrap();
+        let seeds_par = par.collect_seeds(s.school).unwrap();
+        assert_eq!(seeds_seq, seeds_par);
+
+        par.prefetch_profiles(&seeds_par).unwrap();
+        for &u in &seeds_seq {
+            assert_eq!(sequential.profile(u).unwrap(), par.profile(u).unwrap());
+            assert_eq!(sequential.friends(u).unwrap(), par.friends(u).unwrap());
+        }
+        assert_eq!(sequential.effort(), par.effort(), "same pages, same cost");
+    }
+
+    #[test]
+    fn suspension_mid_batch_fails_over_and_recruits() {
+        // Each run gets a fresh platform (suspension is server-side
+        // state), so build per-run platforms instead of reusing one.
+        let run_fresh = |workers: usize| {
+            let (platform, s) = tiny_platform(FaultPlan {
+                enabled: true,
+                suspend_account_after: vec![10],
+                ..FaultPlan::default()
+            });
+            let mut crawler = parallel(&platform, 2, workers);
+            let seeds = crawler.collect_seeds(s.school).unwrap();
+            crawler.prefetch_profiles(&seeds).unwrap();
+            crawler.prefetch_friends(&seeds).unwrap();
+            (crawler.checkpoint().to_json(), crawler.account_count(), crawler.live_account_count())
+        };
+        let (snap_1, total_1, live_1) = run_fresh(1);
+        let (snap_8, total_8, live_8) = run_fresh(8);
+        assert_eq!(snap_1, snap_8, "failover must not depend on worker count");
+        assert_eq!((total_1, live_1), (total_8, live_8));
+        assert!(total_1 > 2, "the fleet escalated");
+        assert_eq!(live_1 + 1, total_1, "exactly one account suspended");
+    }
+
+    #[test]
+    fn modeled_wall_clock_shrinks_with_workers() {
+        let run = |workers: usize| {
+            let (platform, s) = tiny_platform(FaultPlan::default());
+            let mut crawler = parallel(&platform, 4, workers);
+            let seeds = crawler.collect_seeds(s.school).unwrap();
+            crawler.prefetch_profiles(&seeds).unwrap();
+            crawler.modeled_wall_ms()
+        };
+        let serial = run(1);
+        let parallel_wall = run(4);
+        assert!(serial > 0);
+        assert!(
+            parallel_wall * 2 < serial,
+            "4 accounts on 4 lanes must model at least 2x faster: {parallel_wall} vs {serial}"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Execution context: caches one full attack per school so `all` runs
 //! each expensive crawl exactly once.
 
-use crate::runner::{full_attack, AttackRun, Lab};
+use crate::runner::{full_attack, full_attack_with, AttackRun, Lab};
 use hsp_obs::Registry;
 use hsp_synth::ScenarioConfig;
 use std::collections::HashMap;
@@ -17,15 +17,28 @@ pub struct SchoolRun {
 pub struct Ctx {
     /// Run the crawl over real loopback TCP instead of in-process.
     pub tcp: bool,
+    /// Worker threads for the crawl. 1 = the classic sequential
+    /// crawler; above that the in-process crawl runs on the parallel
+    /// scheduler (results are bit-identical either way across worker
+    /// counts — see `hsp_crawler::scheduler`).
+    pub workers: usize,
     /// One registry spanning every cached school run, so a metrics
     /// snapshot after an experiment covers all work it triggered.
     pub obs: Arc<Registry>,
     runs: HashMap<&'static str, SchoolRun>,
 }
 
+/// Seed for the parallel crawler's retry jitter streams (any fixed
+/// value works; this one matches the chaos gate's).
+const CRAWL_SEED: u64 = 0x9d5f_2013;
+
 impl Ctx {
     pub fn new(tcp: bool) -> Ctx {
-        Ctx { tcp, obs: Registry::shared(), runs: HashMap::new() }
+        Self::with_workers(tcp, 1)
+    }
+
+    pub fn with_workers(tcp: bool, workers: usize) -> Ctx {
+        Ctx { tcp, workers: workers.max(1), obs: Registry::shared(), runs: HashMap::new() }
     }
 
     /// The scenario config for a school label.
@@ -42,11 +55,18 @@ impl Ctx {
     /// Get (running if needed) the standard full attack on a school.
     pub fn school(&mut self, which: &'static str) -> &SchoolRun {
         let tcp = self.tcp;
+        let workers = self.workers;
         let obs = Arc::clone(&self.obs);
         self.runs.entry(which).or_insert_with(|| {
             eprintln!("[ctx] generating + attacking {which} ...");
             let mut lab = Lab::facebook_with_registry(&Self::config_for(which), obs);
-            let run = full_attack(&mut lab, tcp);
+            let run = if workers > 1 && !tcp {
+                let accounts = lab.paper_account_count();
+                let access = Box::new(lab.parallel_crawler(accounts, workers, "atk", CRAWL_SEED));
+                full_attack_with(&lab, access)
+            } else {
+                full_attack(&mut lab, tcp)
+            };
             SchoolRun { lab, run }
         })
     }

@@ -1,8 +1,11 @@
-//! CLI: `experiments [ids... | all] [--tcp] [--json <dir>]`
+//! CLI: `experiments [ids... | all] [--tcp] [--workers N] [--json <dir>]`
 //!
 //! Regenerates the paper's tables and figures against the synthetic
 //! substrate. `--tcp` runs every crawl over real loopback HTTP;
-//! `--json <dir>` additionally writes machine-readable results.
+//! `--workers N` drives in-process crawls with the deterministic
+//! parallel scheduler on `N` threads (identical results, less
+//! wall-clock); `--json <dir>` additionally writes machine-readable
+//! results.
 //! After each experiment a full metrics snapshot (counters, gauges,
 //! latency quantiles, phase timings, recent events) is written to
 //! `results/metrics_<experiment>.json`.
@@ -26,10 +29,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tcp = args.iter().any(|a| a == "--tcp");
     let json_dir = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    let workers_arg =
+        args.iter().position(|a| a == "--workers").and_then(|i| args.get(i + 1)).cloned();
+    let workers: usize = workers_arg
+        .as_deref()
+        .map(|w| w.parse().expect("--workers takes a positive integer"))
+        .unwrap_or(1);
     let mut ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| json_dir.as_deref() != Some(a.as_str()))
+        .filter(|a| workers_arg.as_deref() != Some(a.as_str()))
         .cloned()
         .collect();
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
@@ -38,7 +48,7 @@ fn main() {
     if let Some(dir) = &json_dir {
         std::fs::create_dir_all(dir).expect("create json output dir");
     }
-    let mut ctx = Ctx::new(tcp);
+    let mut ctx = Ctx::with_workers(tcp, workers);
     for id in &ids {
         match run_experiment(&mut ctx, id) {
             Some(report) => {

@@ -9,12 +9,12 @@ use hsp_core::{
     evaluate, run_basic, run_enhanced, AttackConfig, Discovery, EnhanceOptions, Enhanced,
     EvalPoint, GroundTruth,
 };
-use hsp_crawler::{Crawler, OsnAccess, Politeness};
+use hsp_crawler::{AccountSeat, Crawler, OsnAccess, ParallelCrawler, Politeness};
 use hsp_http::{
     Client, DirectExchange, Handler, ResilientExchange, RetryPolicy, RetryStats, Server,
     ServerConfig,
 };
-use hsp_obs::{Registry, SpanGuard};
+use hsp_obs::{Registry, SpanGuard, VirtualClock};
 use hsp_platform::{FaultPlan, Platform, PlatformConfig};
 use hsp_policy::{FacebookPolicy, Policy};
 use hsp_synth::{generate, Scenario, ScenarioConfig};
@@ -75,7 +75,12 @@ impl Lab {
     ) -> Lab {
         let scenario = {
             let _span = phase_span(&obs, "generate");
-            generate(cfg)
+            let started = std::time::Instant::now();
+            let scenario = generate(cfg);
+            let us = started.elapsed().as_micros().max(1);
+            let rate = scenario.network.user_count() as u128 * 1_000_000 / us;
+            obs.gauge("synth_users_per_sec").set(rate as i64);
+            scenario
         };
         Self::from_scenario_with_registry(scenario, policy, obs)
     }
@@ -165,6 +170,56 @@ impl Lab {
                 .build(exchanges)
                 .expect("resilient crawler setup"),
         )
+    }
+
+    /// The parallel attack crawler: the same resilient per-account
+    /// transport as [`Lab::resilient_crawler`], but driven by the
+    /// work-stealing scheduler with `workers` OS threads. Every account
+    /// seat carries its *own* virtual clock (backoff/deadline time is
+    /// per-account state, so one account's retries never shift
+    /// another's timeline), and recruitment stays available for
+    /// suspension failover. Results are bit-identical at any `workers`
+    /// value; only wall-clock changes.
+    pub fn parallel_crawler(
+        &self,
+        accounts: usize,
+        workers: usize,
+        label: &str,
+        seed: u64,
+    ) -> ParallelCrawler<ResilientExchange<DirectExchange>> {
+        let stats = Arc::new(RetryStats::default());
+        let seat = {
+            let handler = self.handler.clone();
+            let stats = Arc::clone(&stats);
+            move |i: u64| {
+                let clock = VirtualClock::shared();
+                AccountSeat {
+                    exchange: ResilientExchange::with_stats(
+                        DirectExchange::new(handler.clone()),
+                        RetryPolicy::seeded(seed ^ i),
+                        Arc::clone(&clock),
+                        Arc::clone(&stats),
+                    ),
+                    clock: Some(clock),
+                }
+            }
+        };
+        let seats: Vec<_> = (0..accounts as u64).map(&seat).collect();
+        let mut next = accounts as u64;
+        let factory = {
+            let seat = seat;
+            move || {
+                next += 1;
+                seat(next)
+            }
+        };
+        ParallelCrawler::builder(label)
+            .workers(workers)
+            .observability(&self.obs)
+            .retry_stats(stats)
+            .recruit_with(factory, 8)
+            .build(seats)
+            .expect("parallel crawler setup")
     }
 
     /// A crawler over real loopback TCP (requires [`Lab::serve`]).

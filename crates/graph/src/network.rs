@@ -87,6 +87,21 @@ impl Network {
         self.friends.ensure_users(self.users.len());
     }
 
+    /// Content hash of the entire network (FNV-1a over the canonical
+    /// serialized form). Two networks fingerprint equal iff every user,
+    /// edge, household, circle and interaction matches — the cheap
+    /// bit-identity check behind the sharded generator's 1-thread ≡
+    /// N-thread guarantee.
+    pub fn fingerprint(&self) -> u64 {
+        let bytes = serde_json::to_vec(self).expect("network serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     // ----- accessors -------------------------------------------------------
 
     pub fn user_count(&self) -> usize {

@@ -15,61 +15,92 @@ pub const MAX_HEAD: usize = 32 * 1024;
 /// Maximum body size accepted.
 pub const MAX_BODY: usize = 8 * 1024 * 1024;
 
+/// Decimal digit count of `n` (for exact capacity precomputation).
+fn dec_len(n: usize) -> usize {
+    let mut n = n;
+    let mut len = 1;
+    while n >= 10 {
+        n /= 10;
+        len += 1;
+    }
+    len
+}
+
+/// Append `n` in decimal without going through `format!` (the encoders
+/// sit on the per-request hot path; formatting machinery plus its
+/// intermediate `String` showed up in profiles).
+fn push_dec(out: &mut Vec<u8>, mut n: usize) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&buf[i..]);
+}
+
 /// Serialize a request to wire bytes.
 pub fn encode_request(req: &Request) -> Bytes {
-    let mut out = Vec::with_capacity(128 + req.body.len());
-    out.extend_from_slice(req.method.as_str().as_bytes());
-    out.push(b' ');
-    out.extend_from_slice(req.target.as_bytes());
-    out.extend_from_slice(b" HTTP/1.1\r\n");
     let mut wrote_len = false;
+    // Exact capacity: one allocation, no growth doubling mid-encode.
+    let mut cap = req.method.as_str().len() + 1 + req.target.len() + 11;
     for (name, value) in req.headers.iter() {
         if name.eq_ignore_ascii_case("content-length") {
             wrote_len = true;
         }
+        cap += name.len() + 2 + value.len() + 2;
+    }
+    let needs_len = !wrote_len && !req.body.is_empty();
+    if needs_len {
+        cap += 16 + dec_len(req.body.len()) + 2;
+    }
+    cap += 2 + req.body.len();
+
+    let mut out = Vec::with_capacity(cap);
+    out.extend_from_slice(req.method.as_str().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(req.target.as_bytes());
+    out.extend_from_slice(b" HTTP/1.1\r\n");
+    for (name, value) in req.headers.iter() {
         out.extend_from_slice(name.as_bytes());
         out.extend_from_slice(b": ");
         out.extend_from_slice(value.as_bytes());
         out.extend_from_slice(b"\r\n");
     }
-    if !wrote_len && !req.body.is_empty() {
-        out.extend_from_slice(format!("Content-Length: {}\r\n", req.body.len()).as_bytes());
+    if needs_len {
+        out.extend_from_slice(b"Content-Length: ");
+        push_dec(&mut out, req.body.len());
+        out.extend_from_slice(b"\r\n");
     }
     out.extend_from_slice(b"\r\n");
     out.extend_from_slice(&req.body);
+    debug_assert_eq!(out.len(), cap);
     Bytes::from(out)
 }
 
-/// Serialize a response to wire bytes. A `Content-Length` header is
-/// always emitted so keep-alive framing is unambiguous.
-pub fn encode_response(resp: &Response) -> Bytes {
-    let mut out = Vec::with_capacity(128 + resp.body.len());
-    out.extend_from_slice(
-        format!("HTTP/1.1 {} {}\r\n", resp.status.code(), resp.status.reason()).as_bytes(),
-    );
+/// Shared head encoding for [`encode_response`]/[`encode_response_head`]:
+/// status line, caller headers (minus any Content-Length — we own
+/// framing), our Content-Length, and the blank line.
+fn encode_head(resp: &Response, extra: usize) -> Vec<u8> {
+    let mut cap = 9 + dec_len(resp.status.code() as usize) + 1 + resp.status.reason().len() + 2;
     for (name, value) in resp.headers.iter() {
         if name.eq_ignore_ascii_case("content-length") {
-            continue; // we own framing
+            continue;
         }
-        out.extend_from_slice(name.as_bytes());
-        out.extend_from_slice(b": ");
-        out.extend_from_slice(value.as_bytes());
-        out.extend_from_slice(b"\r\n");
+        cap += name.len() + 2 + value.len() + 2;
     }
-    out.extend_from_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
-    out.extend_from_slice(b"\r\n");
-    out.extend_from_slice(&resp.body);
-    Bytes::from(out)
-}
+    cap += 16 + dec_len(resp.body.len()) + 2 + 2;
 
-/// Serialize only the head of a response (for HEAD requests): identical
-/// status line and headers — including the Content-Length the matching
-/// GET would carry — but no body bytes.
-pub fn encode_response_head(resp: &Response) -> Bytes {
-    let mut out = Vec::with_capacity(128);
-    out.extend_from_slice(
-        format!("HTTP/1.1 {} {}\r\n", resp.status.code(), resp.status.reason()).as_bytes(),
-    );
+    let mut out = Vec::with_capacity(cap + extra);
+    out.extend_from_slice(b"HTTP/1.1 ");
+    push_dec(&mut out, resp.status.code() as usize);
+    out.push(b' ');
+    out.extend_from_slice(resp.status.reason().as_bytes());
+    out.extend_from_slice(b"\r\n");
     for (name, value) in resp.headers.iter() {
         if name.eq_ignore_ascii_case("content-length") {
             continue;
@@ -79,9 +110,26 @@ pub fn encode_response_head(resp: &Response) -> Bytes {
         out.extend_from_slice(value.as_bytes());
         out.extend_from_slice(b"\r\n");
     }
-    out.extend_from_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
-    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(b"Content-Length: ");
+    push_dec(&mut out, resp.body.len());
+    out.extend_from_slice(b"\r\n\r\n");
+    debug_assert_eq!(out.len(), cap);
+    out
+}
+
+/// Serialize a response to wire bytes. A `Content-Length` header is
+/// always emitted so keep-alive framing is unambiguous.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut out = encode_head(resp, resp.body.len());
+    out.extend_from_slice(&resp.body);
     Bytes::from(out)
+}
+
+/// Serialize only the head of a response (for HEAD requests): identical
+/// status line and headers — including the Content-Length the matching
+/// GET would carry — but no body bytes.
+pub fn encode_response_head(resp: &Response) -> Bytes {
+    Bytes::from(encode_head(resp, 0))
 }
 
 /// Result of a decode attempt over a partially-filled buffer.

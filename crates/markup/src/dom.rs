@@ -1,6 +1,6 @@
 //! A minimal DOM tree shared by the HTML builder and parser.
 
-use crate::escape::{escape_attr, escape_text};
+use crate::escape::{escape_attr_into, escape_text_into};
 use std::fmt;
 
 /// Elements that never have children or a closing tag.
@@ -141,19 +141,43 @@ impl Element {
 
     /// Render to an HTML string (escaped, no pretty-printing).
     pub fn render(&self) -> String {
-        let mut out = String::new();
+        let mut out = String::with_capacity(self.rendered_len_hint());
         self.render_into(&mut out);
         out
     }
 
-    fn render_into(&self, out: &mut String) {
+    /// Lower-bound estimate of the rendered length (exact when no
+    /// character needs escaping). Lets callers pre-size output buffers
+    /// and avoid the doubling reallocations of a cold `String`.
+    pub fn rendered_len_hint(&self) -> usize {
+        // `<tag>` ... `</tag>` plus ` name="value"` per attribute.
+        let mut n = 2 + self.tag.len();
+        for (name, value) in &self.attrs {
+            n += name.len() + value.len() + 4;
+        }
+        if is_void(&self.tag) {
+            return n;
+        }
+        n += 3 + self.tag.len();
+        for child in &self.children {
+            n += match child {
+                Node::Text(t) => t.len(),
+                Node::Element(e) => e.rendered_len_hint(),
+            };
+        }
+        n
+    }
+
+    /// Render into an existing buffer (the allocation-free core of
+    /// [`Element::render`]).
+    pub fn render_into(&self, out: &mut String) {
         out.push('<');
         out.push_str(&self.tag);
         for (name, value) in &self.attrs {
             out.push(' ');
             out.push_str(name);
             out.push_str("=\"");
-            out.push_str(&escape_attr(value));
+            escape_attr_into(value, out);
             out.push('"');
         }
         out.push('>');
@@ -162,7 +186,7 @@ impl Element {
         }
         for child in &self.children {
             match child {
-                Node::Text(t) => out.push_str(&escape_text(t)),
+                Node::Text(t) => escape_text_into(t, out),
                 Node::Element(e) => e.render_into(out),
             }
         }

@@ -3,6 +3,18 @@
 /// Escape a string for use as HTML text content (`&`, `<`, `>`).
 pub fn escape_text(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    escape_text_into(s, &mut out);
+    out
+}
+
+/// Streaming form of [`escape_text`]: append into an existing buffer,
+/// copying the whole string at once when nothing needs escaping (the
+/// overwhelmingly common case for rendered pages).
+pub fn escape_text_into(s: &str, out: &mut String) {
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>')) {
+        out.push_str(s);
+        return;
+    }
     for c in s.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -11,12 +23,21 @@ pub fn escape_text(s: &str) -> String {
             _ => out.push(c),
         }
     }
-    out
 }
 
 /// Escape a string for use inside a double-quoted attribute value.
 pub fn escape_attr(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    escape_attr_into(s, &mut out);
+    out
+}
+
+/// Streaming form of [`escape_attr`] (see [`escape_text_into`]).
+pub fn escape_attr_into(s: &str, out: &mut String) {
+    if !s.bytes().any(|b| matches!(b, b'&' | b'<' | b'>' | b'"' | b'\'')) {
+        out.push_str(s);
+        return;
+    }
     for c in s.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -27,7 +48,6 @@ pub fn escape_attr(s: &str) -> String {
             _ => out.push(c),
         }
     }
-    out
 }
 
 /// Decode the named and numeric entities the escaper can produce (plus a

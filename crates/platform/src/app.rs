@@ -112,7 +112,7 @@ impl Platform {
             // the handler's response on the way out.
             let resp = match faults.pre(req) {
                 Some(injected) => injected,
-                None => faults.post(f(req, params)),
+                None => faults.post(req, f(req, params)),
             };
             m.observe(
                 resp.status.code(),
@@ -231,7 +231,7 @@ impl Platform {
     fn session_account(&self, req: &Request) -> Result<usize, Response> {
         let sid = request_cookie(req, "sid")
             .ok_or_else(|| Response::error(Status::UNAUTHORIZED, "login required"))?;
-        if self.faults.expire_session_now() {
+        if self.faults.expire_session_now(req) {
             self.accounts.expire_session(sid);
             return Err(Response::error(Status::UNAUTHORIZED, "session expired")
                 .header(H_SESSION_EXPIRED, "1"));

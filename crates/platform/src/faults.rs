@@ -5,10 +5,14 @@
 //! connections dropped mid-body (§3.2, §4.5). This module recreates
 //! that hostility on demand. A [`FaultPlan`] declares per-mille
 //! probabilities for each fault class; a [`FaultEngine`] rolls them
-//! from one seeded `StdRng` in strict request order, so an experiment's
-//! entire fault schedule is a pure function of (seed, request
-//! sequence) — bit-identical across runs and across the TCP and
-//! in-process transports.
+//! from *per-principal* SplitMix64 streams: each attacker account (as
+//! identified by its `sid` cookie) draws from its own seeded stream, in
+//! its own request order. An experiment's fault schedule is therefore a
+//! pure function of (seed, per-account request sequences) — bit-identical
+//! across runs, across the TCP and in-process transports, and across
+//! any interleaving of concurrent accounts. A parallel crawler that
+//! preserves each account's request order sees exactly the faults the
+//! sequential crawler saw, no matter how the threads raced.
 //!
 //! Faults are signalled in-band through response status codes and the
 //! shared header constants in `hsp_http::resilient`, never through
@@ -21,11 +25,11 @@
 //! `platform_fault_injected_total{kind="..."}`.
 
 use hsp_http::resilient::{H_RETRY_AFTER, H_SIMULATED_FAULT, H_VIRTUAL_LATENCY_MS};
-use hsp_http::{Request, Response, Status};
+use hsp_http::{request_cookie, Request, Response, Status};
 use hsp_obs::Registry;
 use parking_lot::Mutex;
-use rand::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Declarative chaos schedule. Probabilities are per-mille (0–1000)
@@ -120,19 +124,62 @@ impl FaultPlan {
     }
 }
 
-/// Rolls a [`FaultPlan`] against live traffic. One seeded RNG stream,
-/// locked per decision; the crawler is sequential, so the stream order
-/// is the request order on both transports.
+/// SplitMix64 finalizer — the mixing function behind every fault roll.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a, used to key pre-session (signup/login) traffic by username.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The fault stream a request draws from. Authenticated traffic is
+/// keyed by the account index baked into the `sid` cookie
+/// (`sid-{index}-…`), so every account has its own deterministic fault
+/// schedule regardless of how concurrent requests interleave.
+/// Signup/login traffic (no session yet) is keyed by the claimed
+/// username; anonymous traffic shares stream 0.
+fn principal_key(req: &Request) -> u64 {
+    if let Some(sid) = request_cookie(req, "sid") {
+        if let Some(idx) = sid
+            .strip_prefix("sid-")
+            .and_then(|rest| rest.split('-').next())
+            .and_then(|i| i.parse::<u64>().ok())
+        {
+            return 1 + idx;
+        }
+    }
+    if let Some(user) = req.form_param("user") {
+        return 0x8000_0000_0000_0000 | fnv1a(user.as_bytes());
+    }
+    0
+}
+
+/// Rolls a [`FaultPlan`] against live traffic. One counter-based
+/// SplitMix64 stream per principal (see [`principal_key`]); each
+/// decision consumes the next value of the requester's stream, so the
+/// schedule an account experiences depends only on that account's own
+/// request order — never on how other accounts' requests interleave.
 pub struct FaultEngine {
     plan: FaultPlan,
-    rng: Mutex<StdRng>,
+    /// Per-principal draw counters; the stream itself is stateless
+    /// (`splitmix64(seed ⊕ key-mix ⊕ counter-mix)`).
+    draws: Mutex<HashMap<u64, u64>>,
     obs: Arc<Registry>,
 }
 
 impl FaultEngine {
     pub fn new(plan: FaultPlan, obs: Arc<Registry>) -> Arc<FaultEngine> {
-        let rng = Mutex::new(StdRng::seed_from_u64(plan.seed));
-        Arc::new(FaultEngine { plan, rng, obs })
+        Arc::new(FaultEngine { plan, draws: Mutex::new(HashMap::new()), obs })
     }
 
     pub fn plan(&self) -> &FaultPlan {
@@ -143,28 +190,43 @@ impl FaultEngine {
         self.obs.counter_with("platform_fault_injected_total", &[("kind", kind)]).inc();
     }
 
-    fn roll(&self, per_mille: u32) -> bool {
-        per_mille > 0 && self.rng.lock().gen_range(0..1_000u32) < per_mille
+    /// Next value of `key`'s stream.
+    fn draw(&self, key: u64) -> u64 {
+        let mut draws = self.draws.lock();
+        let counter = draws.entry(key).or_insert(0);
+        let n = *counter;
+        *counter += 1;
+        splitmix64(self.plan.seed ^ splitmix64(key) ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn roll(&self, key: u64, per_mille: u32) -> bool {
+        per_mille > 0 && ((self.draw(key) % 1_000) as u32) < per_mille
+    }
+
+    /// Uniform draw in `lo..=hi` from `key`'s stream.
+    fn range(&self, key: u64, lo: u64, hi: u64) -> u64 {
+        lo + self.draw(key) % (hi - lo + 1)
     }
 
     /// Pre-handler faults: the request is answered by the fault layer
     /// and never reaches the application (so it does not count against
     /// the account's request budget — the "server" failed, the account
     /// did nothing suspicious).
-    pub fn pre(&self, _req: &Request) -> Option<Response> {
+    pub fn pre(&self, req: &Request) -> Option<Response> {
         if !self.plan.enabled {
             return None;
         }
-        if self.roll(self.plan.rate_limit_per_mille) {
+        let key = principal_key(req);
+        if self.roll(key, self.plan.rate_limit_per_mille) {
             self.record("rate_limit");
             return Some(
                 Response::error(Status::TOO_MANY_REQUESTS, "rate limit exceeded")
                     .header(H_RETRY_AFTER, self.plan.retry_after_secs.to_string()),
             );
         }
-        if self.roll(self.plan.server_error_per_mille) {
+        if self.roll(key, self.plan.server_error_per_mille) {
             self.record("server_error");
-            let status = if self.rng.lock().gen_bool(0.5) {
+            let status = if self.draw(key) & 1 == 0 {
                 Status::INTERNAL_SERVER_ERROR
             } else {
                 Status::SERVICE_UNAVAILABLE
@@ -175,9 +237,11 @@ impl FaultEngine {
     }
 
     /// Whether to expire the session carried by the current request.
-    /// Called once per authenticated request, in request order.
-    pub fn expire_session_now(&self) -> bool {
-        if !self.plan.enabled || !self.roll(self.plan.session_expiry_per_mille) {
+    /// Called once per authenticated request, in that account's own
+    /// request order.
+    pub fn expire_session_now(&self, req: &Request) -> bool {
+        if !self.plan.enabled || !self.roll(principal_key(req), self.plan.session_expiry_per_mille)
+        {
             return false;
         }
         self.record("session_expiry");
@@ -202,30 +266,33 @@ impl FaultEngine {
     }
 
     /// Post-handler faults: mutate a successful response on its way out
-    /// (latency tag, silent truncation, mid-body reset).
-    pub fn post(&self, resp: Response) -> Response {
+    /// (latency tag, silent truncation, mid-body reset). Draws from the
+    /// *requester's* stream, so concurrent accounts cannot perturb each
+    /// other's schedules.
+    pub fn post(&self, req: &Request, resp: Response) -> Response {
         if !self.plan.enabled {
             return resp;
         }
+        let key = principal_key(req);
         let mut resp = resp;
-        if self.roll(self.plan.latency_per_mille) {
+        if self.roll(key, self.plan.latency_per_mille) {
             self.record("latency");
-            let ms = self.rng.lock().gen_range(self.plan.latency_min_ms..=self.plan.latency_max_ms);
+            let ms = self.range(key, self.plan.latency_min_ms, self.plan.latency_max_ms);
             resp = resp.header(H_VIRTUAL_LATENCY_MS, ms.to_string());
         }
         let is_html = resp.status == Status::OK
             && resp.headers.get("content-type").is_some_and(|ct| ct.contains("text/html"));
         if is_html && resp.body.len() > 64 {
-            if self.roll(self.plan.reset_per_mille) {
+            if self.roll(key, self.plan.reset_per_mille) {
                 self.record("reset");
                 return self
-                    .truncated(resp)
+                    .truncated(key, resp)
                     .header(H_SIMULATED_FAULT, "reset")
                     .header("Connection", "close");
             }
-            if self.roll(self.plan.truncate_per_mille) {
+            if self.roll(key, self.plan.truncate_per_mille) {
                 self.record("truncate");
-                return self.truncated(resp);
+                return self.truncated(key, resp);
             }
         }
         resp
@@ -233,9 +300,9 @@ impl FaultEngine {
 
     /// Cut the body at a random interior point (always before the
     /// closing `</html>`, so truncation is detectable).
-    fn truncated(&self, mut resp: Response) -> Response {
+    fn truncated(&self, key: u64, mut resp: Response) -> Response {
         let len = resp.body.len();
-        let cut = self.rng.lock().gen_range(len / 10..len * 9 / 10);
+        let cut = (self.range(key, len as u64 / 10, len as u64 * 9 / 10 - 1)) as usize;
         resp.body = bytes::Bytes::copy_from_slice(&resp.body[..cut]);
         resp
     }
@@ -257,11 +324,12 @@ mod tests {
     #[test]
     fn disabled_plan_is_a_no_op() {
         let eng = engine(FaultPlan::default());
-        assert!(eng.pre(&Request::get("/profile/u1")).is_none());
-        assert!(!eng.expire_session_now());
+        let req = Request::get("/profile/u1");
+        assert!(eng.pre(&req).is_none());
+        assert!(!eng.expire_session_now(&req));
         assert!(!eng.should_force_suspend(0, u64::MAX));
         let body = page().body;
-        assert_eq!(eng.post(page()).body, body);
+        assert_eq!(eng.post(&req, page()).body, body);
     }
 
     #[test]
@@ -271,10 +339,11 @@ mod tests {
             let eng = FaultEngine::new(FaultPlan { seed, ..FaultPlan::chaos() }, Arc::clone(&obs));
             let mut outcomes = Vec::new();
             for i in 0..2_000 {
-                match eng.pre(&Request::get(format!("/profile/u{i}"))) {
+                let req = Request::get(format!("/profile/u{i}"));
+                match eng.pre(&req) {
                     Some(resp) => outcomes.push(resp.status.code()),
                     None => {
-                        let resp = eng.post(page());
+                        let resp = eng.post(&req, page());
                         outcomes.push(resp.status.code());
                         outcomes.push(resp.body.len() as u16);
                     }
@@ -293,6 +362,34 @@ mod tests {
         }
         let (c_out, _) = run(2);
         assert_ne!(a_out, c_out, "different seeds should differ");
+    }
+
+    #[test]
+    fn fault_streams_are_independent_per_account() {
+        // Each account's fault schedule must depend only on its own
+        // request order, never on how other accounts interleave — the
+        // property the parallel scheduler's determinism rests on.
+        let outcomes_for = |interleave: &[usize]| {
+            let eng = engine(FaultPlan::chaos());
+            let mut per: [Vec<u16>; 2] = [Vec::new(), Vec::new()];
+            for &acct in interleave {
+                let req = Request::get("/profile/u1")
+                    .header("Cookie", format!("sid=sid-{acct}-00000000"));
+                match eng.pre(&req) {
+                    Some(resp) => per[acct].push(resp.status.code()),
+                    None => {
+                        let resp = eng.post(&req, page());
+                        per[acct].push(resp.status.code());
+                        per[acct].push(resp.body.len() as u16);
+                    }
+                }
+            }
+            per
+        };
+        let round_robin: Vec<usize> = (0..400).map(|i| i % 2).collect();
+        let blocked: Vec<usize> =
+            std::iter::repeat_n(0, 200).chain(std::iter::repeat_n(1, 200)).collect();
+        assert_eq!(outcomes_for(&round_robin), outcomes_for(&blocked));
     }
 
     #[test]
@@ -318,8 +415,9 @@ mod tests {
             ..FaultPlan::chaos()
         };
         let eng = engine(plan);
+        let req = Request::get("/profile/u1");
         for _ in 0..50 {
-            let resp = eng.post(page());
+            let resp = eng.post(&req, page());
             assert_eq!(resp.status, Status::OK);
             assert!(
                 !resp.body_string().trim_end().ends_with("</html>"),
@@ -332,7 +430,7 @@ mod tests {
     fn reset_marker_is_classified_retryable() {
         let plan = FaultPlan { reset_per_mille: 1_000, latency_per_mille: 0, ..FaultPlan::chaos() };
         let eng = engine(plan);
-        let resp = eng.post(page());
+        let resp = eng.post(&Request::get("/profile/u1"), page());
         assert_eq!(resp.headers.get(H_SIMULATED_FAULT), Some("reset"));
         assert!(resp.headers.connection_close());
         assert!(matches!(classify(&resp), ErrorClass::Retryable { .. }));

@@ -13,7 +13,12 @@ pub fn page(title: &str, body_children: Vec<Element>) -> String {
     let mut body = el("body");
     body.children.extend(body_children.into_iter().map(hsp_markup::Node::Element));
     let doc = el("html").child(el("head").child(text_el("title", title))).child(body);
-    format!("<!DOCTYPE html>{}", doc.render())
+    // One exact-size allocation for the whole page instead of the
+    // doubling growth of `format!` + a cold render buffer.
+    let mut out = String::with_capacity("<!DOCTYPE html>".len() + doc.rendered_len_hint());
+    out.push_str("<!DOCTYPE html>");
+    doc.render_into(&mut out);
+    out
 }
 
 /// Render a stranger's view of a profile page.
@@ -151,6 +156,7 @@ pub fn listing_page(
     next_url: Option<String>,
 ) -> String {
     let mut ul = el("ul").id(list_id);
+    ul.children.reserve(entries.len());
     for (uid, name) in entries {
         ul = ul.child(
             el("li").class("entry").child(

@@ -13,6 +13,19 @@
 //! - **Parents** friended to their children.
 //! - A **community pool** of unrelated adults providing the bulk of the
 //!   students' non-school friends (and hence of the candidate set).
+//!
+//! # Sharded generation
+//!
+//! Generation is split into *phases* (students, former, alumni, …,
+//! circles), and each phase into fixed-size chunks of [`CHUNK`] items.
+//! Every chunk draws from its own `SplitMix64`-derived RNG stream keyed
+//! by `(scenario seed, phase id, chunk index)`, so the random draws a
+//! chunk makes never depend on which thread ran it or on how many
+//! threads exist. Chunks are *specced* in parallel and *committed*
+//! strictly in chunk order on the calling thread — user ids, household
+//! ids and every downstream structure come out identical at any thread
+//! count ([`generate_sharded`] with 1 thread ≡ with N threads, bit for
+//! bit).
 
 use crate::config::ScenarioConfig;
 use crate::lying::{add_years, geometric_with_mean, normal, sample_registration};
@@ -25,10 +38,107 @@ use hsp_graph::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Generate the world for one scenario.
+/// Items per RNG stream. Fixed (never derived from the thread count) so
+/// the chunk boundaries — and therefore every draw — are identical no
+/// matter how many threads run the build.
+pub const CHUNK: usize = 64;
+
+/// Phase ids salting the per-chunk RNG streams. Two phases may process
+/// the same item range; distinct ids keep their streams uncorrelated.
+mod phase {
+    pub const STUDENTS: u64 = 1;
+    pub const FORMER: u64 = 2;
+    pub const ALUMNI: u64 = 3;
+    pub const PARENTS: u64 = 4;
+    pub const POOL: u64 = 5;
+    pub const SOCIABILITY: u64 = 6;
+    pub const EDGES_CLASSMATES: u64 = 7;
+    pub const EDGES_COMMUNITY: u64 = 8;
+    pub const EDGES_FORMER: u64 = 9;
+    pub const EDGES_ALUMNI: u64 = 10;
+    pub const INTERACTIONS: u64 = 11;
+    pub const CIRCLES_KEEP: u64 = 12;
+    pub const CIRCLES_FOLLOW: u64 = 13;
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The independent RNG stream for one chunk of one phase.
+fn stream_rng(seed: u64, phase: u64, chunk: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(
+        seed ^ splitmix64(phase.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ splitmix64(chunk)),
+    ))
+}
+
+/// Run `f(chunk_index)` for every chunk, on up to `threads` worker
+/// threads, and return the results in chunk order. Work is handed out
+/// by an atomic cursor (chunks are cheap and uniform enough that
+/// claiming whole chunks is all the balancing needed); the output slot
+/// per chunk keeps the collection order deterministic regardless of
+/// completion order.
+fn run_chunks<T: Send>(threads: usize, n_chunks: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if threads <= 1 || n_chunks <= 1 {
+        return (0..n_chunks).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n_chunks) {
+            scope.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                *slots[c].lock().unwrap() = Some(f(c));
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.into_inner().unwrap().expect("chunk computed")).collect()
+}
+
+/// Spec one phase: run `per_item(rng, item_index)` for items
+/// `0..n_items` in [`CHUNK`]-sized chunks, each chunk on its own RNG
+/// stream, and return the per-item outputs in item order.
+fn sharded<T: Send>(
+    seed: u64,
+    phase: u64,
+    threads: usize,
+    n_items: usize,
+    per_item: impl Fn(&mut StdRng, usize) -> T + Sync,
+) -> Vec<T> {
+    let n_chunks = n_items.div_ceil(CHUNK);
+    let chunks = run_chunks(threads, n_chunks, |c| {
+        let mut rng = stream_rng(seed, phase, c as u64);
+        let lo = c * CHUNK;
+        let hi = (lo + CHUNK).min(n_items);
+        (lo..hi).map(|i| per_item(&mut rng, i)).collect::<Vec<T>>()
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Generate the world for one scenario, parallelising the per-phase
+/// spec work over the machine's cores. Output depends only on `cfg`.
 pub fn generate(cfg: &ScenarioConfig) -> Scenario {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    generate_sharded(cfg, threads)
+}
+
+/// Generate the world for one scenario using exactly `threads` spec
+/// threads. The network is bit-identical for every `threads` value —
+/// the chunk streams, not the thread schedule, carry all the
+/// randomness.
+pub fn generate_sharded(cfg: &ScenarioConfig, threads: usize) -> Scenario {
+    let threads = threads.max(1);
+    let seed = cfg.seed;
     let mut net = Network::new(cfg.today);
 
     // ---- geography & schools ----------------------------------------
@@ -67,152 +177,177 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
     let classes = cfg.enrolled_classes();
     let grade_size = cfg.school_size / 4;
 
-    let mut students: Vec<UserId> = Vec::new();
-    let mut by_class: [Vec<UserId>; 4] = Default::default();
-
     // ---- current students --------------------------------------------
+    // One slot per real child of the school; the adoption coin inside
+    // the slot decides whether they exist on the OSN.
+    let mut slots: Vec<(usize, i32)> = Vec::with_capacity(cfg.school_size as usize);
     for (ci, &grad_year) in classes.iter().enumerate() {
         let extra = if ci == 0 { cfg.school_size % 4 } else { 0 };
         for _ in 0..(grade_size + extra) {
-            if !rng.gen_bool(cfg.adoption_rate) {
-                continue; // exists in the real school, but not on the OSN
-            }
-            let true_birth = student_birth_date(&mut rng, grad_year);
-            let registration = sample_registration(&mut rng, &cfg.lying, true_birth, cfg.today);
-            let registered_adult = !registration.is_registered_minor(cfg.today);
-            let openness = if registered_adult {
-                &cfg.lying_student_openness
-            } else {
-                &cfg.truthful_student_openness
-            };
-            let (privacy, extras) = sample_account_calibrated(&mut rng, openness);
-            let mut profile = base_profile(&mut rng, &extras);
-            if extras.lists_school {
-                profile.education.push(EducationEntry::high_school(school, grad_year));
-            }
-            if extras.lists_city {
-                profile.current_city = Some(home_city);
-            }
-            if extras.lists_hometown {
-                profile.hometown = Some(home_city);
-            }
-            if rng.gen_bool(0.06) {
-                profile.networks.push(school);
-            }
-            let id = net.add_user(User {
-                id: UserId(0),
-                true_birth_date: true_birth,
-                registration,
-                profile,
-                privacy,
-                role: Role::CurrentStudent { school, grad_year },
-            });
-            net.households_mut().add(sample_address(&mut rng), home_city, vec![id]);
-            students.push(id);
-            by_class[ci].push(id);
+            slots.push((ci, grad_year));
         }
     }
-
-    // ---- former students (churn) --------------------------------------
-    let mut former: Vec<UserId> = Vec::new();
-    for _ in 0..cfg.former_students {
-        let ci = rng.gen_range(0..4usize);
-        let grad_year = classes[ci];
-        let true_birth = student_birth_date(&mut rng, grad_year);
-        let registration = sample_registration(&mut rng, &cfg.lying, true_birth, cfg.today);
+    let student_specs = sharded(seed, phase::STUDENTS, threads, slots.len(), |rng, i| {
+        let (ci, grad_year) = slots[i];
+        if !rng.gen_bool(cfg.adoption_rate) {
+            return None; // exists in the real school, but not on the OSN
+        }
+        let true_birth = student_birth_date(rng, grad_year);
+        let registration = sample_registration(rng, &cfg.lying, true_birth, cfg.today);
         let registered_adult = !registration.is_registered_minor(cfg.today);
         let openness = if registered_adult {
             &cfg.lying_student_openness
         } else {
             &cfg.truthful_student_openness
         };
-        let (privacy, extras) = sample_account_calibrated(&mut rng, openness);
-        let mut profile = base_profile(&mut rng, &extras);
-        // The stale-profile trap: some transfers still list the target
-        // school with their (future) grad year and never update it.
-        if rng.gen_bool(0.18) {
+        let (privacy, extras) = sample_account_calibrated(rng, openness);
+        let mut profile = base_profile(rng, &extras);
+        if extras.lists_school {
             profile.education.push(EducationEntry::high_school(school, grad_year));
         }
-        let moved_away = rng.gen_bool(0.6);
-        if rng.gen_bool(0.35) {
-            // Updated profile: lists the new school (filter rule fodder).
-            profile.education.push(EducationEntry::high_school(other_school, grad_year));
-        }
         if extras.lists_city {
-            profile.current_city = Some(if moved_away { other_city } else { home_city });
+            profile.current_city = Some(home_city);
         }
-        let id = net.add_user(User {
+        if extras.lists_hometown {
+            profile.hometown = Some(home_city);
+        }
+        if rng.gen_bool(0.06) {
+            profile.networks.push(school);
+        }
+        let address = sample_address(rng);
+        let user = User {
             id: UserId(0),
             true_birth_date: true_birth,
             registration,
             profile,
             privacy,
-            role: Role::FormerStudent { school, grad_year },
-        });
-        former.push(id);
+            role: Role::CurrentStudent { school, grad_year },
+        };
+        Some((user, address, ci))
+    });
+    let mut students: Vec<UserId> = Vec::new();
+    let mut by_class: [Vec<UserId>; 4] = Default::default();
+    for (user, address, ci) in student_specs.into_iter().flatten() {
+        let id = net.add_user(user);
+        net.households_mut().add(address, home_city, vec![id]);
+        students.push(id);
+        by_class[ci].push(id);
     }
 
-    // ---- alumni cohorts ------------------------------------------------
-    let senior_year = classes[3];
-    let mut alumni: Vec<(UserId, i32)> = Vec::new();
-    for back in 1..=cfg.alumni_cohorts as i32 {
-        let grad_year = senior_year - back;
-        let cohort_n = (grade_size as f64 * cfg.alumni_visibility) as u32;
-        for _ in 0..cohort_n {
-            let true_birth = student_birth_date(&mut rng, grad_year);
-            // Alumni are adults; assume truthful (or by now irrelevant)
-            // registration.
-            let join = add_years(true_birth, 14 + rng.gen_range(0..4)).max(Date::ymd(2006, 9, 26)); // the OSN's public opening
-            let registration = Registration {
-                registered_birth_date: true_birth,
-                registration_date: join.min(cfg.today),
+    // ---- former students (churn) --------------------------------------
+    let former_specs =
+        sharded(seed, phase::FORMER, threads, cfg.former_students as usize, |rng, _| {
+            let ci = rng.gen_range(0..4usize);
+            let grad_year = classes[ci];
+            let true_birth = student_birth_date(rng, grad_year);
+            let registration = sample_registration(rng, &cfg.lying, true_birth, cfg.today);
+            let registered_adult = !registration.is_registered_minor(cfg.today);
+            let openness = if registered_adult {
+                &cfg.lying_student_openness
+            } else {
+                &cfg.truthful_student_openness
             };
-            let (privacy, extras) = sample_account_calibrated(&mut rng, &cfg.adult_openness);
-            let mut profile = base_profile(&mut rng, &extras);
-            profile.education.push(EducationEntry::high_school(school, grad_year));
-            if rng.gen_bool(0.5) {
-                profile.education.push(EducationEntry::college(college, Some(grad_year + 4)));
+            let (privacy, extras) = sample_account_calibrated(rng, openness);
+            let mut profile = base_profile(rng, &extras);
+            // The stale-profile trap: some transfers still list the target
+            // school with their (future) grad year and never update it.
+            if rng.gen_bool(0.18) {
+                profile.education.push(EducationEntry::high_school(school, grad_year));
             }
-            if back >= 4 && rng.gen_bool(0.15) {
-                profile.education.push(EducationEntry::graduate_school(grad_school));
+            let moved_away = rng.gen_bool(0.6);
+            if rng.gen_bool(0.35) {
+                // Updated profile: lists the new school (filter rule fodder).
+                profile.education.push(EducationEntry::high_school(other_school, grad_year));
             }
             if extras.lists_city {
-                let city = if rng.gen_bool(0.5) { home_city } else { third_city };
-                profile.current_city = Some(city);
+                profile.current_city = Some(if moved_away { other_city } else { home_city });
             }
-            let id = net.add_user(User {
+            let user = User {
                 id: UserId(0),
                 true_birth_date: true_birth,
                 registration,
                 profile,
                 privacy,
-                role: Role::Alumnus { school, grad_year },
-            });
-            alumni.push((id, grad_year));
+                role: Role::FormerStudent { school, grad_year },
+            };
+            (user, grad_year)
+        });
+    let mut former: Vec<(UserId, i32)> = Vec::new();
+    for (user, grad_year) in former_specs {
+        let id = net.add_user(user);
+        former.push((id, grad_year));
+    }
+
+    // ---- alumni cohorts ------------------------------------------------
+    let senior_year = classes[3];
+    let mut alumni_slots: Vec<(i32, i32)> = Vec::new(); // (grad_year, years back)
+    for back in 1..=cfg.alumni_cohorts as i32 {
+        let cohort_n = (grade_size as f64 * cfg.alumni_visibility) as u32;
+        for _ in 0..cohort_n {
+            alumni_slots.push((senior_year - back, back));
         }
+    }
+    let alumni_specs = sharded(seed, phase::ALUMNI, threads, alumni_slots.len(), |rng, i| {
+        let (grad_year, back) = alumni_slots[i];
+        let true_birth = student_birth_date(rng, grad_year);
+        // Alumni are adults; assume truthful (or by now irrelevant)
+        // registration.
+        let join = add_years(true_birth, 14 + rng.gen_range(0..4)).max(Date::ymd(2006, 9, 26)); // the OSN's public opening
+        let registration = Registration {
+            registered_birth_date: true_birth,
+            registration_date: join.min(cfg.today),
+        };
+        let (privacy, extras) = sample_account_calibrated(rng, &cfg.adult_openness);
+        let mut profile = base_profile(rng, &extras);
+        profile.education.push(EducationEntry::high_school(school, grad_year));
+        if rng.gen_bool(0.5) {
+            profile.education.push(EducationEntry::college(college, Some(grad_year + 4)));
+        }
+        if back >= 4 && rng.gen_bool(0.15) {
+            profile.education.push(EducationEntry::graduate_school(grad_school));
+        }
+        if extras.lists_city {
+            let city = if rng.gen_bool(0.5) { home_city } else { third_city };
+            profile.current_city = Some(city);
+        }
+        let user = User {
+            id: UserId(0),
+            true_birth_date: true_birth,
+            registration,
+            profile,
+            privacy,
+            role: Role::Alumnus { school, grad_year },
+        };
+        (user, grad_year)
+    });
+    let mut alumni: Vec<(UserId, i32)> = Vec::new();
+    for (user, grad_year) in alumni_specs {
+        let id = net.add_user(user);
+        alumni.push((id, grad_year));
     }
 
     // ---- parents ---------------------------------------------------------
-    let mut parent_edges: Vec<(UserId, UserId)> = Vec::new();
-    let mut parents: Vec<UserId> = Vec::new();
-    for &s in &students {
+    let parent_specs = sharded(seed, phase::PARENTS, threads, students.len(), |rng, i| {
+        let s = students[i];
         if !rng.gen_bool(cfg.parent_prob) {
-            continue;
+            return None;
         }
-        let child_last = net.user(s).profile.last_name.clone();
-        let gender = sample_gender(&mut rng);
-        let (privacy, extras) = sample_account_calibrated(&mut rng, &cfg.adult_openness);
-        let mut profile = base_profile(&mut rng, &extras);
+        let child = net.user(s);
+        let child_last = child.profile.last_name.clone();
+        let child_birth_year = child.true_birth_date.year();
+        let gender = sample_gender(rng);
+        let (privacy, extras) = sample_account_calibrated(rng, &cfg.adult_openness);
+        let mut profile = base_profile(rng, &extras);
         profile.last_name = child_last;
-        profile.first_name = sample_first_name(&mut rng, gender).to_string();
+        profile.first_name = sample_first_name(rng, gender).to_string();
         profile.gender = gender;
         profile.current_city = Some(home_city);
         let birth = Date::ymd(
-            net.user(s).true_birth_date.year() - rng.gen_range(24..38),
+            child_birth_year - rng.gen_range(24..38),
             rng.gen_range(1..=12),
             rng.gen_range(1..=28),
         );
-        let id = net.add_user(User {
+        let user = User {
             id: UserId(0),
             true_birth_date: birth,
             registration: Registration {
@@ -222,54 +357,66 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
             profile,
             privacy,
             role: Role::Parent { children: vec![s] },
-        });
+        };
+        Some((user, s))
+    });
+    let mut parent_edges: Vec<(UserId, UserId)> = Vec::new();
+    for (user, s) in parent_specs.into_iter().flatten() {
+        let id = net.add_user(user);
         if let Some(h) = net.households().of(s).map(|h| h.id) {
             net.households_mut().join(h, id);
         }
-        parents.push(id);
         parent_edges.push((id, s));
     }
 
     // ---- community pool ---------------------------------------------------
-    let mut pool: Vec<UserId> = Vec::with_capacity(cfg.community_pool_size as usize);
-    for _ in 0..cfg.community_pool_size {
-        let (privacy, extras) = sample_account_calibrated(&mut rng, &cfg.adult_openness);
-        let mut profile = base_profile(&mut rng, &extras);
-        let local = rng.gen_bool(0.55);
-        if extras.lists_city {
-            profile.current_city = Some(if local {
-                home_city
-            } else if rng.gen_bool(0.5) {
-                other_city
-            } else {
-                third_city
-            });
-        }
-        let birth = Date::ymd(
-            cfg.today.year() - rng.gen_range(14..55),
-            rng.gen_range(1..=12),
-            rng.gen_range(1..=28),
-        );
-        let id = net.add_user(User {
-            id: UserId(0),
-            true_birth_date: birth,
-            registration: Registration {
-                registered_birth_date: birth,
-                registration_date: Date::ymd(2007, 6, 1).add_days(rng.gen_range(0..1500)),
-            },
-            profile,
-            privacy,
-            role: if local { Role::OtherResident } else { Role::NonResident },
+    let pool_specs =
+        sharded(seed, phase::POOL, threads, cfg.community_pool_size as usize, |rng, _| {
+            let (privacy, extras) = sample_account_calibrated(rng, &cfg.adult_openness);
+            let mut profile = base_profile(rng, &extras);
+            let local = rng.gen_bool(0.55);
+            if extras.lists_city {
+                profile.current_city = Some(if local {
+                    home_city
+                } else if rng.gen_bool(0.5) {
+                    other_city
+                } else {
+                    third_city
+                });
+            }
+            let birth = Date::ymd(
+                cfg.today.year() - rng.gen_range(14..55),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28),
+            );
+            // Adults without a listed city still live somewhere: their
+            // household defaults to the target city.
+            let household = rng
+                .gen_bool(0.85)
+                .then(|| (sample_address(rng), profile.current_city.unwrap_or(home_city)));
+            let user = User {
+                id: UserId(0),
+                true_birth_date: birth,
+                registration: Registration {
+                    registered_birth_date: birth,
+                    registration_date: Date::ymd(2007, 6, 1).add_days(rng.gen_range(0..1500)),
+                },
+                profile,
+                privacy,
+                role: if local { Role::OtherResident } else { Role::NonResident },
+            };
+            (user, household)
         });
-        if rng.gen_bool(0.85) {
-            let city = profile_city_or(&net, id, home_city);
-            net.households_mut().add(sample_address(&mut rng), city, vec![id]);
+    let mut pool: Vec<UserId> = Vec::with_capacity(cfg.community_pool_size as usize);
+    for (user, household) in pool_specs {
+        let id = net.add_user(user);
+        if let Some((address, city)) = household {
+            net.households_mut().add(address, city, vec![id]);
         }
         pool.push(id);
     }
 
     // ---- friendships -------------------------------------------------------
-    let mut edges: Vec<(UserId, UserId)> = parent_edges;
 
     // Per-student sociability: real students range from social hubs to
     // near-loners, which is what makes the paper's coverage keep
@@ -278,66 +425,71 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
     // Openness correlates with sociability: the lying/open students who
     // become the attacker's core users are also the best-connected ones
     // (which is why 18 cores suffice to cover most of HS1 in the paper).
-    let sociability: std::collections::HashMap<UserId, f64> = students
-        .iter()
-        .map(|&s| {
-            let open = net.user(s).privacy.friend_list.visible_to_stranger();
-            let mu = if open { 0.45 } else { 0.0 };
-            let f = (normal(&mut rng, mu, 0.5)).exp().clamp(0.15, 3.0);
-            (s, f)
-        })
-        .collect();
+    let soc_values = sharded(seed, phase::SOCIABILITY, threads, students.len(), |rng, i| {
+        let open = net.user(students[i]).privacy.friend_list.visible_to_stranger();
+        let mu = if open { 0.45 } else { 0.0 };
+        (normal(rng, mu, 0.5)).exp().clamp(0.15, 3.0)
+    });
+    let sociability: HashMap<UserId, f64> = students.iter().copied().zip(soc_values).collect();
 
     // Student <-> student, Chung-Lu-style: edge probability scales with
     // both endpoints' sociability, with a base rate by grade distance.
+    // One work item per row: a student of the pair's first class,
+    // deciding coins against every partner in the second.
     let f = &cfg.friendship;
-    for ci in 0..4 {
-        for cj in ci..4 {
+    let mut bases = [[0.0f64; 4]; 4];
+    let mut ss_rows: Vec<(usize, usize, usize)> = Vec::new();
+    for (ci, row) in bases.iter_mut().enumerate() {
+        for (cj, slot) in row.iter_mut().enumerate().skip(ci) {
             let base = if ci == cj {
                 f.within_grade_p
             } else {
                 f.cross_grade_p / (1 << (cj - ci - 1)) as f64
             };
+            *slot = base;
             if base <= 0.0 {
                 continue;
             }
-            let (a, b) = (&by_class[ci], &by_class[cj]);
-            for (i, &u) in a.iter().enumerate() {
-                let fu = sociability[&u];
-                let j0 = if ci == cj { i + 1 } else { 0 };
-                for &v in &b[j0..] {
-                    let p = (base * fu * sociability[&v]).min(0.97);
-                    if rng.gen_bool(p) {
-                        edges.push((u, v));
-                    }
-                }
+            for i in 0..by_class[ci].len() {
+                ss_rows.push((ci, cj, i));
             }
         }
     }
+    let ss_edges = sharded(seed, phase::EDGES_CLASSMATES, threads, ss_rows.len(), |rng, r| {
+        let (ci, cj, i) = ss_rows[r];
+        let u = by_class[ci][i];
+        let fu = sociability[&u];
+        let base = bases[ci][cj];
+        let j0 = if ci == cj { i + 1 } else { 0 };
+        let mut out: Vec<(UserId, UserId)> = Vec::new();
+        for &v in &by_class[cj][j0..] {
+            let p = (base * fu * sociability[&v]).min(0.97);
+            if rng.gen_bool(p) {
+                out.push((u, v));
+            }
+        }
+        out
+    });
 
     // Student <-> community pool: the paper's Table 5 shows open
     // (public-friend-list) users have substantially more friends; the
     // sociability factor carries over to off-school friendships too.
-    for &s in &students {
+    let sp_edges = sharded(seed, phase::EDGES_COMMUNITY, threads, students.len(), |rng, i| {
+        let s = students[i];
         let open = net.user(s).privacy.friend_list.visible_to_stranger();
         let boost = if open { f.open_degree_boost } else { 1.0 };
         let mean = f.nonschool_friends_mean * boost * sociability[&s].sqrt();
-        let k = normal(&mut rng, mean, mean * 0.25).max(0.0) as usize;
-        for _ in 0..k {
-            let p = pool[rng.gen_range(0..pool.len())];
-            edges.push((s, p));
-        }
-    }
+        let k = normal(rng, mean, mean * 0.25).max(0.0) as usize;
+        (0..k).map(|_| (s, pool[rng.gen_range(0..pool.len())])).collect::<Vec<_>>()
+    });
 
     // Former students keep some in-school ties, mostly in their class.
-    for &fs in &former {
-        let grad_year = match net.user(fs).role {
-            Role::FormerStudent { grad_year, .. } => grad_year,
-            _ => unreachable!(),
-        };
+    let former_edges = sharded(seed, phase::EDGES_FORMER, threads, former.len(), |rng, i| {
+        let (fs, grad_year) = former[i];
         let ci = classes.iter().position(|&c| c == grad_year).unwrap_or(3);
-        let k = normal(&mut rng, f.former_to_student_mean, f.former_to_student_mean * 0.3).max(0.0)
-            as usize;
+        let k =
+            normal(rng, f.former_to_student_mean, f.former_to_student_mean * 0.3).max(0.0) as usize;
+        let mut out: Vec<(UserId, UserId)> = Vec::new();
         for _ in 0..k {
             let same_class = rng.gen_bool(0.8);
             let class =
@@ -345,16 +497,19 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
             if class.is_empty() {
                 continue;
             }
-            edges.push((fs, class[rng.gen_range(0..class.len())]));
+            out.push((fs, class[rng.gen_range(0..class.len())]));
         }
         // ...and some community friends.
-        for _ in 0..geometric_with_mean(&mut rng, f.nonschool_friends_mean * 0.5) as usize {
-            edges.push((fs, pool[rng.gen_range(0..pool.len())]));
+        for _ in 0..geometric_with_mean(rng, f.nonschool_friends_mean * 0.5) as usize {
+            out.push((fs, pool[rng.gen_range(0..pool.len())]));
         }
-    }
+        out
+    });
 
     // Alumni <-> current students, decaying with years-since-overlap.
-    for &(a, grad_year) in &alumni {
+    let alumni_edges = sharded(seed, phase::EDGES_ALUMNI, threads, alumni.len(), |rng, i| {
+        let (a, grad_year) = alumni[i];
+        let mut out: Vec<(UserId, UserId)> = Vec::new();
         for (ci, &class_year) in classes.iter().enumerate() {
             let overlap = (grad_year - class_year + 4).max(0) as f64 / 3.0;
             let mean = if overlap > 0.0 {
@@ -363,43 +518,54 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
                 // Small residual: siblings, neighbourhood.
                 f.alumni_to_student_mean * f.alumni_decay * 0.1
             };
-            let k = geometric_with_mean(&mut rng, mean) as usize;
+            let k = geometric_with_mean(rng, mean) as usize;
             let class = &by_class[ci];
             if class.is_empty() {
                 continue;
             }
             for _ in 0..k {
-                edges.push((a, class[rng.gen_range(0..class.len())]));
+                out.push((a, class[rng.gen_range(0..class.len())]));
             }
         }
         // Alumni also have plenty of non-school friends.
-        for _ in 0..geometric_with_mean(&mut rng, f.nonschool_friends_mean * 0.7) as usize {
-            edges.push((a, pool[rng.gen_range(0..pool.len())]));
+        for _ in 0..geometric_with_mean(rng, f.nonschool_friends_mean * 0.7) as usize {
+            out.push((a, pool[rng.gen_range(0..pool.len())]));
         }
-    }
+        out
+    });
 
+    // Commit order across edge groups is irrelevant: bulk insertion
+    // sorts and dedups every adjacency list it touches.
+    let mut edges = parent_edges;
+    edges.extend(ss_edges.into_iter().flatten());
+    edges.extend(sp_edges.into_iter().flatten());
+    edges.extend(former_edges.into_iter().flatten());
+    edges.extend(alumni_edges.into_iter().flatten());
     net.add_friendships_bulk(edges);
 
     // ---- interactions (wall posts between friends) -----------------------
     // Classmates interact far more than incidental contacts; the wall a
     // stranger can sometimes see is the attacker's window onto this.
+    let all_users: Vec<UserId> = net.user_ids().collect();
     {
-        let student_set: std::collections::HashSet<UserId> = students.iter().copied().collect();
-        let mut pairs: Vec<(UserId, UserId, u32)> = Vec::new();
-        for u in net.user_ids() {
+        let student_set: HashSet<UserId> = students.iter().copied().collect();
+        let pair_rows = sharded(seed, phase::INTERACTIONS, threads, all_users.len(), |rng, i| {
+            let u = all_users[i];
+            let mut out: Vec<(UserId, UserId, u32)> = Vec::new();
             for &v in net.friends(u) {
                 if v <= u {
                     continue; // one direction per pair
                 }
                 let both_students = student_set.contains(&u) && student_set.contains(&v);
                 let mean = if both_students { 5.0 } else { 0.5 };
-                let n = geometric_with_mean(&mut rng, mean);
+                let n = geometric_with_mean(rng, mean);
                 if n > 0 {
-                    pairs.push((u, v, n));
+                    out.push((u, v, n));
                 }
             }
-        }
-        net.interactions_mut().bulk_insert(pairs);
+            out
+        });
+        net.interactions_mut().bulk_insert(pair_rows.into_iter().flatten());
     }
 
     // ---- Google+-style circles (paper Appendix A) -----------------------
@@ -407,36 +573,40 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
     // of the reciprocal directions (not everyone circles back), and add
     // one-way follows from students to older users they know of.
     {
-        let mut circles = hsp_graph::Circles::with_capacity(net.user_count());
-        for u in net.user_ids() {
+        let keep_rows = sharded(seed, phase::CIRCLES_KEEP, threads, all_users.len(), |rng, i| {
+            let u = all_users[i];
+            let mut out: Vec<(UserId, UserId)> = Vec::new();
             for &v in net.friends(u) {
                 // Keep the u->v direction with high probability.
                 if rng.gen_bool(0.92) {
-                    circles.add(u, v);
+                    out.push((u, v));
                 }
             }
-        }
-        for &s in &students {
-            let follows = geometric_with_mean(&mut rng, 6.0) as usize;
-            for _ in 0..follows {
-                let target = if rng.gen_bool(0.5) && !alumni.is_empty() {
-                    alumni[rng.gen_range(0..alumni.len())].0
-                } else {
-                    pool[rng.gen_range(0..pool.len())]
-                };
-                circles.add(s, target);
-            }
+            out
+        });
+        let follow_rows =
+            sharded(seed, phase::CIRCLES_FOLLOW, threads, students.len(), |rng, i| {
+                let s = students[i];
+                let follows = geometric_with_mean(rng, 6.0) as usize;
+                let mut out: Vec<(UserId, UserId)> = Vec::with_capacity(follows);
+                for _ in 0..follows {
+                    let target = if rng.gen_bool(0.5) && !alumni.is_empty() {
+                        alumni[rng.gen_range(0..alumni.len())].0
+                    } else {
+                        pool[rng.gen_range(0..pool.len())]
+                    };
+                    out.push((s, target));
+                }
+                out
+            });
+        let mut circles = hsp_graph::Circles::with_capacity(net.user_count());
+        for (u, v) in keep_rows.into_iter().flatten().chain(follow_rows.into_iter().flatten()) {
+            circles.add(u, v);
         }
         *net.circles_mut() = circles;
     }
 
     Scenario { config: cfg.clone(), school, other_school, home_city, other_city, network: net }
-}
-
-/// The city a user lists, falling back to `default` (community adults
-/// without a listed city still live somewhere).
-fn profile_city_or(net: &Network, u: UserId, default: hsp_graph::CityId) -> hsp_graph::CityId {
-    net.user(u).profile.current_city.unwrap_or(default)
 }
 
 /// Birth date for the class of `grad_year`: US cutoff, born between
@@ -483,6 +653,16 @@ mod tests {
         let ua = a.network.user(UserId(0));
         let ub = b.network.user(UserId(0));
         assert_eq!(ua.profile.full_name(), ub.profile.full_name());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_network() {
+        let cfg = ScenarioConfig::tiny();
+        let one = generate_sharded(&cfg, 1);
+        let many = generate_sharded(&cfg, 8);
+        assert_eq!(one.network.fingerprint(), many.network.fingerprint());
+        // And `generate` (auto thread count) lands on the same world.
+        assert_eq!(generate(&cfg).network.fingerprint(), one.network.fingerprint());
     }
 
     #[test]

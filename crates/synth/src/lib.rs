@@ -26,5 +26,5 @@ pub mod privacy_assign;
 pub mod scenario;
 
 pub use config::{FriendshipModel, LyingModel, OpennessProfile, ScenarioConfig};
-pub use generator::generate;
+pub use generator::{generate, generate_sharded};
 pub use scenario::{Scenario, ScenarioSummary};

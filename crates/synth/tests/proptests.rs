@@ -3,7 +3,7 @@
 //! configurations.
 
 use hsp_graph::Role;
-use hsp_synth::{generate, ScenarioConfig};
+use hsp_synth::{generate, generate_sharded, ScenarioConfig};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
@@ -79,6 +79,17 @@ proptest! {
         if cfg.lying.p_lie_when_underage == 0.0 {
             prop_assert_eq!(s.lying_minor_students().len(), 0);
         }
+    }
+
+    /// Sharded generation is thread-count invariant: building the world
+    /// on one thread or many yields byte-identical networks, for any
+    /// config. (Each fixed-size chunk owns an independent RNG stream
+    /// keyed by chunk index, so the schedule can't leak into the draws.)
+    #[test]
+    fn sharding_is_thread_invariant((cfg, threads) in (arb_config(), 2usize..9)) {
+        let one = generate_sharded(&cfg, 1);
+        let many = generate_sharded(&cfg, threads);
+        prop_assert_eq!(one.network.fingerprint(), many.network.fingerprint());
     }
 
     /// Same config ⇒ bit-identical world (the determinism contract the

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Parallel-pipeline benchmark: the full attack at 1/2/4/8 crawl workers
+# (throughput against the modeled virtual makespan) and the sharded
+# population build at 1/2/4/8 threads, appending rows to
+# BENCH_crawl.json at the workspace root. Pass --smoke for the cheap
+# tiny-world variant CI runs.
+#
+# Offline-safe: all dependencies resolve to the vendored path stubs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> parallel determinism gate (workers=1 vs 8, chaotic platform)"
+cargo test --release -q --test parallel_equivalence
+
+echo "==> crawl/synth scaling -> BENCH_crawl.json"
+cargo run --release --example crawl_bench -- "$@"
+
+echo "Crawl bench complete."

@@ -19,4 +19,7 @@ cargo test --workspace -q
 echo "==> chaos integration test (HS1 attack under FaultPlan::chaos)"
 cargo test -q --test chaos_attack
 
+echo "==> crawl bench, smoke mode (parallel determinism + scaling)"
+cargo run --release --example crawl_bench -- --smoke
+
 echo "All checks passed."

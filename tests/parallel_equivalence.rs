@@ -1,0 +1,97 @@
+//! Acceptance tests for the parallel crawl scheduler's determinism
+//! contract: worker count is a pure throughput knob. One worker and
+//! eight workers — same accounts, same seed, same chaotic fault plan —
+//! must produce bit-identical findings, request-for-request identical
+//! effort, identical evaluation output, and identical checkpoints.
+//!
+//! Plus the effort-accounting audit: on a fault-free platform, the
+//! `Effort` buckets aggregated across all account workers must exactly
+//! match both the crawler's own fetch telemetry and the *platform-side*
+//! served-request counters — nothing double-counted, nothing lost in
+//! the fan-out/merge.
+
+use hs_profiler::core::{evaluate, EvalPoint};
+use hs_profiler::experiments::runner::{full_attack_with, AttackRun, Lab};
+use hs_profiler::platform::FaultPlan;
+use hs_profiler::synth::ScenarioConfig;
+
+const SEED: u64 = 0x9d5f_2013;
+
+fn parallel_attack(workers: usize) -> (Lab, AttackRun) {
+    let lab = Lab::facebook_chaotic(&ScenarioConfig::tiny(), FaultPlan::chaos());
+    let access = Box::new(lab.parallel_crawler(2, workers, "atk", SEED));
+    let run = full_attack_with(&lab, access);
+    (lab, run)
+}
+
+fn table4(lab: &Lab, run: &AttackRun) -> EvalPoint {
+    let truth = lab.ground_truth();
+    let t = run.config.school_size_estimate as usize;
+    evaluate(
+        t,
+        &run.enhanced.guessed_students(t),
+        |u| run.enhanced.inferred_year(u, &run.config),
+        &truth,
+    )
+}
+
+#[test]
+fn worker_count_never_changes_the_attack() {
+    let (lab1, one) = parallel_attack(1);
+    let (lab8, eight) = parallel_attack(8);
+    let t = one.config.school_size_estimate as usize;
+
+    // Findings are bit-identical.
+    assert_eq!(one.discovery.seeds, eight.discovery.seeds);
+    assert_eq!(one.discovery.claiming, eight.discovery.claiming);
+    let core1: Vec<_> = one.discovery.core.iter().map(|c| (c.id, c.grad_year)).collect();
+    let core8: Vec<_> = eight.discovery.core.iter().map(|c| (c.id, c.grad_year)).collect();
+    assert_eq!(core1, core8);
+    assert_eq!(one.enhanced.guessed_students(t), eight.enhanced.guessed_students(t));
+
+    // Cost is request-for-request identical, not merely similar.
+    assert_eq!(one.effort_total, eight.effort_total);
+
+    // Evaluation output (the numbers the tables are built from).
+    assert_eq!(table4(&lab1, &one), table4(&lab8, &eight));
+
+    // Checkpoints replay identically: a crawl interrupted on an
+    // 8-worker box resumes exactly on a 1-worker box.
+    assert_eq!(one.access.checkpoint().to_json(), eight.access.checkpoint().to_json());
+
+    // The modeled makespan is the one thing workers MAY change — and
+    // only downward: more lanes never cost virtual time.
+    assert!(eight.access.virtual_elapsed_ms() <= one.access.virtual_elapsed_ms());
+
+    // And the chaos actually happened — this was not a fault-free walk.
+    assert!(one.effort_total.retry_requests > 0, "chaos should force retries");
+}
+
+#[test]
+fn parallel_effort_matches_platform_served_requests() {
+    let lab = Lab::facebook(&ScenarioConfig::tiny());
+    let access = Box::new(lab.parallel_crawler(2, 4, "atk", SEED));
+    let run = full_attack_with(&lab, access);
+    let snap = lab.obs.snapshot();
+    let effort = run.effort_total;
+    let fetch = |e: &str| snap.counter(&format!("crawler_fetch_total{{endpoint=\"{e}\"}}"));
+    let route = |r: &str| snap.counter(&format!("http_route_requests_total{{route=\"{r}\"}}"));
+
+    // Crawler-side telemetry agrees with the Effort buckets summed
+    // across every account worker.
+    assert_eq!(effort.auth_requests, fetch("auth"));
+    assert_eq!(effort.seed_requests, fetch("find-friends"));
+    assert_eq!(effort.profile_requests, fetch("profile"));
+    assert_eq!(effort.friend_list_requests, fetch("friends") + fetch("circles"));
+    assert_eq!(effort.message_requests, fetch("message"));
+
+    // Fault-free run: no retries, so every fetch the crawler billed is
+    // a request the platform served, and vice versa.
+    assert_eq!(effort.retry_requests, 0);
+    assert_eq!(effort.auth_requests, route("/signup") + route("/login"));
+    assert_eq!(effort.seed_requests, route("/find-friends") + route("/graph-search"));
+    assert_eq!(effort.profile_requests, route("/profile/:uid"));
+    assert_eq!(effort.friend_list_requests, route("/friends/:uid") + route("/circles/:uid"));
+    assert_eq!(effort.message_requests, route("/message/:uid"));
+    assert!(effort.total() > 0, "the attack did real work");
+}
