@@ -17,7 +17,7 @@ use crate::effort::Effort;
 use crate::scrape::{parse_listing, parse_profile, ScrapedProfile};
 use crate::snapshot::CrawlSnapshot;
 use hsp_graph::{SchoolId, UserId};
-use hsp_http::resilient::{RetryStats, H_ACCOUNT_SUSPENDED};
+use hsp_http::resilient::{is_shed, retryable_transport_error, RetryStats, H_ACCOUNT_SUSPENDED};
 use hsp_http::{Exchange, HttpError, Request, Response, Status};
 use hsp_obs::{Counter, Registry, VirtualClock};
 use std::collections::{BTreeSet, HashMap};
@@ -123,15 +123,29 @@ impl From<HttpError> for CrawlError {
 /// functions" (§3.2). We advance a virtual clock instead of really
 /// sleeping, so experiments report the wall-clock a polite crawl would
 /// take without paying it.
+///
+/// The spacing is *adaptive*, modeling the paper's stay-under-the-radar
+/// pacing: when the platform pushes back — a shed 503 from the hardened
+/// edge, or an edge-rate-limit 429 — the crawler doubles its spacing
+/// (up to `max_widen_factor`×); after `narrow_after_successes` clean
+/// fetches in a row it halves its way back toward the base rate.
 #[derive(Clone, Copy, Debug)]
 pub struct Politeness {
-    /// Virtual milliseconds between consecutive requests per account.
+    /// Base virtual milliseconds between consecutive requests per account.
     pub sleep_ms_between_requests: u64,
+    /// Cap on the adaptive widening multiplier (1 disables adaptation).
+    pub max_widen_factor: u64,
+    /// Clean fetches in a row before the spacing narrows one step.
+    pub narrow_after_successes: u32,
 }
 
 impl Default for Politeness {
     fn default() -> Self {
-        Politeness { sleep_ms_between_requests: 1_500 }
+        Politeness {
+            sleep_ms_between_requests: 1_500,
+            max_widen_factor: 8,
+            narrow_after_successes: 16,
+        }
     }
 }
 
@@ -226,6 +240,8 @@ pub(crate) struct CrawlerMetrics {
     pub(crate) cache_circles_hits: Arc<Counter>,
     pub(crate) cache_circles_misses: Arc<Counter>,
     pub(crate) politeness_virtual_ms: Arc<Counter>,
+    pub(crate) politeness_widened: Arc<Counter>,
+    pub(crate) auth_retries: Arc<Counter>,
     pub(crate) breaker_open: HashMap<&'static str, Arc<Counter>>,
     pub(crate) breaker_closed: HashMap<&'static str, Arc<Counter>>,
     pub(crate) account_suspensions: Arc<Counter>,
@@ -252,6 +268,8 @@ impl CrawlerMetrics {
             cache_circles_hits: cache("circles", "hit"),
             cache_circles_misses: cache("circles", "miss"),
             politeness_virtual_ms: reg.counter("crawler_politeness_virtual_ms"),
+            politeness_widened: reg.counter("crawler_politeness_widened_total"),
+            auth_retries: reg.counter("crawler_auth_retries_total"),
             breaker_open: ENDPOINTS.iter().map(|&e| (e, breaker(e, "open"))).collect(),
             breaker_closed: ENDPOINTS.iter().map(|&e| (e, breaker(e, "closed"))).collect(),
             account_suspensions: reg.counter("crawler_account_suspensions_total"),
@@ -360,6 +378,17 @@ pub struct Crawler<E: Exchange> {
     /// Transport-retry counters shared with the `ResilientExchange`s.
     retry_stats: Option<Arc<RetryStats>>,
     retries_synced: u64,
+    /// Shed 503s already folded into the adaptive pacing.
+    sheds_synced: u64,
+    /// Current politeness multiplier (adaptive, ≥ 1).
+    widen_factor: u64,
+    /// Clean fetches since the last widening/narrowing step.
+    calm_streak: u32,
+    /// Intentional application-level auth-POST retries issued (signup/
+    /// login resent after a transport failure — safe because both are
+    /// application-idempotent). The soak reconciles this against the
+    /// chaos layer's POST-redelivery watchdog.
+    auth_retries: u64,
     factory: Option<Box<dyn FnMut() -> E>>,
     recruited: usize,
     max_accounts: usize,
@@ -417,6 +446,10 @@ impl<E: Exchange> Crawler<E> {
             obs: builder.obs,
             retry_stats: builder.retry_stats,
             retries_synced: 0,
+            sheds_synced: 0,
+            widen_factor: 1,
+            calm_streak: 0,
+            auth_retries: 0,
             factory: builder.factory,
             recruited: 0,
             max_accounts: builder.max_accounts,
@@ -437,19 +470,20 @@ impl<E: Exchange> Crawler<E> {
     /// account, adding it to the rotation.
     fn enroll(&mut self, mut exchange: E, username: String) -> Result<(), CrawlError> {
         let password = "hunter2";
-        let resp = exchange
-            .exchange(Request::post_form("/signup", &[("user", &username), ("pass", password)]))?;
-        self.count_request(EP_AUTH);
-        self.sync_retries();
+        let signup = Request::post_form("/signup", &[("user", &username), ("pass", password)]);
+        let (resp, retries) = auth_post(&mut exchange, &signup)?;
+        self.count_auth_attempts(1 + retries);
         // An already-registered fake account is fine — reuse it by
         // logging in (the paper's attacker kept accounts across crawls).
+        // This also covers a signup whose response was lost to transport
+        // chaos after the server processed it: the retry sees 400
+        // "already registered" and proceeds to log in.
         if !resp.status.is_success() && resp.status != Status::BAD_REQUEST {
             return Err(CrawlError::Denied(resp.status));
         }
-        let resp = exchange
-            .exchange(Request::post_form("/login", &[("user", &username), ("pass", password)]))?;
-        self.count_request(EP_AUTH);
-        self.sync_retries();
+        let login = Request::post_form("/login", &[("user", &username), ("pass", password)]);
+        let (resp, retries) = auth_post(&mut exchange, &login)?;
+        self.count_auth_attempts(1 + retries);
         if !resp.status.is_success() {
             return Err(CrawlError::Denied(resp.status));
         }
@@ -568,14 +602,79 @@ impl<E: Exchange> Crawler<E> {
         }
     }
 
+    /// Count `attempts` issued auth requests (first try + app-level
+    /// retries), fold transport retries, and record the intentional
+    /// auth retries for the soak's POST-redelivery reconciliation.
+    fn count_auth_attempts(&mut self, attempts: u64) {
+        for _ in 0..attempts {
+            self.count_request(EP_AUTH);
+        }
+        self.sync_retries();
+        let retries = attempts.saturating_sub(1);
+        if retries > 0 {
+            self.auth_retries += retries;
+            if let Some(m) = &self.obs {
+                m.auth_retries.add(retries);
+            }
+        }
+    }
+
+    /// Intentional application-level auth-POST retries issued so far.
+    pub fn auth_retries(&self) -> u64 {
+        self.auth_retries
+    }
+
     fn advance_politeness(&mut self) {
-        let ms = self.politeness.sleep_ms_between_requests;
+        let ms = self.politeness.sleep_ms_between_requests * self.widen_factor;
         self.virtual_elapsed_ms += ms;
         if let Some(clock) = &self.clock {
             clock.advance_ms(ms);
         }
         if let Some(m) = &self.obs {
             m.politeness_virtual_ms.add(ms);
+        }
+    }
+
+    /// Current adaptive politeness multiplier (≥ 1).
+    pub fn politeness_widen_factor(&self) -> u64 {
+        self.widen_factor
+    }
+
+    /// The platform pushed back (shed 503 / edge 429): double the
+    /// spacing, capped, the way the paper's crawlers slowed down to
+    /// stay under the radar.
+    fn widen_pacing(&mut self) {
+        self.calm_streak = 0;
+        let cap = self.politeness.max_widen_factor.max(1);
+        if self.widen_factor < cap {
+            self.widen_factor = (self.widen_factor * 2).min(cap);
+            if let Some(m) = &self.obs {
+                m.politeness_widened.inc();
+            }
+        }
+    }
+
+    /// A clean fetch: after enough calm in a row, narrow one step back
+    /// toward the base rate.
+    fn note_fetch_success(&mut self) {
+        if self.widen_factor <= 1 {
+            return;
+        }
+        self.calm_streak += 1;
+        if self.calm_streak >= self.politeness.narrow_after_successes {
+            self.calm_streak = 0;
+            self.widen_factor /= 2;
+        }
+    }
+
+    /// Fold shed 503s the transport retry layer absorbed (visible only
+    /// through the shared [`RetryStats`]) into the adaptive pacing.
+    fn observe_shed_pressure(&mut self) {
+        let Some(stats) = &self.retry_stats else { return };
+        let now = stats.sheds();
+        if now > self.sheds_synced {
+            self.sheds_synced = now;
+            self.widen_pacing();
         }
     }
 
@@ -670,11 +769,9 @@ impl<E: Exchange> Crawler<E> {
     fn relogin(&mut self, account: usize) -> Result<(), CrawlError> {
         let (username, password) =
             (self.accounts[account].username.clone(), self.accounts[account].password.clone());
-        let resp = self.accounts[account]
-            .exchange
-            .exchange(Request::post_form("/login", &[("user", &username), ("pass", &password)]))?;
-        self.count_request(EP_AUTH);
-        self.sync_retries();
+        let login = Request::post_form("/login", &[("user", &username), ("pass", &password)]);
+        let (resp, retries) = auth_post(&mut self.accounts[account].exchange, &login)?;
+        self.count_auth_attempts(1 + retries);
         if !resp.status.is_success() {
             return Err(CrawlError::Denied(resp.status));
         }
@@ -713,9 +810,17 @@ impl<E: Exchange> Crawler<E> {
             let result = self.accounts[account].exchange.exchange(Request::get(path));
             self.count_request(endpoint);
             self.sync_retries();
+            self.observe_shed_pressure();
             let resp = match result {
                 Ok(resp) => resp,
                 Err(HttpError::DeadlineExceeded) => {
+                    self.breaker_failure(endpoint);
+                    continue;
+                }
+                // A transport failure that outlived the retry layer's
+                // budget (sustained chaos): breaker accounting, then
+                // try again rather than sinking the crawl.
+                Err(e) if retryable_transport_error(&e) => {
                     self.breaker_failure(endpoint);
                     continue;
                 }
@@ -731,6 +836,7 @@ impl<E: Exchange> Crawler<E> {
                     continue;
                 }
                 self.breaker_success(endpoint);
+                self.note_fetch_success();
                 return Ok(resp);
             }
             match resp.status {
@@ -762,6 +868,12 @@ impl<E: Exchange> Crawler<E> {
                 // then try again (possibly from another account).
                 s => {
                     last_denied = s;
+                    // Server-side pushback (edge shed or rate limit, as
+                    // opposed to an injected fault 5xx): adaptively
+                    // widen the politeness spacing.
+                    if is_shed(&resp) || s == Status::TOO_MANY_REQUESTS {
+                        self.widen_pacing();
+                    }
                     self.breaker_failure(endpoint);
                 }
             }
@@ -790,6 +902,30 @@ impl<E: Exchange> Crawler<E> {
             }
         }
         Ok(out)
+    }
+}
+
+/// Attempts per auth POST (signup/login) before a transport failure is
+/// surfaced. These POSTs are *application-idempotent* — a double signup
+/// answers 400 "already registered" (tolerated), a double login mints a
+/// fresh session — so resending after a transport error is safe, unlike
+/// the blind transport-layer POST replay the retry layers forbid.
+const AUTH_POST_ATTEMPTS: u32 = 4;
+
+/// POST an auth form, retrying boundedly on retryable transport errors.
+/// Returns the response and how many *retries* (attempts − 1) it took.
+fn auth_post<E: Exchange>(exchange: &mut E, req: &Request) -> Result<(Response, u64), CrawlError> {
+    let mut retries = 0u64;
+    loop {
+        match exchange.exchange(req.clone()) {
+            Ok(resp) => return Ok((resp, retries)),
+            Err(e)
+                if retries + 1 < u64::from(AUTH_POST_ATTEMPTS) && retryable_transport_error(&e) =>
+            {
+                retries += 1;
+            }
+            Err(e) => return Err(e.into()),
+        }
     }
 }
 
@@ -1067,6 +1203,48 @@ mod tests {
         // Both sides of the experiment share one registry: the platform's
         // route counters moved too.
         assert!(snap.counter("http_route_requests_total{route=\"/profile/:uid\"}") >= 1);
+    }
+
+    #[test]
+    fn shed_pressure_widens_pacing_and_calm_narrows_it() {
+        let (mut crawler, _s) = tiny_crawler(1);
+        assert_eq!(crawler.politeness_widen_factor(), 1);
+        let base = Politeness::default().sleep_ms_between_requests;
+
+        // Pushback doubles the spacing up to the configured cap.
+        crawler.widen_pacing();
+        assert_eq!(crawler.politeness_widen_factor(), 2);
+        let before = crawler.virtual_elapsed_ms();
+        crawler.advance_politeness();
+        assert_eq!(crawler.virtual_elapsed_ms() - before, 2 * base);
+        for _ in 0..10 {
+            crawler.widen_pacing();
+        }
+        assert_eq!(
+            crawler.politeness_widen_factor(),
+            Politeness::default().max_widen_factor,
+            "widening saturates at the cap"
+        );
+
+        // A calm streak narrows one step at a time; pressure resets it.
+        for _ in 0..Politeness::default().narrow_after_successes - 1 {
+            crawler.note_fetch_success();
+        }
+        crawler.widen_pacing(); // resets the streak at the cap
+        for _ in 0..Politeness::default().narrow_after_successes {
+            crawler.note_fetch_success();
+        }
+        assert_eq!(crawler.politeness_widen_factor(), Politeness::default().max_widen_factor / 2);
+
+        // Sheds absorbed inside the retry layer also widen (via the
+        // shared RetryStats bridge).
+        let stats = Arc::new(hsp_http::RetryStats::default());
+        crawler.retry_stats = Some(Arc::clone(&stats));
+        crawler.observe_shed_pressure();
+        assert_eq!(crawler.politeness_widen_factor(), Politeness::default().max_widen_factor / 2);
+        stats.sheds.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        crawler.observe_shed_pressure();
+        assert_eq!(crawler.politeness_widen_factor(), Politeness::default().max_widen_factor);
     }
 
     #[test]

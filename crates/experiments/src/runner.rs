@@ -11,8 +11,8 @@ use hsp_core::{
 };
 use hsp_crawler::{AccountSeat, Crawler, OsnAccess, ParallelCrawler, Politeness};
 use hsp_http::{
-    Client, DirectExchange, Handler, ResilientExchange, RetryPolicy, RetryStats, Server,
-    ServerConfig,
+    ChaosPlan, ChaosStats, ChaosTransport, Client, DirectExchange, Handler, ResilientExchange,
+    RetryPolicy, RetryStats, Server, ServerConfig,
 };
 use hsp_obs::{Registry, SpanGuard, VirtualClock};
 use hsp_platform::{FaultPlan, Platform, PlatformConfig};
@@ -120,6 +120,40 @@ impl Lab {
         Ok(addr)
     }
 
+    /// Like [`Lab::serve`] but with a caller-supplied (typically
+    /// overload-hardened) [`ServerConfig`]; the lab still wires its own
+    /// registry and thread-name prefix in.
+    pub fn serve_hardened(
+        &mut self,
+        config: ServerConfig,
+    ) -> std::io::Result<std::net::SocketAddr> {
+        let _span = phase_span(&self.obs, "serve");
+        let config = ServerConfig {
+            metrics: Some(Arc::clone(&self.obs)),
+            thread_name_prefix: "hsp-lab".to_string(),
+            ..config
+        };
+        let server = Server::start_with(self.handler.clone(), config)?;
+        let addr = server.addr();
+        self.server = Some(server);
+        Ok(addr)
+    }
+
+    /// The running loopback server, if [`Lab::serve`] (or
+    /// [`Lab::serve_hardened`]) was called — e.g. to begin a graceful
+    /// drain from a soak harness.
+    pub fn server(&self) -> Option<&Server> {
+        self.server.as_ref()
+    }
+
+    /// Stop serving: take the server out of the lab and shut it down
+    /// gracefully, returning once every worker has been joined.
+    pub fn stop_serving(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+
     /// An in-process crawler with `accounts` fake accounts.
     pub fn crawler(&self, accounts: usize, label: &str) -> Box<dyn OsnAccess> {
         let exchanges: Vec<DirectExchange> =
@@ -170,6 +204,98 @@ impl Lab {
                 .build(exchanges)
                 .expect("resilient crawler setup"),
         )
+    }
+
+    /// [`Lab::resilient_crawler`] with a deterministic [`ChaosTransport`]
+    /// spliced *beneath* the retry layer: every account's wire is
+    /// independently hostile (seeded per account from `seed`), all
+    /// injections fold into one shared [`ChaosStats`] audit block, and
+    /// the shared [`RetryStats`] is returned alongside so a soak can
+    /// reconcile what the transport destroyed against what the retry
+    /// layer absorbed.
+    #[allow(clippy::type_complexity)]
+    pub fn resilient_chaos_crawler(
+        &self,
+        accounts: usize,
+        label: &str,
+        seed: u64,
+        plan: &ChaosPlan,
+    ) -> (
+        Crawler<ResilientExchange<ChaosTransport<DirectExchange>>>,
+        Arc<ChaosStats>,
+        Arc<RetryStats>,
+    ) {
+        let handler = self.handler.clone();
+        self.chaos_crawler_with(accounts, label, seed, plan, move || {
+            DirectExchange::new(handler.clone())
+        })
+    }
+
+    /// [`Lab::resilient_chaos_crawler`] over real loopback TCP
+    /// (requires [`Lab::serve`] / [`Lab::serve_hardened`]): chaos on the
+    /// wire *and* a real overloadable server underneath.
+    #[allow(clippy::type_complexity)]
+    pub fn tcp_chaos_crawler(
+        &self,
+        accounts: usize,
+        label: &str,
+        seed: u64,
+        plan: &ChaosPlan,
+    ) -> (Crawler<ResilientExchange<ChaosTransport<Client>>>, Arc<ChaosStats>, Arc<RetryStats>)
+    {
+        let addr = self.server.as_ref().expect("call serve() before tcp_chaos_crawler()").addr();
+        self.chaos_crawler_with(accounts, label, seed, plan, move || Client::new(addr))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn chaos_crawler_with<T: hsp_http::Exchange + 'static>(
+        &self,
+        accounts: usize,
+        label: &str,
+        seed: u64,
+        plan: &ChaosPlan,
+        transport: impl Fn() -> T + 'static,
+    ) -> (Crawler<ResilientExchange<ChaosTransport<T>>>, Arc<ChaosStats>, Arc<RetryStats>) {
+        let clock = Arc::clone(&self.platform.clock);
+        let chaos_stats = Arc::new(ChaosStats::default());
+        let retry_stats = Arc::new(RetryStats::default());
+        let wrap = {
+            let plan = plan.clone();
+            let clock = Arc::clone(&clock);
+            let chaos_stats = Arc::clone(&chaos_stats);
+            let retry_stats = Arc::clone(&retry_stats);
+            move |i: u64| {
+                let chaotic = ChaosTransport::with_stats(
+                    transport(),
+                    plan.with_seed(plan.seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                    Arc::clone(&clock),
+                    Arc::clone(&chaos_stats),
+                );
+                ResilientExchange::with_stats(
+                    chaotic,
+                    RetryPolicy::seeded(seed ^ i),
+                    Arc::clone(&clock),
+                    Arc::clone(&retry_stats),
+                )
+            }
+        };
+        let exchanges: Vec<_> = (0..accounts as u64).map(&wrap).collect();
+        let mut next = accounts as u64;
+        let factory = {
+            let wrap = wrap;
+            move || {
+                next += 1;
+                wrap(next)
+            }
+        };
+        let crawler = Crawler::builder(label)
+            .observability(&self.obs)
+            .clock(clock)
+            .retry_stats(Arc::clone(&retry_stats))
+            .recruit_with(factory, 8)
+            .build(exchanges)
+            .expect("chaos crawler setup");
+        (crawler, chaos_stats, retry_stats)
     }
 
     /// The parallel attack crawler: the same resilient per-account

@@ -40,9 +40,24 @@ pub struct Client {
     read_timeout: Duration,
 }
 
+/// Default socket read timeout for [`Client`] connections.
+pub const DEFAULT_CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
 impl Client {
     pub fn new(addr: SocketAddr) -> Client {
-        Client { addr, conn: None, jar: CookieJar::new(), read_timeout: Duration::from_secs(10) }
+        Client::with_read_timeout(addr, DEFAULT_CLIENT_READ_TIMEOUT)
+    }
+
+    /// Like [`Client::new`] with an explicit socket read timeout (how
+    /// long one `read(2)` may block before the exchange errors out).
+    pub fn with_read_timeout(addr: SocketAddr, read_timeout: Duration) -> Client {
+        Client { addr, conn: None, jar: CookieJar::new(), read_timeout }
+    }
+
+    /// Change the read timeout; applies from the next (re)connect.
+    pub fn set_read_timeout(&mut self, read_timeout: Duration) {
+        self.read_timeout = read_timeout;
+        self.conn = None;
     }
 
     /// The cookie jar (e.g. to inspect the session cookie in tests).

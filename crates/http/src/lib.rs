@@ -18,6 +18,7 @@
 //! loopback crawler connections, far below where an async runtime pays
 //! for itself.
 
+pub mod chaos;
 pub mod client;
 pub mod cookie;
 pub mod error;
@@ -29,14 +30,16 @@ pub mod types;
 pub mod uri;
 pub mod wire;
 
-pub use client::{Client, DirectExchange, Exchange};
+pub use chaos::{ChaosPlan, ChaosStats, ChaosStream, ChaosTransport};
+pub use client::{Client, DirectExchange, Exchange, DEFAULT_CLIENT_READ_TIMEOUT};
 pub use cookie::{request_cookie, CookieJar};
 pub use error::{HttpError, Result};
 pub use message::{Request, Response};
 pub use resilient::{
-    classify, retryable_transport_error, ErrorClass, ResilientExchange, RetryPolicy, RetryStats,
+    classify, is_edge_limited, is_shed, retryable_transport_error, ErrorClass, ResilientExchange,
+    RetryPolicy, RetryStats,
 };
 pub use router::{Handler, PathParams, Router};
-pub use server::{AccessLogFn, AccessRecord, Server, ServerConfig};
+pub use server::{AccessLogFn, AccessRecord, RateLimit, Server, ServerConfig};
 pub use types::{Headers, Method, Status};
 pub use uri::{build_query, parse_query, percent_decode, percent_encode, url, Target};

@@ -58,6 +58,35 @@ pub enum ErrorClass {
     Fatal,
 }
 
+/// Whether a response is a server-side *load shed*: the hardened edge
+/// turning work away with `503` + `Retry-After` (queue saturated, too
+/// many connections, draining). Distinct from a fault-injected 5xx,
+/// which carries no `Retry-After`: a shed is the server asking for
+/// wider spacing, and the crawler's adaptive politeness obliges.
+pub fn is_shed(resp: &Response) -> bool {
+    resp.status.code() == 503 && resp.headers.contains(H_RETRY_AFTER)
+}
+
+/// Marks a 429 as coming from the server's *edge* token-bucket limiter
+/// (the request never reached a handler), as opposed to an
+/// application-level 429 served by the platform. Audit harnesses use
+/// this to reconcile the platform's route counters with what clients
+/// actually sent.
+pub const H_EDGE_LIMITED: &str = "x-edge-limited";
+
+/// Whether a 429 was produced by the server's edge rate limiter rather
+/// than by application code. See [`H_EDGE_LIMITED`].
+pub fn is_edge_limited(resp: &Response) -> bool {
+    resp.status.code() == 429 && resp.headers.contains(H_EDGE_LIMITED)
+}
+
+fn retry_after_ms(resp: &Response) -> Option<u64> {
+    resp.headers
+        .get(H_RETRY_AFTER)
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(|secs| secs * 1_000)
+}
+
 /// Classify a response for retry purposes.
 pub fn classify(resp: &Response) -> ErrorClass {
     if resp.headers.get(H_SIMULATED_FAULT) == Some("reset") {
@@ -66,14 +95,9 @@ pub fn classify(resp: &Response) -> ErrorClass {
     }
     match resp.status.code() {
         429 if resp.headers.contains(H_ACCOUNT_SUSPENDED) => ErrorClass::Fatal,
-        429 => {
-            let retry_after_ms = resp
-                .headers
-                .get(H_RETRY_AFTER)
-                .and_then(|v| v.trim().parse::<u64>().ok())
-                .map(|secs| secs * 1_000);
-            ErrorClass::Retryable { retry_after_ms }
-        }
+        429 => ErrorClass::Retryable { retry_after_ms: retry_after_ms(resp) },
+        // A shed 503 names its own floor; a fault 5xx does not.
+        503 if is_shed(resp) => ErrorClass::Retryable { retry_after_ms: retry_after_ms(resp) },
         500 | 503 => ErrorClass::Retryable { retry_after_ms: None },
         401 if resp.headers.contains(H_SESSION_EXPIRED) => ErrorClass::Fatal,
         _ => ErrorClass::Terminal,
@@ -130,8 +154,11 @@ pub struct RetryStats {
     pub retries: AtomicU64,
     /// 429 responses seen (excluding suspensions).
     pub rate_limited: AtomicU64,
-    /// 500/503 responses seen.
+    /// Fault 500/503 responses seen (excluding sheds).
     pub server_errors: AtomicU64,
+    /// Load-shed 503s seen (`Retry-After` present): the server's edge
+    /// turning work away, distinct from fault 5xxs.
+    pub sheds: AtomicU64,
     /// Mid-body connection resets (marker or transport-level).
     pub resets: AtomicU64,
     /// Requests abandoned at their virtual deadline.
@@ -151,6 +178,10 @@ impl RetryStats {
 
     pub fn server_errors(&self) -> u64 {
         self.server_errors.load(Ordering::Relaxed)
+    }
+
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
     }
 
     pub fn resets(&self) -> u64 {
@@ -248,6 +279,9 @@ impl<E: Exchange> Exchange for ResilientExchange<E> {
                         ErrorClass::Retryable { retry_after_ms } => {
                             match resp.status.code() {
                                 429 => self.stats.rate_limited.fetch_add(1, Ordering::Relaxed),
+                                503 if is_shed(&resp) => {
+                                    self.stats.sheds.fetch_add(1, Ordering::Relaxed)
+                                }
                                 500 | 503 => {
                                     self.stats.server_errors.fetch_add(1, Ordering::Relaxed)
                                 }
@@ -395,6 +429,27 @@ mod tests {
         let resp = ex.exchange(Request::get("/x")).unwrap();
         assert!(resp.body_string().contains("whole"));
         assert_eq!(ex.stats().resets(), 1);
+    }
+
+    #[test]
+    fn shed_503_is_classified_and_counted_distinctly_from_fault_5xx() {
+        let shed_resp = Response::error(Status::SERVICE_UNAVAILABLE, "server overloaded")
+            .header(H_RETRY_AFTER, "2")
+            .header("Connection", "close");
+        let fault = Response::error(Status::SERVICE_UNAVAILABLE, "injected");
+        assert!(is_shed(&shed_resp));
+        assert!(!is_shed(&fault));
+        // The shed names its own backoff floor.
+        assert_eq!(classify(&shed_resp), ErrorClass::Retryable { retry_after_ms: Some(2_000) });
+        assert_eq!(classify(&fault), ErrorClass::Retryable { retry_after_ms: None });
+
+        let script = Script::new(vec![Ok(shed_resp), Ok(fault), Ok(Response::text("recovered"))]);
+        let mut ex = resilient(script);
+        let resp = ex.exchange(Request::get("/x")).unwrap();
+        assert_eq!(resp.body_string(), "recovered");
+        assert_eq!(ex.stats().sheds(), 1);
+        assert_eq!(ex.stats().server_errors(), 1);
+        assert!(ex.clock().now_ms() >= 2_000, "the shed's Retry-After floor was honored");
     }
 
     #[test]

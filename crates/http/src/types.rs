@@ -48,6 +48,7 @@ impl Status {
     pub const FORBIDDEN: Status = Status(403);
     pub const NOT_FOUND: Status = Status(404);
     pub const METHOD_NOT_ALLOWED: Status = Status(405);
+    pub const REQUEST_TIMEOUT: Status = Status(408);
     pub const TOO_MANY_REQUESTS: Status = Status(429);
     pub const INTERNAL_SERVER_ERROR: Status = Status(500);
     pub const SERVICE_UNAVAILABLE: Status = Status(503);
@@ -74,6 +75,7 @@ impl Status {
             403 => "Forbidden",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",

@@ -3,7 +3,14 @@
 //! The decoder follows the `bytes`-based framing idiom: callers feed
 //! chunks into a [`bytes::BytesMut`] buffer and repeatedly ask whether a
 //! complete message can be cut from the front. Limits on the header
-//! block and body protect the server from unbounded buffering.
+//! block and body protect the server from unbounded buffering, and they
+//! are enforced *before* the oversized part is accepted: an incomplete
+//! head is rejected the moment the buffer reaches [`MAX_HEAD`], and an
+//! oversized `Content-Length` is rejected as soon as the head parses —
+//! the decoder never waits for (or buffers) a body it would refuse.
+//! Malformed framing (non-numeric, overflowing or conflicting
+//! `Content-Length`) is a typed [`HttpError`], never a panic and never
+//! a silent zero-length fallback.
 
 use crate::error::{HttpError, Result};
 use crate::message::{Request, Response};
@@ -132,6 +139,39 @@ pub fn encode_response_head(resp: &Response) -> Bytes {
     Bytes::from(encode_head(resp, 0))
 }
 
+/// Parse the body length a header block declares, with request-smuggling
+/// defenses: the value must be pure ASCII digits (no sign, no
+/// whitespace-padded garbage), must fit in `usize`, must not exceed
+/// `max`, and duplicate `Content-Length` headers must agree.
+/// `Headers::content_length()` is tolerant (`None` on anything odd);
+/// framing cannot afford that — a dropped length silently misframes the
+/// connection, so every oddity is a typed error here.
+fn declared_body_len(headers: &Headers, max: usize, what: &'static str) -> Result<usize> {
+    let mut declared: Option<usize> = None;
+    for (name, value) in headers.iter() {
+        if !name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        let value = value.trim();
+        if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(HttpError::Malformed("non-numeric content-length"));
+        }
+        // > 20 digits cannot fit in u64; parse::<usize> catches the rest.
+        let n: usize = value.parse().map_err(|_| HttpError::TooLarge(what))?;
+        match declared {
+            Some(prev) if prev != n => {
+                return Err(HttpError::Malformed("conflicting content-length"))
+            }
+            _ => declared = Some(n),
+        }
+    }
+    let n = declared.unwrap_or(0);
+    if n > max {
+        return Err(HttpError::TooLarge(what));
+    }
+    Ok(n)
+}
+
 /// Result of a decode attempt over a partially-filled buffer.
 #[derive(Debug)]
 pub enum Decoded<T> {
@@ -145,7 +185,9 @@ pub enum Decoded<T> {
 /// success.
 pub fn decode_request(buf: &mut BytesMut) -> Result<Decoded<Request>> {
     let Some(head_end) = find_head_end(buf) else {
-        if buf.len() > MAX_HEAD {
+        // No separator within the head budget: reject *now*, before
+        // another byte of this head is buffered.
+        if buf.len() >= MAX_HEAD {
             return Err(HttpError::TooLarge("request head"));
         }
         return Ok(Decoded::Incomplete);
@@ -168,10 +210,9 @@ pub fn decode_request(buf: &mut BytesMut) -> Result<Decoded<Request>> {
         return Err(HttpError::Malformed("bad version"));
     }
     let headers = parse_headers(lines)?;
-    let body_len = headers.content_length().unwrap_or(0);
-    if body_len > MAX_BODY {
-        return Err(HttpError::TooLarge("request body"));
-    }
+    // Checked before any body byte is awaited: an oversized or malformed
+    // declaration never gets the chance to grow the buffer.
+    let body_len = declared_body_len(&headers, MAX_BODY, "request body")?;
     let total = head_end + 4 + body_len;
     if buf.len() < total {
         return Ok(Decoded::Incomplete);
@@ -184,11 +225,14 @@ pub fn decode_request(buf: &mut BytesMut) -> Result<Decoded<Request>> {
 /// Try to decode one response from the front of `buf`.
 pub fn decode_response(buf: &mut BytesMut) -> Result<Decoded<Response>> {
     let Some(head_end) = find_head_end(buf) else {
-        if buf.len() > MAX_HEAD {
+        if buf.len() >= MAX_HEAD {
             return Err(HttpError::TooLarge("response head"));
         }
         return Ok(Decoded::Incomplete);
     };
+    if head_end > MAX_HEAD {
+        return Err(HttpError::TooLarge("response head"));
+    }
     let head =
         std::str::from_utf8(&buf[..head_end]).map_err(|_| HttpError::Malformed("non-utf8 head"))?;
     let mut lines = head.split("\r\n");
@@ -201,10 +245,7 @@ pub fn decode_response(buf: &mut BytesMut) -> Result<Decoded<Response>> {
     let code: u16 =
         parts.next().and_then(|c| c.parse().ok()).ok_or(HttpError::Malformed("bad status code"))?;
     let headers = parse_headers(lines)?;
-    let body_len = headers.content_length().unwrap_or(0);
-    if body_len > MAX_BODY {
-        return Err(HttpError::TooLarge("response body"));
-    }
+    let body_len = declared_body_len(&headers, MAX_BODY, "response body")?;
     let total = head_end + 4 + body_len;
     if buf.len() < total {
         return Ok(Decoded::Incomplete);
@@ -347,6 +388,79 @@ mod tests {
         while buf.len() <= MAX_HEAD {
             buf.extend_from_slice(b"X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
         }
+        assert!(matches!(decode_request(&mut buf), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn malformed_content_length_is_a_typed_error_not_zero() {
+        // A decoder that "tolerates" these by assuming 0 silently
+        // misframes the connection — the body bytes would be parsed as
+        // the next request line. Every one must be a hard error.
+        for bad in [
+            "POST /f HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+            "POST /f HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            "POST /f HTTP/1.1\r\nContent-Length: 1e3\r\n\r\n",
+            "POST /f HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n",
+            "POST /f HTTP/1.1\r\nContent-Length:\r\n\r\n",
+            "POST /f HTTP/1.1\r\nContent-Length: 3 3\r\n\r\n",
+        ] {
+            let mut buf = BytesMut::from(bad.as_bytes());
+            assert!(
+                matches!(decode_request(&mut buf), Err(HttpError::Malformed(_))),
+                "accepted: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overflowing_content_length_is_too_large() {
+        for bad in [
+            // Overflows u64 outright.
+            "POST /f HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n",
+            // Fits in u64 but exceeds MAX_BODY.
+            "POST /f HTTP/1.1\r\nContent-Length: 8388609\r\n\r\n",
+        ] {
+            let mut buf = BytesMut::from(bad.as_bytes());
+            assert!(
+                matches!(decode_request(&mut buf), Err(HttpError::TooLarge(_))),
+                "accepted: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected_duplicates_tolerated() {
+        let mut buf = BytesMut::from(
+            &b"POST /f HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\nabcd"[..],
+        );
+        assert!(matches!(decode_request(&mut buf), Err(HttpError::Malformed(_))));
+        // Agreeing duplicates are legal per RFC 9110 §8.6.
+        let mut buf = BytesMut::from(
+            &b"POST /f HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc"[..],
+        );
+        let r = match decode_request(&mut buf).unwrap() {
+            Decoded::Complete(r) => r,
+            _ => panic!(),
+        };
+        assert_eq!(&r.body[..], b"abc");
+    }
+
+    #[test]
+    fn oversized_body_rejected_before_body_bytes_arrive() {
+        // Head only — no body byte has been buffered yet. The decoder
+        // must reject from the declaration alone instead of returning
+        // Incomplete (which would invite MAX_BODY bytes of buffering).
+        let head = format!("POST /f HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let mut buf = BytesMut::from(head.as_bytes());
+        assert!(matches!(decode_request(&mut buf), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn head_at_exactly_max_head_without_separator_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"GET /x HTTP/1.1\r\n");
+        buf.extend_from_slice(&vec![b'a'; MAX_HEAD - buf.len()]);
+        assert_eq!(buf.len(), MAX_HEAD);
         assert!(matches!(decode_request(&mut buf), Err(HttpError::TooLarge(_))));
     }
 

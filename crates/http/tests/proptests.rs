@@ -111,6 +111,108 @@ proptest! {
     }
 
     #[test]
+    fn pipelined_stream_decodes_in_order_regardless_of_chunking(
+        reqs in prop::collection::vec(
+            (arb_method(), arb_target(), arb_body()),
+            1..5,
+        ),
+        chunk_size in 1usize..96,
+    ) {
+        // Keep-alive framing: N back-to-back messages on one stream must
+        // come out as exactly N messages, in order, no matter how the
+        // bytes are sliced — this is the invariant the server's
+        // connection loop leans on.
+        let reqs: Vec<Request> = reqs
+            .into_iter()
+            .map(|(method, target, body)| Request {
+                method,
+                target,
+                headers: Headers::new(),
+                body: Bytes::from(body),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for req in &reqs {
+            wire.extend_from_slice(&encode_request(req));
+        }
+
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for chunk in wire.chunks(chunk_size) {
+            buf.extend_from_slice(chunk);
+            while let Decoded::Complete(r) = decode_request(&mut buf).unwrap() {
+                decoded.push(r);
+            }
+        }
+        prop_assert_eq!(decoded.len(), reqs.len());
+        for (got, sent) in decoded.iter().zip(&reqs) {
+            prop_assert_eq!(got.method, sent.method);
+            prop_assert_eq!(&got.target, &sent.target);
+            prop_assert_eq!(&got.body, &sent.body);
+        }
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn strict_prefix_never_completes(
+        method in arb_method(),
+        target in arb_target(),
+        headers in arb_headers(),
+        body in arb_body(),
+        cut in 0.0f64..1.0,
+    ) {
+        // Content-Length framing is exact: any strict prefix of a valid
+        // message must leave the decoder waiting (or, once the truncated
+        // head crosses a limit, erroring) — never yield a message early.
+        // A decoder that completes early misframes every keep-alive
+        // connection it ever serves.
+        let mut req = Request {
+            method,
+            target,
+            headers: Headers::new(),
+            body: Bytes::from(body),
+        };
+        for (n, v) in &headers {
+            req.headers.append(n.clone(), v.clone());
+        }
+        let wire = encode_request(&req);
+        let len = ((wire.len() as f64) * cut) as usize; // < wire.len()
+        let mut buf = BytesMut::from(&wire[..len]);
+        if let Ok(Decoded::Complete(_)) = decode_request(&mut buf) {
+            prop_assert!(false, "completed from a {len}-byte prefix of {} bytes", wire.len());
+        }
+    }
+
+    #[test]
+    fn mutated_valid_messages_never_panic_and_never_overread(
+        target in arb_target(),
+        body in arb_body(),
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..8),
+    ) {
+        // Corpus-style fuzzing: start from a well-formed message (the
+        // interesting neighborhood) and flip a few bytes. Whatever the
+        // decoder makes of it — complete, incomplete, or error — it must
+        // not panic, and on success it must never hand back more body
+        // than the buffer held.
+        let req = Request {
+            method: Method::Post,
+            target,
+            headers: Headers::new(),
+            body: Bytes::from(body),
+        };
+        let mut wire = encode_request(&req).to_vec();
+        for (idx, byte) in &flips {
+            let i = idx % wire.len();
+            wire[i] = *byte;
+        }
+        let total = wire.len();
+        let mut buf = BytesMut::from(&wire[..]);
+        if let Ok(Decoded::Complete(r)) = decode_request(&mut buf) {
+            prop_assert!(r.body.len() + buf.len() <= total);
+        }
+    }
+
+    #[test]
     fn decoder_never_panics_on_headerish_soup(
         parts in prop::collection::vec(
             prop_oneof![

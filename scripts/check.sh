@@ -22,4 +22,7 @@ cargo test -q --test chaos_attack
 echo "==> crawl bench, smoke mode (parallel determinism + scaling)"
 cargo run --release --example crawl_bench -- --smoke
 
+echo "==> overload + transport-chaos soak, smoke mode (2 seeds, tiny attack)"
+SOAK_SEEDS=2 SOAK_SCENARIO=tiny cargo run --release --example soak
+
 echo "All checks passed."

@@ -11,6 +11,15 @@ use std::sync::{Arc, Mutex};
 
 pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
+/// Why a `try_send` failed, mirroring crossbeam's enum: the payload is
+/// handed back in either case so the caller can dispose of it
+/// explicitly (e.g. shed the connection with a 503).
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    Full(T),
+    Disconnected(T),
+}
+
 pub struct Sender<T>(mpsc::SyncSender<T>);
 
 impl<T> Clone for Sender<T> {
@@ -25,9 +34,10 @@ impl<T> Sender<T> {
         self.0.send(msg)
     }
 
-    pub fn try_send(&self, msg: T) -> Result<(), T> {
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
         self.0.try_send(msg).map_err(|e| match e {
-            mpsc::TrySendError::Full(v) | mpsc::TrySendError::Disconnected(v) => v,
+            mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+            mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
         })
     }
 }
@@ -91,7 +101,9 @@ mod tests {
     fn bounded_backpressure() {
         let (tx, rx) = bounded::<u32>(1);
         tx.send(1).unwrap();
-        assert!(tx.try_send(2).is_err());
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
         assert_eq!(rx.recv().unwrap(), 1);
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(TrySendError::Disconnected(3)));
     }
 }
