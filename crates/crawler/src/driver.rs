@@ -149,6 +149,77 @@ impl Default for Politeness {
     }
 }
 
+/// Counter-free splitmix64 (same mix the platform's seeded streams
+/// use): `stream(seed, lane, n)` is a pure function, so the adaptive
+/// schedule an account follows depends only on its own request order.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The adaptive attacker: evasion maneuvers against the platform's
+/// behavioral sybil detector (`hsp-defense`). Everything is drawn from
+/// a seeded per-account lane RNG, so an adaptive crawl is exactly as
+/// deterministic as a naive one.
+///
+/// - **politeness randomization**: each inter-request sleep is scaled
+///   by a uniform per-mille factor in `[jitter_min_pm, jitter_max_pm]`,
+///   killing the metronomic-gap signature;
+/// - **account warm-up**: each account's first `warmup_requests`
+///   requests are slowed by `warmup_factor`× (new accounts "age" before
+///   crawling at speed), keeping young accounts under the detector's
+///   evidence threshold longer;
+/// - **traffic mimicry**: after every `decoy_every` productive profile
+///   fetches, one already-scraped profile is re-fetched (humans revisit
+///   friends), deflating the traversal fan-out feature. Decoys are
+///   billed to `Effort::decoy_requests`, never to scraping progress.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveStrategy {
+    /// Seed of the evasion RNG (per-account lanes are derived from it).
+    pub seed: u64,
+    /// Politeness jitter lower bound, per-mille of the base sleep.
+    pub jitter_min_pm: u64,
+    /// Politeness jitter upper bound, per-mille of the base sleep.
+    pub jitter_max_pm: u64,
+    /// Requests per account crawled at warm-up pace before full speed.
+    pub warmup_requests: u64,
+    /// Politeness multiplier during warm-up.
+    pub warmup_factor: u64,
+    /// One decoy re-fetch per this many productive profile fetches
+    /// (0 disables mimicry).
+    pub decoy_every: u64,
+}
+
+impl Default for AdaptiveStrategy {
+    fn default() -> Self {
+        AdaptiveStrategy {
+            seed: 0xADA_2013,
+            jitter_min_pm: 600,
+            jitter_max_pm: 2_600,
+            warmup_requests: 12,
+            warmup_factor: 3,
+            decoy_every: 3,
+        }
+    }
+}
+
+impl AdaptiveStrategy {
+    /// Default maneuvers with an explicit seed.
+    pub fn seeded(seed: u64) -> AdaptiveStrategy {
+        AdaptiveStrategy { seed, ..AdaptiveStrategy::default() }
+    }
+
+    /// Sleep multiplier (per-mille) for account `lane`'s `n`-th request.
+    fn jitter_pm(&self, lane: u64, n: u64) -> u64 {
+        let draw =
+            splitmix64(self.seed ^ splitmix64(1 + lane) ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let span = self.jitter_max_pm.saturating_sub(self.jitter_min_pm) + 1;
+        self.jitter_min_pm + draw % span
+    }
+}
+
 /// Per-endpoint circuit breaker shape.
 #[derive(Clone, Copy, Debug)]
 pub struct BreakerConfig {
@@ -222,8 +293,16 @@ pub(crate) const EP_PROFILE: &str = "profile";
 pub(crate) const EP_FRIENDS: &str = "friends";
 pub(crate) const EP_CIRCLES: &str = "circles";
 pub(crate) const EP_MESSAGE: &str = "message";
-pub(crate) const ENDPOINTS: [&str; 6] =
-    [EP_AUTH, EP_SEEDS, EP_PROFILE, EP_FRIENDS, EP_CIRCLES, EP_MESSAGE];
+/// Mimicry re-fetches by the adaptive crawler: real requests, but not
+/// scraping progress — billed to their own effort bucket.
+pub(crate) const EP_DECOY: &str = "decoy";
+pub(crate) const ENDPOINTS: [&str; 7] =
+    [EP_AUTH, EP_SEEDS, EP_PROFILE, EP_FRIENDS, EP_CIRCLES, EP_MESSAGE, EP_DECOY];
+
+/// Refusal provenance labels for `crawler_refusals_total{source=…}` —
+/// the audit-side half of the response-header taxonomy: every refusal
+/// the crawl absorbs is attributed to exactly one limiter.
+pub(crate) const REFUSAL_SOURCES: [&str; 5] = ["edge", "fault", "throttle", "shed", "suspension"];
 
 /// Pre-resolved crawler metric handles (attacker-side accounting):
 /// per-endpoint fetch counts, cache hit/miss tallies, retry/breaker/
@@ -247,6 +326,13 @@ pub(crate) struct CrawlerMetrics {
     pub(crate) account_suspensions: Arc<Counter>,
     pub(crate) accounts_recruited: Arc<Counter>,
     pub(crate) partial_friend_lists: Arc<Counter>,
+    /// CAPTCHA interstitials absorbed (count and virtual solve time).
+    pub(crate) captcha_challenges: Arc<Counter>,
+    pub(crate) captcha_virtual_ms: Arc<Counter>,
+    /// Mimicry decoy fetches issued by the adaptive strategy.
+    pub(crate) adapt_decoys: Arc<Counter>,
+    /// Refusals by provenance (see [`REFUSAL_SOURCES`]).
+    pub(crate) refusals: HashMap<&'static str, Arc<Counter>>,
 }
 
 impl CrawlerMetrics {
@@ -275,6 +361,21 @@ impl CrawlerMetrics {
             account_suspensions: reg.counter("crawler_account_suspensions_total"),
             accounts_recruited: reg.counter("crawler_accounts_recruited_total"),
             partial_friend_lists: reg.counter("crawler_partial_friend_lists_total"),
+            captcha_challenges: reg.counter("crawler_adapt_captcha_challenges_total"),
+            captcha_virtual_ms: reg.counter("crawler_adapt_captcha_virtual_ms"),
+            adapt_decoys: reg.counter("crawler_adapt_decoys_total"),
+            refusals: REFUSAL_SOURCES
+                .iter()
+                .map(|&s| (s, reg.counter_with("crawler_refusals_total", &[("source", s)])))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn refusal(&self, source: &'static str, n: u64) {
+        if n > 0 {
+            if let Some(c) = self.refusals.get(source) {
+                c.add(n);
+            }
         }
     }
 }
@@ -291,6 +392,7 @@ pub struct CrawlerBuilder<E: Exchange> {
     factory: Option<Box<dyn FnMut() -> E>>,
     max_accounts: usize,
     breaker: BreakerConfig,
+    adaptive: Option<AdaptiveStrategy>,
 }
 
 impl<E: Exchange> CrawlerBuilder<E> {
@@ -304,6 +406,7 @@ impl<E: Exchange> CrawlerBuilder<E> {
             factory: None,
             max_accounts: 8,
             breaker: BreakerConfig::default(),
+            adaptive: None,
         }
     }
 
@@ -347,6 +450,13 @@ impl<E: Exchange> CrawlerBuilder<E> {
 
     pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker = breaker;
+        self
+    }
+
+    /// Enable detector-evasion maneuvers (jittered pacing, account
+    /// warm-up, decoy mimicry). See [`AdaptiveStrategy`].
+    pub fn adaptive(mut self, strategy: AdaptiveStrategy) -> Self {
+        self.adaptive = Some(strategy);
         self
     }
 
@@ -394,6 +504,21 @@ pub struct Crawler<E: Exchange> {
     max_accounts: usize,
     breaker_cfg: BreakerConfig,
     breakers: HashMap<&'static str, Breaker>,
+    /// Detector-evasion maneuvers; `None` = the naive crawler.
+    adaptive: Option<AdaptiveStrategy>,
+    /// Per-account politeness-draw counters (the lane RNG cursor).
+    account_draws: Vec<u64>,
+    /// Already-scraped profiles available as decoy targets, in
+    /// insertion order (NOT a hash map — decoy picks must be
+    /// deterministic).
+    decoy_pool: Vec<UserId>,
+    decoy_cursor: usize,
+    /// Productive profile fetches since the crawl began (decoy cadence).
+    productive_profile_fetches: u64,
+    /// Refusal-ledger cursors into the shared [`RetryStats`].
+    edge_refusals_synced: u64,
+    fault_refusals_synced: u64,
+    throttle_refusals_synced: u64,
 }
 
 impl<E: Exchange> Crawler<E> {
@@ -455,6 +580,14 @@ impl<E: Exchange> Crawler<E> {
             max_accounts: builder.max_accounts,
             breaker_cfg: builder.breaker,
             breakers: HashMap::new(),
+            adaptive: builder.adaptive,
+            account_draws: Vec::new(),
+            decoy_pool: Vec::new(),
+            decoy_cursor: 0,
+            productive_profile_fetches: 0,
+            edge_refusals_synced: 0,
+            fault_refusals_synced: 0,
+            throttle_refusals_synced: 0,
         };
         for (i, exchange) in exchanges.into_iter().enumerate() {
             let username = format!("{}-{i}", crawler.label);
@@ -493,6 +626,7 @@ impl<E: Exchange> Crawler<E> {
             password: password.to_string(),
             suspended: false,
         });
+        self.account_draws.push(0);
         Ok(())
     }
 
@@ -578,6 +712,7 @@ impl<E: Exchange> Crawler<E> {
             EP_PROFILE => self.effort.profile_requests += 1,
             EP_FRIENDS | EP_CIRCLES => self.effort.friend_list_requests += 1,
             EP_MESSAGE => self.effort.message_requests += 1,
+            EP_DECOY => self.effort.decoy_requests += 1,
             _ => {}
         }
         if let Some(m) = &self.obs {
@@ -588,7 +723,9 @@ impl<E: Exchange> Crawler<E> {
     }
 
     /// Fold transport-layer retries accumulated since the last sync
-    /// into `Effort` and `crawler_fetch_total{endpoint="retry"}`.
+    /// into `Effort` and `crawler_fetch_total{endpoint="retry"}`, and
+    /// attribute any new 429s to their provenance ledger
+    /// (`crawler_refusals_total{source=edge|fault|throttle}`).
     fn sync_retries(&mut self) {
         let Some(stats) = &self.retry_stats else { return };
         let now = stats.retries();
@@ -599,6 +736,17 @@ impl<E: Exchange> Crawler<E> {
             if let Some(m) = &self.obs {
                 m.fetch_retry.add(delta);
             }
+        }
+        if let Some(m) = &self.obs {
+            let edge = stats.edge_limited();
+            m.refusal("edge", edge.saturating_sub(self.edge_refusals_synced));
+            self.edge_refusals_synced = edge;
+            let fault = stats.fault_rate_limited();
+            m.refusal("fault", fault.saturating_sub(self.fault_refusals_synced));
+            self.fault_refusals_synced = fault;
+            let throttle = stats.throttled();
+            m.refusal("throttle", throttle.saturating_sub(self.throttle_refusals_synced));
+            self.throttle_refusals_synced = throttle;
         }
     }
 
@@ -624,14 +772,47 @@ impl<E: Exchange> Crawler<E> {
         self.auth_retries
     }
 
-    fn advance_politeness(&mut self) {
-        let ms = self.politeness.sleep_ms_between_requests * self.widen_factor;
+    /// Sleep before `account`'s next request. The naive crawler sleeps
+    /// a metronomic `base × widen_factor`; the adaptive one jitters the
+    /// sleep from the account's lane RNG and triples it during the
+    /// account's warm-up phase.
+    fn advance_politeness(&mut self, account: usize) {
+        let base = self.politeness.sleep_ms_between_requests * self.widen_factor;
+        let ms = match self.adaptive {
+            None => base,
+            Some(s) => {
+                let n = self.account_draws[account];
+                self.account_draws[account] = n + 1;
+                let mut ms = base * s.jitter_pm(account as u64, n) / 1_000;
+                if n < s.warmup_requests {
+                    ms *= s.warmup_factor.max(1);
+                }
+                ms.max(1)
+            }
+        };
         self.virtual_elapsed_ms += ms;
         if let Some(clock) = &self.clock {
             clock.advance_ms(ms);
         }
         if let Some(m) = &self.obs {
             m.politeness_virtual_ms.add(ms);
+        }
+    }
+
+    /// Absorb a CAPTCHA interstitial riding on a served response: pay
+    /// the solve cost in virtual time and bill it as its own effort
+    /// line item (never folded into retries).
+    fn absorb_captcha(&mut self, resp: &Response) {
+        let Some(ms) = hsp_http::resilient::captcha_delay_ms(resp) else { return };
+        self.effort.captcha_challenges += 1;
+        self.effort.captcha_virtual_ms += ms;
+        self.virtual_elapsed_ms += ms;
+        if let Some(clock) = &self.clock {
+            clock.advance_ms(ms);
+        }
+        if let Some(m) = &self.obs {
+            m.captcha_challenges.inc();
+            m.captcha_virtual_ms.add(ms);
         }
     }
 
@@ -673,6 +854,9 @@ impl<E: Exchange> Crawler<E> {
         let Some(stats) = &self.retry_stats else { return };
         let now = stats.sheds();
         if now > self.sheds_synced {
+            if let Some(m) = &self.obs {
+                m.refusal("shed", now - self.sheds_synced);
+            }
             self.sheds_synced = now;
             self.widen_pacing();
         }
@@ -734,6 +918,7 @@ impl<E: Exchange> Crawler<E> {
             self.accounts[account].suspended = true;
             if let Some(m) = &self.obs {
                 m.account_suspensions.inc();
+                m.refusal("suspension", 1);
             }
         }
     }
@@ -806,7 +991,7 @@ impl<E: Exchange> Crawler<E> {
                 Some(a) => a,
                 None => self.next_live_account()?,
             };
-            self.advance_politeness();
+            self.advance_politeness(account);
             let result = self.accounts[account].exchange.exchange(Request::get(path));
             self.count_request(endpoint);
             self.sync_retries();
@@ -826,6 +1011,9 @@ impl<E: Exchange> Crawler<E> {
                 }
                 Err(e) => return Err(e.into()),
             };
+            // A flagged session pays its CAPTCHA interstitial on every
+            // served page — including degraded ones.
+            self.absorb_captcha(&resp);
             if resp.status.is_success() {
                 if !html_complete(&resp) {
                     truncations += 1;
@@ -879,6 +1067,30 @@ impl<E: Exchange> Crawler<E> {
             }
         }
         Err(CrawlError::Denied(last_denied))
+    }
+
+    /// Traffic mimicry: after every `decoy_every` productive profile
+    /// fetches, re-fetch one already-scraped profile so the session's
+    /// traversal fan-out looks human (people revisit their friends).
+    /// Decoy targets rotate through the insertion-ordered pool, so the
+    /// decoy schedule is a pure function of the crawl so far. A decoy
+    /// that fails is simply dropped — mimicry is best-effort cover
+    /// traffic, never load-bearing.
+    fn maybe_issue_decoy(&mut self) {
+        let Some(s) = self.adaptive else { return };
+        self.productive_profile_fetches += 1;
+        if s.decoy_every == 0
+            || self.decoy_pool.is_empty()
+            || !self.productive_profile_fetches.is_multiple_of(s.decoy_every)
+        {
+            return;
+        }
+        let uid = self.decoy_pool[self.decoy_cursor % self.decoy_pool.len()];
+        self.decoy_cursor += 1;
+        if let Some(m) = &self.obs {
+            m.adapt_decoys.inc();
+        }
+        let _ = self.fetch(EP_DECOY, None, &format!("/profile/{uid}"));
     }
 
     /// Page through one account's search results.
@@ -971,6 +1183,8 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
             return Err(CrawlError::BadPage("profile uid mismatch"));
         }
         self.profile_cache.insert(uid, profile.clone());
+        self.decoy_pool.push(uid);
+        self.maybe_issue_decoy();
         Ok(profile)
     }
 
@@ -1068,12 +1282,13 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
 
     fn send_message(&mut self, uid: UserId, body: &str) -> Result<bool, CrawlError> {
         let account = self.next_live_account()?;
-        self.advance_politeness();
+        self.advance_politeness(account);
         let resp = self.accounts[account]
             .exchange
             .exchange(Request::post_form(format!("/message/{uid}"), &[("body", body)]))?;
         self.count_request(EP_MESSAGE);
         self.sync_retries();
+        self.absorb_captcha(&resp);
         match resp.status {
             s if s.is_success() => Ok(true),
             Status::FORBIDDEN => Ok(false),
@@ -1215,7 +1430,7 @@ mod tests {
         crawler.widen_pacing();
         assert_eq!(crawler.politeness_widen_factor(), 2);
         let before = crawler.virtual_elapsed_ms();
-        crawler.advance_politeness();
+        crawler.advance_politeness(0);
         assert_eq!(crawler.virtual_elapsed_ms() - before, 2 * base);
         for _ in 0..10 {
             crawler.widen_pacing();

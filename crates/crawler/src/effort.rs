@@ -26,13 +26,31 @@ pub struct Effort {
     /// resilient HTTP layer). Real GETs the platform had to absorb, so
     /// a chaotic crawl's true cost is `total()` — which includes them.
     pub retry_requests: u64,
+    /// CAPTCHA challenges absorbed (the sybil detector's `x-captcha`
+    /// interstitials). A separate line item — *not* folded into
+    /// `retry_requests` — so Table 3 comparisons across detector
+    /// strengths stay apples-to-apples.
+    pub captcha_challenges: u64,
+    /// Virtual milliseconds spent "solving" those CAPTCHAs.
+    pub captcha_virtual_ms: u64,
+    /// Decoy/mimicry fetches issued by the adaptive crawler to look
+    /// human (revisits of already-scraped profiles). Real requests the
+    /// platform served, but not scraping progress.
+    pub decoy_requests: u64,
 }
 
 impl Effort {
     /// The paper's total: seeds + profiles + friend lists — plus the
-    /// retries it took to land them (zero in a fault-free run).
+    /// retries it took to land them (zero in a fault-free run) and any
+    /// decoy fetches the adaptive crawler spent on mimicry (zero for
+    /// the naive crawler). CAPTCHA challenges are *time*, not requests,
+    /// so they never enter this count.
     pub fn total(&self) -> u64 {
-        self.seed_requests + self.profile_requests + self.friend_list_requests + self.retry_requests
+        self.seed_requests
+            + self.profile_requests
+            + self.friend_list_requests
+            + self.retry_requests
+            + self.decoy_requests
     }
 
     /// Difference (e.g. enhanced-phase effort = after - before).
@@ -44,6 +62,9 @@ impl Effort {
             friend_list_requests: self.friend_list_requests - earlier.friend_list_requests,
             message_requests: self.message_requests - earlier.message_requests,
             retry_requests: self.retry_requests - earlier.retry_requests,
+            captcha_challenges: self.captcha_challenges - earlier.captcha_challenges,
+            captcha_virtual_ms: self.captcha_virtual_ms - earlier.captcha_virtual_ms,
+            decoy_requests: self.decoy_requests - earlier.decoy_requests,
         }
     }
 }
@@ -52,12 +73,14 @@ impl std::fmt::Display for Effort {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests (seeds {}, profiles {}, friend lists {}, retries {})",
+            "{} requests (seeds {}, profiles {}, friend lists {}, retries {}, decoys {}, captchas {})",
             self.total(),
             self.seed_requests,
             self.profile_requests,
             self.friend_list_requests,
-            self.retry_requests
+            self.retry_requests,
+            self.decoy_requests,
+            self.captcha_challenges
         )
     }
 }
@@ -75,6 +98,7 @@ mod tests {
             friend_list_requests: 50,
             message_requests: 0,
             retry_requests: 2,
+            ..Effort::default()
         };
         assert_eq!(before.total(), 182);
         let after = Effort {
@@ -84,11 +108,17 @@ mod tests {
             friend_list_requests: 220,
             message_requests: 7,
             retry_requests: 12,
+            captcha_challenges: 9,
+            captcha_virtual_ms: 9 * 30_000,
+            decoy_requests: 25,
         };
         let delta = after.since(&before);
         assert_eq!(delta.profile_requests, 300);
         assert_eq!(delta.friend_list_requests, 170);
         assert_eq!(delta.retry_requests, 10);
-        assert_eq!(delta.total(), 480);
+        assert_eq!(delta.captcha_challenges, 9);
+        assert_eq!(delta.decoy_requests, 25);
+        // Decoys are real requests; captchas are time, not requests.
+        assert_eq!(delta.total(), 505);
     }
 }

@@ -22,7 +22,9 @@ pub mod scheduler;
 pub mod scrape;
 pub mod snapshot;
 
-pub use driver::{BreakerConfig, CrawlError, Crawler, CrawlerBuilder, OsnAccess, Politeness};
+pub use driver::{
+    AdaptiveStrategy, BreakerConfig, CrawlError, Crawler, CrawlerBuilder, OsnAccess, Politeness,
+};
 pub use effort::Effort;
 pub use scheduler::{AccountSeat, ParallelCrawler, ParallelCrawlerBuilder};
 pub use scrape::{parse_listing, parse_profile, ScrapedEduKind, ScrapedEducation, ScrapedProfile};

@@ -38,7 +38,7 @@ use crate::effort::Effort;
 use crate::scrape::{parse_listing, parse_profile, ScrapedProfile};
 use crate::snapshot::CrawlSnapshot;
 use hsp_graph::{SchoolId, UserId};
-use hsp_http::resilient::{RetryStats, H_ACCOUNT_SUSPENDED};
+use hsp_http::resilient::{captcha_delay_ms, RetryStats, H_ACCOUNT_SUSPENDED};
 use hsp_http::{Exchange, HttpError, Request, Status};
 use hsp_obs::{Gauge, Histogram, Registry, VirtualClock};
 use std::collections::{BTreeSet, HashMap};
@@ -204,7 +204,22 @@ impl<E: Exchange> AccountWorker<E> {
             self.suspended = true;
             if let Some(m) = &shared.metrics {
                 m.account_suspensions.inc();
+                m.refusal("suspension", 1);
             }
+        }
+    }
+
+    /// Pay any `x-captcha` interstitial the sybil detector attached to
+    /// this page: the "solve time" lands on this account's timeline and
+    /// on its effort ledger, exactly like the sequential crawler's.
+    fn absorb_captcha(&mut self, resp: &hsp_http::Response, shared: &Shared) {
+        let Some(ms) = captcha_delay_ms(resp) else { return };
+        self.effort.captcha_challenges += 1;
+        self.effort.captcha_virtual_ms += ms;
+        self.advance_ms(ms);
+        if let Some(m) = &shared.metrics {
+            m.captcha_challenges.inc();
+            m.captcha_virtual_ms.add(ms);
         }
     }
 
@@ -242,6 +257,7 @@ impl<E: Exchange> AccountWorker<E> {
                 }
                 Err(e) => return FetchOut::Fatal(e.into()),
             };
+            self.absorb_captcha(&resp, shared);
             if resp.status.is_success() {
                 if !html_complete(&resp) {
                     truncations += 1;
@@ -518,6 +534,9 @@ pub struct ParallelCrawler<E: Exchange + Send> {
     max_accounts: usize,
     retry_stats: Option<Arc<RetryStats>>,
     retries_synced: AtomicU64,
+    edge_refusals_synced: AtomicU64,
+    fault_refusals_synced: AtomicU64,
+    throttle_refusals_synced: AtomicU64,
     sched_metrics: Option<SchedMetrics>,
     seeds_cache: HashMap<SchoolId, Vec<UserId>>,
     profile_cache: HashMap<UserId, ScrapedProfile>,
@@ -559,6 +578,9 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
             max_accounts: builder.max_accounts,
             retry_stats: builder.retry_stats,
             retries_synced: AtomicU64::new(0),
+            edge_refusals_synced: AtomicU64::new(0),
+            fault_refusals_synced: AtomicU64::new(0),
+            throttle_refusals_synced: AtomicU64::new(0),
             sched_metrics,
             seeds_cache: HashMap::new(),
             profile_cache: HashMap::new(),
@@ -665,7 +687,8 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
     }
 
     /// Fold transport retries accumulated since the last sync into
-    /// `crawler_fetch_total{endpoint="retry"}`.
+    /// `crawler_fetch_total{endpoint="retry"}`, and the refusal ledger
+    /// into `crawler_refusals_total{source=edge|fault|throttle}`.
     fn sync_retry_metric(&self) {
         let Some(stats) = &self.retry_stats else { return };
         let now = stats.retries();
@@ -675,6 +698,17 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
             if let Some(m) = &self.shared.metrics {
                 m.fetch_retry.add(delta);
             }
+        }
+        if let Some(m) = &self.shared.metrics {
+            let edge = stats.edge_limited();
+            let prev = self.edge_refusals_synced.swap(edge, Ordering::SeqCst);
+            m.refusal("edge", edge.saturating_sub(prev));
+            let fault = stats.fault_rate_limited();
+            let prev = self.fault_refusals_synced.swap(fault, Ordering::SeqCst);
+            m.refusal("fault", fault.saturating_sub(prev));
+            let throttle = stats.throttled();
+            let prev = self.throttle_refusals_synced.swap(throttle, Ordering::SeqCst);
+            m.refusal("throttle", throttle.saturating_sub(prev));
         }
     }
 
@@ -840,6 +874,9 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
             total.profile_requests += e.profile_requests;
             total.friend_list_requests += e.friend_list_requests;
             total.message_requests += e.message_requests;
+            total.captcha_challenges += e.captcha_challenges;
+            total.captcha_virtual_ms += e.captcha_virtual_ms;
+            total.decoy_requests += e.decoy_requests;
         }
         if let Some(stats) = &self.retry_stats {
             total.retry_requests = stats.retries();
@@ -1002,6 +1039,7 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
             .exchange
             .exchange(Request::post_form(format!("/message/{uid}"), &[("body", body)]))?;
         worker.count_request(EP_MESSAGE, &self.shared);
+        worker.absorb_captcha(&resp, &self.shared);
         let outcome = match resp.status {
             s if s.is_success() => Ok(true),
             Status::FORBIDDEN => Ok(false),

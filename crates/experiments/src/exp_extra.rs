@@ -1,10 +1,13 @@
-//! Extension experiments: hidden-link inference, ablations, summaries.
+//! Extension experiments: hidden-link inference, ablations, summaries,
+//! and the defender arms race.
 
 use crate::ctx::Ctx;
 use crate::report::ExperimentReport;
 use crate::runner::{full_attack, Lab};
 use crate::tablefmt::{f1, Table};
-use hsp_core::{evaluate, evaluate_links, recover_friend_lists, run_enhanced, EnhanceOptions};
+use hsp_core::{
+    evaluate, evaluate_links, recover_friend_lists, run_basic, run_enhanced, EnhanceOptions,
+};
 use serde_json::json;
 
 /// §6.1 extension: Jaccard inference of hidden friendships between
@@ -412,6 +415,113 @@ pub fn verify_search(ctx: &mut Ctx) -> ExperimentReport {
             "former_students": formers,
             "others": others,
         }),
+    )
+}
+
+/// Defender arms race, in miniature: sweep the sybil detector's
+/// strength tiers against both the naive and the adaptive crawler on
+/// the TINY world and report the detection-vs-cost frontier. (The
+/// HS1-scale sweep with hard gates lives in `examples/arms_race.rs` /
+/// `scripts/arms_race.sh`, feeding `BENCH_defense.json`.)
+pub fn arms_race(ctx: &mut Ctx) -> ExperimentReport {
+    use hsp_crawler::AdaptiveStrategy;
+    use hsp_platform::{DefenseConfig, DetectorStrength};
+    // Detector state is per platform, so every cell gets a fresh lab;
+    // the shared Ctx caches don't apply here (and TCP mode wouldn't
+    // change the in-process request streams).
+    let _ = ctx;
+    const SEED: u64 = 0x9d5f_2013;
+    // Denominator floor for the detection rate: sessions that lived at
+    // least as long as the weakest tier needs to form an opinion.
+    const SESSION_FLOOR: u64 = 48;
+    let strengths = [
+        DetectorStrength::Off,
+        DetectorStrength::Low,
+        DetectorStrength::Medium,
+        DetectorStrength::High,
+    ];
+    let mut table = Table::new(&[
+        "detector",
+        "crawler",
+        "completed",
+        "detected",
+        "sessions",
+        "requests",
+        "captchas",
+        "decoys",
+        "virt-min",
+        "found",
+    ]);
+    let mut points = Vec::new();
+    for strength in strengths {
+        for (mode, adaptive) in
+            [("naive", None), ("adaptive", Some(AdaptiveStrategy::seeded(SEED)))]
+        {
+            let lab = Lab::facebook_defended(
+                &Ctx::config_for("TINY"),
+                DefenseConfig { strength, ..DefenseConfig::default() },
+            );
+            let mut access = lab.arms_race_crawler(2, "arms", SEED, adaptive);
+            let config = lab.attack_config();
+            let t = config.school_size_estimate as usize;
+            let outcome = run_basic(access.as_mut(), &config).and_then(|discovery| {
+                let enhanced = run_enhanced(
+                    access.as_mut(),
+                    &discovery,
+                    &EnhanceOptions {
+                        t,
+                        filtering: true,
+                        enhance: true,
+                        school_city: lab.scenario.home_city,
+                    },
+                )?;
+                let truth = lab.ground_truth();
+                Ok(evaluate(
+                    t,
+                    &enhanced.guessed_students(t),
+                    |u| enhanced.inferred_year(u, &config),
+                    &truth,
+                ))
+            });
+            let effort = access.effort();
+            let (eligible, flagged) = lab.platform.defense.frontier_counts(SESSION_FLOOR);
+            let detection_pm = (flagged * 1_000).checked_div(eligible).unwrap_or(0);
+            let virt_min = lab.platform.clock.now_ms() as f64 / 60_000.0;
+            let found = outcome.as_ref().map(|p| p.found).unwrap_or(0);
+            table.row(&[
+                strength.label().into(),
+                mode.into(),
+                if outcome.is_ok() { "yes" } else { "DIED" }.into(),
+                format!("{flagged}/{eligible}"),
+                format!("{detection_pm}‰"),
+                effort.total().to_string(),
+                effort.captcha_challenges.to_string(),
+                effort.decoy_requests.to_string(),
+                format!("{virt_min:.1}"),
+                found.to_string(),
+            ]);
+            points.push(json!({
+                "strength": strength.label(),
+                "crawler": mode,
+                "completed": outcome.is_ok(),
+                "sessions_eligible": eligible,
+                "sessions_flagged": flagged,
+                "detection_pm": detection_pm,
+                "total_requests": effort.total(),
+                "retries": effort.retry_requests,
+                "captcha_challenges": effort.captcha_challenges,
+                "captcha_virtual_ms": effort.captcha_virtual_ms,
+                "decoy_requests": effort.decoy_requests,
+                "virtual_minutes": virt_min,
+                "found": found,
+            }));
+        }
+    }
+    ExperimentReport::new(
+        "arms-race",
+        "Sybil-detector strength vs naive/adaptive crawler (TINY world frontier)",
+        table.render(),
+        json!({ "session_floor": SESSION_FLOOR, "points": points }),
     )
 }
 

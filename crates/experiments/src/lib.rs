@@ -44,6 +44,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation-epsilon",
     "ablation-filters",
     "ablation-accounts",
+    "arms-race",
 ];
 
 /// Run one experiment by id. The whole run is timed into the context
@@ -74,6 +75,7 @@ pub fn run_experiment(ctx: &mut Ctx, id: &str) -> Option<ExperimentReport> {
         "ablation-epsilon" => exp_extra::ablation_epsilon(ctx),
         "ablation-filters" => exp_extra::ablation_filters(ctx),
         "ablation-accounts" => exp_extra::ablation_accounts(ctx),
+        "arms-race" => exp_extra::arms_race(ctx),
         _ => return None,
     })
 }

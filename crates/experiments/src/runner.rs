@@ -9,13 +9,13 @@ use hsp_core::{
     evaluate, run_basic, run_enhanced, AttackConfig, Discovery, EnhanceOptions, Enhanced,
     EvalPoint, GroundTruth,
 };
-use hsp_crawler::{AccountSeat, Crawler, OsnAccess, ParallelCrawler, Politeness};
+use hsp_crawler::{AccountSeat, AdaptiveStrategy, Crawler, OsnAccess, ParallelCrawler, Politeness};
 use hsp_http::{
     ChaosPlan, ChaosStats, ChaosTransport, Client, DirectExchange, Handler, ResilientExchange,
     RetryPolicy, RetryStats, Server, ServerConfig,
 };
 use hsp_obs::{Registry, SpanGuard, VirtualClock};
-use hsp_platform::{FaultPlan, Platform, PlatformConfig};
+use hsp_platform::{DefenseConfig, FaultPlan, Platform, PlatformConfig};
 use hsp_policy::{FacebookPolicy, Policy};
 use hsp_synth::{generate, Scenario, ScenarioConfig};
 use std::sync::Arc;
@@ -51,12 +51,27 @@ impl Lab {
     /// is armed on an otherwise-default configuration. Pair it with
     /// [`Lab::resilient_crawler`] — a plain crawler will not survive.
     pub fn facebook_chaotic(cfg: &ScenarioConfig, plan: FaultPlan) -> Lab {
+        Self::facebook_configured(cfg, PlatformConfig { faults: plan, ..PlatformConfig::default() })
+    }
+
+    /// [`Lab::facebook`] with the sybil detector armed (see
+    /// `hsp_defense`): behavioral scoring on every stranger-facing
+    /// route, escalating CAPTCHA → throttle → suspension per
+    /// `defense.strength`. `DetectorStrength::Off` yields a platform
+    /// bit-identical to [`Lab::facebook`].
+    pub fn facebook_defended(cfg: &ScenarioConfig, defense: DefenseConfig) -> Lab {
+        Self::facebook_configured(cfg, PlatformConfig { defense, ..PlatformConfig::default() })
+    }
+
+    /// [`Lab::facebook`] over a fully caller-specified
+    /// [`PlatformConfig`] (fault plan, defense, rate limits, ...).
+    pub fn facebook_configured(cfg: &ScenarioConfig, config: PlatformConfig) -> Lab {
         let scenario = generate(cfg);
         let obs = Registry::shared();
         let platform = Platform::with_registry(
             Arc::new(scenario.network.clone()),
             Arc::new(FacebookPolicy::new()),
-            PlatformConfig { faults: plan, ..PlatformConfig::default() },
+            config,
             Arc::clone(&obs),
         );
         let handler = platform.into_handler();
@@ -204,6 +219,56 @@ impl Lab {
                 .build(exchanges)
                 .expect("resilient crawler setup"),
         )
+    }
+
+    /// The arms-race attacker: [`Lab::resilient_crawler`] with a deeper
+    /// recruitment bench (the sybil answer to suspensions is more
+    /// sybils — cap 64 instead of 8) and, optionally, the adaptive
+    /// evasion strategy (seeded politeness jitter, account warm-up,
+    /// decoy mimicry). With `adaptive = None` the request stream is
+    /// identical to [`Lab::resilient_crawler`]'s, so an
+    /// [`hsp_platform::DetectorStrength::Off`] platform reproduces the
+    /// baseline attack bit-for-bit.
+    pub fn arms_race_crawler(
+        &self,
+        accounts: usize,
+        label: &str,
+        seed: u64,
+        adaptive: Option<AdaptiveStrategy>,
+    ) -> Box<dyn OsnAccess> {
+        let clock = Arc::clone(&self.platform.clock);
+        let stats = Arc::new(RetryStats::default());
+        let wrap = {
+            let handler = self.handler.clone();
+            let clock = Arc::clone(&clock);
+            let stats = Arc::clone(&stats);
+            move |i: u64| {
+                ResilientExchange::with_stats(
+                    DirectExchange::new(handler.clone()),
+                    RetryPolicy::seeded(seed ^ i),
+                    Arc::clone(&clock),
+                    Arc::clone(&stats),
+                )
+            }
+        };
+        let exchanges: Vec<_> = (0..accounts as u64).map(&wrap).collect();
+        let mut next = accounts as u64;
+        let factory = {
+            let wrap = wrap;
+            move || {
+                next += 1;
+                wrap(next)
+            }
+        };
+        let mut builder = Crawler::builder(label)
+            .observability(&self.obs)
+            .clock(clock)
+            .retry_stats(stats)
+            .recruit_with(factory, 64);
+        if let Some(strategy) = adaptive {
+            builder = builder.adaptive(strategy);
+        }
+        Box::new(builder.build(exchanges).expect("arms-race crawler setup"))
     }
 
     /// [`Lab::resilient_crawler`] with a deterministic [`ChaosTransport`]

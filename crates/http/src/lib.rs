@@ -36,8 +36,8 @@ pub use cookie::{request_cookie, CookieJar};
 pub use error::{HttpError, Result};
 pub use message::{Request, Response};
 pub use resilient::{
-    classify, is_edge_limited, is_shed, retryable_transport_error, ErrorClass, ResilientExchange,
-    RetryPolicy, RetryStats,
+    captcha_delay_ms, classify, is_edge_limited, is_fault_limited, is_shed, is_throttled,
+    retryable_transport_error, ErrorClass, ResilientExchange, RetryPolicy, RetryStats,
 };
 pub use router::{Handler, PathParams, Router};
 pub use server::{AccessLogFn, AccessRecord, RateLimit, Server, ServerConfig};

@@ -80,6 +80,42 @@ pub fn is_edge_limited(resp: &Response) -> bool {
     resp.status.code() == 429 && resp.headers.contains(H_EDGE_LIMITED)
 }
 
+/// Marks a 429 as a *fault-injected* rate limit from the chaos engine,
+/// as opposed to the edge limiter or the sybil detector. One of the
+/// three refusal provenances audits must keep apart.
+pub const H_FAULT_INJECTED: &str = "x-fault-injected";
+
+/// CAPTCHA challenge issued by the platform's sybil detector. The value
+/// is the solve cost in virtual milliseconds; the response itself is
+/// still served (the challenge rides along as an interstitial), and a
+/// crawler that wants to keep the session must absorb the delay.
+pub const H_CAPTCHA: &str = "x-captcha";
+
+/// Marks a 429 as a *detector throttle*: the sybil detector temporarily
+/// refusing an account it has flagged. Distinct from `x-edge-limited`
+/// (capacity) and `x-fault-injected` (chaos).
+pub const H_THROTTLED: &str = "x-throttled";
+
+/// Marks a suspension as a *detector* verdict (escalation ladder top),
+/// alongside the generic `x-account-suspended` failover marker.
+pub const H_SUSPENDED: &str = "x-suspended";
+
+/// Whether a 429 came from the chaos fault engine. See [`H_FAULT_INJECTED`].
+pub fn is_fault_limited(resp: &Response) -> bool {
+    resp.status.code() == 429 && resp.headers.contains(H_FAULT_INJECTED)
+}
+
+/// Whether a 429 is a sybil-detector throttle. See [`H_THROTTLED`].
+pub fn is_throttled(resp: &Response) -> bool {
+    resp.status.code() == 429 && resp.headers.contains(H_THROTTLED)
+}
+
+/// CAPTCHA solve cost attached to an otherwise-served response, in
+/// virtual milliseconds. See [`H_CAPTCHA`].
+pub fn captcha_delay_ms(resp: &Response) -> Option<u64> {
+    resp.headers.get(H_CAPTCHA).and_then(|v| v.trim().parse::<u64>().ok())
+}
+
 fn retry_after_ms(resp: &Response) -> Option<u64> {
     resp.headers
         .get(H_RETRY_AFTER)
@@ -165,6 +201,15 @@ pub struct RetryStats {
     pub deadlines_exceeded: AtomicU64,
     /// Virtual milliseconds spent waiting in backoff.
     pub backoff_virtual_ms: AtomicU64,
+    /// 429s stamped `x-edge-limited` (edge token bucket; a subset of
+    /// `rate_limited` — provenance ledger, not a new total).
+    pub edge_limited: AtomicU64,
+    /// 429s stamped `x-fault-injected` (chaos engine; subset of
+    /// `rate_limited`).
+    pub fault_rate_limited: AtomicU64,
+    /// 429s stamped `x-throttled` (sybil-detector throttle; subset of
+    /// `rate_limited`).
+    pub throttled: AtomicU64,
 }
 
 impl RetryStats {
@@ -194,6 +239,18 @@ impl RetryStats {
 
     pub fn backoff_virtual_ms(&self) -> u64 {
         self.backoff_virtual_ms.load(Ordering::Relaxed)
+    }
+
+    pub fn edge_limited(&self) -> u64 {
+        self.edge_limited.load(Ordering::Relaxed)
+    }
+
+    pub fn fault_rate_limited(&self) -> u64 {
+        self.fault_rate_limited.load(Ordering::Relaxed)
+    }
+
+    pub fn throttled(&self) -> u64 {
+        self.throttled.load(Ordering::Relaxed)
     }
 }
 
@@ -278,7 +335,20 @@ impl<E: Exchange> Exchange for ResilientExchange<E> {
                         ErrorClass::Terminal | ErrorClass::Fatal => return Ok(resp),
                         ErrorClass::Retryable { retry_after_ms } => {
                             match resp.status.code() {
-                                429 => self.stats.rate_limited.fetch_add(1, Ordering::Relaxed),
+                                429 => {
+                                    // Provenance ledger: which of the
+                                    // three limiters said no.
+                                    if is_edge_limited(&resp) {
+                                        self.stats.edge_limited.fetch_add(1, Ordering::Relaxed);
+                                    } else if is_fault_limited(&resp) {
+                                        self.stats
+                                            .fault_rate_limited
+                                            .fetch_add(1, Ordering::Relaxed);
+                                    } else if is_throttled(&resp) {
+                                        self.stats.throttled.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    self.stats.rate_limited.fetch_add(1, Ordering::Relaxed)
+                                }
                                 503 if is_shed(&resp) => {
                                     self.stats.sheds.fetch_add(1, Ordering::Relaxed)
                                 }
@@ -450,6 +520,45 @@ mod tests {
         assert_eq!(ex.stats().sheds(), 1);
         assert_eq!(ex.stats().server_errors(), 1);
         assert!(ex.clock().now_ms() >= 2_000, "the shed's Retry-After floor was honored");
+    }
+
+    #[test]
+    fn refusal_ledger_separates_429_provenance() {
+        let edge = Response::error(Status::TOO_MANY_REQUESTS, "edge")
+            .header(H_RETRY_AFTER, "1")
+            .header(H_EDGE_LIMITED, "1");
+        let fault = Response::error(Status::TOO_MANY_REQUESTS, "chaos")
+            .header(H_RETRY_AFTER, "1")
+            .header(H_FAULT_INJECTED, "1");
+        let throttle = Response::error(Status::TOO_MANY_REQUESTS, "flagged")
+            .header(H_RETRY_AFTER, "1")
+            .header(H_THROTTLED, "1");
+        let plain = Response::error(Status::TOO_MANY_REQUESTS, "unattributed");
+        let policy = RetryPolicy { max_attempts: 10, ..RetryPolicy::seeded(7) };
+        let mut ex = ResilientExchange::new(
+            Script::new(vec![
+                Ok(edge),
+                Ok(fault),
+                Ok(throttle),
+                Ok(plain),
+                Ok(Response::text("ok")),
+            ]),
+            policy,
+            VirtualClock::shared(),
+        );
+        assert_eq!(ex.exchange(Request::get("/x")).unwrap().body_string(), "ok");
+        assert_eq!(ex.stats().rate_limited(), 4, "every 429 still lands in the total");
+        assert_eq!(ex.stats().edge_limited(), 1);
+        assert_eq!(ex.stats().fault_rate_limited(), 1);
+        assert_eq!(ex.stats().throttled(), 1);
+    }
+
+    #[test]
+    fn captcha_header_parses_and_does_not_block() {
+        let challenged = Response::html("<html>page</html>").header(H_CAPTCHA, "30000");
+        assert_eq!(captcha_delay_ms(&challenged), Some(30_000));
+        assert_eq!(classify(&challenged), ErrorClass::Terminal, "captcha rides a served page");
+        assert_eq!(captcha_delay_ms(&Response::text("clean")), None);
     }
 
     #[test]

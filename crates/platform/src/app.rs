@@ -5,8 +5,11 @@ use crate::config::PlatformConfig;
 use crate::faults::FaultEngine;
 use crate::render;
 use crate::search::SearchIndex;
+use hsp_defense::{session_account_index, SybilDetector, Verdict};
 use hsp_graph::{CityId, Network, SchoolId, UserId};
-use hsp_http::resilient::{H_ACCOUNT_SUSPENDED, H_SESSION_EXPIRED};
+use hsp_http::resilient::{
+    H_ACCOUNT_SUSPENDED, H_CAPTCHA, H_RETRY_AFTER, H_SESSION_EXPIRED, H_SUSPENDED, H_THROTTLED,
+};
 use hsp_http::{request_cookie, Handler, PathParams, Request, Response, Router, Status};
 use hsp_obs::{Registry, RouteMetrics, VirtualClock};
 use hsp_policy::Policy;
@@ -48,6 +51,8 @@ pub struct Platform {
     pub clock: Arc<VirtualClock>,
     /// Fault-injection engine (a no-op under the default plan).
     pub faults: Arc<FaultEngine>,
+    /// Behavioral sybil detector (a strict no-op when `Off`).
+    pub defense: Arc<SybilDetector>,
     search: SearchIndex,
 }
 
@@ -82,6 +87,7 @@ impl Platform {
         clock: Arc<VirtualClock>,
     ) -> Arc<Self> {
         let faults = FaultEngine::new(config.faults.clone(), Arc::clone(&obs));
+        let defense = Arc::new(SybilDetector::new(config.defense.clone(), &obs));
         Arc::new(Platform {
             network,
             policy,
@@ -90,6 +96,7 @@ impl Platform {
             obs,
             clock,
             faults,
+            defense,
             search: SearchIndex::new(),
         })
     }
@@ -104,15 +111,58 @@ impl Platform {
     ) -> impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static {
         let m = RouteMetrics::register(&self.obs, route);
         let faults = Arc::clone(&self.faults);
+        let platform = Arc::clone(self);
         move |req, params| {
             let started = Instant::now();
-            // Fault layer wraps the application: pre-faults answer the
-            // request without running the handler (the account did
-            // nothing, so its budget is untouched); post-faults mangle
-            // the handler's response on the way out.
-            let resp = match faults.pre(req) {
-                Some(injected) => injected,
-                None => faults.post(req, f(req, params)),
+            // Defense layer wraps everything: the sybil detector sees
+            // the request first and may refuse it (throttle window,
+            // suspension) before faults or the handler run. A CAPTCHA
+            // verdict lets the request through but stamps the solve
+            // cost on whatever comes back — including fault-injected
+            // responses, since a challenged session pays on every page.
+            let verdict = platform.defense.observe(route, req, platform.clock.now_ms());
+            let resp = match verdict {
+                Verdict::Suspend => {
+                    if let Some(idx) = session_account_index(req) {
+                        platform.accounts.force_suspend(idx);
+                    }
+                    Response::error(
+                        Status::TOO_MANY_REQUESTS,
+                        "account suspended for suspicious activity",
+                    )
+                    .header(H_ACCOUNT_SUSPENDED, "1")
+                    .header(H_SUSPENDED, "1")
+                }
+                Verdict::Throttle { retry_after_secs } => {
+                    Response::error(Status::TOO_MANY_REQUESTS, "temporarily throttled")
+                        .header(H_RETRY_AFTER, retry_after_secs.to_string())
+                        .header(H_THROTTLED, "1")
+                }
+                Verdict::Allow | Verdict::Challenge { .. } => {
+                    // Fault layer wraps the application: pre-faults
+                    // answer the request without running the handler
+                    // (the account did nothing, so its budget is
+                    // untouched); post-faults mangle the handler's
+                    // response on the way out.
+                    let resp = match faults.pre(req) {
+                        Some(injected) => injected,
+                        None => {
+                            let resp = faults.post(req, f(req, params));
+                            if route == "/message/:uid" {
+                                platform
+                                    .defense
+                                    .observe_message_outcome(req, resp.status == Status::FORBIDDEN);
+                            }
+                            resp
+                        }
+                    };
+                    match verdict {
+                        Verdict::Challenge { delay_ms } => {
+                            resp.header(H_CAPTCHA, delay_ms.to_string())
+                        }
+                        _ => resp,
+                    }
+                }
             };
             m.observe(
                 resp.status.code(),

@@ -1,6 +1,7 @@
 //! Platform service configuration.
 
 use crate::faults::FaultPlan;
+use hsp_defense::DefenseConfig;
 use serde::{Deserialize, Serialize};
 
 /// Tunables of the simulated OSN service.
@@ -31,6 +32,8 @@ pub struct PlatformConfig {
     pub rate_window_ms: u64,
     /// Fault-injection schedule (disabled by default).
     pub faults: FaultPlan,
+    /// Behavioral sybil detection (off by default; see `hsp-defense`).
+    pub defense: DefenseConfig,
 }
 
 impl Default for PlatformConfig {
@@ -43,6 +46,7 @@ impl Default for PlatformConfig {
             rate_max_in_window: 0,
             rate_window_ms: 60_000,
             faults: FaultPlan::default(),
+            defense: DefenseConfig::default(),
         }
     }
 }

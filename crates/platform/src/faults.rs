@@ -24,7 +24,9 @@
 //! Every injection lands in the shared registry as
 //! `platform_fault_injected_total{kind="..."}`.
 
-use hsp_http::resilient::{H_RETRY_AFTER, H_SIMULATED_FAULT, H_VIRTUAL_LATENCY_MS};
+use hsp_http::resilient::{
+    H_FAULT_INJECTED, H_RETRY_AFTER, H_SIMULATED_FAULT, H_VIRTUAL_LATENCY_MS,
+};
 use hsp_http::{request_cookie, Request, Response, Status};
 use hsp_obs::Registry;
 use parking_lot::Mutex;
@@ -221,7 +223,8 @@ impl FaultEngine {
             self.record("rate_limit");
             return Some(
                 Response::error(Status::TOO_MANY_REQUESTS, "rate limit exceeded")
-                    .header(H_RETRY_AFTER, self.plan.retry_after_secs.to_string()),
+                    .header(H_RETRY_AFTER, self.plan.retry_after_secs.to_string())
+                    .header(H_FAULT_INJECTED, "1"),
             );
         }
         if self.roll(key, self.plan.server_error_per_mille) {

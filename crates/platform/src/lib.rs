@@ -29,3 +29,4 @@ pub use accounts::{AccountError, Accounts};
 pub use app::{Platform, ROUTES};
 pub use config::PlatformConfig;
 pub use faults::{FaultEngine, FaultPlan};
+pub use hsp_defense::{DefenseConfig, DetectorStrength, SybilDetector};

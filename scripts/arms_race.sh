@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Defender arms race: sweep the sybil detector's strength tiers against
+# the naive and adaptive crawlers on the full HS1 attack, enforce the
+# frontier gates (detector-off == baseline bit-for-bit; detection rate
+# monotone per crawler mode; strongest tier >=50% session detection on
+# the naive crawler; naive attack cost monotone in strength;
+# deterministic replay), and append the rows to BENCH_defense.json at
+# the workspace root.
+#
+# Offline-safe: all dependencies resolve to the vendored path stubs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> detector unit suite (escalation ladder, determinism, noop-off)"
+cargo test --release -q -p hsp-defense
+
+echo "==> detector/worker-count equivalence (defended + chaotic, proptest)"
+cargo test --release -q --test parallel_equivalence
+
+echo "==> arms-race sweep + gates -> BENCH_defense.json"
+cargo run --release --example arms_race
+
+echo "Arms race complete."

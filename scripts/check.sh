@@ -25,4 +25,7 @@ cargo run --release --example crawl_bench -- --smoke
 echo "==> overload + transport-chaos soak, smoke mode (2 seeds, tiny attack)"
 SOAK_SEEDS=2 SOAK_SCENARIO=tiny cargo run --release --example soak
 
+echo "==> arms-race smoke (tiny world, all detector tiers, frontier gates)"
+ARMS_SCENARIO=tiny cargo run --release --example arms_race
+
 echo "All checks passed."

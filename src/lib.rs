@@ -1,6 +1,7 @@
 //! Umbrella crate: re-exports the workspace public API.
 pub use hsp_core as core;
 pub use hsp_crawler as crawler;
+pub use hsp_defense as defense;
 pub use hsp_experiments as experiments;
 pub use hsp_graph as graph;
 pub use hsp_http as http;

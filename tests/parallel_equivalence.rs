@@ -12,7 +12,7 @@
 
 use hs_profiler::core::{evaluate, EvalPoint};
 use hs_profiler::experiments::runner::{full_attack_with, AttackRun, Lab};
-use hs_profiler::platform::FaultPlan;
+use hs_profiler::platform::{DefenseConfig, DetectorStrength, FaultPlan, PlatformConfig};
 use hs_profiler::synth::ScenarioConfig;
 
 const SEED: u64 = 0x9d5f_2013;
@@ -65,6 +65,86 @@ fn worker_count_never_changes_the_attack() {
 
     // And the chaos actually happened — this was not a fault-free walk.
     assert!(one.effort_total.retry_requests > 0, "chaos should force retries");
+}
+
+/// One defended + chaotic parallel attack, reduced to everything that
+/// must be invariant across worker counts: the checkpoint, the effort
+/// ledger (captchas and throttle retries included), the Table-4
+/// numbers, and — new with hsp-defense — the detector's *own* internal
+/// state digest (per-session features, scores, ladder positions).
+fn defended_attack(
+    workers: usize,
+    strength: DetectorStrength,
+) -> (String, hs_profiler::crawler::Effort, u64, EvalPoint) {
+    let lab = Lab::facebook_configured(
+        &ScenarioConfig::tiny(),
+        PlatformConfig {
+            faults: FaultPlan::chaos(),
+            defense: DefenseConfig { strength, ..DefenseConfig::default() },
+            ..PlatformConfig::default()
+        },
+    );
+    let access = Box::new(lab.parallel_crawler(2, workers, "atk", SEED));
+    let run = full_attack_with(&lab, access);
+    let digest = lab.platform.defense.state_digest();
+    (run.access.checkpoint().to_json(), run.effort_total, digest, table4(&lab, &run))
+}
+
+fn defended_reference(
+    strength: DetectorStrength,
+) -> &'static (String, hs_profiler::crawler::Effort, u64, EvalPoint) {
+    use std::sync::OnceLock;
+    static LOW: OnceLock<(String, hs_profiler::crawler::Effort, u64, EvalPoint)> = OnceLock::new();
+    static MEDIUM: OnceLock<(String, hs_profiler::crawler::Effort, u64, EvalPoint)> =
+        OnceLock::new();
+    let cell = match strength {
+        DetectorStrength::Low => &LOW,
+        DetectorStrength::Medium => &MEDIUM,
+        _ => panic!("reference cached for Low/Medium only"),
+    };
+    cell.get_or_init(|| defended_attack(1, strength))
+}
+
+proptest::proptest! {
+    // Every case is a full (tiny) chaotic crawl; keep the count small.
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+
+    /// The detector observes, scores and escalates per *session*, in
+    /// each session's own request order — so its feature extraction and
+    /// verdict stream must be bit-identical at any worker count, even
+    /// with `FaultPlan::chaos()` mangling the traffic underneath.
+    #[test]
+    fn detector_state_is_bit_identical_across_worker_counts(
+        workers in 2usize..=8,
+        tier in 0usize..=1,
+    ) {
+        let strength = [DetectorStrength::Low, DetectorStrength::Medium][tier];
+        let reference = defended_reference(strength);
+        let run = defended_attack(workers, strength);
+        proptest::prop_assert_eq!(&run, reference);
+    }
+}
+
+/// The property above must not hold vacuously: under the parallel
+/// crawler every seat keeps its own clock, the platform clock never
+/// advances, and the all-zero timing gaps read as a maximally
+/// machine-like signature — Medium must actually flag the fleet.
+#[test]
+fn defended_chaotic_parallel_run_engages_the_detector() {
+    let (_, effort, digest, _) = defended_reference(DetectorStrength::Medium).clone();
+    assert_ne!(digest, 0, "detector saw no sessions");
+    assert!(effort.captcha_challenges > 0, "medium tier should be issuing captchas");
+    let (off_ckpt, off_effort, off_digest, off_eval) = defended_attack(1, DetectorStrength::Off);
+    assert_ne!(digest, off_digest, "a defended run must accumulate per-session state");
+    // And the defense's costs are visible in the ledger: same attack,
+    // same chaos, but the defended run works harder.
+    assert!(effort.captcha_virtual_ms > 0);
+    assert_eq!(off_effort.captcha_challenges, 0);
+    // The attack still lands either way (the detector raises cost, it
+    // does not undo the paper's result on these tiers).
+    let (_, _, _, eval) = defended_reference(DetectorStrength::Medium);
+    assert!(eval.found > 0 && off_eval.found > 0);
+    assert!(!off_ckpt.is_empty());
 }
 
 #[test]
