@@ -17,9 +17,13 @@ use crate::effort::Effort;
 use crate::scrape::{parse_listing, parse_profile, ScrapedProfile};
 use crate::snapshot::CrawlSnapshot;
 use hsp_graph::{SchoolId, UserId};
-use hsp_http::resilient::{is_shed, retryable_transport_error, RetryStats, H_ACCOUNT_SUSPENDED};
+use hsp_http::resilient::{
+    captcha_delay_ms, is_shed, refusal_provenance, retryable_transport_error, RetryStats,
+    H_ACCOUNT_SUSPENDED, H_TRACE_ID,
+};
 use hsp_http::{Exchange, HttpError, Request, Response, Status};
-use hsp_obs::{Counter, Registry, VirtualClock};
+use hsp_obs::trace::{fnv1a_chain, SpanRecord, FNV_OFFSET, TRACE_SEED};
+use hsp_obs::{Counter, FlightRecorder, Registry, TraceCtx, VirtualClock};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -284,6 +288,8 @@ struct AccountSession<E: Exchange> {
     password: String,
     /// Kicked out by the platform's anti-crawling rule; out of rotation.
     suspended: bool,
+    /// Trace lane (see [`trace_lane`]); cached at enrollment.
+    lane: u64,
 }
 
 /// Endpoint labels used for metrics, effort buckets and breakers.
@@ -303,6 +309,60 @@ pub(crate) const ENDPOINTS: [&str; 7] =
 /// the audit-side half of the response-header taxonomy: every refusal
 /// the crawl absorbs is attributed to exactly one limiter.
 pub(crate) const REFUSAL_SOURCES: [&str; 5] = ["edge", "fault", "throttle", "shed", "suspension"];
+
+/// Deterministic trace lane for an account: FNV-1a of its username.
+/// Usernames are unique per account (including recruits) across both
+/// the sequential crawler and the parallel scheduler, so lanes are
+/// globally collision-stable and identical at any worker count.
+pub(crate) fn trace_lane(username: &str) -> u64 {
+    fnv1a_chain(FNV_OFFSET, username.as_bytes())
+}
+
+/// Record the crawl-side root span for one issued request. `resp` is
+/// `None` when the transport failed outright (the retry layer's budget
+/// included). The outcome taxonomy mirrors the fetch loop's own
+/// branches so a trace reads like the crawler's decision log.
+pub(crate) fn record_root_span(
+    tracer: &FlightRecorder,
+    ctx: &TraceCtx,
+    name: &str,
+    begin_ms: u64,
+    end_ms: u64,
+    resp: Option<&Response>,
+) {
+    let (status, outcome, provenance, captcha_ms) = match resp {
+        None => (0, "transport", "", 0),
+        Some(resp) => {
+            let provenance = refusal_provenance(resp).unwrap_or("");
+            let outcome = if resp.status.is_success() {
+                "ok"
+            } else if resp.status == Status::FORBIDDEN {
+                "denied"
+            } else if resp.status == Status::UNAUTHORIZED {
+                "session-expired"
+            } else if !provenance.is_empty() {
+                "refused"
+            } else {
+                "error"
+            };
+            (resp.status.code(), outcome, provenance, captcha_delay_ms(resp).unwrap_or(0))
+        }
+    };
+    tracer.record(SpanRecord {
+        trace_id: ctx.trace_id,
+        span_id: ctx.root_span(),
+        parent_id: 0,
+        lane: ctx.lane,
+        ordinal: ctx.ordinal,
+        name: name.to_string(),
+        begin_ms,
+        end_ms,
+        status,
+        outcome: outcome.to_string(),
+        provenance: provenance.to_string(),
+        captcha_ms,
+    });
+}
 
 /// Pre-resolved crawler metric handles (attacker-side accounting):
 /// per-endpoint fetch counts, cache hit/miss tallies, retry/breaker/
@@ -387,6 +447,7 @@ pub struct CrawlerBuilder<E: Exchange> {
     label: String,
     politeness: Politeness,
     obs: Option<CrawlerMetrics>,
+    tracer: Option<Arc<FlightRecorder>>,
     clock: Option<Arc<VirtualClock>>,
     retry_stats: Option<Arc<RetryStats>>,
     factory: Option<Box<dyn FnMut() -> E>>,
@@ -401,6 +462,7 @@ impl<E: Exchange> CrawlerBuilder<E> {
             label: label.to_string(),
             politeness: Politeness::default(),
             obs: None,
+            tracer: None,
             clock: None,
             retry_stats: None,
             factory: None,
@@ -415,9 +477,13 @@ impl<E: Exchange> CrawlerBuilder<E> {
         self
     }
 
-    /// Record attacker-side telemetry into `registry`.
+    /// Record attacker-side telemetry into `registry`. Also picks up
+    /// the registry's flight recorder: when tracing is enabled there,
+    /// every issued request carries an `x-trace-id` and records its
+    /// crawl-side root span.
     pub fn observability(mut self, registry: &Registry) -> Self {
         self.obs = Some(CrawlerMetrics::register(registry));
+        self.tracer = Some(Arc::clone(registry.tracer()));
         self
     }
 
@@ -519,6 +585,11 @@ pub struct Crawler<E: Exchange> {
     edge_refusals_synced: u64,
     fault_refusals_synced: u64,
     throttle_refusals_synced: u64,
+    /// Flight recorder shared with the registry; `None` or disabled
+    /// means no per-request trace context is minted.
+    tracer: Option<Arc<FlightRecorder>>,
+    /// Next request ordinal per trace lane.
+    trace_ordinals: HashMap<u64, u64>,
 }
 
 impl<E: Exchange> Crawler<E> {
@@ -588,6 +659,8 @@ impl<E: Exchange> Crawler<E> {
             edge_refusals_synced: 0,
             fault_refusals_synced: 0,
             throttle_refusals_synced: 0,
+            tracer: builder.tracer,
+            trace_ordinals: HashMap::new(),
         };
         for (i, exchange) in exchanges.into_iter().enumerate() {
             let username = format!("{}-{i}", crawler.label);
@@ -603,8 +676,17 @@ impl<E: Exchange> Crawler<E> {
     /// account, adding it to the rotation.
     fn enroll(&mut self, mut exchange: E, username: String) -> Result<(), CrawlError> {
         let password = "hunter2";
-        let signup = Request::post_form("/signup", &[("user", &username), ("pass", password)]);
+        let lane = trace_lane(&username);
+        let mut signup = Request::post_form("/signup", &[("user", &username), ("pass", password)]);
+        let trace = self.next_trace_ctx(lane);
+        if let Some((_, ctx)) = &trace {
+            signup = signup.header(H_TRACE_ID, ctx.header_value());
+        }
+        let begin_ms = self.trace_now_ms();
         let (resp, retries) = auth_post(&mut exchange, &signup)?;
+        if let Some((tracer, ctx)) = &trace {
+            record_root_span(tracer, ctx, EP_AUTH, begin_ms, self.trace_now_ms(), Some(&resp));
+        }
         self.count_auth_attempts(1 + retries);
         // An already-registered fake account is fine — reuse it by
         // logging in (the paper's attacker kept accounts across crawls).
@@ -614,8 +696,16 @@ impl<E: Exchange> Crawler<E> {
         if !resp.status.is_success() && resp.status != Status::BAD_REQUEST {
             return Err(CrawlError::Denied(resp.status));
         }
-        let login = Request::post_form("/login", &[("user", &username), ("pass", password)]);
+        let mut login = Request::post_form("/login", &[("user", &username), ("pass", password)]);
+        let trace = self.next_trace_ctx(lane);
+        if let Some((_, ctx)) = &trace {
+            login = login.header(H_TRACE_ID, ctx.header_value());
+        }
+        let begin_ms = self.trace_now_ms();
         let (resp, retries) = auth_post(&mut exchange, &login)?;
+        if let Some((tracer, ctx)) = &trace {
+            record_root_span(tracer, ctx, EP_AUTH, begin_ms, self.trace_now_ms(), Some(&resp));
+        }
         self.count_auth_attempts(1 + retries);
         if !resp.status.is_success() {
             return Err(CrawlError::Denied(resp.status));
@@ -625,9 +715,33 @@ impl<E: Exchange> Crawler<E> {
             username,
             password: password.to_string(),
             suspended: false,
+            lane,
         });
         self.account_draws.push(0);
         Ok(())
+    }
+
+    /// Mint the next trace context for `lane`, or `None` when tracing
+    /// is off (the recorder check keeps the disabled path to one atomic
+    /// load plus a map probe).
+    fn next_trace_ctx(&mut self, lane: u64) -> Option<(Arc<FlightRecorder>, TraceCtx)> {
+        let tracer = self.tracer.as_ref()?;
+        if !tracer.is_enabled() {
+            return None;
+        }
+        let ord = self.trace_ordinals.entry(lane).or_insert(0);
+        let ctx = TraceCtx::derive(TRACE_SEED, lane, *ord);
+        *ord += 1;
+        Some((Arc::clone(tracer), ctx))
+    }
+
+    /// Current virtual time for span stamps (shared clock when present,
+    /// otherwise the crawler's private elapsed counter).
+    fn trace_now_ms(&self) -> u64 {
+        match &self.clock {
+            Some(clock) => clock.now_ms(),
+            None => self.virtual_elapsed_ms,
+        }
     }
 
     /// Number of fake accounts in use (live + suspended).
@@ -954,8 +1068,16 @@ impl<E: Exchange> Crawler<E> {
     fn relogin(&mut self, account: usize) -> Result<(), CrawlError> {
         let (username, password) =
             (self.accounts[account].username.clone(), self.accounts[account].password.clone());
-        let login = Request::post_form("/login", &[("user", &username), ("pass", &password)]);
+        let mut login = Request::post_form("/login", &[("user", &username), ("pass", &password)]);
+        let trace = self.next_trace_ctx(self.accounts[account].lane);
+        if let Some((_, ctx)) = &trace {
+            login = login.header(H_TRACE_ID, ctx.header_value());
+        }
+        let begin_ms = self.trace_now_ms();
         let (resp, retries) = auth_post(&mut self.accounts[account].exchange, &login)?;
+        if let Some((tracer, ctx)) = &trace {
+            record_root_span(tracer, ctx, EP_AUTH, begin_ms, self.trace_now_ms(), Some(&resp));
+        }
         self.count_auth_attempts(1 + retries);
         if !resp.status.is_success() {
             return Err(CrawlError::Denied(resp.status));
@@ -992,7 +1114,23 @@ impl<E: Exchange> Crawler<E> {
                 None => self.next_live_account()?,
             };
             self.advance_politeness(account);
-            let result = self.accounts[account].exchange.exchange(Request::get(path));
+            let trace = self.next_trace_ctx(self.accounts[account].lane);
+            let mut req = Request::get(path);
+            if let Some((_, ctx)) = &trace {
+                req = req.header(H_TRACE_ID, ctx.header_value());
+            }
+            let begin_ms = self.trace_now_ms();
+            let result = self.accounts[account].exchange.exchange(req);
+            if let Some((tracer, ctx)) = &trace {
+                record_root_span(
+                    tracer,
+                    ctx,
+                    endpoint,
+                    begin_ms,
+                    self.trace_now_ms(),
+                    result.as_ref().ok(),
+                );
+            }
             self.count_request(endpoint);
             self.sync_retries();
             self.observe_shed_pressure();
@@ -1283,9 +1421,24 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
     fn send_message(&mut self, uid: UserId, body: &str) -> Result<bool, CrawlError> {
         let account = self.next_live_account()?;
         self.advance_politeness(account);
-        let resp = self.accounts[account]
-            .exchange
-            .exchange(Request::post_form(format!("/message/{uid}"), &[("body", body)]))?;
+        let trace = self.next_trace_ctx(self.accounts[account].lane);
+        let mut req = Request::post_form(format!("/message/{uid}"), &[("body", body)]);
+        if let Some((_, ctx)) = &trace {
+            req = req.header(H_TRACE_ID, ctx.header_value());
+        }
+        let begin_ms = self.trace_now_ms();
+        let result = self.accounts[account].exchange.exchange(req);
+        if let Some((tracer, ctx)) = &trace {
+            record_root_span(
+                tracer,
+                ctx,
+                EP_MESSAGE,
+                begin_ms,
+                self.trace_now_ms(),
+                result.as_ref().ok(),
+            );
+        }
+        let resp = result?;
         self.count_request(EP_MESSAGE);
         self.sync_retries();
         self.absorb_captcha(&resp);

@@ -31,16 +31,18 @@
 //! attack's virtual wall-clock.
 
 use crate::driver::{
-    html_complete, Breaker, BreakerConfig, CrawlError, CrawlerMetrics, OsnAccess, Politeness,
-    EP_AUTH, EP_CIRCLES, EP_FRIENDS, EP_MESSAGE, EP_PROFILE, EP_SEEDS,
+    html_complete, record_root_span, trace_lane, Breaker, BreakerConfig, CrawlError,
+    CrawlerMetrics, OsnAccess, Politeness, EP_AUTH, EP_CIRCLES, EP_FRIENDS, EP_MESSAGE, EP_PROFILE,
+    EP_SEEDS,
 };
 use crate::effort::Effort;
 use crate::scrape::{parse_listing, parse_profile, ScrapedProfile};
 use crate::snapshot::CrawlSnapshot;
 use hsp_graph::{SchoolId, UserId};
-use hsp_http::resilient::{captcha_delay_ms, RetryStats, H_ACCOUNT_SUSPENDED};
+use hsp_http::resilient::{captcha_delay_ms, RetryStats, H_ACCOUNT_SUSPENDED, H_TRACE_ID};
 use hsp_http::{Exchange, HttpError, Request, Status};
-use hsp_obs::{Gauge, Histogram, Registry, VirtualClock};
+use hsp_obs::trace::TRACE_SEED;
+use hsp_obs::{FlightRecorder, Gauge, Histogram, Registry, TraceCtx, VirtualClock};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -97,6 +99,8 @@ struct Shared {
     /// Per-job attempt budget (mirrors the sequential fetch loop).
     budget: usize,
     metrics: Option<Arc<CrawlerMetrics>>,
+    /// Flight recorder shared with the registry (trace propagation).
+    tracer: Option<Arc<FlightRecorder>>,
 }
 
 /// Scheduler-level telemetry (on top of the shared [`CrawlerMetrics`]).
@@ -132,6 +136,11 @@ struct AccountWorker<E: Exchange> {
     local_ms: u64,
     clock: Option<Arc<VirtualClock>>,
     breakers: HashMap<&'static str, Breaker>,
+    /// Trace lane ([`trace_lane`] of the username) and the next request
+    /// ordinal on it. Only this worker's thread touches the ordinal, so
+    /// per-lane trace ids are deterministic at any worker count.
+    lane: u64,
+    trace_ordinal: u64,
 }
 
 impl<E: Exchange> AccountWorker<E> {
@@ -147,6 +156,18 @@ impl<E: Exchange> AccountWorker<E> {
         if let Some(clock) = &self.clock {
             clock.advance_ms(ms);
         }
+    }
+
+    /// Mint the next trace context on this account's lane, or `None`
+    /// when tracing is off.
+    fn next_trace_ctx(&mut self, shared: &Shared) -> Option<(Arc<FlightRecorder>, TraceCtx)> {
+        let tracer = shared.tracer.as_ref()?;
+        if !tracer.is_enabled() {
+            return None;
+        }
+        let ctx = TraceCtx::derive(TRACE_SEED, self.lane, self.trace_ordinal);
+        self.trace_ordinal += 1;
+        Some((Arc::clone(tracer), ctx))
     }
 
     fn count_request(&mut self, endpoint: &'static str, shared: &Shared) {
@@ -225,9 +246,17 @@ impl<E: Exchange> AccountWorker<E> {
 
     fn relogin(&mut self, shared: &Shared) -> Result<(), CrawlError> {
         let (username, password) = (self.username.clone(), self.password.clone());
-        let resp = self
-            .exchange
-            .exchange(Request::post_form("/login", &[("user", &username), ("pass", &password)]))?;
+        let trace = self.next_trace_ctx(shared);
+        let mut req = Request::post_form("/login", &[("user", &username), ("pass", &password)]);
+        if let Some((_, ctx)) = &trace {
+            req = req.header(H_TRACE_ID, ctx.header_value());
+        }
+        let begin_ms = self.now_ms();
+        let result = self.exchange.exchange(req);
+        if let Some((tracer, ctx)) = &trace {
+            record_root_span(tracer, ctx, EP_AUTH, begin_ms, self.now_ms(), result.as_ref().ok());
+        }
+        let resp = result?;
         self.count_request(EP_AUTH, shared);
         if !resp.status.is_success() {
             return Err(CrawlError::Denied(resp.status));
@@ -247,7 +276,23 @@ impl<E: Exchange> AccountWorker<E> {
                 return FetchOut::Suspended;
             }
             self.advance_politeness(shared);
-            let result = self.exchange.exchange(Request::get(path));
+            let trace = self.next_trace_ctx(shared);
+            let mut req = Request::get(path);
+            if let Some((_, ctx)) = &trace {
+                req = req.header(H_TRACE_ID, ctx.header_value());
+            }
+            let begin_ms = self.now_ms();
+            let result = self.exchange.exchange(req);
+            if let Some((tracer, ctx)) = &trace {
+                record_root_span(
+                    tracer,
+                    ctx,
+                    endpoint,
+                    begin_ms,
+                    self.now_ms(),
+                    result.as_ref().ok(),
+                );
+            }
             self.count_request(endpoint, shared);
             let resp = match result {
                 Ok(resp) => resp,
@@ -449,6 +494,7 @@ pub struct ParallelCrawlerBuilder<E: Exchange + Send> {
     workers: usize,
     max_accounts: usize,
     obs: Option<(Arc<CrawlerMetrics>, SchedMetrics)>,
+    tracer: Option<Arc<FlightRecorder>>,
     retry_stats: Option<Arc<RetryStats>>,
     factory: Option<Box<dyn FnMut() -> AccountSeat<E>>>,
 }
@@ -462,6 +508,7 @@ impl<E: Exchange + Send> ParallelCrawlerBuilder<E> {
             workers: 1,
             max_accounts: 8,
             obs: None,
+            tracer: None,
             retry_stats: None,
             factory: None,
         }
@@ -486,9 +533,13 @@ impl<E: Exchange + Send> ParallelCrawlerBuilder<E> {
 
     /// Record attacker-side telemetry (the same `crawler_*` metrics the
     /// sequential crawler emits, plus scheduler batch/throughput ones).
+    /// Also picks up the registry's flight recorder: when tracing is
+    /// enabled there, every issued request carries an `x-trace-id` and
+    /// records its crawl-side root span.
     pub fn observability(mut self, registry: &Registry) -> Self {
         self.obs =
             Some((Arc::new(CrawlerMetrics::register(registry)), SchedMetrics::register(registry)));
+        self.tracer = Some(Arc::clone(registry.tracer()));
         self
     }
 
@@ -572,6 +623,7 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
                 breaker: builder.breaker,
                 budget,
                 metrics,
+                tracer: builder.tracer,
             },
             factory: builder.factory,
             recruited: 0,
@@ -607,6 +659,7 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
     /// Sign up (tolerating "already registered") and log in one seat.
     fn enroll(&mut self, seat: AccountSeat<E>, username: String) -> Result<(), CrawlError> {
         let password = "hunter2";
+        let lane = trace_lane(&username);
         let mut worker = AccountWorker {
             exchange: seat.exchange,
             username,
@@ -616,19 +669,37 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
             local_ms: 0,
             clock: seat.clock,
             breakers: HashMap::new(),
+            lane,
+            trace_ordinal: 0,
         };
-        let resp = worker.exchange.exchange(Request::post_form(
-            "/signup",
-            &[("user", &worker.username), ("pass", password)],
-        ))?;
+        let trace = worker.next_trace_ctx(&self.shared);
+        let mut signup =
+            Request::post_form("/signup", &[("user", &worker.username), ("pass", password)]);
+        if let Some((_, ctx)) = &trace {
+            signup = signup.header(H_TRACE_ID, ctx.header_value());
+        }
+        let begin_ms = worker.now_ms();
+        let result = worker.exchange.exchange(signup);
+        if let Some((tracer, ctx)) = &trace {
+            record_root_span(tracer, ctx, EP_AUTH, begin_ms, worker.now_ms(), result.as_ref().ok());
+        }
+        let resp = result?;
         worker.count_request(EP_AUTH, &self.shared);
         if !resp.status.is_success() && resp.status != Status::BAD_REQUEST {
             return Err(CrawlError::Denied(resp.status));
         }
-        let resp = worker.exchange.exchange(Request::post_form(
-            "/login",
-            &[("user", &worker.username), ("pass", password)],
-        ))?;
+        let trace = worker.next_trace_ctx(&self.shared);
+        let mut login =
+            Request::post_form("/login", &[("user", &worker.username), ("pass", password)]);
+        if let Some((_, ctx)) = &trace {
+            login = login.header(H_TRACE_ID, ctx.header_value());
+        }
+        let begin_ms = worker.now_ms();
+        let result = worker.exchange.exchange(login);
+        if let Some((tracer, ctx)) = &trace {
+            record_root_span(tracer, ctx, EP_AUTH, begin_ms, worker.now_ms(), result.as_ref().ok());
+        }
+        let resp = result?;
         worker.count_request(EP_AUTH, &self.shared);
         if !resp.status.is_success() {
             return Err(CrawlError::Denied(resp.status));
@@ -1035,9 +1106,24 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
         let mut worker = self.accounts[account].lock().expect("account lock");
         let t0 = worker.now_ms();
         worker.advance_politeness(&self.shared);
-        let resp = worker
-            .exchange
-            .exchange(Request::post_form(format!("/message/{uid}"), &[("body", body)]))?;
+        let trace = worker.next_trace_ctx(&self.shared);
+        let mut req = Request::post_form(format!("/message/{uid}"), &[("body", body)]);
+        if let Some((_, ctx)) = &trace {
+            req = req.header(H_TRACE_ID, ctx.header_value());
+        }
+        let begin_ms = worker.now_ms();
+        let result = worker.exchange.exchange(req);
+        if let Some((tracer, ctx)) = &trace {
+            record_root_span(
+                tracer,
+                ctx,
+                EP_MESSAGE,
+                begin_ms,
+                worker.now_ms(),
+                result.as_ref().ok(),
+            );
+        }
+        let resp = result?;
         worker.count_request(EP_MESSAGE, &self.shared);
         worker.absorb_captcha(&resp, &self.shared);
         let outcome = match resp.status {

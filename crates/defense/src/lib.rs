@@ -576,6 +576,18 @@ impl SybilDetector {
         self.sessions.lock().values().filter(|s| s.flagged).count() as u64
     }
 
+    /// How many tracked sessions currently sit on each rung of the
+    /// escalation ladder, indexed `[none, captcha, throttle, suspend]`.
+    /// Feeds the `/__status` operator dashboard.
+    pub fn ladder_occupancy(&self) -> [u64; 4] {
+        let sessions = self.sessions.lock();
+        let mut counts = [0u64; 4];
+        for state in sessions.values() {
+            counts[state.tier as usize] += 1;
+        }
+        counts
+    }
+
     /// Sessions with at least `min_requests` observed requests — the
     /// frontier denominator (sessions large enough that every strength
     /// tier's model has had a chance to score them).

@@ -15,10 +15,12 @@ pub mod exp_threats;
 pub mod report;
 pub mod runner;
 pub mod tablefmt;
+pub mod trace_audit;
 
 pub use ctx::Ctx;
 pub use report::ExperimentReport;
 pub use runner::{full_attack, AttackRun, Lab};
+pub use trace_audit::{audit_trace, TraceAudit};
 
 /// All experiment ids in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[

@@ -192,6 +192,7 @@ impl Lab {
             let handler = self.handler.clone();
             let clock = Arc::clone(&clock);
             let stats = Arc::clone(&stats);
+            let tracer = Arc::clone(self.obs.tracer());
             move |i: u64| {
                 ResilientExchange::with_stats(
                     DirectExchange::new(handler.clone()),
@@ -199,6 +200,7 @@ impl Lab {
                     Arc::clone(&clock),
                     Arc::clone(&stats),
                 )
+                .with_tracer(Arc::clone(&tracer))
             }
         };
         let exchanges: Vec<_> = (0..accounts as u64).map(&wrap).collect();
@@ -242,6 +244,7 @@ impl Lab {
             let handler = self.handler.clone();
             let clock = Arc::clone(&clock);
             let stats = Arc::clone(&stats);
+            let tracer = Arc::clone(self.obs.tracer());
             move |i: u64| {
                 ResilientExchange::with_stats(
                     DirectExchange::new(handler.clone()),
@@ -249,6 +252,7 @@ impl Lab {
                     Arc::clone(&clock),
                     Arc::clone(&stats),
                 )
+                .with_tracer(Arc::clone(&tracer))
             }
         };
         let exchanges: Vec<_> = (0..accounts as u64).map(&wrap).collect();
@@ -329,19 +333,22 @@ impl Lab {
             let clock = Arc::clone(&clock);
             let chaos_stats = Arc::clone(&chaos_stats);
             let retry_stats = Arc::clone(&retry_stats);
+            let tracer = Arc::clone(self.obs.tracer());
             move |i: u64| {
                 let chaotic = ChaosTransport::with_stats(
                     transport(),
                     plan.with_seed(plan.seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
                     Arc::clone(&clock),
                     Arc::clone(&chaos_stats),
-                );
+                )
+                .with_tracer(Arc::clone(&tracer));
                 ResilientExchange::with_stats(
                     chaotic,
                     RetryPolicy::seeded(seed ^ i),
                     Arc::clone(&clock),
                     Arc::clone(&retry_stats),
                 )
+                .with_tracer(Arc::clone(&tracer))
             }
         };
         let exchanges: Vec<_> = (0..accounts as u64).map(&wrap).collect();
@@ -382,6 +389,7 @@ impl Lab {
         let seat = {
             let handler = self.handler.clone();
             let stats = Arc::clone(&stats);
+            let tracer = Arc::clone(self.obs.tracer());
             move |i: u64| {
                 let clock = VirtualClock::shared();
                 AccountSeat {
@@ -390,7 +398,8 @@ impl Lab {
                         RetryPolicy::seeded(seed ^ i),
                         Arc::clone(&clock),
                         Arc::clone(&stats),
-                    ),
+                    )
+                    .with_tracer(Arc::clone(&tracer)),
                     clock: Some(clock),
                 }
             }

@@ -33,9 +33,10 @@
 use crate::client::Exchange;
 use crate::error::{HttpError, Result};
 use crate::message::{Request, Response};
-use crate::resilient::{is_edge_limited, is_shed};
+use crate::resilient::{is_edge_limited, is_shed, H_TRACE_ID};
 use crate::types::Method;
-use hsp_obs::VirtualClock;
+use hsp_obs::trace::{SpanRecord, SLOT_CHAOS};
+use hsp_obs::{FlightRecorder, TraceCtx, VirtualClock};
 use std::io::{ErrorKind, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -231,6 +232,7 @@ pub struct ChaosTransport<E> {
     /// Fingerprint of the last POST whose delivery ended in a transport
     /// failure; armed until a POST is delivered again.
     last_failed_post: Option<u64>,
+    tracer: Option<Arc<FlightRecorder>>,
 }
 
 impl<E: Exchange> ChaosTransport<E> {
@@ -247,7 +249,47 @@ impl<E: Exchange> ChaosTransport<E> {
         stats: Arc<ChaosStats>,
     ) -> ChaosTransport<E> {
         let stream_key = splitmix64(plan.seed);
-        ChaosTransport { inner, plan, clock, stats, stream_key, counter: 0, last_failed_post: None }
+        ChaosTransport {
+            inner,
+            plan,
+            clock,
+            stats,
+            stream_key,
+            counter: 0,
+            last_failed_post: None,
+            tracer: None,
+        }
+    }
+
+    /// Record one span per injected fault into `tracer` for requests
+    /// carrying an `x-trace-id` header, so a retry chain's causal
+    /// explanation includes the transport weather that forced it.
+    pub fn with_tracer(mut self, tracer: Arc<FlightRecorder>) -> ChaosTransport<E> {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    fn trace_injection(&self, ctx: Option<TraceCtx>, kind: &str, begin_ms: u64) {
+        let (Some(tracer), Some(ctx)) = (self.tracer.as_ref(), ctx) else { return };
+        if !tracer.is_enabled() {
+            return;
+        }
+        tracer.record(SpanRecord {
+            trace_id: ctx.trace_id,
+            // Salted by the per-lane exchange counter: one trace can see
+            // several injections (one per retry), each its own span.
+            span_id: splitmix64(ctx.span(SLOT_CHAOS) ^ self.counter),
+            parent_id: ctx.root_span(),
+            lane: ctx.lane,
+            ordinal: ctx.ordinal,
+            name: format!("chaos:{kind}"),
+            begin_ms,
+            end_ms: self.clock.now_ms(),
+            status: 0,
+            outcome: "inject".to_string(),
+            provenance: String::new(),
+            captcha_ms: 0,
+        });
     }
 
     /// Shared injection counters (clone the Arc to audit elsewhere).
@@ -294,6 +336,8 @@ impl<E: Exchange> Exchange for ChaosTransport<E> {
         }
         let is_post = req.method == Method::Post;
         let fp = is_post.then(|| fingerprint(&req));
+        let ctx = req.headers.get(H_TRACE_ID).and_then(TraceCtx::parse);
+        let begin_ms = self.clock.now_ms();
 
         // Fixed roll order keeps the stream replayable.
         let abort_before = self.roll(self.plan.abort_before_per_mille);
@@ -307,6 +351,7 @@ impl<E: Exchange> Exchange for ChaosTransport<E> {
             // The server never sees this request, so a retry is safe
             // and the failed-POST watchdog stays unarmed.
             self.stats.aborted_before.fetch_add(1, Ordering::Relaxed);
+            self.trace_injection(ctx, "abort-before", begin_ms);
             return Err(HttpError::Io(std::io::Error::new(
                 ErrorKind::ConnectionReset,
                 "chaos: connection reset before request was written",
@@ -341,11 +386,13 @@ impl<E: Exchange> Exchange for ChaosTransport<E> {
         if close_post {
             self.stats.worst_moment_closes.fetch_add(1, Ordering::Relaxed);
             self.last_failed_post = fp;
+            self.trace_injection(ctx, "close-post", begin_ms);
             return Err(HttpError::UnexpectedEof);
         }
         if abort_after {
             self.stats.aborted_after.fetch_add(1, Ordering::Relaxed);
             self.last_failed_post = fp.or(self.last_failed_post);
+            self.trace_injection(ctx, "abort-after", begin_ms);
             return Err(HttpError::Io(std::io::Error::new(
                 ErrorKind::ConnectionReset,
                 "chaos: connection reset before response was read",
@@ -354,11 +401,13 @@ impl<E: Exchange> Exchange for ChaosTransport<E> {
         if truncate {
             self.stats.truncated.fetch_add(1, Ordering::Relaxed);
             self.last_failed_post = fp.or(self.last_failed_post);
+            self.trace_injection(ctx, "truncate", begin_ms);
             return Err(HttpError::UnexpectedEof);
         }
         if corrupt {
             self.stats.corrupted.fetch_add(1, Ordering::Relaxed);
             self.last_failed_post = fp.or(self.last_failed_post);
+            self.trace_injection(ctx, "corrupt", begin_ms);
             return Err(HttpError::Malformed("chaos: corrupted response bytes"));
         }
         if stall {
@@ -366,6 +415,7 @@ impl<E: Exchange> Exchange for ChaosTransport<E> {
             self.stats.stalls.fetch_add(1, Ordering::Relaxed);
             self.stats.stall_virtual_ms.fetch_add(ms, Ordering::Relaxed);
             self.clock.advance_ms(ms);
+            self.trace_injection(ctx, "stall", begin_ms);
         }
         if is_post {
             // This POST made it through; the watchdog disarms.

@@ -37,7 +37,8 @@ pub use error::{HttpError, Result};
 pub use message::{Request, Response};
 pub use resilient::{
     captcha_delay_ms, classify, is_edge_limited, is_fault_limited, is_shed, is_throttled,
-    retryable_transport_error, ErrorClass, ResilientExchange, RetryPolicy, RetryStats,
+    refusal_provenance, retryable_transport_error, ErrorClass, ResilientExchange, RetryPolicy,
+    RetryStats, H_TRACE_ID,
 };
 pub use router::{Handler, PathParams, Router};
 pub use server::{AccessLogFn, AccessRecord, RateLimit, Server, ServerConfig};

@@ -27,9 +27,16 @@ use crate::client::Exchange;
 use crate::error::{HttpError, Result};
 use crate::message::{Request, Response};
 use crate::types::Method;
-use hsp_obs::VirtualClock;
+use hsp_obs::trace::{SpanRecord, SLOT_ATTEMPT_BASE};
+use hsp_obs::{FlightRecorder, TraceCtx, VirtualClock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Wire header carrying the deterministic trace context
+/// (`TraceCtx::header_value` form). Set once by the crawler per logical
+/// fetch; every layer beneath — this retry layer, the chaos transport,
+/// the server edge, the platform — annotates its spans against it.
+pub const H_TRACE_ID: &str = "x-trace-id";
 
 /// Standard rate-limit header: seconds to wait before retrying.
 pub const H_RETRY_AFTER: &str = "Retry-After";
@@ -114,6 +121,27 @@ pub fn is_throttled(resp: &Response) -> bool {
 /// virtual milliseconds. See [`H_CAPTCHA`].
 pub fn captcha_delay_ms(resp: &Response) -> Option<u64> {
     resp.headers.get(H_CAPTCHA).and_then(|v| v.trim().parse::<u64>().ok())
+}
+
+/// Which of the five-way refusal taxonomy a response belongs to:
+/// `edge` (edge token bucket), `fault` (chaos 429), `throttle`
+/// (detector throttle), `shed` (503 + `Retry-After`) or `suspension`
+/// (429 + account-suspended). `None` for anything that is not a
+/// refusal. The 429 precedence mirrors the [`RetryStats`] subsets.
+pub fn refusal_provenance(resp: &Response) -> Option<&'static str> {
+    if is_edge_limited(resp) {
+        Some("edge")
+    } else if is_fault_limited(resp) {
+        Some("fault")
+    } else if is_throttled(resp) {
+        Some("throttle")
+    } else if is_shed(resp) {
+        Some("shed")
+    } else if resp.status.code() == 429 && resp.headers.contains(H_ACCOUNT_SUSPENDED) {
+        Some("suspension")
+    } else {
+        None
+    }
 }
 
 fn retry_after_ms(resp: &Response) -> Option<u64> {
@@ -262,6 +290,7 @@ pub struct ResilientExchange<E> {
     clock: Arc<VirtualClock>,
     stats: Arc<RetryStats>,
     jitter_state: u64,
+    tracer: Option<Arc<FlightRecorder>>,
 }
 
 impl<E: Exchange> ResilientExchange<E> {
@@ -278,7 +307,15 @@ impl<E: Exchange> ResilientExchange<E> {
         stats: Arc<RetryStats>,
     ) -> ResilientExchange<E> {
         let jitter_state = policy.jitter_seed;
-        ResilientExchange { inner, policy, clock, stats, jitter_state }
+        ResilientExchange { inner, policy, clock, stats, jitter_state, tracer: None }
+    }
+
+    /// Record one span per attempt into `tracer` for requests carrying
+    /// an [`H_TRACE_ID`] header (begin/end virtual time, status,
+    /// classification outcome and refusal provenance).
+    pub fn with_tracer(mut self, tracer: Arc<FlightRecorder>) -> ResilientExchange<E> {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Shared retry counters (clone the Arc to account elsewhere).
@@ -325,12 +362,52 @@ impl<E: Exchange> Exchange for ResilientExchange<E> {
     fn exchange(&mut self, req: Request) -> Result<Response> {
         let start_ms = self.clock.now_ms();
         let idempotent = matches!(req.method, Method::Get | Method::Head);
+        let trace = self
+            .tracer
+            .as_ref()
+            .filter(|t| t.is_enabled())
+            .cloned()
+            .zip(req.headers.get(H_TRACE_ID).and_then(TraceCtx::parse));
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
-            let retry_after_ms = match self.inner.exchange(req.clone()) {
+            let begin_ms = self.clock.now_ms();
+            let outcome = self.inner.exchange(req.clone());
+            if let Ok(resp) = &outcome {
+                self.observe_latency(resp);
+            }
+            if let Some((tracer, ctx)) = &trace {
+                let (status, verdict, provenance, captcha_ms) = match &outcome {
+                    Ok(resp) => (
+                        resp.status.code(),
+                        match classify(resp) {
+                            ErrorClass::Terminal => "ok",
+                            ErrorClass::Fatal => "fatal",
+                            ErrorClass::Retryable { .. } => "retryable",
+                        },
+                        refusal_provenance(resp).unwrap_or(""),
+                        captcha_delay_ms(resp).unwrap_or(0),
+                    ),
+                    Err(e) if retryable_transport_error(e) => (0, "transport", "", 0),
+                    Err(_) => (0, "error", "", 0),
+                };
+                tracer.record(SpanRecord {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span(SLOT_ATTEMPT_BASE + u64::from(attempt)),
+                    parent_id: ctx.root_span(),
+                    lane: ctx.lane,
+                    ordinal: ctx.ordinal,
+                    name: "attempt".to_string(),
+                    begin_ms,
+                    end_ms: self.clock.now_ms(),
+                    status,
+                    outcome: verdict.to_string(),
+                    provenance: provenance.to_string(),
+                    captcha_ms,
+                });
+            }
+            let retry_after_ms = match outcome {
                 Ok(resp) => {
-                    self.observe_latency(&resp);
                     match classify(&resp) {
                         ErrorClass::Terminal | ErrorClass::Fatal => return Ok(resp),
                         ErrorClass::Retryable { retry_after_ms } => {
@@ -583,6 +660,45 @@ mod tests {
         let mut ex = resilient(Script::new(vec![Ok(slow)]));
         ex.exchange(Request::get("/x")).unwrap();
         assert_eq!(ex.clock().now_ms(), 750);
+    }
+
+    #[test]
+    fn traced_request_records_one_span_per_attempt() {
+        let tracer = Arc::new(FlightRecorder::new());
+        tracer.enable(64);
+        let edge = Response::error(Status::TOO_MANY_REQUESTS, "edge")
+            .header(H_RETRY_AFTER, "1")
+            .header(H_EDGE_LIMITED, "1");
+        let script = Script::new(vec![Ok(edge), Ok(Response::text("ok"))]);
+        let mut ex = ResilientExchange::new(script, RetryPolicy::seeded(7), VirtualClock::shared())
+            .with_tracer(Arc::clone(&tracer));
+        let ctx = TraceCtx::derive(hsp_obs::TRACE_SEED, 3, 9);
+        let req = Request::get("/profile/u1").header(H_TRACE_ID, ctx.header_value());
+        assert_eq!(ex.exchange(req).unwrap().body_string(), "ok");
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2, "one span per attempt");
+        assert_eq!(spans[0].outcome, "retryable");
+        assert_eq!(spans[0].provenance, "edge");
+        assert_eq!(spans[0].status, 429);
+        assert_eq!(spans[1].outcome, "ok");
+        assert_eq!(spans[1].provenance, "");
+        assert!(spans.iter().all(|s| s.lane == 3 && s.ordinal == 9));
+        assert!(spans.iter().all(|s| s.parent_id == ctx.root_span()));
+        assert!(spans[1].begin_ms >= spans[0].end_ms, "backoff separates the attempts");
+    }
+
+    #[test]
+    fn untraced_request_records_nothing() {
+        let tracer = Arc::new(FlightRecorder::new());
+        tracer.enable(64);
+        let mut ex = ResilientExchange::new(
+            Script::new(vec![Ok(Response::text("ok"))]),
+            RetryPolicy::seeded(7),
+            VirtualClock::shared(),
+        )
+        .with_tracer(Arc::clone(&tracer));
+        ex.exchange(Request::get("/x")).unwrap();
+        assert!(tracer.is_empty(), "no x-trace-id header, no spans");
     }
 
     #[test]

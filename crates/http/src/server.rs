@@ -45,12 +45,14 @@
 
 use crate::error::HttpError;
 use crate::message::Response;
+use crate::resilient::H_TRACE_ID;
 use crate::router::Handler;
 use crate::types::{Method, Status};
 use crate::wire::{decode_request, encode_response, Decoded};
 use bytes::BytesMut;
 use crossbeam_channel::{bounded, Sender, TrySendError};
-use hsp_obs::{Counter, Gauge, Histogram, Registry};
+use hsp_obs::trace::{SpanRecord, SLOT_EDGE};
+use hsp_obs::{Counter, FlightRecorder, Gauge, Histogram, Registry, TraceCtx};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -289,6 +291,9 @@ struct ConnContext {
     limiter: Option<EdgeLimiter>,
     shared: Arc<Shared>,
     metrics: Option<ServerMetrics>,
+    /// Flight recorder from [`ServerConfig::metrics`]: edge refusals
+    /// never reach a handler, so the edge annotates its own spans.
+    tracer: Option<Arc<FlightRecorder>>,
     access_log: Option<AccessLogFn>,
 }
 
@@ -328,6 +333,7 @@ impl Server {
             limiter: config.rate_limit.map(EdgeLimiter::new),
             shared: Arc::clone(&shared),
             metrics: config.metrics.as_deref().map(ServerMetrics::register),
+            tracer: config.metrics.as_ref().map(|r| Arc::clone(r.tracer())),
             access_log: config.access_log.clone(),
         });
 
@@ -570,6 +576,28 @@ fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) -> Result<(), Http
                             let resp = Response::error(Status::TOO_MANY_REQUESTS, "rate limited")
                                 .header("Retry-After", retry_after.to_string())
                                 .header(crate::resilient::H_EDGE_LIMITED, "1");
+                            // The refusal never reaches a handler, so
+                            // the edge writes the trace span itself.
+                            if let Some(tracer) = ctx.tracer.as_ref().filter(|t| t.is_enabled()) {
+                                if let Some(tc) =
+                                    req.headers.get(H_TRACE_ID).and_then(TraceCtx::parse)
+                                {
+                                    tracer.record(SpanRecord {
+                                        trace_id: tc.trace_id,
+                                        span_id: tc.span(SLOT_EDGE),
+                                        parent_id: tc.root_span(),
+                                        lane: tc.lane,
+                                        ordinal: tc.ordinal,
+                                        name: "edge-limit".to_string(),
+                                        begin_ms: 0,
+                                        end_ms: 0,
+                                        status: 429,
+                                        outcome: "refused".to_string(),
+                                        provenance: "edge".to_string(),
+                                        captcha_ms: 0,
+                                    });
+                                }
+                            }
                             let wire = encode_response(&resp);
                             stream.write_all(&wire)?;
                             let latency_us = started.elapsed().as_micros() as u64;

@@ -85,6 +85,14 @@ impl EventLog {
         self.seq.load(Ordering::Relaxed)
     }
 
+    /// Events evicted by ring overflow: `total() − recent().len()`.
+    /// Overflow accounting mirrors the flight recorder's — saturation
+    /// is observable, never silent.
+    pub fn dropped(&self) -> u64 {
+        let retained = self.ring.lock().len() as u64;
+        self.total().saturating_sub(retained)
+    }
+
     /// The retained tail, oldest first.
     pub fn recent(&self) -> Vec<Event> {
         self.ring.lock().iter().cloned().collect()

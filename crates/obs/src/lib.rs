@@ -14,7 +14,11 @@
 //! - [`SpanGuard`]: scoped wall-clock timers feeding histograms;
 //! - [`EventLog`]: a bounded structured event ring buffer;
 //! - [`VirtualClock`]: shared virtual-millisecond timeline for
-//!   deterministic rate-limit windows and fault schedules.
+//!   deterministic rate-limit windows and fault schedules;
+//! - [`TraceCtx`] / [`FlightRecorder`]: deterministic causal tracing —
+//!   splitmix64-derived ids, a lock-sharded ring of completed spans
+//!   with explicit overflow accounting, JSONL and Chrome trace-event
+//!   exporters, and a canonical-order FNV-1a digest.
 //!
 //! The hot-path contract: recording into an already-resolved metric is
 //! atomics only (no locks, no allocation). Resolving a metric by name
@@ -29,6 +33,7 @@ pub mod hist;
 pub mod registry;
 pub mod route;
 pub mod span;
+pub mod trace;
 
 pub use clock::VirtualClock;
 pub use counter::{Counter, Gauge};
@@ -37,3 +42,4 @@ pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{Registry, Snapshot};
 pub use route::RouteMetrics;
 pub use span::SpanGuard;
+pub use trace::{FlightRecorder, SpanRecord, TraceCtx, TRACE_SEED};

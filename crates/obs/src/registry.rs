@@ -4,6 +4,7 @@ use crate::counter::{Counter, Gauge};
 use crate::events::{Event, EventLog, Level};
 use crate::hist::{Histogram, HistogramSnapshot};
 use crate::span::SpanGuard;
+use crate::trace::FlightRecorder;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -28,6 +29,7 @@ enum Metric {
 pub struct Registry {
     metrics: RwLock<HashMap<String, Metric>>,
     events: EventLog,
+    trace: Arc<FlightRecorder>,
     start: Instant,
 }
 
@@ -42,6 +44,7 @@ impl Registry {
         Registry {
             metrics: RwLock::new(HashMap::new()),
             events: EventLog::new(1024),
+            trace: Arc::new(FlightRecorder::new()),
             start: Instant::now(),
         }
     }
@@ -64,6 +67,21 @@ impl Registry {
     /// Shorthand: push an event onto the ring.
     pub fn event(&self, level: Level, target: &str, message: impl Into<String>) {
         self.events.push(level, target, message);
+    }
+
+    /// The registry's flight recorder (disabled until
+    /// [`Registry::enable_tracing`] runs — `record` is then a single
+    /// atomic load, so untraced runs pay nothing).
+    pub fn tracer(&self) -> &Arc<FlightRecorder> {
+        &self.trace
+    }
+
+    /// Enable causal tracing with a per-lane span bound, and surface
+    /// ring overflow as the `obs_trace_dropped_total` counter so a
+    /// saturated recorder is visible rather than silent.
+    pub fn enable_tracing(&self, lane_capacity: usize) {
+        self.trace.attach_dropped_counter(self.counter("obs_trace_dropped_total"));
+        self.trace.enable(lane_capacity);
     }
 
     fn get_or_insert<T>(

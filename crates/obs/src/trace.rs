@@ -1,0 +1,461 @@
+//! Deterministic causal tracing: trace contexts and the flight recorder.
+//!
+//! Every logical crawler fetch gets a [`TraceCtx`] whose ids are a pure
+//! function of `(seed, lane, ordinal)` — splitmix64-mixed, never
+//! wall-clock — so the same attack produces the same ids at any worker
+//! count. The context rides the wire in an `x-trace-id` header (the
+//! constant lives in `hsp-http` next to the other header names), and
+//! each layer that touches the request appends a [`SpanRecord`] to the
+//! shared [`FlightRecorder`]: the crawler's root fetch span, one span
+//! per retry attempt, transport-chaos injections, the server edge, and
+//! the platform's per-route serving span with its refusal provenance.
+//!
+//! The recorder is a lock-sharded set of bounded per-lane rings. Lanes
+//! are account indices, and each lane's requests are issued
+//! sequentially by exactly one worker thread at a time, so per-lane
+//! arrival order — and therefore per-lane eviction — is deterministic
+//! even though cross-lane interleaving is not. Export always sorts into
+//! the canonical `(lane, ordinal, span_id)` order, which makes
+//! [`FlightRecorder::digest`] (FNV-1a over the canonical serialization)
+//! bit-identical across worker counts: the same discipline as
+//! `SybilDetector::state_digest`.
+//!
+//! Overflow is never silent: evicting a span increments a dropped
+//! counter, exposed as `obs_trace_dropped_total` once the recorder is
+//! enabled through `Registry::enable_tracing`.
+
+use crate::counter::Counter;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// SplitMix64 finalizer — the workspace's canonical mixing function
+/// (same constants as the fault engine and chaos transport).
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a folded over `bytes`, chained from `h` (start from
+/// [`FNV_OFFSET`]).
+pub fn fnv1a_chain(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Default seed for trace-id derivation. Any fixed value works — ids
+/// only need to be collision-free and replayable, not secret.
+pub const TRACE_SEED: u64 = 0x7ace_2013;
+
+/// Default bound on retained spans per lane.
+pub const DEFAULT_LANE_CAPACITY: usize = 8192;
+
+/// Span-id slots: each layer derives its span id from the trace id and
+/// a fixed slot, so ids are deterministic and never collide per trace.
+pub const SLOT_ROOT: u64 = 1;
+/// The platform's per-route serving span.
+pub const SLOT_SERVER: u64 = 2;
+/// The HTTP server's edge-limiter refusal (never reached a handler).
+pub const SLOT_EDGE: u64 = 3;
+/// A transport-chaos injection beneath the retry layer.
+pub const SLOT_CHAOS: u64 = 4;
+/// Base slot for per-attempt retry spans (`SLOT_ATTEMPT_BASE + n`).
+pub const SLOT_ATTEMPT_BASE: u64 = 16;
+
+/// Deterministic trace context for one logical request (one crawler
+/// fetch including all its retries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    pub trace_id: u64,
+    /// Account lane the request belongs to (or a hashed pre-session
+    /// principal for auth traffic).
+    pub lane: u64,
+    /// Request ordinal within the lane, starting at 0.
+    pub ordinal: u64,
+}
+
+impl TraceCtx {
+    /// Derive the context for the `ordinal`-th request of `lane`.
+    pub fn derive(seed: u64, lane: u64, ordinal: u64) -> TraceCtx {
+        let trace_id = splitmix64(
+            splitmix64(seed ^ splitmix64(lane.wrapping_add(1)))
+                ^ ordinal.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        TraceCtx { trace_id, lane, ordinal }
+    }
+
+    /// Wire form: `"{trace_id:016x}-{lane:x}-{ordinal:x}"`.
+    pub fn header_value(&self) -> String {
+        format!("{:016x}-{:x}-{:x}", self.trace_id, self.lane, self.ordinal)
+    }
+
+    /// Parse the wire form back; `None` on malformed input.
+    pub fn parse(value: &str) -> Option<TraceCtx> {
+        let mut parts = value.split('-');
+        let trace_id = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let lane = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let ordinal = u64::from_str_radix(parts.next()?, 16).ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(TraceCtx { trace_id, lane, ordinal })
+    }
+
+    /// Deterministic span id for a fixed slot of this trace.
+    pub fn span(&self, slot: u64) -> u64 {
+        splitmix64(self.trace_id ^ slot.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+    }
+
+    /// The root (client fetch) span id.
+    pub fn root_span(&self) -> u64 {
+        self.span(SLOT_ROOT)
+    }
+}
+
+/// One completed span. Times are virtual milliseconds from the
+/// recording layer's clock — never wall-clock — so records are
+/// replayable and digestible.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    pub trace_id: u64,
+    pub span_id: u64,
+    /// `0` marks a root span.
+    pub parent_id: u64,
+    pub lane: u64,
+    pub ordinal: u64,
+    /// e.g. `fetch:profile`, `attempt`, `serve:/profile/:uid`,
+    /// `chaos:abort-before`, `edge-limit`.
+    pub name: String,
+    pub begin_ms: u64,
+    pub end_ms: u64,
+    /// HTTP status, `0` when no response existed (transport failure).
+    pub status: u16,
+    /// e.g. `ok`, `retryable`, `fatal`, `terminal`, `transport`,
+    /// `inject`, `allow`, `challenge`, `throttle`, `suspend`.
+    pub outcome: String,
+    /// Which refusal source fired, one of the five-way taxonomy
+    /// (`edge`, `fault`, `throttle`, `shed`, `suspension`) or empty.
+    pub provenance: String,
+    /// Captcha delay the response demanded (0 when none).
+    pub captcha_ms: u64,
+}
+
+impl SpanRecord {
+    /// Canonical serialization the digest folds over. Every field is
+    /// deterministic; nothing wall-clock-derived may ever appear here.
+    fn digest_line(&self) -> String {
+        format!(
+            "{:x}|{:x}|{:x}|{}|{}|{}|{}|{}|{}|{}|{}|{}\n",
+            self.trace_id,
+            self.span_id,
+            self.parent_id,
+            self.lane,
+            self.ordinal,
+            self.name,
+            self.begin_ms,
+            self.end_ms,
+            self.status,
+            self.outcome,
+            self.provenance,
+            self.captcha_ms,
+        )
+    }
+}
+
+/// Number of lock shards. Lanes map to shards by index, so two lanes
+/// only contend when they hash to the same shard.
+const SHARDS: usize = 16;
+
+/// Lock-sharded flight recorder of bounded per-lane span rings.
+///
+/// Disabled by default: `record` is one relaxed atomic load until
+/// [`FlightRecorder::enable`] runs, so an untraced run pays nothing.
+pub struct FlightRecorder {
+    enabled: AtomicBool,
+    lane_capacity: AtomicUsize,
+    dropped: AtomicU64,
+    dropped_metric: OnceLock<Arc<Counter>>,
+    shards: Vec<Mutex<HashMap<u64, VecDeque<SpanRecord>>>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl FlightRecorder {
+    pub fn new() -> FlightRecorder {
+        FlightRecorder {
+            enabled: AtomicBool::new(false),
+            lane_capacity: AtomicUsize::new(DEFAULT_LANE_CAPACITY),
+            dropped: AtomicU64::new(0),
+            dropped_metric: OnceLock::new(),
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Start recording, bounding each lane's ring to `lane_capacity`.
+    pub fn enable(&self, lane_capacity: usize) {
+        self.lane_capacity.store(lane_capacity.max(1), Ordering::Relaxed);
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Mirror drops into a registry counter (`obs_trace_dropped_total`).
+    pub fn attach_dropped_counter(&self, counter: Arc<Counter>) {
+        let _ = self.dropped_metric.set(counter);
+    }
+
+    /// Append a completed span. When the span's lane ring is full the
+    /// oldest record of *that lane* is evicted and counted — per-lane
+    /// eviction keeps overflow deterministic across worker counts.
+    pub fn record(&self, rec: SpanRecord) {
+        if !self.is_enabled() {
+            return;
+        }
+        let cap = self.lane_capacity.load(Ordering::Relaxed);
+        let shard = &self.shards[(rec.lane as usize) % SHARDS];
+        let mut map = shard.lock();
+        let ring = map.entry(rec.lane).or_default();
+        if ring.len() >= cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = self.dropped_metric.get() {
+                c.inc();
+            }
+        }
+        ring.push_back(rec);
+    }
+
+    /// Spans evicted from full lane rings (never silently lost).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Retained span count across all lanes.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().values().map(VecDeque::len).sum::<usize>()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every retained span (drop accounting is kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
+    /// All retained spans in canonical `(lane, ordinal, begin_ms,
+    /// span_id)` order — the order the digest and both exporters use.
+    /// Every key component is deterministic, so the canonical order is
+    /// too, whatever thread interleaving produced the records.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for ring in shard.lock().values() {
+                out.extend(ring.iter().cloned());
+            }
+        }
+        out.sort_by(|a, b| {
+            (a.lane, a.ordinal, a.begin_ms, a.span_id)
+                .cmp(&(b.lane, b.ordinal, b.begin_ms, b.span_id))
+        });
+        out
+    }
+
+    /// FNV-1a over the canonical serialization of every retained span.
+    /// Bit-identical across worker counts for a deterministic run.
+    pub fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for span in self.spans() {
+            h = fnv1a_chain(h, span.digest_line().as_bytes());
+        }
+        h
+    }
+
+    /// One JSON object per line, canonical order.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in self.spans() {
+            if let Ok(line) = serde_json::to_string(&span) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Chrome trace-event JSON (open in Perfetto / `chrome://tracing`):
+    /// one complete (`ph:"X"`) event per span, one thread lane per
+    /// account, timestamps in virtual microseconds.
+    pub fn export_chrome_trace(&self) -> String {
+        let mut events = Vec::new();
+        for span in self.spans() {
+            let dur_us = span.end_ms.saturating_sub(span.begin_ms).saturating_mul(1_000).max(1);
+            let args = serde_json::json!({
+                "trace_id": format!("{:016x}", span.trace_id),
+                "span_id": format!("{:016x}", span.span_id),
+                "parent_id": format!("{:016x}", span.parent_id),
+                "ordinal": span.ordinal,
+                "status": span.status,
+                "outcome": span.outcome,
+                "provenance": span.provenance,
+                "captcha_ms": span.captcha_ms,
+            });
+            events.push(serde_json::json!({
+                "name": span.name,
+                "cat": if span.provenance.is_empty() { "request" } else { "refusal" },
+                "ph": "X",
+                "ts": span.begin_ms.saturating_mul(1_000),
+                "dur": dur_us,
+                "pid": 0u32,
+                "tid": span.lane,
+                "args": args,
+            }));
+        }
+        let doc = serde_json::json!({ "traceEvents": events, "displayTimeUnit": "ms" });
+        serde_json::to_string(&doc).unwrap_or_default()
+    }
+
+    /// Per-provenance span counts (the five-way taxonomy; spans with no
+    /// provenance are not counted).
+    pub fn provenance_counts(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for span in self.spans() {
+            if !span.provenance.is_empty() {
+                *out.entry(span.provenance).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(lane: u64, ordinal: u64, name: &str) -> SpanRecord {
+        let ctx = TraceCtx::derive(TRACE_SEED, lane, ordinal);
+        SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: ctx.root_span(),
+            parent_id: 0,
+            lane,
+            ordinal,
+            name: name.to_string(),
+            begin_ms: ordinal * 10,
+            end_ms: ordinal * 10 + 5,
+            status: 200,
+            outcome: "ok".to_string(),
+            provenance: String::new(),
+            captcha_ms: 0,
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_pure_functions_of_inputs() {
+        let a = TraceCtx::derive(7, 3, 11);
+        let b = TraceCtx::derive(7, 3, 11);
+        assert_eq!(a, b);
+        assert_ne!(a.trace_id, TraceCtx::derive(7, 3, 12).trace_id);
+        assert_ne!(a.trace_id, TraceCtx::derive(7, 4, 11).trace_id);
+        assert_ne!(a.trace_id, TraceCtx::derive(8, 3, 11).trace_id);
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let ctx = TraceCtx::derive(TRACE_SEED, 5, 42);
+        assert_eq!(TraceCtx::parse(&ctx.header_value()), Some(ctx));
+        assert_eq!(TraceCtx::parse("nonsense"), None);
+        assert_eq!(TraceCtx::parse("ff-1-2-3"), None);
+    }
+
+    #[test]
+    fn span_slots_never_collide_within_a_trace() {
+        let ctx = TraceCtx::derive(TRACE_SEED, 0, 0);
+        let ids = [
+            ctx.span(SLOT_ROOT),
+            ctx.span(SLOT_SERVER),
+            ctx.span(SLOT_EDGE),
+            ctx.span(SLOT_CHAOS),
+            ctx.span(SLOT_ATTEMPT_BASE),
+            ctx.span(SLOT_ATTEMPT_BASE + 1),
+        ];
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = FlightRecorder::new();
+        rec.record(span(0, 0, "fetch:profile"));
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn digest_is_insertion_order_independent() {
+        let forward = FlightRecorder::new();
+        forward.enable(64);
+        let backward = FlightRecorder::new();
+        backward.enable(64);
+        let spans: Vec<_> = (0..20).map(|i| span(i % 4, i / 4, "fetch:friends")).collect();
+        for s in &spans {
+            forward.record(s.clone());
+        }
+        for s in spans.iter().rev() {
+            backward.record(s.clone());
+        }
+        assert_eq!(forward.digest(), backward.digest());
+        assert_eq!(forward.spans(), backward.spans());
+    }
+
+    #[test]
+    fn overflow_evicts_per_lane_and_counts_drops() {
+        let rec = FlightRecorder::new();
+        rec.enable(3);
+        for i in 0..5 {
+            rec.record(span(1, i, "fetch:profile"));
+        }
+        rec.record(span(2, 0, "fetch:profile"));
+        assert_eq!(rec.dropped(), 2, "lane 1 overflowed twice");
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 4);
+        // Oldest of the overflowing lane went first; lane 2 untouched.
+        assert_eq!(spans.iter().filter(|s| s.lane == 1).map(|s| s.ordinal).min(), Some(2));
+        assert_eq!(spans.iter().filter(|s| s.lane == 2).count(), 1);
+    }
+
+    #[test]
+    fn exporters_emit_all_spans() {
+        let rec = FlightRecorder::new();
+        rec.enable(64);
+        for i in 0..3 {
+            rec.record(span(0, i, "fetch:profile"));
+        }
+        let jsonl = rec.export_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        let back: SpanRecord = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(back.name, "fetch:profile");
+        let chrome: serde_json::Value = serde_json::from_str(&rec.export_chrome_trace()).unwrap();
+        let events = chrome.get("traceEvents").and_then(serde_json::Value::as_array).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].get("ph").and_then(serde_json::Value::as_str), Some("X"));
+    }
+}

@@ -8,10 +8,12 @@ use crate::search::SearchIndex;
 use hsp_defense::{session_account_index, SybilDetector, Verdict};
 use hsp_graph::{CityId, Network, SchoolId, UserId};
 use hsp_http::resilient::{
-    H_ACCOUNT_SUSPENDED, H_CAPTCHA, H_RETRY_AFTER, H_SESSION_EXPIRED, H_SUSPENDED, H_THROTTLED,
+    captcha_delay_ms, refusal_provenance, H_ACCOUNT_SUSPENDED, H_CAPTCHA, H_RETRY_AFTER,
+    H_SESSION_EXPIRED, H_SUSPENDED, H_THROTTLED, H_TRACE_ID,
 };
 use hsp_http::{request_cookie, Handler, PathParams, Request, Response, Router, Status};
-use hsp_obs::{Registry, RouteMetrics, VirtualClock};
+use hsp_obs::trace::{SpanRecord, SLOT_SERVER};
+use hsp_obs::{Counter, Registry, RouteMetrics, TraceCtx, VirtualClock};
 use hsp_policy::Policy;
 use serde_json::json;
 use std::sync::Arc;
@@ -32,6 +34,13 @@ pub const ROUTES: &[&str] = &[
     "/message/:uid",
     "/circles/:uid",
 ];
+
+/// The five-way refusal-provenance taxonomy, in precedence order. The
+/// platform itself only ever produces `fault`, `throttle` and
+/// `suspension`; `edge` and `shed` belong to the HTTP edge but are
+/// registered here too so `/__status` reports all five at a stable
+/// shape (zeros included).
+pub const REFUSAL_SOURCES: [&str; 5] = ["edge", "fault", "throttle", "shed", "suspension"];
 
 /// The simulated OSN service. Immutable network + policy, mutable
 /// account/session state, all behind `Arc` so the same platform can be
@@ -112,8 +121,16 @@ impl Platform {
         let m = RouteMetrics::register(&self.obs, route);
         let faults = Arc::clone(&self.faults);
         let platform = Arc::clone(self);
+        let span_name = format!("serve:{route}");
+        // Refusal-provenance counters, resolved once at router build
+        // time so every source shows up in /__status even at zero.
+        let refusals: Vec<(&'static str, Arc<Counter>)> = REFUSAL_SOURCES
+            .iter()
+            .map(|&s| (s, self.obs.counter_with("platform_refusals_total", &[("source", s)])))
+            .collect();
         move |req, params| {
             let started = Instant::now();
+            let trace_header = req.headers.get(H_TRACE_ID).map(str::to_string);
             // Defense layer wraps everything: the sybil detector sees
             // the request first and may refuse it (throttle window,
             // suspension) before faults or the handler run. A CAPTCHA
@@ -121,6 +138,12 @@ impl Platform {
             // cost on whatever comes back — including fault-injected
             // responses, since a challenged session pays on every page.
             let verdict = platform.defense.observe(route, req, platform.clock.now_ms());
+            let outcome = match verdict {
+                Verdict::Suspend => "suspend",
+                Verdict::Throttle { .. } => "throttle",
+                Verdict::Challenge { .. } => "challenge",
+                Verdict::Allow => "allow",
+            };
             let resp = match verdict {
                 Verdict::Suspend => {
                     if let Some(idx) = session_account_index(req) {
@@ -163,6 +186,42 @@ impl Platform {
                         _ => resp,
                     }
                 }
+            };
+            // Refusal provenance: classify the outgoing response by the
+            // same taxonomy the crawler ledgers, so server-side counts
+            // can be reconciled against client-side ones in forensics.
+            let provenance = refusal_provenance(&resp);
+            if let Some(src) = provenance {
+                if let Some((_, c)) = refusals.iter().find(|(s, _)| *s == src) {
+                    c.inc();
+                }
+            }
+            // Serving span + trace-id echo, only for traced requests.
+            let resp = match trace_header.as_deref().and_then(TraceCtx::parse) {
+                Some(tc) => {
+                    let tracer = platform.obs.tracer();
+                    if tracer.is_enabled() {
+                        // The platform never advances the virtual clock,
+                        // so begin==end; both are deterministic reads.
+                        let now = platform.clock.now_ms();
+                        tracer.record(SpanRecord {
+                            trace_id: tc.trace_id,
+                            span_id: tc.span(SLOT_SERVER),
+                            parent_id: tc.root_span(),
+                            lane: tc.lane,
+                            ordinal: tc.ordinal,
+                            name: span_name.clone(),
+                            begin_ms: now,
+                            end_ms: now,
+                            status: resp.status.code(),
+                            outcome: outcome.to_string(),
+                            provenance: provenance.unwrap_or("").to_string(),
+                            captcha_ms: captcha_delay_ms(&resp).unwrap_or(0),
+                        });
+                    }
+                    resp.header(H_TRACE_ID, trace_header.as_deref().unwrap_or(""))
+                }
+                None => resp,
             };
             m.observe(
                 resp.status.code(),
@@ -226,6 +285,8 @@ impl Platform {
         router.get("/__metrics", move |_, _| p.handle_metrics());
         let p = Arc::clone(self);
         router.get("/__status", move |_, _| p.handle_status());
+        let p = Arc::clone(self);
+        router.get("/__trace", move |req, _| p.handle_trace(req));
 
         Arc::new(router)
     }
@@ -262,6 +323,34 @@ impl Platform {
                 })
             })
             .collect();
+        // Detector tier + escalation-ladder occupancy, and the five-way
+        // refusal-provenance counters (platform-side sources plus the
+        // HTTP edge's limiter/shed tallies from the shared registry).
+        let [t_none, t_captcha, t_throttle, t_suspend] = self.defense.ladder_occupancy();
+        let ladder = json!({
+            "none": t_none,
+            "captcha": t_captcha,
+            "throttle": t_throttle,
+            "suspend": t_suspend,
+        });
+        let defense = json!({
+            "strength": self.config.defense.strength.label(),
+            "enabled": self.defense.enabled(),
+            "sessions_observed": self.defense.sessions_observed(0),
+            "sessions_flagged": self.defense.sessions_flagged(),
+            "ladder": ladder,
+        });
+        let snap = self.obs.snapshot();
+        let platform_refusal =
+            |src: &str| snap.counter(&format!("platform_refusals_total{{source=\"{src}\"}}"));
+        let refusals = json!({
+            "edge": snap.counter("http_server_rate_limited_total"),
+            "fault": platform_refusal("fault"),
+            "throttle": platform_refusal("throttle"),
+            "shed": snap.counter("http_server_shed_total{reason=\"queue_full\"}")
+                + snap.counter("http_server_shed_total{reason=\"max_connections\"}"),
+            "suspension": platform_refusal("suspension"),
+        });
         let body = json!({
             "uptime_ms": self.obs.uptime_ms(),
             "virtual_ms": self.clock.now_ms(),
@@ -271,6 +360,52 @@ impl Platform {
                 "sessions": self.accounts.session_count(),
                 "suspended": self.accounts.suspended_count(),
             }),
+            "defense": defense,
+            "refusals": refusals,
+        });
+        Response::text(serde_json::to_string_pretty(&body).unwrap_or_default())
+            .header("Content-Type", "application/json")
+    }
+
+    /// `GET /__trace`: the flight recorder's view of recent activity —
+    /// recorder state, canonical digest, per-route and per-provenance
+    /// breakdowns, and a JSON tail of the most recent spans
+    /// (`?n=<count>`, default 32). Uninstrumented and session-free,
+    /// like the other operator endpoints.
+    fn handle_trace(&self, req: &Request) -> Response {
+        let tracer = self.obs.tracer();
+        let tail: usize = req.query_param("n").and_then(|n| n.parse().ok()).unwrap_or(32);
+        let spans = tracer.spans();
+        let mut by_route: std::collections::BTreeMap<&str, u64> = Default::default();
+        for s in &spans {
+            if let Some(route) = s.name.strip_prefix("serve:") {
+                *by_route.entry(route).or_default() += 1;
+            }
+        }
+        let routes: Vec<serde_json::Value> = by_route
+            .iter()
+            .map(|(route, count)| json!({ "route": *route, "spans": *count }))
+            .collect();
+        let provenance: Vec<serde_json::Value> = tracer
+            .provenance_counts()
+            .iter()
+            .map(|(src, count)| json!({ "source": src.as_str(), "refusals": *count }))
+            .collect();
+        let recent: Vec<serde_json::Value> = spans
+            .iter()
+            .rev()
+            .take(tail)
+            .rev()
+            .filter_map(|s| serde_json::to_value(s).ok())
+            .collect();
+        let body = json!({
+            "enabled": tracer.is_enabled(),
+            "spans": spans.len() as u64,
+            "dropped": tracer.dropped(),
+            "digest": format!("{:016x}", tracer.digest()),
+            "routes": routes,
+            "provenance": provenance,
+            "recent": recent,
         });
         Response::text(serde_json::to_string_pretty(&body).unwrap_or_default())
             .header("Content-Type", "application/json")
@@ -729,6 +864,88 @@ mod tests {
         assert_eq!(platform.accounts.request_count(0), served);
         let text = handler.handle(&Request::get("/__metrics")).body_string();
         assert!(!text.contains("route=\"/__metrics\""), "admin route was instrumented");
+    }
+
+    #[test]
+    fn traced_requests_produce_serving_spans_and_trace_endpoint_reports() {
+        let (platform, handler, _s) = tiny_platform();
+        platform.obs.enable_tracing(64);
+        let cookie = login(&handler, "spy");
+
+        let ctx = hsp_obs::TraceCtx::derive(hsp_obs::TRACE_SEED, 4, 7);
+        let r = handler.handle(
+            &Request::get("/profile/u0")
+                .header("Cookie", &cookie)
+                .header(H_TRACE_ID, ctx.header_value()),
+        );
+        assert_eq!(r.status, Status::OK);
+        // The trace id is echoed so clients can stitch both sides.
+        assert_eq!(r.headers.get(H_TRACE_ID), Some(ctx.header_value().as_str()));
+
+        // Untraced requests record nothing.
+        let r = handler.handle(&Request::get("/profile/u0").header("Cookie", &cookie));
+        assert_eq!(r.status, Status::OK);
+
+        let spans = platform.obs.tracer().spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "serve:/profile/:uid");
+        assert_eq!(spans[0].lane, 4);
+        assert_eq!(spans[0].ordinal, 7);
+        assert_eq!(spans[0].span_id, ctx.span(hsp_obs::trace::SLOT_SERVER));
+        assert_eq!(spans[0].parent_id, ctx.root_span());
+        assert_eq!(spans[0].outcome, "allow");
+        assert_eq!(spans[0].provenance, "");
+
+        let t = handler.handle(&Request::get("/__trace?n=8"));
+        assert_eq!(t.status, Status::OK);
+        let v: serde_json::Value = serde_json::from_str(&t.body_string()).unwrap();
+        assert_eq!(v.get("enabled").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(v.get("spans").and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(v.get("dropped").and_then(|n| n.as_u64()), Some(0));
+        let recent = v.get("recent").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(recent.len(), 1);
+        let routes = v.get("routes").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(routes[0].get("route").and_then(|s| s.as_str()), Some("/profile/:uid"));
+
+        // /__status carries the detector tier, ladder occupancy and the
+        // five refusal-provenance counters (all zero in this quiet run).
+        let st = handler.handle(&Request::get("/__status"));
+        let v: serde_json::Value = serde_json::from_str(&st.body_string()).unwrap();
+        let defense = v.get("defense").unwrap();
+        assert_eq!(defense.get("strength").and_then(|s| s.as_str()), Some("off"));
+        assert_eq!(defense.get("enabled").and_then(|b| b.as_bool()), Some(false));
+        let ladder = defense.get("ladder").unwrap();
+        for rung in ["none", "captcha", "throttle", "suspend"] {
+            assert!(ladder.get(rung).and_then(|n| n.as_u64()).is_some(), "missing rung {rung}");
+        }
+        let refusals = v.get("refusals").unwrap();
+        for src in REFUSAL_SOURCES {
+            assert_eq!(refusals.get(src).and_then(|n| n.as_u64()), Some(0), "source {src}");
+        }
+    }
+
+    #[test]
+    fn suspension_refusals_are_counted_by_provenance() {
+        let scenario = generate(&ScenarioConfig::tiny());
+        let net = Arc::new(scenario.network.clone());
+        let platform = Platform::new(
+            net,
+            Arc::new(FacebookPolicy::new()),
+            PlatformConfig { suspension_threshold: 2, ..PlatformConfig::default() },
+        );
+        let handler = platform.into_handler();
+        let cookie = login(&handler, "greedy");
+        for _ in 0..2 {
+            assert_eq!(
+                handler.handle(&Request::get("/profile/u0").header("Cookie", &cookie)).status,
+                Status::OK
+            );
+        }
+        let r = handler.handle(&Request::get("/profile/u0").header("Cookie", &cookie));
+        assert_eq!(r.status, Status::TOO_MANY_REQUESTS);
+        let snap = platform.obs.snapshot();
+        assert_eq!(snap.counter("platform_refusals_total{source=\"suspension\"}"), 1);
+        assert_eq!(snap.counter("platform_refusals_total{source=\"fault\"}"), 0);
     }
 
     #[test]

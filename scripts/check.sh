@@ -28,4 +28,7 @@ SOAK_SEEDS=2 SOAK_SCENARIO=tiny cargo run --release --example soak
 echo "==> arms-race smoke (tiny world, all detector tiers, frontier gates)"
 ARMS_SCENARIO=tiny cargo run --release --example arms_race
 
+echo "==> trace forensics, smoke mode (digest stability + closed audit + overhead gate)"
+cargo run --release --example trace_forensics -- --smoke
+
 echo "All checks passed."

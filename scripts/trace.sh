@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Trace forensics benchmark: the full HS1 attack under chaotic faults
+# with the flight recorder off and on, gating recording overhead at
+# ≤5% of virtual attack time (it is 0% by construction — spans never
+# advance a virtual clock) and appending a `trace_overhead` row to
+# BENCH_obs.json at the workspace root. Also writes the forensics
+# artifacts (closed TraceAudit + Chrome trace file) under results/.
+# Pass --smoke for the cheap tiny-world variant CI runs.
+#
+# Offline-safe: all dependencies resolve to the vendored path stubs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> provenance taxonomy gate (five refusal sources over real TCP)"
+cargo test --release -q --test trace_provenance
+
+echo "==> trace overhead + forensics -> BENCH_obs.json, results/trace_*.json"
+cargo run --release --example trace_forensics -- "$@"
+
+echo "Trace bench complete."

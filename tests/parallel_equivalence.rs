@@ -12,13 +12,19 @@
 
 use hs_profiler::core::{evaluate, EvalPoint};
 use hs_profiler::experiments::runner::{full_attack_with, AttackRun, Lab};
+use hs_profiler::experiments::trace_audit::audit_trace;
 use hs_profiler::platform::{DefenseConfig, DetectorStrength, FaultPlan, PlatformConfig};
 use hs_profiler::synth::ScenarioConfig;
 
 const SEED: u64 = 0x9d5f_2013;
+/// Flight-recorder lane capacity ample enough that a tiny chaotic
+/// attack never overflows — a dropped span would (rightly) fail the
+/// digest comparison.
+const TRACE_CAP: usize = 32_768;
 
 fn parallel_attack(workers: usize) -> (Lab, AttackRun) {
     let lab = Lab::facebook_chaotic(&ScenarioConfig::tiny(), FaultPlan::chaos());
+    lab.obs.enable_tracing(TRACE_CAP);
     let access = Box::new(lab.parallel_crawler(2, workers, "atk", SEED));
     let run = full_attack_with(&lab, access);
     (lab, run)
@@ -65,17 +71,29 @@ fn worker_count_never_changes_the_attack() {
 
     // And the chaos actually happened — this was not a fault-free walk.
     assert!(one.effort_total.retry_requests > 0, "chaos should force retries");
+
+    // The flight recorder saw the same causal history: span ids are
+    // derived, ordinals are per-lane, so the canonical trace digest is
+    // bit-identical at any worker count.
+    assert!(!lab1.obs.tracer().is_empty(), "chaotic attack must leave a trace");
+    assert_eq!(lab1.obs.tracer().dropped(), 0, "digest comparison needs a lossless ring");
+    assert_eq!(lab1.obs.tracer().digest(), lab8.obs.tracer().digest());
+
+    // And the forensics pass reconstructs the 8-worker run completely:
+    // every retry and refusal the fan-out absorbed has a traced cause.
+    let audit = audit_trace(&lab8.obs, &eight.effort_total);
+    assert!(audit.closed(), "unexplained: {:#?}", audit.unexplained);
 }
 
 /// One defended + chaotic parallel attack, reduced to everything that
 /// must be invariant across worker counts: the checkpoint, the effort
-/// ledger (captchas and throttle retries included), the Table-4
-/// numbers, and — new with hsp-defense — the detector's *own* internal
-/// state digest (per-session features, scores, ladder positions).
-fn defended_attack(
-    workers: usize,
-    strength: DetectorStrength,
-) -> (String, hs_profiler::crawler::Effort, u64, EvalPoint) {
+/// ledger (captchas and throttle retries included), the detector's
+/// *own* internal state digest (per-session features, scores, ladder
+/// positions), the flight recorder's canonical trace digest, and the
+/// Table-4 numbers.
+type DefendedFingerprint = (String, hs_profiler::crawler::Effort, u64, u64, EvalPoint);
+
+fn defended_attack(workers: usize, strength: DetectorStrength) -> DefendedFingerprint {
     let lab = Lab::facebook_configured(
         &ScenarioConfig::tiny(),
         PlatformConfig {
@@ -84,19 +102,24 @@ fn defended_attack(
             ..PlatformConfig::default()
         },
     );
+    lab.obs.enable_tracing(TRACE_CAP);
     let access = Box::new(lab.parallel_crawler(2, workers, "atk", SEED));
     let run = full_attack_with(&lab, access);
     let digest = lab.platform.defense.state_digest();
-    (run.access.checkpoint().to_json(), run.effort_total, digest, table4(&lab, &run))
+    assert_eq!(lab.obs.tracer().dropped(), 0, "digest comparison needs a lossless ring");
+    (
+        run.access.checkpoint().to_json(),
+        run.effort_total,
+        digest,
+        lab.obs.tracer().digest(),
+        table4(&lab, &run),
+    )
 }
 
-fn defended_reference(
-    strength: DetectorStrength,
-) -> &'static (String, hs_profiler::crawler::Effort, u64, EvalPoint) {
+fn defended_reference(strength: DetectorStrength) -> &'static DefendedFingerprint {
     use std::sync::OnceLock;
-    static LOW: OnceLock<(String, hs_profiler::crawler::Effort, u64, EvalPoint)> = OnceLock::new();
-    static MEDIUM: OnceLock<(String, hs_profiler::crawler::Effort, u64, EvalPoint)> =
-        OnceLock::new();
+    static LOW: OnceLock<DefendedFingerprint> = OnceLock::new();
+    static MEDIUM: OnceLock<DefendedFingerprint> = OnceLock::new();
     let cell = match strength {
         DetectorStrength::Low => &LOW,
         DetectorStrength::Medium => &MEDIUM,
@@ -131,10 +154,10 @@ proptest::proptest! {
 /// machine-like signature — Medium must actually flag the fleet.
 #[test]
 fn defended_chaotic_parallel_run_engages_the_detector() {
-    let (_, effort, digest, _) = defended_reference(DetectorStrength::Medium).clone();
+    let (_, effort, digest, _, _) = defended_reference(DetectorStrength::Medium).clone();
     assert_ne!(digest, 0, "detector saw no sessions");
     assert!(effort.captcha_challenges > 0, "medium tier should be issuing captchas");
-    let (off_ckpt, off_effort, off_digest, off_eval) = defended_attack(1, DetectorStrength::Off);
+    let (off_ckpt, off_effort, off_digest, _, off_eval) = defended_attack(1, DetectorStrength::Off);
     assert_ne!(digest, off_digest, "a defended run must accumulate per-session state");
     // And the defense's costs are visible in the ledger: same attack,
     // same chaos, but the defended run works harder.
@@ -142,7 +165,7 @@ fn defended_chaotic_parallel_run_engages_the_detector() {
     assert_eq!(off_effort.captcha_challenges, 0);
     // The attack still lands either way (the detector raises cost, it
     // does not undo the paper's result on these tiers).
-    let (_, _, _, eval) = defended_reference(DetectorStrength::Medium);
+    let (_, _, _, _, eval) = defended_reference(DetectorStrength::Medium);
     assert!(eval.found > 0 && off_eval.found > 0);
     assert!(!off_ckpt.is_empty());
 }
