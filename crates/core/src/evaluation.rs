@@ -109,6 +109,16 @@ pub struct Completeness {
     pub incomplete_friend_lists: Vec<UserId>,
     /// Transport-layer retries the crawl needed (0 ⇒ fault-free run).
     pub retry_requests: u64,
+    /// Users who deactivated or graduated away *while the crawl ran*
+    /// (live-world tombstones): the platform served marker pages and
+    /// the crawl kept going, so these users contribute nothing beyond
+    /// their existence. Empty on a frozen platform.
+    #[serde(default)]
+    pub tombstoned_users: Vec<UserId>,
+    /// Pages re-fetched over live-world staleness conflicts (0 ⇒ the
+    /// world held still, or every pairing was consistent first try).
+    #[serde(default)]
+    pub stale_refetches: u64,
 }
 
 impl Completeness {
@@ -116,9 +126,14 @@ impl Completeness {
     pub fn from_access(access: &dyn OsnAccess) -> Completeness {
         let mut incomplete = access.incomplete_friends();
         incomplete.sort_unstable();
+        let mut tombstoned = access.tombstoned_users();
+        tombstoned.sort_unstable();
+        let effort = access.effort();
         Completeness {
             incomplete_friend_lists: incomplete,
-            retry_requests: access.effort().retry_requests,
+            retry_requests: effort.retry_requests,
+            tombstoned_users: tombstoned,
+            stale_refetches: effort.stale_refetch_requests,
         }
     }
 
@@ -131,20 +146,34 @@ impl Completeness {
     pub fn is_incomplete(&self, u: UserId) -> bool {
         self.incomplete_friend_lists.binary_search(&u).is_ok()
     }
+
+    /// Whether `u` tombstoned mid-crawl.
+    pub fn is_tombstoned(&self, u: UserId) -> bool {
+        self.tombstoned_users.binary_search(&u).is_ok()
+    }
 }
 
 impl std::fmt::Display for Completeness {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_complete() {
-            write!(f, "complete ({} retries)", self.retry_requests)
+            write!(f, "complete ({} retries)", self.retry_requests)?;
         } else {
             write!(
                 f,
                 "{} partial friend list(s), {} retries",
                 self.incomplete_friend_lists.len(),
                 self.retry_requests
-            )
+            )?;
         }
+        if !self.tombstoned_users.is_empty() || self.stale_refetches > 0 {
+            write!(
+                f,
+                "; live world: {} tombstoned, {} stale re-fetches",
+                self.tombstoned_users.len(),
+                self.stale_refetches
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -306,6 +335,9 @@ mod tests {
             fn incomplete_friends(&self) -> Vec<UserId> {
                 vec![UserId(9), UserId(3)]
             }
+            fn tombstoned_users(&self) -> Vec<UserId> {
+                vec![UserId(6)]
+            }
         }
 
         let c = Completeness::from_access(&Degraded);
@@ -313,8 +345,13 @@ mod tests {
         assert!(c.is_incomplete(UserId(3)));
         assert!(c.is_incomplete(UserId(9)));
         assert!(!c.is_incomplete(UserId(4)));
+        assert!(c.is_tombstoned(UserId(6)));
+        assert!(!c.is_tombstoned(UserId(9)));
         assert_eq!(c.retry_requests, 17);
-        assert_eq!(c.to_string(), "2 partial friend list(s), 17 retries");
+        assert_eq!(
+            c.to_string(),
+            "2 partial friend list(s), 17 retries; live world: 1 tombstoned, 0 stale re-fetches"
+        );
 
         // The default OsnAccess contract reports nothing incomplete.
         assert!(Completeness::default().is_complete());

@@ -14,12 +14,12 @@
 //! here.
 
 use crate::effort::Effort;
-use crate::scrape::{parse_listing, parse_profile, ScrapedProfile};
+use crate::scrape::{parse_listing, parse_listing_stamped, parse_profile, ScrapedProfile};
 use crate::snapshot::CrawlSnapshot;
 use hsp_graph::{SchoolId, UserId};
 use hsp_http::resilient::{
     captcha_delay_ms, is_shed, refusal_provenance, retryable_transport_error, RetryStats,
-    H_ACCOUNT_SUSPENDED, H_TRACE_ID,
+    H_ACCOUNT_SUSPENDED, H_TRACE_ID, H_VIRTUAL_NOW,
 };
 use hsp_http::{Exchange, HttpError, Request, Response, Status};
 use hsp_obs::trace::{fnv1a_chain, SpanRecord, FNV_OFFSET, TRACE_SEED};
@@ -46,6 +46,14 @@ pub trait OsnAccess {
     /// Users whose friend list came back *partial* (the crawl degraded
     /// gracefully instead of failing). Default: none.
     fn incomplete_friends(&self) -> Vec<UserId> {
+        Vec::new()
+    }
+
+    /// Users found tombstoned (deactivated or graduated away) while the
+    /// crawl was running — the platform served a marker page and the
+    /// crawl degraded to a Completeness disclosure instead of erroring.
+    /// Default: none (frozen platforms never tombstone).
+    fn tombstoned_users(&self) -> Vec<UserId> {
         Vec::new()
     }
 
@@ -391,6 +399,13 @@ pub(crate) struct CrawlerMetrics {
     pub(crate) captcha_virtual_ms: Arc<Counter>,
     /// Mimicry decoy fetches issued by the adaptive strategy.
     pub(crate) adapt_decoys: Arc<Counter>,
+    /// Pages re-fetched because a live-world generation stamp went
+    /// stale between the paired fetches (profile ↔ friend list, or
+    /// across one friend-list pagination run).
+    pub(crate) stale_refetches: Arc<Counter>,
+    /// Tombstone pages absorbed (deactivated/graduated users degraded
+    /// to a Completeness disclosure).
+    pub(crate) tombstones: Arc<Counter>,
     /// Refusals by provenance (see [`REFUSAL_SOURCES`]).
     pub(crate) refusals: HashMap<&'static str, Arc<Counter>>,
 }
@@ -424,6 +439,8 @@ impl CrawlerMetrics {
             captcha_challenges: reg.counter("crawler_adapt_captcha_challenges_total"),
             captcha_virtual_ms: reg.counter("crawler_adapt_captcha_virtual_ms"),
             adapt_decoys: reg.counter("crawler_adapt_decoys_total"),
+            stale_refetches: reg.counter("crawler_stale_refetch_total"),
+            tombstones: reg.counter("crawler_tombstones_total"),
             refusals: REFUSAL_SOURCES
                 .iter()
                 .map(|&s| (s, reg.counter_with("crawler_refusals_total", &[("source", s)])))
@@ -547,6 +564,9 @@ pub struct Crawler<E: Exchange> {
     circles_cache: HashMap<(UserId, bool), Option<Vec<UserId>>>,
     /// Friend lists carried forward partially (degraded, not failed).
     incomplete: BTreeSet<UserId>,
+    /// Users found tombstoned (deactivated/graduated mid-crawl); their
+    /// pages degraded to a Completeness disclosure instead of erroring.
+    tombstoned: BTreeSet<UserId>,
     /// Which account serves the next non-seed request (round-robin).
     rr: usize,
     /// Attacker-side telemetry; `None` when no registry was supplied.
@@ -638,6 +658,7 @@ impl<E: Exchange> Crawler<E> {
             friends_cache: HashMap::new(),
             circles_cache: HashMap::new(),
             incomplete: BTreeSet::new(),
+            tombstoned: BTreeSet::new(),
             rr: 0,
             obs: builder.obs,
             retry_stats: builder.retry_stats,
@@ -774,6 +795,12 @@ impl<E: Exchange> Crawler<E> {
         self.incomplete.iter().copied().collect()
     }
 
+    /// Users served tombstone pages (live-world deactivations and
+    /// graduation rollovers), in stable order.
+    pub fn tombstoned_user_list(&self) -> Vec<UserId> {
+        self.tombstoned.iter().copied().collect()
+    }
+
     // ---- checkpoint / resume ----------------------------------------------
 
     /// Export everything fetched so far into a [`CrawlSnapshot`]: seeds,
@@ -884,6 +911,33 @@ impl<E: Exchange> Crawler<E> {
     /// Intentional application-level auth-POST retries issued so far.
     pub fn auth_retries(&self) -> u64 {
         self.auth_retries
+    }
+
+    /// Bill one page re-fetched over a staleness conflict. The GET
+    /// itself is already in the endpoint's bucket (`count_request`);
+    /// this is the annotation ledger plus the shared [`RetryStats`]
+    /// slot the trace audit reconciles against.
+    fn note_stale_refetch(&mut self, n: u64) {
+        self.effort.stale_refetch_requests += n;
+        if let Some(m) = &self.obs {
+            m.stale_refetches.add(n);
+        }
+        if let Some(stats) = &self.retry_stats {
+            stats.stale_refetches.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// Record a tombstone page (once per user).
+    fn note_tombstone(&mut self, uid: UserId) {
+        if self.tombstoned.insert(uid) {
+            self.effort.tombstones += 1;
+            if let Some(m) = &self.obs {
+                m.tombstones.inc();
+            }
+            if let Some(stats) = &self.retry_stats {
+                stats.tombstones.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
     }
 
     /// Sleep before `account`'s next request. The naive crawler sleeps
@@ -1115,11 +1169,14 @@ impl<E: Exchange> Crawler<E> {
             };
             self.advance_politeness(account);
             let trace = self.next_trace_ctx(self.accounts[account].lane);
-            let mut req = Request::get(path);
+            let begin_ms = self.trace_now_ms();
+            // Request-carried virtual time: a mutating platform serves
+            // the world as of this stamp, so replay is bit-identical
+            // whatever the platform's own clock is doing.
+            let mut req = Request::get(path).header(H_VIRTUAL_NOW, begin_ms.to_string());
             if let Some((_, ctx)) = &trace {
                 req = req.header(H_TRACE_ID, ctx.header_value());
             }
-            let begin_ms = self.trace_now_ms();
             let result = self.accounts[account].exchange.exchange(req);
             if let Some((tracer, ctx)) = &trace {
                 record_root_span(
@@ -1320,8 +1377,15 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
         if profile.uid != Some(uid) {
             return Err(CrawlError::BadPage("profile uid mismatch"));
         }
+        // A tombstone is an answer (the user deactivated or graduated
+        // away mid-crawl): keep the minimal page, disclose it, move on.
+        if profile.tombstoned {
+            self.note_tombstone(uid);
+        }
         self.profile_cache.insert(uid, profile.clone());
-        self.decoy_pool.push(uid);
+        if !profile.tombstoned {
+            self.decoy_pool.push(uid);
+        }
         self.maybe_issue_decoy();
         Ok(profile)
     }
@@ -1336,36 +1400,85 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
         if let Some(m) = &self.obs {
             m.cache_friends_misses.inc();
         }
-        let mut out = Vec::new();
-        let mut url = format!("/friends/{uid}");
-        loop {
-            let resp = match self.fetch(EP_FRIENDS, None, &url) {
-                Ok(resp) => resp,
-                // Graceful degradation: a mid-list failure keeps the
-                // pages already fetched, flagged incomplete, instead of
-                // sinking the whole crawl. (First-page failures still
-                // propagate — there is nothing to carry forward.)
-                Err(e) => {
-                    if out.is_empty() {
-                        return Err(e);
-                    }
-                    self.incomplete.insert(uid);
-                    if let Some(m) = &self.obs {
-                        m.partial_friend_lists.inc();
-                    }
-                    self.friends_cache.insert(uid, Some(out.clone()));
-                    return Ok(Some(out));
+        // On a live platform the list can mutate between pages: every
+        // page carries the owner's generation stamp, and a stamp change
+        // mid-pagination restarts the read from page 0 (bounded — after
+        // two restarts the merged pages are kept, disclosed as partial).
+        let mut passes = 0u32;
+        let (out, list_gen) = 'paginate: loop {
+            passes += 1;
+            let refetch_pass = passes > 1;
+            let mut out = Vec::new();
+            let mut first_page = true;
+            let mut list_gen: Option<u64> = None;
+            let mut url = format!("/friends/{uid}");
+            loop {
+                if refetch_pass {
+                    self.note_stale_refetch(1);
                 }
-            };
-            if resp.status == Status::FORBIDDEN {
-                self.friends_cache.insert(uid, None);
-                return Ok(None);
+                let resp = match self.fetch(EP_FRIENDS, None, &url) {
+                    Ok(resp) => resp,
+                    // Graceful degradation: a mid-list failure keeps the
+                    // pages already fetched, flagged incomplete, instead of
+                    // sinking the whole crawl. (First-page failures still
+                    // propagate — there is nothing to carry forward.)
+                    Err(e) => {
+                        if out.is_empty() {
+                            return Err(e);
+                        }
+                        self.incomplete.insert(uid);
+                        if let Some(m) = &self.obs {
+                            m.partial_friend_lists.inc();
+                        }
+                        self.friends_cache.insert(uid, Some(out.clone()));
+                        return Ok(Some(out));
+                    }
+                };
+                if resp.status == Status::FORBIDDEN {
+                    self.friends_cache.insert(uid, None);
+                    return Ok(None);
+                }
+                let (ids, next, gen) = parse_listing_stamped(&resp.body_string());
+                if first_page {
+                    first_page = false;
+                    list_gen = gen;
+                } else if gen != list_gen {
+                    if passes < 3 {
+                        continue 'paginate;
+                    }
+                    // Bound hit: keep the spliced pages, but say so.
+                    if self.incomplete.insert(uid) {
+                        if let Some(m) = &self.obs {
+                            m.partial_friend_lists.inc();
+                        }
+                    }
+                }
+                out.extend(ids);
+                match next {
+                    Some(n) => url = n,
+                    None => break 'paginate (out, list_gen),
+                }
             }
-            let (ids, next) = parse_listing(&resp.body_string());
-            out.extend(ids);
-            match next {
-                Some(n) => url = n,
-                None => break,
+        };
+        // Pair verification: the profile page fetched earlier and this
+        // list must describe the same generation of the user. On a
+        // mismatch, re-fetch the profile once so downstream analysis
+        // sees one consistent world, and reconcile the cache.
+        let profile_gen = self.profile_cache.get(&uid).and_then(|p| p.generation);
+        if let (Some(lg), Some(pg)) = (list_gen, profile_gen) {
+            if lg != pg {
+                self.note_stale_refetch(1);
+                if let Ok(resp) = self.fetch(EP_PROFILE, None, &format!("/profile/{uid}")) {
+                    if resp.status.is_success() {
+                        let p = parse_profile(&resp.body_string());
+                        if p.uid == Some(uid) {
+                            if p.tombstoned {
+                                self.note_tombstone(uid);
+                            }
+                            self.profile_cache.insert(uid, p);
+                        }
+                    }
+                }
             }
         }
         self.friends_cache.insert(uid, Some(out.clone()));
@@ -1378,6 +1491,10 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
 
     fn incomplete_friends(&self) -> Vec<UserId> {
         self.incomplete_friend_lists()
+    }
+
+    fn tombstoned_users(&self) -> Vec<UserId> {
+        self.tombstoned_user_list()
     }
 
     fn checkpoint(&self) -> CrawlSnapshot {
@@ -1422,11 +1539,12 @@ impl<E: Exchange> OsnAccess for Crawler<E> {
         let account = self.next_live_account()?;
         self.advance_politeness(account);
         let trace = self.next_trace_ctx(self.accounts[account].lane);
-        let mut req = Request::post_form(format!("/message/{uid}"), &[("body", body)]);
+        let begin_ms = self.trace_now_ms();
+        let mut req = Request::post_form(format!("/message/{uid}"), &[("body", body)])
+            .header(H_VIRTUAL_NOW, begin_ms.to_string());
         if let Some((_, ctx)) = &trace {
             req = req.header(H_TRACE_ID, ctx.header_value());
         }
-        let begin_ms = self.trace_now_ms();
         let result = self.accounts[account].exchange.exchange(req);
         if let Some((tracer, ctx)) = &trace {
             record_root_span(

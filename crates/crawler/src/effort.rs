@@ -37,6 +37,17 @@ pub struct Effort {
     /// human (revisits of already-scraped profiles). Real requests the
     /// platform served, but not scraping progress.
     pub decoy_requests: u64,
+    /// Annotation: how many of the profile/friend-list requests above
+    /// were *re*-fetches forced by a staleness mismatch on a live
+    /// (mutating) world. The GETs themselves are already billed into
+    /// `profile_requests`/`friend_list_requests`, so this is **not**
+    /// added to `total()` — it explains where the budget went, it does
+    /// not grow it.
+    pub stale_refetch_requests: u64,
+    /// Annotation: users found tombstoned (deactivated or graduated
+    /// away) mid-crawl and degraded to completeness-only disclosure.
+    /// Not a request class, so never part of `total()`.
+    pub tombstones: u64,
 }
 
 impl Effort {
@@ -65,6 +76,8 @@ impl Effort {
             captcha_challenges: self.captcha_challenges - earlier.captcha_challenges,
             captcha_virtual_ms: self.captcha_virtual_ms - earlier.captcha_virtual_ms,
             decoy_requests: self.decoy_requests - earlier.decoy_requests,
+            stale_refetch_requests: self.stale_refetch_requests - earlier.stale_refetch_requests,
+            tombstones: self.tombstones - earlier.tombstones,
         }
     }
 }
@@ -73,14 +86,16 @@ impl std::fmt::Display for Effort {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests (seeds {}, profiles {}, friend lists {}, retries {}, decoys {}, captchas {})",
+            "{} requests (seeds {}, profiles {}, friend lists {}, retries {}, decoys {}, captchas {}; stale re-fetches {}, tombstones {})",
             self.total(),
             self.seed_requests,
             self.profile_requests,
             self.friend_list_requests,
             self.retry_requests,
             self.decoy_requests,
-            self.captcha_challenges
+            self.captcha_challenges,
+            self.stale_refetch_requests,
+            self.tombstones
         )
     }
 }
@@ -111,6 +126,8 @@ mod tests {
             captcha_challenges: 9,
             captcha_virtual_ms: 9 * 30_000,
             decoy_requests: 25,
+            stale_refetch_requests: 6,
+            tombstones: 2,
         };
         let delta = after.since(&before);
         assert_eq!(delta.profile_requests, 300);
@@ -118,7 +135,12 @@ mod tests {
         assert_eq!(delta.retry_requests, 10);
         assert_eq!(delta.captcha_challenges, 9);
         assert_eq!(delta.decoy_requests, 25);
+        assert_eq!(delta.stale_refetch_requests, 6);
+        assert_eq!(delta.tombstones, 2);
         // Decoys are real requests; captchas are time, not requests.
+        // Stale re-fetches are already inside the profile/friend-list
+        // buckets and tombstones are not requests — neither may double
+        // into the total.
         assert_eq!(delta.total(), 505);
     }
 }

@@ -36,10 +36,12 @@ use crate::driver::{
     EP_SEEDS,
 };
 use crate::effort::Effort;
-use crate::scrape::{parse_listing, parse_profile, ScrapedProfile};
+use crate::scrape::{parse_listing, parse_listing_stamped, parse_profile, ScrapedProfile};
 use crate::snapshot::CrawlSnapshot;
 use hsp_graph::{SchoolId, UserId};
-use hsp_http::resilient::{captcha_delay_ms, RetryStats, H_ACCOUNT_SUSPENDED, H_TRACE_ID};
+use hsp_http::resilient::{
+    captcha_delay_ms, RetryStats, H_ACCOUNT_SUSPENDED, H_TRACE_ID, H_VIRTUAL_NOW,
+};
 use hsp_http::{Exchange, HttpError, Request, Status};
 use hsp_obs::trace::TRACE_SEED;
 use hsp_obs::{FlightRecorder, Gauge, Histogram, Registry, TraceCtx, VirtualClock};
@@ -73,8 +75,10 @@ enum Job {
 enum JobOut {
     Seeds(Vec<UserId>),
     Profile(ScrapedProfile),
-    /// (list, partial): `None` = hidden; `partial` = degraded mid-list.
-    Friends(Option<Vec<UserId>>, bool),
+    /// (list, partial, gen): `None` = hidden; `partial` = degraded
+    /// mid-list; `gen` = the live-world generation stamp the pages
+    /// agreed on (`None` on a frozen platform).
+    Friends(Option<Vec<UserId>>, bool, Option<u64>),
     Circles(Option<Vec<UserId>>),
 }
 
@@ -194,6 +198,15 @@ impl<E: Exchange> AccountWorker<E> {
         }
     }
 
+    /// Bill one page re-fetched over a live-world staleness conflict
+    /// (the GET itself already landed in the endpoint bucket).
+    fn note_stale_refetch(&mut self, shared: &Shared) {
+        self.effort.stale_refetch_requests += 1;
+        if let Some(m) = &shared.metrics {
+            m.stale_refetches.inc();
+        }
+    }
+
     fn breaker_failure(&mut self, endpoint: &'static str, shared: &Shared) {
         let opened = self
             .breakers
@@ -277,11 +290,14 @@ impl<E: Exchange> AccountWorker<E> {
             }
             self.advance_politeness(shared);
             let trace = self.next_trace_ctx(shared);
-            let mut req = Request::get(path);
+            let begin_ms = self.now_ms();
+            // Request-carried virtual time: in parallel mode only the
+            // seat clocks advance, so this stamp is the one timeline a
+            // mutating platform can serve deterministically.
+            let mut req = Request::get(path).header(H_VIRTUAL_NOW, begin_ms.to_string());
             if let Some((_, ctx)) = &trace {
                 req = req.header(H_TRACE_ID, ctx.header_value());
             }
-            let begin_ms = self.now_ms();
             let result = self.exchange.exchange(req);
             if let Some((tracer, ctx)) = &trace {
                 record_root_span(
@@ -394,32 +410,56 @@ impl<E: Exchange> AccountWorker<E> {
     }
 
     fn run_friends(&mut self, uid: UserId, shared: &Shared) -> JobOutcome {
-        let mut out = Vec::new();
-        let mut url = format!("/friends/{uid}");
-        loop {
-            let resp = match self.fetch(EP_FRIENDS, &url, shared) {
-                FetchOut::Page(resp) => resp,
-                // Mid-list suspension: discard the partial pages and
-                // hand the whole job to a survivor (deterministic —
-                // the account's own request order decided it).
-                FetchOut::Suspended => return JobOutcome::Suspended,
-                // Graceful degradation: keep what we got, flagged
-                // partial; first-page failures still propagate.
-                FetchOut::Fatal(e) => {
-                    if out.is_empty() {
-                        return JobOutcome::Fatal(e);
-                    }
-                    return JobOutcome::Done(JobOut::Friends(Some(out), true));
+        // Live worlds: every page carries the owner's generation stamp;
+        // a stamp change mid-pagination restarts the read from page 0,
+        // bounded at two restarts (then the spliced pages are kept,
+        // flagged partial).
+        let mut passes = 0u32;
+        'paginate: loop {
+            passes += 1;
+            let refetch_pass = passes > 1;
+            let mut out = Vec::new();
+            let mut first_page = true;
+            let mut list_gen: Option<u64> = None;
+            let mut partial = false;
+            let mut url = format!("/friends/{uid}");
+            loop {
+                if refetch_pass {
+                    self.note_stale_refetch(shared);
                 }
-            };
-            if resp.status == Status::FORBIDDEN {
-                return JobOutcome::Done(JobOut::Friends(None, false));
-            }
-            let (ids, next) = parse_listing(&resp.body_string());
-            out.extend(ids);
-            match next {
-                Some(n) => url = n,
-                None => return JobOutcome::Done(JobOut::Friends(Some(out), false)),
+                let resp = match self.fetch(EP_FRIENDS, &url, shared) {
+                    FetchOut::Page(resp) => resp,
+                    // Mid-list suspension: discard the partial pages and
+                    // hand the whole job to a survivor (deterministic —
+                    // the account's own request order decided it).
+                    FetchOut::Suspended => return JobOutcome::Suspended,
+                    // Graceful degradation: keep what we got, flagged
+                    // partial; first-page failures still propagate.
+                    FetchOut::Fatal(e) => {
+                        if out.is_empty() {
+                            return JobOutcome::Fatal(e);
+                        }
+                        return JobOutcome::Done(JobOut::Friends(Some(out), true, list_gen));
+                    }
+                };
+                if resp.status == Status::FORBIDDEN {
+                    return JobOutcome::Done(JobOut::Friends(None, false, None));
+                }
+                let (ids, next, gen) = parse_listing_stamped(&resp.body_string());
+                if first_page {
+                    first_page = false;
+                    list_gen = gen;
+                } else if gen != list_gen {
+                    if passes < 3 {
+                        continue 'paginate;
+                    }
+                    partial = true;
+                }
+                out.extend(ids);
+                match next {
+                    Some(n) => url = n,
+                    None => return JobOutcome::Done(JobOut::Friends(Some(out), partial, list_gen)),
+                }
             }
         }
     }
@@ -594,6 +634,15 @@ pub struct ParallelCrawler<E: Exchange + Send> {
     friends_cache: HashMap<UserId, Option<Vec<UserId>>>,
     circles_cache: HashMap<(UserId, bool), Option<Vec<UserId>>>,
     incomplete: BTreeSet<UserId>,
+    /// Users served tombstone pages (live-world deactivations and
+    /// graduation rollovers), detected at commit time.
+    tombstoned: BTreeSet<UserId>,
+    /// Generation stamp each committed friend list was read at (live
+    /// worlds only) — the reconciliation side of the pair check.
+    friends_gen: HashMap<UserId, u64>,
+    /// Profile re-fetches issued by commit-time pair reconciliation
+    /// (on top of the workers' own pagination-restart counts).
+    stale_refetches: u64,
     /// Round-robin cursor for the few non-batched requests (messages).
     rr: usize,
     /// Modeled virtual wall-clock of the whole crawl at `workers` lanes.
@@ -639,6 +688,9 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
             friends_cache: HashMap::new(),
             circles_cache: HashMap::new(),
             incomplete: BTreeSet::new(),
+            tombstoned: BTreeSet::new(),
+            friends_gen: HashMap::new(),
+            stale_refetches: 0,
             rr: 0,
             modeled_wall_ms: 0,
         };
@@ -936,6 +988,17 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
         Ok(done)
     }
 
+    /// Commit one fetched profile to the cache, detecting tombstones
+    /// (once per user) on the way.
+    fn commit_profile(&mut self, uid: UserId, profile: ScrapedProfile) {
+        if profile.tombstoned && self.tombstoned.insert(uid) {
+            if let Some(m) = &self.shared.metrics {
+                m.tombstones.inc();
+            }
+        }
+        self.profile_cache.insert(uid, profile);
+    }
+
     fn total_effort(&self) -> Effort {
         let mut total = Effort::default();
         for account in &self.accounts {
@@ -948,7 +1011,10 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
             total.captcha_challenges += e.captcha_challenges;
             total.captcha_virtual_ms += e.captcha_virtual_ms;
             total.decoy_requests += e.decoy_requests;
+            total.stale_refetch_requests += e.stale_refetch_requests;
         }
+        total.stale_refetch_requests += self.stale_refetches;
+        total.tombstones = self.tombstoned.len() as u64;
         if let Some(stats) = &self.retry_stats {
             total.retry_requests = stats.retries();
         }
@@ -1006,12 +1072,14 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
             .collect();
         results.sort_by_key(|&(uid, _)| uid);
         for (uid, profile) in results {
-            self.profile_cache.insert(uid, profile);
+            self.commit_profile(uid, profile);
         }
         Ok(())
     }
 
     fn prefetch_friends(&mut self, uids: &[UserId]) -> Result<(), CrawlError> {
+        // (uid, friend list, partial?, world-generation stamp)
+        type FriendsFetch = (UserId, Option<Vec<UserId>>, bool, Option<u64>);
         let mut todo: Vec<UserId> =
             uids.iter().copied().filter(|u| !self.friends_cache.contains_key(u)).collect();
         todo.sort_unstable();
@@ -1023,22 +1091,55 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
             m.cache_friends_misses.add(todo.len() as u64);
         }
         let done = self.run_sharded(todo.into_iter().map(Job::Friends).collect())?;
-        let mut results: Vec<(UserId, Option<Vec<UserId>>, bool)> = done
+        let mut results: Vec<FriendsFetch> = done
             .into_iter()
             .map(|(job, out)| match (job, out) {
-                (Job::Friends(uid), JobOut::Friends(list, partial)) => (uid, list, partial),
+                (Job::Friends(uid), JobOut::Friends(list, partial, gen)) => {
+                    (uid, list, partial, gen)
+                }
                 _ => unreachable!("friends batch produced non-friends output"),
             })
             .collect();
-        results.sort_by_key(|&(uid, _, _)| uid);
-        for (uid, list, partial) in results {
+        results.sort_by_key(|&(uid, _, _, _)| uid);
+        // Pair verification at commit: a friend list whose generation
+        // stamp disagrees with the committed profile's means the user
+        // mutated between the two fetches. Reconcile with one bounded
+        // profile re-fetch round (canonical order — deterministic at
+        // any worker count).
+        let mut conflicted: Vec<UserId> = Vec::new();
+        for (uid, list, partial, gen) in results {
             if partial {
                 self.incomplete.insert(uid);
                 if let Some(m) = &self.shared.metrics {
                     m.partial_friend_lists.inc();
                 }
             }
+            if let Some(lg) = gen {
+                self.friends_gen.insert(uid, lg);
+                let profile_gen = self.profile_cache.get(&uid).and_then(|p| p.generation);
+                if profile_gen.is_some_and(|pg| pg != lg) {
+                    conflicted.push(uid);
+                }
+            }
             self.friends_cache.insert(uid, list);
+        }
+        if !conflicted.is_empty() {
+            self.stale_refetches += conflicted.len() as u64;
+            if let Some(m) = &self.shared.metrics {
+                m.stale_refetches.add(conflicted.len() as u64);
+            }
+            let done = self.run_sharded(conflicted.into_iter().map(Job::Profile).collect())?;
+            let mut refreshed: Vec<(UserId, ScrapedProfile)> = done
+                .into_iter()
+                .map(|(job, out)| match (job, out) {
+                    (Job::Profile(uid), JobOut::Profile(p)) => (uid, p),
+                    _ => unreachable!("reconcile batch produced non-profile output"),
+                })
+                .collect();
+            refreshed.sort_by_key(|&(uid, _)| uid);
+            for (uid, profile) in refreshed {
+                self.commit_profile(uid, profile);
+            }
         }
         Ok(())
     }
@@ -1107,11 +1208,12 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
         let t0 = worker.now_ms();
         worker.advance_politeness(&self.shared);
         let trace = worker.next_trace_ctx(&self.shared);
-        let mut req = Request::post_form(format!("/message/{uid}"), &[("body", body)]);
+        let begin_ms = worker.now_ms();
+        let mut req = Request::post_form(format!("/message/{uid}"), &[("body", body)])
+            .header(H_VIRTUAL_NOW, begin_ms.to_string());
         if let Some((_, ctx)) = &trace {
             req = req.header(H_TRACE_ID, ctx.header_value());
         }
-        let begin_ms = worker.now_ms();
         let result = worker.exchange.exchange(req);
         if let Some((tracer, ctx)) = &trace {
             record_root_span(
@@ -1152,6 +1254,10 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
 
     fn incomplete_friends(&self) -> Vec<UserId> {
         self.incomplete_friend_lists()
+    }
+
+    fn tombstoned_users(&self) -> Vec<UserId> {
+        self.tombstoned.iter().copied().collect()
     }
 
     fn checkpoint(&self) -> CrawlSnapshot {

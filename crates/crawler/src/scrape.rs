@@ -45,6 +45,14 @@ pub struct ScrapedProfile {
     pub has_contact_info: bool,
     pub friend_list_visible: bool,
     pub message_button: bool,
+    /// Live-world staleness stamp (`data-gen`): the user's mutation-touch
+    /// count when the page was rendered. `None` on a frozen platform.
+    #[serde(default)]
+    pub generation: Option<u64>,
+    /// `data-tombstone` marker: the account was deactivated or graduated
+    /// away mid-crawl. The page is a 200 OK answer, not an error.
+    #[serde(default)]
+    pub tombstoned: bool,
 }
 
 impl ScrapedProfile {
@@ -95,6 +103,8 @@ pub fn parse_profile(html: &str) -> ScrapedProfile {
         return p;
     };
     p.uid = root.get_attr("data-uid").and_then(UserId::parse);
+    p.generation = root.get_attr("data-gen").and_then(|g| g.parse().ok());
+    p.tombstoned = root.get_attr("data-tombstone") == Some("1");
     if let Some(h1) = select_first(root, "h1.name") {
         p.name = h1.text_content();
     }
@@ -149,6 +159,15 @@ pub fn parse_profile(html: &str) -> ScrapedProfile {
 /// Parse a listing page (search results or a friend-list page): the
 /// linked user ids plus the next-page URL, if any.
 pub fn parse_listing(html: &str) -> (Vec<UserId>, Option<String>) {
+    let (ids, next, _) = parse_listing_stamped(html);
+    (ids, next)
+}
+
+/// Like [`parse_listing`], also returning the live-world `data-gen`
+/// staleness stamp on the list root (`None` on a frozen platform). The
+/// crawler compares stamps across a pagination run — and against the
+/// owner's profile stamp — to detect a list that mutated mid-read.
+pub fn parse_listing_stamped(html: &str) -> (Vec<UserId>, Option<String>, Option<u64>) {
     let dom = parse(html);
     let ids = select(&dom, "a.profile-link")
         .into_iter()
@@ -158,7 +177,10 @@ pub fn parse_listing(html: &str) -> (Vec<UserId>, Option<String>) {
         .collect();
     let next =
         select_first(&dom, "#next-page").and_then(|a| a.get_attr("href")).map(str::to_string);
-    (ids, next)
+    let gen = select_first(&dom, "ul")
+        .and_then(|ul| ul.get_attr("data-gen"))
+        .and_then(|g| g.parse().ok());
+    (ids, next, gen)
 }
 
 fn parse_date(s: &str) -> Option<Date> {
@@ -255,6 +277,37 @@ mod tests {
         let (ids, next) = parse_listing(r#"<ul id="friends"></ul>"#);
         assert!(ids.is_empty());
         assert!(next.is_none());
+    }
+
+    #[test]
+    fn parses_generation_stamp_and_tombstone() {
+        let stamped = r#"<div id="profile" data-uid="u3" data-gen="17">
+          <h1 class="name">Gen Carrier</h1></div>"#;
+        let p = parse_profile(stamped);
+        assert_eq!(p.generation, Some(17));
+        assert!(!p.tombstoned);
+        // Frozen-platform pages carry no stamp.
+        assert_eq!(parse_profile(MINIMAL).generation, None);
+
+        let tomb = hsp_platform::render::tombstone_page(UserId(8), 4);
+        let p = parse_profile(&tomb);
+        assert_eq!(p.uid, Some(UserId(8)));
+        assert!(p.tombstoned);
+        assert_eq!(p.generation, Some(4));
+        assert!(p.is_minimal());
+
+        let listing = hsp_platform::render::listing_page_stamped(
+            "friends",
+            &[(UserId(1), "A B".into())],
+            None,
+            9,
+        );
+        let (ids, next, gen) = parse_listing_stamped(&listing);
+        assert_eq!(ids, vec![UserId(1)]);
+        assert!(next.is_none());
+        assert_eq!(gen, Some(9));
+        let (_, _, frozen_gen) = parse_listing_stamped(r#"<ul id="friends"></ul>"#);
+        assert_eq!(frozen_gen, None);
     }
 
     #[test]

@@ -27,12 +27,28 @@ pub struct CrawlSnapshot {
     pub friends: BTreeMap<UserId, Option<Vec<UserId>>>,
     /// Effort spent producing this snapshot.
     pub effort: Effort,
+    /// If the capture stopped early, the user whose fetch failed and
+    /// the error, e.g. `("u93", "suspended: request budget exhausted")`.
+    /// Everything fetched *before* that user is still in the snapshot —
+    /// hours of crawling are not discarded because one page refused.
+    #[serde(default)]
+    pub aborted_at: Option<(UserId, String)>,
 }
 
 impl CrawlSnapshot {
+    /// Whether the capture covered every requested user.
+    pub fn is_complete(&self) -> bool {
+        self.aborted_at.is_none()
+    }
+
     /// Record a full crawl for `school`: seeds, their profiles, every
     /// friend list the given user set needs. `users` is typically the
     /// union of seeds + candidates the analysis will touch.
+    ///
+    /// A fetch failure mid-crawl does **not** discard progress: the
+    /// snapshot is returned with everything captured so far and
+    /// [`CrawlSnapshot::aborted_at`] names the user that failed. Only a
+    /// seed-collection failure (nothing fetched yet) is a hard error.
     pub fn capture(
         access: &mut dyn OsnAccess,
         school: SchoolId,
@@ -41,8 +57,24 @@ impl CrawlSnapshot {
         let mut snap = CrawlSnapshot::default();
         let seeds = access.collect_seeds(school)?;
         for &u in seeds.iter().chain(extra_users) {
-            snap.profiles.insert(u, access.profile(u)?);
-            snap.friends.insert(u, access.friends(u)?);
+            let profile = match access.profile(u) {
+                Ok(p) => p,
+                Err(e) => {
+                    snap.aborted_at = Some((u, e.to_string()));
+                    break;
+                }
+            };
+            let friends = match access.friends(u) {
+                Ok(f) => f,
+                Err(e) => {
+                    // Keep the profile we just paid for; note the gap.
+                    snap.profiles.insert(u, profile);
+                    snap.aborted_at = Some((u, e.to_string()));
+                    break;
+                }
+            };
+            snap.profiles.insert(u, profile);
+            snap.friends.insert(u, friends);
         }
         snap.seeds.insert(school, seeds);
         snap.effort = access.effort();
@@ -155,6 +187,56 @@ mod tests {
         let restored = CrawlSnapshot::load(&path).unwrap();
         assert_eq!(restored, snap);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn capture_keeps_progress_on_mid_crawl_failure() {
+        // An access layer that dies on the third user: everything paid
+        // for before that must survive into the snapshot.
+        struct Flaky {
+            served: u64,
+        }
+        impl OsnAccess for Flaky {
+            fn collect_seeds(&mut self, _: SchoolId) -> Result<Vec<UserId>, CrawlError> {
+                Ok(vec![UserId(1), UserId(2), UserId(3), UserId(4)])
+            }
+            fn profile(&mut self, uid: UserId) -> Result<ScrapedProfile, CrawlError> {
+                if uid == UserId(3) {
+                    return Err(CrawlError::BadPage("suspended mid-crawl"));
+                }
+                self.served += 1;
+                Ok(ScrapedProfile { uid: Some(uid), ..Default::default() })
+            }
+            fn friends(&mut self, _: UserId) -> Result<Option<Vec<UserId>>, CrawlError> {
+                Ok(None)
+            }
+            fn effort(&self) -> Effort {
+                Effort { profile_requests: self.served, ..Default::default() }
+            }
+        }
+
+        let mut access = Flaky { served: 0 };
+        let snap = CrawlSnapshot::capture(&mut access, SchoolId(0), &[]).unwrap();
+        assert!(!snap.is_complete());
+        let (failed, why) = snap.aborted_at.clone().unwrap();
+        assert_eq!(failed, UserId(3));
+        assert!(why.contains("suspended mid-crawl"));
+        // Users 1 and 2 were fetched before the failure and are kept;
+        // the failing user and everything after it are absent.
+        assert_eq!(snap.profiles.len(), 2);
+        assert!(snap.profiles.contains_key(&UserId(1)));
+        assert!(snap.profiles.contains_key(&UserId(2)));
+        assert!(!snap.profiles.contains_key(&UserId(3)));
+        assert!(!snap.profiles.contains_key(&UserId(4)));
+        // Effort reflects what was actually paid, and the partial flag
+        // round-trips through JSON.
+        assert_eq!(snap.effort.profile_requests, 2);
+        let restored = CrawlSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(restored, snap);
+        // Pre-aborted_at snapshots (no field in the JSON) load as
+        // complete.
+        let legacy = CrawlSnapshot::from_json(&snapshot().to_json()).unwrap();
+        assert!(legacy.is_complete());
     }
 
     #[test]

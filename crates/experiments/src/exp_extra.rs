@@ -3,7 +3,7 @@
 
 use crate::ctx::Ctx;
 use crate::report::ExperimentReport;
-use crate::runner::{full_attack, Lab};
+use crate::runner::{full_attack, full_attack_with, Lab};
 use crate::tablefmt::{f1, Table};
 use hsp_core::{
     evaluate, evaluate_links, recover_friend_lists, run_basic, run_enhanced, EnhanceOptions,
@@ -523,6 +523,112 @@ pub fn arms_race(ctx: &mut Ctx) -> ExperimentReport {
         table.render(),
         json!({ "session_floor": SESSION_FLOOR, "points": points }),
     )
+}
+
+/// Live-world freshness frontier: the same attack against a platform
+/// that mutates underneath it, swept over churn intensity (the
+/// scenario's own [`hsp_synth::ChurnModel`], scaled) and crawl pacing
+/// (slower crawls live through more churn). Every cell's trace audit
+/// must close — stale re-fetches, tombstones and mutation events all
+/// reconcile — and the zero-rate cell must be bit-identical to the
+/// frozen-world baseline (same trace digest, same effort, same result).
+pub fn freshness(ctx: &mut Ctx) -> ExperimentReport {
+    use crate::trace_audit::audit_trace;
+    use hsp_crawler::Politeness;
+    // Fresh labs per cell (mutation engines are per platform); the
+    // shared Ctx caches don't apply.
+    let _ = ctx;
+    const SEED: u64 = 0x11FE_2013;
+    let cfg = Ctx::config_for("TINY");
+    let mut table = Table::new(&[
+        "churn",
+        "pace ms",
+        "mutations",
+        "tombstoned",
+        "stale refetch",
+        "virt-min",
+        "requests",
+        "found",
+    ]);
+    let mut points = Vec::new();
+    for (pace_label, pace_ms) in [("paper", 1_500u64), ("slow", 6_000u64)] {
+        let pace = Politeness { sleep_ms_between_requests: pace_ms, ..Politeness::default() };
+        // Frozen-world baseline for this pacing: the yardstick the
+        // zero-rate live cell must reproduce byte-for-byte.
+        let (frozen_digest, frozen_effort, frozen_found) = {
+            let lab = Lab::facebook(&cfg);
+            lab.obs.enable_tracing(16_384);
+            let run = full_attack_with(&lab, lab.paced_crawler(2, "fresh", SEED, pace));
+            let audit = audit_trace(&lab.obs, &run.effort_total);
+            assert!(audit.closed(), "frozen baseline audit: {:#?}", audit.unexplained);
+            let found = eval_found(&lab, &run);
+            (audit.digest, run.effort_total, found)
+        };
+        for factor in [0.0f64, 1.0, 4.0, 16.0] {
+            let lab = Lab::facebook_live(&cfg, factor);
+            lab.obs.enable_tracing(16_384);
+            let run = full_attack_with(&lab, lab.paced_crawler(2, "fresh", SEED, pace));
+            let audit = audit_trace(&lab.obs, &run.effort_total);
+            assert!(
+                audit.closed(),
+                "freshness cell (x{factor}, {pace_label}) audit: {:#?}",
+                audit.unexplained
+            );
+            let found = eval_found(&lab, &run);
+            if factor == 0.0 {
+                // Zero churn ⇒ the live engine is a strict no-op.
+                assert_eq!(audit.digest, frozen_digest, "zero-rate trace digest drifted");
+                assert_eq!(run.effort_total, frozen_effort, "zero-rate effort drifted");
+                assert_eq!(found, frozen_found, "zero-rate result drifted");
+            }
+            let applied = lab.platform.mutations.applied_count() as u64;
+            let virt_min = lab.platform.clock.now_ms() as f64 / 60_000.0;
+            let effort = &run.effort_total;
+            table.row(&[
+                format!("x{factor:.0}"),
+                pace_ms.to_string(),
+                applied.to_string(),
+                effort.tombstones.to_string(),
+                effort.stale_refetch_requests.to_string(),
+                format!("{virt_min:.1}"),
+                effort.total().to_string(),
+                found.to_string(),
+            ]);
+            points.push(json!({
+                "churn_factor": factor,
+                "pace_ms": pace_ms,
+                "pace": pace_label,
+                "mutations_applied": applied,
+                "state_digest": format!("{:016x}", lab.platform.mutations.state_digest()),
+                "trace_digest": audit.digest,
+                "tombstones": effort.tombstones,
+                "stale_refetches": effort.stale_refetch_requests,
+                "virtual_minutes": virt_min,
+                "total_requests": effort.total(),
+                "found": found,
+                "audit_closed": audit.closed(),
+            }));
+        }
+    }
+    ExperimentReport::new(
+        "freshness",
+        "Live-world freshness: attack accuracy vs churn rate vs crawl pacing (TINY world)",
+        table.render(),
+        json!({ "points": points }),
+    )
+}
+
+/// Score one completed run at `t = school size` (students found).
+fn eval_found(lab: &Lab, run: &crate::runner::AttackRun) -> u64 {
+    let truth = lab.ground_truth();
+    let t = run.config.school_size_estimate as usize;
+    let point = evaluate(
+        t,
+        &run.enhanced.guessed_students(t),
+        |u| run.enhanced.inferred_year(u, &run.config),
+        &truth,
+    );
+    point.found as u64
 }
 
 /// World summaries (sanity panel for the calibration targets).

@@ -47,6 +47,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation-filters",
     "ablation-accounts",
     "arms-race",
+    "freshness",
 ];
 
 /// Run one experiment by id. The whole run is timed into the context
@@ -78,6 +79,7 @@ pub fn run_experiment(ctx: &mut Ctx, id: &str) -> Option<ExperimentReport> {
         "ablation-filters" => exp_extra::ablation_filters(ctx),
         "ablation-accounts" => exp_extra::ablation_accounts(ctx),
         "arms-race" => exp_extra::arms_race(ctx),
+        "freshness" => exp_extra::freshness(ctx),
         _ => return None,
     })
 }

@@ -15,9 +15,9 @@ use hsp_http::{
     RetryPolicy, RetryStats, Server, ServerConfig,
 };
 use hsp_obs::{Registry, SpanGuard, VirtualClock};
-use hsp_platform::{DefenseConfig, FaultPlan, Platform, PlatformConfig};
+use hsp_platform::{DefenseConfig, FaultPlan, MutationPlan, Platform, PlatformConfig};
 use hsp_policy::{FacebookPolicy, Policy};
-use hsp_synth::{generate, Scenario, ScenarioConfig};
+use hsp_synth::{generate, ChurnModel, Scenario, ScenarioConfig};
 use std::sync::Arc;
 
 /// Scoped timer for one experiment phase, recorded on `reg` under
@@ -61,6 +61,40 @@ impl Lab {
     /// bit-identical to [`Lab::facebook`].
     pub fn facebook_defended(cfg: &ScenarioConfig, defense: DefenseConfig) -> Lab {
         Self::facebook_configured(cfg, PlatformConfig { defense, ..PlatformConfig::default() })
+    }
+
+    /// [`Lab::facebook`] over a *live* world: the mutation engine armed
+    /// with the scenario's own [`ChurnModel`] scaled by `factor`.
+    /// `factor == 0.0` produces a frozen plan (empty schedule, no
+    /// rollover), which the platform serves byte-identically to
+    /// [`Lab::facebook`] — the zero-rate equivalence gate.
+    pub fn facebook_live(cfg: &ScenarioConfig, factor: f64) -> Lab {
+        Self::facebook_configured(
+            cfg,
+            PlatformConfig {
+                mutations: Self::churn_plan(cfg, factor),
+                ..PlatformConfig::default()
+            },
+        )
+    }
+
+    /// Glue [`ChurnModel`] → [`MutationPlan`]: the scenario's derived
+    /// per-mille rates scaled by `factor`, on the canonical live
+    /// horizon (2 h of virtual time, one graduation rollover at 1 h —
+    /// dropped entirely at `factor == 0.0` so the schedule is empty).
+    pub fn churn_plan(cfg: &ScenarioConfig, factor: f64) -> MutationPlan {
+        let churn = ChurnModel::from_scenario(cfg).scaled(factor);
+        MutationPlan {
+            enabled: true,
+            horizon_ms: 7_200_000,
+            signup_per_mille: churn.signup_per_mille,
+            friend_per_mille: churn.friend_per_mille,
+            defriend_per_mille: churn.defriend_per_mille,
+            privacy_flip_per_mille: churn.privacy_flip_per_mille,
+            deactivate_per_mille: churn.deactivate_per_mille,
+            rollover_at_ms: if factor == 0.0 { Vec::new() } else { vec![3_600_000] },
+            ..MutationPlan::default()
+        }
     }
 
     /// [`Lab::facebook`] over a fully caller-specified
@@ -220,6 +254,55 @@ impl Lab {
                 .recruit_with(factory, 8)
                 .build(exchanges)
                 .expect("resilient crawler setup"),
+        )
+    }
+
+    /// [`Lab::resilient_crawler`] with caller-specified politeness —
+    /// the crawl-duration axis of the freshness experiment: slower
+    /// pacing means more virtual time elapses mid-crawl, so a live
+    /// world drifts further from what the crawl has already recorded.
+    pub fn paced_crawler(
+        &self,
+        accounts: usize,
+        label: &str,
+        seed: u64,
+        politeness: Politeness,
+    ) -> Box<dyn OsnAccess> {
+        let clock = Arc::clone(&self.platform.clock);
+        let stats = Arc::new(RetryStats::default());
+        let wrap = {
+            let handler = self.handler.clone();
+            let clock = Arc::clone(&clock);
+            let stats = Arc::clone(&stats);
+            let tracer = Arc::clone(self.obs.tracer());
+            move |i: u64| {
+                ResilientExchange::with_stats(
+                    DirectExchange::new(handler.clone()),
+                    RetryPolicy::seeded(seed ^ i),
+                    Arc::clone(&clock),
+                    Arc::clone(&stats),
+                )
+                .with_tracer(Arc::clone(&tracer))
+            }
+        };
+        let exchanges: Vec<_> = (0..accounts as u64).map(&wrap).collect();
+        let mut next = accounts as u64;
+        let factory = {
+            let wrap = wrap;
+            move || {
+                next += 1;
+                wrap(next)
+            }
+        };
+        Box::new(
+            Crawler::builder(label)
+                .observability(&self.obs)
+                .clock(clock)
+                .retry_stats(stats)
+                .politeness(politeness)
+                .recruit_with(factory, 8)
+                .build(exchanges)
+                .expect("paced crawler setup"),
         )
     }
 

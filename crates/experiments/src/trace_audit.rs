@@ -30,12 +30,19 @@
 //!   response it produced, so per-source serving spans == the
 //!   platform's own refusal counters; edge 429s never reach a handler
 //!   and reconcile against `http_server_rate_limited_total` instead.
+//! * live world: mutation events live on the reserved
+//!   [`WORLD_LANE`] with their own span slot — they are *not* requests,
+//!   so they are excluded from every per-request rule above and instead
+//!   reconcile against `platform_mutations_total{kind=…}`; the crawl's
+//!   stale re-fetch and tombstone annotations reconcile against
+//!   `crawler_stale_refetch_total` / `crawler_tombstones_total`.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use hsp_crawler::Effort;
-use hsp_obs::trace::{SLOT_ATTEMPT_BASE, TRACE_SEED};
+use hsp_obs::trace::{SLOT_ATTEMPT_BASE, SLOT_MUTATION, TRACE_SEED};
 use hsp_obs::{Registry, SpanRecord, TraceCtx};
+use hsp_platform::mutations::WORLD_LANE;
 use serde::Serialize;
 
 /// One row of the five-way refusal taxonomy, traced and ledgered on
@@ -85,6 +92,15 @@ pub struct TraceAudit {
     pub captcha_ms_ledgered: u64,
     pub decoys_traced: u64,
     pub decoys_ledgered: u64,
+    /// Live-world mutation spans on the reserved world lane.
+    pub mutations_traced: u64,
+    /// Sum of `platform_mutations_total{kind=…}` across kinds.
+    pub mutations_ledgered: u64,
+    /// `crawler_stale_refetch_total` (reconciled against the effort's
+    /// `stale_refetch_requests` annotation).
+    pub stale_refetches_ledgered: u64,
+    /// `crawler_tombstones_total` (reconciled against `Effort::tombstones`).
+    pub tombstones_ledgered: u64,
     /// Root spans per endpoint label.
     pub endpoints: BTreeMap<String, u64>,
     /// The effort ledger the trace was reconciled against.
@@ -112,9 +128,16 @@ impl TraceAudit {
     }
 }
 
-/// Crawl-side root spans carry `parent_id == 0`.
+/// Crawl-side root spans carry `parent_id == 0`. Mutation spans on the
+/// reserved world lane also parent to 0 but are world events, not
+/// requests — they are never crawl roots.
 fn is_root(s: &SpanRecord) -> bool {
-    s.parent_id == 0
+    s.parent_id == 0 && s.lane != WORLD_LANE
+}
+
+/// Live-world mutation spans (one per applied event, world lane only).
+fn is_mutation(s: &SpanRecord) -> bool {
+    s.lane == WORLD_LANE
 }
 
 fn is_attempt(s: &SpanRecord) -> bool {
@@ -146,12 +169,19 @@ pub fn audit_trace(obs: &Registry, effort: &Effort) -> TraceAudit {
     let mut bad_trace_ids = 0u64;
     let mut bad_roots = 0u64;
     let mut bad_parents = 0u64;
+    let mut bad_mutations = 0u64;
     for s in &spans {
         let ctx = TraceCtx::derive(TRACE_SEED, s.lane, s.ordinal);
         if s.trace_id != ctx.trace_id {
             bad_trace_ids += 1;
         }
-        if is_root(s) {
+        if is_mutation(s) {
+            // World events use the mutation slot, never the root slot,
+            // and their ordinal is the schedule index.
+            if s.span_id != ctx.span(SLOT_MUTATION) || !s.name.starts_with("mutation:") {
+                bad_mutations += 1;
+            }
+        } else if is_root(s) {
             if s.span_id != ctx.root_span() {
                 bad_roots += 1;
             }
@@ -167,6 +197,10 @@ pub fn audit_trace(obs: &Registry, effort: &Effort) -> TraceAudit {
     }
     if bad_parents > 0 {
         unexplained.push(format!("{bad_parents} spans not parented to their derived root"));
+    }
+    if bad_mutations > 0 {
+        unexplained
+            .push(format!("{bad_mutations} world-lane spans fail mutation-slot re-derivation"));
     }
 
     // ---- retries ---------------------------------------------------------
@@ -296,6 +330,41 @@ pub fn audit_trace(obs: &Registry, effort: &Effort) -> TraceAudit {
         }
     }
 
+    // ---- live world: mutations, stale re-fetches, tombstones -------------
+    // Each applied mutation records one world-lane span at the same site
+    // `platform_mutations_total{kind=…}` bumps, so the sum across kinds
+    // must equal the span count. Stale re-fetch GETs are already billed
+    // into the per-endpoint buckets above (and traced as ordinary
+    // roots); the *annotations* reconcile against their own counters.
+    let mutations_traced = spans.iter().filter(|s| is_mutation(s)).count() as u64;
+    let mutations_ledgered: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("platform_mutations_total"))
+        .map(|(_, v)| *v)
+        .sum();
+    if mutations_traced != mutations_ledgered {
+        unexplained.push(format!(
+            "mutations: trace shows {mutations_traced} applied events, \
+             platform ledger says {mutations_ledgered}"
+        ));
+    }
+    let stale_refetches_ledgered = snap.counter("crawler_stale_refetch_total");
+    if stale_refetches_ledgered != effort.stale_refetch_requests {
+        unexplained.push(format!(
+            "stale re-fetches: metric says {stale_refetches_ledgered}, \
+             effort annotation says {}",
+            effort.stale_refetch_requests
+        ));
+    }
+    let tombstones_ledgered = snap.counter("crawler_tombstones_total");
+    if tombstones_ledgered != effort.tombstones {
+        unexplained.push(format!(
+            "tombstones: metric says {tombstones_ledgered}, effort annotation says {}",
+            effort.tombstones
+        ));
+    }
+
     TraceAudit {
         digest: format!("{:016x}", tracer.digest()),
         spans: spans.len() as u64,
@@ -312,6 +381,10 @@ pub fn audit_trace(obs: &Registry, effort: &Effort) -> TraceAudit {
         captcha_ms_ledgered: effort.captcha_virtual_ms,
         decoys_traced,
         decoys_ledgered: effort.decoy_requests,
+        mutations_traced,
+        mutations_ledgered,
+        stale_refetches_ledgered,
+        tombstones_ledgered,
         endpoints,
         effort: *effort,
         unexplained,
@@ -355,6 +428,23 @@ mod tests {
         assert!(audit.retries_traced > 0, "chaos run should have traced retries");
         let fault = audit.refusals.iter().find(|r| r.source == "fault").unwrap();
         assert_eq!(fault.traced_crawler, fault.ledger_crawler);
+    }
+
+    /// A live (mutating) world's attack still reconciles: mutation
+    /// spans stay off the per-request rules and close against
+    /// `platform_mutations_total`; stale re-fetch and tombstone
+    /// annotations close against their counters.
+    #[test]
+    fn live_world_attack_audit_closes() {
+        let lab = Lab::facebook_live(&ScenarioConfig::tiny(), 16.0);
+        lab.obs.enable_tracing(16384);
+        let run = full_attack_with(&lab, lab.resilient_crawler(3, "audit-live", 7));
+        let audit = audit_trace(&lab.obs, &run.effort_total);
+        assert!(audit.closed(), "unexplained: {:#?}", audit.unexplained);
+        assert!(audit.mutations_traced > 0, "x16 churn should apply mutations mid-crawl");
+        assert_eq!(audit.mutations_traced, audit.mutations_ledgered);
+        assert_eq!(audit.stale_refetches_ledgered, run.effort_total.stale_refetch_requests);
+        assert_eq!(audit.tombstones_ledgered, run.effort_total.tombstones);
     }
 
     /// A cooked ledger is caught: inflate the effort's retry count and

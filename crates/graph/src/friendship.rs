@@ -60,6 +60,30 @@ impl FriendGraph {
         }
     }
 
+    /// Remove a symmetric friendship. Returns `true` if the edge
+    /// existed (removal happens on both sides); removing a missing or
+    /// self edge is a no-op.
+    pub fn remove_friendship(&mut self, a: UserId, b: UserId) -> bool {
+        if a == b || a.index() >= self.adj.len() || b.index() >= self.adj.len() {
+            return false;
+        }
+        let removed = Self::remove_sorted(&mut self.adj[a.index()], b);
+        if removed {
+            Self::remove_sorted(&mut self.adj[b.index()], a);
+        }
+        removed
+    }
+
+    fn remove_sorted(list: &mut Vec<UserId>, v: UserId) -> bool {
+        match list.binary_search(&v) {
+            Ok(pos) => {
+                list.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
     /// The sorted friend list of `u` (empty if out of range).
     pub fn friends(&self, u: UserId) -> &[UserId] {
         self.adj.get(u.index()).map(Vec::as_slice).unwrap_or(&[])
@@ -214,6 +238,20 @@ mod tests {
         assert!(!g.add_friendship(u(2), u(1)));
         assert!(g.are_friends(u(1), u(2)));
         assert!(g.are_friends(u(2), u(1)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_friendship_is_symmetric() {
+        let mut g = FriendGraph::default();
+        g.add_friendship(u(1), u(2));
+        g.add_friendship(u(1), u(3));
+        assert!(g.remove_friendship(u(2), u(1)));
+        assert!(!g.are_friends(u(1), u(2)));
+        assert!(!g.are_friends(u(2), u(1)));
+        assert!(g.are_friends(u(1), u(3)), "unrelated edges survive");
+        assert!(!g.remove_friendship(u(1), u(2)), "double-remove is a no-op");
+        assert!(!g.remove_friendship(u(7), u(8)), "out-of-range is a no-op");
         assert_eq!(g.edge_count(), 1);
     }
 

@@ -87,6 +87,12 @@ impl Network {
         self.friends.ensure_users(self.users.len());
     }
 
+    /// Remove a symmetric friendship (live-world defriending). Returns
+    /// `true` if the edge existed.
+    pub fn remove_friendship(&mut self, a: UserId, b: UserId) -> bool {
+        self.friends.remove_friendship(a, b)
+    }
+
     /// Content hash of the entire network (FNV-1a over the canonical
     /// serialized form). Two networks fingerprint equal iff every user,
     /// edge, household, circle and interaction matches — the cheap

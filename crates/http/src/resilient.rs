@@ -51,6 +51,15 @@ pub const H_SESSION_EXPIRED: &str = "x-session-expired";
 /// reset (the body is truncated and the connection closed).
 pub const H_SIMULATED_FAULT: &str = "x-simulated-fault";
 
+/// The requester's current virtual time in milliseconds. Attached by
+/// the crawler so the platform's mutation engine can serve the world
+/// *as of the account's own timeline*: under the parallel scheduler
+/// every seat keeps its own clock and the shared platform clock never
+/// advances, so request-carried time is the only representation that
+/// replays bit-identically at any worker count. Absent the header, the
+/// platform falls back to its own clock.
+pub const H_VIRTUAL_NOW: &str = "x-virtual-now-ms";
+
 /// How a response (or transport error) should be handled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ErrorClass {
@@ -238,6 +247,13 @@ pub struct RetryStats {
     /// 429s stamped `x-throttled` (sybil-detector throttle; subset of
     /// `rate_limited`).
     pub throttled: AtomicU64,
+    /// Pages re-fetched because their generation stamp went stale
+    /// mid-crawl (live-world consistency conflicts). Counted by the
+    /// crawler, not this layer — the stamp lives in the page body.
+    pub stale_refetches: AtomicU64,
+    /// Tombstone pages served for deactivated/graduated users. Counted
+    /// by the crawler alongside `stale_refetches`.
+    pub tombstones: AtomicU64,
 }
 
 impl RetryStats {
@@ -279,6 +295,14 @@ impl RetryStats {
 
     pub fn throttled(&self) -> u64 {
         self.throttled.load(Ordering::Relaxed)
+    }
+
+    pub fn stale_refetches(&self) -> u64 {
+        self.stale_refetches.load(Ordering::Relaxed)
+    }
+
+    pub fn tombstones(&self) -> u64 {
+        self.tombstones.load(Ordering::Relaxed)
     }
 }
 

@@ -69,6 +69,9 @@ pub const SLOT_SERVER: u64 = 2;
 pub const SLOT_EDGE: u64 = 3;
 /// A transport-chaos injection beneath the retry layer.
 pub const SLOT_CHAOS: u64 = 4;
+/// A platform mutation event (live-world engine), recorded once on the
+/// reserved world lane when the event is first applied.
+pub const SLOT_MUTATION: u64 = 5;
 /// Base slot for per-attempt retry spans (`SLOT_ATTEMPT_BASE + n`).
 pub const SLOT_ATTEMPT_BASE: u64 = 16;
 

@@ -3,13 +3,14 @@
 use crate::accounts::{AccountError, Accounts};
 use crate::config::PlatformConfig;
 use crate::faults::FaultEngine;
+use crate::mutations::{MutationEngine, WorldGen};
 use crate::render;
 use crate::search::SearchIndex;
 use hsp_defense::{session_account_index, SybilDetector, Verdict};
 use hsp_graph::{CityId, Network, SchoolId, UserId};
 use hsp_http::resilient::{
     captcha_delay_ms, refusal_provenance, H_ACCOUNT_SUSPENDED, H_CAPTCHA, H_RETRY_AFTER,
-    H_SESSION_EXPIRED, H_SUSPENDED, H_THROTTLED, H_TRACE_ID,
+    H_SESSION_EXPIRED, H_SUSPENDED, H_THROTTLED, H_TRACE_ID, H_VIRTUAL_NOW,
 };
 use hsp_http::{request_cookie, Handler, PathParams, Request, Response, Router, Status};
 use hsp_obs::trace::{SpanRecord, SLOT_SERVER};
@@ -62,6 +63,9 @@ pub struct Platform {
     pub faults: Arc<FaultEngine>,
     /// Behavioral sybil detector (a strict no-op when `Off`).
     pub defense: Arc<SybilDetector>,
+    /// Live-world mutation engine (not live under the default plan, in
+    /// which case every handler bypasses it entirely).
+    pub mutations: Arc<MutationEngine>,
     search: SearchIndex,
 }
 
@@ -97,6 +101,8 @@ impl Platform {
     ) -> Arc<Self> {
         let faults = FaultEngine::new(config.faults.clone(), Arc::clone(&obs));
         let defense = Arc::new(SybilDetector::new(config.defense.clone(), &obs));
+        let mutations =
+            MutationEngine::new(config.mutations.clone(), Arc::clone(&network), Arc::clone(&obs));
         Arc::new(Platform {
             network,
             policy,
@@ -106,6 +112,7 @@ impl Platform {
             clock,
             faults,
             defense,
+            mutations,
             search: SearchIndex::new(),
         })
     }
@@ -351,6 +358,12 @@ impl Platform {
                 + snap.counter("http_server_shed_total{reason=\"max_connections\"}"),
             "suspension": platform_refusal("suspension"),
         });
+        let mutations = json!({
+            "live": self.mutations.is_live(),
+            "scheduled": self.mutations.event_count() as u64,
+            "applied": self.mutations.applied_count() as u64,
+            "state_digest": format!("{:016x}", self.mutations.state_digest()),
+        });
         let body = json!({
             "uptime_ms": self.obs.uptime_ms(),
             "virtual_ms": self.clock.now_ms(),
@@ -361,6 +374,7 @@ impl Platform {
                 "suspended": self.accounts.suspended_count(),
             }),
             "defense": defense,
+            "mutations": mutations,
             "refusals": refusals,
         });
         Response::text(serde_json::to_string_pretty(&body).unwrap_or_default())
@@ -445,10 +459,28 @@ impl Platform {
         Ok(index)
     }
 
-    fn parse_user(&self, raw: Option<&str>) -> Result<UserId, Response> {
+    fn parse_user(&self, raw: Option<&str>, net: &Network) -> Result<UserId, Response> {
         raw.and_then(UserId::parse)
-            .filter(|u| u.index() < self.network.user_count())
+            .filter(|u| u.index() < net.user_count())
             .ok_or_else(|| Response::error(Status::NOT_FOUND, "no such user"))
+    }
+
+    /// The world snapshot this request must be served from, or `None`
+    /// when the world is frozen (the default) and handlers take their
+    /// original byte-identical paths. Live requests are resolved at the
+    /// seat clock they carry in `x-virtual-now-ms` — the parallel
+    /// crawler's per-account timelines — falling back to the shared
+    /// platform clock for sequential or header-less clients.
+    fn live_world(&self, req: &Request) -> Option<Arc<WorldGen>> {
+        if !self.mutations.is_live() {
+            return None;
+        }
+        let now = req
+            .headers
+            .get(H_VIRTUAL_NOW)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| self.clock.now_ms());
+        Some(self.mutations.world_at(now))
     }
 
     // ---- handlers -----------------------------------------------------------
@@ -489,18 +521,25 @@ impl Platform {
             return Response::error(Status::NOT_FOUND, "no such school");
         }
         let page: usize = req.query_param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
-        let (ids, has_more) = self.search.page(
-            &self.network,
-            self.policy.as_ref(),
-            &self.config,
-            school,
-            account,
-            page,
-        );
+        let live = self.live_world(req);
+        let (net, search): (&Network, &SearchIndex) = match &live {
+            Some(w) => (w.network.as_ref(), &w.search),
+            None => (&self.network, &self.search),
+        };
+        let (ids, has_more) =
+            search.page(net, self.policy.as_ref(), &self.config, school, account, page);
         let entries: Vec<(UserId, String)> =
-            ids.into_iter().map(|u| (u, self.network.user(u).profile.full_name())).collect();
+            ids.into_iter().map(|u| (u, net.user(u).profile.full_name())).collect();
         let next = has_more.then(|| format!("/find-friends?school={school}&page={}", page + 1));
-        Response::html(render::listing_page("results", &entries, next))
+        match &live {
+            Some(w) => Response::html(render::listing_page_stamped(
+                "results",
+                &entries,
+                next,
+                w.generation as u64,
+            )),
+            None => Response::html(render::listing_page("results", &entries, next)),
+        }
     }
 
     fn handle_graph_search(&self, req: &Request) -> Response {
@@ -516,8 +555,13 @@ impl Platform {
         }
         let current_only = req.query_param("current").as_deref() == Some("1");
         let city = req.query_param("city").as_deref().and_then(CityId::parse);
-        let ids = self.search.graph_search(
-            &self.network,
+        let live = self.live_world(req);
+        let (net, search): (&Network, &SearchIndex) = match &live {
+            Some(w) => (w.network.as_ref(), &w.search),
+            None => (&self.network, &self.search),
+        };
+        let ids = search.graph_search(
+            net,
             self.policy.as_ref(),
             &self.config,
             school,
@@ -526,18 +570,42 @@ impl Platform {
             city,
         );
         let entries: Vec<(UserId, String)> =
-            ids.into_iter().map(|u| (u, self.network.user(u).profile.full_name())).collect();
-        Response::html(render::listing_page("results", &entries, None))
+            ids.into_iter().map(|u| (u, net.user(u).profile.full_name())).collect();
+        match &live {
+            Some(w) => Response::html(render::listing_page_stamped(
+                "results",
+                &entries,
+                None,
+                w.generation as u64,
+            )),
+            None => Response::html(render::listing_page("results", &entries, None)),
+        }
     }
 
     fn handle_profile(&self, req: &Request, uid: Option<&str>) -> Response {
         if let Err(resp) = self.session_account(req) {
             return resp;
         }
-        let uid = match self.parse_user(uid) {
+        let live = self.live_world(req);
+        let net = live.as_ref().map(|w| w.network.as_ref()).unwrap_or(&self.network);
+        let uid = match self.parse_user(uid, net) {
             Ok(u) => u,
             Err(resp) => return resp,
         };
+        if let Some(w) = &live {
+            // A tombstone is an answer, not an error: deactivated and
+            // graduated-away users get a minimal marker page so the
+            // crawler can degrade to a Completeness disclosure.
+            if w.tombstoned(uid) {
+                return Response::html(render::tombstone_page(uid, w.user_generation(uid)));
+            }
+            let view = self.policy.stranger_view(net, uid);
+            return Response::html(render::profile_page_stamped(
+                net,
+                &view,
+                w.user_generation(uid),
+            ));
+        }
         let view = self.policy.stranger_view(&self.network, uid);
         Response::html(render::profile_page(&self.network, &view))
     }
@@ -546,11 +614,18 @@ impl Platform {
         if let Err(resp) = self.session_account(req) {
             return resp;
         }
-        let uid = match self.parse_user(uid) {
+        let live = self.live_world(req);
+        let net = live.as_ref().map(|w| w.network.as_ref()).unwrap_or(&self.network);
+        let uid = match self.parse_user(uid, net) {
             Ok(u) => u,
             Err(resp) => return resp,
         };
-        let Some(friends) = self.policy.visible_friend_list(&self.network, uid) else {
+        if live.as_ref().is_some_and(|w| w.tombstoned(uid)) {
+            // Same refusal as a hidden list: the tombstone's *profile*
+            // page tells the crawler why.
+            return Response::error(Status::FORBIDDEN, "friend list not visible");
+        }
+        let Some(friends) = self.policy.visible_friend_list(net, uid) else {
             return Response::error(Status::FORBIDDEN, "friend list not visible");
         };
         let page: usize = req.query_param("page").and_then(|p| p.parse().ok()).unwrap_or(0);
@@ -558,12 +633,18 @@ impl Platform {
         let start = page.saturating_mul(per).min(friends.len());
         let end = (start + per).min(friends.len());
         let has_more = end < friends.len();
-        let entries: Vec<(UserId, String)> = friends[start..end]
-            .iter()
-            .map(|&u| (u, self.network.user(u).profile.full_name()))
-            .collect();
+        let entries: Vec<(UserId, String)> =
+            friends[start..end].iter().map(|&u| (u, net.user(u).profile.full_name())).collect();
         let next = has_more.then(|| format!("/friends/{uid}?page={}", page + 1));
-        Response::html(render::listing_page("friends", &entries, next))
+        match &live {
+            Some(w) => Response::html(render::listing_page_stamped(
+                "friends",
+                &entries,
+                next,
+                w.user_generation(uid),
+            )),
+            None => Response::html(render::listing_page("friends", &entries, next)),
+        }
     }
 
     /// Google+ circles pages: `?dir=in` ("in your circles", outgoing) or
@@ -573,7 +654,7 @@ impl Platform {
         if let Err(resp) = self.session_account(req) {
             return resp;
         }
-        let uid = match self.parse_user(uid) {
+        let uid = match self.parse_user(uid, &self.network) {
             Ok(u) => u,
             Err(resp) => return resp,
         };
@@ -603,11 +684,16 @@ impl Platform {
         if let Err(resp) = self.session_account(req) {
             return resp;
         }
-        let uid = match self.parse_user(uid) {
+        let live = self.live_world(req);
+        let net = live.as_ref().map(|w| w.network.as_ref()).unwrap_or(&self.network);
+        let uid = match self.parse_user(uid, net) {
             Ok(u) => u,
             Err(resp) => return resp,
         };
-        let view = self.policy.stranger_view(&self.network, uid);
+        if live.as_ref().is_some_and(|w| w.tombstoned(uid)) {
+            return Response::error(Status::FORBIDDEN, "cannot message this user");
+        }
+        let view = self.policy.stranger_view(net, uid);
         if !view.message_button {
             return Response::error(Status::FORBIDDEN, "cannot message this user");
         }
@@ -946,6 +1032,68 @@ mod tests {
         let snap = platform.obs.snapshot();
         assert_eq!(snap.counter("platform_refusals_total{source=\"suspension\"}"), 1);
         assert_eq!(snap.counter("platform_refusals_total{source=\"fault\"}"), 0);
+    }
+
+    #[test]
+    fn live_world_serves_as_of_time_and_zero_rate_is_byte_identical() {
+        use crate::mutations::MutationPlan;
+        let scenario = generate(&ScenarioConfig::tiny());
+        let net = Arc::new(scenario.network.clone());
+        let make = |mutations: MutationPlan| {
+            let platform = Platform::new(
+                Arc::clone(&net),
+                Arc::new(FacebookPolicy::new()),
+                PlatformConfig { mutations, ..PlatformConfig::default() },
+            );
+            let handler = platform.into_handler();
+            (platform, handler)
+        };
+
+        // Zero-rate: pages are byte-identical to the frozen platform's.
+        let (_fp, frozen) = make(MutationPlan::none());
+        let (_zp, zeroed) = make(MutationPlan::lively().scaled(0.0));
+        let cf = login(&frozen, "spy");
+        let cz = login(&zeroed, "spy");
+        for path in ["/profile/u0", &format!("/find-friends?school={}", scenario.school)] {
+            let a = frozen.handle(&Request::get(path).header("Cookie", &cf));
+            let b = zeroed.handle(&Request::get(path).header("Cookie", &cz));
+            assert_eq!(a.body, b.body, "zero-rate page differs for {path}");
+            assert!(!a.body_string().contains("data-gen"), "frozen page is stamped");
+        }
+
+        // Live: rollover at t=1000 tombstones the seniors; requests are
+        // served as-of the time they carry.
+        let senior_year = scenario.network.senior_class_year();
+        let senior = scenario.network.roster_for_class(scenario.school, senior_year)[0];
+        let plan =
+            MutationPlan { enabled: true, rollover_at_ms: vec![1_000], ..MutationPlan::none() };
+        let (_lp, live) = make(plan);
+        let cl = login(&live, "spy");
+        let before = live.handle(
+            &Request::get(format!("/profile/{senior}"))
+                .header("Cookie", &cl)
+                .header(H_VIRTUAL_NOW, "999"),
+        );
+        assert_eq!(before.status, Status::OK);
+        let dom = parse(&before.body_string());
+        let root = hsp_markup::select_first(&dom, "#profile").unwrap();
+        assert_eq!(root.get_attr("data-gen"), Some("0"));
+        assert_eq!(root.get_attr("data-tombstone"), None);
+        let after = live.handle(
+            &Request::get(format!("/profile/{senior}"))
+                .header("Cookie", &cl)
+                .header(H_VIRTUAL_NOW, "1000"),
+        );
+        assert_eq!(after.status, Status::OK, "tombstone is an answer, not an error");
+        let dom = parse(&after.body_string());
+        let root = hsp_markup::select_first(&dom, "#profile").unwrap();
+        assert_eq!(root.get_attr("data-tombstone"), Some("1"));
+        let friends = live.handle(
+            &Request::get(format!("/friends/{senior}"))
+                .header("Cookie", &cl)
+                .header(H_VIRTUAL_NOW, "1000"),
+        );
+        assert_eq!(friends.status, Status::FORBIDDEN);
     }
 
     #[test]

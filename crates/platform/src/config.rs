@@ -1,6 +1,7 @@
 //! Platform service configuration.
 
 use crate::faults::FaultPlan;
+use crate::mutations::MutationPlan;
 use hsp_defense::DefenseConfig;
 use serde::{Deserialize, Serialize};
 
@@ -32,6 +33,9 @@ pub struct PlatformConfig {
     pub rate_window_ms: u64,
     /// Fault-injection schedule (disabled by default).
     pub faults: FaultPlan,
+    /// Live-world mutation schedule (disabled by default, in which case
+    /// the platform serves the frozen base network byte-identically).
+    pub mutations: MutationPlan,
     /// Behavioral sybil detection (off by default; see `hsp-defense`).
     pub defense: DefenseConfig,
 }
@@ -46,6 +50,7 @@ impl Default for PlatformConfig {
             rate_max_in_window: 0,
             rate_window_ms: 60_000,
             faults: FaultPlan::default(),
+            mutations: MutationPlan::default(),
             defense: DefenseConfig::default(),
         }
     }

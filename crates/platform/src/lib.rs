@@ -22,6 +22,7 @@ pub mod accounts;
 pub mod app;
 pub mod config;
 pub mod faults;
+pub mod mutations;
 pub mod render;
 pub mod search;
 
@@ -30,3 +31,4 @@ pub use app::{Platform, ROUTES};
 pub use config::PlatformConfig;
 pub use faults::{FaultEngine, FaultPlan};
 pub use hsp_defense::{DefenseConfig, DetectorStrength, SybilDetector};
+pub use mutations::{MutationEngine, MutationEvent, MutationPlan, WorldGen};

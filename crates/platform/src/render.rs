@@ -23,7 +23,22 @@ pub fn page(title: &str, body_children: Vec<Element>) -> String {
 
 /// Render a stranger's view of a profile page.
 pub fn profile_page(net: &Network, view: &PublicView) -> String {
+    profile_page_inner(net, view, None)
+}
+
+/// Live-world variant: identical page plus a `data-gen` staleness stamp
+/// (the user's mutation-touch count) on the `#profile` root. The crawler
+/// cross-checks it against the friend-list stamp to detect pages that
+/// changed between the two fetches.
+pub fn profile_page_stamped(net: &Network, view: &PublicView, gen: u64) -> String {
+    profile_page_inner(net, view, Some(gen))
+}
+
+fn profile_page_inner(net: &Network, view: &PublicView, gen: Option<u64>) -> String {
     let mut root = el("div").id("profile").attr("data-uid", view.user.to_string());
+    if let Some(g) = gen {
+        root = root.attr("data-gen", g.to_string());
+    }
     root = root.child(text_el("h1", view.name.clone()).class("name"));
     if view.has_profile_photo {
         root = root
@@ -155,7 +170,31 @@ pub fn listing_page(
     entries: &[(UserId, String)],
     next_url: Option<String>,
 ) -> String {
+    listing_page_inner(list_id, entries, next_url, None)
+}
+
+/// Live-world variant of [`listing_page`] with a `data-gen` stamp on
+/// the list root (the listing owner's mutation-touch count for friend
+/// lists, the world generation for search results).
+pub fn listing_page_stamped(
+    list_id: &str,
+    entries: &[(UserId, String)],
+    next_url: Option<String>,
+    gen: u64,
+) -> String {
+    listing_page_inner(list_id, entries, next_url, Some(gen))
+}
+
+fn listing_page_inner(
+    list_id: &str,
+    entries: &[(UserId, String)],
+    next_url: Option<String>,
+    gen: Option<u64>,
+) -> String {
     let mut ul = el("ul").id(list_id);
+    if let Some(g) = gen {
+        ul = ul.attr("data-gen", g.to_string());
+    }
     ul.children.reserve(entries.len());
     for (uid, name) in entries {
         ul = ul.child(
@@ -171,6 +210,20 @@ pub fn listing_page(
         children.push(text_el("a", "More").id("next-page").attr("href", next));
     }
     page(list_id, children)
+}
+
+/// A deactivated or graduated-away account's profile page: the name
+/// slot still renders (so parsers don't crash) but the body carries a
+/// `data-tombstone` marker and nothing else. Served with 200 OK — a
+/// tombstone is an answer, not an error.
+pub fn tombstone_page(uid: UserId, gen: u64) -> String {
+    let root = el("div")
+        .id("profile")
+        .attr("data-uid", uid.to_string())
+        .attr("data-gen", gen.to_string())
+        .attr("data-tombstone", "1")
+        .child(text_el("h1", "Account unavailable").class("name"));
+    page("Account unavailable", vec![root])
 }
 
 #[cfg(test)]
@@ -196,5 +249,30 @@ mod tests {
         let html = listing_page("results", &[], None);
         let dom = parse(&html);
         assert!(select_first(&dom, "#next-page").is_none());
+    }
+
+    #[test]
+    fn stamped_listing_carries_generation() {
+        let entries = [(UserId(1), "A B".to_string())];
+        let html = listing_page_stamped("friends", &entries, None, 7);
+        let dom = parse(&html);
+        let ul = select_first(&dom, "#friends").unwrap();
+        assert_eq!(ul.get_attr("data-gen"), Some("7"));
+        // The unstamped renderer must not leak the attribute.
+        let plain = listing_page("friends", &entries, None);
+        assert!(!plain.contains("data-gen"));
+    }
+
+    #[test]
+    fn tombstone_page_structure() {
+        let html = tombstone_page(UserId(5), 3);
+        let dom = parse(&html);
+        let root = select_first(&dom, "#profile").unwrap();
+        assert_eq!(root.get_attr("data-tombstone"), Some("1"));
+        assert_eq!(root.get_attr("data-uid"), Some("u5"));
+        assert_eq!(root.get_attr("data-gen"), Some("3"));
+        assert!(select_first(&dom, "h1.name").is_some());
+        assert!(select(&dom, ".edu").is_empty());
+        assert!(select(&dom, ".friends-link").is_empty());
     }
 }

@@ -1,0 +1,130 @@
+//! Churn model: how fast a scenario's population moves.
+//!
+//! The generator builds a frozen snapshot; the platform's live-world
+//! mutation engine replays churn *on top of* that snapshot during the
+//! crawl. This module derives the per-tick mutation rates from the same
+//! scenario knobs the snapshot was generated with, so the world keeps
+//! evolving the way it was built: schools with more transfer churn
+//! (`former_students`) deactivate more, denser friendship models
+//! re-wire more edges, and lower adoption leaves more residents still
+//! signing up.
+//!
+//! The output is plain per-mille-per-tick rates. `hsp-synth` does not
+//! depend on `hsp-platform`; experiment code converts a [`ChurnModel`]
+//! into a platform `MutationPlan`.
+
+use crate::config::ScenarioConfig;
+use serde::{Deserialize, Serialize};
+
+/// Per-mille-per-tick mutation rates derived from a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnModel {
+    pub signup_per_mille: u32,
+    pub friend_per_mille: u32,
+    pub defriend_per_mille: u32,
+    pub privacy_flip_per_mille: u32,
+    pub deactivate_per_mille: u32,
+}
+
+/// Clamp a rate into valid per-mille, with a floor of 1 for any class
+/// the derivation says exists at all (a nonzero process should never
+/// round away to "frozen").
+fn per_mille(x: f64) -> u32 {
+    if x <= 0.0 {
+        0
+    } else {
+        (x.round() as u32).clamp(1, 1_000)
+    }
+}
+
+impl ChurnModel {
+    /// Derive churn rates from the scenario's own population knobs.
+    ///
+    /// The anchors, per tick of virtual time:
+    /// - **signups** scale with the unadopted remainder of the school
+    ///   (`(1 - adoption_rate)`) — the stragglers still joining;
+    /// - **friendings** scale with within-grade density, the engine of
+    ///   new edges in the generator;
+    /// - **defriendings** run at half the friending rate (graph keeps
+    ///   slowly densifying, matching the generator's bias);
+    /// - **privacy flips** scale with how *open* the lying students are
+    ///   (openness correlates with activity, the Table 5 link);
+    /// - **deactivations** scale with the transfer-churn fraction
+    ///   (`former_students / school_size`), the process the paper
+    ///   blames for half its HS1 false positives.
+    pub fn from_scenario(cfg: &ScenarioConfig) -> ChurnModel {
+        let friend = 60.0 * cfg.friendship.within_grade_p;
+        let churn_fraction = cfg.former_students as f64 / cfg.school_size.max(1) as f64;
+        ChurnModel {
+            signup_per_mille: per_mille(40.0 * (1.0 - cfg.adoption_rate)),
+            friend_per_mille: per_mille(friend),
+            defriend_per_mille: per_mille(friend / 2.0),
+            privacy_flip_per_mille: per_mille(25.0 * cfg.lying_student_openness.friend_list_public),
+            deactivate_per_mille: per_mille(20.0 * churn_fraction),
+        }
+    }
+
+    /// Scale every class by `factor`, clamped to valid per-mille.
+    /// `0.0` yields the all-zero (frozen) model.
+    pub fn scaled(&self, factor: f64) -> ChurnModel {
+        let scale = |pm: u32| ((pm as f64 * factor).round() as u32).min(1_000);
+        ChurnModel {
+            signup_per_mille: scale(self.signup_per_mille),
+            friend_per_mille: scale(self.friend_per_mille),
+            defriend_per_mille: scale(self.defriend_per_mille),
+            privacy_flip_per_mille: scale(self.privacy_flip_per_mille),
+            deactivate_per_mille: scale(self.deactivate_per_mille),
+        }
+    }
+
+    /// Whether any class is active at all.
+    pub fn is_frozen(&self) -> bool {
+        self.signup_per_mille == 0
+            && self.friend_per_mille == 0
+            && self.defriend_per_mille == 0
+            && self.privacy_flip_per_mille == 0
+            && self.deactivate_per_mille == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_derived_and_ordered() {
+        let m = ChurnModel::from_scenario(&ScenarioConfig::tiny());
+        assert!(!m.is_frozen());
+        assert!(m.friend_per_mille > m.defriend_per_mille);
+        assert!(m.friend_per_mille <= 1_000);
+        // tiny() keeps HS1's 90% adoption → a small but present signup
+        // trickle, and a real transfer-churn deactivation rate.
+        assert!(m.signup_per_mille >= 1);
+        assert!(m.deactivate_per_mille >= 1);
+    }
+
+    #[test]
+    fn churn_tracks_scenario_knobs() {
+        let base = ScenarioConfig::tiny();
+        let mut churned = base.clone();
+        churned.former_students = base.former_students * 4;
+        assert!(
+            ChurnModel::from_scenario(&churned).deactivate_per_mille
+                > ChurnModel::from_scenario(&base).deactivate_per_mille
+        );
+        let mut denser = base.clone();
+        denser.friendship.within_grade_p = 1.0;
+        assert!(
+            ChurnModel::from_scenario(&denser).friend_per_mille
+                > ChurnModel::from_scenario(&base).friend_per_mille
+        );
+    }
+
+    #[test]
+    fn scaling_to_zero_freezes() {
+        let m = ChurnModel::from_scenario(&ScenarioConfig::hs1());
+        assert!(m.scaled(0.0).is_frozen());
+        assert_eq!(m.scaled(1.0), m);
+        assert!(m.scaled(10.0).friend_per_mille >= m.friend_per_mille);
+    }
+}

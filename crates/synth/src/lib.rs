@@ -18,6 +18,7 @@
 //!
 //! Everything is deterministic in the scenario seed.
 
+pub mod churn;
 pub mod config;
 pub mod generator;
 pub mod lying;
@@ -25,6 +26,7 @@ pub mod names;
 pub mod privacy_assign;
 pub mod scenario;
 
+pub use churn::ChurnModel;
 pub use config::{FriendshipModel, LyingModel, OpennessProfile, ScenarioConfig};
 pub use generator::{generate, generate_sharded};
 pub use scenario::{Scenario, ScenarioSummary};

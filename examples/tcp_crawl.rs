@@ -1,10 +1,11 @@
-//! Live crawl: the same attack as `quickstart`, but over a real
+//! TCP crawl: the same attack as `quickstart`, but over a real
 //! loopback HTTP server — every page the attacker sees travels through
 //! the from-scratch HTTP/1.1 stack (`hsp-http`), exactly as the paper's
-//! crawler fetched real web pages.
+//! crawler fetched real web pages. (For the attack against a world that
+//! mutates *during* the crawl, see `examples/live_world.rs`.)
 //!
 //! ```sh
-//! cargo run --release --example live_crawl
+//! cargo run --release --example tcp_crawl
 //! ```
 
 use hs_profiler::core::{evaluate, run_basic, AttackConfig, GroundTruth};

@@ -31,4 +31,7 @@ ARMS_SCENARIO=tiny cargo run --release --example arms_race
 echo "==> trace forensics, smoke mode (digest stability + closed audit + overhead gate)"
 cargo run --release --example trace_forensics -- --smoke
 
+echo "==> live-world smoke (tiny world: zero-rate == frozen, closed audits, 1 == 8 workers)"
+LIVE_SCENARIO=tiny cargo run --release --example live_world
+
 echo "All checks passed."

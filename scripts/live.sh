@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Live world: attack a platform that mutates underneath the crawl.
+# Sweeps churn intensity (the scenario's derived ChurnModel, scaled)
+# against crawl pacing on the full HS1 attack, enforces the freshness
+# gates (churn-zero == frozen baseline bit-for-bit; every cell's trace
+# audit closes over mutations, stale re-fetches and tombstones; applied
+# mutations monotone and non-vacuous; deterministic replay; 1 == 8
+# scheduler workers under chaos + detector + churn simultaneously), and
+# appends the rows to BENCH_live.json at the workspace root.
+#
+# Offline-safe: all dependencies resolve to the vendored path stubs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> mutation-engine unit suite (schedule determinism, zero-rate no-op)"
+cargo test --release -q -p hsp-platform
+
+echo "==> staleness-protocol unit suite (generation stamps, tombstones, re-fetch)"
+cargo test --release -q -p hsp-crawler
+
+echo "==> live-world/worker-count equivalence (churning + defended + chaotic, proptest)"
+cargo test --release -q --test parallel_equivalence
+
+echo "==> live-world sweep + gates -> BENCH_live.json"
+cargo run --release --example live_world

@@ -148,6 +148,70 @@ proptest::proptest! {
     }
 }
 
+/// The live-world fingerprint: everything that must be invariant when
+/// the platform *mutates underneath* a chaotic, defended, parallel
+/// crawl — the checkpoint, the effort ledger (stale re-fetch and
+/// tombstone annotations included), the mutation engine's state digest
+/// (applied events + per-generation serve tallies), the detector state
+/// digest, the trace digest, and the Table-4 numbers.
+type LiveFingerprint = (String, hs_profiler::crawler::Effort, u64, u64, u64, EvalPoint);
+
+fn live_attack(workers: usize) -> LiveFingerprint {
+    let cfg = ScenarioConfig::tiny();
+    let lab = Lab::facebook_configured(
+        &cfg,
+        PlatformConfig {
+            faults: FaultPlan::chaos(),
+            defense: DefenseConfig {
+                strength: DetectorStrength::Medium,
+                ..DefenseConfig::default()
+            },
+            mutations: Lab::churn_plan(&cfg, 16.0),
+            ..PlatformConfig::default()
+        },
+    );
+    lab.obs.enable_tracing(TRACE_CAP);
+    let access = Box::new(lab.parallel_crawler(2, workers, "atk", SEED));
+    let run = full_attack_with(&lab, access);
+    assert_eq!(lab.obs.tracer().dropped(), 0, "digest comparison needs a lossless ring");
+    // Non-vacuity: the world genuinely churned while the crawl ran, and
+    // the forensics pass still closes over chaos + detector + mutations.
+    assert!(lab.platform.mutations.applied_count() > 0, "live world never mutated mid-crawl");
+    let audit = audit_trace(&lab.obs, &run.effort_total);
+    assert!(audit.closed(), "unexplained: {:#?}", audit.unexplained);
+    (
+        run.access.checkpoint().to_json(),
+        run.effort_total,
+        lab.platform.mutations.state_digest(),
+        lab.platform.defense.state_digest(),
+        lab.obs.tracer().digest(),
+        table4(&lab, &run),
+    )
+}
+
+fn live_reference() -> &'static LiveFingerprint {
+    use std::sync::OnceLock;
+    static REF: OnceLock<LiveFingerprint> = OnceLock::new();
+    REF.get_or_init(|| live_attack(1))
+}
+
+proptest::proptest! {
+    // Each case is a full chaotic live-world crawl; keep the count small.
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(3))]
+
+    /// Request-carried virtual time makes the mutation schedule a pure
+    /// function of the per-account request streams, so even with the
+    /// world churning (x16), chaos mangling the wire and the Medium
+    /// detector escalating, every digest is bit-identical at any worker
+    /// count.
+    #[test]
+    fn live_world_attack_is_bit_identical_across_worker_counts(workers in 2usize..=8) {
+        let reference = live_reference();
+        let run = live_attack(workers);
+        proptest::prop_assert_eq!(&run, reference);
+    }
+}
+
 /// The property above must not hold vacuously: under the parallel
 /// crawler every seat keeps its own clock, the platform clock never
 /// advances, and the all-zero timing gaps read as a maximally
