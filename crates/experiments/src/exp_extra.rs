@@ -618,6 +618,93 @@ pub fn freshness(ctx: &mut Ctx) -> ExperimentReport {
     )
 }
 
+/// Metro-scale city-wide attack: every school in a shared-city world
+/// crawled concurrently through its own [`ParallelCrawler`] accounts,
+/// with per-school Table-2/4 analogues and the aggregate exposure. The
+/// experiment registry runs the TINY metro config; the ≥1M-user gated
+/// run lives in `examples/metro.rs` / `scripts/metro.sh`, feeding
+/// `BENCH_metro.json`.
+///
+/// [`ParallelCrawler`]: hsp_crawler::ParallelCrawler
+pub fn metro(ctx: &mut Ctx) -> ExperimentReport {
+    use crate::metro_lab::MetroLab;
+    use hsp_synth::MetroConfig;
+    // Fresh platforms per run (account registries are per platform);
+    // the shared Ctx caches don't apply.
+    let _ = ctx;
+    const SEED: u64 = 0x3e7_a77a;
+    let cfg = MetroConfig::tiny();
+    let outcomes = MetroLab::facebook(&cfg, 2).city_attack(2, 2, SEED);
+    // Same city, same per-school seeds, eight workers per school: every
+    // per-school Table 4 must come out bit-identical.
+    let eight = MetroLab::facebook(&cfg, 1).city_attack(8, 2, SEED);
+    for (a, b) in outcomes.iter().zip(&eight) {
+        assert_eq!(a.digest(), b.digest(), "school {:?} not worker-invariant", a.school);
+    }
+    let mut table = Table::new(&[
+        "school",
+        "roster",
+        "seeds",
+        "core",
+        "candidates",
+        "found",
+        "% found",
+        "% correct year",
+        "requests",
+    ]);
+    let mut points = Vec::new();
+    for o in &outcomes {
+        table.row(&[
+            format!("{}", o.school),
+            o.roster.to_string(),
+            o.seeds.to_string(),
+            o.core.to_string(),
+            o.candidates.to_string(),
+            o.eval.found.to_string(),
+            f1(o.eval.pct_found(o.roster)),
+            f1(o.eval.pct_correct_year()),
+            o.requests.to_string(),
+        ]);
+        points.push(json!({
+            "school": format!("{}", o.school),
+            "roster": o.roster,
+            "seeds": o.seeds,
+            "core": o.core,
+            "candidates": o.candidates,
+            "found": o.eval.found,
+            "correct_year": o.eval.correct_year,
+            "requests": o.requests,
+            "digest": format!("{:016x}", o.digest()),
+        }));
+    }
+    let exposure = MetroLab::exposure(&outcomes);
+    let text = format!(
+        "{}\nCity-wide exposure: {}/{} students identified ({:.1}%) across {} schools \
+         in one concurrent crawl ({} requests). Worker counts 2 and 8 produced \
+         bit-identical per-school results.\n",
+        table.render(),
+        exposure.students_found,
+        exposure.students_total,
+        exposure.pct_found(),
+        exposure.schools,
+        exposure.requests_total,
+    );
+    ExperimentReport::new(
+        "metro",
+        "Metro-scale city-wide concurrent attack (TINY metro world)",
+        text,
+        json!({
+            "schools": exposure.schools,
+            "students_total": exposure.students_total,
+            "students_found": exposure.students_found,
+            "pct_found": exposure.pct_found(),
+            "requests_total": exposure.requests_total,
+            "worker_invariant": true,
+            "per_school": points,
+        }),
+    )
+}
+
 /// Score one completed run at `t = school size` (students found).
 fn eval_found(lab: &Lab, run: &crate::runner::AttackRun) -> u64 {
     let truth = lab.ground_truth();

@@ -54,7 +54,7 @@ pub fn threats(ctx: &mut Ctx) -> ExperimentReport {
     let (links, stats) = link_students(&sr.lab.scenario.network, &roll, link_inputs);
 
     // --- phishing channel --------------------------------------------------
-    let school_name = sr.lab.scenario.network.school(sr.lab.scenario.school).name.clone();
+    let school_name = sr.lab.scenario.network.school(sr.lab.scenario.school).name.to_string();
     let names: std::collections::HashMap<_, _> =
         sr.lab.scenario.network.users().map(|u| (u.id, u.profile.full_name())).collect();
     let campaign =

@@ -12,6 +12,7 @@ pub mod exp_extra;
 pub mod exp_figures;
 pub mod exp_tables;
 pub mod exp_threats;
+pub mod metro_lab;
 pub mod report;
 pub mod runner;
 pub mod tablefmt;
@@ -48,6 +49,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation-accounts",
     "arms-race",
     "freshness",
+    "metro",
 ];
 
 /// Run one experiment by id. The whole run is timed into the context
@@ -80,6 +82,7 @@ pub fn run_experiment(ctx: &mut Ctx, id: &str) -> Option<ExperimentReport> {
         "ablation-accounts" => exp_extra::ablation_accounts(ctx),
         "arms-race" => exp_extra::arms_race(ctx),
         "freshness" => exp_extra::freshness(ctx),
+        "metro" => exp_extra::metro(ctx),
         _ => return None,
     })
 }

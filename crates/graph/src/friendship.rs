@@ -2,6 +2,7 @@
 //! and asymmetric circles (Google+-style, paper Appendix A).
 
 use crate::ids::UserId;
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 
 /// Symmetric friendship adjacency, one sorted neighbour list per user.
@@ -9,29 +10,177 @@ use serde::{Deserialize, Serialize};
 /// Sorted lists give `O(log n)` membership queries and cheap sorted-merge
 /// mutual-friend counting, which the stranger test and the Jaccard
 /// inference (paper §6.1) lean on heavily.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// Two physical layouts share this one logical type:
+///
+/// - **Building** — one `Vec<UserId>` per user. Cheap to mutate; three
+///   pointers of header plus a separate allocation per user.
+/// - **Sealed** — frozen CSR (compressed sparse row): one offsets array
+///   and one flat edge array. Zero per-user allocations, neighbour
+///   lists are contiguous slices, and a metro-scale world drops from
+///   ~50 B to ~8 B of overhead per edge endpoint.
+///
+/// Sealing ([`FriendGraph::seal`], usually via `Network::seal`) is a
+/// pure layout change: every accessor answers identically, the serde
+/// form is the legacy `{"adj": [[...]]}` either way, and any mutation
+/// transparently thaws back to Building first.
+#[derive(Clone, Debug)]
 pub struct FriendGraph {
-    adj: Vec<Vec<UserId>>,
+    repr: Repr,
+}
+
+#[derive(Clone, Debug)]
+enum Repr {
+    Building(Vec<Vec<UserId>>),
+    Sealed(Csr),
+}
+
+/// Frozen compressed-sparse-row adjacency: `edges[offsets[u] as usize
+/// .. offsets[u + 1] as usize]` is the sorted friend list of user `u`.
+#[derive(Clone, Debug)]
+struct Csr {
+    offsets: Vec<u64>,
+    edges: Vec<UserId>,
+}
+
+impl Csr {
+    fn users(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn list(&self, i: usize) -> &[UserId] {
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+impl Default for FriendGraph {
+    fn default() -> Self {
+        FriendGraph { repr: Repr::Building(Vec::new()) }
+    }
 }
 
 impl FriendGraph {
     pub fn with_capacity(users: usize) -> Self {
-        FriendGraph { adj: vec![Vec::new(); users] }
+        FriendGraph { repr: Repr::Building(vec![Vec::new(); users]) }
+    }
+
+    /// Reserve outer-table capacity for `users` users (no-op when
+    /// sealed — the CSR layout is already exactly sized).
+    pub fn reserve(&mut self, users: usize) {
+        if let Repr::Building(adj) = &mut self.repr {
+            if users > adj.len() {
+                adj.reserve(users - adj.len());
+            }
+        }
     }
 
     /// Number of users the graph currently tracks.
     pub fn len(&self) -> usize {
-        self.adj.len()
+        match &self.repr {
+            Repr::Building(adj) => adj.len(),
+            Repr::Sealed(csr) => csr.users(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.len() == 0
+    }
+
+    /// Whether the graph is in the frozen CSR layout.
+    pub fn is_sealed(&self) -> bool {
+        matches!(self.repr, Repr::Sealed(_))
+    }
+
+    /// Freeze into the CSR layout. Idempotent; a no-op on an already
+    /// sealed graph. Neighbour lists are already sorted, so this is one
+    /// prefix sum plus one flat copy.
+    pub fn seal(&mut self) {
+        if let Repr::Building(adj) = &self.repr {
+            let mut offsets = Vec::with_capacity(adj.len() + 1);
+            let mut total = 0u64;
+            offsets.push(0);
+            for list in adj {
+                total += list.len() as u64;
+                offsets.push(total);
+            }
+            let mut edges = Vec::with_capacity(total as usize);
+            for list in adj {
+                edges.extend_from_slice(list);
+            }
+            self.repr = Repr::Sealed(Csr { offsets, edges });
+        }
+    }
+
+    /// Build a sealed graph directly from an undirected edge list —
+    /// the metro-scale fast path: degree count, prefix sum, scatter,
+    /// then per-row sort + in-place dedup. Never materializes per-user
+    /// `Vec`s. Self-loops and duplicate edges are dropped.
+    pub fn from_edge_list(users: usize, edges: &[(UserId, UserId)]) -> FriendGraph {
+        let mut degree = vec![0u64; users];
+        for &(a, b) in edges {
+            if a == b {
+                continue;
+            }
+            degree[a.index()] += 1;
+            degree[b.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(users + 1);
+        let mut total = 0u64;
+        offsets.push(0);
+        for &d in &degree {
+            total += d;
+            offsets.push(total);
+        }
+        let mut flat = vec![UserId(0); total as usize];
+        let mut cursor: Vec<u64> = offsets[..users].to_vec();
+        for &(a, b) in edges {
+            if a == b {
+                continue;
+            }
+            flat[cursor[a.index()] as usize] = b;
+            cursor[a.index()] += 1;
+            flat[cursor[b.index()] as usize] = a;
+            cursor[b.index()] += 1;
+        }
+        // Sort each row, then compact duplicates in place. The write
+        // cursor never passes the read cursor, so this is safe.
+        let mut write = 0usize;
+        let mut compacted = Vec::with_capacity(users + 1);
+        compacted.push(0u64);
+        for u in 0..users {
+            let (start, end) = (offsets[u] as usize, offsets[u + 1] as usize);
+            flat[start..end].sort_unstable();
+            let mut prev = None;
+            for read in start..end {
+                let v = flat[read];
+                if prev != Some(v) {
+                    flat[write] = v;
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            compacted.push(write as u64);
+        }
+        flat.truncate(write);
+        FriendGraph { repr: Repr::Sealed(Csr { offsets: compacted, edges: flat }) }
+    }
+
+    /// Mutable Building-layout view, thawing a sealed graph first.
+    fn building(&mut self) -> &mut Vec<Vec<UserId>> {
+        if let Repr::Sealed(csr) = &self.repr {
+            let adj = (0..csr.users()).map(|i| csr.list(i).to_vec()).collect();
+            self.repr = Repr::Building(adj);
+        }
+        match &mut self.repr {
+            Repr::Building(adj) => adj,
+            Repr::Sealed(_) => unreachable!("just thawed"),
+        }
     }
 
     /// Grow the user table to at least `users` entries.
     pub fn ensure_users(&mut self, users: usize) {
-        if self.adj.len() < users {
-            self.adj.resize(users, Vec::new());
+        if self.len() < users {
+            self.building().resize(users, Vec::new());
         }
     }
 
@@ -41,11 +190,11 @@ impl FriendGraph {
         if a == b {
             return false;
         }
-        let max = a.index().max(b.index()) + 1;
-        self.ensure_users(max);
-        let inserted = Self::insert_sorted(&mut self.adj[a.index()], b);
+        self.ensure_users(a.index().max(b.index()) + 1);
+        let adj = self.building();
+        let inserted = Self::insert_sorted(&mut adj[a.index()], b);
         if inserted {
-            Self::insert_sorted(&mut self.adj[b.index()], a);
+            Self::insert_sorted(&mut adj[b.index()], a);
         }
         inserted
     }
@@ -64,14 +213,16 @@ impl FriendGraph {
     /// existed (removal happens on both sides); removing a missing or
     /// self edge is a no-op.
     pub fn remove_friendship(&mut self, a: UserId, b: UserId) -> bool {
-        if a == b || a.index() >= self.adj.len() || b.index() >= self.adj.len() {
+        if a == b || a.index() >= self.len() || b.index() >= self.len() {
             return false;
         }
-        let removed = Self::remove_sorted(&mut self.adj[a.index()], b);
-        if removed {
-            Self::remove_sorted(&mut self.adj[b.index()], a);
+        if !self.are_friends(a, b) {
+            return false;
         }
-        removed
+        let adj = self.building();
+        Self::remove_sorted(&mut adj[a.index()], b);
+        Self::remove_sorted(&mut adj[b.index()], a);
+        true
     }
 
     fn remove_sorted(list: &mut Vec<UserId>, v: UserId) -> bool {
@@ -84,9 +235,25 @@ impl FriendGraph {
         }
     }
 
-    /// The sorted friend list of `u` (empty if out of range).
+    /// The sorted friend list of `u` (empty if out of range). In the
+    /// sealed layout this is a slice of the flat CSR edge array —
+    /// no per-user allocation exists to point into.
     pub fn friends(&self, u: UserId) -> &[UserId] {
-        self.adj.get(u.index()).map(Vec::as_slice).unwrap_or(&[])
+        match &self.repr {
+            Repr::Building(adj) => adj.get(u.index()).map(Vec::as_slice).unwrap_or(&[]),
+            Repr::Sealed(csr) => {
+                if u.index() < csr.users() {
+                    csr.list(u.index())
+                } else {
+                    &[]
+                }
+            }
+        }
+    }
+
+    /// Iterate every user's friend list in id order (both layouts).
+    pub fn iter_lists(&self) -> impl Iterator<Item = &[UserId]> + '_ {
+        (0..self.len()).map(move |i| self.friends(UserId::from_index(i)))
     }
 
     /// Degree of `u`.
@@ -94,7 +261,7 @@ impl FriendGraph {
         self.friends(u).len()
     }
 
-    /// Whether `a` and `b` are friends.
+    /// Whether `a` and `b` are friends (binary search: `O(log d)`).
     pub fn are_friends(&self, a: UserId, b: UserId) -> bool {
         self.friends(a).binary_search(&b).is_ok()
     }
@@ -106,7 +273,10 @@ impl FriendGraph {
 
     /// Total number of undirected edges.
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        match &self.repr {
+            Repr::Building(adj) => adj.iter().map(Vec::len).sum::<usize>() / 2,
+            Repr::Sealed(csr) => csr.edges.len() / 2,
+        }
     }
 
     /// Insert many edges at once: appends then sorts/dedups each
@@ -115,23 +285,52 @@ impl FriendGraph {
     /// dropped. Intended for the population generator.
     pub fn bulk_insert(&mut self, edges: impl IntoIterator<Item = (UserId, UserId)>) {
         let mut touched = Vec::new();
-        for (a, b) in edges {
-            if a == b {
-                continue;
+        {
+            // Pre-grow outside the loop borrow, then fill.
+            let mut max = self.len();
+            let edges: Vec<(UserId, UserId)> = edges.into_iter().filter(|(a, b)| a != b).collect();
+            for &(a, b) in &edges {
+                max = max.max(a.index().max(b.index()) + 1);
             }
-            self.ensure_users(a.index().max(b.index()) + 1);
-            self.adj[a.index()].push(b);
-            self.adj[b.index()].push(a);
-            touched.push(a);
-            touched.push(b);
+            self.ensure_users(max);
+            let adj = self.building();
+            for (a, b) in edges {
+                adj[a.index()].push(b);
+                adj[b.index()].push(a);
+                touched.push(a);
+                touched.push(b);
+            }
         }
         touched.sort_unstable();
         touched.dedup();
+        let adj = self.building();
         for u in touched {
-            let list = &mut self.adj[u.index()];
+            let list = &mut adj[u.index()];
             list.sort_unstable();
             list.dedup();
         }
+    }
+}
+
+// Hand-written serde: both layouts round-trip through the legacy
+// `{"adj": [[...]]}` form, so `Network::fingerprint` is layout-blind
+// and sealed worlds deserialize back into the mutable Building state.
+impl Serialize for FriendGraph {
+    fn to_json_value(&self) -> Value {
+        let adj: Vec<Value> = self
+            .iter_lists()
+            .map(|list| Value::Array(list.iter().map(|u| u.to_json_value()).collect()))
+            .collect();
+        let mut m = serde::value::Map::new();
+        m.insert("adj".to_string(), Value::Array(adj));
+        Value::Object(m)
+    }
+}
+
+impl<'de> Deserialize<'de> for FriendGraph {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        let adj = v.get("adj").ok_or_else(|| "missing field `adj`".to_string())?;
+        Ok(FriendGraph { repr: Repr::Building(Vec::<Vec<UserId>>::from_json_value(adj)?) })
     }
 }
 
@@ -207,6 +406,12 @@ impl Circles {
     /// Users who have `u` in their circles.
     pub fn have_in_circles(&self, u: UserId) -> &[UserId] {
         self.inc.get(u.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The raw `(inc, out)` list tables, for the streaming fingerprint
+    /// in `Network::fingerprint`.
+    pub(crate) fn fingerprint_parts(&self) -> (&[Vec<UserId>], &[Vec<UserId>]) {
+        (&self.inc, &self.out)
     }
 
     /// Derive symmetric-looking circles from a friendship graph: both

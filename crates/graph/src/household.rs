@@ -77,6 +77,12 @@ impl Households {
     pub fn iter(&self) -> impl Iterator<Item = &Household> {
         self.households.iter()
     }
+
+    /// The raw `(households, of_user)` tables, for the streaming
+    /// fingerprint in `Network::fingerprint`.
+    pub(crate) fn fingerprint_parts(&self) -> (&[Household], &[Option<HouseholdId>]) {
+        (&self.households, &self.of_user)
+    }
 }
 
 #[cfg(test)]

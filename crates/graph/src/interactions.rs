@@ -74,6 +74,12 @@ impl Interactions {
     pub fn is_empty(&self) -> bool {
         self.per_user.iter().all(Vec::is_empty)
     }
+
+    /// The raw per-user partner lists, for the streaming fingerprint
+    /// in `Network::fingerprint`.
+    pub(crate) fn fingerprint_parts(&self) -> &[Vec<(UserId, u32)>] {
+        &self.per_user
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ pub mod network;
 pub mod privacy;
 pub mod profile;
 pub mod school;
+pub mod strings;
 pub mod user;
 
 pub use date::{Date, InvalidDate, SchoolCalendar};
@@ -29,11 +30,12 @@ pub use friendship::{jaccard_index, sorted_intersection_len, Circles, FriendGrap
 pub use household::{Household, Households};
 pub use ids::{CityId, HouseholdId, SchoolId, UserId};
 pub use interactions::Interactions;
-pub use network::Network;
+pub use network::{Network, UserColumns};
 pub use privacy::{Audience, PrivacySettings};
 pub use profile::{
     ContactInfo, EducationEntry, EducationKind, Gender, InterestedIn, ProfileContent, Registration,
     RelationshipStatus,
 };
 pub use school::{City, School, SchoolKind};
+pub use strings::Sym;
 pub use user::{Role, User};

@@ -7,7 +7,9 @@ use crate::household::Households;
 use crate::ids::{CityId, SchoolId, UserId};
 use crate::interactions::Interactions;
 use crate::school::{City, School};
+use crate::strings::Sym;
 use crate::user::{Role, User};
+use serde::value::{Map, Value};
 use serde::{Deserialize, Serialize};
 
 /// The complete simulated OSN state plus generator-side ground truth.
@@ -16,7 +18,19 @@ use serde::{Deserialize, Serialize};
 /// the privacy-policy engine; evaluation code reads the ground-truth
 /// accessors directly (playing the role of the paper's confidential
 /// school rosters).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// # Sealing
+///
+/// A freshly built network is mutable ("building" layout). Calling
+/// [`Network::seal`] freezes it for attack-time reads: the friendship
+/// adjacency compacts into CSR form, hot per-user fields (role tag,
+/// school, graduation year, privacy tier) are mirrored into
+/// struct-of-arrays columns, and per-school "lister" indexes replace
+/// the full-population scans behind school search. Sealing never
+/// changes observable behaviour — every accessor answers identically
+/// and [`Network::fingerprint`] is bit-identical — and any mutating
+/// accessor transparently unseals first.
+#[derive(Clone, Debug)]
 pub struct Network {
     /// The simulated current date (the paper's crawls: March/June 2012).
     pub today: Date,
@@ -31,27 +45,236 @@ pub struct Network {
     circles: Circles,
     /// Pairwise interaction intensity (wall posts between friends).
     interactions: Interactions,
+    /// Seal-time read indexes; dropped on any mutation. Never
+    /// serialized — rebuilt by re-sealing after a round-trip.
+    seal: Option<SealIndex>,
+}
+
+/// Struct-of-arrays mirror of the per-user fields that attack-time
+/// scans touch, so a roster or searchability pass walks a few flat
+/// byte/int columns instead of dragging every `User`'s cold `String`
+/// and `Vec` cache lines through the core.
+#[derive(Clone, Debug)]
+pub struct UserColumns {
+    /// Role discriminant (`UserColumns::CURRENT_STUDENT`, ...).
+    role_tag: Vec<u8>,
+    /// Role school index, `u32::MAX` when the role has none.
+    role_school: Vec<u32>,
+    /// Role graduation year, `0` when the role has none.
+    grad_year: Vec<i32>,
+    /// Packed privacy tier (`PUBLIC_SEARCH` | `EDUCATION_VISIBLE` | ...).
+    privacy: Vec<u8>,
+}
+
+impl UserColumns {
+    pub const CURRENT_STUDENT: u8 = 1;
+    pub const FORMER_STUDENT: u8 = 2;
+    pub const ALUMNUS: u8 = 3;
+    pub const PARENT: u8 = 4;
+    pub const OTHER_RESIDENT: u8 = 5;
+    pub const NON_RESIDENT: u8 = 6;
+
+    pub const PUBLIC_SEARCH: u8 = 1 << 0;
+    pub const EDUCATION_VISIBLE: u8 = 1 << 1;
+    pub const FRIEND_LIST_VISIBLE: u8 = 1 << 2;
+    pub const WALL_VISIBLE: u8 = 1 << 3;
+
+    fn build(users: &[User]) -> UserColumns {
+        let mut c = UserColumns {
+            role_tag: Vec::with_capacity(users.len()),
+            role_school: Vec::with_capacity(users.len()),
+            grad_year: Vec::with_capacity(users.len()),
+            privacy: Vec::with_capacity(users.len()),
+        };
+        for u in users {
+            let (tag, school, year) = match u.role {
+                Role::CurrentStudent { school, grad_year } => {
+                    (Self::CURRENT_STUDENT, school.index() as u32, grad_year)
+                }
+                Role::FormerStudent { school, grad_year } => {
+                    (Self::FORMER_STUDENT, school.index() as u32, grad_year)
+                }
+                Role::Alumnus { school, grad_year } => {
+                    (Self::ALUMNUS, school.index() as u32, grad_year)
+                }
+                Role::Parent { .. } => (Self::PARENT, u32::MAX, 0),
+                Role::OtherResident => (Self::OTHER_RESIDENT, u32::MAX, 0),
+                Role::NonResident => (Self::NON_RESIDENT, u32::MAX, 0),
+            };
+            c.role_tag.push(tag);
+            c.role_school.push(school);
+            c.grad_year.push(year);
+            let mut p = 0u8;
+            if u.privacy.public_search {
+                p |= Self::PUBLIC_SEARCH;
+            }
+            if u.privacy.education.visible_to_stranger() {
+                p |= Self::EDUCATION_VISIBLE;
+            }
+            if u.privacy.friend_list.visible_to_stranger() {
+                p |= Self::FRIEND_LIST_VISIBLE;
+            }
+            if u.privacy.wall.visible_to_stranger() {
+                p |= Self::WALL_VISIBLE;
+            }
+            c.privacy.push(p);
+        }
+        c
+    }
+
+    pub fn len(&self) -> usize {
+        self.role_tag.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.role_tag.is_empty()
+    }
+
+    pub fn role_tag(&self, u: UserId) -> u8 {
+        self.role_tag[u.index()]
+    }
+
+    /// The school the role is tied to, if any.
+    pub fn role_school(&self, u: UserId) -> Option<SchoolId> {
+        match self.role_school[u.index()] {
+            u32::MAX => None,
+            s => Some(SchoolId(s)),
+        }
+    }
+
+    /// The role's graduation year (current/former/alumni roles only).
+    pub fn role_grad_year(&self, u: UserId) -> Option<i32> {
+        match self.role_tag[u.index()] {
+            Self::CURRENT_STUDENT | Self::FORMER_STUDENT | Self::ALUMNUS => {
+                Some(self.grad_year[u.index()])
+            }
+            _ => None,
+        }
+    }
+
+    /// Packed privacy-tier bits for `u`.
+    pub fn privacy_bits(&self, u: UserId) -> u8 {
+        self.privacy[u.index()]
+    }
+
+    pub fn public_search(&self, u: UserId) -> bool {
+        self.privacy[u.index()] & Self::PUBLIC_SEARCH != 0
+    }
+}
+
+/// Everything [`Network::seal`] precomputes.
+#[derive(Clone, Debug)]
+struct SealIndex {
+    columns: UserColumns,
+    /// Per school: users whose *profile* ties them to the school
+    /// (an education entry or a joined network), in id order. This is
+    /// a superset of any policy's searchable pool — both the Facebook
+    /// and Google+ search rules require a profile school listing — so
+    /// search indexing filters these few thousand candidates instead
+    /// of scanning the whole population per school.
+    listers: Vec<Vec<UserId>>,
+}
+
+impl SealIndex {
+    fn build(users: &[User], schools: usize) -> SealIndex {
+        let columns = UserColumns::build(users);
+        let mut listers = vec![Vec::new(); schools];
+        for u in users {
+            // Collect each user at most once per distinct school.
+            let mut push = |s: SchoolId| {
+                if let Some(list) = listers.get_mut(s.index()) {
+                    if list.last() != Some(&u.id) {
+                        list.push(u.id);
+                    }
+                }
+            };
+            for e in &u.profile.education {
+                push(e.school);
+            }
+            for &n in &u.profile.networks {
+                push(n);
+            }
+        }
+        // `push` dedups only consecutive repeats within one profile;
+        // a school listed in both education and networks needs a real
+        // dedup pass. Users arrive in id order, so lists stay sorted.
+        for list in &mut listers {
+            list.dedup();
+        }
+        SealIndex { columns, listers }
+    }
 }
 
 impl Network {
     pub fn new(today: Date) -> Self {
+        Self::with_capacity(today, 0)
+    }
+
+    /// [`Network::new`] with room for `users` accounts, so metro-scale
+    /// builds don't re-grow the user and adjacency tables on every
+    /// insert.
+    pub fn with_capacity(today: Date, users: usize) -> Self {
+        let mut friends = FriendGraph::default();
+        friends.reserve(users);
         Network {
             today,
             calendar: SchoolCalendar::default(),
-            users: Vec::new(),
-            friends: FriendGraph::default(),
+            users: Vec::with_capacity(users),
+            friends,
             schools: Vec::new(),
             cities: Vec::new(),
             households: Households::new(),
             circles: Circles::default(),
             interactions: Interactions::default(),
+            seal: None,
         }
+    }
+
+    /// Reserve room for `additional` more users.
+    pub fn reserve(&mut self, additional: usize) {
+        self.users.reserve(additional);
+        self.friends.reserve(self.users.len() + additional);
+    }
+
+    // ----- sealing ---------------------------------------------------------
+
+    /// Freeze the network for attack-time reads: compact the adjacency
+    /// into CSR form and build the SoA columns + per-school lister
+    /// indexes. Idempotent. See the type-level docs for the contract.
+    pub fn seal(&mut self) {
+        self.friends.seal();
+        if self.seal.is_none() {
+            self.seal = Some(SealIndex::build(&self.users, self.schools.len()));
+        }
+    }
+
+    pub fn is_sealed(&self) -> bool {
+        self.seal.is_some()
+    }
+
+    /// Drop seal-time indexes (called by every mutating accessor; the
+    /// adjacency thaws lazily inside [`FriendGraph`]).
+    fn unseal(&mut self) {
+        self.seal = None;
+    }
+
+    /// Seal-time SoA columns, if sealed.
+    pub fn sealed_columns(&self) -> Option<&UserColumns> {
+        self.seal.as_ref().map(|s| &s.columns)
+    }
+
+    /// Seal-time school-lister index: every user whose profile ties
+    /// them to `school`, in id order. `None` when unsealed (callers
+    /// fall back to a full scan).
+    pub fn school_listers(&self, school: SchoolId) -> Option<&[UserId]> {
+        self.seal.as_ref().map(|s| s.listers.get(school.index()).map(Vec::as_slice).unwrap_or(&[]))
     }
 
     // ----- construction ---------------------------------------------------
 
     /// Register a city, returning its id.
-    pub fn add_city(&mut self, name: impl Into<String>, state: impl Into<String>) -> CityId {
+    pub fn add_city(&mut self, name: impl Into<Sym>, state: impl Into<Sym>) -> CityId {
+        self.unseal();
         let id = CityId::from_index(self.cities.len());
         self.cities.push(City { id, name: name.into(), state: state.into() });
         id
@@ -59,6 +282,7 @@ impl Network {
 
     /// Register a school, returning its id.
     pub fn add_school(&mut self, school: School) -> SchoolId {
+        self.unseal();
         let id = SchoolId::from_index(self.schools.len());
         let mut school = school;
         school.id = id;
@@ -68,6 +292,7 @@ impl Network {
 
     /// Add a user; the `id` field is overwritten with the assigned id.
     pub fn add_user(&mut self, mut user: User) -> UserId {
+        self.unseal();
         let id = UserId::from_index(self.users.len());
         user.id = id;
         self.users.push(user);
@@ -78,18 +303,31 @@ impl Network {
     /// Add a symmetric friendship.
     pub fn add_friendship(&mut self, a: UserId, b: UserId) -> bool {
         debug_assert!(a.index() < self.users.len() && b.index() < self.users.len());
+        self.unseal();
         self.friends.add_friendship(a, b)
     }
 
     /// Bulk-insert friendships (see [`FriendGraph::bulk_insert`]).
     pub fn add_friendships_bulk(&mut self, edges: impl IntoIterator<Item = (UserId, UserId)>) {
+        self.unseal();
         self.friends.bulk_insert(edges);
         self.friends.ensure_users(self.users.len());
+    }
+
+    /// Install a pre-built (typically CSR, via
+    /// [`FriendGraph::from_edge_list`]) adjacency wholesale — the
+    /// metro-scale path that never materializes per-user edge `Vec`s.
+    /// The graph is grown to cover every user.
+    pub fn set_friend_graph(&mut self, mut friends: FriendGraph) {
+        self.unseal();
+        friends.ensure_users(self.users.len());
+        self.friends = friends;
     }
 
     /// Remove a symmetric friendship (live-world defriending). Returns
     /// `true` if the edge existed.
     pub fn remove_friendship(&mut self, a: UserId, b: UserId) -> bool {
+        self.unseal();
         self.friends.remove_friendship(a, b)
     }
 
@@ -98,14 +336,53 @@ impl Network {
     /// edge, household, circle and interaction matches — the cheap
     /// bit-identity check behind the sharded generator's 1-thread ≡
     /// N-thread guarantee.
+    ///
+    /// Streams the serialized form through the hash instead of
+    /// materializing it: a metro-scale world's JSON runs to gigabytes,
+    /// so building the full `Value` tree (as `serde_json::to_vec`
+    /// would) would dwarf the network's own memory footprint. The
+    /// byte stream is pinned identical to `serde_json::to_vec(self)`
+    /// by `streamed_fingerprint_matches_rendered`.
     pub fn fingerprint(&self) -> u64 {
-        let bytes = serde_json::to_vec(self).expect("network serializes");
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in &bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x100_0000_01b3);
+        let mut s = FnvStream::new();
+        s.raw("{\"calendar\":");
+        s.value(&self.calendar.to_json_value());
+        s.raw(",\"circles\":{\"inc\":");
+        let (inc, out) = self.circles.fingerprint_parts();
+        s.uid_lists(inc.iter().map(Vec::as_slice), inc.len());
+        s.raw(",\"out\":");
+        s.uid_lists(out.iter().map(Vec::as_slice), out.len());
+        s.raw("},\"cities\":");
+        s.value(&self.cities.to_json_value());
+        s.raw(",\"friends\":{\"adj\":");
+        s.uid_lists(self.friends.iter_lists(), self.friends.len());
+        s.raw("},\"households\":{\"households\":");
+        let (households, of_user) = self.households.fingerprint_parts();
+        s.values(households.iter().map(|h| h.to_json_value()), households.len());
+        s.raw(",\"of_user\":");
+        s.values(of_user.iter().map(|h| h.to_json_value()), of_user.len());
+        s.raw("},\"interactions\":{\"per_user\":");
+        let per_user = self.interactions.fingerprint_parts();
+        if per_user.is_empty() {
+            s.raw("[]");
+        } else {
+            s.raw("[");
+            for (i, partners) in per_user.iter().enumerate() {
+                if i > 0 {
+                    s.raw(",");
+                }
+                s.pair_list(partners);
+            }
+            s.raw("]");
         }
-        h
+        s.raw("},\"schools\":");
+        s.value(&self.schools.to_json_value());
+        s.raw(",\"today\":");
+        s.value(&self.today.to_json_value());
+        s.raw(",\"users\":");
+        s.values(self.users.iter().map(|u| u.to_json_value()), self.users.len());
+        s.raw("}");
+        s.finish()
     }
 
     // ----- accessors -------------------------------------------------------
@@ -123,6 +400,7 @@ impl Network {
     }
 
     pub fn user_mut(&mut self, id: UserId) -> &mut User {
+        self.unseal();
         &mut self.users[id.index()]
     }
 
@@ -160,6 +438,7 @@ impl Network {
     }
 
     pub fn circles_mut(&mut self) -> &mut Circles {
+        self.unseal();
         &mut self.circles
     }
 
@@ -169,6 +448,7 @@ impl Network {
     }
 
     pub fn interactions_mut(&mut self) -> &mut Interactions {
+        self.unseal();
         &mut self.interactions
     }
 
@@ -178,6 +458,7 @@ impl Network {
     }
 
     pub fn households_mut(&mut self) -> &mut Households {
+        self.unseal();
         &mut self.households
     }
 
@@ -228,11 +509,32 @@ impl Network {
     /// Ground-truth set `M`: user ids of all *actual* current students of
     /// `school` with accounts, sorted by id.
     pub fn roster(&self, school: SchoolId) -> Vec<UserId> {
+        if let Some(s) = &self.seal {
+            let c = &s.columns;
+            return (0..c.role_tag.len())
+                .filter(|&i| {
+                    c.role_tag[i] == UserColumns::CURRENT_STUDENT
+                        && c.role_school[i] == school.index() as u32
+                })
+                .map(UserId::from_index)
+                .collect();
+        }
         self.users.iter().filter(|u| u.role.is_current_student_at(school)).map(|u| u.id).collect()
     }
 
     /// Ground-truth roster restricted to the class of `grad_year`.
     pub fn roster_for_class(&self, school: SchoolId, grad_year: i32) -> Vec<UserId> {
+        if let Some(s) = &self.seal {
+            let c = &s.columns;
+            return (0..c.role_tag.len())
+                .filter(|&i| {
+                    c.role_tag[i] == UserColumns::CURRENT_STUDENT
+                        && c.role_school[i] == school.index() as u32
+                        && c.grad_year[i] == grad_year
+                })
+                .map(UserId::from_index)
+                .collect();
+        }
         self.users
             .iter()
             .filter(|u| {
@@ -245,6 +547,17 @@ impl Network {
 
     /// Ground-truth alumni of `school` who graduated in `grad_year`.
     pub fn alumni_of_class(&self, school: SchoolId, grad_year: i32) -> Vec<UserId> {
+        if let Some(s) = &self.seal {
+            let c = &s.columns;
+            return (0..c.role_tag.len())
+                .filter(|&i| {
+                    c.role_tag[i] == UserColumns::ALUMNUS
+                        && c.role_school[i] == school.index() as u32
+                        && c.grad_year[i] == grad_year
+                })
+                .map(UserId::from_index)
+                .collect();
+        }
         self.users
             .iter()
             .filter(|u| {
@@ -257,6 +570,14 @@ impl Network {
 
     /// The ground-truth graduation year of a current student, if any.
     pub fn student_grad_year(&self, u: UserId) -> Option<i32> {
+        if let Some(s) = &self.seal {
+            let c = &s.columns;
+            return if c.role_tag[u.index()] == UserColumns::CURRENT_STUDENT {
+                Some(c.grad_year[u.index()])
+            } else {
+                None
+            };
+        }
         match self.user(u).role {
             Role::CurrentStudent { grad_year, .. } => Some(grad_year),
             _ => None,
@@ -264,11 +585,150 @@ impl Network {
     }
 }
 
+// Hand-written serde over exactly the nine legacy fields: the `seal`
+// index must never serialize (it is derived state, and including it
+// would shift every pre-existing fingerprint). Key order is irrelevant
+// to the byte stream — the `Value` object is a BTreeMap.
+impl Serialize for Network {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("today".to_string(), self.today.to_json_value());
+        m.insert("calendar".to_string(), self.calendar.to_json_value());
+        m.insert("users".to_string(), self.users.to_json_value());
+        m.insert("friends".to_string(), self.friends.to_json_value());
+        m.insert("schools".to_string(), self.schools.to_json_value());
+        m.insert("cities".to_string(), self.cities.to_json_value());
+        m.insert("households".to_string(), self.households.to_json_value());
+        m.insert("circles".to_string(), self.circles.to_json_value());
+        m.insert("interactions".to_string(), self.interactions.to_json_value());
+        Value::Object(m)
+    }
+}
+
+impl<'de> Deserialize<'de> for Network {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, String> {
+            v.get(name).ok_or_else(|| format!("missing field `{name}`"))
+        }
+        Ok(Network {
+            today: Date::from_json_value(field(v, "today")?)?,
+            calendar: SchoolCalendar::from_json_value(field(v, "calendar")?)?,
+            users: Vec::<User>::from_json_value(field(v, "users")?)?,
+            friends: FriendGraph::from_json_value(field(v, "friends")?)?,
+            schools: Vec::<School>::from_json_value(field(v, "schools")?)?,
+            cities: Vec::<City>::from_json_value(field(v, "cities")?)?,
+            households: Households::from_json_value(field(v, "households")?)?,
+            circles: Circles::from_json_value(field(v, "circles")?)?,
+            interactions: Interactions::from_json_value(field(v, "interactions")?)?,
+            seal: None,
+        })
+    }
+}
+
+/// FNV-1a over a JSON byte stream, produced piecewise: small pieces are
+/// rendered through the ordinary `Value` path, large arrays (users,
+/// adjacency, circles, interactions, households) are streamed
+/// element-by-element so the whole document never exists in memory.
+struct FnvStream {
+    h: u64,
+    buf: String,
+}
+
+impl FnvStream {
+    fn new() -> Self {
+        FnvStream { h: 0xcbf2_9ce4_8422_2325, buf: String::new() }
+    }
+
+    fn raw(&mut self, s: &str) {
+        for &b in s.as_bytes() {
+            self.h ^= u64::from(b);
+            self.h = self.h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Hash one value's compact rendering.
+    fn value(&mut self, v: &Value) {
+        let rendered = v.render_compact();
+        self.raw(&rendered);
+    }
+
+    /// Hash an array of values, streamed one element at a time.
+    fn values(&mut self, items: impl Iterator<Item = Value>, len: usize) {
+        if len == 0 {
+            self.raw("[]");
+            return;
+        }
+        self.raw("[");
+        for (i, v) in items.enumerate() {
+            if i > 0 {
+                self.raw(",");
+            }
+            self.value(&v);
+        }
+        self.raw("]");
+    }
+
+    /// Hash an array of `UserId` lists without building `Value`s.
+    fn uid_lists<'a>(&mut self, lists: impl Iterator<Item = &'a [UserId]>, len: usize) {
+        use std::fmt::Write;
+        if len == 0 {
+            self.raw("[]");
+            return;
+        }
+        self.raw("[");
+        let mut first = true;
+        for list in lists {
+            if !first {
+                self.raw(",");
+            }
+            first = false;
+            self.buf.clear();
+            self.buf.push('[');
+            for (i, u) in list.iter().enumerate() {
+                if i > 0 {
+                    self.buf.push(',');
+                }
+                let _ = write!(self.buf, "{}", u.0);
+            }
+            self.buf.push(']');
+            let piece = std::mem::take(&mut self.buf);
+            self.raw(&piece);
+            self.buf = piece;
+        }
+        self.raw("]");
+    }
+
+    /// Hash one `[(id, count), ...]` interaction list as `[[id,count],...]`.
+    fn pair_list(&mut self, pairs: &[(UserId, u32)]) {
+        use std::fmt::Write;
+        if pairs.is_empty() {
+            self.raw("[]");
+            return;
+        }
+        self.buf.clear();
+        self.buf.push('[');
+        for (i, (u, n)) in pairs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "[{},{}]", u.0, n);
+        }
+        self.buf.push(']');
+        let piece = std::mem::take(&mut self.buf);
+        self.raw(&piece);
+        self.buf = piece;
+    }
+
+    fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::privacy::PrivacySettings;
-    use crate::profile::{Gender, ProfileContent, Registration};
+    use crate::profile::{EducationEntry, Gender, ProfileContent, Registration};
     use crate::school::SchoolKind;
 
     fn mk_user(net: &mut Network, role: Role) -> UserId {
@@ -355,5 +815,149 @@ mod tests {
     fn senior_class_in_march_2012() {
         let (net, _) = base_network();
         assert_eq!(net.senior_class_year(), 2012);
+    }
+
+    /// A small but fully-populated network exercising every serialized
+    /// field: friendships, circles, interactions, households, an extra
+    /// city/school, and varied profiles.
+    fn populated_network() -> Network {
+        let (mut net, school) = base_network();
+        let other_city = net.add_city("Farvale", "PA");
+        let college = net.add_school(School {
+            id: SchoolId(0),
+            name: "State College".into(),
+            city: other_city,
+            kind: SchoolKind::College,
+            public_enrollment_estimate: 12_000,
+        });
+        let s1 = mk_user(&mut net, Role::CurrentStudent { school, grad_year: 2014 });
+        let s2 = mk_user(&mut net, Role::CurrentStudent { school, grad_year: 2013 });
+        let al = mk_user(&mut net, Role::Alumnus { school, grad_year: 2008 });
+        let pa = mk_user(&mut net, Role::Parent { children: vec![s1] });
+        net.user_mut(s1).profile.education.push(EducationEntry::high_school(school, 2014));
+        net.user_mut(s2).profile.networks.push(school);
+        net.user_mut(al).profile.education.push(EducationEntry::high_school(school, 2008));
+        net.user_mut(al).profile.education.push(EducationEntry::college(college, None));
+        net.add_friendship(s1, s2);
+        net.add_friendship(s1, al);
+        net.add_friendship(pa, s1);
+        net.circles_mut().add(s2, al);
+        net.interactions_mut().bulk_insert([(s1, s2, 4), (s1, al, 1)]);
+        let h = net.households_mut().add("12 Oak St".into(), CityId(0), vec![pa]);
+        net.households_mut().join(h, s1);
+        net
+    }
+
+    #[test]
+    fn streamed_fingerprint_matches_rendered() {
+        let net = populated_network();
+        let rendered = serde_json::to_vec(&net).expect("network serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &rendered {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        assert_eq!(net.fingerprint(), h, "streamed fingerprint drifted from rendered JSON");
+        // And the empty network agrees too.
+        let empty = Network::new(Date::ymd(2012, 3, 15));
+        let rendered = serde_json::to_vec(&empty).unwrap();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &rendered {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        assert_eq!(empty.fingerprint(), h);
+    }
+
+    #[test]
+    fn sealing_preserves_fingerprint_and_answers() {
+        let mut net = populated_network();
+        let before = net.fingerprint();
+        let school = net.schools()[0].id;
+        let roster = net.roster(school);
+        let class = net.roster_for_class(school, 2014);
+        let alumni = net.alumni_of_class(school, 2008);
+        net.seal();
+        assert!(net.is_sealed());
+        assert!(net.friend_graph().is_sealed());
+        assert_eq!(net.fingerprint(), before, "sealing must not change the fingerprint");
+        assert_eq!(net.roster(school), roster);
+        assert_eq!(net.roster_for_class(school, 2014), class);
+        assert_eq!(net.alumni_of_class(school, 2008), alumni);
+        for u in net.user_ids() {
+            assert_eq!(
+                net.student_grad_year(u),
+                match net.user(u).role {
+                    Role::CurrentStudent { grad_year, .. } => Some(grad_year),
+                    _ => None,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn sealed_listers_cover_profile_school_ties() {
+        let mut net = populated_network();
+        assert!(net.school_listers(SchoolId(0)).is_none(), "unsealed network has no listers");
+        net.seal();
+        let school = net.schools()[0].id;
+        let listers = net.school_listers(school).unwrap().to_vec();
+        // Exactly the users with an education entry or network for HS1.
+        let expect: Vec<UserId> = net
+            .user_ids()
+            .filter(|&u| {
+                let p = &net.user(u).profile;
+                p.education.iter().any(|e| e.school == school) || p.networks.contains(&school)
+            })
+            .collect();
+        assert_eq!(listers, expect);
+        assert!(!listers.is_empty());
+        // Unknown school index answers empty, not a panic.
+        assert_eq!(net.school_listers(SchoolId(99)).unwrap(), &[] as &[UserId]);
+    }
+
+    #[test]
+    fn mutation_unseals() {
+        let mut net = populated_network();
+        net.seal();
+        assert!(net.is_sealed());
+        let u = net.user_ids().next().unwrap();
+        let _ = net.user_mut(u);
+        assert!(!net.is_sealed(), "user_mut must drop the seal index");
+        net.seal();
+        net.add_friendship(UserId(0), UserId(3));
+        assert!(!net.is_sealed(), "edge mutation must drop the seal index");
+        assert!(net.are_friends(UserId(0), UserId(3)));
+    }
+
+    #[test]
+    fn serde_round_trip_ignores_seal_state() {
+        let mut net = populated_network();
+        let before = net.fingerprint();
+        net.seal();
+        let bytes = serde_json::to_vec(&net).unwrap();
+        let back: Network = serde_json::from_slice(&bytes).unwrap();
+        assert!(!back.is_sealed(), "round-trip lands in the building layout");
+        assert_eq!(back.fingerprint(), before);
+    }
+
+    #[test]
+    fn with_capacity_matches_incremental_build() {
+        let mut a = Network::with_capacity(Date::ymd(2012, 3, 15), 64);
+        let mut b = Network::new(Date::ymd(2012, 3, 15));
+        for net in [&mut a, &mut b] {
+            net.add_city("Springfield", "NY");
+            let school = net.add_school(School {
+                id: SchoolId(0),
+                name: "HS1".into(),
+                city: CityId(0),
+                kind: SchoolKind::HighSchool,
+                public_enrollment_estimate: 360,
+            });
+            let s1 = mk_user(net, Role::CurrentStudent { school, grad_year: 2014 });
+            let s2 = mk_user(net, Role::OtherResident);
+            net.add_friendship(s1, s2);
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

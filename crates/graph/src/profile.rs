@@ -7,6 +7,7 @@
 
 use crate::date::Date;
 use crate::ids::{CityId, SchoolId};
+use crate::strings::Sym;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -95,8 +96,10 @@ impl ContactInfo {
 /// Everything the account owner entered on their profile.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ProfileContent {
-    pub first_name: String,
-    pub last_name: String,
+    /// Interned: the distinct-name universe is tiny next to the user
+    /// count, so names are 4-byte symbols (see [`crate::strings`]).
+    pub first_name: Sym,
+    pub last_name: Sym,
     pub gender: Gender,
     /// Whether a profile photo was uploaded (the photo itself is not
     /// modelled, only its presence).
@@ -119,11 +122,7 @@ pub struct ProfileContent {
 
 impl ProfileContent {
     /// A bare profile with just a name and gender, everything else empty.
-    pub fn bare(
-        first_name: impl Into<String>,
-        last_name: impl Into<String>,
-        gender: Gender,
-    ) -> Self {
+    pub fn bare(first_name: impl Into<Sym>, last_name: impl Into<Sym>, gender: Gender) -> Self {
         ProfileContent {
             first_name: first_name.into(),
             last_name: last_name.into(),

@@ -1,6 +1,7 @@
 //! Schools and cities of the simulated geography.
 
 use crate::ids::{CityId, SchoolId};
+use crate::strings::Sym;
 use serde::{Deserialize, Serialize};
 
 /// A city. Every school belongs to a city and users may list a city as
@@ -8,8 +9,8 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct City {
     pub id: CityId,
-    pub name: String,
-    pub state: String,
+    pub name: Sym,
+    pub state: Sym,
 }
 
 /// Kind of institution in the education directory.
@@ -27,7 +28,7 @@ pub enum SchoolKind {
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct School {
     pub id: SchoolId,
-    pub name: String,
+    pub name: Sym,
     pub city: CityId,
     pub kind: SchoolKind,
     /// Approximate enrolment, as a third party would find on Wikipedia

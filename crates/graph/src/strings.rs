@@ -1,0 +1,196 @@
+//! Interned strings for the high-duplication text fields.
+//!
+//! A million-user world stores a few tens of thousands of *distinct*
+//! names (the generator's name tables are finite), yet the naive layout
+//! pays a heap `String` — pointer, capacity, allocation — per user per
+//! field. [`Sym`] replaces those fields with a 4-byte symbol into a
+//! process-wide interner: same text ⇒ same symbol, so equality is an
+//! integer compare and `User` loses four pointer-sized fields of cold
+//! cache lines.
+//!
+//! Interned text is leaked (`&'static str`): the universe of distinct
+//! strings is bounded by the name tables (tens of thousands of short
+//! strings, well under a megabyte), so the arena is effectively a
+//! static table built on first use.
+//!
+//! Serialization round-trips through the *text*, never the raw symbol
+//! id — symbol numbering depends on interning order, which differs
+//! across thread counts and processes, so ids must never escape the
+//! process. This keeps `Network::fingerprint` bit-identical to the
+//! pre-interning `String` layout.
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a 4-byte handle that compares, hashes and
+/// displays like the text it names.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Sym(u32);
+
+struct Interner {
+    /// text -> id. Keys borrow from the leaked arena strings.
+    map: HashMap<&'static str, u32>,
+    /// id -> text.
+    table: Vec<&'static str>,
+}
+
+fn pool() -> &'static RwLock<Interner> {
+    static POOL: OnceLock<RwLock<Interner>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let mut i = Interner { map: HashMap::new(), table: Vec::new() };
+        // Symbol 0 is always the empty string, so `Sym::default()`
+        // needs no lock.
+        i.map.insert("", 0);
+        i.table.push("");
+        RwLock::new(i)
+    })
+}
+
+impl Sym {
+    /// Intern `text`, returning its symbol. Repeated calls with equal
+    /// text return the same symbol and take only a read lock.
+    pub fn new(text: &str) -> Sym {
+        let p = pool();
+        if let Some(&id) = p.read().expect("interner poisoned").map.get(text) {
+            return Sym(id);
+        }
+        let mut w = p.write().expect("interner poisoned");
+        if let Some(&id) = w.map.get(text) {
+            return Sym(id);
+        }
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let id = u32::try_from(w.table.len()).expect("interner overflow");
+        w.table.push(leaked);
+        w.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned text. `'static` because the arena never frees.
+    pub fn as_str(self) -> &'static str {
+        pool().read().expect("interner poisoned").table[self.0 as usize]
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::new(&s)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(s: &String) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<Sym> for String {
+    fn from(s: Sym) -> String {
+        s.as_str().to_owned()
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl Serialize for Sym {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.as_str().to_owned())
+    }
+}
+
+impl<'de> Deserialize<'de> for Sym {
+    fn from_json_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::String(s) => Ok(Sym::new(s)),
+            other => Err(format!("expected string for Sym, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_text_same_symbol() {
+        let a = Sym::new("Ada");
+        let b = Sym::from("Ada".to_string());
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "Ada");
+        assert_ne!(a, Sym::new("Bo"));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert_eq!(Sym::default().as_str(), "");
+        assert!(Sym::default().is_empty());
+        assert_eq!(Sym::default(), Sym::new(""));
+    }
+
+    #[test]
+    fn display_and_string_conversions() {
+        let s = Sym::new("Hill Valley");
+        assert_eq!(format!("{s}"), "Hill Valley");
+        assert_eq!(String::from(s), "Hill Valley");
+        assert!(s == "Hill Valley");
+    }
+
+    #[test]
+    fn serde_round_trips_text_not_ids() {
+        let s = Sym::new("Westbrook");
+        let v = s.to_json_value();
+        assert_eq!(v.as_str(), Some("Westbrook"));
+        let back = Sym::from_json_value(&v).unwrap();
+        assert_eq!(back, s);
+        assert!(Sym::from_json_value(&Value::Number(serde::value::Number::PosInt(3))).is_err());
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..64).map(|i| Sym::new(&format!("w{}", (i * 7) % 16))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for row in &all[1..] {
+            assert_eq!(row, &all[0]);
+        }
+    }
+}

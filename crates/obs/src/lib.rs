@@ -32,6 +32,7 @@ pub mod events;
 pub mod hist;
 pub mod registry;
 pub mod route;
+pub mod rss;
 pub mod span;
 pub mod trace;
 
@@ -41,5 +42,6 @@ pub use events::{Event, EventLog, Level};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use registry::{Registry, Snapshot};
 pub use route::RouteMetrics;
+pub use rss::{peak_rss_bytes, read_memory, MemoryReading};
 pub use span::SpanGuard;
 pub use trace::{FlightRecorder, SpanRecord, TraceCtx, TRACE_SEED};

@@ -1,0 +1,97 @@
+//! Process memory probes from `/proc/self/status`.
+//!
+//! The metro-scale bench gates on peak resident set size (the CSR +
+//! interning + SoA layout must keep a million-user world in a few
+//! gigabytes), so it needs an in-process reader for the kernel's
+//! accounting. `VmHWM` is the high-water mark; some sandboxed kernels
+//! (gVisor-style) omit it, in which case the current `VmRSS` — sampled
+//! at the post-build moment the caller cares about — is the honest
+//! fallback.
+
+/// A point-in-time memory reading, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryReading {
+    /// Peak resident set size (`VmHWM`), if the kernel reports it.
+    pub peak_rss_bytes: Option<u64>,
+    /// Current resident set size (`VmRSS`), if the kernel reports it.
+    pub current_rss_bytes: Option<u64>,
+}
+
+impl MemoryReading {
+    /// The best available peak estimate: true high-water mark when the
+    /// kernel exposes one, otherwise the current RSS (a lower bound).
+    pub fn peak_estimate_bytes(&self) -> Option<u64> {
+        self.peak_rss_bytes.or(self.current_rss_bytes)
+    }
+}
+
+/// Read the current process's memory accounting. Returns a reading with
+/// `None` fields on non-Linux platforms or unreadable `/proc`.
+pub fn read_memory() -> MemoryReading {
+    match std::fs::read_to_string("/proc/self/status") {
+        Ok(status) => parse_status(&status),
+        Err(_) => MemoryReading { peak_rss_bytes: None, current_rss_bytes: None },
+    }
+}
+
+/// Peak-RSS estimate in bytes (`VmHWM`, falling back to `VmRSS`), or
+/// `None` when `/proc` is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    read_memory().peak_estimate_bytes()
+}
+
+fn parse_status(status: &str) -> MemoryReading {
+    let mut reading = MemoryReading { peak_rss_bytes: None, current_rss_bytes: None };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            reading.peak_rss_bytes = parse_kb(rest);
+        } else if let Some(rest) = line.strip_prefix("VmRSS:") {
+            reading.current_rss_bytes = parse_kb(rest);
+        }
+    }
+    reading
+}
+
+/// Parse a `/proc/self/status` value like `"   4248 kB"` into bytes.
+fn parse_kb(rest: &str) -> Option<u64> {
+    let digits = rest.trim().trim_end_matches("kB").trim();
+    digits.parse::<u64>().ok().map(|kb| kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_both_fields() {
+        let status = "Name:\tx\nVmHWM:\t  2048 kB\nVmRSS:\t  1024 kB\nThreads:\t1\n";
+        let r = parse_status(status);
+        assert_eq!(r.peak_rss_bytes, Some(2048 * 1024));
+        assert_eq!(r.current_rss_bytes, Some(1024 * 1024));
+        assert_eq!(r.peak_estimate_bytes(), Some(2048 * 1024));
+    }
+
+    #[test]
+    fn falls_back_to_current_rss_without_hwm() {
+        let status = "Name:\tx\nVmRSS:\t  4076 kB\n";
+        let r = parse_status(status);
+        assert_eq!(r.peak_rss_bytes, None);
+        assert_eq!(r.peak_estimate_bytes(), Some(4076 * 1024));
+    }
+
+    #[test]
+    fn missing_fields_are_none() {
+        let r = parse_status("Name:\tx\nThreads:\t1\n");
+        assert_eq!(r.peak_estimate_bytes(), None);
+        assert_eq!(parse_kb("garbage"), None);
+    }
+
+    #[test]
+    fn live_read_reports_current_rss_on_linux() {
+        let r = read_memory();
+        if cfg!(target_os = "linux") {
+            let rss = r.current_rss_bytes.expect("Linux reports VmRSS");
+            assert!(rss > 0);
+        }
+    }
+}

@@ -51,7 +51,7 @@ fn profile_page_inner(net: &Network, view: &PublicView, gen: Option<u64>) -> Str
         let mut ul = el("ul").class("networks");
         for n in &view.networks {
             ul = ul.child(
-                text_el("li", net.school(*n).name.clone())
+                text_el("li", net.school(*n).name)
                     .class("network")
                     .attr("data-school", n.to_string()),
             );
@@ -68,7 +68,7 @@ fn profile_page_inner(net: &Network, view: &PublicView, gen: Option<u64>) -> Str
             };
             let label = match e.grad_year {
                 Some(y) => format!("{}, Class of {}", net.school(e.school).name, y),
-                None => net.school(e.school).name.clone(),
+                None => net.school(e.school).name.to_string(),
             };
             let mut li = text_el("li", label)
                 .class("edu")

@@ -26,12 +26,29 @@ impl SearchIndex {
 
     /// All users the policy lets a stranger find for `school`, in id
     /// order (cached).
+    ///
+    /// On a sealed network the candidate set shrinks from the whole
+    /// population to the per-school lister index (every policy's search
+    /// rule requires a stranger-visible profile tie to the school), with
+    /// the seal-time public-search bit as a first cheap cut — the
+    /// difference between a metro-scale city (dozens of schools over a
+    /// million users) and a single-school world is a few thousand
+    /// candidates per school either way.
     fn pool(&self, net: &Network, policy: &dyn Policy, school: SchoolId) -> Vec<UserId> {
         let mut pools = self.pools.lock();
         pools
             .entry(school)
-            .or_insert_with(|| {
-                net.user_ids().filter(|&u| policy.searchable_by_school(net, u, school)).collect()
+            .or_insert_with(|| match (net.school_listers(school), net.sealed_columns()) {
+                (Some(listers), cols) => listers
+                    .iter()
+                    .copied()
+                    .filter(|&u| cols.is_none_or(|c| c.public_search(u)))
+                    .filter(|&u| policy.searchable_by_school(net, u, school))
+                    .collect(),
+                (None, _) => net
+                    .user_ids()
+                    .filter(|&u| policy.searchable_by_school(net, u, school))
+                    .collect(),
             })
             .clone()
     }

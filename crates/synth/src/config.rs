@@ -184,6 +184,21 @@ pub struct ScenarioConfig {
 }
 
 impl ScenarioConfig {
+    /// Upper-bound estimate of the users this scenario commits, used to
+    /// pre-size `Network::with_capacity` so generation never re-grows
+    /// the user or adjacency tables mid-build.
+    pub fn expected_users(&self) -> usize {
+        let students = self.school_size as usize;
+        // One alumni cohort is roughly a graduating class (a quarter of
+        // the school), and at most one parent account exists per student.
+        let alumni = self.alumni_cohorts as usize * (students / 4 + 1);
+        students
+            + students // parents
+            + alumni
+            + self.former_students as usize
+            + self.community_pool_size as usize
+    }
+
     /// HS1: the small private urban school (362 students, ~325 on the
     /// OSN, crawled March 2012, high churn, relatively reserved student
     /// body — Table 5 column 1).

@@ -38,7 +38,7 @@ use hsp_graph::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -73,7 +73,7 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 /// The independent RNG stream for one chunk of one phase.
-fn stream_rng(seed: u64, phase: u64, chunk: u64) -> StdRng {
+pub(crate) fn stream_rng(seed: u64, phase: u64, chunk: u64) -> StdRng {
     StdRng::seed_from_u64(splitmix64(
         seed ^ splitmix64(phase.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ splitmix64(chunk)),
     ))
@@ -85,7 +85,11 @@ fn stream_rng(seed: u64, phase: u64, chunk: u64) -> StdRng {
 /// claiming whole chunks is all the balancing needed); the output slot
 /// per chunk keeps the collection order deterministic regardless of
 /// completion order.
-fn run_chunks<T: Send>(threads: usize, n_chunks: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub(crate) fn run_chunks<T: Send>(
+    threads: usize,
+    n_chunks: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     if threads <= 1 || n_chunks <= 1 {
         return (0..n_chunks).map(f).collect();
     }
@@ -108,21 +112,35 @@ fn run_chunks<T: Send>(threads: usize, n_chunks: usize, f: impl Fn(usize) -> T +
 /// Spec one phase: run `per_item(rng, item_index)` for items
 /// `0..n_items` in [`CHUNK`]-sized chunks, each chunk on its own RNG
 /// stream, and return the per-item outputs in item order.
-fn sharded<T: Send>(
+pub(crate) fn sharded<T: Send>(
     seed: u64,
     phase: u64,
     threads: usize,
     n_items: usize,
     per_item: impl Fn(&mut StdRng, usize) -> T + Sync,
 ) -> Vec<T> {
+    sharded_chunks(seed, phase, threads, n_items, per_item).into_iter().flatten().collect()
+}
+
+/// [`sharded`] without the final flatten: the per-chunk vectors are
+/// returned as produced (still in item order). Metro-scale callers
+/// consume them through a lazy `flatten()` iterator, which skips one
+/// full copy of every generated item — at a million ~300-byte users
+/// that copy is a measurable slice of the build.
+pub(crate) fn sharded_chunks<T: Send>(
+    seed: u64,
+    phase: u64,
+    threads: usize,
+    n_items: usize,
+    per_item: impl Fn(&mut StdRng, usize) -> T + Sync,
+) -> Vec<Vec<T>> {
     let n_chunks = n_items.div_ceil(CHUNK);
-    let chunks = run_chunks(threads, n_chunks, |c| {
+    run_chunks(threads, n_chunks, |c| {
         let mut rng = stream_rng(seed, phase, c as u64);
         let lo = c * CHUNK;
         let hi = (lo + CHUNK).min(n_items);
         (lo..hi).map(|i| per_item(&mut rng, i)).collect::<Vec<T>>()
-    });
-    chunks.into_iter().flatten().collect()
+    })
 }
 
 /// Generate the world for one scenario, parallelising the per-phase
@@ -139,7 +157,7 @@ pub fn generate(cfg: &ScenarioConfig) -> Scenario {
 pub fn generate_sharded(cfg: &ScenarioConfig, threads: usize) -> Scenario {
     let threads = threads.max(1);
     let seed = cfg.seed;
-    let mut net = Network::new(cfg.today);
+    let mut net = Network::with_capacity(cfg.today, cfg.expected_users());
 
     // ---- geography & schools ----------------------------------------
     let home_city = net.add_city(format!("{} City", cfg.name), "NY");
@@ -147,7 +165,7 @@ pub fn generate_sharded(cfg: &ScenarioConfig, threads: usize) -> Scenario {
     let third_city = net.add_city("Westbrook", "OH");
     let school = net.add_school(School {
         id: SchoolId(0),
-        name: format!("{} High School", cfg.name),
+        name: format!("{} High School", cfg.name).into(),
         city: home_city,
         kind: SchoolKind::HighSchool,
         public_enrollment_estimate: cfg.public_enrollment_estimate,
@@ -333,13 +351,13 @@ pub fn generate_sharded(cfg: &ScenarioConfig, threads: usize) -> Scenario {
             return None;
         }
         let child = net.user(s);
-        let child_last = child.profile.last_name.clone();
+        let child_last = child.profile.last_name;
         let child_birth_year = child.true_birth_date.year();
         let gender = sample_gender(rng);
         let (privacy, extras) = sample_account_calibrated(rng, &cfg.adult_openness);
         let mut profile = base_profile(rng, &extras);
         profile.last_name = child_last;
-        profile.first_name = sample_first_name(rng, gender).to_string();
+        profile.first_name = sample_first_name(rng, gender).into();
         profile.gender = gender;
         profile.current_city = Some(home_city);
         let birth = Date::ymd(
@@ -430,7 +448,11 @@ pub fn generate_sharded(cfg: &ScenarioConfig, threads: usize) -> Scenario {
         let mu = if open { 0.45 } else { 0.0 };
         (normal(rng, mu, 0.5)).exp().clamp(0.15, 3.0)
     });
-    let sociability: HashMap<UserId, f64> = students.iter().copied().zip(soc_values).collect();
+    // Students are the first users committed, so their ids are dense
+    // from zero and the table is index-addressed by `UserId::index` —
+    // no hashing inside the hottest edge-generation loops.
+    debug_assert!(students.iter().enumerate().all(|(k, s)| s.index() == k));
+    let sociability: Vec<f64> = soc_values;
 
     // Student <-> student, Chung-Lu-style: edge probability scales with
     // both endpoints' sociability, with a base rate by grade distance.
@@ -458,12 +480,12 @@ pub fn generate_sharded(cfg: &ScenarioConfig, threads: usize) -> Scenario {
     let ss_edges = sharded(seed, phase::EDGES_CLASSMATES, threads, ss_rows.len(), |rng, r| {
         let (ci, cj, i) = ss_rows[r];
         let u = by_class[ci][i];
-        let fu = sociability[&u];
+        let fu = sociability[u.index()];
         let base = bases[ci][cj];
         let j0 = if ci == cj { i + 1 } else { 0 };
         let mut out: Vec<(UserId, UserId)> = Vec::new();
         for &v in &by_class[cj][j0..] {
-            let p = (base * fu * sociability[&v]).min(0.97);
+            let p = (base * fu * sociability[v.index()]).min(0.97);
             if rng.gen_bool(p) {
                 out.push((u, v));
             }
@@ -478,7 +500,7 @@ pub fn generate_sharded(cfg: &ScenarioConfig, threads: usize) -> Scenario {
         let s = students[i];
         let open = net.user(s).privacy.friend_list.visible_to_stranger();
         let boost = if open { f.open_degree_boost } else { 1.0 };
-        let mean = f.nonschool_friends_mean * boost * sociability[&s].sqrt();
+        let mean = f.nonschool_friends_mean * boost * sociability[s.index()].sqrt();
         let k = normal(rng, mean, mean * 0.25).max(0.0) as usize;
         (0..k).map(|_| (s, pool[rng.gen_range(0..pool.len())])).collect::<Vec<_>>()
     });
@@ -606,6 +628,11 @@ pub fn generate_sharded(cfg: &ScenarioConfig, threads: usize) -> Scenario {
         *net.circles_mut() = circles;
     }
 
+    // Freeze for attack-time reads: CSR adjacency, SoA columns and
+    // school-lister indexes. Pure layout change — the fingerprint is
+    // pinned identical across sealing by the graph crate's tests.
+    net.seal();
+
     Scenario { config: cfg.clone(), school, other_school, home_city, other_city, network: net }
 }
 
@@ -630,8 +657,8 @@ fn base_profile(rng: &mut impl Rng, extras: &ProfileExtras) -> ProfileContent {
     if extras.has_contact_info {
         profile.contact.email = Some(format!(
             "{}.{}@example.net",
-            profile.first_name.to_ascii_lowercase(),
-            profile.last_name.to_ascii_lowercase()
+            profile.first_name.as_str().to_ascii_lowercase(),
+            profile.last_name.as_str().to_ascii_lowercase()
         ));
     }
     profile

@@ -22,6 +22,7 @@ pub mod churn;
 pub mod config;
 pub mod generator;
 pub mod lying;
+pub mod metro;
 pub mod names;
 pub mod privacy_assign;
 pub mod scenario;
@@ -29,4 +30,5 @@ pub mod scenario;
 pub use churn::ChurnModel;
 pub use config::{FriendshipModel, LyingModel, OpennessProfile, ScenarioConfig};
 pub use generator::{generate, generate_sharded};
+pub use metro::{metro, metro_sharded, MetroConfig, MetroWorld};
 pub use scenario::{Scenario, ScenarioSummary};

@@ -3,8 +3,9 @@
 //! Entirely fictional people: names are drawn from fixed pools, so no
 //! real person's data can appear in a generated world.
 
-use hsp_graph::Gender;
-use rand::Rng;
+use hsp_graph::{Gender, Sym};
+use rand::{Rng, RngCore};
+use std::sync::OnceLock;
 
 const FEMALE_FIRST: &[&str] = &[
     "Ava", "Mia", "Zoe", "Lily", "Emma", "Nora", "Ruby", "Ella", "Ivy", "Maya", "Chloe", "Grace",
@@ -144,6 +145,132 @@ pub fn sample_last_name(rng: &mut impl Rng) -> String {
             LAST_MID[rng.gen_range(0..LAST_MID.len())],
             LAST_SUFFIX[rng.gen_range(0..LAST_SUFFIX.len())]
         )
+    }
+}
+
+/// Every name the samplers can produce, pre-interned as [`Sym`]s.
+///
+/// The composite-surname universe is finite (~33k forms), so the
+/// metro-scale generator interns it once up front; after that, sampling
+/// a name is an index into these tables — no `format!`, no allocation,
+/// and no interner lock on the per-user hot path.
+pub struct NameSymPools {
+    pub female_first: Vec<Sym>,
+    pub male_first: Vec<Sym>,
+    /// The curated head list (the always-ambiguous "Smiths").
+    pub last_head: Vec<Sym>,
+    /// All two-syllable prefix+suffix composites.
+    pub last_two: Vec<Sym>,
+    /// All three-syllable prefix+mid+suffix composites.
+    pub last_three: Vec<Sym>,
+}
+
+impl NameSymPools {
+    /// Index into `pool` with one `next_u64` and a multiply-shift
+    /// reduction — no division, no rejection loop. The metro generator
+    /// draws two names per user for a million-plus users; `gen_range`'s
+    /// u128 modulo is measurable at that volume.
+    #[inline]
+    fn pick(pool: &[Sym], rng: &mut impl RngCore) -> Sym {
+        pool[(((rng.next_u64() as u128) * (pool.len() as u128)) >> 64) as usize]
+    }
+
+    /// Allocation- and division-free first-name draw.
+    #[inline]
+    pub fn first(&self, rng: &mut impl RngCore, gender: Gender) -> Sym {
+        match gender {
+            Gender::Female => Self::pick(&self.female_first, rng),
+            Gender::Male => Self::pick(&self.male_first, rng),
+            Gender::Unspecified => {
+                if rng.next_u64() & 1 == 0 {
+                    Self::pick(&self.female_first, rng)
+                } else {
+                    Self::pick(&self.male_first, rng)
+                }
+            }
+        }
+    }
+
+    /// Allocation- and division-free surname draw with the same 10/55/35
+    /// head/two/three split as [`sample_last_name`].
+    #[inline]
+    pub fn last(&self, rng: &mut impl RngCore) -> Sym {
+        // 53-bit mantissa draw, same split points as the f64 path.
+        let r = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if r < 0.10 {
+            Self::pick(&self.last_head, rng)
+        } else if r < 0.65 {
+            Self::pick(&self.last_two, rng)
+        } else {
+            Self::pick(&self.last_three, rng)
+        }
+    }
+}
+
+/// The process-wide pre-interned pools, built on first use.
+pub fn name_sym_pools() -> &'static NameSymPools {
+    static POOLS: OnceLock<NameSymPools> = OnceLock::new();
+    POOLS.get_or_init(|| {
+        let mut last_two = Vec::with_capacity(LAST_PREFIX.len() * LAST_SUFFIX.len());
+        let mut last_three =
+            Vec::with_capacity(LAST_PREFIX.len() * LAST_MID.len() * LAST_SUFFIX.len());
+        let mut buf = String::new();
+        for p in LAST_PREFIX {
+            for s in LAST_SUFFIX {
+                buf.clear();
+                buf.push_str(p);
+                buf.push_str(s);
+                last_two.push(Sym::new(&buf));
+            }
+            for m in LAST_MID {
+                for s in LAST_SUFFIX {
+                    buf.clear();
+                    buf.push_str(p);
+                    buf.push_str(m);
+                    buf.push_str(s);
+                    last_three.push(Sym::new(&buf));
+                }
+            }
+        }
+        NameSymPools {
+            female_first: FEMALE_FIRST.iter().map(|n| Sym::new(n)).collect(),
+            male_first: MALE_FIRST.iter().map(|n| Sym::new(n)).collect(),
+            last_head: LAST.iter().map(|n| Sym::new(n)).collect(),
+            last_two,
+            last_three,
+        }
+    })
+}
+
+/// Allocation-free first-name draw from the pre-interned pools.
+pub fn sample_first_sym(rng: &mut impl Rng, gender: Gender) -> Sym {
+    let p = name_sym_pools();
+    let pool = match gender {
+        Gender::Female => &p.female_first,
+        Gender::Male => &p.male_first,
+        Gender::Unspecified => {
+            if rng.gen_bool(0.5) {
+                &p.female_first
+            } else {
+                &p.male_first
+            }
+        }
+    };
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Allocation-free surname draw with the same head/tail frequency split
+/// as [`sample_last_name`] (10 % head / 55 % two-syllable / 35 %
+/// three-syllable).
+pub fn sample_last_sym(rng: &mut impl Rng) -> Sym {
+    let p = name_sym_pools();
+    let r: f64 = rng.gen();
+    if r < 0.10 {
+        p.last_head[rng.gen_range(0..p.last_head.len())]
+    } else if r < 0.65 {
+        p.last_two[rng.gen_range(0..p.last_two.len())]
+    } else {
+        p.last_three[rng.gen_range(0..p.last_three.len())]
     }
 }
 

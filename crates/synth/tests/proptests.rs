@@ -113,3 +113,47 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The sealed CSR view is an exact image of the builder adjacency.
+    /// Serde round-trip always lands in builder (Vec-of-Vec) form — the
+    /// seal index never serializes — so a generated (sealed) world and
+    /// its round-tripped copy are the two representations of the same
+    /// network: fingerprints must match, every friends list must come
+    /// back in the same order, and re-sealing must change nothing
+    /// observable.
+    #[test]
+    fn builder_and_sealed_views_agree(cfg in arb_config()) {
+        use serde::{Deserialize, Serialize};
+
+        let sealed = generate(&cfg).network;
+        prop_assert!(sealed.is_sealed());
+
+        let mut builder =
+            hsp_graph::Network::from_json_value(&sealed.to_json_value()).expect("round-trip");
+        prop_assert!(!builder.is_sealed());
+
+        // Fingerprint is representation-independent.
+        prop_assert_eq!(builder.fingerprint(), sealed.fingerprint());
+
+        // Friends ordering survives the CSR migration bit-for-bit.
+        for u in sealed.user_ids() {
+            prop_assert_eq!(builder.friends(u), sealed.friends(u));
+        }
+
+        // Re-sealing the builder copy is observationally a no-op.
+        builder.seal();
+        prop_assert_eq!(builder.fingerprint(), sealed.fingerprint());
+        for u in sealed.user_ids() {
+            prop_assert_eq!(builder.friends(u), sealed.friends(u));
+        }
+
+        // A second round-trip — now from a freshly sealed network — is
+        // byte-stable too.
+        let again =
+            hsp_graph::Network::from_json_value(&builder.to_json_value()).expect("round-trip 2");
+        prop_assert_eq!(again.fingerprint(), sealed.fingerprint());
+    }
+}

@@ -59,8 +59,8 @@ impl VoterRoll {
             match &user.role {
                 Role::Parent { .. } | Role::OtherResident | Role::NonResident => {
                     roll.push(VoterRecord {
-                        first_name: user.profile.first_name.clone(),
-                        last_name: user.profile.last_name.clone(),
+                        first_name: user.profile.first_name.to_string(),
+                        last_name: user.profile.last_name.to_string(),
                         address: household.address.clone(),
                         city: household.city,
                         osn_user: Some(user.id),
@@ -75,7 +75,7 @@ impl VoterRoll {
                         let first = crate::namegen::guardian_first_name(&mut rng);
                         roll.push(VoterRecord {
                             first_name: first,
-                            last_name: user.profile.last_name.clone(),
+                            last_name: user.profile.last_name.to_string(),
                             address: household.address.clone(),
                             city: household.city,
                             osn_user: None,

@@ -50,7 +50,7 @@ fn threat_chain_resolves_addresses_and_measures_phishing() {
         let Some(year) = discovery.inferred_year(u) else { continue };
         let scraped = crawler.profile(u).unwrap();
         let friends = rec.friends_of(u).to_vec();
-        let last_name = scenario.network.user(u).profile.last_name.clone();
+        let last_name = scenario.network.user(u).profile.last_name.to_string();
         profiles.push(construct_profile(
             &scraped,
             u,
@@ -92,7 +92,7 @@ fn threat_chain_resolves_addresses_and_measures_phishing() {
     }
 
     // --- spear-phishing channel ------------------------------------------
-    let school_name = scenario.network.school(scenario.school).name.clone();
+    let school_name = scenario.network.school(scenario.school).name.to_string();
     let net = scenario.network.clone();
     let stats = run_campaign(&mut crawler, &profiles, &school_name, |f| {
         Some(net.user(f).profile.full_name())

@@ -69,7 +69,7 @@ fn main() {
 
     // 4. Measure the spear-phishing channel (composition + deliverability
     //    only; see hsp-threats docs).
-    let school_name = lab.scenario.network.school(lab.scenario.school).name.clone();
+    let school_name = lab.scenario.network.school(lab.scenario.school).name.to_string();
     let names: std::collections::HashMap<_, _> =
         lab.scenario.network.users().map(|u| (u.id, u.profile.full_name())).collect();
     let campaign =

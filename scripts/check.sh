@@ -31,6 +31,9 @@ ARMS_SCENARIO=tiny cargo run --release --example arms_race
 echo "==> trace forensics, smoke mode (digest stability + closed audit + overhead gate)"
 cargo run --release --example trace_forensics -- --smoke
 
+echo "==> metro smoke (tiny city: build + concurrent attack, 1 == 8 workers)"
+cargo run --release --example metro -- --smoke
+
 echo "==> live-world smoke (tiny world: zero-rate == frozen, closed audits, 1 == 8 workers)"
 LIVE_SCENARIO=tiny cargo run --release --example live_world
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Metro-scale gate: build the full city (>=1M users), run the city-wide
+# concurrent attack, and append a headline row to BENCH_metro.json at
+# the workspace root. The example enforces its own hard gates (world
+# size, build throughput, peak RSS, 1==8 worker determinism); this
+# script re-reads the appended row and applies the regression floor on
+# build throughput so a slow build fails CI even if someone loosens the
+# in-example gate via METRO_MIN_UPS.
+#
+# Offline-safe: all dependencies resolve to the vendored path stubs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+# 3x the seed generator's single-thread rate; the metro path sustains
+# ~1.3M users/s on the reference box, so 900k leaves headroom for CI
+# jitter without letting a real regression through.
+MIN_UPS="${MIN_UPS:-900000}"
+
+echo "==> metro city build + city-wide attack -> BENCH_metro.json"
+cargo run --release --example metro -- "$@"
+
+echo "==> regression guard: synth_users_per_sec >= ${MIN_UPS}"
+python3 - "$MIN_UPS" <<'PY'
+import json, sys
+floor = float(sys.argv[1])
+runs = json.load(open("BENCH_metro.json"))
+rows = [r for r in runs if r.get("bench") == "metro" and r.get("config") == "city"]
+if not rows:
+    sys.exit("no city rows in BENCH_metro.json")
+last = rows[-1]
+ups = last["synth_users_per_sec"]
+print(f"last city row: {last['users']} users at {ups:.0f} users/s "
+      f"(peak RSS {last['peak_rss_bytes'] / 2**30:.2f} GiB, "
+      f"{last['pct_found']:.1f}% of students identified)")
+if ups < floor:
+    sys.exit(f"REGRESSION: {ups:.0f} users/s below the {floor:.0f} floor")
+print(f"throughput floor {floor:.0f} users/s: PASS")
+PY
+
+echo "Metro gate complete."
