@@ -287,6 +287,20 @@ impl Breaker {
         self.consecutive.store(0, Ordering::Relaxed);
         self.open.swap(false, Ordering::Relaxed)
     }
+
+    /// Observe the breaker state for a durable journal checkpoint.
+    pub(crate) fn snapshot(&self) -> (u32, bool) {
+        use std::sync::atomic::Ordering;
+        (self.consecutive.load(Ordering::Relaxed), self.open.load(Ordering::Relaxed))
+    }
+
+    /// Rebuild a breaker from a journal checkpoint (crash resume).
+    pub(crate) fn restore(consecutive: u32, open: bool) -> Breaker {
+        Breaker {
+            consecutive: std::sync::atomic::AtomicU32::new(consecutive),
+            open: std::sync::atomic::AtomicBool::new(open),
+        }
+    }
 }
 
 /// One logged-in fake account.
@@ -1778,7 +1792,7 @@ mod tests {
         assert!(checkpoint.effort.total() > 0);
 
         // Round-trip through JSON, like an on-disk checkpoint file.
-        let checkpoint = CrawlSnapshot::from_json(&checkpoint.to_json()).unwrap();
+        let checkpoint = CrawlSnapshot::from_json(&checkpoint.to_json().unwrap()).unwrap();
 
         // Resumed crawl: restore, then redo the same work.
         let mut resumed = mk("spy2");

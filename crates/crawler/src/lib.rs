@@ -18,6 +18,7 @@
 
 pub mod driver;
 pub mod effort;
+pub mod journal;
 pub mod scheduler;
 pub mod scrape;
 pub mod snapshot;
@@ -26,6 +27,11 @@ pub use driver::{
     AdaptiveStrategy, BreakerConfig, CrawlError, Crawler, CrawlerBuilder, OsnAccess, Politeness,
 };
 pub use effort::Effort;
+pub use journal::{
+    fold_state, recover, recover_bytes, recover_instrumented, Journal, JournalError,
+    JournalMetrics, JournalRecord, KillPlan, LaneState, RecoveredLog, ResumeState, SchedState,
+    LANE_RECOVERY,
+};
 pub use scheduler::{AccountSeat, ParallelCrawler, ParallelCrawlerBuilder};
 pub use scrape::{parse_listing, parse_profile, ScrapedEduKind, ScrapedEducation, ScrapedProfile};
-pub use snapshot::{CrawlSnapshot, SnapshotAccess};
+pub use snapshot::{CrawlSnapshot, SnapshotAccess, SnapshotError, SNAPSHOT_VERSION};

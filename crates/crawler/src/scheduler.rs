@@ -36,6 +36,10 @@ use crate::driver::{
     EP_SEEDS,
 };
 use crate::effort::Effort;
+use crate::journal::{
+    BreakerState, CirclesEntry, Journal, JournalError, JournalRecord, LaneState, ResumeState,
+    RetryStatsState, SchedState, TransportJournalState,
+};
 use crate::scrape::{parse_listing, parse_listing_stamped, parse_profile, ScrapedProfile};
 use crate::snapshot::CrawlSnapshot;
 use hsp_graph::{SchoolId, UserId};
@@ -537,6 +541,7 @@ pub struct ParallelCrawlerBuilder<E: Exchange + Send> {
     tracer: Option<Arc<FlightRecorder>>,
     retry_stats: Option<Arc<RetryStats>>,
     factory: Option<Box<dyn FnMut() -> AccountSeat<E>>>,
+    journal: Option<Journal>,
 }
 
 impl<E: Exchange + Send> ParallelCrawlerBuilder<E> {
@@ -551,6 +556,7 @@ impl<E: Exchange + Send> ParallelCrawlerBuilder<E> {
             tracer: None,
             retry_stats: None,
             factory: None,
+            journal: None,
         }
     }
 
@@ -604,11 +610,36 @@ impl<E: Exchange + Send> ParallelCrawlerBuilder<E> {
         self
     }
 
+    /// Journal every committed crawl operation to a durable append-only
+    /// log (see [`crate::journal`]). Each `OsnAccess` op that mutates
+    /// the caches seals one group-committed record batch; a process
+    /// killed at any byte boundary resumes bit-identically via
+    /// [`ParallelCrawlerBuilder::build_resumed`].
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
     /// Sign up + log in one fake account per seat (serially — the
     /// platform assigns account indices by arrival order) and return
     /// the ready scheduler.
     pub fn build(self, seats: Vec<AccountSeat<E>>) -> Result<ParallelCrawler<E>, CrawlError> {
         ParallelCrawler::assemble(seats, self)
+    }
+
+    /// Rebuild a crawler from a recovered journal state, **without**
+    /// re-enrolling accounts: one fresh seat per journaled lane (same
+    /// transport wiring as the original — e.g. `.with_attempt_seq()`
+    /// resilient exchanges over the same platform), whose transport,
+    /// clock, breaker, effort and trace state are all restored from the
+    /// journal. The resumed crawler continues exactly where the last
+    /// durable commit left off.
+    pub fn build_resumed(
+        self,
+        state: &ResumeState,
+        seats: Vec<AccountSeat<E>>,
+    ) -> Result<ParallelCrawler<E>, CrawlError> {
+        ParallelCrawler::assemble_resumed(state, seats, self)
     }
 }
 
@@ -647,6 +678,40 @@ pub struct ParallelCrawler<E: Exchange + Send> {
     rr: usize,
     /// Modeled virtual wall-clock of the whole crawl at `workers` lanes.
     modeled_wall_ms: u64,
+    /// Durable crawl journal (crash-only operation); `None` = volatile.
+    journal: Option<Journal>,
+    /// Account indices whose suspension has already been journaled —
+    /// each group diffs against this to emit `LaneSuspended` once.
+    journal_suspended: BTreeSet<usize>,
+    /// Recruits since the last sealed group, drained into the next one.
+    pending_recruits: Vec<(u64, String)>,
+    /// Lane states as of the last sealed group: each group diffs
+    /// against this and journals only the lanes that moved.
+    journal_lanes: Vec<LaneState>,
+}
+
+/// Journal failures surface as crawl errors: `Killed` is the injected
+/// kill point (the crash harness's "process died here"); anything else
+/// is a real durability failure the crawl must not paper over.
+fn map_journal_err(e: JournalError) -> CrawlError {
+    match e {
+        JournalError::Killed => CrawlError::BadPage("journal kill point"),
+        _ => CrawlError::BadPage("journal append failed"),
+    }
+}
+
+/// Map a journaled breaker-endpoint name back to its `&'static str`
+/// label (unknown names — a newer journal, say — are dropped).
+fn endpoint_label(name: &str) -> Option<&'static str> {
+    match name {
+        EP_AUTH => Some(EP_AUTH),
+        EP_SEEDS => Some(EP_SEEDS),
+        EP_PROFILE => Some(EP_PROFILE),
+        EP_FRIENDS => Some(EP_FRIENDS),
+        EP_CIRCLES => Some(EP_CIRCLES),
+        EP_MESSAGE => Some(EP_MESSAGE),
+        _ => None,
+    }
 }
 
 impl<E: Exchange + Send> ParallelCrawler<E> {
@@ -693,6 +758,10 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
             stale_refetches: 0,
             rr: 0,
             modeled_wall_ms: 0,
+            journal: builder.journal,
+            journal_suspended: BTreeSet::new(),
+            pending_recruits: Vec::new(),
+            journal_lanes: Vec::new(),
         };
         if let Some(m) = &crawler.sched_metrics {
             m.workers.set(crawler.workers as i64);
@@ -705,7 +774,143 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
             return Err(CrawlError::BadPage("no accounts"));
         }
         crawler.sync_retry_metric();
+        crawler.write_base_group()?;
         Ok(crawler)
+    }
+
+    /// Rebuild from a journal's folded [`ResumeState`]; see
+    /// [`ParallelCrawlerBuilder::build_resumed`].
+    fn assemble_resumed(
+        state: &ResumeState,
+        seats: Vec<AccountSeat<E>>,
+        builder: ParallelCrawlerBuilder<E>,
+    ) -> Result<ParallelCrawler<E>, CrawlError> {
+        if seats.len() != state.lanes.len() {
+            return Err(CrawlError::BadPage("resume seat count mismatch"));
+        }
+        if state.lanes.is_empty() {
+            return Err(CrawlError::BadPage("no accounts"));
+        }
+        let budget = 8 + 2 * builder.max_accounts.max(seats.len());
+        let (metrics, sched_metrics) = match builder.obs {
+            Some((m, s)) => (Some(m), Some(s)),
+            None => (None, None),
+        };
+        let mut crawler = ParallelCrawler {
+            accounts: Vec::new(),
+            // The journaled label wins: recruit usernames ("{label}-rN")
+            // must keep matching the original run's.
+            label: state.label.clone(),
+            workers: builder.workers,
+            shared: Shared {
+                politeness: builder.politeness,
+                breaker: builder.breaker,
+                budget,
+                metrics,
+                tracer: builder.tracer,
+            },
+            factory: builder.factory,
+            recruited: state.sched.recruited as usize,
+            max_accounts: builder.max_accounts,
+            retry_stats: builder.retry_stats,
+            retries_synced: AtomicU64::new(0),
+            edge_refusals_synced: AtomicU64::new(0),
+            fault_refusals_synced: AtomicU64::new(0),
+            throttle_refusals_synced: AtomicU64::new(0),
+            sched_metrics,
+            seeds_cache: HashMap::new(),
+            profile_cache: HashMap::new(),
+            friends_cache: HashMap::new(),
+            circles_cache: HashMap::new(),
+            incomplete: state.incomplete.iter().copied().collect(),
+            tombstoned: state.tombstoned.iter().copied().collect(),
+            friends_gen: HashMap::new(),
+            stale_refetches: state.sched.stale_refetches,
+            rr: state.sched.rr as usize,
+            modeled_wall_ms: state.sched.modeled_wall_ms,
+            journal: builder.journal,
+            journal_suspended: BTreeSet::new(),
+            pending_recruits: Vec::new(),
+            journal_lanes: Vec::new(),
+        };
+        if let Some(m) = &crawler.sched_metrics {
+            m.workers.set(crawler.workers as i64);
+        }
+        for (&school, seeds) in &state.seeds {
+            crawler.seeds_cache.insert(school, seeds.clone());
+        }
+        for (&uid, profile) in &state.profiles {
+            crawler.profile_cache.insert(uid, profile.clone());
+        }
+        for (&uid, friends) in &state.friends {
+            crawler.friends_cache.insert(uid, friends.clone());
+        }
+        for entry in &state.circles {
+            crawler.circles_cache.insert((entry.uid, entry.incoming), entry.members.clone());
+        }
+        for (&uid, &gen) in &state.friends_gen {
+            crawler.friends_gen.insert(uid, gen);
+        }
+        // Transport retry ledger: restore the shared stats handle and
+        // pre-load the synced cursors so metric deltas only count
+        // post-resume activity (no double-billing on restart).
+        if let Some(stats) = &crawler.retry_stats {
+            stats.restore(&state.sched.retry_stats.to_stats());
+            crawler.retries_synced = AtomicU64::new(state.sched.retry_stats.retries);
+            crawler.edge_refusals_synced = AtomicU64::new(state.sched.retry_stats.edge_limited);
+            crawler.fault_refusals_synced =
+                AtomicU64::new(state.sched.retry_stats.fault_rate_limited);
+            crawler.throttle_refusals_synced = AtomicU64::new(state.sched.retry_stats.throttled);
+        }
+        for (i, (seat, lane)) in seats.into_iter().zip(&state.lanes).enumerate() {
+            let mut exchange = seat.exchange;
+            exchange.restore_transport_state(&lane.transport.to_transport());
+            let clock = seat.clock;
+            if let Some(c) = &clock {
+                // A fresh seat clock starts at zero; fast-forward it to
+                // the journaled timeline. (Not `advance_ms` on the
+                // worker — that would double-charge `local_ms`.)
+                c.advance_ms(lane.clock_ms);
+            }
+            let mut breakers = HashMap::new();
+            for (name, b) in &lane.breakers {
+                if let Some(ep) = endpoint_label(name) {
+                    breakers.insert(ep, Breaker::restore(b.consecutive, b.open));
+                }
+            }
+            let worker = AccountWorker {
+                exchange,
+                username: lane.username.clone(),
+                password: lane.password.clone(),
+                suspended: lane.suspended,
+                effort: lane.effort,
+                local_ms: lane.local_ms,
+                clock,
+                breakers,
+                lane: trace_lane(&lane.username),
+                trace_ordinal: lane.trace_ordinal,
+            };
+            crawler.accounts.push(Mutex::new(worker));
+            if lane.suspended {
+                crawler.journal_suspended.insert(i);
+            }
+        }
+        crawler.write_base_group()?;
+        Ok(crawler)
+    }
+
+    /// Seal the initial `Base` group if a journal is attached and still
+    /// empty (a journal reopened via [`Journal::create_with_base`]
+    /// already carries one).
+    fn write_base_group(&mut self) -> Result<(), CrawlError> {
+        match &self.journal {
+            Some(j) if j.records_written() == 0 => {}
+            _ => return Ok(()),
+        }
+        let state = self.resume_state();
+        let journal = self.journal.as_mut().expect("journal present");
+        journal.append(&JournalRecord::Base { state }).map_err(map_journal_err)?;
+        journal.commit("base").map_err(map_journal_err)
     }
 
     /// Sign up (tolerating "already registered") and log in one seat.
@@ -800,6 +1005,177 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
         }
     }
 
+    /// Snapshot every lane's full machine state (transport, clocks,
+    /// breakers, effort, trace cursor) for a journal commit boundary.
+    fn lane_states(&self) -> Vec<LaneState> {
+        self.accounts
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let worker = a.lock().expect("account lock");
+                let mut breakers = std::collections::BTreeMap::new();
+                for (&ep, b) in &worker.breakers {
+                    let (consecutive, open) = b.snapshot();
+                    breakers.insert(ep.to_string(), BreakerState { consecutive, open });
+                }
+                LaneState {
+                    index: i as u64,
+                    username: worker.username.clone(),
+                    password: worker.password.clone(),
+                    suspended: worker.suspended,
+                    effort: worker.effort,
+                    local_ms: worker.local_ms,
+                    clock_ms: worker.clock.as_ref().map(|c| c.now_ms()).unwrap_or(0),
+                    breakers,
+                    trace_ordinal: worker.trace_ordinal,
+                    transport: TransportJournalState::from_transport(
+                        &worker.exchange.transport_state(),
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    fn sched_state(&self) -> SchedState {
+        SchedState {
+            rr: self.rr as u64,
+            modeled_wall_ms: self.modeled_wall_ms,
+            recruited: self.recruited as u64,
+            stale_refetches: self.stale_refetches,
+            retry_stats: self
+                .retry_stats
+                .as_ref()
+                .map(|s| RetryStatsState::from_stats(&s.export()))
+                .unwrap_or_default(),
+        }
+    }
+
+    /// The crawler's complete durable state, foldable back into an
+    /// identical crawler by [`ParallelCrawlerBuilder::build_resumed`].
+    pub fn resume_state(&self) -> ResumeState {
+        let mut state = ResumeState { label: self.label.clone(), ..ResumeState::default() };
+        for (&school, seeds) in &self.seeds_cache {
+            state.seeds.insert(school, seeds.clone());
+        }
+        for (&uid, profile) in &self.profile_cache {
+            state.profiles.insert(uid, profile.clone());
+        }
+        for (&uid, friends) in &self.friends_cache {
+            state.friends.insert(uid, friends.clone());
+        }
+        let mut circles: Vec<CirclesEntry> = self
+            .circles_cache
+            .iter()
+            .map(|(&(uid, incoming), members)| CirclesEntry {
+                uid,
+                incoming,
+                members: members.clone(),
+            })
+            .collect();
+        circles.sort_by_key(|c| (c.uid, c.incoming));
+        state.circles = circles;
+        state.incomplete = self.incomplete.iter().copied().collect();
+        state.tombstoned = self.tombstoned.iter().copied().collect();
+        for (&uid, &gen) in &self.friends_gen {
+            state.friends_gen.insert(uid, gen);
+        }
+        state.lanes = self.lane_states();
+        state.sched = self.sched_state();
+        state
+    }
+
+    /// Seal one journal group for a completed crawl op: the op's data
+    /// events, any lane recruits/suspensions since the previous group,
+    /// the full lane + scheduler machine state, then the `Commit`
+    /// record — flushed and fsynced as one write. No-op when the
+    /// crawler runs without a journal.
+    fn journal_group(
+        &mut self,
+        op: &'static str,
+        events: Vec<JournalRecord>,
+    ) -> Result<(), CrawlError> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let mut newly_suspended = Vec::new();
+        for (i, a) in self.accounts.iter().enumerate() {
+            if self.journal_suspended.contains(&i) {
+                continue;
+            }
+            let worker = a.lock().expect("account lock");
+            if worker.suspended {
+                newly_suspended.push((i, worker.username.clone()));
+            }
+        }
+        let lanes = self.lane_states();
+        let sched = self.sched_state();
+        let recruits = std::mem::take(&mut self.pending_recruits);
+        let journal = self.journal.as_mut().expect("journal present");
+        for event in &events {
+            journal.append(event).map_err(map_journal_err)?;
+        }
+        for (index, username) in recruits {
+            journal
+                .append(&JournalRecord::LaneRecruited { index, username })
+                .map_err(map_journal_err)?;
+        }
+        for (index, username) in &newly_suspended {
+            journal
+                .append(&JournalRecord::LaneSuspended {
+                    index: *index as u64,
+                    username: username.clone(),
+                })
+                .map_err(map_journal_err)?;
+        }
+        // Lane-state deltas: a full fleet snapshot only when the fleet
+        // changed shape (first group, recruit); otherwise just the
+        // lanes that moved since the last group — on a send-message
+        // group that's one lane, which is most of the journal's
+        // serialization volume. `fold_state` upserts deltas by index.
+        if self.journal_lanes.len() != lanes.len() {
+            journal
+                .append(&JournalRecord::Lanes { lanes: lanes.clone() })
+                .map_err(map_journal_err)?;
+        } else {
+            for (prev, lane) in self.journal_lanes.iter().zip(&lanes) {
+                if prev != lane {
+                    journal
+                        .append(&JournalRecord::Lane { lane: lane.clone() })
+                        .map_err(map_journal_err)?;
+                }
+            }
+        }
+        journal.append(&JournalRecord::Sched { sched }).map_err(map_journal_err)?;
+        journal.commit(op).map_err(map_journal_err)?;
+        self.journal_lanes = lanes;
+        for (i, _) in newly_suspended {
+            self.journal_suspended.insert(i);
+        }
+        Ok(())
+    }
+
+    /// Atomically rewrite the journal down to a single `Base` snapshot
+    /// of the current state (temp file + fsync + rename). No-op when
+    /// the crawler runs without a journal.
+    pub fn compact_journal(&mut self) -> Result<(), CrawlError> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let state = self.resume_state();
+        self.journal.as_mut().expect("journal present").compact(&state).map_err(map_journal_err)
+    }
+
+    /// The attached journal, if any (tests, overhead accounting).
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Mutable journal access — e.g. to force a deferred group fsync
+    /// ([`Journal::sync`]) before reading [`Journal::time_spent`].
+    pub fn journal_mut(&mut self) -> Option<&mut Journal> {
+        self.journal.as_mut()
+    }
+
     fn live_indices(&self) -> Vec<usize> {
         self.accounts
             .iter()
@@ -845,10 +1221,14 @@ impl<E: Exchange + Send> ParallelCrawler<E> {
             let seat = factory();
             let username = format!("{}-r{}", self.label, self.recruited);
             self.recruited += 1;
-            match self.enroll(seat, username) {
+            match self.enroll(seat, username.clone()) {
                 Ok(()) => {
                     if let Some(m) = &self.shared.metrics {
                         m.accounts_recruited.inc();
+                    }
+                    if self.journal.is_some() {
+                        let index = (self.accounts.len() - 1) as u64;
+                        self.pending_recruits.push((index, username));
                     }
                 }
                 Err(e) => {
@@ -1046,6 +1426,10 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
         seen.sort_unstable();
         seen.dedup();
         self.seeds_cache.insert(school, seen.clone());
+        self.journal_group(
+            "collect_seeds",
+            vec![JournalRecord::SeedsCollected { school, seeds: seen.clone() }],
+        )?;
         Ok(seen)
     }
 
@@ -1071,9 +1455,15 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
             })
             .collect();
         results.sort_by_key(|&(uid, _)| uid);
+        let journaling = self.journal.is_some();
+        let mut events = Vec::new();
         for (uid, profile) in results {
+            if journaling {
+                events.push(JournalRecord::ProfileCommitted { uid, profile: profile.clone() });
+            }
             self.commit_profile(uid, profile);
         }
+        self.journal_group("prefetch_profiles", events)?;
         Ok(())
     }
 
@@ -1106,6 +1496,8 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
         // mutated between the two fetches. Reconcile with one bounded
         // profile re-fetch round (canonical order — deterministic at
         // any worker count).
+        let journaling = self.journal.is_some();
+        let mut events = Vec::new();
         let mut conflicted: Vec<UserId> = Vec::new();
         for (uid, list, partial, gen) in results {
             if partial {
@@ -1120,6 +1512,14 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
                 if profile_gen.is_some_and(|pg| pg != lg) {
                     conflicted.push(uid);
                 }
+            }
+            if journaling {
+                events.push(JournalRecord::FriendsCommitted {
+                    uid,
+                    friends: list.clone(),
+                    partial,
+                    gen,
+                });
             }
             self.friends_cache.insert(uid, list);
         }
@@ -1138,9 +1538,13 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
                 .collect();
             refreshed.sort_by_key(|&(uid, _)| uid);
             for (uid, profile) in refreshed {
+                if journaling {
+                    events.push(JournalRecord::ProfileCommitted { uid, profile: profile.clone() });
+                }
                 self.commit_profile(uid, profile);
             }
         }
+        self.journal_group("prefetch_friends", events)?;
         Ok(())
     }
 
@@ -1179,14 +1583,24 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
             m.cache_circles_misses.inc();
         }
         let done = self.run_sharded(vec![Job::Circles(uid, incoming)])?;
+        let journaling = self.journal.is_some();
+        let mut events = Vec::new();
         for (job, out) in done {
             match (job, out) {
                 (Job::Circles(u, inc), JobOut::Circles(list)) => {
+                    if journaling {
+                        events.push(JournalRecord::CirclesCommitted {
+                            uid: u,
+                            incoming: inc,
+                            members: list.clone(),
+                        });
+                    }
                     self.circles_cache.insert((u, inc), list);
                 }
                 _ => unreachable!("circles batch produced non-circles output"),
             }
         }
+        self.journal_group("circles", events)?;
         self.circles_cache
             .get(&(uid, incoming))
             .cloned()
@@ -1243,6 +1657,9 @@ impl<E: Exchange + Send> OsnAccess for ParallelCrawler<E> {
         self.sync_retry_metric();
         if matches!(outcome, Err(CrawlError::Denied(Status::TOO_MANY_REQUESTS))) {
             self.recruit()?;
+        }
+        if let Ok(accepted) = outcome {
+            self.journal_group("send_message", vec![JournalRecord::MessageSent { uid, accepted }])?;
         }
         outcome
     }
@@ -1336,7 +1753,7 @@ mod tests {
             crawler.prefetch_profiles(&seeds).unwrap();
             crawler.prefetch_friends(&seeds).unwrap();
             let snap = crawler.checkpoint();
-            (seeds, snap.to_json(), crawler.effort())
+            (seeds, snap.to_json().unwrap(), crawler.effort())
         };
         let (seeds_1, snap_1, effort_1) = run(1);
         let (seeds_4, snap_4, effort_4) = run(4);
@@ -1381,7 +1798,11 @@ mod tests {
             let seeds = crawler.collect_seeds(s.school).unwrap();
             crawler.prefetch_profiles(&seeds).unwrap();
             crawler.prefetch_friends(&seeds).unwrap();
-            (crawler.checkpoint().to_json(), crawler.account_count(), crawler.live_account_count())
+            (
+                crawler.checkpoint().to_json().unwrap(),
+                crawler.account_count(),
+                crawler.live_account_count(),
+            )
         };
         let (snap_1, total_1, live_1) = run_fresh(1);
         let (snap_8, total_8, live_8) = run_fresh(8);

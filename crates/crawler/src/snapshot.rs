@@ -16,6 +16,76 @@ use hsp_graph::{SchoolId, UserId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// On-disk snapshot format version. Bumped when the payload layout
+/// changes incompatibly; [`CrawlSnapshot::from_json`] refuses anything
+/// else with a descriptive error instead of misparsing.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// Typed failures of snapshot (de)serialization — the crash-recovery
+/// path must distinguish "file is torn garbage" from "file is a valid
+/// snapshot of an incompatible version" from "payload was tampered
+/// with", so the old `expect("snapshot is serializable")` panic and
+/// stringly `serde_json::Error` are gone.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The in-memory snapshot failed to serialize (should not happen;
+    /// surfaced instead of panicking).
+    Serialize(String),
+    /// The input was not parseable as a snapshot envelope.
+    Parse(String),
+    /// The envelope parsed but declares a different format version.
+    VersionMismatch { found: u64, expected: u64 },
+    /// The payload does not hash to the recorded FNV-1a digest: the
+    /// file was truncated, bit-flipped or hand-edited.
+    DigestMismatch { found: String, expected: String },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Serialize(e) => write!(f, "snapshot serialize: {e}"),
+            SnapshotError::Parse(e) => write!(f, "snapshot parse: {e}"),
+            SnapshotError::VersionMismatch { found, expected } => write!(
+                f,
+                "snapshot version mismatch: file is v{found}, this build reads v{expected}"
+            ),
+            SnapshotError::DigestMismatch { found, expected } => write!(
+                f,
+                "snapshot digest mismatch: payload hashes to {found}, envelope records \
+                 {expected} (torn or corrupted file)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a over a byte string — the same digest primitive the trace
+/// subsystem uses, kept dependency-free.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Write `text` to `path` atomically: `<path>.tmp` + fsync + rename.
+/// A crash at any point leaves either the old file or the new one,
+/// never a torn hybrid.
+pub(crate) fn atomic_write(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp_name);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(text.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)
+}
+
 /// Everything one crawl saw, in stable (BTree) order.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct CrawlSnapshot {
@@ -81,19 +151,64 @@ impl CrawlSnapshot {
         Ok(snap)
     }
 
-    /// Serialize to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot is serializable")
+    /// Serialize to JSON, wrapped in a self-validating envelope: the
+    /// payload object gains a `version` field and an FNV-1a `digest`
+    /// over the payload's canonical (compact, key-sorted) rendering.
+    pub fn to_json(&self) -> Result<String, SnapshotError> {
+        let mut value =
+            serde_json::to_value(self).map_err(|e| SnapshotError::Serialize(e.to_string()))?;
+        let payload_digest = {
+            let payload = value.render_compact();
+            format!("{:016x}", fnv1a(payload.as_bytes()))
+        };
+        let obj = value
+            .as_object_mut()
+            .ok_or_else(|| SnapshotError::Serialize("snapshot is not an object".into()))?;
+        obj.insert("version".into(), serde_json::to_value(SNAPSHOT_VERSION).unwrap());
+        obj.insert("digest".into(), serde_json::to_value(&payload_digest).unwrap());
+        Ok(value.render_compact())
     }
 
-    /// Deserialize from JSON.
-    pub fn from_json(s: &str) -> Result<CrawlSnapshot, serde_json::Error> {
-        serde_json::from_str(s)
+    /// Deserialize from JSON, validating the envelope: wrong `version`
+    /// or a payload that does not hash to `digest` is a typed error,
+    /// not a silent misparse. Envelopes written before versioning
+    /// (no `version`/`digest` keys) still load.
+    pub fn from_json(s: &str) -> Result<CrawlSnapshot, SnapshotError> {
+        let mut value: serde_json::Value =
+            serde_json::from_str(s).map_err(|e| SnapshotError::Parse(e.to_string()))?;
+        let obj = value
+            .as_object_mut()
+            .ok_or_else(|| SnapshotError::Parse("snapshot is not a JSON object".into()))?;
+        let version = obj.remove("version");
+        let digest = obj.remove("digest");
+        if let Some(v) = version {
+            let found = v.as_u64().ok_or_else(|| {
+                SnapshotError::Parse("snapshot `version` is not an integer".into())
+            })?;
+            if found != SNAPSHOT_VERSION {
+                return Err(SnapshotError::VersionMismatch { found, expected: SNAPSHOT_VERSION });
+            }
+        }
+        if let Some(d) = digest {
+            let expected = d
+                .as_str()
+                .ok_or_else(|| SnapshotError::Parse("snapshot `digest` is not a string".into()))?
+                .to_string();
+            let found = format!("{:016x}", fnv1a(value.render_compact().as_bytes()));
+            if found != expected {
+                return Err(SnapshotError::DigestMismatch { found, expected });
+            }
+        }
+        serde_json::from_value(value).map_err(|e| SnapshotError::Parse(e.to_string()))
     }
 
-    /// Save to a file.
+    /// Save to a file atomically (`<path>.tmp` + fsync + rename): a
+    /// crash mid-save can never leave a torn snapshot behind.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        let text = self
+            .to_json()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        atomic_write(path, &text)
     }
 
     /// Load from a file.
@@ -173,8 +288,65 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let snap = snapshot();
-        let restored = CrawlSnapshot::from_json(&snap.to_json()).unwrap();
+        let restored = CrawlSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
         assert_eq!(restored, snap);
+    }
+
+    #[test]
+    fn envelope_carries_version_and_digest() {
+        let text = snapshot().to_json().unwrap();
+        assert!(text.contains("\"version\":1"), "no version stamp in {text}");
+        assert!(text.contains("\"digest\":\""), "no digest stamp in {text}");
+    }
+
+    #[test]
+    fn version_mismatch_is_a_descriptive_error() {
+        let text = snapshot().to_json().unwrap().replace("\"version\":1", "\"version\":9");
+        match CrawlSnapshot::from_json(&text) {
+            Err(SnapshotError::VersionMismatch { found: 9, expected }) => {
+                assert_eq!(expected, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        let msg = CrawlSnapshot::from_json(&text).unwrap_err().to_string();
+        assert!(msg.contains("v9"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn payload_tampering_is_a_digest_error() {
+        // Flip a payload value without touching the recorded digest.
+        let text =
+            snapshot().to_json().unwrap().replace("\"seed_requests\":3", "\"seed_requests\":4");
+        match CrawlSnapshot::from_json(&text) {
+            Err(SnapshotError::DigestMismatch { found, expected }) => {
+                assert_ne!(found, expected);
+            }
+            other => panic!("expected DigestMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_envelope_without_stamps_still_loads() {
+        // Strip the envelope fields: pre-versioning snapshots load.
+        let mut value: serde_json::Value =
+            serde_json::from_str(&snapshot().to_json().unwrap()).unwrap();
+        let obj = value.as_object_mut().unwrap();
+        obj.remove("version");
+        obj.remove("digest");
+        let restored = CrawlSnapshot::from_json(&value.render_compact()).unwrap();
+        assert_eq!(restored, snapshot());
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_file_behind() {
+        let snap = snapshot();
+        let dir = std::env::temp_dir().join("hsp-snapshot-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        snap.save(&path).unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("snap.json.tmp").exists(), "tmp file not renamed away");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -231,11 +403,11 @@ mod tests {
         // Effort reflects what was actually paid, and the partial flag
         // round-trips through JSON.
         assert_eq!(snap.effort.profile_requests, 2);
-        let restored = CrawlSnapshot::from_json(&snap.to_json()).unwrap();
+        let restored = CrawlSnapshot::from_json(&snap.to_json().unwrap()).unwrap();
         assert_eq!(restored, snap);
         // Pre-aborted_at snapshots (no field in the JSON) load as
         // complete.
-        let legacy = CrawlSnapshot::from_json(&snapshot().to_json()).unwrap();
+        let legacy = CrawlSnapshot::from_json(&snapshot().to_json().unwrap()).unwrap();
         assert!(legacy.is_complete());
     }
 

@@ -738,3 +738,113 @@ pub fn summary(ctx: &mut Ctx) -> ExperimentReport {
     }
     ExperimentReport::new("summary", "Generated-world summaries", text, json!({ "worlds": rows }))
 }
+
+/// Crash-only attacker: a kill-point sweep over the journaled crawl,
+/// each kill resumed against the *same still-running platform* and
+/// gated on bit-identical convergence with an uninterrupted run —
+/// outcome digest, effort ledger, and trace digest all equal. Kill
+/// points are picked as fractions of the uninterrupted journal's
+/// committed record count, plus one torn-tail kill (the frame is cut
+/// mid-write), so the sweep tracks the world config instead of
+/// hard-coding offsets. The process-kill variant (a real child killed
+/// with SIGKILL) lives in `examples/crash.rs` / `scripts/crash.sh`,
+/// feeding `BENCH_crash.json`.
+pub fn crash_recovery(ctx: &mut Ctx) -> ExperimentReport {
+    use crate::crash_lab::{baseline, killed_and_resumed};
+    use hsp_crawler::{recover, KillPlan};
+    // Fresh labs per trial (the trial shares one platform between the
+    // killed run and its resume); the shared Ctx caches don't apply.
+    let _ = ctx;
+    const SEED: u64 = 0xC4A5;
+    const WORKERS: usize = 2;
+    const CHURN: f64 = 1.0;
+    let cfg = Ctx::config_for("TINY");
+    let dir = std::env::temp_dir().join("hsp-crash-recovery");
+    std::fs::create_dir_all(&dir).expect("crash-recovery tmp dir");
+
+    // Yardsticks: the un-journaled run the digests must converge to,
+    // and a journaled-but-uninterrupted run for record count + cost.
+    let bare = baseline(&cfg, SEED, WORKERS, CHURN, None);
+    let journal_path = dir.join("baseline.journal");
+    let journaled = baseline(&cfg, SEED, WORKERS, CHURN, Some(&journal_path));
+    assert_eq!(bare.digest, journaled.digest, "journaling changed the outcome");
+    assert_eq!(bare.effort, journaled.effort, "journaling changed the effort ledger");
+    assert_eq!(bare.trace_digest, journaled.trace_digest, "journaling changed the trace");
+    let committed = recover(&journal_path).expect("baseline journal readable").records.len() as u64;
+    assert!(committed > 10, "journal too short for a meaningful sweep");
+
+    let mut kills: Vec<(String, KillPlan)> = [0.05f64, 0.25, 0.50, 0.75, 0.95]
+        .iter()
+        .map(|f| {
+            let at = ((committed as f64 * f) as u64).max(3);
+            (format!("{:.0}%", f * 100.0), KillPlan::after(at))
+        })
+        .collect();
+    kills.push(("50% torn".to_string(), KillPlan::torn((committed / 2).max(3), 7)));
+
+    let mut table = Table::new(&[
+        "kill point",
+        "kill after",
+        "recovered",
+        "discarded",
+        "torn B",
+        "recovery us",
+        "journal KB",
+        "requests",
+        "found",
+        "bit-identical",
+    ]);
+    let mut points = Vec::new();
+    for (label, kill) in kills {
+        let path = dir.join(format!("kill-{}.journal", label.replace([' ', '%'], "_")));
+        let trial = killed_and_resumed(&cfg, SEED, WORKERS, CHURN, kill, &path);
+        assert!(!trial.completed_before_kill, "{label}: kill point never fired");
+        assert_eq!(trial.resumes, 1, "{label}: expected exactly one restart");
+        assert_eq!(trial.outcome.digest, bare.digest, "{label}: outcome digest drifted");
+        assert_eq!(trial.outcome.effort, bare.effort, "{label}: effort ledger drifted");
+        assert_eq!(trial.outcome.trace_digest, bare.trace_digest, "{label}: trace digest drifted");
+        let identical = trial.outcome.digest == bare.digest
+            && trial.outcome.effort == bare.effort
+            && trial.outcome.trace_digest == bare.trace_digest;
+        table.row(&[
+            label.clone(),
+            trial.kill_after.to_string(),
+            trial.recovered_records.to_string(),
+            trial.discarded_records.to_string(),
+            trial.torn_bytes.to_string(),
+            trial.recovery_us.to_string(),
+            format!("{:.1}", trial.outcome.journal_bytes as f64 / 1024.0),
+            trial.outcome.effort.total().to_string(),
+            trial.outcome.found.to_string(),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+        points.push(json!({
+            "label": label,
+            "kill_after_records": trial.kill_after,
+            "recovered_records": trial.recovered_records,
+            "discarded_records": trial.discarded_records,
+            "torn_bytes": trial.torn_bytes,
+            "recovery_us": trial.recovery_us,
+            "journal_bytes": trial.outcome.journal_bytes,
+            "found": trial.outcome.found,
+            "total_requests": trial.outcome.effort.total(),
+            "outcome_digest": format!("{:016x}", trial.outcome.digest),
+            "trace_digest": format!("{:016x}", trial.outcome.trace_digest),
+            "bit_identical": identical,
+        }));
+    }
+    ExperimentReport::new(
+        "crash-recovery",
+        "Crash-only attacker: kill-point sweep, journal recovery, bit-identical resume \
+         (TINY world, chaos faults + live churn)",
+        table.render(),
+        json!({
+            "committed_records": committed,
+            "baseline_journal_bytes": journaled.journal_bytes,
+            "yardstick_outcome_digest": format!("{:016x}", bare.digest),
+            "yardstick_trace_digest": format!("{:016x}", bare.trace_digest),
+            "found": bare.found,
+            "points": points,
+        }),
+    )
+}

@@ -7,6 +7,7 @@
 //! runners under Criterion.
 
 pub mod asciiplot;
+pub mod crash_lab;
 pub mod ctx;
 pub mod exp_extra;
 pub mod exp_figures;
@@ -50,6 +51,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "arms-race",
     "freshness",
     "metro",
+    "crash-recovery",
 ];
 
 /// Run one experiment by id. The whole run is timed into the context
@@ -83,6 +85,7 @@ pub fn run_experiment(ctx: &mut Ctx, id: &str) -> Option<ExperimentReport> {
         "arms-race" => exp_extra::arms_race(ctx),
         "freshness" => exp_extra::freshness(ctx),
         "metro" => exp_extra::metro(ctx),
+        "crash-recovery" => exp_extra::crash_recovery(ctx),
         _ => return None,
     })
 }

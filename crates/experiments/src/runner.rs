@@ -527,6 +527,11 @@ impl Lab {
         }
     }
 
+    /// The platform handler (sibling harnesses build custom transports).
+    pub(crate) fn handler(&self) -> Arc<dyn Handler> {
+        self.handler.clone()
+    }
+
     /// The attacker's configuration for the target school.
     pub fn attack_config(&self) -> AttackConfig {
         AttackConfig::new(

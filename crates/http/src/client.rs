@@ -15,6 +15,19 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Portable per-exchange state for crash-resume: everything a restarted
+/// process needs to continue a lane's transport exactly where the dead
+/// one left off. Plain data — serialization lives with the journal.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TransportState {
+    /// Cookie jar contents (the session cookie, chiefly).
+    pub cookies: Vec<(String, String)>,
+    /// Next attempt sequence number (see `ResilientExchange`).
+    pub attempt_seq: u64,
+    /// Retry-jitter PRNG state.
+    pub jitter_state: u64,
+}
+
 /// Anything that can carry one HTTP exchange. The crawler is generic
 /// over this so identical attack code runs over loopback TCP or
 /// in-process.
@@ -26,6 +39,15 @@ pub trait Exchange {
     /// Drop any session state (cookies), e.g. when switching to a
     /// different attacker account.
     fn clear_session(&mut self);
+
+    /// Export resumable transport state. Transports with no portable
+    /// state (e.g. chaos wrappers) return the default.
+    fn transport_state(&self) -> TransportState {
+        TransportState::default()
+    }
+
+    /// Restore state previously exported by [`Exchange::transport_state`].
+    fn restore_transport_state(&mut self, _state: &TransportState) {}
 }
 
 /// A blocking TCP client bound to one server address.
@@ -136,6 +158,17 @@ impl Exchange for Client {
         self.jar.clear();
         self.conn = None;
     }
+
+    fn transport_state(&self) -> TransportState {
+        TransportState { cookies: self.jar.entries().to_vec(), ..TransportState::default() }
+    }
+
+    fn restore_transport_state(&mut self, state: &TransportState) {
+        self.jar.clear();
+        for (name, value) in &state.cookies {
+            self.jar.insert(name.clone(), value.clone());
+        }
+    }
 }
 
 /// In-memory exchange: calls the handler directly, still running the
@@ -167,6 +200,17 @@ impl Exchange for DirectExchange {
 
     fn clear_session(&mut self) {
         self.jar.clear();
+    }
+
+    fn transport_state(&self) -> TransportState {
+        TransportState { cookies: self.jar.entries().to_vec(), ..TransportState::default() }
+    }
+
+    fn restore_transport_state(&mut self, state: &TransportState) {
+        self.jar.clear();
+        for (name, value) in &state.cookies {
+            self.jar.insert(name.clone(), value.clone());
+        }
     }
 }
 

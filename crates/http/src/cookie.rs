@@ -47,6 +47,23 @@ impl CookieJar {
         self.cookies.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
+    /// All stored cookies (for transport-state export).
+    pub fn entries(&self) -> &[(String, String)] {
+        &self.cookies
+    }
+
+    /// Insert or replace a cookie directly (for transport-state
+    /// restore — normal traffic goes through [`CookieJar::absorb`]).
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.cookies.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.cookies.push((name, value));
+        }
+    }
+
     pub fn clear(&mut self) {
         self.cookies.clear();
     }

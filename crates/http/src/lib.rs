@@ -31,14 +31,14 @@ pub mod uri;
 pub mod wire;
 
 pub use chaos::{ChaosPlan, ChaosStats, ChaosStream, ChaosTransport};
-pub use client::{Client, DirectExchange, Exchange, DEFAULT_CLIENT_READ_TIMEOUT};
+pub use client::{Client, DirectExchange, Exchange, TransportState, DEFAULT_CLIENT_READ_TIMEOUT};
 pub use cookie::{request_cookie, CookieJar};
 pub use error::{HttpError, Result};
 pub use message::{Request, Response};
 pub use resilient::{
     captcha_delay_ms, classify, is_edge_limited, is_fault_limited, is_shed, is_throttled,
     refusal_provenance, retryable_transport_error, ErrorClass, ResilientExchange, RetryPolicy,
-    RetryStats, H_TRACE_ID,
+    RetryStats, RetryStatsSnapshot, H_ATTEMPT_SEQ, H_TRACE_ID,
 };
 pub use router::{Handler, PathParams, Router};
 pub use server::{AccessLogFn, AccessRecord, RateLimit, Server, ServerConfig};

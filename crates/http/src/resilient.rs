@@ -60,6 +60,17 @@ pub const H_SIMULATED_FAULT: &str = "x-simulated-fault";
 /// platform falls back to its own clock.
 pub const H_VIRTUAL_NOW: &str = "x-virtual-now-ms";
 
+/// Monotone per-exchange attempt sequence number, stamped on every
+/// attempt when enabled ([`ResilientExchange::with_attempt_seq`]). The
+/// platform uses it two ways: fault draws become a pure function of
+/// `(principal, seq, draw site)` instead of arrival order, and account
+/// bookkeeping treats an already-seen seq as a *replay* (no counter
+/// increments, same verdict as the first time). Together these make a
+/// crawl that is killed and re-driven through the same request prefix
+/// land the platform in the same state as an uninterrupted run — the
+/// server half of crash-only resume.
+pub const H_ATTEMPT_SEQ: &str = "x-attempt-seq";
+
 /// How a response (or transport error) should be handled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ErrorClass {
@@ -256,7 +267,59 @@ pub struct RetryStats {
     pub tombstones: AtomicU64,
 }
 
+/// Plain-data copy of [`RetryStats`] for journaling/restore across a
+/// process restart (serialization lives with the journal, not here).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStatsSnapshot {
+    pub retries: u64,
+    pub rate_limited: u64,
+    pub server_errors: u64,
+    pub sheds: u64,
+    pub resets: u64,
+    pub deadlines_exceeded: u64,
+    pub backoff_virtual_ms: u64,
+    pub edge_limited: u64,
+    pub fault_rate_limited: u64,
+    pub throttled: u64,
+    pub stale_refetches: u64,
+    pub tombstones: u64,
+}
+
 impl RetryStats {
+    /// Export every counter (for the crash journal).
+    pub fn export(&self) -> RetryStatsSnapshot {
+        RetryStatsSnapshot {
+            retries: self.retries(),
+            rate_limited: self.rate_limited(),
+            server_errors: self.server_errors(),
+            sheds: self.sheds(),
+            resets: self.resets(),
+            deadlines_exceeded: self.deadlines_exceeded(),
+            backoff_virtual_ms: self.backoff_virtual_ms(),
+            edge_limited: self.edge_limited(),
+            fault_rate_limited: self.fault_rate_limited(),
+            throttled: self.throttled(),
+            stale_refetches: self.stale_refetches(),
+            tombstones: self.tombstones(),
+        }
+    }
+
+    /// Overwrite every counter from a journaled snapshot (resume path).
+    pub fn restore(&self, snap: &RetryStatsSnapshot) {
+        self.retries.store(snap.retries, Ordering::Relaxed);
+        self.rate_limited.store(snap.rate_limited, Ordering::Relaxed);
+        self.server_errors.store(snap.server_errors, Ordering::Relaxed);
+        self.sheds.store(snap.sheds, Ordering::Relaxed);
+        self.resets.store(snap.resets, Ordering::Relaxed);
+        self.deadlines_exceeded.store(snap.deadlines_exceeded, Ordering::Relaxed);
+        self.backoff_virtual_ms.store(snap.backoff_virtual_ms, Ordering::Relaxed);
+        self.edge_limited.store(snap.edge_limited, Ordering::Relaxed);
+        self.fault_rate_limited.store(snap.fault_rate_limited, Ordering::Relaxed);
+        self.throttled.store(snap.throttled, Ordering::Relaxed);
+        self.stale_refetches.store(snap.stale_refetches, Ordering::Relaxed);
+        self.tombstones.store(snap.tombstones, Ordering::Relaxed);
+    }
+
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
     }
@@ -315,6 +378,8 @@ pub struct ResilientExchange<E> {
     stats: Arc<RetryStats>,
     jitter_state: u64,
     tracer: Option<Arc<FlightRecorder>>,
+    /// `Some(next)`: stamp [`H_ATTEMPT_SEQ`] on every attempt.
+    attempt_seq: Option<u64>,
 }
 
 impl<E: Exchange> ResilientExchange<E> {
@@ -331,7 +396,24 @@ impl<E: Exchange> ResilientExchange<E> {
         stats: Arc<RetryStats>,
     ) -> ResilientExchange<E> {
         let jitter_state = policy.jitter_seed;
-        ResilientExchange { inner, policy, clock, stats, jitter_state, tracer: None }
+        ResilientExchange {
+            inner,
+            policy,
+            clock,
+            stats,
+            jitter_state,
+            tracer: None,
+            attempt_seq: None,
+        }
+    }
+
+    /// Stamp a monotone [`H_ATTEMPT_SEQ`] header on every attempt,
+    /// switching the platform's fault engine and account bookkeeping
+    /// into replay-tolerant sequence mode (see the header docs). Both
+    /// the baseline and any killed-and-resumed run must use this.
+    pub fn with_attempt_seq(mut self) -> ResilientExchange<E> {
+        self.attempt_seq = Some(0);
+        self
     }
 
     /// Record one span per attempt into `tracer` for requests carrying
@@ -396,7 +478,12 @@ impl<E: Exchange> Exchange for ResilientExchange<E> {
         loop {
             attempt += 1;
             let begin_ms = self.clock.now_ms();
-            let outcome = self.inner.exchange(req.clone());
+            let mut req_attempt = req.clone();
+            if let Some(seq) = self.attempt_seq.as_mut() {
+                req_attempt.headers.set(H_ATTEMPT_SEQ, seq.to_string());
+                *seq += 1;
+            }
+            let outcome = self.inner.exchange(req_attempt);
             if let Ok(resp) = &outcome {
                 self.observe_latency(resp);
             }
@@ -492,6 +579,21 @@ impl<E: Exchange> Exchange for ResilientExchange<E> {
 
     fn clear_session(&mut self) {
         self.inner.clear_session();
+    }
+
+    fn transport_state(&self) -> crate::client::TransportState {
+        let mut state = self.inner.transport_state();
+        state.attempt_seq = self.attempt_seq.unwrap_or(0);
+        state.jitter_state = self.jitter_state;
+        state
+    }
+
+    fn restore_transport_state(&mut self, state: &crate::client::TransportState) {
+        self.inner.restore_transport_state(state);
+        if self.attempt_seq.is_some() {
+            self.attempt_seq = Some(state.attempt_seq);
+        }
+        self.jitter_state = state.jitter_state;
     }
 }
 

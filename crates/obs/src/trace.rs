@@ -268,7 +268,10 @@ impl FlightRecorder {
     /// All retained spans in canonical `(lane, ordinal, begin_ms,
     /// span_id)` order — the order the digest and both exporters use.
     /// Every key component is deterministic, so the canonical order is
-    /// too, whatever thread interleaving produced the records.
+    /// too, whatever thread interleaving produced the records. Every
+    /// recorded span is kept, duplicates included: two retry attempts
+    /// of one fetch can serve byte-identical refusals, and forensics
+    /// (`audit_trace`) needs to count both.
     pub fn spans(&self) -> Vec<SpanRecord> {
         let mut out: Vec<SpanRecord> = Vec::with_capacity(self.len());
         for shard in &self.shards {
@@ -283,12 +286,40 @@ impl FlightRecorder {
         out
     }
 
-    /// FNV-1a over the canonical serialization of every retained span.
-    /// Bit-identical across worker counts for a deterministic run.
+    /// FNV-1a over the canonical serialization of the retained span
+    /// *set*. Bit-identical across worker counts for a deterministic
+    /// run.
     pub fn digest(&self) -> u64 {
+        self.digest_excluding(&[])
+    }
+
+    /// [`FlightRecorder::digest`] with some lanes masked out — e.g. a
+    /// crash-recovery lane whose administrative spans (journal scans,
+    /// resume bookkeeping) exist only in resumed runs and must not
+    /// perturb the comparison against an uninterrupted run.
+    ///
+    /// The digest folds over the *deduplicated* canonical lines: a
+    /// crash-resumed crawler re-drives the request prefix after its
+    /// last durable commit, and because every span field is derived
+    /// from deterministic state (trace ids, virtual clocks, outcomes),
+    /// the replayed spans are byte-identical to the originals. Folding
+    /// the line set makes the union of a killed run and its resume
+    /// digest-equal to the uninterrupted run. (An uninterrupted run's
+    /// genuine duplicates — retry attempts served identical refusals —
+    /// collapse the same way on both sides of any comparison, so
+    /// equality gates are unaffected; `spans()` itself keeps them.)
+    pub fn digest_excluding(&self, lanes: &[u64]) -> u64 {
+        let mut lines: Vec<String> = self
+            .spans()
+            .into_iter()
+            .filter(|s| !lanes.contains(&s.lane))
+            .map(|s| s.digest_line())
+            .collect();
+        lines.sort();
+        lines.dedup();
         let mut h = FNV_OFFSET;
-        for span in self.spans() {
-            h = fnv1a_chain(h, span.digest_line().as_bytes());
+        for line in &lines {
+            h = fnv1a_chain(h, line.as_bytes());
         }
         h
     }

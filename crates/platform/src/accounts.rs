@@ -22,6 +22,13 @@ pub struct Account {
     /// Virtual-time stamps of requests inside the sliding suspension
     /// window (only maintained while the windowed rule is enabled).
     recent: VecDeque<u64>,
+    /// Highest attempt sequence number served (replay-tolerant mode;
+    /// see `hsp_http::resilient::H_ATTEMPT_SEQ`).
+    last_seq: Option<u64>,
+    /// Sequence number at which the account was suspended, so replays
+    /// of earlier requests still succeed and replays at-or-after it
+    /// still see the suspension.
+    suspended_at_seq: Option<u64>,
 }
 
 /// Errors surfaced to HTTP handlers.
@@ -69,6 +76,8 @@ impl Accounts {
             requests: 0,
             suspended: false,
             recent: VecDeque::new(),
+            last_seq: None,
+            suspended_at_seq: None,
         });
         inner.by_name.insert(username.to_string(), index);
         Ok(index)
@@ -107,15 +116,48 @@ impl Accounts {
         window_ms: u64,
         now_ms: u64,
     ) -> Result<usize, AccountError> {
+        self.authorize_replay_aware(sid, threshold, max_in_window, window_ms, now_ms, None)
+            .map(|(index, _)| index)
+    }
+
+    /// Like [`Accounts::authorize_at`], but replay-tolerant: when `seq`
+    /// is present and the account has already served that sequence
+    /// number, nothing is counted (no request-budget increment, no
+    /// window entry) and the verdict is whatever it was the first time
+    /// — allowed, or suspended if the suspension landed at or before
+    /// this seq. This is what lets a crash-resumed crawler re-drive the
+    /// request prefix after its last durable commit without pushing the
+    /// platform's anti-crawl bookkeeping out of sync with an
+    /// uninterrupted run. Returns `(index, replayed)`.
+    pub fn authorize_replay_aware(
+        &self,
+        sid: &str,
+        threshold: u64,
+        max_in_window: u64,
+        window_ms: u64,
+        now_ms: u64,
+        seq: Option<u64>,
+    ) -> Result<(usize, bool), AccountError> {
         let mut inner = self.inner.lock();
         let &index = inner.sessions.get(sid).ok_or(AccountError::NoSession)?;
         let account = &mut inner.accounts[index];
+        if let Some(s) = seq {
+            if account.last_seq.is_some_and(|last| s <= last) {
+                // Replay: reproduce the original verdict, count nothing.
+                return match account.suspended_at_seq {
+                    Some(at) if s >= at => Err(AccountError::Suspended),
+                    _ => Ok((index, true)),
+                };
+            }
+            account.last_seq = Some(s);
+        }
         if account.suspended {
             return Err(AccountError::Suspended);
         }
         account.requests += 1;
         if account.requests > threshold {
             account.suspended = true;
+            account.suspended_at_seq = seq;
             return Err(AccountError::Suspended);
         }
         if max_in_window > 0 {
@@ -126,15 +168,27 @@ impl Accounts {
             }
             if account.recent.len() as u64 > max_in_window {
                 account.suspended = true;
+                account.suspended_at_seq = seq;
                 return Err(AccountError::Suspended);
             }
         }
-        Ok(index)
+        Ok((index, false))
     }
 
     /// Suspend an account outright (scripted fault-plan escalation).
     pub fn force_suspend(&self, index: usize) {
-        self.inner.lock().accounts[index].suspended = true;
+        self.force_suspend_at(index, None);
+    }
+
+    /// Like [`Accounts::force_suspend`], recording the attempt sequence
+    /// the suspension landed at so replays stay faithful.
+    pub fn force_suspend_at(&self, index: usize, seq: Option<u64>) {
+        let mut inner = self.inner.lock();
+        let account = &mut inner.accounts[index];
+        account.suspended = true;
+        if account.suspended_at_seq.is_none() {
+            account.suspended_at_seq = seq;
+        }
     }
 
     /// Evict a live session (fault-plan session expiry). Returns

@@ -9,8 +9,8 @@ use crate::search::SearchIndex;
 use hsp_defense::{session_account_index, SybilDetector, Verdict};
 use hsp_graph::{CityId, Network, SchoolId, UserId};
 use hsp_http::resilient::{
-    captcha_delay_ms, refusal_provenance, H_ACCOUNT_SUSPENDED, H_CAPTCHA, H_RETRY_AFTER,
-    H_SESSION_EXPIRED, H_SUSPENDED, H_THROTTLED, H_TRACE_ID, H_VIRTUAL_NOW,
+    captcha_delay_ms, refusal_provenance, H_ACCOUNT_SUSPENDED, H_ATTEMPT_SEQ, H_CAPTCHA,
+    H_RETRY_AFTER, H_SESSION_EXPIRED, H_SUSPENDED, H_THROTTLED, H_TRACE_ID, H_VIRTUAL_NOW,
 };
 use hsp_http::{request_cookie, Handler, PathParams, Request, Response, Router, Status};
 use hsp_obs::trace::{SpanRecord, SLOT_SERVER};
@@ -430,8 +430,16 @@ impl Platform {
     fn session_account(&self, req: &Request) -> Result<usize, Response> {
         let sid = request_cookie(req, "sid")
             .ok_or_else(|| Response::error(Status::UNAUTHORIZED, "login required"))?;
+        let seq = req.headers.get(H_ATTEMPT_SEQ).and_then(|v| v.trim().parse::<u64>().ok());
         if self.faults.expire_session_now(req) {
-            self.accounts.expire_session(sid);
+            // In sequence mode the session is *not* evicted: a crash-
+            // resumed crawler replaying an earlier seq with the same
+            // sid must still authorize. The 401 itself replays
+            // deterministically (the expiry draw is keyed by seq), so
+            // the client re-logins at the same point either way.
+            if seq.is_none() {
+                self.accounts.expire_session(sid);
+            }
             return Err(Response::error(Status::UNAUTHORIZED, "session expired")
                 .header(H_SESSION_EXPIRED, "1"));
         }
@@ -439,21 +447,25 @@ impl Platform {
             Response::error(Status::TOO_MANY_REQUESTS, "account suspended for suspicious activity")
                 .header(H_ACCOUNT_SUSPENDED, "1")
         };
-        let index = self
+        let (index, replayed) = self
             .accounts
-            .authorize_at(
+            .authorize_replay_aware(
                 sid,
                 self.config.suspension_threshold,
                 self.config.rate_max_in_window,
                 self.config.rate_window_ms,
                 self.clock.now_ms(),
+                seq,
             )
             .map_err(|e| match e {
                 AccountError::Suspended => suspended(),
                 _ => Response::error(Status::UNAUTHORIZED, "login required"),
             })?;
-        if self.faults.should_force_suspend(index, self.accounts.request_count(index)) {
-            self.accounts.force_suspend(index);
+        // Scripted escalation only fires on fresh requests; a replayed
+        // seq reproduces its original verdict via `suspended_at_seq`.
+        if !replayed && self.faults.should_force_suspend(index, self.accounts.request_count(index))
+        {
+            self.accounts.force_suspend_at(index, seq);
             return Err(suspended());
         }
         Ok(index)

@@ -25,7 +25,7 @@
 //! `platform_fault_injected_total{kind="..."}`.
 
 use hsp_http::resilient::{
-    H_FAULT_INJECTED, H_RETRY_AFTER, H_SIMULATED_FAULT, H_VIRTUAL_LATENCY_MS,
+    H_ATTEMPT_SEQ, H_FAULT_INJECTED, H_RETRY_AFTER, H_SIMULATED_FAULT, H_VIRTUAL_LATENCY_MS,
 };
 use hsp_http::{request_cookie, Request, Response, Status};
 use hsp_obs::Registry;
@@ -150,6 +150,27 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// schedule regardless of how concurrent requests interleave.
 /// Signup/login traffic (no session yet) is keyed by the claimed
 /// username; anonymous traffic shares stream 0.
+/// Attempt sequence number carried by the request, if the client opted
+/// into replay-tolerant sequence mode (`x-attempt-seq`).
+fn attempt_seq(req: &Request) -> Option<u64> {
+    req.headers.get(H_ATTEMPT_SEQ).and_then(|v| v.trim().parse::<u64>().ok())
+}
+
+// Distinct draw-site tags for sequence mode: each decision a request
+// can trigger draws from its own `(principal, seq, site)` stream, so
+// the schedule is a pure function of the request itself — independent
+// of arrival order, and therefore identical between an uninterrupted
+// run and a killed-and-resumed one replaying the same requests.
+const SITE_RATE: u64 = 1;
+const SITE_SERVER: u64 = 2;
+const SITE_SERVER_KIND: u64 = 3;
+const SITE_EXPIRY: u64 = 4;
+const SITE_LATENCY: u64 = 5;
+const SITE_LATENCY_MS: u64 = 6;
+const SITE_RESET: u64 = 7;
+const SITE_TRUNCATE: u64 = 8;
+const SITE_TRUNCATE_CUT: u64 = 9;
+
 fn principal_key(req: &Request) -> u64 {
     if let Some(sid) = request_cookie(req, "sid") {
         if let Some(idx) = sid
@@ -201,13 +222,29 @@ impl FaultEngine {
         splitmix64(self.plan.seed ^ splitmix64(key) ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 
-    fn roll(&self, key: u64, per_mille: u32) -> bool {
-        per_mille > 0 && ((self.draw(key) % 1_000) as u32) < per_mille
+    /// A draw for one decision: in sequence mode (`seq` present) the
+    /// value is a pure function of `(principal, seq, site)` — stateless
+    /// and replay-stable; otherwise it consumes the principal's
+    /// arrival-order counter stream exactly as before.
+    fn draw_at(&self, key: u64, seq: Option<u64>, site: u64) -> u64 {
+        match seq {
+            Some(s) => splitmix64(
+                self.plan.seed
+                    ^ splitmix64(key)
+                    ^ splitmix64(s.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                    ^ site.wrapping_mul(0xbf58_476d_1ce4_e5b9),
+            ),
+            None => self.draw(key),
+        }
     }
 
-    /// Uniform draw in `lo..=hi` from `key`'s stream.
-    fn range(&self, key: u64, lo: u64, hi: u64) -> u64 {
-        lo + self.draw(key) % (hi - lo + 1)
+    fn roll(&self, key: u64, seq: Option<u64>, site: u64, per_mille: u32) -> bool {
+        per_mille > 0 && ((self.draw_at(key, seq, site) % 1_000) as u32) < per_mille
+    }
+
+    /// Uniform draw in `lo..=hi`.
+    fn range(&self, key: u64, seq: Option<u64>, site: u64, lo: u64, hi: u64) -> u64 {
+        lo + self.draw_at(key, seq, site) % (hi - lo + 1)
     }
 
     /// Pre-handler faults: the request is answered by the fault layer
@@ -219,7 +256,8 @@ impl FaultEngine {
             return None;
         }
         let key = principal_key(req);
-        if self.roll(key, self.plan.rate_limit_per_mille) {
+        let seq = attempt_seq(req);
+        if self.roll(key, seq, SITE_RATE, self.plan.rate_limit_per_mille) {
             self.record("rate_limit");
             return Some(
                 Response::error(Status::TOO_MANY_REQUESTS, "rate limit exceeded")
@@ -227,9 +265,9 @@ impl FaultEngine {
                     .header(H_FAULT_INJECTED, "1"),
             );
         }
-        if self.roll(key, self.plan.server_error_per_mille) {
+        if self.roll(key, seq, SITE_SERVER, self.plan.server_error_per_mille) {
             self.record("server_error");
-            let status = if self.draw(key) & 1 == 0 {
+            let status = if self.draw_at(key, seq, SITE_SERVER_KIND) & 1 == 0 {
                 Status::INTERNAL_SERVER_ERROR
             } else {
                 Status::SERVICE_UNAVAILABLE
@@ -243,7 +281,13 @@ impl FaultEngine {
     /// Called once per authenticated request, in that account's own
     /// request order.
     pub fn expire_session_now(&self, req: &Request) -> bool {
-        if !self.plan.enabled || !self.roll(principal_key(req), self.plan.session_expiry_per_mille)
+        if !self.plan.enabled
+            || !self.roll(
+                principal_key(req),
+                attempt_seq(req),
+                SITE_EXPIRY,
+                self.plan.session_expiry_per_mille,
+            )
         {
             return false;
         }
@@ -277,25 +321,32 @@ impl FaultEngine {
             return resp;
         }
         let key = principal_key(req);
+        let seq = attempt_seq(req);
         let mut resp = resp;
-        if self.roll(key, self.plan.latency_per_mille) {
+        if self.roll(key, seq, SITE_LATENCY, self.plan.latency_per_mille) {
             self.record("latency");
-            let ms = self.range(key, self.plan.latency_min_ms, self.plan.latency_max_ms);
+            let ms = self.range(
+                key,
+                seq,
+                SITE_LATENCY_MS,
+                self.plan.latency_min_ms,
+                self.plan.latency_max_ms,
+            );
             resp = resp.header(H_VIRTUAL_LATENCY_MS, ms.to_string());
         }
         let is_html = resp.status == Status::OK
             && resp.headers.get("content-type").is_some_and(|ct| ct.contains("text/html"));
         if is_html && resp.body.len() > 64 {
-            if self.roll(key, self.plan.reset_per_mille) {
+            if self.roll(key, seq, SITE_RESET, self.plan.reset_per_mille) {
                 self.record("reset");
                 return self
-                    .truncated(key, resp)
+                    .truncated(key, seq, resp)
                     .header(H_SIMULATED_FAULT, "reset")
                     .header("Connection", "close");
             }
-            if self.roll(key, self.plan.truncate_per_mille) {
+            if self.roll(key, seq, SITE_TRUNCATE, self.plan.truncate_per_mille) {
                 self.record("truncate");
-                return self.truncated(key, resp);
+                return self.truncated(key, seq, resp);
             }
         }
         resp
@@ -303,9 +354,11 @@ impl FaultEngine {
 
     /// Cut the body at a random interior point (always before the
     /// closing `</html>`, so truncation is detectable).
-    fn truncated(&self, key: u64, mut resp: Response) -> Response {
+    fn truncated(&self, key: u64, seq: Option<u64>, mut resp: Response) -> Response {
         let len = resp.body.len();
-        let cut = (self.range(key, len as u64 / 10, len as u64 * 9 / 10 - 1)) as usize;
+        let cut =
+            (self.range(key, seq, SITE_TRUNCATE_CUT, len as u64 / 10, len as u64 * 9 / 10 - 1))
+                as usize;
         resp.body = bytes::Bytes::copy_from_slice(&resp.body[..cut]);
         resp
     }
@@ -447,6 +500,34 @@ mod tests {
         assert!(eng.should_force_suspend(0, 100));
         assert!(!eng.should_force_suspend(1, u64::MAX), "0 means never");
         assert!(!eng.should_force_suspend(7, u64::MAX), "unlisted accounts never");
+    }
+
+    #[test]
+    fn sequence_mode_draws_are_replay_stable() {
+        // With x-attempt-seq present, every decision is a pure function
+        // of (principal, seq, site): re-presenting the same request —
+        // in any order, interleaved with anything — reproduces the same
+        // outcome. This is the property crash-resume replays rely on.
+        let eng = engine(FaultPlan::chaos());
+        let outcome = |seq: u64| {
+            let req = Request::get("/profile/u1")
+                .header("Cookie", "sid=sid-0-00000000")
+                .header(H_ATTEMPT_SEQ, seq.to_string());
+            let pre = eng.pre(&req).map(|r| r.status.code());
+            let post = eng.post(&req, page());
+            (pre, post.status.code(), post.body.len())
+        };
+        let first: Vec<_> = (0..300).map(outcome).collect();
+        // Replay a scattered subset out of order, after all of them.
+        for &seq in &[250u64, 3, 40, 199, 0, 299] {
+            assert_eq!(outcome(seq), first[seq as usize], "seq {seq} must replay identically");
+        }
+        // Sanity: the sequence stream does inject faults at chaos rates.
+        assert!(first.iter().any(|(pre, ..)| pre.is_some()), "no pre-faults in 300 draws");
+        assert!(
+            first.iter().any(|(_, _, len)| *len < page().body.len()),
+            "no truncations in 300 draws"
+        );
     }
 
     #[test]

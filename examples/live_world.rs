@@ -191,7 +191,7 @@ fn parallel_replay_fingerprint(workers: usize) -> (String, Effort, u64, u64) {
     assert_eq!(lab.obs.tracer().dropped(), 0, "trace ring overflowed; raise TRACE_CAP");
     assert!(lab.platform.mutations.applied_count() > 0, "replay gate must see mutations");
     (
-        run.access.checkpoint().to_json(),
+        run.access.checkpoint().to_json().unwrap(),
         run.effort_total,
         lab.platform.mutations.state_digest(),
         lab.obs.tracer().digest(),

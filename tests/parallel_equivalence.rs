@@ -63,7 +63,10 @@ fn worker_count_never_changes_the_attack() {
 
     // Checkpoints replay identically: a crawl interrupted on an
     // 8-worker box resumes exactly on a 1-worker box.
-    assert_eq!(one.access.checkpoint().to_json(), eight.access.checkpoint().to_json());
+    assert_eq!(
+        one.access.checkpoint().to_json().unwrap(),
+        eight.access.checkpoint().to_json().unwrap()
+    );
 
     // The modeled makespan is the one thing workers MAY change — and
     // only downward: more lanes never cost virtual time.
@@ -108,7 +111,7 @@ fn defended_attack(workers: usize, strength: DetectorStrength) -> DefendedFinger
     let digest = lab.platform.defense.state_digest();
     assert_eq!(lab.obs.tracer().dropped(), 0, "digest comparison needs a lossless ring");
     (
-        run.access.checkpoint().to_json(),
+        run.access.checkpoint().to_json().unwrap(),
         run.effort_total,
         digest,
         lab.obs.tracer().digest(),
@@ -180,7 +183,7 @@ fn live_attack(workers: usize) -> LiveFingerprint {
     let audit = audit_trace(&lab.obs, &run.effort_total);
     assert!(audit.closed(), "unexplained: {:#?}", audit.unexplained);
     (
-        run.access.checkpoint().to_json(),
+        run.access.checkpoint().to_json().unwrap(),
         run.effort_total,
         lab.platform.mutations.state_digest(),
         lab.platform.defense.state_digest(),

@@ -46,7 +46,7 @@ fn offline_replay_reproduces_live_discovery() {
     assert!(snapshot.effort.total() > 0);
 
     // JSON round trip, then replay the methodology offline.
-    let restored = CrawlSnapshot::from_json(&snapshot.to_json()).unwrap();
+    let restored = CrawlSnapshot::from_json(&snapshot.to_json().unwrap()).unwrap();
     let mut offline = SnapshotAccess::new(restored);
     let offline_discovery = run_basic(&mut offline, &config).unwrap();
 
